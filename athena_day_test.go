@@ -1,0 +1,217 @@
+package kerberos
+
+// A day at Project Athena: one integration scenario across every
+// subsystem the paper describes. A student registers, logs in at a
+// public workstation (Kerberos + Hesiod + NFS mount), reads mail over
+// Kerberized POP, gets a zephyrgram, runs a remote command without any
+// .rhosts file, changes their password through the KDBM, and logs out —
+// while the master database propagates to a slave that keeps serving
+// when the master goes down.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kerberos/internal/apps/login"
+	"kerberos/internal/apps/pop"
+	"kerberos/internal/apps/register"
+	"kerberos/internal/apps/rsh"
+	"kerberos/internal/apps/zephyr"
+	"kerberos/internal/core"
+	"kerberos/internal/hesiod"
+	"kerberos/internal/nfs"
+	"kerberos/internal/vfs"
+)
+
+func TestDayAtAthena(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full integration scenario")
+	}
+	// --- The institution ------------------------------------------------
+	realm, err := NewRealm(RealmConfig{
+		Name: "ATHENA.MIT.EDU", MasterPassword: "athena-master", Slaves: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer realm.Close()
+	if err := realm.AddAdmin("jis", "op-secret"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := realm.ServeAdmin(); err != nil {
+		t.Fatal(err)
+	}
+	sms := register.NewSMS(register.Student{Name: "Jennifer G. Steiner", MITID: "900000001"})
+	registrar := &register.Registrar{SMS: sms, DB: realm.DB, Realm: realm.Name}
+
+	// File server "helen" with the new student's home directory.
+	nfsTab, err := realm.AddService("nfs", "helen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfsPrincipal := core.Principal{Name: "nfs", Instance: "helen", Realm: realm.Name}
+	fs := vfs.New()
+	fs.MkdirAll("/export/steiner", vfs.Root, 0o755)
+	fs.Chown("/export/steiner", vfs.Root, 2001, 100)
+	fs.Chmod("/export/steiner", vfs.Root, 0o700)
+	fileServer := nfs.NewServer(nfs.ServerConfig{
+		Realm: realm.Name, FS: fs, Mode: nfs.ModeMapped, Friendly: true,
+		Principal: nfsPrincipal, Keytab: nfsTab,
+		Accounts: []nfs.Account{{Username: "steiner", Cred: vfs.Cred{UID: 2001, GIDs: []uint32{100}}}},
+	})
+	nfsL, err := nfs.Serve(fileServer, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nfsL.Close()
+
+	// Hesiod.
+	dir := hesiod.NewDirectory()
+	dir.AddPasswd(hesiod.PasswdEntry{Username: "steiner", UID: 2001, GID: 100,
+		RealName: "Jennifer G. Steiner", HomeDir: "/mit/steiner", Shell: "/bin/csh"})
+	dir.AddFilsys(hesiod.Filsys{Username: "steiner", Server: nfsL.Addr(),
+		ServerPath: "/export/steiner", MountPoint: "/mit/steiner"})
+	hesiodSrv, err := hesiod.Serve(dir, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hesiodSrv.Close()
+
+	// Post office, zephyr hub, and a timesharing host running krshd.
+	popTab, err := realm.AddService("pop", "po10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	office := pop.NewOffice()
+	popL, err := pop.Serve(&pop.Server{Office: office,
+		Svc: realm.NewServiceContext("pop", "po10", popTab)}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer popL.Close()
+	zTab, err := realm.AddService("zephyr", "hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zL, err := zephyr.Serve(zephyr.NewServer(realm.NewServiceContext("zephyr", "hub", zTab)), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zL.Close()
+	rcmdTab, err := realm.AddService("rcmd", "charon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rshL, err := rsh.Serve(&rsh.Server{Hostname: "charon",
+		Svc: realm.NewServiceContext("rcmd", "charon", rcmdTab)}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rshL.Close()
+
+	// --- Morning: registration ------------------------------------------
+	if err := registrar.Register("Jennifer G. Steiner", "900000001", "steiner", "moria-gate"); err != nil {
+		t.Fatal(err)
+	}
+	// The hourly propagation puts the new user on the slave.
+	if err := realm.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Workstation login (the appendix flow) ---------------------------
+	sess, err := login.Login(login.Config{
+		Realm: realm.Name, Krb: realm.ClientConfig(),
+		HesiodAddr: hesiodSrv.Addr(), NFSService: nfsPrincipal,
+		WSAddr: Addr{127, 0, 0, 1},
+	}, "steiner", "moria-gate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.NFS.Write("/export/steiner/todo", []byte("finish USENIX paper"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Mail over Kerberized POP ----------------------------------------
+	office.Deliver("steiner", "From: bcn\n\nwelcome to athena!")
+	mail, err := pop.Connect(sess.Client, popL.Addr(),
+		core.Principal{Name: "pop", Instance: "po10", Realm: realm.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat, err := mail.Command("STAT"); err != nil || stat != "+OK 1 messages" {
+		t.Fatalf("STAT = %q, %v", stat, err)
+	}
+	msg, err := mail.Command("RETR 1")
+	if err != nil || !strings.Contains(msg, "welcome to athena!") {
+		t.Fatalf("RETR = %q, %v", msg, err)
+	}
+	mail.Close()
+
+	// --- A zephyrgram arrives --------------------------------------------
+	zp := core.Principal{Name: "zephyr", Instance: "hub", Realm: realm.Name}
+	sub, err := zephyr.Subscribe(sess.Client, zL.Addr(), zp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := realm.AddUser("bcn", "seattle"); err != nil {
+		t.Fatal(err)
+	}
+	bcn, err := realm.NewLoggedInClient("bcn", "seattle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zephyr.Send(bcn, zL.Addr(), zp, "steiner", "lunch?"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-sub.Notices:
+		if n.From != "bcn@ATHENA.MIT.EDU" || n.Body != "lunch?" {
+			t.Errorf("notice = %+v", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("zephyrgram never arrived")
+	}
+
+	// --- Remote command, no .rhosts anywhere ------------------------------
+	res, err := rsh.Run(sess.Client, rshL.Addr(),
+		core.Principal{Name: "rcmd", Instance: "charon", Realm: realm.Name},
+		"steiner", "whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != rsh.MethodKerberos || res.As != "steiner@ATHENA.MIT.EDU" {
+		t.Errorf("rsh result = %+v", res)
+	}
+
+	// --- Password change through the KDBM ---------------------------------
+	if err := realm.ChangePassword("steiner", "moria-gate", "mellon-friend"); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- The master dies; the slave keeps the realm alive ------------------
+	if err := realm.Propagate(); err != nil { // carry the new key to the slave
+		t.Fatal(err)
+	}
+	slaveOnly := &Config{
+		Realms:  map[string][]string{realm.Name: realm.SlaveAddrs()},
+		Timeout: 2 * time.Second,
+	}
+	survivor := NewClient(Principal{Name: "steiner", Realm: realm.Name}, slaveOnly)
+	survivor.Addr = Addr{127, 0, 0, 1}
+	if _, err := survivor.Login("mellon-friend"); err != nil {
+		t.Fatalf("slave login with new password: %v", err)
+	}
+
+	// --- Evening: logout ----------------------------------------------------
+	if err := sess.Logout(); err != nil {
+		t.Fatal(err)
+	}
+	if fileServer.CredMap().Len() != 0 {
+		t.Error("NFS mappings survived logout")
+	}
+	if sess.Client.Cache.Len() != 0 {
+		t.Error("tickets survived logout")
+	}
+}

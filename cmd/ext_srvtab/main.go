@@ -1,0 +1,68 @@
+// Command ext_srvtab extracts service keys into a srvtab file (§6.3):
+// "some data (including the server's key) must be extracted from the
+// database and installed in a file on the server's machine. The default
+// file is /etc/srvtab."
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/kadm"
+)
+
+func main() {
+	var (
+		realm = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
+		kdcs  = flag.String("kdc", "127.0.0.1:7500", "comma-separated KDC addresses")
+		kdbm  = flag.String("kdbm", "127.0.0.1:7510", "KDBM (kadmind) address")
+		admin = flag.String("admin", "", "administrator username")
+		out   = flag.String("out", "srvtab", "srvtab file to write")
+		ws    = flag.String("addr", "127.0.0.1", "this workstation's address")
+	)
+	flag.Parse()
+	services := flag.Args()
+	if *admin == "" || len(services) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ext_srvtab -admin NAME [flags] SERVICE.INSTANCE ...")
+		os.Exit(2)
+	}
+
+	adminP := core.Principal{Name: *admin, Instance: core.AdminInstance, Realm: *realm}
+	fmt.Fprintf(os.Stderr, "Admin password for %v: ", adminP)
+	line, _ := bufio.NewReader(os.Stdin).ReadString('\n')
+	adminPw := strings.TrimRight(line, "\r\n")
+
+	c := client.New(adminP, &client.Config{
+		Realms:  map[string][]string{*realm: strings.Split(*kdcs, ",")},
+		Timeout: 3 * time.Second,
+	})
+	c.Addr = core.AddrFromString(*ws)
+
+	tab := client.NewSrvtab()
+	for _, svc := range services {
+		p, err := core.ParsePrincipal(svc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ext_srvtab:", err)
+			os.Exit(1)
+		}
+		p = p.WithRealm(*realm)
+		key, kvno, err := kadm.ExtractKey(c, *kdbm, adminPw, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ext_srvtab:", err)
+			os.Exit(1)
+		}
+		tab.Set(p, kvno, key)
+		fmt.Printf("extracted key for %v (kvno %d)\n", p, kvno)
+	}
+	if err := tab.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "ext_srvtab:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

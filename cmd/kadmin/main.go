@@ -1,0 +1,112 @@
+// Command kadmin is the administrator's interface to the KDBM (§5.2,
+// §6.3): adding principals, changing other principals' passwords, and
+// inspecting the database. "An administrator is required to enter the
+// password for their admin instance name when they invoke the kadmin
+// program."
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+	"kerberos/internal/kadm"
+)
+
+func main() {
+	var (
+		realm = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
+		kdcs  = flag.String("kdc", "127.0.0.1:7500", "comma-separated KDC addresses")
+		kdbm  = flag.String("kdbm", "127.0.0.1:7510", "KDBM (kadmind) address")
+		admin = flag.String("admin", "", "administrator username (admin instance is implied)")
+		ws    = flag.String("addr", "127.0.0.1", "this workstation's address")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if *admin == "" || len(args) == 0 {
+		usage()
+	}
+
+	adminP := core.Principal{Name: *admin, Instance: core.AdminInstance, Realm: *realm}
+	in := bufio.NewReader(os.Stdin)
+	fmt.Fprintf(os.Stderr, "Admin password for %v: ", adminP)
+	line, _ := in.ReadString('\n')
+	adminPw := strings.TrimRight(line, "\r\n")
+
+	c := client.New(adminP, &client.Config{
+		Realms:  map[string][]string{*realm: strings.Split(*kdcs, ",")},
+		Timeout: 3 * time.Second,
+	})
+	c.Addr = core.AddrFromString(*ws)
+
+	switch args[0] {
+	case "add":
+		if len(args) != 2 {
+			usage()
+		}
+		target := mustPrincipal(args[1], *realm)
+		fmt.Fprintf(os.Stderr, "Password for new principal %v: ", target)
+		pwLine, _ := in.ReadString('\n')
+		key := client.PasswordKey(target, strings.TrimRight(pwLine, "\r\n"))
+		check(kadm.AddPrincipal(c, *kdbm, adminPw, target, key, 0))
+		fmt.Printf("added %v\n", target)
+
+	case "addrandom":
+		if len(args) != 2 {
+			usage()
+		}
+		target := mustPrincipal(args[1], *realm)
+		key, err := des.NewRandomKey()
+		check(err)
+		check(kadm.AddPrincipal(c, *kdbm, adminPw, target, key, 0))
+		fmt.Printf("added %v with a random key\n", target)
+
+	case "cpw":
+		if len(args) != 2 {
+			usage()
+		}
+		target := mustPrincipal(args[1], *realm)
+		fmt.Fprintf(os.Stderr, "New password for %v: ", target)
+		pwLine, _ := in.ReadString('\n')
+		key := client.PasswordKey(target, strings.TrimRight(pwLine, "\r\n"))
+		check(kadm.ChangeOtherPassword(c, *kdbm, adminPw, target, key))
+		fmt.Printf("changed password for %v\n", target)
+
+	case "list":
+		listing, err := kadm.ListPrincipals(c, *kdbm, adminPw)
+		check(err)
+		fmt.Print(listing)
+
+	default:
+		usage()
+	}
+}
+
+func mustPrincipal(s, realm string) core.Principal {
+	p, err := core.ParsePrincipal(s)
+	check(err)
+	return p.WithRealm(realm)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kadmin:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: kadmin -admin NAME [flags] COMMAND
+commands:
+  add NAME[.INSTANCE]        add a principal (prompts for its password)
+  addrandom NAME[.INSTANCE]  add a principal with a random key
+  cpw NAME[.INSTANCE]        change a principal's password
+  list                       list database entries`)
+	os.Exit(2)
+}

@@ -1,0 +1,32 @@
+// Command kdestroy erases the user's tickets (§6.1): run automatically
+// at logout, or by hand when leaving a public workstation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kerberos/internal/client"
+)
+
+func tktFile() string {
+	if f := os.Getenv("KRBTKFILE"); f != "" {
+		return f
+	}
+	return fmt.Sprintf("/tmp/tkt%d", os.Getuid())
+}
+
+func main() {
+	file := flag.String("tktfile", tktFile(), "ticket file")
+	quiet := flag.Bool("q", false, "no output on success")
+	flag.Parse()
+
+	if err := client.DestroyFile(*file); err != nil {
+		fmt.Fprintln(os.Stderr, "kdestroy:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Println("Tickets destroyed.")
+	}
+}

@@ -1,0 +1,97 @@
+// Command kerberosd is the authentication server (§2.2): it answers the
+// initial-ticket and ticket-granting exchanges over UDP and TCP. It
+// performs read-only database operations, so it runs equally well over
+// the master database or a slave's propagated copy (-slave).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kerberos/internal/des"
+	"kerberos/internal/kdb"
+	"kerberos/internal/kdc"
+)
+
+func main() {
+	var (
+		realm  = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
+		dbPath = flag.String("db", "principal.db", "database file")
+		addr   = flag.String("addr", "127.0.0.1:7500", "listen address (udp+tcp)")
+		slave  = flag.Bool("slave", false, "serve a read-only slave copy")
+		reload = flag.Duration("reload-interval", time.Second,
+			"how often to re-read the database file when it changes (kadmind/kpropd write it); 0 disables")
+	)
+	flag.Parse()
+
+	fmt.Fprint(os.Stderr, "Master database password: ")
+	line, _ := bufio.NewReader(os.Stdin).ReadString('\n')
+	masterPw := strings.TrimRight(line, "\r\n")
+
+	db := kdb.New(des.StringToKey(masterPw, *realm))
+	if err := db.Load(*dbPath); err != nil {
+		log.Fatalf("kerberosd: %v", err)
+	}
+	if *slave {
+		db.SetReadOnly(true)
+	}
+	logger := log.New(os.Stderr, "kerberosd ", log.LstdFlags)
+	server := kdc.New(*realm, db, kdc.WithLogger(logger))
+	l, err := kdc.Serve(server, *addr)
+	if err != nil {
+		log.Fatalf("kerberosd: %v", err)
+	}
+	role := "master"
+	if *slave {
+		role = "slave"
+	}
+	logger.Printf("serving realm %s (%s, %d principals) on %s", *realm, role, db.Len(), l.Addr())
+
+	// The historical daemons shared one ndbm file on the master machine;
+	// our in-memory store re-reads the file when another daemon (kadmind,
+	// kpropd) has rewritten it.
+	stopReload := make(chan struct{})
+	if *reload > 0 {
+		go func() {
+			var lastMod time.Time
+			if fi, err := os.Stat(*dbPath); err == nil {
+				lastMod = fi.ModTime()
+			}
+			ticker := time.NewTicker(*reload)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopReload:
+					return
+				case <-ticker.C:
+					fi, err := os.Stat(*dbPath)
+					if err != nil || !fi.ModTime().After(lastMod) {
+						continue
+					}
+					lastMod = fi.ModTime()
+					if err := db.Load(*dbPath); err != nil {
+						logger.Printf("reloading database: %v", err)
+						continue
+					}
+					logger.Printf("reloaded database (%d principals)", db.Len())
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stopReload)
+	l.Close()
+	logger.Printf("served %d AS and %d TGS requests (%d errors)",
+		server.Stats().ASRequests.Load(), server.Stats().TGSRequests.Load(),
+		server.Stats().Errors.Load())
+}

@@ -1,0 +1,69 @@
+// Command kinit obtains a ticket-granting ticket (§6.1): "the user can
+// run the kinit program to obtain a new ticket for the ticket-granting
+// server. As when logging in, a password must be provided in order to
+// get it."
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+)
+
+// tktFile resolves the ticket file path like the classic library:
+// $KRBTKFILE or /tmp/tkt<uid>.
+func tktFile() string {
+	if f := os.Getenv("KRBTKFILE"); f != "" {
+		return f
+	}
+	return fmt.Sprintf("/tmp/tkt%d", os.Getuid())
+}
+
+func main() {
+	var (
+		realm  = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
+		kdcs   = flag.String("kdc", "127.0.0.1:7500", "comma-separated KDC addresses (master first)")
+		user   = flag.String("user", "", "principal (name or name.instance)")
+		life   = flag.Duration("life", 8*time.Hour, "requested ticket lifetime")
+		file   = flag.String("tktfile", tktFile(), "ticket file")
+		wsAddr = flag.String("addr", "127.0.0.1", "this workstation's address")
+	)
+	flag.Parse()
+	if *user == "" {
+		fmt.Fprintln(os.Stderr, "kinit: -user required")
+		os.Exit(1)
+	}
+	p, err := core.ParsePrincipal(*user)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kinit:", err)
+		os.Exit(1)
+	}
+	p = p.WithRealm(*realm)
+
+	fmt.Fprintf(os.Stderr, "Password for %v: ", p)
+	line, _ := bufio.NewReader(os.Stdin).ReadString('\n')
+	password := strings.TrimRight(line, "\r\n")
+
+	c := client.New(p, &client.Config{
+		Realms:  map[string][]string{p.Realm: strings.Split(*kdcs, ",")},
+		Timeout: 3 * time.Second,
+	})
+	c.Addr = core.AddrFromString(*wsAddr)
+	cred, err := c.LoginService(password,
+		core.TGSPrincipal(p.Realm, p.Realm), core.LifetimeFromDuration(*life))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kinit:", err)
+		os.Exit(1)
+	}
+	if err := c.Cache.Save(*file); err != nil {
+		fmt.Fprintln(os.Stderr, "kinit:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ticket-granting ticket for %v, expires %v\n", p, cred.ExpiresAt().Local())
+}

@@ -1,0 +1,45 @@
+// Command klist displays the tickets in the user's ticket file (§6.1):
+// "A user executing the klist command out of curiosity may be surprised
+// at all the tickets which have silently been obtained on her/his
+// behalf."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kerberos/internal/client"
+)
+
+func tktFile() string {
+	if f := os.Getenv("KRBTKFILE"); f != "" {
+		return f
+	}
+	return fmt.Sprintf("/tmp/tkt%d", os.Getuid())
+}
+
+func main() {
+	file := flag.String("tktfile", tktFile(), "ticket file")
+	flag.Parse()
+
+	cc, err := client.LoadCredCache(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "klist:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Ticket file: %s\nPrincipal:   %v\n\n", *file, cc.Principal())
+	fmt.Printf("%-24s %-24s %s\n", "Issued", "Expires", "Principal")
+	now := time.Now()
+	for _, c := range cc.List() {
+		status := ""
+		if !c.Valid(now) {
+			status = "  (expired)"
+		}
+		fmt.Printf("%-24s %-24s %v%s\n",
+			c.Issued.Go().Local().Format("Jan 2 15:04:05 2006"),
+			c.ExpiresAt().Local().Format("Jan 2 15:04:05 2006"),
+			c.Service, status)
+	}
+}

@@ -1,0 +1,62 @@
+// Command kpasswd changes the user's Kerberos password (§5.2): "They
+// are required to enter their old password when they invoke the program.
+// This password is used to fetch a ticket for the KDBM server."
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/kadm"
+)
+
+func main() {
+	var (
+		realm = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
+		kdcs  = flag.String("kdc", "127.0.0.1:7500", "comma-separated KDC addresses")
+		kdbm  = flag.String("kdbm", "127.0.0.1:7510", "KDBM (kadmind) address on the master")
+		user  = flag.String("user", "", "principal (name or name.instance)")
+		ws    = flag.String("addr", "127.0.0.1", "this workstation's address")
+	)
+	flag.Parse()
+	if *user == "" {
+		fmt.Fprintln(os.Stderr, "kpasswd: -user required")
+		os.Exit(1)
+	}
+	p, err := core.ParsePrincipal(*user)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kpasswd:", err)
+		os.Exit(1)
+	}
+	p = p.WithRealm(*realm)
+
+	in := bufio.NewReader(os.Stdin)
+	read := func(prompt string) string {
+		fmt.Fprint(os.Stderr, prompt)
+		line, _ := in.ReadString('\n')
+		return strings.TrimRight(line, "\r\n")
+	}
+	oldPw := read(fmt.Sprintf("Old password for %v: ", p))
+	newPw := read("New password: ")
+	if read("Retype new password: ") != newPw {
+		fmt.Fprintln(os.Stderr, "kpasswd: passwords do not match")
+		os.Exit(1)
+	}
+
+	c := client.New(p, &client.Config{
+		Realms:  map[string][]string{p.Realm: strings.Split(*kdcs, ",")},
+		Timeout: 3 * time.Second,
+	})
+	c.Addr = core.AddrFromString(*ws)
+	if err := kadm.ChangePassword(c, *kdbm, oldPw, newPw); err != nil {
+		fmt.Fprintln(os.Stderr, "kpasswd:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Password changed.")
+}

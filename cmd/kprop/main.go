@@ -1,0 +1,59 @@
+// Command kprop pushes the master database to slave kpropd daemons
+// (§5.3, Figure 13), either once or on the hourly schedule the paper
+// describes.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kerberos/internal/des"
+	"kerberos/internal/kdb"
+	"kerberos/internal/kprop"
+)
+
+func main() {
+	var (
+		realm    = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
+		dbPath   = flag.String("db", "principal.db", "master database file")
+		slaves   = flag.String("slaves", "", "comma-separated kpropd addresses")
+		interval = flag.Duration("interval", 0, "propagation interval (0 = push once and exit; the paper used 1h)")
+	)
+	flag.Parse()
+	if *slaves == "" {
+		log.Fatal("kprop: -slaves required")
+	}
+
+	fmt.Fprint(os.Stderr, "Master database password: ")
+	line, _ := bufio.NewReader(os.Stdin).ReadString('\n')
+	masterPw := strings.TrimRight(line, "\r\n")
+
+	db := kdb.New(des.StringToKey(masterPw, *realm))
+	if err := db.Load(*dbPath); err != nil {
+		log.Fatalf("kprop: %v", err)
+	}
+	logger := log.New(os.Stderr, "kprop ", log.LstdFlags)
+	m := kprop.NewMaster(db, strings.Split(*slaves, ","), logger)
+
+	if err := m.PropagateAll(); err != nil {
+		logger.Printf("initial push: %v", err)
+	}
+	if *interval == 0 {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go m.Run(ctx, *interval)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	cancel()
+	_ = time.Second
+}

@@ -1,0 +1,78 @@
+// Command kpropd is the slave-side propagation daemon of §5.3: it
+// receives full database dumps from kprop, verifies the checksum sealed
+// in the master database key, installs verified dumps into the local
+// read-only copy, and saves them for the colocated slave kerberosd.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kerberos/internal/des"
+	"kerberos/internal/kdb"
+	"kerberos/internal/kprop"
+)
+
+func main() {
+	var (
+		realm  = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
+		dbPath = flag.String("db", "principal.slave.db", "slave database file")
+		addr   = flag.String("addr", "127.0.0.1:7520", "listen address (tcp)")
+	)
+	flag.Parse()
+
+	fmt.Fprint(os.Stderr, "Master database password: ")
+	line, _ := bufio.NewReader(os.Stdin).ReadString('\n')
+	masterPw := strings.TrimRight(line, "\r\n")
+
+	db := kdb.New(des.StringToKey(masterPw, *realm))
+	if err := db.Load(*dbPath); err != nil && !os.IsNotExist(err) {
+		// A fresh slave starts empty; anything else is fatal.
+		if _, statErr := os.Stat(*dbPath); statErr == nil {
+			log.Fatalf("kpropd: %v", err)
+		}
+	}
+	logger := log.New(os.Stderr, "kpropd ", log.LstdFlags)
+	slave := kprop.NewSlave(db, logger)
+	l, err := kprop.Serve(slave, *addr)
+	if err != nil {
+		log.Fatalf("kpropd: %v", err)
+	}
+	logger.Printf("receiving for realm %s on %s", *realm, l.Addr())
+
+	// Persist each installed update.
+	stop := make(chan struct{})
+	go func() {
+		last := uint64(0)
+		ticker := time.NewTicker(2 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if n := slave.Updates(); n != last {
+					last = n
+					if err := db.Save(*dbPath); err != nil {
+						logger.Printf("saving: %v", err)
+					} else {
+						logger.Printf("saved update %d to %s", n, *dbPath)
+					}
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	l.Close()
+}

@@ -1,0 +1,78 @@
+// Command krsh runs a command on a remote host, authenticating with
+// Kerberos first and falling back to the .rhosts method if that fails
+// (§7.1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kerberos/internal/apps/rsh"
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+)
+
+func tktFile() string {
+	if f := os.Getenv("KRBTKFILE"); f != "" {
+		return f
+	}
+	return fmt.Sprintf("/tmp/tkt%d", os.Getuid())
+}
+
+func main() {
+	var (
+		realm = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
+		kdcs  = flag.String("kdc", "127.0.0.1:7500", "comma-separated KDC addresses")
+		host  = flag.String("host", "priam", "remote host name (service instance)")
+		addr  = flag.String("hostaddr", "127.0.0.1:7540", "remote krshd address")
+		file  = flag.String("tktfile", tktFile(), "ticket file")
+		user  = flag.String("user", "", "local username for the .rhosts fallback")
+		ws    = flag.String("addr", "127.0.0.1", "this workstation's address")
+		encr  = flag.Bool("x", false, "encrypted session: command and output travel as private messages")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: krsh [flags] COMMAND...")
+		os.Exit(2)
+	}
+	command := strings.Join(flag.Args(), " ")
+	service := core.Principal{Name: "rcmd", Instance: *host, Realm: *realm}
+
+	// Try Kerberos when a ticket file exists.
+	var krb *client.Client
+	if cc, err := client.LoadCredCache(*file); err == nil {
+		krb = client.New(cc.Principal(), &client.Config{
+			Realms:  map[string][]string{*realm: strings.Split(*kdcs, ",")},
+			Timeout: 3 * time.Second,
+		})
+		krb.Cache = cc
+		krb.Addr = core.AddrFromString(*ws)
+	}
+	localUser := *user
+	if localUser == "" && krb != nil {
+		localUser = krb.Principal.Name
+	}
+	var res rsh.Result
+	var err error
+	if *encr {
+		if krb == nil {
+			fmt.Fprintln(os.Stderr, "krsh: -x requires Kerberos tickets (run kinit)")
+			os.Exit(1)
+		}
+		res, err = rsh.RunPrivate(krb, *addr, service, command)
+	} else {
+		res, err = rsh.Run(krb, *addr, service, localUser, command)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "krsh:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Output)
+	// Persist any freshly obtained service tickets.
+	if krb != nil {
+		_ = krb.Cache.Save(*file)
+	}
+}

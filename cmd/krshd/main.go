@@ -1,0 +1,60 @@
+// Command krshd is the Kerberized remote-shell daemon of §7.1. It
+// authenticates clients with Kerberos first and falls back to .rhosts
+// address checks, exactly as Athena's rshd did.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"kerberos/internal/apps/rsh"
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+)
+
+func main() {
+	var (
+		realm    = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
+		hostname = flag.String("hostname", "priam", "this host's name (service instance)")
+		srvtab   = flag.String("srvtab", "srvtab", "srvtab file with the rcmd.<host> key")
+		addr     = flag.String("addr", "127.0.0.1:7540", "listen address")
+		rhosts   = flag.String("rhosts", "", "comma-separated addr/user pairs to trust (fallback)")
+	)
+	flag.Parse()
+
+	tab, err := client.LoadSrvtab(*srvtab)
+	if err != nil {
+		log.Fatalf("krshd: %v", err)
+	}
+	svcP := core.Principal{Name: "rcmd", Instance: *hostname, Realm: *realm}
+	server := &rsh.Server{
+		Hostname: *hostname,
+		Svc:      client.NewService(svcP, tab),
+		Rhosts:   rsh.NewRhosts(),
+	}
+	for _, pair := range strings.Split(*rhosts, ",") {
+		if pair == "" {
+			continue
+		}
+		host, user, ok := strings.Cut(pair, "/")
+		if !ok {
+			log.Fatalf("krshd: bad -rhosts entry %q", pair)
+		}
+		server.Rhosts.Allow(core.AddrFromString(host), user)
+	}
+	l, err := rsh.Serve(server, *addr)
+	if err != nil {
+		log.Fatalf("krshd: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "krshd: serving %v on %s\n", svcP, l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	l.Close()
+}

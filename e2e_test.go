@@ -1,0 +1,323 @@
+package kerberos
+
+// End-to-end test of the command-line programs: builds every binary and
+// walks an administrator's day from §6.3 — initialize the database,
+// start the daemons, register a user and a service, kinit / klist /
+// kpasswd / kdestroy, extract a srvtab, run a Kerberized remote command,
+// and propagate the database to a slave that then serves logins.
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"kerberos/internal/kdb"
+)
+
+const e2eRealm = "E2E.TEST.REALM"
+
+// buildBinaries compiles every cmd into dir once per test run.
+func buildBinaries(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	names := []string{
+		"kdb_init", "kerberosd", "kadmind", "kprop", "kpropd",
+		"kinit", "klist", "kdestroy", "kpasswd", "kadmin",
+		"ext_srvtab", "krsh", "krshd", "ktrace",
+	}
+	bins := make(map[string]string, len(names))
+	for _, n := range names {
+		out := filepath.Join(dir, n)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+n)
+		cmd.Dir = "."
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", n, err, msg)
+		}
+		bins[n] = out
+	}
+	return bins
+}
+
+// run executes a binary to completion with the given stdin lines.
+func run(t *testing.T, bin string, stdin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdin = strings.NewReader(stdin)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	return out.String(), err
+}
+
+// daemon starts a long-running binary and scans its stderr for the
+// "on ADDR" line announcing the bound address.
+func daemon(t *testing.T, bin string, stdin string, args ...string) (addr string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdin = strings.NewReader(stdin)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	re := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(30 * time.Second)
+	found := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if m := re.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case found <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case a := <-found:
+		// Keep draining stderr so the daemon never blocks on a full pipe.
+		return a
+	case <-deadline:
+		t.Fatalf("%s never announced its address", bin)
+		return ""
+	}
+}
+
+func TestEndToEndBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every binary")
+	}
+	dir := t.TempDir()
+	bins := buildBinaries(t, dir)
+	dbPath := filepath.Join(dir, "principal.db")
+	aclPath := filepath.Join(dir, "kadm.acl")
+	tktPath := filepath.Join(dir, "tkt")
+	const masterPw = "e2e-master-password"
+
+	// --- kdb_init: create the realm with an administrator -------------
+	out, err := run(t, bins["kdb_init"], masterPw+"\nadmin-pw\n",
+		"-realm", e2eRealm, "-db", dbPath, "-admin", "root", "-acl", aclPath)
+	if err != nil {
+		t.Fatalf("kdb_init: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "initialized realm") {
+		t.Fatalf("kdb_init output: %s", out)
+	}
+
+	// --- daemons -------------------------------------------------------
+	kdcAddr := daemon(t, bins["kerberosd"], masterPw+"\n",
+		"-realm", e2eRealm, "-db", dbPath, "-addr", "127.0.0.1:0")
+	kdbmAddr := daemon(t, bins["kadmind"], masterPw+"\n",
+		"-realm", e2eRealm, "-db", dbPath, "-acl", aclPath, "-addr", "127.0.0.1:0",
+		"-save-interval", "1")
+
+	// --- kadmin: the administrator registers a user and a service -----
+	out, err = run(t, bins["kadmin"], "admin-pw\nuser-pw-1\n",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-kdbm", kdbmAddr, "-admin", "root",
+		"add", "jis")
+	if err != nil {
+		t.Fatalf("kadmin add: %v\n%s", err, out)
+	}
+	out, err = run(t, bins["kadmin"], "admin-pw\n",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-kdbm", kdbmAddr, "-admin", "root",
+		"addrandom", "rcmd.e2ehost")
+	if err != nil {
+		t.Fatalf("kadmin addrandom: %v\n%s", err, out)
+	}
+	out, err = run(t, bins["kadmin"], "admin-pw\n",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-kdbm", kdbmAddr, "-admin", "root",
+		"list")
+	if err != nil || !strings.Contains(out, "jis.") || !strings.Contains(out, "rcmd.e2ehost") {
+		t.Fatalf("kadmin list: %v\n%s", err, out)
+	}
+
+	// --- kinit / klist ---------------------------------------------------
+	// kadmind saves its database every second and kerberosd reloads it on
+	// change, so the new principal takes a couple of seconds to become
+	// visible to the KDC.
+	waitFor(t, 20*time.Second, func() bool {
+		out, err = run(t, bins["kinit"], "user-pw-1\n",
+			"-realm", e2eRealm, "-kdc", kdcAddr, "-user", "jis", "-tktfile", tktPath)
+		return err == nil
+	})
+	if !strings.Contains(out, "ticket-granting ticket for jis@"+e2eRealm) {
+		t.Fatalf("kinit output: %s", out)
+	}
+	out, err = run(t, bins["klist"], "", "-tktfile", tktPath)
+	if err != nil || !strings.Contains(out, "krbtgt."+e2eRealm) {
+		t.Fatalf("klist: %v\n%s", err, out)
+	}
+	// A wrong password must fail.
+	out, err = run(t, bins["kinit"], "wrong-guess\n",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-user", "jis", "-tktfile", tktPath+".bad")
+	if err == nil {
+		t.Fatalf("kinit with wrong password succeeded:\n%s", out)
+	}
+
+	// --- ext_srvtab + krshd + krsh --------------------------------------
+	srvtabPath := filepath.Join(dir, "srvtab")
+	out, err = run(t, bins["ext_srvtab"], "admin-pw\n",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-kdbm", kdbmAddr, "-admin", "root",
+		"-out", srvtabPath, "rcmd.e2ehost")
+	if err != nil || !strings.Contains(out, "extracted key for rcmd.e2ehost") {
+		t.Fatalf("ext_srvtab: %v\n%s", err, out)
+	}
+	rshAddr := daemon(t, bins["krshd"], "",
+		"-realm", e2eRealm, "-hostname", "e2ehost", "-srvtab", srvtabPath,
+		"-addr", "127.0.0.1:0")
+	out, err = run(t, bins["krsh"], "",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-host", "e2ehost",
+		"-hostaddr", rshAddr, "-tktfile", tktPath, "whoami")
+	if err != nil || !strings.Contains(out, "jis@"+e2eRealm+" via kerberos") {
+		t.Fatalf("krsh: %v\n%s", err, out)
+	}
+
+	// --- kpasswd ---------------------------------------------------------
+	out, err = run(t, bins["kpasswd"], "user-pw-1\nuser-pw-2\nuser-pw-2\n",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-kdbm", kdbmAddr, "-user", "jis")
+	if err != nil || !strings.Contains(out, "Password changed.") {
+		t.Fatalf("kpasswd: %v\n%s", err, out)
+	}
+	// New password works once the change has propagated to the KDC's
+	// copy; after that, the old one must be dead.
+	waitFor(t, 20*time.Second, func() bool {
+		out, err = run(t, bins["kinit"], "user-pw-2\n",
+			"-realm", e2eRealm, "-kdc", kdcAddr, "-user", "jis", "-tktfile", tktPath)
+		return err == nil
+	})
+	if out, err = run(t, bins["kinit"], "user-pw-1\n",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-user", "jis", "-tktfile", tktPath+".old"); err == nil {
+		t.Fatalf("old password still valid:\n%s", out)
+	}
+
+	// --- propagation to a slave that then serves logins -----------------
+	// kadmind saves the database every second; wait until the on-disk
+	// master database carries jis's post-kpasswd key (kvno 2) before
+	// dumping it to the slave.
+	masterKey := StringToKey(masterPw, e2eRealm)
+	waitFor(t, 20*time.Second, func() bool {
+		db := kdb.New(masterKey)
+		if err := db.Load(dbPath); err != nil {
+			return false
+		}
+		e, err := db.Get("jis", "")
+		return err == nil && e.KVNO == 2
+	})
+	slaveDB := filepath.Join(dir, "slave.db")
+	kpropdAddr := daemon(t, bins["kpropd"], masterPw+"\n",
+		"-realm", e2eRealm, "-db", slaveDB, "-addr", "127.0.0.1:0")
+	out, err = run(t, bins["kprop"], masterPw+"\n",
+		"-realm", e2eRealm, "-db", dbPath, "-slaves", kpropdAddr)
+	if err != nil {
+		t.Fatalf("kprop: %v\n%s", err, out)
+	}
+	// Wait for the slave to save its copy, then serve from it.
+	waitFor(t, 15*time.Second, func() bool {
+		_, err := os.Stat(slaveDB)
+		return err == nil
+	})
+	slaveKDC := daemon(t, bins["kerberosd"], masterPw+"\n",
+		"-realm", e2eRealm, "-db", slaveDB, "-addr", "127.0.0.1:0", "-slave")
+	out, err = run(t, bins["kinit"], "user-pw-2\n",
+		"-realm", e2eRealm, "-kdc", slaveKDC, "-user", "jis",
+		"-tktfile", filepath.Join(dir, "tkt-slave"))
+	if err != nil {
+		t.Fatalf("kinit against slave: %v\n%s", err, out)
+	}
+
+	// --- ktrace: the Figure 9 wire trace ---------------------------------
+	out, err = run(t, bins["ktrace"], "")
+	if err != nil || !strings.Contains(out, "Both sides now share a session key") {
+		t.Fatalf("ktrace: %v\n%s", err, out)
+	}
+
+	// --- kdestroy --------------------------------------------------------
+	out, err = run(t, bins["kdestroy"], "", "-tktfile", tktPath)
+	if err != nil || !strings.Contains(out, "Tickets destroyed.") {
+		t.Fatalf("kdestroy: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(tktPath); !os.IsNotExist(err) {
+		t.Error("ticket file survived kdestroy")
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// TestKrshEncryptedMode drives the -x flag of the krsh binary.
+func TestKrshEncryptedMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	bins := buildBinaries(t, dir)
+	dbPath := filepath.Join(dir, "principal.db")
+	tktPath := filepath.Join(dir, "tkt")
+	const masterPw = "x-master"
+
+	if out, err := run(t, bins["kdb_init"], masterPw+"\nadmin-pw\n",
+		"-realm", e2eRealm, "-db", dbPath, "-admin", "root",
+		"-acl", filepath.Join(dir, "acl")); err != nil {
+		t.Fatalf("kdb_init: %v\n%s", err, out)
+	}
+	kdcAddr := daemon(t, bins["kerberosd"], masterPw+"\n",
+		"-realm", e2eRealm, "-db", dbPath, "-addr", "127.0.0.1:0")
+	kdbmAddr := daemon(t, bins["kadmind"], masterPw+"\n",
+		"-realm", e2eRealm, "-db", dbPath, "-acl", filepath.Join(dir, "acl"),
+		"-addr", "127.0.0.1:0")
+	if out, err := run(t, bins["kadmin"], "admin-pw\nuser-pw\n",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-kdbm", kdbmAddr, "-admin", "root",
+		"add", "jis"); err != nil {
+		t.Fatalf("kadmin: %v\n%s", err, out)
+	}
+	if out, err := run(t, bins["kadmin"], "admin-pw\n",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-kdbm", kdbmAddr, "-admin", "root",
+		"addrandom", "rcmd.xhost"); err != nil {
+		t.Fatalf("kadmin addrandom: %v\n%s", err, out)
+	}
+	srvtabPath := filepath.Join(dir, "srvtab")
+	if out, err := run(t, bins["ext_srvtab"], "admin-pw\n",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-kdbm", kdbmAddr, "-admin", "root",
+		"-out", srvtabPath, "rcmd.xhost"); err != nil {
+		t.Fatalf("ext_srvtab: %v\n%s", err, out)
+	}
+	var out string
+	var err error
+	waitFor(t, 20*time.Second, func() bool {
+		out, err = run(t, bins["kinit"], "user-pw\n",
+			"-realm", e2eRealm, "-kdc", kdcAddr, "-user", "jis", "-tktfile", tktPath)
+		return err == nil
+	})
+	rshAddr := daemon(t, bins["krshd"], "",
+		"-realm", e2eRealm, "-hostname", "xhost", "-srvtab", srvtabPath,
+		"-addr", "127.0.0.1:0")
+	out, err = run(t, bins["krsh"], "",
+		"-realm", e2eRealm, "-kdc", kdcAddr, "-host", "xhost",
+		"-hostaddr", rshAddr, "-tktfile", tktPath, "-x", "whoami")
+	if err != nil || !strings.Contains(out, "via kerberos-private") {
+		t.Fatalf("krsh -x: %v\n%s", err, out)
+	}
+}

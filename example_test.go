@@ -1,0 +1,87 @@
+package kerberos_test
+
+import (
+	"fmt"
+	"log"
+
+	"kerberos"
+)
+
+// ExampleRealm shows the three authentication phases of the paper
+// (Figure 9) against an in-process realm.
+func ExampleRealm() {
+	realm, err := kerberos.NewRealm(kerberos.RealmConfig{
+		Name:           "ATHENA.MIT.EDU",
+		MasterPassword: "master-password",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer realm.Close()
+
+	realm.AddUser("jis", "zanzibar")
+	srvtab, _ := realm.AddService("rlogin", "priam")
+
+	// Phase 1: initial ticket (kinit).
+	user, err := realm.NewLoggedInClient("jis", "zanzibar")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Phases 2+3: service ticket, then the application exchange with
+	// mutual authentication.
+	service := kerberos.Principal{Name: "rlogin", Instance: "priam", Realm: realm.Name}
+	apReq, session, err := user.MkReq(service, 0, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := realm.NewServiceContext("rlogin", "priam", srvtab)
+	serverSession, err := server.ReadRequest(apReq, kerberos.Addr{127, 0, 0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server authenticated:", serverSession.Client)
+	fmt.Println("mutual auth ok:", session.VerifyReply(serverSession.Reply) == nil)
+	// Output:
+	// server authenticated: jis@ATHENA.MIT.EDU
+	// mutual auth ok: true
+}
+
+// ExampleTrustRealm shows §7.2 cross-realm authentication.
+func ExampleTrustRealm() {
+	athena, _ := kerberos.NewRealm(kerberos.RealmConfig{Name: "ATHENA.MIT.EDU", MasterPassword: "a"})
+	defer athena.Close()
+	lcs, _ := kerberos.NewRealm(kerberos.RealmConfig{Name: "LCS.MIT.EDU", MasterPassword: "b"})
+	defer lcs.Close()
+	if err := kerberos.TrustRealm(athena, lcs); err != nil {
+		log.Fatal(err)
+	}
+	athena.AddUser("jis", "zanzibar")
+	lcs.AddService("rlogin", "ai-lab")
+
+	user, err := athena.NewLoggedInClient("jis", "zanzibar", lcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cred, err := user.GetCredentials(kerberos.Principal{
+		Name: "rlogin", Instance: "ai-lab", Realm: "LCS.MIT.EDU"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ticket for:", cred.Service)
+	fmt.Println("issued by realm:", cred.TicketRealm)
+	// Output:
+	// ticket for: rlogin.ai-lab@LCS.MIT.EDU
+	// issued by realm: LCS.MIT.EDU
+}
+
+// ExampleParsePrincipal parses the naming forms of Figure 2.
+func ExampleParsePrincipal() {
+	for _, s := range []string{"bcn", "treese.root", "rlogin.priam@ATHENA.MIT.EDU"} {
+		p, _ := kerberos.ParsePrincipal(s)
+		fmt.Printf("name=%q instance=%q realm=%q\n", p.Name, p.Instance, p.Realm)
+	}
+	// Output:
+	// name="bcn" instance="" realm=""
+	// name="treese" instance="root" realm=""
+	// name="rlogin" instance="priam" realm="ATHENA.MIT.EDU"
+}

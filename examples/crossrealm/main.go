@@ -1,0 +1,82 @@
+// Cross-realm authentication (§7.2): a user registered at Project Athena
+// uses a service at the Laboratory for Computer Science, on the strength
+// of the authentication provided by the local realm. The two realms
+// share one inter-realm key; the final ticket records where the user was
+// originally authenticated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kerberos"
+	"kerberos/internal/core"
+)
+
+func main() {
+	athena, err := kerberos.NewRealm(kerberos.RealmConfig{
+		Name: "ATHENA.MIT.EDU", MasterPassword: "athena-master",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer athena.Close()
+	lcs, err := kerberos.NewRealm(kerberos.RealmConfig{
+		Name: "LCS.MIT.EDU", MasterPassword: "lcs-master",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lcs.Close()
+
+	// "the administrators of each pair of realms select a key to be
+	// shared between their realms."
+	if err := kerberos.TrustRealm(athena, lcs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("realms ATHENA.MIT.EDU and LCS.MIT.EDU now share an inter-realm key")
+
+	// jis is registered only at Athena; the rlogin service only at LCS.
+	if err := athena.AddUser("jis", "zanzibar"); err != nil {
+		log.Fatal(err)
+	}
+	srvtab, err := lcs.AddService("rlogin", "ai-lab")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The client knows both realms' KDCs (its krb.conf).
+	user, err := athena.NewLoggedInClient("jis", "zanzibar", lcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("jis authenticated locally at ATHENA.MIT.EDU")
+
+	// Asking for a service in the remote realm transparently fetches a
+	// cross-realm TGT from Athena's TGS, then a service ticket from
+	// LCS's TGS.
+	remote := core.Principal{Name: "rlogin", Instance: "ai-lab", Realm: "LCS.MIT.EDU"}
+	if _, err := user.GetCredentials(remote); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("obtained ticket for rlogin.ai-lab@LCS.MIT.EDU via cross-realm TGS exchange")
+	fmt.Println("\nklist:")
+	for _, c := range user.Cache.List() {
+		fmt.Printf("  %v (issued by %s)\n", c.Service, c.TicketRealm)
+	}
+
+	// The LCS service verifies the ticket; the client's realm field
+	// names the realm that originally authenticated the user, so the
+	// service can decide how much to trust it.
+	apReq, _, err := user.MkReq(remote, 0, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := lcs.NewServiceContext("rlogin", "ai-lab", srvtab)
+	sess, err := svc.ReadRequest(apReq, kerberos.Addr{127, 0, 0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLCS service authenticated %v — originally authenticated by realm %s\n",
+		sess.Client, sess.Client.Realm)
+}

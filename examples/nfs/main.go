@@ -1,0 +1,130 @@
+// NFS case study (the paper's appendix): a workstation user logs in,
+// their home directory is located via Hesiod and mounted through the
+// modified NFS using the Kerberos credential-mapping request, and file
+// access runs under the mapped server credential. Also demonstrates the
+// friendly "nobody" fallback and the trusted-mode masquerade the design
+// eliminates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kerberos"
+	"kerberos/internal/apps/login"
+	"kerberos/internal/core"
+	"kerberos/internal/hesiod"
+	"kerberos/internal/nfs"
+	"kerberos/internal/vfs"
+)
+
+func main() {
+	realm, err := kerberos.NewRealm(kerberos.RealmConfig{
+		Name: "ATHENA.MIT.EDU", MasterPassword: "master",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer realm.Close()
+	if err := realm.AddUser("jis", "zanzibar"); err != nil {
+		log.Fatal(err)
+	}
+	nfsTab, err := realm.AddService("nfs", "helen")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nfsPrincipal := core.Principal{Name: "nfs", Instance: "helen", Realm: realm.Name}
+
+	// The file server: jis's home directory lives on "helen" with mode
+	// 0700, exactly as private Athena home directories did.
+	fs := vfs.New()
+	fs.MkdirAll("/export/jis", vfs.Root, 0o755)
+	fs.Chown("/export/jis", vfs.Root, 1001, 100)
+	fs.Chmod("/export/jis", vfs.Root, 0o700)
+	fs.Write("/export/jis/.cshrc", vfs.Cred{UID: 1001, GIDs: []uint32{100}},
+		[]byte("setenv PRINTER thesis-room"), 0o644)
+
+	server := nfs.NewServer(nfs.ServerConfig{
+		Realm:     realm.Name,
+		FS:        fs,
+		Mode:      nfs.ModeMapped, // the hybrid design the authors shipped
+		Friendly:  true,           // unmapped requests become "nobody"
+		Principal: nfsPrincipal,
+		Keytab:    nfsTab,
+		Accounts:  []nfs.Account{{Username: "jis", Cred: vfs.Cred{UID: 1001, GIDs: []uint32{100}}}},
+	})
+	nl, err := nfs.Serve(server, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nl.Close()
+
+	// Hesiod holds the non-sensitive account data and home location.
+	dir := hesiod.NewDirectory()
+	dir.AddPasswd(hesiod.PasswdEntry{Username: "jis", UID: 1001, GID: 100,
+		RealName: "Jeffrey I. Schiller", HomeDir: "/mit/jis", Shell: "/bin/csh"})
+	dir.AddFilsys(hesiod.Filsys{Username: "jis", Server: nl.Addr(),
+		ServerPath: "/export/jis", MountPoint: "/mit/jis"})
+	hs, err := hesiod.Serve(dir, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hs.Close()
+
+	// --- The appendix login flow -------------------------------------
+	sess, err := login.Login(login.Config{
+		Realm:      realm.Name,
+		Krb:        realm.ClientConfig(),
+		HesiodAddr: hs.Addr(),
+		NFSService: nfsPrincipal,
+		WSAddr:     core.Addr{127, 0, 0, 1},
+	}, "jis", "zanzibar")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("login complete")
+	fmt.Println("  constructed passwd entry:", sess.PasswdLine)
+	fmt.Println("  home mounted at:", sess.MountPoint)
+
+	data, err := sess.NFS.Read("/export/jis/.cshrc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ~/.cshrc: %q\n", data)
+	if err := sess.NFS.Write("/export/jis/paper.tex", []byte("\\title{Kerberos}"), 0o600); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  wrote ~/paper.tex as uid 1001 via the kernel credential map")
+	hits, misses := server.CredMap().Stats()
+	fmt.Printf("  credential map: %d hits, %d misses\n", hits, misses)
+
+	// --- The limitation the appendix admits ---------------------------
+	// "The low-level, per-transaction authentication is based on a
+	// <CLIENT-IP-ADDRESS, CLIENT-UID> pair provided unencrypted in the
+	// request packet. This information could be forged ... however ...
+	// this form of attack is limited to when the user in question is
+	// logged in."
+	forger, err := nfs.Dial(nl.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer forger.Close()
+	forger.Cred = nfs.Credential{UID: 1001} // forges jis's <addr,uid> tuple
+	if _, err := forger.Read("/export/jis/paper.tex"); err == nil {
+		fmt.Println("\nwhile jis is logged in, a forged <addr,uid> from the same host is served")
+		fmt.Println("  (the appendix documents exactly this window)")
+	}
+
+	// --- Logout cleans the kernel map --------------------------------
+	if err := sess.Logout(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlogout: mappings flushed, tickets destroyed;",
+		"mappings live:", server.CredMap().Len())
+
+	// "When a user is not logged in, no amount of IP address forgery
+	// will permit unauthorized access to her/his files."
+	if _, err := forger.Read("/export/jis/paper.tex"); err != nil {
+		fmt.Println("after logout the same forgery fails:", err)
+	}
+}

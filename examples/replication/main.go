@@ -1,0 +1,86 @@
+// Database replication and failover (§5.3, Figures 10–13): a master
+// KDC with two read-only slaves, full-dump propagation with the
+// encrypted checksum, authentication surviving a master outage, and the
+// master-only rule for administration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kerberos"
+)
+
+func main() {
+	// One master plus two slaves, each with its own kpropd and KDC.
+	realm, err := kerberos.NewRealm(kerberos.RealmConfig{
+		Name:           "ATHENA.MIT.EDU",
+		MasterPassword: "master",
+		Slaves:         2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer realm.Close()
+	if err := realm.AddUser("jis", "zanzibar"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("master KDC:", realm.MasterAddr())
+	fmt.Println("slave KDCs:", realm.SlaveAddrs())
+
+	// The hourly kprop push: dump, checksum sealed in the master key,
+	// transfer, verify, swap.
+	if err := realm.Propagate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("propagated master database to both slaves")
+
+	// The user's client lists every KDC; it tries them in order.
+	user, err := realm.NewLoggedInClient("jis", "zanzibar")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("login served (master first):", user.Cache.List()[0].Service)
+
+	// Simulate a master outage: a client configured with a dead master
+	// address and live slaves still authenticates — "If the master
+	// machine is down, authentication can still be achieved on one of
+	// the slave machines."
+	cfg := realm.ClientConfig()
+	cfg.Realms[realm.Name] = append([]string{"127.0.0.1:1"}, realm.SlaveAddrs()...)
+	survivor := kerberos.NewClient(kerberos.Principal{Name: "jis", Realm: realm.Name}, cfg)
+	survivor.Addr = kerberos.Addr{127, 0, 0, 1}
+	if _, err := survivor.Login("zanzibar"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("master down: slave KDC served the login")
+
+	// But administration needs the master (Figure 11): a password change
+	// via a slave's database is refused. We show the rule at the
+	// database layer: new users appear on slaves only after propagation.
+	if err := realm.AddUser("newbie", "first-password"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := survivor2(realm, cfg); err != nil {
+		fmt.Println("newbie not yet on slaves (propagation pending):", err)
+	}
+	if err := realm.Propagate(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := survivor2(realm, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after the next propagation, slaves serve the new user too")
+}
+
+// survivor2 tries to log the new user in against slave KDCs only.
+func survivor2(realm *kerberos.Realm, cfg *kerberos.Config) (*kerberos.Client, error) {
+	slaveOnly := &kerberos.Config{
+		Realms:  map[string][]string{realm.Name: realm.SlaveAddrs()},
+		Timeout: cfg.Timeout,
+	}
+	c := kerberos.NewClient(kerberos.Principal{Name: "newbie", Realm: realm.Name}, slaveOnly)
+	c.Addr = kerberos.Addr{127, 0, 0, 1}
+	_, err := c.Login("first-password")
+	return c, err
+}

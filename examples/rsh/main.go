@@ -1,0 +1,122 @@
+// Kerberized applications (§7.1): the remote shell that tries Kerberos
+// first and falls back to .rhosts, the Kerberized post office, and a
+// Zephyr notice — each acting on the authenticated identity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kerberos"
+	"kerberos/internal/apps/pop"
+	"kerberos/internal/apps/rsh"
+	"kerberos/internal/apps/zephyr"
+	"kerberos/internal/core"
+)
+
+func main() {
+	realm, err := kerberos.NewRealm(kerberos.RealmConfig{
+		Name: "ATHENA.MIT.EDU", MasterPassword: "master",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer realm.Close()
+	for _, u := range []string{"jis", "bcn"} {
+		if err := realm.AddUser(u, u+"-password"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- krshd on host "priam" ----------------------------------------
+	rcmdTab, err := realm.AddService("rcmd", "priam")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rshSrv := &rsh.Server{
+		Hostname: "priam",
+		Svc:      realm.NewServiceContext("rcmd", "priam", rcmdTab),
+		Rhosts:   rsh.NewRhosts(),
+	}
+	rshL, err := rsh.Serve(rshSrv, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rshL.Close()
+	rcmd := core.Principal{Name: "rcmd", Instance: "priam", Realm: realm.Name}
+
+	jis, err := realm.NewLoggedInClient("jis", "jis-password")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rsh.Run(jis, rshL.Addr(), rcmd, "jis", "whoami")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("krsh whoami -> %q (no .rhosts file anywhere)\n", res.Output)
+
+	// Without tickets the fallback kicks in — and fails without .rhosts.
+	if _, err := rsh.Run(nil, rshL.Addr(), rcmd, "mallory", "whoami"); err != nil {
+		fmt.Println("no tickets, no .rhosts ->", err)
+	}
+	// Grant a .rhosts entry and the legacy path works (trusting the
+	// address, which is exactly the weakness §1 describes).
+	rshSrv.Rhosts.Allow(kerberos.Addr{127, 0, 0, 1}, "mallory")
+	res, err = rsh.Run(nil, rshL.Addr(), rcmd, "mallory", "whoami")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with .rhosts -> %q\n", res.Output)
+
+	// --- Kerberized POP -------------------------------------------------
+	popTab, err := realm.AddService("pop", "po10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	office := pop.NewOffice()
+	office.Deliver("jis", "From: bcn\nSubject: lunch\n\nwalker at noon?")
+	popSrv := &pop.Server{Office: office, Svc: realm.NewServiceContext("pop", "po10", popTab)}
+	popL, err := pop.Serve(popSrv, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer popL.Close()
+
+	mail, err := pop.Connect(jis, popL.Addr(), core.Principal{Name: "pop", Instance: "po10", Realm: realm.Name})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stat, _ := mail.Command("STAT")
+	msg, _ := mail.Command("RETR 1")
+	fmt.Printf("\npop STAT -> %q\npop RETR 1 -> %.40q...\n", stat, msg)
+	mail.Close()
+
+	// --- Zephyr ---------------------------------------------------------
+	zTab, err := realm.AddService("zephyr", "hub")
+	if err != nil {
+		log.Fatal(err)
+	}
+	zSrv := zephyr.NewServer(realm.NewServiceContext("zephyr", "hub", zTab))
+	zL, err := zephyr.Serve(zSrv, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer zL.Close()
+	zp := core.Principal{Name: "zephyr", Instance: "hub", Realm: realm.Name}
+
+	bcn, err := realm.NewLoggedInClient("bcn", "bcn-password")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := zephyr.Subscribe(bcn, zL.Addr(), zp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	if _, err := zephyr.Send(jis, zL.Addr(), zp, "bcn", "paper accepted at USENIX!"); err != nil {
+		log.Fatal(err)
+	}
+	notice := <-sub.Notices
+	fmt.Printf("\nzephyr notice: from=%s body=%q (sender identity is authenticated)\n",
+		notice.From, notice.Body)
+}

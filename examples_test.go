@@ -1,0 +1,60 @@
+package kerberos
+
+// Runs every example program end to end and checks its key output
+// lines, so the examples can never rot.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs every example")
+	}
+	cases := []struct {
+		name string
+		want []string
+	}{
+		{"quickstart", []string{
+			"phase 1: TGT for krbtgt.ATHENA.MIT.EDU@ATHENA.MIT.EDU",
+			"phase 3: server authenticated client as jis@ATHENA.MIT.EDU",
+			"client verified the server",
+		}},
+		{"nfs", []string{
+			"constructed passwd entry: jis:*:1001:100:",
+			"wrote ~/paper.tex as uid 1001",
+			"after logout the same forgery fails",
+		}},
+		{"crossrealm", []string{
+			"obtained ticket for rlogin.ai-lab@LCS.MIT.EDU",
+			"originally authenticated by realm ATHENA.MIT.EDU",
+		}},
+		{"replication", []string{
+			"master down: slave KDC served the login",
+			"after the next propagation, slaves serve the new user too",
+		}},
+		{"rsh", []string{
+			"via kerberos",
+			"via rhosts",
+			"pop STAT -> \"+OK 1 messages\"",
+			"zephyr notice: from=jis@ATHENA.MIT.EDU",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+c.name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.name, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("example %s output missing %q:\n%s", c.name, want, out)
+				}
+			}
+		})
+	}
+}

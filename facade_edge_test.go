@@ -1,0 +1,134 @@
+package kerberos
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a logger sink safe to read while server goroutines are
+// still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRealmWithLoggerAndSlaves exercises the logging and multi-slave
+// construction paths together.
+func TestRealmWithLoggerAndSlaves(t *testing.T) {
+	var buf syncBuffer
+	realm, err := NewRealm(RealmConfig{
+		Name:           "ATHENA.MIT.EDU",
+		MasterPassword: "m",
+		Logger:         log.New(&buf, "", 0),
+		Slaves:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer realm.Close()
+	if err := realm.AddUser("jis", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := realm.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "kprop") {
+		t.Error("propagation not logged")
+	}
+	if _, err := realm.NewLoggedInClient("jis", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AS issued") {
+		t.Error("AS issue not logged")
+	}
+}
+
+// TestTrustRealmTwice: re-trusting the same pair fails cleanly (the
+// inter-realm entries already exist) instead of silently rotating keys.
+func TestTrustRealmTwice(t *testing.T) {
+	a := testRealm(t)
+	b, err := NewRealm(RealmConfig{Name: "LCS.MIT.EDU", MasterPassword: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := TrustRealm(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := TrustRealm(a, b); err == nil {
+		t.Error("second TrustRealm silently replaced the inter-realm key")
+	}
+}
+
+// TestAddServiceDuplicate: re-registering a service errors rather than
+// rotating its key behind running servers' backs.
+func TestAddServiceDuplicate(t *testing.T) {
+	realm := testRealm(t)
+	if _, err := realm.AddService("rlogin", "priam"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := realm.AddService("rlogin", "priam"); err == nil {
+		t.Error("duplicate AddService succeeded")
+	}
+}
+
+// TestKDCAddrOrdering: clients try the master first, then slaves.
+func TestKDCAddrOrdering(t *testing.T) {
+	realm, err := NewRealm(RealmConfig{Name: "ATHENA.MIT.EDU", MasterPassword: "m", Slaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer realm.Close()
+	addrs := realm.KDCAddrs()
+	if len(addrs) != 3 || addrs[0] != realm.MasterAddr() {
+		t.Errorf("KDCAddrs = %v (master %s)", addrs, realm.MasterAddr())
+	}
+	cfg := realm.ClientConfig()
+	if got := cfg.Realms[realm.Name]; len(got) != 3 || got[0] != realm.MasterAddr() {
+		t.Errorf("ClientConfig order = %v", got)
+	}
+}
+
+// TestRealmClockPlumbing: a custom clock reaches the KDC, so tickets are
+// issued at simulated time.
+func TestRealmClockPlumbing(t *testing.T) {
+	fixed := time.Date(1988, 2, 9, 12, 0, 0, 0, time.UTC)
+	realm, err := NewRealm(RealmConfig{
+		Name: "ATHENA.MIT.EDU", MasterPassword: "m",
+		Clock: func() time.Time { return fixed },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer realm.Close()
+	if err := realm.AddUser("jis", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := realm.NewLoggedInClient("jis", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := c.Cache.List()[0]
+	if !tgt.Issued.Go().Equal(fixed) {
+		t.Errorf("TGT issued at %v, want %v", tgt.Issued.Go(), fixed)
+	}
+	if !tgt.ExpiresAt().Equal(fixed.Add(8 * time.Hour)) {
+		t.Errorf("TGT expires at %v", tgt.ExpiresAt())
+	}
+}

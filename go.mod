@@ -1,0 +1,3 @@
+module kerberos
+
+go 1.22

@@ -1,0 +1,58 @@
+package login
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/hesiod"
+)
+
+// TestLoginFileServerDown: Kerberos and Hesiod succeed but the file
+// server is unreachable; login fails cleanly at the mount step and no
+// tickets leak into a half-built session.
+func TestLoginFileServerDown(t *testing.T) {
+	e := newEnv(t)
+	// Point jis's filsys record at a dead address.
+	dir := hesiod.NewDirectory()
+	dir.AddPasswd(hesiod.PasswdEntry{
+		Username: "jis", UID: 1001, GID: 100,
+		RealName: "Jeffrey I. Schiller", HomeDir: "/mit/jis", Shell: "/bin/csh",
+	})
+	dir.AddFilsys(hesiod.Filsys{
+		Username: "jis", Server: "127.0.0.1:1", ServerPath: "/export/jis", MountPoint: "/mit/jis",
+	})
+	hs, err := hesiod.Serve(dir, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	cfg := e.cfg
+	cfg.HesiodAddr = hs.Addr()
+
+	_, err = Login(cfg, "jis", "zanzibar")
+	if err == nil {
+		t.Fatal("login succeeded with the file server down")
+	}
+	if !strings.Contains(err.Error(), "file server") && !strings.Contains(err.Error(), "mounting") {
+		t.Errorf("error does not name the failing step: %v", err)
+	}
+}
+
+// TestLoginKDCDown: nothing answers the KDC address; the failure names
+// authentication, and neither Hesiod nor NFS is consulted.
+func TestLoginKDCDown(t *testing.T) {
+	e := newEnv(t)
+	cfg := e.cfg
+	cfg.Krb = &client.Config{
+		Realms:  map[string][]string{e.realm.Name: {"127.0.0.1:1"}},
+		Timeout: 300 * time.Millisecond,
+	}
+	if _, err := Login(cfg, "jis", "zanzibar"); err == nil {
+		t.Fatal("login succeeded with the KDC down")
+	}
+	if e.server.CredMap().Len() != 0 {
+		t.Error("mapping appeared despite failed authentication")
+	}
+}

@@ -1,0 +1,108 @@
+// Package login reproduces the Athena workstation login of the paper's
+// appendix: "When a user logs in to one of these publicly available
+// workstations, rather than validate her/his name and password against a
+// locally resident password file, we use Kerberos to determine her/his
+// authenticity. ... If decryption is successful, the user's home
+// directory is located by consulting the Hesiod naming service and
+// mounted through NFS. ... The Hesiod service is also used to construct
+// an entry in the local password file."
+package login
+
+import (
+	"fmt"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/hesiod"
+	"kerberos/internal/nfs"
+)
+
+// Config describes the workstation's environment.
+type Config struct {
+	Realm      string           // local Kerberos realm
+	Krb        *client.Config   // KDC addresses
+	HesiodAddr string           // Hesiod nameserver
+	NFSService core.Principal   // file server's Kerberos identity
+	WSAddr     core.Addr        // this workstation's address
+	Clock      func() time.Time // optional fake clock
+}
+
+// Session is a logged-in user's workstation state.
+type Session struct {
+	Client     *client.Client     // holds the TGT and service tickets
+	Passwd     hesiod.PasswdEntry // non-sensitive account data
+	PasswdLine string             // the constructed /etc/passwd entry
+	NFS        *nfs.Client        // connection to the home-directory server
+	MountPoint string             // where the home directory is attached
+	uid        uint32
+}
+
+// Login runs the full appendix flow. The password is used only to
+// decrypt the authentication server's reply and is not retained.
+func Login(cfg Config, username, password string) (*Session, error) {
+	// 1. "This username is used to fetch a Kerberos ticket-granting
+	// ticket." Note the order: the request goes out before the password
+	// is needed.
+	krb := client.New(core.Principal{Name: username, Realm: cfg.Realm}, cfg.Krb)
+	krb.Addr = cfg.WSAddr
+	krb.Clock = cfg.Clock
+	if _, err := krb.Login(password); err != nil {
+		return nil, fmt.Errorf("login: incorrect password or unknown user: %w", err)
+	}
+
+	// 2. Hesiod supplies the non-sensitive account information and the
+	// location of the home directory.
+	pw, err := hesiod.ResolvePasswd(cfg.HesiodAddr, username, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("login: resolving account: %w", err)
+	}
+	fsys, err := hesiod.ResolveFilsys(cfg.HesiodAddr, username, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("login: locating home directory: %w", err)
+	}
+
+	// 3. Mount the home directory through NFS with the Kerberos mapping
+	// request, so the file server maps <WS-address, local-uid> to the
+	// user's server credential.
+	nc, err := nfs.Dial(fsys.Server)
+	if err != nil {
+		return nil, fmt.Errorf("login: reaching file server: %w", err)
+	}
+	nc.Cred = nfs.Credential{UID: pw.UID, GIDs: []uint32{pw.GID}}
+	nc.Krb = krb
+	nc.Service = cfg.NFSService
+	if err := nc.Mount(fsys.ServerPath, pw.UID); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("login: mounting home directory: %w", err)
+	}
+
+	// 4. "The Hesiod service is also used to construct an entry in the
+	// local password file."
+	return &Session{
+		Client:     krb,
+		Passwd:     pw,
+		PasswdLine: pw.Line(),
+		NFS:        nc,
+		MountPoint: fsys.MountPoint,
+		uid:        pw.UID,
+	}, nil
+}
+
+// Logout tears the session down: the NFS mapping is removed ("it is also
+// possible to send a request at log-out time to invalidate all mappings
+// for the current user"), and the Kerberos tickets are destroyed
+// ("Kerberos tickets are automatically destroyed when a user logs out",
+// §6.1).
+func (s *Session) Logout() error {
+	var firstErr error
+	if err := s.NFS.Unmount(s.uid); err != nil {
+		firstErr = err
+	}
+	if err := s.NFS.FlushUID(s.uid); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.NFS.Close()
+	s.Client.Cache.Destroy()
+	return firstErr
+}

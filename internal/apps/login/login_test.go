@@ -1,0 +1,164 @@
+package login
+
+import (
+	"strings"
+	"testing"
+
+	"kerberos"
+	"kerberos/internal/core"
+	"kerberos/internal/hesiod"
+	"kerberos/internal/nfs"
+	"kerberos/internal/vfs"
+)
+
+// env is a workstation's whole world: realm, Hesiod, file server.
+type env struct {
+	realm  *kerberos.Realm
+	cfg    Config
+	server *nfs.Server
+}
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	realm, err := kerberos.NewRealm(kerberos.RealmConfig{
+		Name: "ATHENA.MIT.EDU", MasterPassword: "master",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { realm.Close() })
+	if err := realm.AddUser("jis", "zanzibar"); err != nil {
+		t.Fatal(err)
+	}
+	nfsTab, err := realm.AddService("nfs", "helen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfsPrincipal := core.Principal{Name: "nfs", Instance: "helen", Realm: realm.Name}
+
+	// File server with jis's home directory.
+	fs := vfs.New()
+	fs.MkdirAll("/export/jis", vfs.Root, 0o755)
+	fs.Chown("/export/jis", vfs.Root, 1001, 100)
+	fs.Chmod("/export/jis", vfs.Root, 0o700)
+	fs.Write("/export/jis/.cshrc", vfs.Cred{UID: 1001, GIDs: []uint32{100}},
+		[]byte("setenv ATHENA yes"), 0o644)
+
+	server := nfs.NewServer(nfs.ServerConfig{
+		Realm:     realm.Name,
+		FS:        fs,
+		Mode:      nfs.ModeMapped,
+		Friendly:  true,
+		Principal: nfsPrincipal,
+		Keytab:    nfsTab,
+		Accounts:  []nfs.Account{{Username: "jis", Cred: vfs.Cred{UID: 1001, GIDs: []uint32{100}}}},
+	})
+	nl, err := nfs.Serve(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nl.Close() })
+
+	// Hesiod knows where jis's home lives.
+	dir := hesiod.NewDirectory()
+	dir.AddPasswd(hesiod.PasswdEntry{
+		Username: "jis", UID: 1001, GID: 100,
+		RealName: "Jeffrey I. Schiller", HomeDir: "/mit/jis", Shell: "/bin/csh",
+	})
+	dir.AddFilsys(hesiod.Filsys{
+		Username: "jis", Server: nl.Addr(), ServerPath: "/export/jis", MountPoint: "/mit/jis",
+	})
+	hs, err := hesiod.Serve(dir, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hs.Close() })
+
+	return &env{
+		realm:  realm,
+		server: server,
+		cfg: Config{
+			Realm:      realm.Name,
+			Krb:        realm.ClientConfig(),
+			HesiodAddr: hs.Addr(),
+			NFSService: nfsPrincipal,
+			WSAddr:     core.Addr{127, 0, 0, 1},
+		},
+	}
+}
+
+// TestLoginFlow is the appendix end to end: Kerberos authentication,
+// Hesiod lookups, Kerberized NFS mount, passwd-line construction — then
+// real file access under the mapped credential.
+func TestLoginFlow(t *testing.T) {
+	e := newEnv(t)
+	sess, err := Login(e.cfg, "jis", "zanzibar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.MountPoint != "/mit/jis" {
+		t.Errorf("mount point = %q", sess.MountPoint)
+	}
+	if !strings.HasPrefix(sess.PasswdLine, "jis:*:1001:100:") {
+		t.Errorf("passwd line = %q", sess.PasswdLine)
+	}
+	// "the traditional per-user customization files" are reachable.
+	data, err := sess.NFS.Read("/export/jis/.cshrc")
+	if err != nil || string(data) != "setenv ATHENA yes" {
+		t.Fatalf("reading .cshrc: %q %v", data, err)
+	}
+	// And writable: the session really runs as jis on the server.
+	if err := sess.NFS.Write("/export/jis/newfile", []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if e.server.CredMap().Len() != 1 {
+		t.Error("mapping not installed")
+	}
+	// The TGT is in the cache.
+	if sess.Client.Cache.Len() == 0 {
+		t.Error("no tickets after login")
+	}
+
+	// Logout flushes the mapping and destroys tickets.
+	if err := sess.Logout(); err != nil {
+		t.Fatal(err)
+	}
+	if e.server.CredMap().Len() != 0 {
+		t.Error("mapping survived logout")
+	}
+	if sess.Client.Cache.Len() != 0 {
+		t.Error("tickets survived logout")
+	}
+}
+
+// TestLoginWrongPassword: the AS reply does not decrypt, so login fails
+// before Hesiod or NFS are ever involved.
+func TestLoginWrongPassword(t *testing.T) {
+	e := newEnv(t)
+	if _, err := Login(e.cfg, "jis", "wrong"); err == nil {
+		t.Fatal("wrong password logged in")
+	}
+	if e.server.CredMap().Len() != 0 {
+		t.Error("mapping installed despite failed login")
+	}
+}
+
+// TestLoginUnknownUser fails at the KDC.
+func TestLoginUnknownUser(t *testing.T) {
+	e := newEnv(t)
+	if _, err := Login(e.cfg, "ghost", "whatever"); err == nil {
+		t.Fatal("unknown user logged in")
+	}
+}
+
+// TestLoginNoHesiodRecord: a Kerberos principal without Hesiod records
+// cannot complete the workstation login.
+func TestLoginNoHesiodRecord(t *testing.T) {
+	e := newEnv(t)
+	if err := e.realm.AddUser("newbie", "secret123"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Login(e.cfg, "newbie", "secret123"); err == nil || !strings.Contains(err.Error(), "resolving account") {
+		t.Errorf("login without hesiod = %v", err)
+	}
+}

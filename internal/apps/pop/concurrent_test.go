@@ -1,0 +1,73 @@
+package pop
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSessions: many users read their mailboxes at once; each
+// sees exactly their own mail and the server's per-session state never
+// crosses wires.
+func TestConcurrentSessions(t *testing.T) {
+	e := newEnv(t)
+	const users = 8
+	// Give each synthetic user a distinct mailbox and an account.
+	for i := 0; i < users; i++ {
+		name := fmt.Sprintf("conc%02d", i)
+		if err := e.realm.AddUser(name, name+"-pw"); err != nil {
+			t.Fatal(err)
+		}
+		for m := 0; m <= i; m++ {
+			e.office.Deliver(name, fmt.Sprintf("msg %d for %s", m, name))
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, users)
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("conc%02d", i)
+			krb, err := e.realm.NewLoggedInClient(name, name+"-pw")
+			if err != nil {
+				errs <- err
+				return
+			}
+			sess, err := Connect(krb, e.lst.Addr(), e.service)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sess.Close()
+			stat, err := sess.Command("STAT")
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := fmt.Sprintf("+OK %d messages", i+1)
+			if stat != want {
+				errs <- fmt.Errorf("%s: STAT = %q, want %q", name, stat, want)
+				return
+			}
+			msg, err := sess.Command("RETR 1")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !strings.Contains(msg, "for "+name) {
+				errs <- fmt.Errorf("%s read someone else's mail: %q", name, msg)
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package pop is the Kerberized Post Office Protocol of §7.1: "We have
+// modified the Post Office Protocol to use Kerberos for authenticating
+// users who wish to retrieve their electronic mail from the 'post
+// office'." The mailbox a connection may read is decided entirely by the
+// Kerberos-authenticated identity — no mailbox passwords.
+package pop
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/kdc"
+)
+
+// Office is the post office: mailboxes keyed by principal name.
+type Office struct {
+	mu    sync.Mutex
+	boxes map[string][]string
+}
+
+// NewOffice returns an empty post office.
+func NewOffice() *Office {
+	return &Office{boxes: make(map[string][]string)}
+}
+
+// Deliver appends a message to a user's mailbox.
+func (o *Office) Deliver(user, message string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.boxes[user] = append(o.boxes[user], message)
+}
+
+// messages returns a copy of a mailbox.
+func (o *Office) messages(user string) []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string(nil), o.boxes[user]...)
+}
+
+// delete removes message i (0-based) from a mailbox.
+func (o *Office) delete(user string, i int) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	box := o.boxes[user]
+	if i < 0 || i >= len(box) {
+		return false
+	}
+	o.boxes[user] = append(box[:i:i], box[i+1:]...)
+	return true
+}
+
+// Server is the Kerberized POP daemon.
+type Server struct {
+	Office *Office
+	Svc    *client.Service // pop.<host> identity
+}
+
+// HandleConn authenticates the client (with mutual authentication, so
+// mail is never handed to an impostor server's victim), then serves
+// STAT/RETR/DELE/QUIT commands in safe messages: each command and reply
+// is integrity-protected with the session key.
+func (s *Server) HandleConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	from := core.Addr{}
+	if t, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		from = core.AddrFromIP(t.IP)
+	}
+	apReq, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	sess, err := s.Svc.ReadRequest(apReq, from)
+	if err != nil {
+		kdc.WriteFrame(conn, (&core.ErrorMessage{
+			Code: core.ErrNotAuthenticated, Text: err.Error()}).Encode())
+		return
+	}
+	if len(sess.Reply) != 0 {
+		if err := kdc.WriteFrame(conn, sess.Reply); err != nil {
+			return
+		}
+	}
+	user := sess.Client.Name // mailbox = authenticated primary name
+	for {
+		frame, err := kdc.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		cmdBytes, err := sess.RdSafe(frame)
+		if err != nil {
+			return
+		}
+		reply, quit := s.command(user, string(cmdBytes))
+		if err := kdc.WriteFrame(conn, sess.MkSafe([]byte(reply))); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+func (s *Server) command(user, cmd string) (string, bool) {
+	switch {
+	case cmd == "STAT":
+		return fmt.Sprintf("+OK %d messages", len(s.Office.messages(user))), false
+	case strings.HasPrefix(cmd, "RETR "):
+		i, err := strconv.Atoi(strings.TrimPrefix(cmd, "RETR "))
+		box := s.Office.messages(user)
+		if err != nil || i < 1 || i > len(box) {
+			return "-ERR no such message", false
+		}
+		return "+OK " + box[i-1], false
+	case strings.HasPrefix(cmd, "DELE "):
+		i, err := strconv.Atoi(strings.TrimPrefix(cmd, "DELE "))
+		if err != nil || !s.Office.delete(user, i-1) {
+			return "-ERR no such message", false
+		}
+		return "+OK deleted", false
+	case cmd == "QUIT":
+		return "+OK bye", true
+	default:
+		return "-ERR unknown command", false
+	}
+}
+
+// Listener serves POP over TCP.
+type Listener struct {
+	tcp    net.Listener
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Serve binds the POP server on addr.
+func Serve(s *Server, addr string) (*Listener, error) {
+	tcp, err := net.Listen("tcp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pop: binding: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Listener{tcp: tcp, ctx: ctx, cancel: cancel}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := tcp.Accept()
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				continue
+			}
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				s.HandleConn(conn)
+			}()
+		}
+	}()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.tcp.Addr().String() }
+
+// Close stops the listener.
+func (l *Listener) Close() error {
+	l.cancel()
+	l.tcp.Close()
+	l.wg.Wait()
+	return nil
+}
+
+// Session is a client's authenticated POP connection.
+type Session struct {
+	conn net.Conn
+	sess *client.AppSession
+}
+
+// Connect authenticates to the post office.
+func Connect(krb *client.Client, addr string, service core.Principal) (*Session, error) {
+	apReq, appSess, err := krb.MkReq(service, 0, true)
+	if err != nil {
+		return nil, fmt.Errorf("pop: obtaining credentials: %w", err)
+	}
+	conn, err := net.DialTimeout("tcp4", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := kdc.WriteFrame(conn, apReq); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	reply, err := kdc.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if e := core.IfErrorMessage(reply); e != nil {
+		conn.Close()
+		return nil, e
+	}
+	if err := appSess.VerifyReply(reply); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("pop: server failed mutual authentication: %w", err)
+	}
+	return &Session{conn: conn, sess: appSess}, nil
+}
+
+// Command sends one POP command and returns the reply line.
+func (s *Session) Command(cmd string) (string, error) {
+	if err := kdc.WriteFrame(s.conn, s.sess.MkSafe([]byte(cmd))); err != nil {
+		return "", err
+	}
+	frame, err := kdc.ReadFrame(s.conn)
+	if err != nil {
+		return "", err
+	}
+	reply, err := s.sess.RdSafe(frame, core.Addr{})
+	if err != nil {
+		return "", fmt.Errorf("pop: tampered reply: %w", err)
+	}
+	return string(reply), nil
+}
+
+// Close quits the session.
+func (s *Session) Close() error {
+	s.Command("QUIT")
+	return s.conn.Close()
+}

@@ -1,0 +1,127 @@
+package pop
+
+import (
+	"strings"
+	"testing"
+
+	"kerberos"
+	"kerberos/internal/core"
+)
+
+type env struct {
+	realm   *kerberos.Realm
+	office  *Office
+	lst     *Listener
+	service core.Principal
+}
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	realm, err := kerberos.NewRealm(kerberos.RealmConfig{
+		Name: "ATHENA.MIT.EDU", MasterPassword: "master",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { realm.Close() })
+	for _, u := range []string{"jis", "bcn"} {
+		if err := realm.AddUser(u, u+"-pw"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab, err := realm.AddService("pop", "po10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	office := NewOffice()
+	office.Deliver("jis", "From: bcn\n\nlunch at walker?")
+	office.Deliver("jis", "From: treese\n\nreview ready")
+	office.Deliver("bcn", "From: jis\n\nsure, noon")
+
+	server := &Server{Office: office, Svc: realm.NewServiceContext("pop", "po10", tab)}
+	l, err := Serve(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return &env{realm: realm, office: office, lst: l,
+		service: core.Principal{Name: "pop", Instance: "po10", Realm: realm.Name}}
+}
+
+// TestFetchOwnMail: the authenticated user reads exactly their mailbox.
+func TestFetchOwnMail(t *testing.T) {
+	e := newEnv(t)
+	krb, err := e.realm.NewLoggedInClient("jis", "jis-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Connect(krb, e.lst.Addr(), e.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	stat, err := sess.Command("STAT")
+	if err != nil || stat != "+OK 2 messages" {
+		t.Fatalf("STAT = %q, %v", stat, err)
+	}
+	msg, err := sess.Command("RETR 1")
+	if err != nil || !strings.Contains(msg, "lunch at walker?") {
+		t.Fatalf("RETR 1 = %q, %v", msg, err)
+	}
+	// jis's mailbox never contains bcn's mail.
+	msg, _ = sess.Command("RETR 2")
+	if strings.Contains(msg, "sure, noon") {
+		t.Error("read another user's message")
+	}
+	if reply, err := sess.Command("DELE 1"); err != nil || reply != "+OK deleted" {
+		t.Fatalf("DELE = %q, %v", reply, err)
+	}
+	if stat, _ := sess.Command("STAT"); stat != "+OK 1 messages" {
+		t.Errorf("after delete: %q", stat)
+	}
+	// Bad indexes and unknown commands.
+	if reply, _ := sess.Command("RETR 99"); !strings.HasPrefix(reply, "-ERR") {
+		t.Errorf("RETR 99 = %q", reply)
+	}
+	if reply, _ := sess.Command("DELE 0"); !strings.HasPrefix(reply, "-ERR") {
+		t.Errorf("DELE 0 = %q", reply)
+	}
+	if reply, _ := sess.Command("NOOP?"); !strings.HasPrefix(reply, "-ERR") {
+		t.Errorf("unknown = %q", reply)
+	}
+}
+
+// TestNoTicketsNoMail: a client that never authenticated gets nothing.
+func TestNoTicketsNoMail(t *testing.T) {
+	e := newEnv(t)
+	c := kerberos.NewClient(core.Principal{Name: "jis", Realm: e.realm.Name}, e.realm.ClientConfig())
+	c.Addr = core.Addr{127, 0, 0, 1}
+	// No Login: MkReq will fail for lack of a TGT.
+	if _, err := Connect(c, e.lst.Addr(), e.service); err == nil {
+		t.Fatal("connected without tickets")
+	}
+}
+
+// TestMailboxIsolation: bcn authenticates as bcn and cannot see jis's
+// mail, even by asking.
+func TestMailboxIsolation(t *testing.T) {
+	e := newEnv(t)
+	krb, err := e.realm.NewLoggedInClient("bcn", "bcn-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Connect(krb, e.lst.Addr(), e.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	stat, err := sess.Command("STAT")
+	if err != nil || stat != "+OK 1 messages" {
+		t.Fatalf("bcn STAT = %q, %v", stat, err)
+	}
+	msg, _ := sess.Command("RETR 1")
+	if !strings.Contains(msg, "sure, noon") {
+		t.Errorf("bcn RETR = %q", msg)
+	}
+}

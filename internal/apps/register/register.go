@@ -1,0 +1,99 @@
+// Package register reproduces the new-user signup program of §7.1: "The
+// program for signing up new users, called register, uses both the
+// Service Management System (SMS) and Kerberos. From SMS, it determines
+// whether the information entered by the would-be new Athena user, such
+// as name and MIT identification number, is valid. It then checks with
+// Kerberos to see if the requested username is unique. If all goes well,
+// a new entry is made to the Kerberos database, containing the username
+// and password."
+package register
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/kdb"
+)
+
+// Student is an SMS record: the institutional data a signup is checked
+// against.
+type Student struct {
+	Name  string // legal name
+	MITID string // MIT identification number
+}
+
+// SMS is the Service Management System stub: the validity oracle the
+// paper's register consults. (The real SMS is a separate Athena service;
+// only this lookup is needed here.)
+type SMS struct {
+	mu      sync.RWMutex
+	records map[string]Student // keyed by MITID
+}
+
+// NewSMS builds an SMS with the given student body.
+func NewSMS(students ...Student) *SMS {
+	s := &SMS{records: make(map[string]Student)}
+	for _, st := range students {
+		s.records[st.MITID] = st
+	}
+	return s
+}
+
+// Validate checks that (name, mitID) matches an institutional record.
+func (s *SMS) Validate(name, mitID string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.records[mitID]
+	return ok && st.Name == name
+}
+
+// Errors.
+var (
+	ErrNotAStudent = errors.New("register: name and MIT ID do not match any record")
+	ErrTaken       = errors.New("register: username already taken")
+	ErrWeak        = errors.New("register: password too short")
+)
+
+// Registrar performs signups against one realm's master database. The
+// register program ran with database access on Athena; this type is that
+// privileged program.
+type Registrar struct {
+	SMS   *SMS
+	DB    *kdb.Database
+	Realm string
+	Clock func() time.Time // optional
+}
+
+func (r *Registrar) now() time.Time {
+	if r.Clock != nil {
+		return r.Clock()
+	}
+	return time.Now()
+}
+
+// Register signs up a new user: SMS validity check, Kerberos uniqueness
+// check, then the database insertion with the password-derived key.
+func (r *Registrar) Register(name, mitID, username, password string) error {
+	if !r.SMS.Validate(name, mitID) {
+		return ErrNotAStudent
+	}
+	p := core.Principal{Name: username, Realm: r.Realm}
+	if !p.Valid() {
+		return fmt.Errorf("register: invalid username %q", username)
+	}
+	if len(password) < 6 {
+		return ErrWeak
+	}
+	if _, err := r.DB.Get(username, ""); err == nil {
+		return fmt.Errorf("%w: %s", ErrTaken, username)
+	}
+	key := client.PasswordKey(p, password)
+	if err := r.DB.Add(username, "", key, 0, "register", r.now()); err != nil {
+		return fmt.Errorf("register: adding principal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package register
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"kerberos"
+	"kerberos/internal/core"
+)
+
+func newEnv(t testing.TB) (*kerberos.Realm, *Registrar) {
+	t.Helper()
+	realm, err := kerberos.NewRealm(kerberos.RealmConfig{
+		Name: "ATHENA.MIT.EDU", MasterPassword: "master",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { realm.Close() })
+	sms := NewSMS(
+		Student{Name: "Jennifer G. Steiner", MITID: "900000001"},
+		Student{Name: "Clifford Neuman", MITID: "900000002"},
+	)
+	return realm, &Registrar{SMS: sms, DB: realm.DB, Realm: realm.Name}
+}
+
+// TestRegisterNewUser: valid SMS record + unique username ⇒ a working
+// Kerberos principal.
+func TestRegisterNewUser(t *testing.T) {
+	realm, reg := newEnv(t)
+	if err := reg.Register("Jennifer G. Steiner", "900000001", "steiner", "moria-gate"); err != nil {
+		t.Fatal(err)
+	}
+	// The new user can immediately kinit.
+	c, err := realm.NewLoggedInClient("steiner", "moria-gate")
+	if err != nil {
+		t.Fatalf("new user cannot log in: %v", err)
+	}
+	if c.Cache.Len() != 1 {
+		t.Error("no TGT after first login")
+	}
+}
+
+// TestRegisterInvalidSMS: "it determines whether the information
+// entered ... is valid."
+func TestRegisterInvalidSMS(t *testing.T) {
+	_, reg := newEnv(t)
+	if err := reg.Register("Not A Student", "999999999", "fake", "password1"); !errors.Is(err, ErrNotAStudent) {
+		t.Errorf("invalid SMS = %v", err)
+	}
+	// Right ID, wrong name.
+	if err := reg.Register("Wrong Name", "900000001", "steiner", "password1"); !errors.Is(err, ErrNotAStudent) {
+		t.Errorf("mismatched name = %v", err)
+	}
+}
+
+// TestRegisterUniqueness: "It then checks with Kerberos to see if the
+// requested username is unique."
+func TestRegisterUniqueness(t *testing.T) {
+	_, reg := newEnv(t)
+	if err := reg.Register("Jennifer G. Steiner", "900000001", "steiner", "moria-gate"); err != nil {
+		t.Fatal(err)
+	}
+	err := reg.Register("Clifford Neuman", "900000002", "steiner", "seattle-rain")
+	if !errors.Is(err, ErrTaken) {
+		t.Errorf("duplicate username = %v", err)
+	}
+}
+
+// TestRegisterValidation: bad usernames and weak passwords are refused.
+func TestRegisterValidation(t *testing.T) {
+	_, reg := newEnv(t)
+	if err := reg.Register("Jennifer G. Steiner", "900000001", "bad@name", "longenough"); err == nil {
+		t.Error("invalid username accepted")
+	}
+	if err := reg.Register("Jennifer G. Steiner", "900000001", "steiner", "abc"); !errors.Is(err, ErrWeak) {
+		t.Errorf("weak password = %v", err)
+	}
+}
+
+// TestRegisterReadOnlySlave: signups need the master database.
+func TestRegisterReadOnlySlave(t *testing.T) {
+	realm, reg := newEnv(t)
+	realm.DB.SetReadOnly(true)
+	defer realm.DB.SetReadOnly(false)
+	if err := reg.Register("Jennifer G. Steiner", "900000001", "steiner", "moria-gate"); err == nil {
+		t.Error("registered against a read-only database")
+	}
+}
+
+// TestRegistrarClock: injected clocks stamp the entry.
+func TestRegistrarClock(t *testing.T) {
+	realm, reg := newEnv(t)
+	fixed := time.Date(1988, 2, 9, 12, 0, 0, 0, time.UTC)
+	reg.Clock = func() time.Time { return fixed }
+	if err := reg.Register("Jennifer G. Steiner", "900000001", "steiner", "moria-gate"); err != nil {
+		t.Fatal(err)
+	}
+	e, err := realm.DB.Get("steiner", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.ModTime.Equal(fixed) || e.ModBy != "register" {
+		t.Errorf("entry admin info = %+v", e)
+	}
+	_ = core.Principal{}
+}

@@ -1,0 +1,370 @@
+// Package rsh is the Kerberized remote shell of §7.1: "The rlogin and
+// rsh commands first try to authenticate using Kerberos. A user with
+// valid Kerberos tickets can rlogin to another Athena machine without
+// having to set up .rhosts files. If the Kerberos authentication fails,
+// the programs fall back on their usual methods of authorization, in
+// this case, the .rhosts files."
+//
+// The "shell" is simulated: the server executes a tiny command set
+// (whoami, echo, hostname) as the authenticated identity — enough to
+// observe which authentication path ran and as whom.
+package rsh
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/kdc"
+	"kerberos/internal/wire"
+)
+
+// Method is the authentication path a request took.
+type Method uint8
+
+// Authentication methods.
+const (
+	MethodKerberos Method = 1 // ticket + authenticator
+	MethodRhosts   Method = 2 // address-based .rhosts check (the fallback)
+	// MethodKerberosPrivate is the encrypted session (the -x mode of
+	// Athena's rlogin): mutual authentication, then the command and its
+	// output travel as private messages — nothing readable on the wire.
+	MethodKerberosPrivate Method = 3
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodKerberos:
+		return "kerberos"
+	case MethodRhosts:
+		return "rhosts"
+	case MethodKerberosPrivate:
+		return "kerberos-private"
+	default:
+		return "unknown"
+	}
+}
+
+// Rhosts is the classic address-based authorization database: which
+// (client address, claimed username) pairs a host trusts.
+type Rhosts struct {
+	mu      sync.RWMutex
+	allowed map[string]bool // "addr/user"
+}
+
+// NewRhosts builds the database.
+func NewRhosts() *Rhosts {
+	return &Rhosts{allowed: make(map[string]bool)}
+}
+
+// Allow trusts user connecting from addr.
+func (r *Rhosts) Allow(addr core.Addr, user string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.allowed[addr.String()+"/"+user] = true
+}
+
+// Check reports whether the pair is trusted.
+func (r *Rhosts) Check(addr core.Addr, user string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.allowed[addr.String()+"/"+user]
+}
+
+// Server is krshd: one host's remote-shell daemon.
+type Server struct {
+	Hostname string
+	Svc      *client.Service // rcmd.<host> identity; nil disables Kerberos
+	Rhosts   *Rhosts         // nil disables the fallback
+}
+
+// Result is what a command execution reports.
+type Result struct {
+	Output string
+	Method Method
+	As     string // identity the command ran as
+}
+
+// run executes the simulated command set as the given identity.
+func (s *Server) run(command, identity string, method Method) Result {
+	out := ""
+	switch {
+	case command == "whoami":
+		out = identity + " via " + method.String()
+	case command == "hostname":
+		out = s.Hostname
+	case strings.HasPrefix(command, "echo "):
+		out = strings.TrimPrefix(command, "echo ")
+	default:
+		out = "krshd: unknown command: " + command
+	}
+	return Result{Output: out, Method: method, As: identity}
+}
+
+// HandleConn runs one remote-shell session.
+func (s *Server) HandleConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	from := core.Addr{}
+	if t, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		from = core.AddrFromIP(t.IP)
+	}
+
+	msg, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	r := wire.NewReader(msg)
+	method := Method(r.U8())
+	switch method {
+	case MethodKerberos:
+		apReq := r.BytesCopy()
+		command := r.Str()
+		if r.Done() != nil || s.Svc == nil {
+			kdc.WriteFrame(conn, fail("kerberos not available"))
+			return
+		}
+		sess, err := s.Svc.ReadRequest(apReq, from)
+		if err != nil {
+			kdc.WriteFrame(conn, fail("kerberos authentication failed: "+err.Error()))
+			return
+		}
+		res := s.run(command, sess.Client.String(), MethodKerberos)
+		kdc.WriteFrame(conn, ok(res))
+
+	case MethodKerberosPrivate:
+		apReq := r.BytesCopy()
+		if r.Done() != nil || s.Svc == nil {
+			kdc.WriteFrame(conn, fail("kerberos not available"))
+			return
+		}
+		sess, err := s.Svc.ReadRequest(apReq, from)
+		if err != nil {
+			kdc.WriteFrame(conn, fail("kerberos authentication failed: "+err.Error()))
+			return
+		}
+		// The client demanded mutual authentication: prove ourselves
+		// before it sends the (encrypted) command.
+		if len(sess.Reply) == 0 {
+			kdc.WriteFrame(conn, fail("private session requires mutual authentication"))
+			return
+		}
+		if err := kdc.WriteFrame(conn, sess.Reply); err != nil {
+			return
+		}
+		frame, err := kdc.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		cmdBytes, err := sess.RdPriv(frame)
+		if err != nil {
+			return
+		}
+		res := s.run(string(cmdBytes), sess.Client.String(), MethodKerberosPrivate)
+		kdc.WriteFrame(conn, sess.MkPriv(ok(res)))
+
+	case MethodRhosts:
+		user := r.Str()
+		command := r.Str()
+		if r.Done() != nil {
+			kdc.WriteFrame(conn, fail("malformed request"))
+			return
+		}
+		// "authentication is done by checking the Internet address from
+		// which a connection has been established" (§1) — exactly the
+		// mechanism Kerberos replaces.
+		if s.Rhosts == nil || !s.Rhosts.Check(from, user) {
+			kdc.WriteFrame(conn, fail("permission denied (no .rhosts entry)"))
+			return
+		}
+		res := s.run(command, user, MethodRhosts)
+		kdc.WriteFrame(conn, ok(res))
+
+	default:
+		kdc.WriteFrame(conn, fail("unknown method"))
+	}
+}
+
+func ok(res Result) []byte {
+	var w wire.Writer
+	w.Bool(true)
+	w.Str(res.Output)
+	w.U8(uint8(res.Method))
+	w.Str(res.As)
+	return w.Buf
+}
+
+func fail(msg string) []byte {
+	var w wire.Writer
+	w.Bool(false)
+	w.Str(msg)
+	return w.Buf
+}
+
+func parseReply(data []byte) (Result, error) {
+	r := wire.NewReader(data)
+	if !r.Bool() {
+		msg := r.Str()
+		if err := r.Done(); err != nil {
+			return Result{}, err
+		}
+		return Result{}, fmt.Errorf("rsh: %s", msg)
+	}
+	res := Result{Output: r.Str(), Method: Method(r.U8()), As: r.Str()}
+	if err := r.Done(); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// Listener serves krshd over TCP.
+type Listener struct {
+	tcp    net.Listener
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Serve binds krshd on addr.
+func Serve(s *Server, addr string) (*Listener, error) {
+	tcp, err := net.Listen("tcp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rsh: binding: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Listener{tcp: tcp, ctx: ctx, cancel: cancel}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := tcp.Accept()
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				continue
+			}
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				s.HandleConn(conn)
+			}()
+		}
+	}()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.tcp.Addr().String() }
+
+// Close stops the listener.
+func (l *Listener) Close() error {
+	l.cancel()
+	l.tcp.Close()
+	l.wg.Wait()
+	return nil
+}
+
+func exchange(addr string, msg []byte) (Result, error) {
+	conn, err := net.DialTimeout("tcp4", addr, 5*time.Second)
+	if err != nil {
+		return Result{}, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := kdc.WriteFrame(conn, msg); err != nil {
+		return Result{}, err
+	}
+	reply, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return Result{}, err
+	}
+	return parseReply(reply)
+}
+
+// RunKerberos executes a command authenticated by Kerberos only.
+func RunKerberos(krb *client.Client, addr string, service core.Principal, command string) (Result, error) {
+	apReq, _, err := krb.MkReq(service, 0, false)
+	if err != nil {
+		return Result{}, fmt.Errorf("rsh: obtaining credentials: %w", err)
+	}
+	var w wire.Writer
+	w.U8(uint8(MethodKerberos))
+	w.Bytes(apReq)
+	w.Str(command)
+	return exchange(addr, w.Buf)
+}
+
+// RunPrivate executes a command over an encrypted session (the -x
+// mode): mutual authentication first, then the command and its output as
+// private messages — an eavesdropper learns nothing but lengths.
+func RunPrivate(krb *client.Client, addr string, service core.Principal, command string) (Result, error) {
+	apReq, sess, err := krb.MkReq(service, 0, true)
+	if err != nil {
+		return Result{}, fmt.Errorf("rsh: obtaining credentials: %w", err)
+	}
+	conn, err := net.DialTimeout("tcp4", addr, 5*time.Second)
+	if err != nil {
+		return Result{}, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	var w wire.Writer
+	w.U8(uint8(MethodKerberosPrivate))
+	w.Bytes(apReq)
+	if err := kdc.WriteFrame(conn, w.Buf); err != nil {
+		return Result{}, err
+	}
+	apReply, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return Result{}, err
+	}
+	// Never send the command to a server that can't prove itself.
+	if err := sess.VerifyReply(apReply); err != nil {
+		if r, perr := parseReply(apReply); perr == nil {
+			_ = r // the server sent a cleartext refusal instead
+		}
+		return Result{}, fmt.Errorf("rsh: server failed mutual authentication: %w", err)
+	}
+	if err := kdc.WriteFrame(conn, sess.MkPriv([]byte(command))); err != nil {
+		return Result{}, err
+	}
+	frame, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return Result{}, err
+	}
+	plain, err := sess.RdPriv(frame, core.Addr{})
+	if err != nil {
+		return Result{}, fmt.Errorf("rsh: tampered reply: %w", err)
+	}
+	return parseReply(plain)
+}
+
+// RunRhosts executes a command via the address-based fallback only.
+func RunRhosts(addr, localUser, command string) (Result, error) {
+	var w wire.Writer
+	w.U8(uint8(MethodRhosts))
+	w.Str(localUser)
+	w.Str(command)
+	return exchange(addr, w.Buf)
+}
+
+// Run is the user-facing command: "first try to authenticate using
+// Kerberos ... fall back on ... the .rhosts files." krb may be nil
+// (no tickets at all), forcing the fallback.
+func Run(krb *client.Client, addr string, service core.Principal, localUser, command string) (Result, error) {
+	if krb != nil {
+		res, err := RunKerberos(krb, addr, service, command)
+		if err == nil {
+			return res, nil
+		}
+	}
+	return RunRhosts(addr, localUser, command)
+}

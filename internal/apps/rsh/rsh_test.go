@@ -1,0 +1,213 @@
+package rsh
+
+import (
+	"strings"
+	"testing"
+
+	"kerberos"
+	"kerberos/internal/core"
+	"kerberos/internal/wire"
+)
+
+type env struct {
+	realm   *kerberos.Realm
+	lst     *Listener
+	service core.Principal
+	rhosts  *Rhosts
+}
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	realm, err := kerberos.NewRealm(kerberos.RealmConfig{
+		Name: "ATHENA.MIT.EDU", MasterPassword: "master",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { realm.Close() })
+	if err := realm.AddUser("jis", "zanzibar"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := realm.AddService("rcmd", "priam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := core.Principal{Name: "rcmd", Instance: "priam", Realm: realm.Name}
+
+	rhosts := NewRhosts()
+	server := &Server{
+		Hostname: "priam",
+		Svc:      realm.NewServiceContext("rcmd", "priam", tab),
+		Rhosts:   rhosts,
+	}
+	l, err := Serve(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return &env{realm: realm, lst: l, service: service, rhosts: rhosts}
+}
+
+// TestKerberosPath: a user with valid tickets runs commands without any
+// .rhosts entry (§7.1).
+func TestKerberosPath(t *testing.T) {
+	e := newEnv(t)
+	krb, err := e.realm.NewLoggedInClient("jis", "zanzibar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(krb, e.lst.Addr(), e.service, "jis", "whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodKerberos {
+		t.Errorf("method = %v, want kerberos", res.Method)
+	}
+	if res.As != "jis@ATHENA.MIT.EDU" {
+		t.Errorf("ran as %q", res.As)
+	}
+	if !strings.Contains(res.Output, "jis@ATHENA.MIT.EDU via kerberos") {
+		t.Errorf("output = %q", res.Output)
+	}
+	// Other commands.
+	res, err = RunKerberos(krb, e.lst.Addr(), e.service, "echo hello athena")
+	if err != nil || res.Output != "hello athena" {
+		t.Errorf("echo: %q %v", res.Output, err)
+	}
+	res, err = RunKerberos(krb, e.lst.Addr(), e.service, "hostname")
+	if err != nil || res.Output != "priam" {
+		t.Errorf("hostname: %q %v", res.Output, err)
+	}
+}
+
+// TestFallbackToRhosts: without tickets the client falls back to the
+// address check, which succeeds only with an .rhosts entry.
+func TestFallbackToRhosts(t *testing.T) {
+	e := newEnv(t)
+	// No Kerberos client at all; .rhosts trusts jis from loopback.
+	e.rhosts.Allow(core.Addr{127, 0, 0, 1}, "jis")
+	res, err := Run(nil, e.lst.Addr(), e.service, "jis", "whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodRhosts {
+		t.Errorf("method = %v, want rhosts", res.Method)
+	}
+	if !strings.Contains(res.Output, "via rhosts") {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+// TestFallbackDenied: no tickets and no .rhosts entry means no access.
+func TestFallbackDenied(t *testing.T) {
+	e := newEnv(t)
+	if _, err := Run(nil, e.lst.Addr(), e.service, "jis", "whoami"); err == nil {
+		t.Fatal("access granted with neither kerberos nor .rhosts")
+	}
+}
+
+// TestRhostsSpoofWeakness: the fallback trusts the claimed username —
+// anyone on a trusted host can claim to be jis. This is the §1 weakness
+// that motivates Kerberos; the Kerberos path does not have it.
+func TestRhostsSpoofWeakness(t *testing.T) {
+	e := newEnv(t)
+	e.rhosts.Allow(core.Addr{127, 0, 0, 1}, "jis")
+	// Mallory, on the same trusted host, claims to be jis.
+	res, err := RunRhosts(e.lst.Addr(), "jis", "whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.As != "jis" {
+		t.Errorf("rhosts ran as %q", res.As)
+	}
+	// The Kerberos path is immune: mallory has no jis tickets. (She has
+	// no tickets at all here, so the kerberos attempt fails outright.)
+	if _, err := RunKerberos(nil2(t), e.lst.Addr(), e.service, "whoami"); err == nil {
+		t.Error("kerberos path succeeded without credentials")
+	}
+}
+
+// nil2 builds a client with no TGT (never logged in).
+func nil2(t testing.TB) *kerberos.Client {
+	t.Helper()
+	return kerberos.NewClient(core.Principal{Name: "mallory", Realm: "ATHENA.MIT.EDU"},
+		&kerberos.Config{Realms: map[string][]string{"ATHENA.MIT.EDU": {"127.0.0.1:1"}}})
+}
+
+// TestUnknownCommandAndMethod: server answers garbage gracefully.
+func TestUnknownCommandAndMethod(t *testing.T) {
+	e := newEnv(t)
+	krb, err := e.realm.NewLoggedInClient("jis", "zanzibar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunKerberos(krb, e.lst.Addr(), e.service, "rm -rf /")
+	if err != nil || !strings.Contains(res.Output, "unknown command") {
+		t.Errorf("unknown command: %q %v", res.Output, err)
+	}
+	if Method(9).String() != "unknown" {
+		t.Error("method name wrong")
+	}
+	if MethodKerberos.String() != "kerberos" || MethodRhosts.String() != "rhosts" {
+		t.Error("method names wrong")
+	}
+}
+
+// TestReplayedRequestRejected: capturing jis's rsh request and replaying
+// it gets caught by the server's replay cache.
+func TestReplayedRequestRejected(t *testing.T) {
+	e := newEnv(t)
+	krb, err := e.realm.NewLoggedInClient("jis", "zanzibar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apReq, _, err := krb.MkReq(e.service, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func() (Result, error) {
+		var w wire.Writer
+		w.U8(uint8(MethodKerberos))
+		w.Bytes(apReq)
+		w.Str("whoami")
+		return exchange(e.lst.Addr(), w.Buf)
+	}
+	if _, err := send(); err != nil {
+		t.Fatalf("first use failed: %v", err)
+	}
+	if _, err := send(); err == nil || !strings.Contains(err.Error(), "authentication failed") {
+		t.Errorf("replay = %v", err)
+	}
+}
+
+// TestPrivateSession is the encrypted (-x) mode: mutual authentication,
+// command and output as private messages, nothing readable on the wire.
+func TestPrivateSession(t *testing.T) {
+	e := newEnv(t)
+	krb, err := e.realm.NewLoggedInClient("jis", "zanzibar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPrivate(krb, e.lst.Addr(), e.service, "echo secret-output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "secret-output" {
+		t.Errorf("output = %q", res.Output)
+	}
+	if res.Method != MethodKerberosPrivate {
+		t.Errorf("method = %v", res.Method)
+	}
+	if MethodKerberosPrivate.String() != "kerberos-private" {
+		t.Error("method name wrong")
+	}
+}
+
+// TestPrivateSessionNoTickets: without credentials the encrypted mode
+// cannot even start.
+func TestPrivateSessionNoTickets(t *testing.T) {
+	e := newEnv(t)
+	if _, err := RunPrivate(nil2(t), e.lst.Addr(), e.service, "whoami"); err == nil {
+		t.Fatal("private session without tickets succeeded")
+	}
+}

@@ -1,0 +1,99 @@
+package zephyr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSlowSubscriberDoesNotBlockDelivery: a subscriber that never drains
+// its stream only loses its own notices (dropped past the buffer); other
+// subscribers and the sender are unaffected.
+func TestSlowSubscriberDoesNotBlockDelivery(t *testing.T) {
+	e := newEnv(t)
+	bcn, err := e.realm.NewLoggedInClient("bcn", "bcn-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "slow" subscriber: we subscribe but never read sub.Notices, so
+	// after the channel buffer (16) fills, deliveries to it are dropped.
+	slow, err := Subscribe(bcn, e.lst.Addr(), e.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	healthy, err := Subscribe(bcn, e.lst.Addr(), e.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+
+	jis, err := e.realm.NewLoggedInClient("jis", "jis-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const notices = 40 // beyond any buffer
+	received := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range healthy.Notices {
+			received++
+			if received == notices {
+				return
+			}
+		}
+	}()
+	for i := 0; i < notices; i++ {
+		if _, err := Send(jis, e.lst.Addr(), e.service, "bcn", fmt.Sprintf("n%d", i)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("healthy subscriber stalled at %d/%d notices", received, notices)
+	}
+}
+
+// TestSubscriberDisconnectCleansUp: closing a subscription frees the
+// server-side registration so later sends report fewer deliveries.
+func TestSubscriberDisconnectCleansUp(t *testing.T) {
+	e := newEnv(t)
+	bcn, err := e.realm.NewLoggedInClient("bcn", "bcn-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Subscribe(bcn, e.lst.Addr(), e.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jis, err := e.realm.NewLoggedInClient("jis", "jis-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := Send(jis, e.lst.Addr(), e.service, "bcn", "one"); err != nil || n != 1 {
+		t.Fatalf("first send: n=%d err=%v", n, err)
+	}
+	sub.Close()
+	// The server notices the disconnect asynchronously; poll until the
+	// registration is gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n, err := Send(jis, e.lst.Addr(), e.service, "bcn", "two")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("closed subscription still registered")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,183 @@
+package zephyr
+
+import (
+	"testing"
+	"time"
+
+	"kerberos"
+	"kerberos/internal/core"
+)
+
+type env struct {
+	realm   *kerberos.Realm
+	lst     *Listener
+	service core.Principal
+}
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	realm, err := kerberos.NewRealm(kerberos.RealmConfig{
+		Name: "ATHENA.MIT.EDU", MasterPassword: "master",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { realm.Close() })
+	for _, u := range []string{"jis", "bcn", "steiner"} {
+		if err := realm.AddUser(u, u+"-pw"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab, err := realm.AddService("zephyr", "hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(realm.NewServiceContext("zephyr", "hub", tab))
+	l, err := Serve(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return &env{realm: realm, lst: l,
+		service: core.Principal{Name: "zephyr", Instance: "hub", Realm: realm.Name}}
+}
+
+// TestNotificationDelivery: bcn subscribes; jis sends; the notice
+// arrives carrying jis's *authenticated* identity.
+func TestNotificationDelivery(t *testing.T) {
+	e := newEnv(t)
+	bcn, err := e.realm.NewLoggedInClient("bcn", "bcn-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Subscribe(bcn, e.lst.Addr(), e.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	jis, err := e.realm.NewLoggedInClient("jis", "jis-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Send(jis, e.lst.Addr(), e.service, "bcn", "your build is green")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("delivered to %d subscribers, want 1", n)
+	}
+	select {
+	case notice := <-sub.Notices:
+		if notice.From != "jis@ATHENA.MIT.EDU" {
+			t.Errorf("From = %q; identity not authenticated", notice.From)
+		}
+		if notice.To != "bcn" || notice.Body != "your build is green" {
+			t.Errorf("notice = %+v", notice)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("notice never arrived")
+	}
+}
+
+// TestSenderCannotForgeIdentity: the From field comes from the ticket,
+// not from anything the sender claims.
+func TestSenderCannotForgeIdentity(t *testing.T) {
+	e := newEnv(t)
+	bcn, err := e.realm.NewLoggedInClient("bcn", "bcn-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Subscribe(bcn, e.lst.Addr(), e.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// steiner sends; whatever the payload, the notice says steiner.
+	steiner, err := e.realm.NewLoggedInClient("steiner", "steiner-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Send(steiner, e.lst.Addr(), e.service, "bcn", "hi, this is totally jis"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case notice := <-sub.Notices:
+		if notice.From != "steiner@ATHENA.MIT.EDU" {
+			t.Errorf("From = %q, want the authenticated sender", notice.From)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("notice never arrived")
+	}
+}
+
+// TestNoSubscribers: a send to an offline user delivers to zero
+// subscribers but succeeds.
+func TestNoSubscribers(t *testing.T) {
+	e := newEnv(t)
+	jis, err := e.realm.NewLoggedInClient("jis", "jis-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Send(jis, e.lst.Addr(), e.service, "nobody-online", "hello?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("delivered = %d", n)
+	}
+}
+
+// TestUnauthenticatedRejected: no tickets, no zephyrgrams.
+func TestUnauthenticatedRejected(t *testing.T) {
+	e := newEnv(t)
+	c := kerberos.NewClient(core.Principal{Name: "jis", Realm: e.realm.Name}, e.realm.ClientConfig())
+	c.Addr = core.Addr{127, 0, 0, 1}
+	if _, err := Send(c, e.lst.Addr(), e.service, "bcn", "spam"); err == nil {
+		t.Fatal("sent without tickets")
+	}
+	if _, err := Subscribe(c, e.lst.Addr(), e.service); err == nil {
+		t.Fatal("subscribed without tickets")
+	}
+}
+
+// TestMultipleSubscribers: fan-out to several subscriptions of the same
+// user.
+func TestMultipleSubscribers(t *testing.T) {
+	e := newEnv(t)
+	bcn, err := e.realm.NewLoggedInClient("bcn", "bcn-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subs []*Subscription
+	for i := 0; i < 3; i++ {
+		sub, err := Subscribe(bcn, e.lst.Addr(), e.service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+		subs = append(subs, sub)
+	}
+	jis, err := e.realm.NewLoggedInClient("jis", "jis-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Send(jis, e.lst.Addr(), e.service, "bcn", "fan-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("delivered = %d, want 3", n)
+	}
+	for i, sub := range subs {
+		select {
+		case notice := <-sub.Notices:
+			if notice.Body != "fan-out" {
+				t.Errorf("sub %d notice = %+v", i, notice)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("sub %d never got the notice", i)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package client
+
+import (
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+	"kerberos/internal/replay"
+)
+
+// Application authentication (§6.2): "The most commonly used library
+// functions are krb_mk_req on the client side, and krb_rd_req on the
+// server side." MkReq obtains (or reuses) a ticket for the target
+// service and builds the message the application sends however it likes;
+// the server's Service.ReadRequest returns "a judgement about the
+// authenticity of the sender's alleged identity."
+
+// AppSession is the client's half of an authenticated connection: the
+// session key both sides now share and the authenticator needed to check
+// a mutual-authentication reply.
+type AppSession struct {
+	Service    core.Principal
+	SessionKey des.Key
+	LocalAddr  core.Addr
+
+	sentAuth *core.Authenticator
+	clock    func() time.Time
+}
+
+// MkReq is krb_mk_req: it "takes as parameters the name, instance, and
+// realm of the target server ... and possibly a checksum of the data to
+// be sent" (§6.2), returning the encoded AP request and the session
+// state. Set mutual to request the Figure 7 server proof.
+func (c *Client) MkReq(service core.Principal, cksum uint32, mutual bool) ([]byte, *AppSession, error) {
+	cred, err := c.GetCredentials(service)
+	if err != nil {
+		return nil, nil, err
+	}
+	now := c.now()
+	auth := core.NewAuthenticator(c.Principal, c.Addr, now, cksum)
+	req := &core.APRequest{
+		KVNO:          cred.KVNO,
+		TicketRealm:   cred.TicketRealm,
+		Ticket:        cred.Ticket,
+		Authenticator: auth.Seal(cred.SessionKey),
+		MutualAuth:    mutual,
+	}
+	sess := &AppSession{
+		Service:    cred.Service,
+		SessionKey: cred.SessionKey,
+		LocalAddr:  c.Addr,
+		sentAuth:   auth,
+		clock:      c.now,
+	}
+	return req.Encode(), sess, nil
+}
+
+// VerifyReply checks the server's mutual-authentication reply against
+// the authenticator MkReq sent (Figure 7).
+func (s *AppSession) VerifyReply(reply []byte) error {
+	rep, err := core.DecodeAPReply(reply)
+	if err != nil {
+		return err
+	}
+	return rep.Verify(s.SessionKey, s.sentAuth)
+}
+
+// MkSafe builds an authenticated plaintext message in this session.
+func (s *AppSession) MkSafe(data []byte) []byte {
+	return core.MakeSafe(s.SessionKey, data, s.LocalAddr, s.clock())
+}
+
+// RdSafe verifies a safe message from the peer.
+func (s *AppSession) RdSafe(msg []byte, from core.Addr) ([]byte, error) {
+	return core.ReadSafe(s.SessionKey, msg, from, s.clock())
+}
+
+// MkPriv builds an authenticated, encrypted message in this session.
+func (s *AppSession) MkPriv(data []byte) []byte {
+	return core.MakePriv(s.SessionKey, data, s.LocalAddr, s.clock())
+}
+
+// RdPriv decrypts and verifies a private message from the peer.
+func (s *AppSession) RdPriv(msg []byte, from core.Addr) ([]byte, error) {
+	return core.ReadPriv(s.SessionKey, msg, from, s.clock())
+}
+
+// Service is the server side of application authentication: a network
+// server that registered with Kerberos and holds its private key in a
+// srvtab (§6.3). It keeps a replay cache across requests (§4.3).
+type Service struct {
+	Principal core.Principal
+	Keytab    *Srvtab
+
+	// Clock substitutes the time source; nil means time.Now.
+	Clock func() time.Time
+
+	replays *replay.Cache
+}
+
+// NewService creates the server-side authentication context.
+func NewService(principal core.Principal, keytab *Srvtab) *Service {
+	return &Service{Principal: principal, Keytab: keytab, replays: replay.New()}
+}
+
+func (s *Service) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
+}
+
+// ServerSession is the outcome of a successful ReadRequest: who the
+// client is, the shared session key, and the mutual-auth reply to send
+// back if the client asked for one.
+type ServerSession struct {
+	Client     core.Principal // authenticated identity (realm = where originally authenticated, §7.2)
+	ClientAddr core.Addr
+	SessionKey des.Key
+	Checksum   uint32 // application checksum from the authenticator
+	MutualAuth bool
+	Reply      []byte // encoded APReply; empty unless MutualAuth
+
+	clock func() time.Time
+	local core.Addr
+}
+
+// ReadRequest is krb_rd_req: decrypt the ticket with the service key,
+// decrypt the authenticator with the ticket's session key, and run the
+// §4.3 checks (identity match, address match, freshness, replay).
+// from is the transport source address; pass the zero Addr to skip that
+// comparison.
+func (s *Service) ReadRequest(msg []byte, from core.Addr) (*ServerSession, error) {
+	req, err := core.DecodeAPRequest(msg)
+	if err != nil {
+		return nil, err
+	}
+	key, kvno, err := s.Keytab.Key(s.Principal)
+	if err != nil {
+		return nil, core.NewError(core.ErrDatabase, "%v", err)
+	}
+	if req.KVNO != 0 && req.KVNO != kvno {
+		return nil, core.NewError(core.ErrIntegrityFailed,
+			"ticket sealed with key version %d, server holds %d", req.KVNO, kvno)
+	}
+	tkt, err := core.OpenTicket(key, req.Ticket)
+	if err != nil {
+		return nil, err
+	}
+	if !tkt.Server.SameEntity(s.Principal) {
+		return nil, core.NewError(core.ErrIntegrityFailed,
+			"ticket is for %v, this server is %v", tkt.Server, s.Principal)
+	}
+	auth, err := core.OpenAuthenticator(tkt.SessionKey, req.Authenticator)
+	if err != nil {
+		return nil, err
+	}
+	now := s.now()
+	if err := auth.Verify(tkt, from, now); err != nil {
+		return nil, err
+	}
+	if s.replays.Seen(auth, now) {
+		return nil, core.NewError(core.ErrRepeat, "authenticator replayed")
+	}
+	sess := &ServerSession{
+		Client:     tkt.Client,
+		ClientAddr: tkt.Addr,
+		SessionKey: tkt.SessionKey,
+		Checksum:   auth.Checksum,
+		MutualAuth: req.MutualAuth,
+		clock:      s.now,
+	}
+	if req.MutualAuth {
+		sess.Reply = core.NewAPReply(tkt.SessionKey, auth).Encode()
+	}
+	return sess, nil
+}
+
+// MkSafe builds an authenticated plaintext message to the client.
+func (s *ServerSession) MkSafe(data []byte) []byte {
+	return core.MakeSafe(s.SessionKey, data, s.local, s.clock())
+}
+
+// RdSafe verifies a safe message from the client.
+func (s *ServerSession) RdSafe(msg []byte) ([]byte, error) {
+	return core.ReadSafe(s.SessionKey, msg, s.ClientAddr, s.clock())
+}
+
+// MkPriv builds a private message to the client.
+func (s *ServerSession) MkPriv(data []byte) []byte {
+	return core.MakePriv(s.SessionKey, data, s.local, s.clock())
+}
+
+// RdPriv decrypts a private message from the client.
+func (s *ServerSession) RdPriv(msg []byte) ([]byte, error) {
+	return core.ReadPriv(s.SessionKey, msg, s.ClientAddr, s.clock())
+}

@@ -1,0 +1,293 @@
+// Package client is the Kerberos applications library (§2.2, §6.2): the
+// client-side credential cache and KDC exchanges behind kinit, klist and
+// kdestroy; the krb_mk_req / krb_rd_req pair applications use to
+// authenticate; mutual authentication; and the safe/private message
+// calls (krb_mk_safe, krb_mk_priv and their readers) bound to an
+// authenticated session.
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+)
+
+// Credentials is one cached credential: a sealed ticket and the session
+// key that goes with it. This is what "the ticket and the session key,
+// along with some of the other information, are stored for future use"
+// (§4.2) refers to.
+type Credentials struct {
+	Service     core.Principal // who the ticket is good for
+	SessionKey  des.Key        // K(s,c)
+	Ticket      []byte         // sealed ticket, opaque
+	KVNO        uint8          // version of the server key sealing the ticket
+	TicketRealm string         // realm of the KDC that issued the ticket
+	Issued      core.KerberosTime
+	Life        core.Lifetime
+}
+
+// ExpiresAt returns when the credential stops being usable.
+func (c *Credentials) ExpiresAt() time.Time {
+	return c.Issued.Go().Add(c.Life.Duration())
+}
+
+// Valid reports whether the credential is still within its lifetime.
+func (c *Credentials) Valid(now time.Time) bool {
+	return !now.After(c.ExpiresAt())
+}
+
+// CredCache is the in-memory ticket file: the client principal plus all
+// credentials silently obtained on its behalf (§6.1: "A user executing
+// the klist command out of curiosity may be surprised at all the tickets
+// which have silently been obtained"). Safe for concurrent use.
+type CredCache struct {
+	mu        sync.RWMutex
+	principal core.Principal
+	creds     map[string]*Credentials // keyed by service principal string
+}
+
+// NewCredCache creates an empty cache owned by the given principal.
+func NewCredCache(principal core.Principal) *CredCache {
+	return &CredCache{principal: principal, creds: make(map[string]*Credentials)}
+}
+
+// Principal returns the cache owner.
+func (cc *CredCache) Principal() core.Principal {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	return cc.principal
+}
+
+// Store records a credential, replacing any previous one for the same
+// service.
+func (cc *CredCache) Store(c *Credentials) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cp := *c
+	cp.Ticket = append([]byte(nil), c.Ticket...)
+	cc.creds[c.Service.String()] = &cp
+}
+
+// Get returns a still-valid credential for the service, if cached.
+func (cc *CredCache) Get(service core.Principal, now time.Time) (*Credentials, bool) {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	c, ok := cc.creds[service.String()]
+	if !ok || !c.Valid(now) {
+		return nil, false
+	}
+	cp := *c
+	cp.Ticket = append([]byte(nil), c.Ticket...)
+	return &cp, true
+}
+
+// List returns all cached credentials sorted by service name (klist).
+func (cc *CredCache) List() []*Credentials {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	keys := make([]string, 0, len(cc.creds))
+	for k := range cc.creds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Credentials, len(keys))
+	for i, k := range keys {
+		c := *cc.creds[k]
+		c.Ticket = append([]byte(nil), cc.creds[k].Ticket...)
+		out[i] = &c
+	}
+	return out
+}
+
+// Destroy erases every credential — kdestroy, run automatically at
+// logout ("Kerberos tickets are automatically destroyed when a user logs
+// out", §6.1). Ticket bytes and session keys are zeroed before release.
+func (cc *CredCache) Destroy() {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for k, c := range cc.creds {
+		for i := range c.Ticket {
+			c.Ticket[i] = 0
+		}
+		c.SessionKey = des.Key{}
+		delete(cc.creds, k)
+	}
+}
+
+// Len reports the number of cached credentials.
+func (cc *CredCache) Len() int {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	return len(cc.creds)
+}
+
+// Ticket-file persistence. The historical implementation kept
+// /tmp/tkt<uid> protected by file modes; we do the same with 0600.
+
+var tktMagic = [4]byte{'T', 'K', 'T', '1'}
+
+// ErrBadTicketFile reports a corrupt ticket file.
+var ErrBadTicketFile = errors.New("client: malformed ticket file")
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+type tktReader struct {
+	data []byte
+	err  error
+}
+
+func (r *tktReader) bytes() []byte {
+	if r.err != nil {
+		return nil
+	}
+	n, used := binary.Uvarint(r.data)
+	if used <= 0 || n > 1<<20 || uint64(len(r.data)-used) < n {
+		r.err = ErrBadTicketFile
+		return nil
+	}
+	b := r.data[used : used+int(n)]
+	r.data = r.data[used+int(n):]
+	return b
+}
+
+func (r *tktReader) str() string { return string(r.bytes()) }
+
+func (r *tktReader) u32() uint32 {
+	if r.err != nil || len(r.data) < 4 {
+		r.err = ErrBadTicketFile
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data)
+	r.data = r.data[4:]
+	return v
+}
+
+func (r *tktReader) u8() uint8 {
+	if r.err != nil || len(r.data) < 1 {
+		r.err = ErrBadTicketFile
+		return 0
+	}
+	v := r.data[0]
+	r.data = r.data[1:]
+	return v
+}
+
+// Marshal serializes the cache for the ticket file.
+func (cc *CredCache) Marshal() []byte {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	buf := append([]byte(nil), tktMagic[:]...)
+	buf = appendStr(buf, cc.principal.Name)
+	buf = appendStr(buf, cc.principal.Instance)
+	buf = appendStr(buf, cc.principal.Realm)
+	keys := make([]string, 0, len(cc.creds))
+	for k := range cc.creds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		c := cc.creds[k]
+		buf = appendStr(buf, c.Service.Name)
+		buf = appendStr(buf, c.Service.Instance)
+		buf = appendStr(buf, c.Service.Realm)
+		buf = append(buf, c.SessionKey[:]...)
+		buf = appendBytes(buf, c.Ticket)
+		buf = append(buf, c.KVNO)
+		buf = appendStr(buf, c.TicketRealm)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c.Issued))
+		buf = append(buf, byte(c.Life))
+	}
+	return buf
+}
+
+// UnmarshalCredCache parses a serialized cache.
+func UnmarshalCredCache(data []byte) (*CredCache, error) {
+	if len(data) < 4 || [4]byte(data[:4]) != tktMagic {
+		return nil, ErrBadTicketFile
+	}
+	r := tktReader{data: data[4:]}
+	p := core.Principal{Name: r.str(), Instance: r.str(), Realm: r.str()}
+	count := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	cc := NewCredCache(p)
+	for i := uint32(0); i < count; i++ {
+		c := &Credentials{
+			Service: core.Principal{Name: r.str(), Instance: r.str(), Realm: r.str()},
+		}
+		key := r.bytesN(des.KeySize)
+		copy(c.SessionKey[:], key)
+		c.Ticket = append([]byte(nil), r.bytes()...)
+		c.KVNO = r.u8()
+		c.TicketRealm = r.str()
+		c.Issued = core.KerberosTime(r.u32())
+		c.Life = core.Lifetime(r.u8())
+		if r.err != nil {
+			return nil, r.err
+		}
+		cc.creds[c.Service.String()] = c
+	}
+	if len(r.data) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadTicketFile)
+	}
+	return cc, nil
+}
+
+func (r *tktReader) bytesN(n int) []byte {
+	if r.err != nil || len(r.data) < n {
+		r.err = ErrBadTicketFile
+		return make([]byte, n)
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+// Save writes the ticket file with owner-only permissions.
+func (cc *CredCache) Save(path string) error {
+	if err := os.WriteFile(path, cc.Marshal(), 0o600); err != nil {
+		return fmt.Errorf("client: writing ticket file: %w", err)
+	}
+	return nil
+}
+
+// LoadCredCache reads a ticket file.
+func LoadCredCache(path string) (*CredCache, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading ticket file: %w", err)
+	}
+	return UnmarshalCredCache(data)
+}
+
+// DestroyFile removes a ticket file, first overwriting its contents so
+// stale session keys do not linger on disk (kdestroy).
+func DestroyFile(path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	zeros := make([]byte, info.Size())
+	_ = os.WriteFile(path, zeros, 0o600)
+	return os.Remove(path)
+}

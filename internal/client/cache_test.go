@@ -1,0 +1,236 @@
+package client
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+)
+
+func sampleCred(name string, life core.Lifetime) *Credentials {
+	key, _ := des.NewRandomKey()
+	return &Credentials{
+		Service:     core.Principal{Name: name, Instance: "host", Realm: testRealm},
+		SessionKey:  key,
+		Ticket:      []byte("sealed-" + name),
+		KVNO:        2,
+		TicketRealm: testRealm,
+		Issued:      core.TimeFromGo(t0),
+		Life:        life,
+	}
+}
+
+func TestCredCacheStoreGet(t *testing.T) {
+	cc := NewCredCache(core.Principal{Name: "jis", Realm: testRealm})
+	cred := sampleCred("rlogin", 95)
+	cc.Store(cred)
+	got, ok := cc.Get(cred.Service, t0.Add(time.Hour))
+	if !ok {
+		t.Fatal("stored credential not found")
+	}
+	if got.Service != cred.Service || !bytes.Equal(got.Ticket, cred.Ticket) {
+		t.Error("credential mismatch")
+	}
+	// Expired credentials are not returned.
+	if _, ok := cc.Get(cred.Service, t0.Add(9*time.Hour)); ok {
+		t.Error("expired credential returned")
+	}
+	// Unknown service.
+	if _, ok := cc.Get(core.Principal{Name: "pop", Realm: testRealm}, t0); ok {
+		t.Error("phantom credential returned")
+	}
+}
+
+func TestCredCacheIsolation(t *testing.T) {
+	cc := NewCredCache(core.Principal{Name: "jis", Realm: testRealm})
+	cred := sampleCred("rlogin", 95)
+	cc.Store(cred)
+	cred.Ticket[0] = 'X' // caller mutates after store
+	got, _ := cc.Get(cred.Service, t0)
+	if got.Ticket[0] == 'X' {
+		t.Error("cache aliased caller's ticket bytes")
+	}
+	got.Ticket[0] = 'Y' // caller mutates a fetched cred
+	again, _ := cc.Get(cred.Service, t0)
+	if again.Ticket[0] == 'Y' {
+		t.Error("fetched credential aliased cache internals")
+	}
+}
+
+func TestCredCacheListSorted(t *testing.T) {
+	cc := NewCredCache(core.Principal{Name: "jis", Realm: testRealm})
+	for _, n := range []string{"zephyr", "rlogin", "pop"} {
+		cc.Store(sampleCred(n, 95))
+	}
+	list := cc.List()
+	if len(list) != 3 {
+		t.Fatalf("list has %d entries", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Service.String() >= list[i].Service.String() {
+			t.Error("list not sorted")
+		}
+	}
+}
+
+func TestCredCacheDestroy(t *testing.T) {
+	cc := NewCredCache(core.Principal{Name: "jis", Realm: testRealm})
+	cred := sampleCred("rlogin", 95)
+	cc.Store(cred)
+	stored, _ := cc.Get(cred.Service, t0)
+	cc.Destroy()
+	if cc.Len() != 0 {
+		t.Error("destroy left credentials behind")
+	}
+	_ = stored
+	if _, ok := cc.Get(cred.Service, t0); ok {
+		t.Error("credential survived destroy")
+	}
+}
+
+func TestTicketFileRoundTrip(t *testing.T) {
+	cc := NewCredCache(core.Principal{Name: "jis", Instance: "root", Realm: testRealm})
+	cc.Store(sampleCred("rlogin", 95))
+	cc.Store(sampleCred("pop", 12))
+
+	path := filepath.Join(t.TempDir(), "tkt0")
+	if err := cc.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Errorf("ticket file mode = %v, want 0600", info.Mode().Perm())
+	}
+	got, err := LoadCredCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Principal() != cc.Principal() {
+		t.Errorf("principal = %v", got.Principal())
+	}
+	if got.Len() != 2 {
+		t.Errorf("loaded %d creds", got.Len())
+	}
+	a := cc.List()
+	b := got.List()
+	for i := range a {
+		if a[i].Service != b[i].Service || !bytes.Equal(a[i].Ticket, b[i].Ticket) ||
+			a[i].SessionKey != b[i].SessionKey || a[i].Life != b[i].Life ||
+			a[i].Issued != b[i].Issued || a[i].KVNO != b[i].KVNO ||
+			a[i].TicketRealm != b[i].TicketRealm {
+			t.Errorf("cred %d differs after round trip", i)
+		}
+	}
+}
+
+func TestTicketFileCorruption(t *testing.T) {
+	cc := NewCredCache(core.Principal{Name: "jis", Realm: testRealm})
+	cc.Store(sampleCred("rlogin", 95))
+	data := cc.Marshal()
+	if _, err := UnmarshalCredCache(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := UnmarshalCredCache([]byte("GARB")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := UnmarshalCredCache(data[:len(data)-2]); err == nil {
+		t.Error("truncation accepted")
+	}
+	if _, err := UnmarshalCredCache(append(append([]byte(nil), data...), 7)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestDestroyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tkt0")
+	cc := NewCredCache(core.Principal{Name: "jis", Realm: testRealm})
+	cc.Store(sampleCred("rlogin", 95))
+	if err := cc.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := DestroyFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("ticket file still exists")
+	}
+	// Destroying a missing file is fine (idempotent logout).
+	if err := DestroyFile(path); err != nil {
+		t.Errorf("second destroy: %v", err)
+	}
+}
+
+func TestSrvtabRoundTrip(t *testing.T) {
+	tab := NewSrvtab()
+	rk, _ := des.NewRandomKey()
+	pk, _ := des.NewRandomKey()
+	rp := core.Principal{Name: "rlogin", Instance: "priam", Realm: testRealm}
+	pp := core.Principal{Name: "pop", Instance: "po10", Realm: testRealm}
+	tab.Set(rp, 3, rk)
+	tab.Set(pp, 1, pk)
+
+	path := filepath.Join(t.TempDir(), "srvtab")
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSrvtab(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, v, err := got.Key(rp)
+	if err != nil || k != rk || v != 3 {
+		t.Errorf("rlogin key = %v %d %v", k, v, err)
+	}
+	k, v, err = got.Key(pp)
+	if err != nil || k != pk || v != 1 {
+		t.Errorf("pop key = %v %d %v", k, v, err)
+	}
+	if _, _, err := got.Key(core.Principal{Name: "nfs", Realm: testRealm}); err == nil {
+		t.Error("missing key found")
+	}
+	// Corruption.
+	data := tab.Marshal()
+	if _, err := UnmarshalSrvtab(data[:len(data)-4]); err == nil {
+		t.Error("truncated srvtab accepted")
+	}
+	if _, err := UnmarshalSrvtab([]byte("XXXXXXXX")); err == nil {
+		t.Error("garbage srvtab accepted")
+	}
+}
+
+// TestCredCacheMarshalProperty: marshal/unmarshal is lossless for
+// arbitrary credential sets.
+func TestCredCacheMarshalProperty(t *testing.T) {
+	f := func(names []string, lives []uint8) bool {
+		cc := NewCredCache(core.Principal{Name: "u", Realm: testRealm})
+		for i, raw := range names {
+			name := ""
+			for _, r := range raw {
+				if r > 0x20 && r < 0x7f && r != '.' && r != '@' && len(name) < 20 {
+					name += string(r)
+				}
+			}
+			if name == "" {
+				continue
+			}
+			life := core.Lifetime(95)
+			if i < len(lives) {
+				life = core.Lifetime(lives[i])
+			}
+			cc.Store(sampleCred(name, life))
+		}
+		got, err := UnmarshalCredCache(cc.Marshal())
+		return err == nil && got.Len() == cc.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+)
+
+// Srvtab is the server-side key file of §6.3: "some data (including the
+// server's key) must be extracted from the database and installed in a
+// file on the server's machine. The default file is /etc/srvtab ... The
+// /etc/srvtab file authenticates the server as a password typed at a
+// terminal authenticates the user."
+type Srvtab struct {
+	mu      sync.RWMutex
+	entries map[string]srvtabEntry // keyed by name.instance@realm
+}
+
+type srvtabEntry struct {
+	principal core.Principal
+	kvno      uint8
+	key       des.Key
+}
+
+// NewSrvtab returns an empty key file.
+func NewSrvtab() *Srvtab {
+	return &Srvtab{entries: make(map[string]srvtabEntry)}
+}
+
+// Set installs a service key.
+func (s *Srvtab) Set(p core.Principal, kvno uint8, key des.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[p.String()] = srvtabEntry{principal: p, kvno: kvno, key: key}
+}
+
+// ErrNoSrvtabKey reports a missing service key.
+var ErrNoSrvtabKey = errors.New("client: no srvtab entry for service")
+
+// Key looks up the key for a service principal.
+func (s *Srvtab) Key(p core.Principal) (des.Key, uint8, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[p.String()]
+	if !ok {
+		return des.Key{}, 0, fmt.Errorf("%w: %v", ErrNoSrvtabKey, p)
+	}
+	return e.key, e.kvno, nil
+}
+
+var srvtabMagic = [4]byte{'S', 'R', 'V', '1'}
+
+// Marshal serializes the srvtab deterministically.
+func (s *Srvtab) Marshal() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := append([]byte(nil), srvtabMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		e := s.entries[k]
+		buf = appendStr(buf, e.principal.Name)
+		buf = appendStr(buf, e.principal.Instance)
+		buf = appendStr(buf, e.principal.Realm)
+		buf = append(buf, e.kvno)
+		buf = append(buf, e.key[:]...)
+	}
+	return buf
+}
+
+// UnmarshalSrvtab parses a serialized srvtab.
+func UnmarshalSrvtab(data []byte) (*Srvtab, error) {
+	if len(data) < 8 || [4]byte(data[:4]) != srvtabMagic {
+		return nil, errors.New("client: malformed srvtab")
+	}
+	count := binary.BigEndian.Uint32(data[4:8])
+	r := tktReader{data: data[8:]}
+	s := NewSrvtab()
+	for i := uint32(0); i < count; i++ {
+		p := core.Principal{Name: r.str(), Instance: r.str(), Realm: r.str()}
+		kvno := r.u8()
+		var key des.Key
+		copy(key[:], r.bytesN(des.KeySize))
+		if r.err != nil {
+			return nil, errors.New("client: truncated srvtab")
+		}
+		s.entries[p.String()] = srvtabEntry{principal: p, kvno: kvno, key: key}
+	}
+	if len(r.data) != 0 {
+		return nil, errors.New("client: srvtab trailing bytes")
+	}
+	return s, nil
+}
+
+// Save writes the srvtab with owner-only permissions.
+func (s *Srvtab) Save(path string) error {
+	if err := os.WriteFile(path, s.Marshal(), 0o600); err != nil {
+		return fmt.Errorf("client: writing srvtab: %w", err)
+	}
+	return nil
+}
+
+// LoadSrvtab reads a srvtab file.
+func LoadSrvtab(path string) (*Srvtab, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading srvtab: %w", err)
+	}
+	return UnmarshalSrvtab(data)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Addr is a client network address as carried in tickets and
+// authenticators — a 32-bit Internet address, as in 1988. The protocols
+// here run over IPv4 or the IPv4-mapped loopback, which is all the paper's
+// address check requires.
+type Addr [4]byte
+
+// AddrFromIP converts a net.IP, taking the IPv4 form when available.
+// Non-IPv4 addresses map to the zero Addr, which servers treat as
+// "unknown" and match permissively only when the ticket also carries it.
+func AddrFromIP(ip net.IP) Addr {
+	var a Addr
+	if v4 := ip.To4(); v4 != nil {
+		copy(a[:], v4)
+	}
+	return a
+}
+
+// AddrFromString parses a dotted-quad address; bad input gives the zero Addr.
+func AddrFromString(s string) Addr {
+	host, _, err := net.SplitHostPort(s)
+	if err != nil {
+		host = s
+	}
+	return AddrFromIP(net.ParseIP(host))
+}
+
+// IP returns the address as a net.IP.
+func (a Addr) IP() net.IP { return net.IPv4(a[0], a[1], a[2], a[3]) }
+
+// IsZero reports the unknown address.
+func (a Addr) IsZero() bool { return a == Addr{} }
+
+// String renders the dotted-quad form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Lifetime is a ticket lifetime in the protocol's 5-minute units, one
+// byte on the wire: 0 means 5 minutes, 255 means 21 hours 15 minutes.
+type Lifetime uint8
+
+// LifeUnit is the granularity of ticket lifetimes.
+const LifeUnit = 5 * time.Minute
+
+// MaxLife is the longest expressible lifetime (21h15m).
+const MaxLife = Lifetime(255)
+
+// DefaultTGTLife is the ticket-granting ticket lifetime: "currently 8
+// hours" (§6.1).
+const DefaultTGTLife = Lifetime(8*time.Hour/LifeUnit - 1) // 95 → 8h
+
+// LifetimeFromDuration quantizes d up to the next 5-minute unit,
+// saturating at MaxLife. Durations under one unit round up to one.
+func LifetimeFromDuration(d time.Duration) Lifetime {
+	if d <= 0 {
+		return 0
+	}
+	units := (d + LifeUnit - 1) / LifeUnit
+	if units > 256 {
+		return MaxLife
+	}
+	return Lifetime(units - 1)
+}
+
+// Duration returns the lifetime as a time.Duration.
+func (l Lifetime) Duration() time.Duration {
+	return time.Duration(uint32(l)+1) * LifeUnit
+}
+
+// MinLife returns the smaller of two lifetimes. The ticket-granting
+// server issues tickets whose life is "the minimum of the remaining life
+// for the ticket-granting ticket and the default for the service" (§4.4).
+func MinLife(a, b Lifetime) Lifetime {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ClockSkew is the tolerated difference between client and server
+// clocks: "It is assumed that clocks are synchronized to within several
+// minutes" (§4.3).
+const ClockSkew = 5 * time.Minute
+
+// KerberosTime is a protocol timestamp: whole seconds since the Unix
+// epoch, 32 bits on the wire.
+type KerberosTime uint32
+
+// TimeFromGo converts a time.Time to a protocol timestamp.
+func TimeFromGo(t time.Time) KerberosTime { return KerberosTime(t.Unix()) }
+
+// Go converts a protocol timestamp to a time.Time in UTC.
+func (kt KerberosTime) Go() time.Time { return time.Unix(int64(kt), 0).UTC() }
+
+// WithinSkew reports whether two instants are within the clock skew
+// window of each other.
+func WithinSkew(a, b time.Time) bool {
+	d := a.Sub(b)
+	if d < 0 {
+		d = -d
+	}
+	return d <= ClockSkew
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestAddrConversions(t *testing.T) {
+	a := AddrFromIP(net.ParseIP("18.72.0.3"))
+	if a.String() != "18.72.0.3" {
+		t.Errorf("Addr = %v", a)
+	}
+	if a.IsZero() {
+		t.Error("real address reported zero")
+	}
+	if !a.IP().Equal(net.ParseIP("18.72.0.3")) {
+		t.Error("IP round trip failed")
+	}
+	if !AddrFromIP(net.ParseIP("::1")).IsZero() {
+		t.Error("IPv6 address should map to zero Addr")
+	}
+	if AddrFromString("127.0.0.1:750") != (Addr{127, 0, 0, 1}) {
+		t.Error("host:port parse failed")
+	}
+	if AddrFromString("10.0.0.7") != (Addr{10, 0, 0, 7}) {
+		t.Error("bare host parse failed")
+	}
+	if !AddrFromString("not an address").IsZero() {
+		t.Error("garbage should map to zero Addr")
+	}
+}
+
+func TestLifetimeQuantization(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want Lifetime
+	}{
+		{0, 0},
+		{-time.Hour, 0},
+		{time.Second, 0},           // rounds up to one unit = 5 min
+		{5 * time.Minute, 0},       // exactly one unit
+		{5*time.Minute + 1, 1},     // next unit
+		{8 * time.Hour, 95},        // the paper's default TGT life
+		{22 * time.Hour, MaxLife},  // saturates
+		{100 * time.Hour, MaxLife}, // saturates
+	}
+	for _, c := range cases {
+		if got := LifetimeFromDuration(c.d); got != c.want {
+			t.Errorf("LifetimeFromDuration(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if DefaultTGTLife.Duration() != 8*time.Hour {
+		t.Errorf("default TGT life = %v, want 8h", DefaultTGTLife.Duration())
+	}
+	if MaxLife.Duration() != 21*time.Hour+20*time.Minute {
+		t.Errorf("max life = %v", MaxLife.Duration())
+	}
+	if MinLife(3, 7) != 3 || MinLife(9, 2) != 2 {
+		t.Error("MinLife wrong")
+	}
+}
+
+func TestLifetimeRoundTripProperty(t *testing.T) {
+	// Duration then FromDuration is the identity on the lifetime lattice.
+	for l := Lifetime(0); ; l++ {
+		if got := LifetimeFromDuration(l.Duration()); got != l {
+			t.Fatalf("lifetime %d round trips to %d", l, got)
+		}
+		if l == MaxLife {
+			break
+		}
+	}
+}
+
+func TestKerberosTime(t *testing.T) {
+	now := time.Date(1988, 2, 9, 12, 0, 0, 0, time.UTC) // USENIX Winter '88
+	kt := TimeFromGo(now)
+	if !kt.Go().Equal(now) {
+		t.Errorf("time round trip: %v != %v", kt.Go(), now)
+	}
+}
+
+func TestWithinSkew(t *testing.T) {
+	base := time.Unix(1000000, 0)
+	if !WithinSkew(base, base.Add(ClockSkew)) {
+		t.Error("exact skew boundary should pass")
+	}
+	if !WithinSkew(base.Add(ClockSkew), base) {
+		t.Error("skew must be symmetric")
+	}
+	if WithinSkew(base, base.Add(ClockSkew+time.Second)) {
+		t.Error("beyond skew should fail")
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kerberos/internal/des"
+)
+
+// Authenticator is the second kind of Kerberos credential (§4.1,
+// Figure 4):
+//
+//	{c, addr, timestamp} K(s,c)
+//
+// "Unlike the ticket, the authenticator can only be used once. A new one
+// must be generated each time a client wants to use a service. This does
+// not present a problem because the client is able to build the
+// authenticator itself."
+type Authenticator struct {
+	Client   Principal    // must match the ticket's client
+	Checksum uint32       // optional application-data checksum (krb_mk_req's cksum parameter, §6.2)
+	Addr     Addr         // workstation address; must match the ticket
+	Time     KerberosTime // current workstation time
+	MicroSec uint32       // sub-second disambiguation for the replay cache
+}
+
+// NewAuthenticator builds an authenticator for the client at the given
+// instant.
+func NewAuthenticator(client Principal, addr Addr, now time.Time, cksum uint32) *Authenticator {
+	return &Authenticator{
+		Client:   client,
+		Checksum: cksum,
+		Addr:     addr,
+		Time:     TimeFromGo(now),
+		MicroSec: uint32(now.Nanosecond() / 1000),
+	}
+}
+
+func (a *Authenticator) encode() []byte {
+	var w writer
+	w.principal(a.Client)
+	w.u32(a.Checksum)
+	w.addr(a.Addr)
+	w.time(a.Time)
+	w.u32(a.MicroSec)
+	return w.buf
+}
+
+func decodeAuthenticator(data []byte) (*Authenticator, error) {
+	r := reader{data: data}
+	a := &Authenticator{
+		Client:   r.principal(),
+		Checksum: r.u32(),
+		Addr:     r.addr(),
+		Time:     r.time(),
+		MicroSec: r.u32(),
+	}
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("core: decoding authenticator: %w", err)
+	}
+	return a, nil
+}
+
+// Seal encrypts the authenticator in the session key from the ticket:
+// "The authenticator is encrypted in the session key that is part of the
+// ticket" (§4.1).
+func (a *Authenticator) Seal(sessionKey des.Key) []byte {
+	return des.Seal(sessionKey, a.encode())
+}
+
+// OpenAuthenticator decrypts and parses a sealed authenticator.
+func OpenAuthenticator(sessionKey des.Key, sealed []byte) (*Authenticator, error) {
+	plain, err := des.Unseal(sessionKey, sealed)
+	if err != nil {
+		return nil, NewError(ErrIntegrityFailed, "authenticator did not decrypt")
+	}
+	return decodeAuthenticator(plain)
+}
+
+// Verify performs the server-side checks of §4.3: "the server decrypts
+// the ticket, uses the session key included in the ticket to decrypt the
+// authenticator, compares the information in the ticket with that in the
+// authenticator, the IP address from which the request was received, and
+// the present time."
+//
+// from is the address the request arrived from; pass the zero Addr to
+// skip the transport-address comparison (e.g. when the transport is a
+// local pipe). Replay detection is the caller's job (see internal/replay)
+// because it requires state.
+func (a *Authenticator) Verify(t *Ticket, from Addr, now time.Time) error {
+	if !a.Client.SameEntity(t.Client) || a.Client.Realm != t.Client.Realm {
+		return NewError(ErrIntegrityFailed,
+			"authenticator names %v but ticket was issued to %v", a.Client, t.Client)
+	}
+	if a.Addr != t.Addr {
+		return NewError(ErrBadAddr,
+			"authenticator address %v differs from ticket address %v", a.Addr, t.Addr)
+	}
+	if !from.IsZero() && from != t.Addr {
+		return NewError(ErrBadAddr,
+			"request arrived from %v but ticket was issued to %v", from, t.Addr)
+	}
+	if !WithinSkew(a.Time.Go(), now) {
+		return NewError(ErrSkew,
+			"authenticator time %v vs server time %v", a.Time.Go(), now)
+	}
+	return t.CheckValidity(now)
+}

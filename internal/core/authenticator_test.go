@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"kerberos/internal/des"
+)
+
+func testAuthSetup(t *testing.T) (*Ticket, des.Key, *Authenticator, time.Time) {
+	t.Helper()
+	tkt, _ := testTicket(t)
+	now := tkt.Issued.Go().Add(time.Minute)
+	auth := NewAuthenticator(tkt.Client, tkt.Addr, now, 0xdeadbeef)
+	return tkt, tkt.SessionKey, auth, now
+}
+
+// TestAuthenticatorRoundTrip reproduces Figure 4: the authenticator seals
+// under the session key and carries the client name, address, and time.
+func TestAuthenticatorRoundTrip(t *testing.T) {
+	_, sess, auth, _ := testAuthSetup(t)
+	sealed := auth.Seal(sess)
+	got, err := OpenAuthenticator(sess, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *auth {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, auth)
+	}
+	wrong, _ := des.NewRandomKey()
+	if _, err := OpenAuthenticator(wrong, sealed); err == nil {
+		t.Error("authenticator opened with wrong key")
+	}
+}
+
+// TestAuthenticatorVerify walks the server-side checks of §4.3.
+func TestAuthenticatorVerify(t *testing.T) {
+	tkt, _, auth, now := testAuthSetup(t)
+
+	if err := auth.Verify(tkt, tkt.Addr, now); err != nil {
+		t.Fatalf("good authenticator rejected: %v", err)
+	}
+	// Zero "from" skips the transport address check.
+	if err := auth.Verify(tkt, Addr{}, now); err != nil {
+		t.Fatalf("zero-from rejected: %v", err)
+	}
+
+	var pe *ProtocolError
+	// Client mismatch (stolen ticket used with another identity).
+	bad := *auth
+	bad.Client = Principal{Name: "mallory", Realm: tkt.Client.Realm}
+	if err := bad.Verify(tkt, tkt.Addr, now); !errors.As(err, &pe) || pe.Code != ErrIntegrityFailed {
+		t.Errorf("client mismatch error = %v", err)
+	}
+	// Realm mismatch on the same name.
+	bad = *auth
+	bad.Client.Realm = "LCS.MIT.EDU"
+	if err := bad.Verify(tkt, tkt.Addr, now); err == nil {
+		t.Error("realm mismatch accepted")
+	}
+	// Authenticator address differs from ticket.
+	bad = *auth
+	bad.Addr = Addr{10, 0, 0, 99}
+	if err := bad.Verify(tkt, tkt.Addr, now); !errors.As(err, &pe) || pe.Code != ErrBadAddr {
+		t.Errorf("authenticator addr mismatch error = %v", err)
+	}
+	// Request arrived from a different host than the ticket names.
+	if err := auth.Verify(tkt, Addr{10, 9, 8, 7}, now); !errors.As(err, &pe) || pe.Code != ErrBadAddr {
+		t.Errorf("transport addr mismatch error = %v", err)
+	}
+	// Clock skew: "If the time in the request is too far in the future or
+	// the past, the server treats the request as an attempt to replay".
+	if err := auth.Verify(tkt, tkt.Addr, now.Add(ClockSkew+2*time.Minute)); !errors.As(err, &pe) || pe.Code != ErrSkew {
+		t.Errorf("stale authenticator error = %v", err)
+	}
+	if err := auth.Verify(tkt, tkt.Addr, now.Add(-ClockSkew-2*time.Minute)); !errors.As(err, &pe) || pe.Code != ErrSkew {
+		t.Errorf("future authenticator error = %v", err)
+	}
+	// Expired ticket fails even with a fresh authenticator.
+	lateNow := tkt.ExpiresAt().Add(ClockSkew + time.Hour)
+	lateAuth := NewAuthenticator(tkt.Client, tkt.Addr, lateNow, 0)
+	if err := lateAuth.Verify(tkt, tkt.Addr, lateNow); !errors.As(err, &pe) || pe.Code != ErrTktExpired {
+		t.Errorf("expired-ticket error = %v", err)
+	}
+}
+
+func TestAuthenticatorMicrosecondsDistinguish(t *testing.T) {
+	// Two authenticators in the same second differ by microseconds so
+	// the replay cache can tell them apart.
+	client := Principal{Name: "jis", Realm: "ATHENA.MIT.EDU"}
+	base := time.Unix(567705600, 100_000)
+	a := NewAuthenticator(client, Addr{1, 2, 3, 4}, base, 0)
+	b := NewAuthenticator(client, Addr{1, 2, 3, 4}, base.Add(50*time.Microsecond), 0)
+	if a.Time != b.Time {
+		t.Fatal("expected same-second timestamps")
+	}
+	if a.MicroSec == b.MicroSec {
+		t.Error("microseconds identical; replay cache cannot distinguish")
+	}
+}
+
+func TestOpenAuthenticatorGarbage(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	if _, err := OpenAuthenticator(key, []byte("not sealed")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders a one-line, secret-free summary of any encoded
+// protocol message — what a protocol analyst on the 1988 wire would see.
+// Sealed fields are reported only by length: everything inside them is
+// ciphertext to an observer, which is rather the point of the design.
+func Describe(msg []byte) string {
+	t, err := PeekType(msg)
+	if err != nil {
+		return fmt.Sprintf("unparseable message (%d bytes): %v", len(msg), err)
+	}
+	switch t {
+	case MsgAuthRequest:
+		m, err := DecodeAuthRequest(msg)
+		if err != nil {
+			break
+		}
+		return fmt.Sprintf("AUTH_REQUEST{client=%v service=%v life=%v time=%d}",
+			m.Client, m.Service, m.Life.Duration(), m.Time)
+	case MsgAuthReply:
+		m, err := DecodeAuthReply(msg)
+		if err != nil {
+			break
+		}
+		return fmt.Sprintf("AUTH_REPLY{client=%v kvno=%d sealed=%dB}",
+			m.Client, m.KVNO, len(m.Sealed))
+	case MsgTGSRequest:
+		m, err := DecodeTGSRequest(msg)
+		if err != nil {
+			break
+		}
+		return fmt.Sprintf("TGS_REQUEST{service=%v life=%v ticket=%dB authenticator=%dB issuing-realm=%s}",
+			m.Service, m.Life.Duration(), len(m.APReq.Ticket),
+			len(m.APReq.Authenticator), m.APReq.TicketRealm)
+	case MsgAPRequest:
+		m, err := DecodeAPRequest(msg)
+		if err != nil {
+			break
+		}
+		mutual := ""
+		if m.MutualAuth {
+			mutual = " mutual-auth"
+		}
+		return fmt.Sprintf("AP_REQUEST{kvno=%d ticket=%dB authenticator=%dB%s}",
+			m.KVNO, len(m.Ticket), len(m.Authenticator), mutual)
+	case MsgAPReply:
+		m, err := DecodeAPReply(msg)
+		if err != nil {
+			break
+		}
+		return fmt.Sprintf("AP_REPLY{sealed=%dB}", len(m.Sealed))
+	case MsgError:
+		m, err := DecodeErrorMessage(msg)
+		if err != nil {
+			break
+		}
+		return fmt.Sprintf("ERROR{%v: %s}", m.Code, m.Text)
+	case MsgSafe:
+		return fmt.Sprintf("SAFE{%d bytes, plaintext + keyed checksum}", len(msg))
+	case MsgPriv:
+		return fmt.Sprintf("PRIV{%d bytes, sealed}", len(msg))
+	}
+	return fmt.Sprintf("%v (malformed body, %d bytes)", t, len(msg))
+}
+
+// DescribeTicket renders an opened ticket's contents (the server-side
+// view after decryption).
+func DescribeTicket(t *Ticket) string {
+	return fmt.Sprintf("Ticket{server=%v client=%v addr=%v issued=%s life=%v}",
+		t.Server, t.Client, t.Addr,
+		t.Issued.Go().Format("15:04:05"), t.Life.Duration())
+}
+
+// DescribeAuthenticator renders an opened authenticator.
+func DescribeAuthenticator(a *Authenticator) string {
+	return fmt.Sprintf("Authenticator{client=%v addr=%v time=%s.%06d cksum=%#x}",
+		a.Client, a.Addr, a.Time.Go().Format("15:04:05"), a.MicroSec, a.Checksum)
+}
+
+// Hexdump renders a short hex preview of a wire message for traces.
+func Hexdump(msg []byte, max int) string {
+	n := len(msg)
+	if n > max {
+		n = max
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 && i%16 == 0 {
+			b.WriteByte('\n')
+		} else if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%02x", msg[i])
+	}
+	if len(msg) > max {
+		fmt.Fprintf(&b, " … (%d more bytes)", len(msg)-max)
+	}
+	return b.String()
+}

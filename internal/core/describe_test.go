@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kerberos/internal/des"
+)
+
+func TestDescribeMessages(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	auth := NewAuthenticator(Principal{Name: "jis", Realm: "ATHENA.MIT.EDU"},
+		Addr{18, 72, 0, 3}, testEpoch, 0xbeef)
+	cases := []struct {
+		msg  []byte
+		want string
+	}{
+		{(&AuthRequest{Client: Principal{Name: "jis", Realm: "R"},
+			Service: TGSPrincipal("R", "R"), Life: DefaultTGTLife}).Encode(),
+			"AUTH_REQUEST{client=jis@R"},
+		{NewAuthReply(Principal{Name: "jis"}, 2, key,
+			&EncTicketReply{Ticket: []byte("t")}).Encode(), "AUTH_REPLY{client=jis kvno=2"},
+		{(&APRequest{KVNO: 1, Ticket: []byte("tkt"), Authenticator: []byte("auth"),
+			MutualAuth: true}).Encode(), "mutual-auth"},
+		{NewAPReply(key, auth).Encode(), "AP_REPLY{sealed="},
+		{(&TGSRequest{Service: Principal{Name: "svc", Realm: "R"},
+			APReq: APRequest{TicketRealm: "R"}}).Encode(), "TGS_REQUEST{service=svc@R"},
+		{(&ErrorMessage{Code: ErrRepeat, Text: "dup"}).Encode(), "ERROR{request is a replay: dup}"},
+		{MakeSafe(key, []byte("x"), Addr{}, testEpoch), "SAFE{"},
+		{MakePriv(key, []byte("x"), Addr{}, testEpoch), "PRIV{"},
+	}
+	for _, c := range cases {
+		got := Describe(c.msg)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("Describe = %q, want substring %q", got, c.want)
+		}
+	}
+	if got := Describe(nil); !strings.Contains(got, "unparseable") {
+		t.Errorf("Describe(nil) = %q", got)
+	}
+	if got := Describe([]byte{ProtocolVersion, byte(MsgAuthRequest), 0xff}); !strings.Contains(got, "malformed") {
+		t.Errorf("Describe(truncated) = %q", got)
+	}
+}
+
+// TestDescribeLeaksNoSecrets: the wire summary of a login sequence never
+// contains session keys or ticket plaintext.
+func TestDescribeLeaksNoSecrets(t *testing.T) {
+	serverKey, _ := des.NewRandomKey()
+	sess, _ := des.NewRandomKey()
+	tkt := &Ticket{
+		Server:     Principal{Name: "rlogin", Instance: "priam", Realm: "R"},
+		Client:     Principal{Name: "jis", Realm: "R"},
+		SessionKey: sess,
+		Issued:     TimeFromGo(testEpoch),
+		Life:       95,
+	}
+	rep := NewAuthReply(tkt.Client, 1, serverKey, &EncTicketReply{
+		SessionKey: sess, Server: tkt.Server, Ticket: tkt.Seal(serverKey),
+	})
+	desc := Describe(rep.Encode())
+	for i := 0; i+4 <= len(sess); i++ {
+		if strings.Contains(desc, strings.ToLower(hexOf(sess[i:i+4]))) {
+			t.Fatal("session key bytes visible in description")
+		}
+	}
+}
+
+func hexOf(b []byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 0, len(b)*2)
+	for _, v := range b {
+		out = append(out, digits[v>>4], digits[v&0xf])
+	}
+	return string(out)
+}
+
+func TestDescribeTicketAndAuthenticator(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	tkt := &Ticket{
+		Server: Principal{Name: "rlogin", Instance: "priam", Realm: "R"},
+		Client: Principal{Name: "jis", Realm: "R"},
+		Addr:   Addr{18, 72, 0, 3}, Issued: TimeFromGo(testEpoch), Life: 95,
+		SessionKey: key,
+	}
+	if s := DescribeTicket(tkt); !strings.Contains(s, "rlogin.priam@R") || !strings.Contains(s, "18.72.0.3") {
+		t.Errorf("DescribeTicket = %q", s)
+	}
+	a := NewAuthenticator(tkt.Client, tkt.Addr, testEpoch.Add(time.Second), 7)
+	if s := DescribeAuthenticator(a); !strings.Contains(s, "jis@R") || !strings.Contains(s, "cksum=0x7") {
+		t.Errorf("DescribeAuthenticator = %q", s)
+	}
+}
+
+func TestHexdump(t *testing.T) {
+	if got := Hexdump([]byte{0xde, 0xad}, 16); got != "de ad" {
+		t.Errorf("Hexdump = %q", got)
+	}
+	long := make([]byte, 40)
+	got := Hexdump(long, 16)
+	if !strings.Contains(got, "24 more bytes") {
+		t.Errorf("Hexdump truncation note missing: %q", got)
+	}
+}
+
+// TestDescribeNeverPanics on arbitrary input.
+func TestDescribeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		Describe(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import "fmt"
+
+// ErrorCode is a protocol error carried in a MsgError reply, mirroring
+// the Kerberos v4 error space.
+type ErrorCode uint32
+
+// Error codes.
+const (
+	ErrNone ErrorCode = iota
+	// KDC errors.
+	ErrPrincipalUnknown  // client or server not in the database
+	ErrPrincipalExpired  // entry past its expiration date (§2.2)
+	ErrNullKey           // principal has a null key
+	ErrCannotIssue       // TGS refuses this service (changepw, §5.1)
+	ErrBadLifetime       // nonsensical requested lifetime
+	ErrIntegrityFailed   // a sealed structure failed to decrypt
+	ErrTktExpired        // ticket lifetime exceeded
+	ErrTktNYV            // ticket not yet valid (issued in the future)
+	ErrRepeat            // replayed authenticator (§4.3)
+	ErrBadAddr           // request address differs from ticket address
+	ErrSkew              // clock skew exceeded (§4.3)
+	ErrBadVersionCode    // protocol version mismatch
+	ErrMsgTypeCode       // unexpected message type
+	ErrNotAuthenticated  // request lacked valid credentials
+	ErrNotAuthorized     // KDBM ACL denied the request (§5.1)
+	ErrDatabase          // server-side database failure
+	ErrWrongRealm        // request sent to a KDC of the wrong realm
+	ErrSlaveReadOnly     // write attempted against a slave (§5)
+	ErrDuplicatePrincipa // principal already registered
+	ErrGeneric           // anything else
+)
+
+// String names the error code.
+func (c ErrorCode) String() string {
+	switch c {
+	case ErrNone:
+		return "no error"
+	case ErrPrincipalUnknown:
+		return "principal unknown"
+	case ErrPrincipalExpired:
+		return "principal expired"
+	case ErrNullKey:
+		return "principal has null key"
+	case ErrCannotIssue:
+		return "ticket-granting service refuses this service"
+	case ErrBadLifetime:
+		return "bad lifetime"
+	case ErrIntegrityFailed:
+		return "integrity check failed"
+	case ErrTktExpired:
+		return "ticket expired"
+	case ErrTktNYV:
+		return "ticket not yet valid"
+	case ErrRepeat:
+		return "request is a replay"
+	case ErrBadAddr:
+		return "incorrect network address"
+	case ErrSkew:
+		return "clock skew too great"
+	case ErrBadVersionCode:
+		return "protocol version mismatch"
+	case ErrMsgTypeCode:
+		return "unexpected message type"
+	case ErrNotAuthenticated:
+		return "request not authenticated"
+	case ErrNotAuthorized:
+		return "not authorized"
+	case ErrDatabase:
+		return "database error"
+	case ErrWrongRealm:
+		return "wrong realm"
+	case ErrSlaveReadOnly:
+		return "database is read-only (slave)"
+	case ErrDuplicatePrincipa:
+		return "principal already exists"
+	default:
+		return fmt.Sprintf("error %d", uint32(c))
+	}
+}
+
+// ProtocolError is the Go error carrying a protocol error code; it is
+// what clients surface when a server answers with MsgError.
+type ProtocolError struct {
+	Code ErrorCode
+	Text string // optional server-provided detail
+}
+
+// Error implements the error interface.
+func (e *ProtocolError) Error() string {
+	if e.Text != "" {
+		return fmt.Sprintf("kerberos: %s: %s", e.Code, e.Text)
+	}
+	return fmt.Sprintf("kerberos: %s", e.Code)
+}
+
+// Is allows errors.Is comparisons against another ProtocolError with the
+// same code.
+func (e *ProtocolError) Is(target error) bool {
+	t, ok := target.(*ProtocolError)
+	return ok && t.Code == e.Code
+}
+
+// NewError builds a ProtocolError.
+func NewError(code ErrorCode, format string, args ...any) *ProtocolError {
+	return &ProtocolError{Code: code, Text: fmt.Sprintf(format, args...)}
+}
+
+// ErrorMessage is the wire form of a protocol error.
+type ErrorMessage struct {
+	Code ErrorCode
+	Text string
+}
+
+// Encode renders the error message.
+func (m *ErrorMessage) Encode() []byte {
+	var w writer
+	w.header(MsgError)
+	w.u32(uint32(m.Code))
+	w.str(m.Text)
+	return w.buf
+}
+
+// DecodeErrorMessage parses a MsgError.
+func DecodeErrorMessage(data []byte) (*ErrorMessage, error) {
+	r := reader{data: data}
+	if t := r.header(); r.err == nil && t != MsgError {
+		return nil, NewError(ErrMsgTypeCode, "got %v, want ERROR", t)
+	}
+	m := &ErrorMessage{Code: ErrorCode(r.u32()), Text: r.str()}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// AsError converts the wire message to a ProtocolError.
+func (m *ErrorMessage) AsError() error {
+	return &ProtocolError{Code: m.Code, Text: m.Text}
+}
+
+// IfErrorMessage inspects a raw reply; if it is a MsgError it returns the
+// corresponding ProtocolError, otherwise nil.
+func IfErrorMessage(reply []byte) error {
+	t, err := PeekType(reply)
+	if err != nil || t != MsgError {
+		return nil
+	}
+	m, err := DecodeErrorMessage(reply)
+	if err != nil {
+		return err
+	}
+	return m.AsError()
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kerberos/internal/des"
+)
+
+// This file defines the wire messages of the three authentication phases
+// (§4): the initial ticket exchange with the authentication server
+// (Figure 5), the application request/reply (Figures 6 and 7), and the
+// ticket-granting exchange (Figure 8).
+
+// AuthRequest is the initial, unencrypted request to the authentication
+// server: "a request is sent to the authentication server containing the
+// user's name and the name of a special service known as the
+// ticket-granting service" (§4.2). The same message requests any
+// AS-issued service ticket, which is how kpasswd obtains its changepw
+// ticket (§5.1).
+type AuthRequest struct {
+	Client  Principal    // who is asking (realm = where the answer comes from)
+	Service Principal    // usually krbtgt.<realm>; changepw.kerberos for kpasswd
+	Life    Lifetime     // requested ticket lifetime
+	Time    KerberosTime // client's current time; echoed in the sealed reply
+}
+
+// Encode renders the request.
+func (m *AuthRequest) Encode() []byte {
+	var w writer
+	w.header(MsgAuthRequest)
+	w.principal(m.Client)
+	w.principal(m.Service)
+	w.u8(uint8(m.Life))
+	w.time(m.Time)
+	return w.buf
+}
+
+// DecodeAuthRequest parses a MsgAuthRequest.
+func DecodeAuthRequest(data []byte) (*AuthRequest, error) {
+	r := reader{data: data}
+	if t := r.header(); r.err == nil && t != MsgAuthRequest {
+		return nil, NewError(ErrMsgTypeCode, "got %v, want AUTH_REQUEST", t)
+	}
+	m := &AuthRequest{
+		Client:  r.principal(),
+		Service: r.principal(),
+		Life:    Lifetime(r.u8()),
+		Time:    r.time(),
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EncTicketReply is the sealed portion of a KDC reply: "the ticket, along
+// with a copy of the random session key and some additional information"
+// (§4.2). From the AS it is encrypted in the client's private key; from
+// the TGS, in the session key of the ticket-granting ticket so "there is
+// no need for the user to enter her/his password again" (§4.4).
+type EncTicketReply struct {
+	SessionKey  des.Key      // the new K(s,c)
+	Server      Principal    // service the ticket is good for
+	Life        Lifetime     // granted lifetime (may be shorter than asked)
+	KVNO        uint8        // version of the server key sealing the ticket
+	Issued      KerberosTime // KDC's issue timestamp
+	RequestTime KerberosTime // echo of the request's Time field, binding reply to request
+	Ticket      []byte       // the sealed ticket, opaque to the client
+}
+
+func (m *EncTicketReply) encode() []byte {
+	var w writer
+	w.raw(m.SessionKey[:])
+	w.principal(m.Server)
+	w.u8(uint8(m.Life))
+	w.u8(m.KVNO)
+	w.time(m.Issued)
+	w.time(m.RequestTime)
+	w.bytes(m.Ticket)
+	return w.buf
+}
+
+func decodeEncTicketReply(data []byte) (*EncTicketReply, error) {
+	r := reader{data: data}
+	m := &EncTicketReply{}
+	copy(m.SessionKey[:], r.bytes2(des.KeySize))
+	m.Server = r.principal()
+	m.Life = Lifetime(r.u8())
+	m.KVNO = r.u8()
+	m.Issued = r.time()
+	m.RequestTime = r.time()
+	m.Ticket = append([]byte(nil), r.bytes()...)
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("core: decoding ticket reply: %w", err)
+	}
+	return m, nil
+}
+
+// AuthReply is a KDC reply (AS or TGS): the client's name in the clear,
+// the version of the key the sealed part is encrypted under, and the
+// sealed EncTicketReply.
+type AuthReply struct {
+	Client Principal
+	KVNO   uint8  // version of the client key (AS) — lets stale passwords fail cleanly
+	Sealed []byte // EncTicketReply under the client key or TGT session key
+}
+
+// NewAuthReply seals enc under key and wraps it for the client.
+func NewAuthReply(client Principal, kvno uint8, key des.Key, enc *EncTicketReply) *AuthReply {
+	return &AuthReply{Client: client, KVNO: kvno, Sealed: des.Seal(key, enc.encode())}
+}
+
+// Encode renders the reply.
+func (m *AuthReply) Encode() []byte {
+	var w writer
+	w.header(MsgAuthReply)
+	w.principal(m.Client)
+	w.u8(m.KVNO)
+	w.bytes(m.Sealed)
+	return w.buf
+}
+
+// DecodeAuthReply parses a MsgAuthReply.
+func DecodeAuthReply(data []byte) (*AuthReply, error) {
+	r := reader{data: data}
+	if t := r.header(); r.err == nil && t != MsgAuthReply {
+		return nil, NewError(ErrMsgTypeCode, "got %v, want AUTH_REPLY", t)
+	}
+	m := &AuthReply{
+		Client: r.principal(),
+		KVNO:   r.u8(),
+		Sealed: append([]byte(nil), r.bytes()...),
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Open decrypts the sealed part with the given key — the client's private
+// key for an AS reply, the TGT session key for a TGS reply.
+func (m *AuthReply) Open(key des.Key) (*EncTicketReply, error) {
+	plain, err := des.Unseal(key, m.Sealed)
+	if err != nil {
+		return nil, NewError(ErrIntegrityFailed, "reply did not decrypt (wrong password?)")
+	}
+	return decodeEncTicketReply(plain)
+}
+
+// APRequest carries a ticket plus a fresh authenticator to a server
+// (Figure 6): "The client then sends the authenticator along with the
+// ticket to the server in a manner defined by the individual application."
+type APRequest struct {
+	KVNO          uint8  // version of the server key that seals the ticket
+	TicketRealm   string // realm of the KDC that issued the ticket; tells a TGS which cross-realm key applies (§7.2)
+	Ticket        []byte // sealed ticket
+	Authenticator []byte // sealed authenticator
+	MutualAuth    bool   // "the client specifies that it wants the server to prove its identity too" (Figure 7)
+}
+
+// Encode renders the request.
+func (m *APRequest) Encode() []byte {
+	var w writer
+	w.header(MsgAPRequest)
+	w.u8(m.KVNO)
+	w.str(m.TicketRealm)
+	w.bytes(m.Ticket)
+	w.bytes(m.Authenticator)
+	if m.MutualAuth {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	return w.buf
+}
+
+// DecodeAPRequest parses a MsgAPRequest.
+func DecodeAPRequest(data []byte) (*APRequest, error) {
+	r := reader{data: data}
+	if t := r.header(); r.err == nil && t != MsgAPRequest {
+		return nil, NewError(ErrMsgTypeCode, "got %v, want AP_REQUEST", t)
+	}
+	m := &APRequest{
+		KVNO:        r.u8(),
+		TicketRealm: r.str(),
+	}
+	m.Ticket = append([]byte(nil), r.bytes()...)
+	m.Authenticator = append([]byte(nil), r.bytes()...)
+	m.MutualAuth = r.u8() != 0
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// APReply is the mutual-authentication reply (Figure 7): "the server adds
+// one to the time stamp the client sent in the authenticator, encrypts
+// the result in the session key, and sends the result back to the
+// client."
+type APReply struct {
+	Sealed []byte
+}
+
+type encAPReply struct {
+	TimePlusOne KerberosTime
+	MicroSec    uint32
+}
+
+// NewAPReply builds the mutual-auth proof from the verified
+// authenticator.
+func NewAPReply(sessionKey des.Key, auth *Authenticator) *APReply {
+	var w writer
+	w.time(auth.Time + 1)
+	w.u32(auth.MicroSec)
+	return &APReply{Sealed: des.Seal(sessionKey, w.buf)}
+}
+
+// Encode renders the reply.
+func (m *APReply) Encode() []byte {
+	var w writer
+	w.header(MsgAPReply)
+	w.bytes(m.Sealed)
+	return w.buf
+}
+
+// DecodeAPReply parses a MsgAPReply.
+func DecodeAPReply(data []byte) (*APReply, error) {
+	r := reader{data: data}
+	if t := r.header(); r.err == nil && t != MsgAPReply {
+		return nil, NewError(ErrMsgTypeCode, "got %v, want AP_REPLY", t)
+	}
+	m := &APReply{Sealed: append([]byte(nil), r.bytes()...)}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Verify checks the server's proof against the authenticator the client
+// sent: the decrypted value must be the authenticator's timestamp plus
+// one. On success "the client is also convinced that the server is
+// authentic" (§4.3).
+func (m *APReply) Verify(sessionKey des.Key, sent *Authenticator) error {
+	plain, err := des.Unseal(sessionKey, m.Sealed)
+	if err != nil {
+		return NewError(ErrIntegrityFailed, "mutual-auth reply did not decrypt")
+	}
+	r := reader{data: plain}
+	got := encAPReply{TimePlusOne: r.time(), MicroSec: r.u32()}
+	if err := r.done(); err != nil {
+		return err
+	}
+	if got.TimePlusOne != sent.Time+1 || got.MicroSec != sent.MicroSec {
+		return NewError(ErrIntegrityFailed,
+			"mutual-auth reply %d does not match authenticator time %d+1",
+			got.TimePlusOne, sent.Time)
+	}
+	return nil
+}
+
+// TGSRequest asks the ticket-granting server for a new service ticket
+// (Figure 8): "The request contains the name of the server for which a
+// ticket is requested, along with the ticket-granting ticket and an
+// authenticator built as described in the previous section" (§4.4).
+type TGSRequest struct {
+	APReq   APRequest // TGT + authenticator, addressed to krbtgt
+	Service Principal // service a ticket is wanted for
+	Life    Lifetime  // requested lifetime
+	Time    KerberosTime
+}
+
+// Encode renders the request.
+func (m *TGSRequest) Encode() []byte {
+	var w writer
+	w.header(MsgTGSRequest)
+	w.u8(m.APReq.KVNO)
+	w.str(m.APReq.TicketRealm)
+	w.bytes(m.APReq.Ticket)
+	w.bytes(m.APReq.Authenticator)
+	w.principal(m.Service)
+	w.u8(uint8(m.Life))
+	w.time(m.Time)
+	return w.buf
+}
+
+// DecodeTGSRequest parses a MsgTGSRequest.
+func DecodeTGSRequest(data []byte) (*TGSRequest, error) {
+	r := reader{data: data}
+	if t := r.header(); r.err == nil && t != MsgTGSRequest {
+		return nil, NewError(ErrMsgTypeCode, "got %v, want TGS_REQUEST", t)
+	}
+	m := &TGSRequest{}
+	m.APReq.KVNO = r.u8()
+	m.APReq.TicketRealm = r.str()
+	m.APReq.Ticket = append([]byte(nil), r.bytes()...)
+	m.APReq.Authenticator = append([]byte(nil), r.bytes()...)
+	m.Service = r.principal()
+	m.Life = Lifetime(r.u8())
+	m.Time = r.time()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NowFunc is the clock used by message constructors that need the
+// current time; tests may substitute a fake. Production code passes
+// explicit times where determinism matters.
+var NowFunc = time.Now

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kerberos/internal/des"
+)
+
+func TestAuthRequestCodec(t *testing.T) {
+	m := &AuthRequest{
+		Client:  Principal{Name: "jis", Realm: "ATHENA.MIT.EDU"},
+		Service: TGSPrincipal("ATHENA.MIT.EDU", "ATHENA.MIT.EDU"),
+		Life:    DefaultTGTLife,
+		Time:    TimeFromGo(testEpoch),
+	}
+	got, err := DecodeAuthRequest(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Errorf("round trip: %+v vs %+v", got, m)
+	}
+}
+
+func TestAuthReplyCodec(t *testing.T) {
+	clientKey := des.StringToKey("zanzibar", "ATHENA.MIT.EDUjis")
+	sess, _ := des.NewRandomKey()
+	enc := &EncTicketReply{
+		SessionKey:  sess,
+		Server:      TGSPrincipal("ATHENA.MIT.EDU", "ATHENA.MIT.EDU"),
+		Life:        DefaultTGTLife,
+		KVNO:        3,
+		Issued:      TimeFromGo(testEpoch),
+		RequestTime: TimeFromGo(testEpoch) - 1,
+		Ticket:      []byte("opaque sealed ticket bytes"),
+	}
+	rep := NewAuthReply(Principal{Name: "jis", Realm: "ATHENA.MIT.EDU"}, 1, clientKey, enc)
+	got, err := DecodeAuthReply(rep.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Client != rep.Client || got.KVNO != 1 {
+		t.Errorf("cleartext part mismatch: %+v", got)
+	}
+	opened, err := got.Open(clientKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.SessionKey != enc.SessionKey || opened.Server != enc.Server ||
+		opened.Life != enc.Life || opened.KVNO != enc.KVNO ||
+		opened.Issued != enc.Issued || opened.RequestTime != enc.RequestTime ||
+		string(opened.Ticket) != string(enc.Ticket) {
+		t.Errorf("sealed part mismatch: %+v vs %+v", opened, enc)
+	}
+	// Wrong password ⇒ wrong key ⇒ integrity failure, the §4.2 behaviour.
+	wrongKey := des.StringToKey("wrong", "ATHENA.MIT.EDUjis")
+	var pe *ProtocolError
+	if _, err := got.Open(wrongKey); !errors.As(err, &pe) || pe.Code != ErrIntegrityFailed {
+		t.Errorf("wrong-password error = %v", err)
+	}
+}
+
+func TestAPRequestCodec(t *testing.T) {
+	m := &APRequest{
+		KVNO:          7,
+		TicketRealm:   "ATHENA.MIT.EDU",
+		Ticket:        []byte("ticket-ciphertext"),
+		Authenticator: []byte("authenticator-ciphertext"),
+		MutualAuth:    true,
+	}
+	got, err := DecodeAPRequest(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.KVNO != m.KVNO || got.TicketRealm != m.TicketRealm ||
+		string(got.Ticket) != string(m.Ticket) ||
+		string(got.Authenticator) != string(m.Authenticator) ||
+		got.MutualAuth != m.MutualAuth {
+		t.Errorf("round trip: %+v vs %+v", got, m)
+	}
+}
+
+// TestMutualAuth reproduces Figure 7: the server proves itself by
+// returning {timestamp+1} under the session key.
+func TestMutualAuth(t *testing.T) {
+	sess, _ := des.NewRandomKey()
+	client := Principal{Name: "jis", Realm: "ATHENA.MIT.EDU"}
+	auth := NewAuthenticator(client, Addr{18, 72, 0, 3}, testEpoch, 0)
+
+	rep := NewAPReply(sess, auth)
+	decoded, err := DecodeAPReply(rep.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.Verify(sess, auth); err != nil {
+		t.Fatalf("valid mutual-auth reply rejected: %v", err)
+	}
+	// A server without the session key cannot fake the reply.
+	imposter, _ := des.NewRandomKey()
+	fake := NewAPReply(imposter, auth)
+	if err := fake.Verify(sess, auth); err == nil {
+		t.Error("imposter reply verified")
+	}
+	// A replayed reply for a different authenticator fails.
+	later := NewAuthenticator(client, Addr{18, 72, 0, 3}, testEpoch.Add(5*time.Second), 0)
+	if err := decoded.Verify(sess, later); err == nil {
+		t.Error("stale mutual-auth reply verified against new authenticator")
+	}
+}
+
+func TestTGSRequestCodec(t *testing.T) {
+	m := &TGSRequest{
+		APReq: APRequest{
+			KVNO:          2,
+			TicketRealm:   "ATHENA.MIT.EDU",
+			Ticket:        []byte("tgt"),
+			Authenticator: []byte("auth"),
+		},
+		Service: Principal{Name: "rlogin", Instance: "priam", Realm: "ATHENA.MIT.EDU"},
+		Life:    12,
+		Time:    TimeFromGo(testEpoch),
+	}
+	got, err := DecodeTGSRequest(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Service != m.Service || got.Life != m.Life || got.Time != m.Time ||
+		string(got.APReq.Ticket) != "tgt" || string(got.APReq.Authenticator) != "auth" ||
+		got.APReq.KVNO != 2 || got.APReq.TicketRealm != "ATHENA.MIT.EDU" {
+		t.Errorf("round trip: %+v vs %+v", got, m)
+	}
+}
+
+func TestErrorMessageCodec(t *testing.T) {
+	m := &ErrorMessage{Code: ErrPrincipalUnknown, Text: "no such principal kreme"}
+	got, err := DecodeErrorMessage(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Errorf("round trip: %+v vs %+v", got, m)
+	}
+	perr := got.AsError()
+	var pe *ProtocolError
+	if !errors.As(perr, &pe) || pe.Code != ErrPrincipalUnknown {
+		t.Errorf("AsError = %v", perr)
+	}
+	if IfErrorMessage(m.Encode()) == nil {
+		t.Error("IfErrorMessage missed an error message")
+	}
+	ok := (&AuthRequest{Client: Principal{Name: "x"}}).Encode()
+	if IfErrorMessage(ok) != nil {
+		t.Error("IfErrorMessage flagged a non-error message")
+	}
+}
+
+func TestPeekTypeAndVersion(t *testing.T) {
+	m := &AuthRequest{Client: Principal{Name: "x"}}
+	enc := m.Encode()
+	typ, err := PeekType(enc)
+	if err != nil || typ != MsgAuthRequest {
+		t.Errorf("PeekType = %v, %v", typ, err)
+	}
+	// Wrong version byte.
+	bad := append([]byte(nil), enc...)
+	bad[0] = 9
+	if _, err := PeekType(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version error = %v", err)
+	}
+	if _, err := DecodeAuthRequest(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("decode with bad version = %v", err)
+	}
+	if _, err := PeekType(nil); err == nil {
+		t.Error("empty message peeked")
+	}
+}
+
+func TestDecodeWrongType(t *testing.T) {
+	req := (&AuthRequest{Client: Principal{Name: "x"}}).Encode()
+	if _, err := DecodeAuthReply(req); err == nil {
+		t.Error("DecodeAuthReply accepted an AuthRequest")
+	}
+	if _, err := DecodeAPRequest(req); err == nil {
+		t.Error("DecodeAPRequest accepted an AuthRequest")
+	}
+	if _, err := DecodeTGSRequest(req); err == nil {
+		t.Error("DecodeTGSRequest accepted an AuthRequest")
+	}
+	if _, err := DecodeAPReply(req); err == nil {
+		t.Error("DecodeAPReply accepted an AuthRequest")
+	}
+	if _, err := DecodeErrorMessage(req); err == nil {
+		t.Error("DecodeErrorMessage accepted an AuthRequest")
+	}
+}
+
+// TestTruncationEverywhere: every prefix of every message must be
+// rejected, never crash.
+func TestTruncationEverywhere(t *testing.T) {
+	sess, _ := des.NewRandomKey()
+	auth := NewAuthenticator(Principal{Name: "x"}, Addr{}, testEpoch, 0)
+	msgs := [][]byte{
+		(&AuthRequest{Client: Principal{Name: "jis"}, Service: TGSPrincipal("R", "R")}).Encode(),
+		NewAuthReply(Principal{Name: "jis"}, 0, sess, &EncTicketReply{Ticket: []byte("t")}).Encode(),
+		(&APRequest{Ticket: []byte("t"), Authenticator: []byte("a")}).Encode(),
+		NewAPReply(sess, auth).Encode(),
+		(&TGSRequest{Service: Principal{Name: "s"}}).Encode(),
+		(&ErrorMessage{Code: ErrGeneric, Text: "boom"}).Encode(),
+	}
+	decoders := []func([]byte) error{
+		func(b []byte) error { _, err := DecodeAuthRequest(b); return err },
+		func(b []byte) error { _, err := DecodeAuthReply(b); return err },
+		func(b []byte) error { _, err := DecodeAPRequest(b); return err },
+		func(b []byte) error { _, err := DecodeAPReply(b); return err },
+		func(b []byte) error { _, err := DecodeTGSRequest(b); return err },
+		func(b []byte) error { _, err := DecodeErrorMessage(b); return err },
+	}
+	for i, msg := range msgs {
+		for n := 0; n < len(msg); n++ {
+			if err := decoders[i](msg[:n]); err == nil {
+				t.Errorf("decoder %d accepted %d-byte prefix of %d-byte message", i, n, len(msg))
+			}
+		}
+		// Trailing garbage must also be rejected (strict framing).
+		if err := decoders[i](append(append([]byte(nil), msg...), 0xff)); err == nil {
+			t.Errorf("decoder %d accepted trailing garbage", i)
+		}
+	}
+}
+
+// TestDecodeFuzzProperty: arbitrary bytes never panic any decoder.
+func TestDecodeFuzzProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		DecodeAuthRequest(data)
+		DecodeAuthReply(data)
+		DecodeAPRequest(data)
+		DecodeAPReply(data)
+		DecodeTGSRequest(data)
+		DecodeErrorMessage(data)
+		PeekType(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	names := map[MsgType]string{
+		MsgAuthRequest: "AUTH_REQUEST", MsgAuthReply: "AUTH_REPLY",
+		MsgTGSRequest: "TGS_REQUEST", MsgAPRequest: "AP_REQUEST",
+		MsgAPReply: "AP_REPLY", MsgError: "ERROR", MsgSafe: "SAFE", MsgPriv: "PRIV",
+	}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+	if MsgType(200).String() != "MSG(200)" {
+		t.Error("unknown type name wrong")
+	}
+}
+
+func TestErrorCodeStrings(t *testing.T) {
+	for c := ErrNone; c <= ErrGeneric; c++ {
+		if c.String() == "" {
+			t.Errorf("code %d has empty name", c)
+		}
+	}
+	if ErrorCode(999).String() != "error 999" {
+		t.Error("unknown code name wrong")
+	}
+	e := NewError(ErrSkew, "off by %d", 7)
+	if e.Error() != "kerberos: clock skew too great: off by 7" {
+		t.Errorf("error text = %q", e.Error())
+	}
+	bare := &ProtocolError{Code: ErrSkew}
+	if bare.Error() != "kerberos: clock skew too great" {
+		t.Errorf("bare error text = %q", bare.Error())
+	}
+	if !errors.Is(e, &ProtocolError{Code: ErrSkew}) {
+		t.Error("errors.Is by code failed")
+	}
+	if errors.Is(e, &ProtocolError{Code: ErrRepeat}) {
+		t.Error("errors.Is matched wrong code")
+	}
+}

@@ -1,0 +1,155 @@
+// Package core implements the building blocks of Kerberos authentication
+// as the paper presents them: principal names (§3), tickets and
+// authenticators (§4.1), the wire messages of the three authentication
+// phases (§4.2–4.4), protocol error codes, and the safe/private message
+// formats of §2.1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Well-known principal names.
+const (
+	// TGSName is the primary name of the ticket-granting service; its
+	// instance is the realm it serves. A TGT is a ticket for
+	// "krbtgt.<realm>@<realm>"; a cross-realm TGT for
+	// "krbtgt.<remote>@<local>" (§7.2).
+	TGSName = "krbtgt"
+
+	// ChangePwName/ChangePwInstance name the KDBM administration
+	// service. The ticket-granting service refuses to issue tickets for
+	// it; only the authentication service will, forcing the user to
+	// enter a password (§5.1).
+	ChangePwName     = "changepw"
+	ChangePwInstance = "kerberos"
+
+	// AdminInstance is the conventional instance carried by Kerberos
+	// administrators ("an admin instance for that username must be
+	// created, and added to the access control list", §5.1).
+	AdminInstance = "admin"
+)
+
+// MaxComponentLen bounds each name component on the wire.
+const MaxComponentLen = 40
+
+// Principal is a Kerberos name: "a primary name, an instance, and a
+// realm, expressed as name.instance@realm" (§3, Figure 2). Both users and
+// servers are named this way; as far as the authentication server is
+// concerned, they are equivalent.
+type Principal struct {
+	Name     string // primary name of the user or service
+	Instance string // variation: privilege level for users, hostname for services
+	Realm    string // administrative domain that maintains the authentication data
+}
+
+// ErrBadName reports a malformed principal name.
+var ErrBadName = errors.New("core: malformed principal name")
+
+// NewPrincipal builds a principal from explicit components.
+func NewPrincipal(name, instance, realm string) Principal {
+	return Principal{Name: name, Instance: instance, Realm: realm}
+}
+
+// TGSPrincipal returns the ticket-granting server principal for
+// tgsRealm, registered in homeRealm. For a local TGT the two are equal.
+func TGSPrincipal(tgsRealm, homeRealm string) Principal {
+	return Principal{Name: TGSName, Instance: tgsRealm, Realm: homeRealm}
+}
+
+// ChangePwPrincipal returns the KDBM service principal for a realm.
+func ChangePwPrincipal(realm string) Principal {
+	return Principal{Name: ChangePwName, Instance: ChangePwInstance, Realm: realm}
+}
+
+// ParsePrincipal parses the textual forms of Figure 2: "bcn",
+// "treese.root", "jis@LCS.MIT.EDU", "rlogin.priam@ATHENA.MIT.EDU".
+// A name without a realm parses with Realm == ""; callers supply their
+// local realm as the default.
+func ParsePrincipal(s string) (Principal, error) {
+	var p Principal
+	rest := s
+	if at := strings.LastIndexByte(rest, '@'); at >= 0 {
+		p.Realm = rest[at+1:]
+		rest = rest[:at]
+		if p.Realm == "" {
+			return Principal{}, fmt.Errorf("%w: empty realm in %q", ErrBadName, s)
+		}
+	}
+	if dot := strings.IndexByte(rest, '.'); dot >= 0 {
+		p.Instance = rest[dot+1:]
+		rest = rest[:dot]
+	}
+	p.Name = rest
+	if err := p.validate(); err != nil {
+		return Principal{}, fmt.Errorf("%w: %q", err, s)
+	}
+	return p, nil
+}
+
+func (p Principal) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("%w: empty primary name", ErrBadName)
+	}
+	for _, c := range []string{p.Name, p.Instance, p.Realm} {
+		if len(c) > MaxComponentLen {
+			return fmt.Errorf("%w: component longer than %d bytes", ErrBadName, MaxComponentLen)
+		}
+		if strings.ContainsAny(c, ".@\x00") && c == p.Name {
+			return fmt.Errorf("%w: separator inside component", ErrBadName)
+		}
+	}
+	if strings.ContainsAny(p.Name, ".@\x00") || strings.ContainsAny(p.Instance, "@\x00") ||
+		strings.ContainsAny(p.Realm, "@\x00") {
+		return fmt.Errorf("%w: separator inside component", ErrBadName)
+	}
+	return nil
+}
+
+// Valid reports whether the principal's components are well formed.
+func (p Principal) Valid() bool { return p.validate() == nil }
+
+// String renders the canonical textual form name[.instance][@realm].
+func (p Principal) String() string {
+	var b strings.Builder
+	b.WriteString(p.Name)
+	if p.Instance != "" {
+		b.WriteByte('.')
+		b.WriteString(p.Instance)
+	}
+	if p.Realm != "" {
+		b.WriteByte('@')
+		b.WriteString(p.Realm)
+	}
+	return b.String()
+}
+
+// WithRealm returns p with Realm set to realm if p has none.
+func (p Principal) WithRealm(realm string) Principal {
+	if p.Realm == "" {
+		p.Realm = realm
+	}
+	return p
+}
+
+// SameEntity reports whether two principals name the same entity,
+// ignoring an unset realm on either side.
+func (p Principal) SameEntity(q Principal) bool {
+	if p.Name != q.Name || p.Instance != q.Instance {
+		return false
+	}
+	return p.Realm == q.Realm || p.Realm == "" || q.Realm == ""
+}
+
+// IsAdmin reports whether the principal carries the admin instance.
+func (p Principal) IsAdmin() bool { return p.Instance == AdminInstance }
+
+// IsTGS reports whether the principal names a ticket-granting service.
+func (p Principal) IsTGS() bool { return p.Name == TGSName }
+
+// IsChangePw reports whether the principal names the KDBM service.
+func (p Principal) IsChangePw() bool {
+	return p.Name == ChangePwName && p.Instance == ChangePwInstance
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPrincipalPaperExamples parses exactly the four names of Figure 2.
+func TestPrincipalPaperExamples(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Principal
+	}{
+		{"bcn", Principal{Name: "bcn"}},
+		{"treese.root", Principal{Name: "treese", Instance: "root"}},
+		{"jis@LCS.MIT.EDU", Principal{Name: "jis", Realm: "LCS.MIT.EDU"}},
+		{"rlogin.priam@ATHENA.MIT.EDU", Principal{Name: "rlogin", Instance: "priam", Realm: "ATHENA.MIT.EDU"}},
+	}
+	for _, c := range cases {
+		got, err := ParsePrincipal(c.in)
+		if err != nil {
+			t.Fatalf("ParsePrincipal(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParsePrincipal(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if got.String() != c.in {
+			t.Errorf("String() = %q, want %q", got.String(), c.in)
+		}
+	}
+}
+
+func TestParsePrincipalRealmWithDots(t *testing.T) {
+	// Realms contain dots; only the part before '@' splits on the first dot.
+	p, err := ParsePrincipal("rlogin.priam.backup@ATHENA.MIT.EDU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "rlogin" || p.Instance != "priam.backup" || p.Realm != "ATHENA.MIT.EDU" {
+		t.Errorf("got %+v", p)
+	}
+}
+
+func TestParsePrincipalInvalid(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"@REALM",
+		"name@",
+		".instance",
+		strings.Repeat("x", MaxComponentLen+1),
+		"user." + strings.Repeat("y", MaxComponentLen+1),
+	} {
+		if _, err := ParsePrincipal(in); err == nil {
+			t.Errorf("ParsePrincipal(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestPrincipalValidate(t *testing.T) {
+	bad := []Principal{
+		{},                           // empty name
+		{Name: "a.b"},                // dot in primary name
+		{Name: "a", Instance: "x@y"}, // @ in instance
+		{Name: "a", Realm: "R@S"},    // @ in realm
+		{Name: "a\x00b"},             // NUL
+		{Name: strings.Repeat("z", MaxComponentLen+1)},
+	}
+	for _, p := range bad {
+		if p.Valid() {
+			t.Errorf("%+v reported valid", p)
+		}
+	}
+	good := []Principal{
+		{Name: "bcn"},
+		{Name: "rlogin", Instance: "priam", Realm: "ATHENA.MIT.EDU"},
+		{Name: "krbtgt", Instance: "LCS.MIT.EDU", Realm: "ATHENA.MIT.EDU"},
+	}
+	for _, p := range good {
+		if !p.Valid() {
+			t.Errorf("%+v reported invalid", p)
+		}
+	}
+}
+
+// TestPrincipalRoundTripProperty: String then Parse is the identity for
+// any valid principal built from clean components.
+func TestPrincipalRoundTripProperty(t *testing.T) {
+	clean := func(s string, n int) string {
+		var b strings.Builder
+		for _, r := range s {
+			if r > 0x20 && r < 0x7f && r != '.' && r != '@' && b.Len() < n {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	f := func(name, inst, realm string) bool {
+		p := Principal{Name: clean(name, 20), Instance: clean(inst, 20), Realm: clean(realm, 20)}
+		if p.Name == "" {
+			p.Name = "x"
+		}
+		// An instance-less name whose realm is empty but instance set is fine;
+		// but an empty instance with a realm must still round trip.
+		got, err := ParsePrincipal(p.String())
+		if err != nil {
+			return false
+		}
+		// Realms may contain dots; instances may too (parse keeps them
+		// joined), so compare canonical strings.
+		return got.String() == p.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWellKnownPrincipals(t *testing.T) {
+	tgt := TGSPrincipal("ATHENA.MIT.EDU", "ATHENA.MIT.EDU")
+	if tgt.String() != "krbtgt.ATHENA.MIT.EDU@ATHENA.MIT.EDU" {
+		t.Errorf("TGT principal = %v", tgt)
+	}
+	if !tgt.IsTGS() || tgt.IsChangePw() || tgt.IsAdmin() {
+		t.Error("TGT classification wrong")
+	}
+	x := TGSPrincipal("LCS.MIT.EDU", "ATHENA.MIT.EDU")
+	if x.Instance != "LCS.MIT.EDU" || x.Realm != "ATHENA.MIT.EDU" {
+		t.Errorf("cross-realm TGT principal = %v", x)
+	}
+	cp := ChangePwPrincipal("ATHENA.MIT.EDU")
+	if !cp.IsChangePw() || cp.String() != "changepw.kerberos@ATHENA.MIT.EDU" {
+		t.Errorf("changepw principal = %v", cp)
+	}
+	adm := Principal{Name: "jis", Instance: AdminInstance, Realm: "ATHENA.MIT.EDU"}
+	if !adm.IsAdmin() {
+		t.Error("admin instance not recognized")
+	}
+}
+
+func TestWithRealmAndSameEntity(t *testing.T) {
+	p := Principal{Name: "bcn"}
+	q := p.WithRealm("ATHENA.MIT.EDU")
+	if q.Realm != "ATHENA.MIT.EDU" {
+		t.Error("WithRealm did not fill empty realm")
+	}
+	if q.WithRealm("OTHER").Realm != "ATHENA.MIT.EDU" {
+		t.Error("WithRealm overwrote existing realm")
+	}
+	if !p.SameEntity(q) {
+		t.Error("SameEntity should ignore unset realm")
+	}
+	r := Principal{Name: "bcn", Realm: "LCS.MIT.EDU"}
+	if r.SameEntity(q) {
+		t.Error("different realms reported same")
+	}
+	if (Principal{Name: "bcn", Instance: "root"}).SameEntity(p) {
+		t.Error("different instances reported same")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kerberos/internal/des"
+)
+
+func TestSafeMessageRoundTrip(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	from := Addr{18, 72, 0, 3}
+	data := []byte("zephyrgram: lunch at walker?")
+	msg := MakeSafe(key, data, from, testEpoch)
+
+	got, err := ReadSafe(key, msg, from, testEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("data = %q, want %q", got, data)
+	}
+	// Safe messages are NOT encrypted: the plaintext is visible on the wire.
+	if !bytes.Contains(msg, data) {
+		t.Error("safe message hid its plaintext; it should only authenticate")
+	}
+}
+
+func TestSafeMessageForgeryDetected(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	from := Addr{18, 72, 0, 3}
+	msg := MakeSafe(key, []byte("transfer $100 to bob"), from, testEpoch)
+	// An active attacker flips message content.
+	i := bytes.Index(msg, []byte("bob"))
+	mut := append([]byte(nil), msg...)
+	copy(mut[i:], "eve")
+	if _, err := ReadSafe(key, mut, from, testEpoch); err == nil {
+		t.Error("modified safe message accepted")
+	}
+	// A receiver with the wrong session key rejects.
+	other, _ := des.NewRandomKey()
+	if _, err := ReadSafe(other, msg, from, testEpoch); err == nil {
+		t.Error("safe message verified under wrong key")
+	}
+}
+
+func TestSafeMessageFreshnessAndAddr(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	from := Addr{18, 72, 0, 3}
+	msg := MakeSafe(key, []byte("hi"), from, testEpoch)
+	var pe *ProtocolError
+	if _, err := ReadSafe(key, msg, from, testEpoch.Add(ClockSkew+time.Minute)); !errors.As(err, &pe) || pe.Code != ErrSkew {
+		t.Errorf("stale safe message error = %v", err)
+	}
+	if _, err := ReadSafe(key, msg, Addr{10, 0, 0, 1}, testEpoch); !errors.As(err, &pe) || pe.Code != ErrBadAddr {
+		t.Errorf("wrong-sender error = %v", err)
+	}
+	// Zero expected address skips the check.
+	if _, err := ReadSafe(key, msg, Addr{}, testEpoch); err != nil {
+		t.Errorf("zero-addr read failed: %v", err)
+	}
+}
+
+func TestPrivMessageRoundTrip(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	from := Addr{18, 72, 0, 3}
+	data := []byte("the new password is: kresge-auditorium")
+	msg := MakePriv(key, data, from, testEpoch)
+
+	got, err := ReadPriv(key, msg, from, testEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("data = %q, want %q", got, data)
+	}
+	// Private messages MUST hide the plaintext (§2.1: used for passwords).
+	if bytes.Contains(msg, []byte("kresge")) {
+		t.Error("private message leaked plaintext on the wire")
+	}
+}
+
+func TestPrivMessageProtections(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	from := Addr{18, 72, 0, 3}
+	msg := MakePriv(key, []byte("secret"), from, testEpoch)
+	other, _ := des.NewRandomKey()
+	if _, err := ReadPriv(other, msg, from, testEpoch); err == nil {
+		t.Error("private message decrypted under wrong key")
+	}
+	var pe *ProtocolError
+	if _, err := ReadPriv(key, msg, from, testEpoch.Add(-ClockSkew-time.Minute)); !errors.As(err, &pe) || pe.Code != ErrSkew {
+		t.Errorf("future priv message error = %v", err)
+	}
+	if _, err := ReadPriv(key, msg, Addr{9, 9, 9, 9}, testEpoch); !errors.As(err, &pe) || pe.Code != ErrBadAddr {
+		t.Errorf("wrong-sender priv error = %v", err)
+	}
+	for i := 2; i < len(msg); i += 5 {
+		mut := append([]byte(nil), msg...)
+		mut[i] ^= 0x20
+		if _, err := ReadPriv(key, mut, from, testEpoch); err == nil {
+			t.Fatalf("tampered priv message (byte %d) accepted", i)
+		}
+	}
+}
+
+func TestSafePrivProperty(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	from := Addr{1, 2, 3, 4}
+	f := func(data []byte) bool {
+		s, err1 := ReadSafe(key, MakeSafe(key, data, from, testEpoch), from, testEpoch)
+		p, err2 := ReadPriv(key, MakePriv(key, data, from, testEpoch), from, testEpoch)
+		return err1 == nil && err2 == nil && bytes.Equal(s, data) && bytes.Equal(p, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSafePrivWrongType(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	safe := MakeSafe(key, []byte("x"), Addr{}, testEpoch)
+	priv := MakePriv(key, []byte("x"), Addr{}, testEpoch)
+	if _, err := ReadSafe(key, priv, Addr{}, testEpoch); err == nil {
+		t.Error("ReadSafe accepted a priv message")
+	}
+	if _, err := ReadPriv(key, safe, Addr{}, testEpoch); err == nil {
+		t.Error("ReadPriv accepted a safe message")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kerberos/internal/des"
+)
+
+// Ticket is the first kind of Kerberos credential (§4.1, Figure 3):
+//
+//	{s, c, addr, timestamp, life, K(s,c)} K_s
+//
+// "A ticket is good for a single server and a single client. It contains
+// the name of the server, the name of the client, the Internet address of
+// the client, a time stamp, a lifetime, and a random session key. This
+// information is encrypted using the key of the server for which the
+// ticket will be used."
+type Ticket struct {
+	Server     Principal    // service the ticket is good for
+	Client     Principal    // principal the ticket was issued to; Realm is where the client was originally authenticated (§7.2)
+	Addr       Addr         // workstation's Internet address
+	Issued     KerberosTime // time stamp of issue
+	Life       Lifetime     // lifetime in 5-minute units
+	SessionKey des.Key      // K(s,c), shared by client and server
+}
+
+// encode renders the ticket's cleartext structure.
+func (t *Ticket) encode() []byte {
+	var w writer
+	w.principal(t.Server)
+	w.principal(t.Client)
+	w.addr(t.Addr)
+	w.time(t.Issued)
+	w.u8(uint8(t.Life))
+	w.raw(t.SessionKey[:])
+	return w.buf
+}
+
+func decodeTicket(data []byte) (*Ticket, error) {
+	r := reader{data: data}
+	t := &Ticket{
+		Server: r.principal(),
+		Client: r.principal(),
+		Addr:   r.addr(),
+		Issued: r.time(),
+		Life:   Lifetime(r.u8()),
+	}
+	key := r.bytes2(des.KeySize)
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("core: decoding ticket: %w", err)
+	}
+	copy(t.SessionKey[:], key)
+	return t, nil
+}
+
+// Seal encrypts the ticket in the server's private key, producing the
+// opaque byte string the client carries but cannot read or modify: "it is
+// safe to allow the user to pass the ticket on to the server without
+// having to worry about the user modifying the ticket" (§4.1).
+func (t *Ticket) Seal(serverKey des.Key) []byte {
+	return des.Seal(serverKey, t.encode())
+}
+
+// OpenTicket decrypts and validates a sealed ticket with the server's
+// private key.
+func OpenTicket(serverKey des.Key, sealed []byte) (*Ticket, error) {
+	plain, err := des.Unseal(serverKey, sealed)
+	if err != nil {
+		return nil, NewError(ErrIntegrityFailed, "ticket did not decrypt")
+	}
+	return decodeTicket(plain)
+}
+
+// ExpiresAt returns the instant the ticket expires.
+func (t *Ticket) ExpiresAt() time.Time {
+	return t.Issued.Go().Add(t.Life.Duration())
+}
+
+// RemainingLife returns the unexpired portion of the ticket's life at
+// now, zero if expired. The TGS caps new tickets at this value (§4.4).
+func (t *Ticket) RemainingLife(now time.Time) Lifetime {
+	rem := t.ExpiresAt().Sub(now)
+	if rem <= 0 {
+		return 0
+	}
+	l := LifetimeFromDuration(rem)
+	// LifetimeFromDuration rounds up; never exceed the ticket's own life.
+	return MinLife(l, t.Life)
+}
+
+// CheckValidity verifies the ticket's time window against now, allowing
+// clock skew: not yet valid if issued too far in the future, expired if
+// past issue+life.
+func (t *Ticket) CheckValidity(now time.Time) error {
+	issued := t.Issued.Go()
+	if issued.After(now.Add(ClockSkew)) {
+		return NewError(ErrTktNYV, "ticket issued at %v, now %v", issued, now)
+	}
+	if now.After(t.ExpiresAt().Add(ClockSkew)) {
+		return NewError(ErrTktExpired, "ticket expired at %v, now %v", t.ExpiresAt(), now)
+	}
+	return nil
+}
+
+// bytes2 reads exactly n raw bytes (no length prefix).
+func (r *reader) bytes2(n int) []byte {
+	if r.err != nil || len(r.data) < n {
+		r.fail()
+		return make([]byte, n)
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kerberos/internal/des"
+)
+
+var testEpoch = time.Date(1988, 2, 9, 12, 0, 0, 0, time.UTC)
+
+func testTicket(t testing.TB) (*Ticket, des.Key) {
+	t.Helper()
+	serverKey, err := des.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := des.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkt := &Ticket{
+		Server:     Principal{Name: "rlogin", Instance: "priam", Realm: "ATHENA.MIT.EDU"},
+		Client:     Principal{Name: "jis", Realm: "ATHENA.MIT.EDU"},
+		Addr:       Addr{18, 72, 0, 3},
+		Issued:     TimeFromGo(testEpoch),
+		Life:       DefaultTGTLife,
+		SessionKey: sess,
+	}
+	return tkt, serverKey
+}
+
+// TestTicketSealUnseal reproduces Figure 3: the ticket's contents survive
+// encryption in the server key, and only the server key opens it.
+func TestTicketSealUnseal(t *testing.T) {
+	tkt, serverKey := testTicket(t)
+	sealed := tkt.Seal(serverKey)
+	got, err := OpenTicket(serverKey, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *tkt {
+		t.Errorf("round trip mismatch:\n got  %+v\n want %+v", got, tkt)
+	}
+	wrong, _ := des.NewRandomKey()
+	if _, err := OpenTicket(wrong, sealed); err == nil {
+		t.Error("ticket opened with wrong key")
+	}
+	var pe *ProtocolError
+	_, err = OpenTicket(wrong, sealed)
+	if !errors.As(err, &pe) || pe.Code != ErrIntegrityFailed {
+		t.Errorf("wrong-key error = %v, want integrity failure", err)
+	}
+}
+
+// TestTicketTamperProof: "it is safe to allow the user to pass the ticket
+// on to the server without having to worry about the user modifying the
+// ticket" (§4.1).
+func TestTicketTamperProof(t *testing.T) {
+	tkt, serverKey := testTicket(t)
+	sealed := tkt.Seal(serverKey)
+	for i := 0; i < len(sealed); i += 3 {
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 0x10
+		if _, err := OpenTicket(serverKey, mut); err == nil {
+			t.Fatalf("modified ticket (byte %d) accepted", i)
+		}
+	}
+}
+
+func TestTicketValidityWindow(t *testing.T) {
+	tkt, _ := testTicket(t)
+	issued := tkt.Issued.Go()
+
+	if err := tkt.CheckValidity(issued.Add(time.Hour)); err != nil {
+		t.Errorf("valid ticket rejected: %v", err)
+	}
+	// Expired beyond skew.
+	late := issued.Add(tkt.Life.Duration() + ClockSkew + time.Minute)
+	err := tkt.CheckValidity(late)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != ErrTktExpired {
+		t.Errorf("expired ticket error = %v", err)
+	}
+	// Within skew of expiry: still accepted.
+	if err := tkt.CheckValidity(issued.Add(tkt.Life.Duration() + time.Minute)); err != nil {
+		t.Errorf("ticket within skew of expiry rejected: %v", err)
+	}
+	// Issued in the future beyond skew.
+	err = tkt.CheckValidity(issued.Add(-ClockSkew - time.Minute))
+	if !errors.As(err, &pe) || pe.Code != ErrTktNYV {
+		t.Errorf("future ticket error = %v", err)
+	}
+}
+
+func TestTicketRemainingLife(t *testing.T) {
+	tkt, _ := testTicket(t)
+	issued := tkt.Issued.Go()
+	if got := tkt.RemainingLife(issued); got != tkt.Life {
+		t.Errorf("remaining life at issue = %d, want %d", got, tkt.Life)
+	}
+	halfway := issued.Add(4 * time.Hour)
+	if got := tkt.RemainingLife(halfway); got.Duration() != 4*time.Hour {
+		t.Errorf("remaining life at halfway = %v, want 4h", got.Duration())
+	}
+	if got := tkt.RemainingLife(issued.Add(9 * time.Hour)); got != 0 {
+		t.Errorf("remaining life after expiry = %d, want 0", got)
+	}
+}
+
+func TestTicketExpiresAt(t *testing.T) {
+	tkt, _ := testTicket(t)
+	want := tkt.Issued.Go().Add(8 * time.Hour)
+	if !tkt.ExpiresAt().Equal(want) {
+		t.Errorf("ExpiresAt = %v, want %v", tkt.ExpiresAt(), want)
+	}
+}
+
+// TestTicketCodecProperty: arbitrary tickets round trip through
+// seal/unseal.
+func TestTicketCodecProperty(t *testing.T) {
+	serverKey, _ := des.NewRandomKey()
+	f := func(name, inst, realm string, addr [4]byte, issued uint32, life uint8, key [8]byte) bool {
+		trim := func(s string) string {
+			if len(s) > MaxComponentLen {
+				return s[:MaxComponentLen]
+			}
+			return s
+		}
+		tkt := &Ticket{
+			Server:     Principal{Name: "svc", Instance: trim(inst), Realm: trim(realm)},
+			Client:     Principal{Name: trim(name), Realm: trim(realm)},
+			Addr:       addr,
+			Issued:     KerberosTime(issued),
+			Life:       Lifetime(life),
+			SessionKey: des.FixParity(des.Key(key)),
+		}
+		got, err := OpenTicket(serverKey, tkt.Seal(serverKey))
+		return err == nil && *got == *tkt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenTicketGarbage(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	if _, err := OpenTicket(key, nil); err == nil {
+		t.Error("nil ticket accepted")
+	}
+	if _, err := OpenTicket(key, make([]byte, 24)); err == nil {
+		t.Error("zero garbage accepted")
+	}
+}

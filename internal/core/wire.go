@@ -1,0 +1,202 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire encoding. All protocol structures use a compact big-endian binary
+// encoding: fixed-width integers, and length-prefixed byte strings
+// (uvarint length). Every top-level message begins with a protocol
+// version byte and a message-type byte.
+
+// ProtocolVersion is the wire protocol version; mismatches yield
+// ErrBadVersion, satisfying the paper's scalability requirement that
+// "software should not break" when foreign systems speak to us (§1).
+const ProtocolVersion = 4
+
+// MsgType identifies a top-level protocol message.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgAuthRequest MsgType = iota + 1 // AS request (Figure 5, left)
+	MsgAuthReply                      // AS reply (Figure 5, right)
+	MsgTGSRequest                     // TGS request (Figure 8)
+	MsgAPRequest                      // application request (Figure 6)
+	MsgAPReply                        // mutual-authentication reply (Figure 7)
+	MsgError                          // KDC/server error
+	MsgSafe                           // authenticated plaintext (§2.1)
+	MsgPriv                           // authenticated, encrypted (§2.1)
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgAuthRequest:
+		return "AUTH_REQUEST"
+	case MsgAuthReply:
+		return "AUTH_REPLY"
+	case MsgTGSRequest:
+		return "TGS_REQUEST"
+	case MsgAPRequest:
+		return "AP_REQUEST"
+	case MsgAPReply:
+		return "AP_REPLY"
+	case MsgError:
+		return "ERROR"
+	case MsgSafe:
+		return "SAFE"
+	case MsgPriv:
+		return "PRIV"
+	default:
+		return fmt.Sprintf("MSG(%d)", uint8(t))
+	}
+}
+
+// ErrTruncated reports a message that ended before its structure did.
+var ErrTruncated = errors.New("core: truncated message")
+
+// ErrBadVersion reports an unsupported protocol version byte.
+var ErrBadVersion = errors.New("core: unsupported protocol version")
+
+// MaxStringLen bounds any length-prefixed byte string on the wire, a
+// defence against hostile length fields.
+const MaxStringLen = 1 << 20
+
+// writer accumulates an encoded message.
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) raw(b []byte) { w.buf = append(w.buf, b...) }
+
+func (w *writer) bytes(b []byte) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) str(s string) { w.bytes([]byte(s)) }
+
+func (w *writer) principal(p Principal) {
+	w.str(p.Name)
+	w.str(p.Instance)
+	w.str(p.Realm)
+}
+
+func (w *writer) addr(a Addr) { w.raw(a[:]) }
+
+func (w *writer) time(t KerberosTime) { w.u32(uint32(t)) }
+
+// header writes the version and type bytes every message starts with.
+func (w *writer) header(t MsgType) {
+	w.u8(ProtocolVersion)
+	w.u8(uint8(t))
+}
+
+// reader decodes an encoded message, latching the first error.
+type reader struct {
+	data []byte
+	err  error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.data) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.data[0]
+	r.data = r.data[1:]
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || len(r.data) < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.data)
+	r.data = r.data[2:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.data) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data)
+	r.data = r.data[4:]
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	if r.err != nil {
+		return nil
+	}
+	n, used := binary.Uvarint(r.data)
+	if used <= 0 || n > MaxStringLen || uint64(len(r.data)-used) < n {
+		r.fail()
+		return nil
+	}
+	b := r.data[used : used+int(n)]
+	r.data = r.data[used+int(n):]
+	return b
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+func (r *reader) principal() Principal {
+	return Principal{Name: r.str(), Instance: r.str(), Realm: r.str()}
+}
+
+func (r *reader) addr() Addr {
+	var a Addr
+	if r.err != nil || len(r.data) < 4 {
+		r.fail()
+		return a
+	}
+	copy(a[:], r.data)
+	r.data = r.data[4:]
+	return a
+}
+
+func (r *reader) time() KerberosTime { return KerberosTime(r.u32()) }
+
+// done returns the latched error, also failing if trailing garbage
+// remains (strict framing keeps misdirected datagrams from parsing).
+func (r *reader) done() error {
+	if r.err == nil && len(r.data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrTruncated, len(r.data))
+	}
+	return r.err
+}
+
+// header consumes and validates the version byte and returns the type.
+func (r *reader) header() MsgType {
+	v := r.u8()
+	t := MsgType(r.u8())
+	if r.err == nil && v != ProtocolVersion {
+		r.err = fmt.Errorf("%w: got %d, want %d", ErrBadVersion, v, ProtocolVersion)
+	}
+	return t
+}
+
+// PeekType returns the message type of an encoded message without
+// decoding the body, so servers can dispatch.
+func PeekType(msg []byte) (MsgType, error) {
+	r := reader{data: msg}
+	t := r.header()
+	if r.err != nil {
+		return 0, r.err
+	}
+	return t, nil
+}

@@ -1,0 +1,41 @@
+package des
+
+import "encoding/binary"
+
+// QuadChecksum is the keyed quadratic checksum used by Kerberos safe
+// messages (§2.1 "safe messages": "authentication of each message, but do
+// not care whether the content of the message is disclosed").
+//
+// Following the Kerberos v4 quad_cksum design, the data is processed as a
+// sequence of 32-bit little-endian words through a quadratic congruential
+// hash modulo the Mersenne prime 2³¹−1, seeded from the session key so
+// that only the two key holders can produce or verify it. The result is a
+// 32-bit checksum.
+func QuadChecksum(key Key, data []byte) uint32 {
+	const prime = 0x7fffffff // 2^31 - 1
+
+	seed := binary.LittleEndian.Uint64(key[:])
+	z := seed & prime
+	z2 := (seed >> 32) & prime
+
+	// Process in 4-byte words; a short trailing word is zero-extended.
+	for i := 0; i < len(data); i += 4 {
+		var w uint32
+		for j := 0; j < 4 && i+j < len(data); j++ {
+			w |= uint32(data[i+j]) << uint(8*j)
+		}
+		// x = (z + w) mod p ; then the quadratic step
+		// z = (x^2 + z2^2) mod p ; z2 = x.
+		x := (z + uint64(w)) % prime
+		x2 := z2
+		z = (mulmod(x, x) + mulmod(x2, x2)) % prime
+		z2 = x
+	}
+	return uint32(z)
+}
+
+// mulmod multiplies two values below 2³¹ modulo 2³¹−1 without overflow
+// (the product fits in 62 bits, within uint64).
+func mulmod(a, b uint64) uint64 {
+	return (a * b) % 0x7fffffff
+}

@@ -1,0 +1,144 @@
+// Package des is the encryption library of the reproduction: the Data
+// Encryption Standard implemented from FIPS publication 46, together with
+// the block modes the paper describes (ECB, CBC, and the Propagating CBC
+// extension), the Kerberos password-to-key transformation, the keyed
+// quadratic checksum used by safe messages, and sealed-message helpers.
+//
+// The paper (§2.2) describes the encryption library as an independent,
+// replaceable module offering "several methods of encryption ... with
+// tradeoffs between speed and security"; this package is that module.
+package des
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the DES block size in bytes.
+const BlockSize = 8
+
+// KeySize is the DES key size in bytes (56 key bits + 8 parity bits).
+const KeySize = 8
+
+// Key is a DES key: 8 bytes, each carrying 7 key bits and an odd-parity
+// low bit. The zero Key is invalid; obtain keys from NewRandomKey,
+// StringToKey, or FixParity on raw bytes.
+type Key [KeySize]byte
+
+// ErrKeySize reports a key of the wrong length.
+var ErrKeySize = errors.New("des: key must be 8 bytes")
+
+// ErrInput reports ciphertext or plaintext whose length is not a multiple
+// of the block size.
+var ErrInput = errors.New("des: input not a multiple of the block size")
+
+// Cipher is an expanded DES key: the 16 48-bit round subkeys. It is safe
+// for concurrent use after creation.
+type Cipher struct {
+	subkeys [16]uint64
+}
+
+// NewCipher expands key into a Cipher.
+func NewCipher(key Key) *Cipher {
+	c := new(Cipher)
+	c.expandKey(key)
+	return c
+}
+
+// NewCipherBytes expands an 8-byte key slice into a Cipher.
+func NewCipherBytes(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, ErrKeySize
+	}
+	var k Key
+	copy(k[:], key)
+	return NewCipher(k), nil
+}
+
+// permute maps v, an nIn-bit value, through tab. Table entries are 1-based
+// bit positions counted from the most significant bit, per FIPS 46.
+func permute(v uint64, nIn int, tab []byte) uint64 {
+	var out uint64
+	for _, p := range tab {
+		out = out<<1 | (v>>uint(nIn-int(p)))&1
+	}
+	return out
+}
+
+// rotate28 rotates a 28-bit value left by n bits.
+func rotate28(v uint64, n byte) uint64 {
+	return ((v << n) | (v >> (28 - n))) & 0x0fffffff
+}
+
+func (c *Cipher) expandKey(key Key) {
+	k64 := binary.BigEndian.Uint64(key[:])
+	k56 := permute(k64, 64, permutedChoice1[:])
+	cHalf := k56 >> 28
+	dHalf := k56 & 0x0fffffff
+	for round := 0; round < 16; round++ {
+		cHalf = rotate28(cHalf, keyRotations[round])
+		dHalf = rotate28(dHalf, keyRotations[round])
+		c.subkeys[round] = permute(cHalf<<28|dHalf, 56, permutedChoice2[:])
+	}
+}
+
+// feistel is the DES cipher function f(R, K).
+func feistel(r uint32, subkey uint64) uint32 {
+	x := permute(uint64(r), 32, expansion[:]) ^ subkey
+	var sOut uint64
+	for i := 0; i < 8; i++ {
+		six := byte(x>>uint(42-6*i)) & 0x3f
+		row := (six>>4)&2 | six&1
+		col := (six >> 1) & 0xf
+		sOut = sOut<<4 | uint64(sBoxes[i][row*16+col])
+	}
+	return uint32(permute(sOut, 32, roundPermutation[:]))
+}
+
+// crypt runs the 16-round Feistel network with the subkeys in the given
+// order (forward for encryption, reverse for decryption). It dispatches
+// to the table-driven core in fast.go; cryptReference below is the
+// bit-by-bit transcription of the standard kept as the test oracle.
+func (c *Cipher) crypt(block uint64, decrypt bool) uint64 {
+	return c.cryptFast(block, decrypt)
+}
+
+// cryptReference is the direct transcription of FIPS 46.
+func (c *Cipher) cryptReference(block uint64, decrypt bool) uint64 {
+	v := permute(block, 64, initialPermutation[:])
+	l := uint32(v >> 32)
+	r := uint32(v)
+	for round := 0; round < 16; round++ {
+		k := c.subkeys[round]
+		if decrypt {
+			k = c.subkeys[15-round]
+		}
+		l, r = r, l^feistel(r, k)
+	}
+	// The halves are swapped once more by the standard's pre-output step.
+	return permute(uint64(r)<<32|uint64(l), 64, finalPermutation[:])
+}
+
+// EncryptBlock encrypts a single 8-byte block. dst and src may overlap.
+func (c *Cipher) EncryptBlock(dst, src []byte) {
+	out := c.crypt(binary.BigEndian.Uint64(src), false)
+	binary.BigEndian.PutUint64(dst, out)
+}
+
+// DecryptBlock decrypts a single 8-byte block. dst and src may overlap.
+func (c *Cipher) DecryptBlock(dst, src []byte) {
+	out := c.crypt(binary.BigEndian.Uint64(src), true)
+	binary.BigEndian.PutUint64(dst, out)
+}
+
+// checkBlocks validates that dst and src describe whole blocks.
+func checkBlocks(dst, src []byte) error {
+	if len(src)%BlockSize != 0 {
+		return ErrInput
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("des: output buffer too small: %d < %d", len(dst), len(src))
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package des
+
+import (
+	"bytes"
+	stddes "crypto/des"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+func keyFrom(b []byte) Key {
+	var k Key
+	copy(k[:], b)
+	return k
+}
+
+// TestDESKnownVectors checks the cipher core against published DES test
+// vectors.
+func TestDESKnownVectors(t *testing.T) {
+	vectors := []struct{ key, plain, cipher string }{
+		{"133457799bbcdff1", "0123456789abcdef", "85e813540f0ab405"},
+		{"0e329232ea6d0d73", "8787878787878787", "0000000000000000"},
+		{"0123456789abcdef", "4e6f772069732074", "3fa40e8a984d4815"},
+		{"0101010101010101", "0000000000000000", "8ca64de9c1b123a7"},
+		{"fedcba9876543210", "0123456789abcdef", "ed39d950fa74bcc4"},
+	}
+	for _, v := range vectors {
+		c := NewCipher(keyFrom(mustHex(t, v.key)))
+		got := make([]byte, 8)
+		c.EncryptBlock(got, mustHex(t, v.plain))
+		if hex.EncodeToString(got) != v.cipher {
+			t.Errorf("key %s: encrypt(%s) = %x, want %s", v.key, v.plain, got, v.cipher)
+		}
+		back := make([]byte, 8)
+		c.DecryptBlock(back, got)
+		if hex.EncodeToString(back) != v.plain {
+			t.Errorf("key %s: decrypt round trip = %x, want %s", v.key, back, v.plain)
+		}
+	}
+}
+
+// TestDESMatchesStdlib cross-validates our from-scratch implementation
+// against the standard library's crypto/des over random keys and blocks.
+func TestDESMatchesStdlib(t *testing.T) {
+	f := func(key [8]byte, block [8]byte) bool {
+		ours := NewCipher(key)
+		std, err := stddes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		a := make([]byte, 8)
+		b := make([]byte, 8)
+		ours.EncryptBlock(a, block[:])
+		std.Encrypt(b, block[:])
+		if !bytes.Equal(a, b) {
+			return false
+		}
+		ours.DecryptBlock(a, a)
+		return bytes.Equal(a, block[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWeakKeysSelfInverse verifies the defining property of the four weak
+// keys: encryption is its own inverse.
+func TestWeakKeysSelfInverse(t *testing.T) {
+	block := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < 4; i++ {
+		k := Key(weakKeys[i])
+		c := NewCipher(k)
+		out := make([]byte, 8)
+		c.EncryptBlock(out, block)
+		c.EncryptBlock(out, out)
+		if !bytes.Equal(out, block) {
+			t.Errorf("weak key %x: double encryption is not identity", k)
+		}
+	}
+}
+
+// TestSemiWeakPairs verifies that each semi-weak key pair inverts the
+// other's encryption.
+func TestSemiWeakPairs(t *testing.T) {
+	block := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04}
+	for i := 4; i < len(weakKeys); i += 2 {
+		c1 := NewCipher(Key(weakKeys[i]))
+		c2 := NewCipher(Key(weakKeys[i+1]))
+		out := make([]byte, 8)
+		c1.EncryptBlock(out, block)
+		c2.EncryptBlock(out, out)
+		if !bytes.Equal(out, block) {
+			t.Errorf("semi-weak pair %d/%d does not invert", i, i+1)
+		}
+	}
+}
+
+func TestNewCipherBytesLength(t *testing.T) {
+	if _, err := NewCipherBytes(make([]byte, 7)); err == nil {
+		t.Error("7-byte key accepted")
+	}
+	if _, err := NewCipherBytes(make([]byte, 8)); err != nil {
+		t.Errorf("8-byte key rejected: %v", err)
+	}
+}
+
+func BenchmarkEncryptBlock(b *testing.B) {
+	c := NewCipher(Key{0x13, 0x34, 0x57, 0x79, 0x9b, 0xbc, 0xdf, 0xf1})
+	buf := make([]byte, 8)
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		c.EncryptBlock(buf, buf)
+	}
+}
+
+func BenchmarkSealUnseal1K(b *testing.B) {
+	key, _ := NewRandomKey()
+	msg := bytes.Repeat([]byte("athena!!"), 128)
+	b.SetBytes(int64(len(msg)))
+	for i := 0; i < b.N; i++ {
+		sealed := Seal(key, msg)
+		if _, err := Unseal(key, sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestFastMatchesReference cross-checks the table-driven cipher core
+// against the bit-by-bit transcription of FIPS 46.
+func TestFastMatchesReference(t *testing.T) {
+	f := func(key [8]byte, block uint64) bool {
+		c := NewCipher(Key(key))
+		return c.cryptFast(block, false) == c.cryptReference(block, false) &&
+			c.cryptFast(block, true) == c.cryptReference(block, true)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkAblationFastVsReference quantifies the table-driven core
+// against the bit-by-bit FIPS transcription — the implementation choice
+// that sets the cost of every protocol operation.
+func BenchmarkAblationFastVsReference(b *testing.B) {
+	c := NewCipher(Key{0x13, 0x34, 0x57, 0x79, 0x9b, 0xbc, 0xdf, 0xf1})
+	b.Run("fast-tables", func(b *testing.B) {
+		b.SetBytes(8)
+		v := uint64(0x0123456789abcdef)
+		for i := 0; i < b.N; i++ {
+			v = c.cryptFast(v, false)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.SetBytes(8)
+		v := uint64(0x0123456789abcdef)
+		for i := 0; i < b.N; i++ {
+			v = c.cryptReference(v, false)
+		}
+	})
+}
+
+// BenchmarkAblationSealOverhead separates the sealed-message envelope
+// (length + keyed checksum + PCBC) from bare CBC encryption, pricing the
+// integrity layer every protocol structure pays for.
+func BenchmarkAblationSealOverhead(b *testing.B) {
+	key, _ := NewRandomKey()
+	c := NewCipher(key)
+	msg := make([]byte, 1024)
+	dst := make([]byte, 1024)
+	b.Run("seal-pcbc-cksum", func(b *testing.B) {
+		b.SetBytes(1024)
+		for i := 0; i < b.N; i++ {
+			Seal(key, msg)
+		}
+	})
+	b.Run("bare-cbc", func(b *testing.B) {
+		b.SetBytes(1024)
+		for i := 0; i < b.N; i++ {
+			if err := c.EncryptCBC(dst, msg, key[:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package des
+
+// Precomputed lookup tables, built once at init from the FIPS tables in
+// tables.go. This is the classic software-DES optimization the 1988
+// libdes generation used: fold the P permutation into the S-boxes
+// ("SP boxes") and turn the bit permutations IP, IP⁻¹ and E into
+// byte-indexed table ORs. The straightforward bit-by-bit permute() in
+// des.go remains the reference implementation; TestFastTablesMatchSpec
+// cross-checks them and the FIPS/stdlib vectors validate the result.
+
+var (
+	// spBox[i][v] is S-box i applied to the 6-bit value v, already run
+	// through the round permutation P and positioned in the 32-bit word.
+	spBox [8][64]uint32
+
+	// ipTab[b][v] is the contribution of input byte b holding value v to
+	// the 64-bit output of the initial permutation; fpTab likewise for
+	// the final permutation.
+	ipTab [8][256]uint64
+	fpTab [8][256]uint64
+
+	// expTab[b][v] is the contribution of byte b of the 32-bit half
+	// block to the 48-bit expansion E.
+	expTab [4][256]uint64
+)
+
+func init() {
+	// SP boxes: for each S-box output nibble, apply P.
+	for box := 0; box < 8; box++ {
+		for v := 0; v < 64; v++ {
+			row := (v>>4)&2 | v&1
+			col := (v >> 1) & 0xf
+			nibble := uint64(sBoxes[box][row*16+col])
+			// Position the nibble in the 32-bit pre-P word.
+			pre := nibble << uint(28-4*box)
+			spBox[box][v] = uint32(permute(pre, 32, roundPermutation[:]))
+		}
+	}
+	// Byte-indexed linear permutations: a permutation distributes over
+	// OR across disjoint input bits, so per-byte contributions combine.
+	for b := 0; b < 8; b++ {
+		for v := 0; v < 256; v++ {
+			in := uint64(v) << uint(56-8*b)
+			ipTab[b][v] = permute(in, 64, initialPermutation[:])
+			fpTab[b][v] = permute(in, 64, finalPermutation[:])
+		}
+	}
+	for b := 0; b < 4; b++ {
+		for v := 0; v < 256; v++ {
+			in := uint64(v) << uint(24-8*b)
+			expTab[b][v] = permute(in, 32, expansion[:])
+		}
+	}
+}
+
+// permuteIP applies the initial permutation via tables.
+func permuteIP(v uint64) uint64 {
+	return ipTab[0][v>>56] | ipTab[1][v>>48&0xff] | ipTab[2][v>>40&0xff] |
+		ipTab[3][v>>32&0xff] | ipTab[4][v>>24&0xff] | ipTab[5][v>>16&0xff] |
+		ipTab[6][v>>8&0xff] | ipTab[7][v&0xff]
+}
+
+// permuteFP applies the final permutation via tables.
+func permuteFP(v uint64) uint64 {
+	return fpTab[0][v>>56] | fpTab[1][v>>48&0xff] | fpTab[2][v>>40&0xff] |
+		fpTab[3][v>>32&0xff] | fpTab[4][v>>24&0xff] | fpTab[5][v>>16&0xff] |
+		fpTab[6][v>>8&0xff] | fpTab[7][v&0xff]
+}
+
+// feistelFast is f(R, K) with table-driven expansion and SP boxes.
+func feistelFast(r uint32, subkey uint64) uint32 {
+	x := (expTab[0][r>>24] | expTab[1][r>>16&0xff] |
+		expTab[2][r>>8&0xff] | expTab[3][r&0xff]) ^ subkey
+	return spBox[0][x>>42&0x3f] | spBox[1][x>>36&0x3f] |
+		spBox[2][x>>30&0x3f] | spBox[3][x>>24&0x3f] |
+		spBox[4][x>>18&0x3f] | spBox[5][x>>12&0x3f] |
+		spBox[6][x>>6&0x3f] | spBox[7][x&0x3f]
+}
+
+// cryptFast is the table-driven cipher core used by all block
+// operations.
+func (c *Cipher) cryptFast(block uint64, decrypt bool) uint64 {
+	v := permuteIP(block)
+	l := uint32(v >> 32)
+	r := uint32(v)
+	if decrypt {
+		for round := 15; round >= 0; round-- {
+			l, r = r, l^feistelFast(r, c.subkeys[round])
+		}
+	} else {
+		for round := 0; round < 16; round++ {
+			l, r = r, l^feistelFast(r, c.subkeys[round])
+		}
+	}
+	return permuteFP(uint64(r)<<32 | uint64(l))
+}

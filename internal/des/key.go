@@ -1,0 +1,167 @@
+package des
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+)
+
+// This file covers the paper's key-handling needs: "Each Kerberos principal
+// is assigned a large number, its private key ... In the case of a user,
+// the private key is the result of a one-way function applied to the user's
+// password" (Conventions; §2.1), and the session keys the authentication
+// server generates at random.
+
+// weakKeys are the four weak and twelve semi-weak DES keys (FIPS 74),
+// which the key generator and StringToKey must avoid: under a weak key
+// encryption is its own inverse.
+var weakKeys = [][8]byte{
+	// Weak.
+	{0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01},
+	{0xfe, 0xfe, 0xfe, 0xfe, 0xfe, 0xfe, 0xfe, 0xfe},
+	{0x1f, 0x1f, 0x1f, 0x1f, 0x0e, 0x0e, 0x0e, 0x0e},
+	{0xe0, 0xe0, 0xe0, 0xe0, 0xf1, 0xf1, 0xf1, 0xf1},
+	// Semi-weak pairs.
+	{0x01, 0xfe, 0x01, 0xfe, 0x01, 0xfe, 0x01, 0xfe},
+	{0xfe, 0x01, 0xfe, 0x01, 0xfe, 0x01, 0xfe, 0x01},
+	{0x1f, 0xe0, 0x1f, 0xe0, 0x0e, 0xf1, 0x0e, 0xf1},
+	{0xe0, 0x1f, 0xe0, 0x1f, 0xf1, 0x0e, 0xf1, 0x0e},
+	{0x01, 0xe0, 0x01, 0xe0, 0x01, 0xf1, 0x01, 0xf1},
+	{0xe0, 0x01, 0xe0, 0x01, 0xf1, 0x01, 0xf1, 0x01},
+	{0x1f, 0xfe, 0x1f, 0xfe, 0x0e, 0xfe, 0x0e, 0xfe},
+	{0xfe, 0x1f, 0xfe, 0x1f, 0xfe, 0x0e, 0xfe, 0x0e},
+	{0x01, 0x1f, 0x01, 0x1f, 0x01, 0x0e, 0x01, 0x0e},
+	{0x1f, 0x01, 0x1f, 0x01, 0x0e, 0x01, 0x0e, 0x01},
+	{0xe0, 0xfe, 0xe0, 0xfe, 0xf1, 0xfe, 0xf1, 0xfe},
+	{0xfe, 0xe0, 0xfe, 0xe0, 0xfe, 0xf1, 0xfe, 0xf1},
+}
+
+// oddParity returns b with its low bit set so the byte has odd parity
+// over all eight bits.
+func oddParity(b byte) byte {
+	x := b >> 1
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return b&0xfe | ^x&1
+}
+
+// FixParity returns k with each byte forced to odd parity.
+func FixParity(k Key) Key {
+	for i := range k {
+		k[i] = oddParity(k[i])
+	}
+	return k
+}
+
+// HasOddParity reports whether every byte of k has odd parity.
+func HasOddParity(k Key) bool {
+	return k == FixParity(k)
+}
+
+// IsWeak reports whether k is one of the weak or semi-weak DES keys.
+func IsWeak(k Key) bool {
+	for _, w := range weakKeys {
+		if k == w {
+			return true
+		}
+	}
+	return false
+}
+
+// fixWeak nudges a weak key into a strong one the way the Kerberos
+// library did: by flipping the low nibble of the last byte (0xf0 XOR),
+// then restoring parity.
+func fixWeak(k Key) Key {
+	if IsWeak(k) {
+		k[7] ^= 0xf0
+		k = FixParity(k)
+	}
+	return k
+}
+
+// NewRandomKey generates a fresh session key: random bits from the
+// operating system, odd parity, never weak. The authentication server
+// calls this for every ticket it issues (§4.2).
+func NewRandomKey() (Key, error) {
+	var k Key
+	for {
+		if _, err := rand.Read(k[:]); err != nil {
+			return Key{}, fmt.Errorf("des: generating session key: %w", err)
+		}
+		k = fixWeak(FixParity(k))
+		if !IsWeak(k) {
+			return k, nil
+		}
+	}
+}
+
+// reverse7 reverses the low 7 bits of b (the key bits; parity excluded).
+// Used by the fan-fold step of StringToKey, matching the Kerberos v4
+// convention of bit-reversing every other 8-byte group.
+func reverse7(b byte) byte {
+	var out byte
+	for i := 0; i < 7; i++ {
+		out = out<<1 | (b>>uint(i))&1
+	}
+	return out
+}
+
+// StringToKey converts a user's password into a DES key — the "one-way
+// function applied to the user's password" of the paper's Conventions
+// section. The algorithm follows the Kerberos v4 scheme: the password is
+// zero-padded to a multiple of 8 bytes and fan-folded with XOR, with every
+// other 8-byte group bit-reversed; the folded value (with parity) then
+// keys a CBC checksum over the padded password, and the checksum — with
+// parity fixed and weak keys corrected — is the key.
+//
+// Realm and name salt the password so equal passwords in different realms
+// yield different keys.
+func StringToKey(password, salt string) Key {
+	input := []byte(password + salt)
+	if len(input) == 0 {
+		input = []byte{0}
+	}
+	padded := Pad(input)
+
+	var k Key
+	for g := 0; g*BlockSize < len(padded); g++ {
+		block := padded[g*BlockSize : (g+1)*BlockSize]
+		if g%2 == 0 {
+			for i := 0; i < BlockSize; i++ {
+				k[i] ^= block[i] << 1 // shift key bits into the high 7
+			}
+		} else {
+			// Odd groups are folded in reversed, byte- and bit-wise.
+			for i := 0; i < BlockSize; i++ {
+				k[i] ^= reverse7(block[BlockSize-1-i]) << 1
+			}
+		}
+	}
+	k = fixWeak(FixParity(k))
+
+	c := NewCipher(k)
+	sum := c.cbcChecksum(padded, k[:])
+	var out Key
+	binary.BigEndian.PutUint64(out[:], sum)
+	return fixWeak(FixParity(out))
+}
+
+// cbcChecksum computes the DES-CBC checksum of data (already padded to
+// whole blocks): the final ciphertext block of a CBC encryption under the
+// cipher's key with the given IV.
+func (c *Cipher) cbcChecksum(data, iv []byte) uint64 {
+	prev := binary.BigEndian.Uint64(iv)
+	for i := 0; i < len(data); i += BlockSize {
+		p := binary.BigEndian.Uint64(data[i:])
+		prev = c.crypt(p^prev, false)
+	}
+	return prev
+}
+
+// CBCChecksum computes the DES-CBC message authentication code of data
+// under key, using the key as IV (the Kerberos convention). data need not
+// be block-aligned; it is zero-padded.
+func CBCChecksum(key Key, data []byte) uint64 {
+	return NewCipher(key).cbcChecksum(Pad(data), key[:])
+}

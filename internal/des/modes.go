@@ -1,0 +1,174 @@
+package des
+
+import "encoding/binary"
+
+// The paper (§2.2): "Several methods of encryption are provided, with
+// tradeoffs between speed and security. An extension to the DES Cypher
+// Block Chaining (CBC) mode, called the Propagating CBC mode, is also
+// provided. In CBC, an error is propagated only through the current block
+// of the cipher, whereas in PCBC, the error is propagated throughout the
+// message."
+
+// Mode selects one of the encryption library's block modes.
+type Mode int
+
+const (
+	// ModeECB is electronic codebook: fastest, no chaining, weakest.
+	ModeECB Mode = iota
+	// ModeCBC is cipher block chaining: an error affects two blocks.
+	ModeCBC
+	// ModePCBC is propagating CBC: an error garbles the whole tail of
+	// the message, rendering it useless — the property Kerberos wants
+	// for authenticated messages.
+	ModePCBC
+)
+
+// String returns the mode's conventional name.
+func (m Mode) String() string {
+	switch m {
+	case ModeECB:
+		return "ECB"
+	case ModeCBC:
+		return "CBC"
+	case ModePCBC:
+		return "PCBC"
+	default:
+		return "unknown-mode"
+	}
+}
+
+// EncryptECB encrypts src into dst block by block. len(src) must be a
+// multiple of BlockSize and dst must be at least as long.
+func (c *Cipher) EncryptECB(dst, src []byte) error {
+	if err := checkBlocks(dst, src); err != nil {
+		return err
+	}
+	for i := 0; i < len(src); i += BlockSize {
+		c.EncryptBlock(dst[i:i+BlockSize], src[i:i+BlockSize])
+	}
+	return nil
+}
+
+// DecryptECB decrypts src into dst block by block.
+func (c *Cipher) DecryptECB(dst, src []byte) error {
+	if err := checkBlocks(dst, src); err != nil {
+		return err
+	}
+	for i := 0; i < len(src); i += BlockSize {
+		c.DecryptBlock(dst[i:i+BlockSize], src[i:i+BlockSize])
+	}
+	return nil
+}
+
+// EncryptCBC encrypts src into dst in cipher block chaining mode with the
+// given 8-byte initialization vector.
+func (c *Cipher) EncryptCBC(dst, src, iv []byte) error {
+	if err := checkBlocks(dst, src); err != nil {
+		return err
+	}
+	if len(iv) != BlockSize {
+		return ErrInput
+	}
+	prev := binary.BigEndian.Uint64(iv)
+	for i := 0; i < len(src); i += BlockSize {
+		p := binary.BigEndian.Uint64(src[i:])
+		ct := c.crypt(p^prev, false)
+		binary.BigEndian.PutUint64(dst[i:], ct)
+		prev = ct
+	}
+	return nil
+}
+
+// DecryptCBC decrypts src into dst in cipher block chaining mode.
+func (c *Cipher) DecryptCBC(dst, src, iv []byte) error {
+	if err := checkBlocks(dst, src); err != nil {
+		return err
+	}
+	if len(iv) != BlockSize {
+		return ErrInput
+	}
+	prev := binary.BigEndian.Uint64(iv)
+	for i := 0; i < len(src); i += BlockSize {
+		ct := binary.BigEndian.Uint64(src[i:])
+		binary.BigEndian.PutUint64(dst[i:], c.crypt(ct, true)^prev)
+		prev = ct
+	}
+	return nil
+}
+
+// EncryptPCBC encrypts src into dst in propagating CBC mode: each input
+// block is whitened with both the previous plaintext and the previous
+// ciphertext block, so a transmission error propagates through the rest
+// of the message.
+func (c *Cipher) EncryptPCBC(dst, src, iv []byte) error {
+	if err := checkBlocks(dst, src); err != nil {
+		return err
+	}
+	if len(iv) != BlockSize {
+		return ErrInput
+	}
+	chain := binary.BigEndian.Uint64(iv) // P(i-1) XOR C(i-1); IV seeds it
+	for i := 0; i < len(src); i += BlockSize {
+		p := binary.BigEndian.Uint64(src[i:])
+		ct := c.crypt(p^chain, false)
+		binary.BigEndian.PutUint64(dst[i:], ct)
+		chain = p ^ ct
+	}
+	return nil
+}
+
+// DecryptPCBC decrypts src into dst in propagating CBC mode.
+func (c *Cipher) DecryptPCBC(dst, src, iv []byte) error {
+	if err := checkBlocks(dst, src); err != nil {
+		return err
+	}
+	if len(iv) != BlockSize {
+		return ErrInput
+	}
+	chain := binary.BigEndian.Uint64(iv)
+	for i := 0; i < len(src); i += BlockSize {
+		ct := binary.BigEndian.Uint64(src[i:])
+		p := c.crypt(ct, true) ^ chain
+		binary.BigEndian.PutUint64(dst[i:], p)
+		chain = p ^ ct
+	}
+	return nil
+}
+
+// Encrypt runs the selected mode over whole blocks. ECB ignores iv.
+func (c *Cipher) Encrypt(mode Mode, dst, src, iv []byte) error {
+	switch mode {
+	case ModeECB:
+		return c.EncryptECB(dst, src)
+	case ModeCBC:
+		return c.EncryptCBC(dst, src, iv)
+	case ModePCBC:
+		return c.EncryptPCBC(dst, src, iv)
+	default:
+		return ErrInput
+	}
+}
+
+// Decrypt runs the selected mode over whole blocks. ECB ignores iv.
+func (c *Cipher) Decrypt(mode Mode, dst, src, iv []byte) error {
+	switch mode {
+	case ModeECB:
+		return c.DecryptECB(dst, src)
+	case ModeCBC:
+		return c.DecryptCBC(dst, src, iv)
+	case ModePCBC:
+		return c.DecryptPCBC(dst, src, iv)
+	default:
+		return ErrInput
+	}
+}
+
+// Pad returns data zero-padded to a whole number of blocks, always in a
+// fresh slice. Kerberos messages carry their own length, so zero padding
+// is unambiguous.
+func Pad(data []byte) []byte {
+	n := len(data)
+	padded := make([]byte, (n+BlockSize-1)/BlockSize*BlockSize)
+	copy(padded, data)
+	return padded
+}

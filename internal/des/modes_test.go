@@ -1,0 +1,200 @@
+package des
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomKeyT(t testing.TB) Key {
+	t.Helper()
+	k, err := NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestModesRoundTrip checks that every mode decrypts what it encrypted.
+func TestModesRoundTrip(t *testing.T) {
+	key := randomKeyT(t)
+	c := NewCipher(key)
+	iv := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, mode := range []Mode{ModeECB, ModeCBC, ModePCBC} {
+		for _, blocks := range []int{1, 2, 7, 64} {
+			src := make([]byte, blocks*BlockSize)
+			if _, err := rand.Read(src); err != nil {
+				t.Fatal(err)
+			}
+			ct := make([]byte, len(src))
+			if err := c.Encrypt(mode, ct, src, iv); err != nil {
+				t.Fatalf("%v encrypt: %v", mode, err)
+			}
+			if bytes.Equal(ct, src) {
+				t.Fatalf("%v: ciphertext equals plaintext", mode)
+			}
+			pt := make([]byte, len(src))
+			if err := c.Decrypt(mode, pt, ct, iv); err != nil {
+				t.Fatalf("%v decrypt: %v", mode, err)
+			}
+			if !bytes.Equal(pt, src) {
+				t.Errorf("%v with %d blocks: round trip mismatch", mode, blocks)
+			}
+		}
+	}
+}
+
+// TestModeInputValidation checks block alignment and IV length errors.
+func TestModeInputValidation(t *testing.T) {
+	c := NewCipher(randomKeyT(t))
+	iv := make([]byte, 8)
+	if err := c.EncryptCBC(make([]byte, 9), make([]byte, 9), iv); err == nil {
+		t.Error("unaligned input accepted")
+	}
+	if err := c.EncryptCBC(make([]byte, 8), make([]byte, 8), iv[:4]); err == nil {
+		t.Error("short IV accepted")
+	}
+	if err := c.EncryptPCBC(make([]byte, 4), make([]byte, 8), iv); err == nil {
+		t.Error("short dst accepted")
+	}
+	if err := c.Encrypt(Mode(99), nil, nil, nil); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := c.Decrypt(Mode(99), nil, nil, nil); err == nil {
+		t.Error("unknown mode accepted for decrypt")
+	}
+}
+
+// TestCBCErrorPropagationIsLocal reproduces the §2.2 contrast: in CBC a
+// single corrupted ciphertext block garbles only that block and the next
+// one after decryption.
+func TestCBCErrorPropagationIsLocal(t *testing.T) {
+	key := randomKeyT(t)
+	c := NewCipher(key)
+	iv := make([]byte, 8)
+	const blocks = 16
+	src := bytes.Repeat([]byte{0xAA}, blocks*BlockSize)
+	ct := make([]byte, len(src))
+	if err := c.EncryptCBC(ct, src, iv); err != nil {
+		t.Fatal(err)
+	}
+	ct[3*BlockSize] ^= 0x01 // corrupt block 3
+	pt := make([]byte, len(src))
+	if err := c.DecryptCBC(pt, ct, iv); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < blocks; b++ {
+		got := pt[b*BlockSize : (b+1)*BlockSize]
+		want := src[b*BlockSize : (b+1)*BlockSize]
+		damaged := !bytes.Equal(got, want)
+		switch b {
+		case 3, 4:
+			if !damaged {
+				t.Errorf("CBC: block %d should be damaged", b)
+			}
+		default:
+			if damaged {
+				t.Errorf("CBC: block %d damaged; corruption not local", b)
+			}
+		}
+	}
+}
+
+// TestPCBCErrorPropagation reproduces the property the paper relies on:
+// in PCBC a single corrupted block propagates "throughout the message",
+// rendering the entire tail useless.
+func TestPCBCErrorPropagation(t *testing.T) {
+	key := randomKeyT(t)
+	c := NewCipher(key)
+	iv := make([]byte, 8)
+	const blocks = 16
+	src := bytes.Repeat([]byte{0x55}, blocks*BlockSize)
+	ct := make([]byte, len(src))
+	if err := c.EncryptPCBC(ct, src, iv); err != nil {
+		t.Fatal(err)
+	}
+	ct[3*BlockSize+5] ^= 0x80
+	pt := make([]byte, len(src))
+	if err := c.DecryptPCBC(pt, ct, iv); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 3; b++ {
+		if !bytes.Equal(pt[b*BlockSize:(b+1)*BlockSize], src[b*BlockSize:(b+1)*BlockSize]) {
+			t.Errorf("PCBC: block %d before corruption damaged", b)
+		}
+	}
+	// Every block from the corruption to the end must be garbled (each
+	// with probability 1-2^-64; a clean block indicates broken chaining).
+	for b := 3; b < blocks; b++ {
+		if bytes.Equal(pt[b*BlockSize:(b+1)*BlockSize], src[b*BlockSize:(b+1)*BlockSize]) {
+			t.Errorf("PCBC: block %d survived corruption; error did not propagate", b)
+		}
+	}
+}
+
+// TestPCBCRoundTripProperty is a property test over arbitrary messages.
+func TestPCBCRoundTripProperty(t *testing.T) {
+	key := randomKeyT(t)
+	c := NewCipher(key)
+	f := func(data []byte, iv [8]byte) bool {
+		src := Pad(data)
+		if len(src) == 0 {
+			src = make([]byte, BlockSize)
+		}
+		ct := make([]byte, len(src))
+		if err := c.EncryptPCBC(ct, src, iv[:]); err != nil {
+			return false
+		}
+		pt := make([]byte, len(src))
+		if err := c.DecryptPCBC(pt, ct, iv[:]); err != nil {
+			return false
+		}
+		return bytes.Equal(pt, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPad(t *testing.T) {
+	for n, want := range map[int]int{0: 0, 1: 8, 7: 8, 8: 8, 9: 16, 16: 16} {
+		if got := len(Pad(make([]byte, n))); got != want {
+			t.Errorf("Pad(%d bytes) has length %d, want %d", n, got, want)
+		}
+	}
+	// Pad must copy, never alias.
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	p := Pad(data)
+	p[0] = 99
+	if data[0] == 99 {
+		t.Error("Pad aliased its input")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeECB.String() != "ECB" || ModeCBC.String() != "CBC" || ModePCBC.String() != "PCBC" {
+		t.Error("mode names wrong")
+	}
+	if Mode(42).String() != "unknown-mode" {
+		t.Error("unknown mode name wrong")
+	}
+}
+
+func BenchmarkModes(b *testing.B) {
+	key := Key{0x13, 0x34, 0x57, 0x79, 0x9b, 0xbc, 0xdf, 0xf1}
+	c := NewCipher(key)
+	iv := make([]byte, 8)
+	src := make([]byte, 1024)
+	dst := make([]byte, 1024)
+	for _, mode := range []Mode{ModeECB, ModeCBC, ModePCBC} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if err := c.Encrypt(mode, dst, src, iv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

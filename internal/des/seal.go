@@ -1,0 +1,65 @@
+package des
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Sealed-message helpers. Every encrypted structure in the protocol —
+// tickets, authenticators, KDC reply bodies, private messages — is carried
+// as a "sealed" byte string: an 8-byte header (payload length + keyed
+// checksum) followed by the payload, zero-padded and encrypted in PCBC
+// mode with the key itself as IV (the Kerberos v4 convention).
+//
+// PCBC propagates any ciphertext corruption through the remainder of the
+// message (§2.2), and the checksum in the header detects it, so a sealed
+// message that unseals cleanly is both confidential and intact.
+
+// ErrIntegrity reports a sealed message that failed its checksum or
+// structure checks after decryption — corruption, truncation, or a wrong
+// key.
+var ErrIntegrity = errors.New("des: sealed message integrity check failed")
+
+const sealHeaderLen = 8
+
+// Seal encrypts plaintext under key and returns the sealed ciphertext.
+func Seal(key Key, plaintext []byte) []byte {
+	buf := make([]byte, sealHeaderLen+len(plaintext))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(plaintext)))
+	binary.BigEndian.PutUint32(buf[4:8], QuadChecksum(key, plaintext))
+	copy(buf[sealHeaderLen:], plaintext)
+	padded := Pad(buf)
+	c := NewCipher(key)
+	// Error is impossible: padded is block-aligned and iv is 8 bytes.
+	_ = c.EncryptPCBC(padded, padded, key[:])
+	return padded
+}
+
+// Unseal decrypts a sealed ciphertext and verifies its integrity,
+// returning the original plaintext. A wrong key, truncated input, or any
+// tampering yields ErrIntegrity.
+func Unseal(key Key, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < sealHeaderLen || len(ciphertext)%BlockSize != 0 {
+		return nil, ErrIntegrity
+	}
+	buf := make([]byte, len(ciphertext))
+	c := NewCipher(key)
+	if err := c.DecryptPCBC(buf, ciphertext, key[:]); err != nil {
+		return nil, ErrIntegrity
+	}
+	n := binary.BigEndian.Uint32(buf[0:4])
+	if int(n) > len(buf)-sealHeaderLen {
+		return nil, ErrIntegrity
+	}
+	plaintext := buf[sealHeaderLen : sealHeaderLen+int(n)]
+	if QuadChecksum(key, plaintext) != binary.BigEndian.Uint32(buf[4:8]) {
+		return nil, ErrIntegrity
+	}
+	// Padding must be zeros; reject other trailing bytes.
+	for _, b := range buf[sealHeaderLen+int(n):] {
+		if b != 0 {
+			return nil, ErrIntegrity
+		}
+	}
+	return plaintext, nil
+}

@@ -1,0 +1,96 @@
+package des
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealUnseal(t *testing.T) {
+	key := randomKeyT(t)
+	for _, msg := range [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("exactly8"),
+		[]byte("a private message from the Kerberos server carrying a password"),
+		bytes.Repeat([]byte{0}, 1000),
+	} {
+		sealed := Seal(key, msg)
+		if len(sealed)%BlockSize != 0 {
+			t.Fatalf("sealed length %d not block aligned", len(sealed))
+		}
+		got, err := Unseal(key, sealed)
+		if err != nil {
+			t.Fatalf("unseal %d bytes: %v", len(msg), err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("round trip mismatch for %d-byte message", len(msg))
+		}
+	}
+}
+
+func TestUnsealWrongKey(t *testing.T) {
+	key := randomKeyT(t)
+	wrong := randomKeyT(t)
+	sealed := Seal(key, []byte("ticket-granting ticket"))
+	if _, err := Unseal(wrong, sealed); err == nil {
+		t.Error("wrong key unsealed successfully")
+	}
+}
+
+func TestUnsealTamperDetection(t *testing.T) {
+	key := randomKeyT(t)
+	msg := bytes.Repeat([]byte("block..."), 8)
+	sealed := Seal(key, msg)
+	// Flip one bit in every position; all must be rejected.
+	for i := range sealed {
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 0x40
+		if _, err := Unseal(key, mut); err == nil {
+			t.Fatalf("tampering at byte %d not detected", i)
+		}
+	}
+}
+
+func TestUnsealTruncationAndGarbage(t *testing.T) {
+	key := randomKeyT(t)
+	sealed := Seal(key, []byte("some payload that is long enough"))
+	if _, err := Unseal(key, sealed[:len(sealed)-8]); err == nil {
+		t.Error("truncated message accepted")
+	}
+	if _, err := Unseal(key, sealed[:5]); err == nil {
+		t.Error("tiny fragment accepted")
+	}
+	if _, err := Unseal(key, nil); err == nil {
+		t.Error("empty message accepted")
+	}
+	if _, err := Unseal(key, make([]byte, 32)); err == nil {
+		t.Error("zero garbage accepted")
+	}
+}
+
+func TestSealUnsealProperty(t *testing.T) {
+	key := randomKeyT(t)
+	f := func(msg []byte) bool {
+		got, err := Unseal(key, Seal(key, msg))
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSealFreshness: sealing is deterministic given key+message in this
+// design (no confounder); the protocol gains freshness from timestamps in
+// the plaintext, so two different messages must never share a prefix
+// observable to an eavesdropper beyond the first block boundary. We check
+// the weaker, essential property: different plaintexts give different
+// ciphertexts.
+func TestSealDistinctPlaintexts(t *testing.T) {
+	key := randomKeyT(t)
+	a := Seal(key, []byte("timestamp=1000"))
+	b := Seal(key, []byte("timestamp=1001"))
+	if bytes.Equal(a, b) {
+		t.Error("distinct plaintexts sealed identically")
+	}
+}

@@ -1,0 +1,252 @@
+// Package hesiod is a minimal reproduction of the Hesiod nameserver the
+// paper pairs with Kerberos (§2.2): "Other user information, such as
+// real name, phone number, and so forth, is kept by another server, the
+// Hesiod nameserver. This way, sensitive information, namely passwords,
+// can be handled by Kerberos ... while the non-sensitive information
+// kept by Hesiod is dealt with differently; it can, for example, be sent
+// unencrypted over the network."
+//
+// The appendix's login flow uses it twice: "the user's home directory is
+// located by consulting the Hesiod naming service" (the filsys record),
+// and "the Hesiod service is also used to construct an entry in the
+// local password file" (the passwd record).
+package hesiod
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PasswdEntry is the non-sensitive account record (an /etc/passwd line
+// minus the password field, which belongs to Kerberos).
+type PasswdEntry struct {
+	Username string
+	UID      uint32
+	GID      uint32
+	RealName string
+	HomeDir  string
+	Shell    string
+}
+
+// Line renders the classic colon-separated form, with a '*' where the
+// password would be — the local password file is "for the benefit of
+// programs that look up information in /etc/passwd."
+func (p PasswdEntry) Line() string {
+	return fmt.Sprintf("%s:*:%d:%d:%s:%s:%s",
+		p.Username, p.UID, p.GID, p.RealName, p.HomeDir, p.Shell)
+}
+
+// Filsys locates a user's remote home directory.
+type Filsys struct {
+	Username   string
+	Server     string // file server host (its NFS address in this reproduction)
+	ServerPath string // path exported by the server
+	MountPoint string // where the workstation attaches it
+}
+
+// Directory is the Hesiod database.
+type Directory struct {
+	mu     sync.RWMutex
+	passwd map[string]PasswdEntry
+	filsys map[string]Filsys
+}
+
+// NewDirectory returns an empty database.
+func NewDirectory() *Directory {
+	return &Directory{
+		passwd: make(map[string]PasswdEntry),
+		filsys: make(map[string]Filsys),
+	}
+}
+
+// AddPasswd registers an account record.
+func (d *Directory) AddPasswd(e PasswdEntry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.passwd[e.Username] = e
+}
+
+// AddFilsys registers a filesystem record.
+func (d *Directory) AddFilsys(f Filsys) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.filsys[f.Username] = f
+}
+
+// ErrNotFound reports a missing record.
+var ErrNotFound = errors.New("hesiod: no such record")
+
+// Passwd looks up an account record.
+func (d *Directory) Passwd(username string) (PasswdEntry, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.passwd[username]
+	if !ok {
+		return PasswdEntry{}, fmt.Errorf("%w: passwd %q", ErrNotFound, username)
+	}
+	return e, nil
+}
+
+// FilsysLookup looks up a filesystem record.
+func (d *Directory) FilsysLookup(username string) (Filsys, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.filsys[username]
+	if !ok {
+		return Filsys{}, fmt.Errorf("%w: filsys %q", ErrNotFound, username)
+	}
+	return f, nil
+}
+
+// Server answers Hesiod queries over UDP. Queries and answers are plain
+// text — deliberately unencrypted, per the paper's division of labor.
+type Server struct {
+	dir *Directory
+
+	udp    *net.UDPConn
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Serve binds a Hesiod server on addr.
+func Serve(dir *Directory, addr string) (*Server, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("hesiod: resolving %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp4", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("hesiod: binding: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{dir: dir, udp: conn, ctx: ctx, cancel: cancel}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.udp.LocalAddr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.cancel()
+	s.udp.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 1024)
+	for {
+		n, from, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return
+			}
+			continue
+		}
+		reply := s.answer(strings.TrimSpace(string(buf[:n])))
+		s.udp.WriteToUDP([]byte(reply), from)
+	}
+}
+
+// answer resolves one "type name" query line.
+func (s *Server) answer(query string) string {
+	kind, name, ok := strings.Cut(query, " ")
+	if !ok {
+		return "ERR malformed query"
+	}
+	switch kind {
+	case "passwd":
+		e, err := s.dir.Passwd(name)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK " + e.Line()
+	case "filsys":
+		f, err := s.dir.FilsysLookup(name)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("OK NFS %s %s %s", f.ServerPath, f.Server, f.MountPoint)
+	default:
+		return "ERR unknown query type " + kind
+	}
+}
+
+// Resolve sends one query to a Hesiod server.
+func Resolve(addr, kind, name string, timeout time.Duration) (string, error) {
+	conn, err := net.Dial("udp4", addr)
+	if err != nil {
+		return "", fmt.Errorf("hesiod: dialing: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s %s", kind, name); err != nil {
+		return "", err
+	}
+	buf := make([]byte, 1024)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return "", fmt.Errorf("hesiod: no answer: %w", err)
+	}
+	reply := string(buf[:n])
+	if !strings.HasPrefix(reply, "OK ") {
+		return "", fmt.Errorf("hesiod: %s", strings.TrimPrefix(reply, "ERR "))
+	}
+	return strings.TrimPrefix(reply, "OK "), nil
+}
+
+// ResolvePasswd fetches and parses a passwd record.
+func ResolvePasswd(addr, username string, timeout time.Duration) (PasswdEntry, error) {
+	line, err := Resolve(addr, "passwd", username, timeout)
+	if err != nil {
+		return PasswdEntry{}, err
+	}
+	return ParsePasswdLine(line)
+}
+
+// ParsePasswdLine parses the colon-separated form.
+func ParsePasswdLine(line string) (PasswdEntry, error) {
+	parts := strings.Split(line, ":")
+	if len(parts) != 7 {
+		return PasswdEntry{}, fmt.Errorf("hesiod: malformed passwd line %q", line)
+	}
+	uid, err := strconv.ParseUint(parts[2], 10, 32)
+	if err != nil {
+		return PasswdEntry{}, fmt.Errorf("hesiod: bad uid in %q", line)
+	}
+	gid, err := strconv.ParseUint(parts[3], 10, 32)
+	if err != nil {
+		return PasswdEntry{}, fmt.Errorf("hesiod: bad gid in %q", line)
+	}
+	return PasswdEntry{
+		Username: parts[0], UID: uint32(uid), GID: uint32(gid),
+		RealName: parts[4], HomeDir: parts[5], Shell: parts[6],
+	}, nil
+}
+
+// ResolveFilsys fetches and parses a filsys record.
+func ResolveFilsys(addr, username string, timeout time.Duration) (Filsys, error) {
+	line, err := Resolve(addr, "filsys", username, timeout)
+	if err != nil {
+		return Filsys{}, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0] != "NFS" {
+		return Filsys{}, fmt.Errorf("hesiod: malformed filsys record %q", line)
+	}
+	return Filsys{
+		Username: username, ServerPath: fields[1],
+		Server: fields[2], MountPoint: fields[3],
+	}, nil
+}

@@ -1,0 +1,93 @@
+package hesiod
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleDir() *Directory {
+	d := NewDirectory()
+	d.AddPasswd(PasswdEntry{
+		Username: "jis", UID: 1001, GID: 100,
+		RealName: "Jeffrey I. Schiller", HomeDir: "/mit/jis", Shell: "/bin/csh",
+	})
+	d.AddFilsys(Filsys{
+		Username: "jis", Server: "helen.mit.edu:2049",
+		ServerPath: "/export/jis", MountPoint: "/mit/jis",
+	})
+	return d
+}
+
+func TestDirectoryLookups(t *testing.T) {
+	d := sampleDir()
+	e, err := d.Passwd("jis")
+	if err != nil || e.UID != 1001 || e.HomeDir != "/mit/jis" {
+		t.Errorf("passwd = %+v, %v", e, err)
+	}
+	if _, err := d.Passwd("nobody-here"); err == nil {
+		t.Error("missing passwd found")
+	}
+	f, err := d.FilsysLookup("jis")
+	if err != nil || f.Server != "helen.mit.edu:2049" {
+		t.Errorf("filsys = %+v, %v", f, err)
+	}
+	if _, err := d.FilsysLookup("nobody-here"); err == nil {
+		t.Error("missing filsys found")
+	}
+}
+
+func TestPasswdLine(t *testing.T) {
+	e := PasswdEntry{Username: "jis", UID: 1001, GID: 100,
+		RealName: "Jeffrey I. Schiller", HomeDir: "/mit/jis", Shell: "/bin/csh"}
+	line := e.Line()
+	if line != "jis:*:1001:100:Jeffrey I. Schiller:/mit/jis:/bin/csh" {
+		t.Errorf("line = %q", line)
+	}
+	got, err := ParsePasswdLine(line)
+	if err != nil || got != e {
+		t.Errorf("parse = %+v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a:b", "jis:*:notanum:100:x:/h:/s", "jis:*:1:notanum:x:/h:/s"} {
+		if _, err := ParsePasswdLine(bad); err == nil {
+			t.Errorf("ParsePasswdLine(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestServerQueries(t *testing.T) {
+	s, err := Serve(sampleDir(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	e, err := ResolvePasswd(s.Addr(), "jis", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Username != "jis" || e.UID != 1001 || e.Shell != "/bin/csh" {
+		t.Errorf("resolved passwd = %+v", e)
+	}
+	f, err := ResolveFilsys(s.Addr(), "jis", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ServerPath != "/export/jis" || f.MountPoint != "/mit/jis" {
+		t.Errorf("resolved filsys = %+v", f)
+	}
+	// Misses and malformed queries return errors, not silence.
+	if _, err := ResolvePasswd(s.Addr(), "ghost", time.Second); err == nil {
+		t.Error("missing user resolved")
+	}
+	if _, err := Resolve(s.Addr(), "finger", "jis", time.Second); err == nil || !strings.Contains(err.Error(), "unknown query type") {
+		t.Errorf("unknown type error = %v", err)
+	}
+}
+
+func TestAnswerMalformed(t *testing.T) {
+	s := &Server{dir: sampleDir()}
+	if got := s.answer("nonsense"); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("answer = %q", got)
+	}
+}

@@ -1,0 +1,106 @@
+package kadm
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"kerberos/internal/core"
+)
+
+// ACL is the KDBM access control list (§5.1): "If they are not the same,
+// the KDBM server consults an access control list (stored in a file on
+// the master Kerberos system). If the requester's principal name is
+// found in this file, the request is permitted, otherwise it is denied."
+//
+// "By convention, names with a NULL instance (the default instance) do
+// not appear in the access control list file; instead, an admin instance
+// is used."
+type ACL struct {
+	mu      sync.RWMutex
+	allowed map[string]bool // canonical principal strings
+}
+
+// NewACL builds an ACL from principals. Entries without the admin
+// instance are rejected, enforcing the §5.1 convention.
+func NewACL(admins ...core.Principal) (*ACL, error) {
+	a := &ACL{allowed: make(map[string]bool)}
+	for _, p := range admins {
+		if err := a.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Add inserts a principal into the list.
+func (a *ACL) Add(p core.Principal) error {
+	if !p.IsAdmin() {
+		return fmt.Errorf("kadm: ACL entries must carry the %q instance, got %v",
+			core.AdminInstance, p)
+	}
+	a.mu.Lock()
+	a.allowed[p.String()] = true
+	a.mu.Unlock()
+	return nil
+}
+
+// Allowed reports whether the (authenticated) principal is on the list.
+func (a *ACL) Allowed(p core.Principal) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.allowed[p.String()]
+}
+
+// Len reports the number of entries.
+func (a *ACL) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.allowed)
+}
+
+// LoadACL reads an ACL file: one principal per line, '#' comments and
+// blank lines ignored.
+func LoadACL(path string) (*ACL, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("kadm: opening ACL: %w", err)
+	}
+	defer f.Close()
+	a, _ := NewACL()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		p, err := core.ParsePrincipal(text)
+		if err != nil {
+			return nil, fmt.Errorf("kadm: ACL line %d: %w", line, err)
+		}
+		if err := a.Add(p); err != nil {
+			return nil, fmt.Errorf("kadm: ACL line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("kadm: reading ACL: %w", err)
+	}
+	return a, nil
+}
+
+// Save writes the ACL file.
+func (a *ACL) Save(path string) error {
+	a.mu.RLock()
+	var b strings.Builder
+	b.WriteString("# KDBM access control list: admin instances only\n")
+	for p := range a.allowed {
+		b.WriteString(p)
+		b.WriteByte('\n')
+	}
+	a.mu.RUnlock()
+	return os.WriteFile(path, []byte(b.String()), 0o600)
+}

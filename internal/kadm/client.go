@@ -1,0 +1,146 @@
+package kadm
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+	"kerberos/internal/kdc"
+)
+
+// Client sides of the administration protocol (§5.2, Figure 12): the
+// kpasswd and kadmin programs. Both "are required to enter the password
+// ... This password is used to fetch a ticket for the KDBM server" — the
+// ticket comes from the authentication service, never the TGS.
+
+// Do runs one authenticated KDBM command: fetch a changepw ticket with
+// the password, connect to the KDBM server, prove identity (with mutual
+// authentication, so passwords are never sent to an impostor), and
+// exchange the command inside private messages.
+func Do(c *client.Client, kdbmAddr, password string, req *Request) (*Reply, error) {
+	// Fresh ticket via the AS (the TGS refuses changepw tickets, §5.1).
+	if _, err := c.LoginService(password,
+		core.ChangePwPrincipal(c.Principal.Realm), core.Lifetime(0)); err != nil {
+		return nil, fmt.Errorf("kadm: authenticating to KDBM: %w", err)
+	}
+	apMsg, sess, err := c.MkReq(core.ChangePwPrincipal(c.Principal.Realm), 0, true)
+	if err != nil {
+		return nil, fmt.Errorf("kadm: building request: %w", err)
+	}
+
+	conn, err := net.DialTimeout("tcp4", kdbmAddr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("kadm: connecting to KDBM at %s: %w", kdbmAddr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	if err := kdc.WriteFrame(conn, apMsg); err != nil {
+		return nil, err
+	}
+	apReply, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("kadm: reading KDBM auth reply: %w", err)
+	}
+	if e := core.IfErrorMessage(apReply); e != nil {
+		return nil, e
+	}
+	// The server must prove itself before we ship a new password to it.
+	if err := sess.VerifyReply(apReply); err != nil {
+		return nil, fmt.Errorf("kadm: KDBM failed mutual authentication: %w", err)
+	}
+	if err := kdc.WriteFrame(conn, sess.MkPriv(req.Encode())); err != nil {
+		return nil, err
+	}
+	privReply, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("kadm: reading KDBM reply: %w", err)
+	}
+	payload, err := sess.RdPriv(privReply, core.Addr{})
+	if err != nil {
+		return nil, fmt.Errorf("kadm: decrypting KDBM reply: %w", err)
+	}
+	return DecodeReply(payload)
+}
+
+// ChangePassword is kpasswd: the user proves knowledge of the old
+// password and installs a new one (§5.2).
+func ChangePassword(c *client.Client, kdbmAddr, oldPassword, newPassword string) error {
+	newKey := client.PasswordKey(c.Principal, newPassword)
+	rep, err := Do(c, kdbmAddr, oldPassword, &Request{
+		Op:       OpChangePassword,
+		Name:     c.Principal.Name,
+		Instance: c.Principal.Instance,
+		Key:      newKey,
+	})
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// AddPrincipal is kadmin's add: an administrator (authenticated with the
+// admin-instance password) registers a new principal with the given key.
+func AddPrincipal(admin *client.Client, kdbmAddr, adminPassword string,
+	target core.Principal, key des.Key, maxLife core.Lifetime) error {
+	rep, err := Do(admin, kdbmAddr, adminPassword, &Request{
+		Op:       OpAddPrincipal,
+		Name:     target.Name,
+		Instance: target.Instance,
+		Key:      key,
+		MaxLife:  maxLife,
+	})
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// ChangeOtherPassword is kadmin's cpw: an administrator sets another
+// principal's key.
+func ChangeOtherPassword(admin *client.Client, kdbmAddr, adminPassword string,
+	target core.Principal, key des.Key) error {
+	rep, err := Do(admin, kdbmAddr, adminPassword, &Request{
+		Op:       OpChangePassword,
+		Name:     target.Name,
+		Instance: target.Instance,
+		Key:      key,
+	})
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// ExtractKey is ext_srvtab (§6.3): an administrator pulls a service's
+// key out of the database for installation in the server's srvtab file.
+func ExtractKey(admin *client.Client, kdbmAddr, adminPassword string,
+	service core.Principal) (des.Key, uint8, error) {
+	rep, err := Do(admin, kdbmAddr, adminPassword, &Request{
+		Op:       OpExtractKey,
+		Name:     service.Name,
+		Instance: service.Instance,
+	})
+	if err != nil {
+		return des.Key{}, 0, err
+	}
+	if err := rep.Err(); err != nil {
+		return des.Key{}, 0, err
+	}
+	return rep.Key, rep.KVNO, nil
+}
+
+// ListPrincipals returns the database listing (admin only).
+func ListPrincipals(admin *client.Client, kdbmAddr, adminPassword string) (string, error) {
+	rep, err := Do(admin, kdbmAddr, adminPassword, &Request{Op: OpListPrincipals})
+	if err != nil {
+		return "", err
+	}
+	if err := rep.Err(); err != nil {
+		return "", err
+	}
+	return rep.Text, nil
+}

@@ -1,0 +1,100 @@
+package kadm
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/kdc"
+)
+
+// TestConnGarbageAPRequest: an unauthenticated or garbled first frame
+// gets an error reply (and a log line), never a hang or a crash.
+func TestConnGarbageAPRequest(t *testing.T) {
+	e := newEnv(t)
+	conn, err := net.Dial("tcp4", e.kdbmL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := kdc.WriteFrame(conn, []byte("not an AP request")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := kdc.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.IfErrorMessage(reply) == nil {
+		t.Error("garbage accepted by KDBM")
+	}
+	if !strings.Contains(e.logBuf.String(), "DENIED") {
+		t.Error("denial not logged")
+	}
+}
+
+// TestConnDropAfterAuth: a client that authenticates and vanishes leaves
+// no stuck goroutines (the deadline closes the connection); the server
+// still works afterwards.
+func TestConnDropAfterAuth(t *testing.T) {
+	e := newEnv(t)
+	c := e.client(t, "jis", "")
+	// Authenticate but never send the command.
+	if _, err := c.LoginService("zanzibar", core.ChangePwPrincipal(testRealm), 0); err != nil {
+		t.Fatal(err)
+	}
+	apMsg, _, err := c.MkReq(core.ChangePwPrincipal(testRealm), 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp4", e.kdbmL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdc.WriteFrame(conn, apMsg)
+	kdc.ReadFrame(conn) // mutual-auth reply
+	conn.Close()        // vanish
+
+	// Server is still healthy: a real password change succeeds.
+	e.step()
+	c2 := e.client(t, "jis", "")
+	if err := ChangePassword(c2, e.kdbmL.Addr(), "zanzibar", "still-works"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayedAPRequestToKDBM: a captured KDBM authentication replayed
+// verbatim is rejected by the replay cache.
+func TestReplayedAPRequestToKDBM(t *testing.T) {
+	e := newEnv(t)
+	c := e.client(t, "jis", "")
+	if _, err := c.LoginService("zanzibar", core.ChangePwPrincipal(testRealm), 0); err != nil {
+		t.Fatal(err)
+	}
+	apMsg, _, err := c.MkReq(core.ChangePwPrincipal(testRealm), 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func() []byte {
+		conn, err := net.Dial("tcp4", e.kdbmL.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		kdc.WriteFrame(conn, apMsg)
+		reply, err := kdc.ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reply
+	}
+	if core.IfErrorMessage(send()) != nil {
+		t.Fatal("first presentation rejected")
+	}
+	if core.IfErrorMessage(send()) == nil {
+		t.Error("replayed KDBM authentication accepted")
+	}
+}

@@ -1,0 +1,408 @@
+package kadm
+
+import (
+	"bytes"
+	"errors"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+	"kerberos/internal/kdb"
+	"kerberos/internal/kdc"
+	"kerberos/internal/testclock"
+)
+
+const testRealm = "ATHENA.MIT.EDU"
+
+var t0 = time.Date(1988, 2, 9, 12, 0, 0, 0, time.UTC)
+
+// syncBuffer is a logger sink safe to read while server goroutines may
+// still be writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// env is a full realm: KDC, KDBM, database, ACL, adjustable clock.
+type env struct {
+	db       *kdb.Database
+	acl      *ACL
+	kdcL     *kdc.Listener
+	kdbmL    *Listener
+	server   *Server
+	clk      *testclock.Clock
+	logBuf   *syncBuffer
+	adminKey des.Key
+}
+
+func (e *env) clock() time.Time { return e.clk.Now() }
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	e := &env{clk: testclock.New(t0), logBuf: &syncBuffer{}}
+
+	e.db = kdb.New(des.StringToKey("master", testRealm))
+	mustAdd := func(name, inst string, key des.Key, life core.Lifetime) {
+		t.Helper()
+		if err := e.db.Add(name, inst, key, life, "kdb_init", t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tgsKey, _ := des.NewRandomKey()
+	mustAdd(core.TGSName, testRealm, tgsKey, 0)
+	cpKey, _ := des.NewRandomKey()
+	mustAdd(core.ChangePwName, core.ChangePwInstance, cpKey, 12)
+	mustAdd("jis", "", client.PasswordKey(core.Principal{Name: "jis", Realm: testRealm}, "zanzibar"), 0)
+	mustAdd("bcn", "", client.PasswordKey(core.Principal{Name: "bcn", Realm: testRealm}, "seattle"), 0)
+	e.adminKey = client.PasswordKey(core.Principal{Name: "jis", Instance: "admin", Realm: testRealm}, "sekrit")
+	mustAdd("jis", "admin", e.adminKey, 0)
+
+	var err error
+	e.acl, err = NewACL(core.Principal{Name: "jis", Instance: "admin", Realm: testRealm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kdcServer := kdc.New(testRealm, e.db, kdc.WithClock(e.clock))
+	e.kdcL, err = kdc.Serve(kdcServer, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.kdcL.Close() })
+
+	e.server = NewServer(testRealm, e.db, e.acl,
+		WithClock(e.clock), WithLogger(log.New(e.logBuf, "", 0)))
+	e.kdbmL, err = Serve(e.server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.kdbmL.Close() })
+	return e
+}
+
+func (e *env) client(t testing.TB, name, instance string) *client.Client {
+	t.Helper()
+	c := client.New(core.Principal{Name: name, Instance: instance, Realm: testRealm}, &client.Config{
+		Realms:  map[string][]string{testRealm: {e.kdcL.Addr()}},
+		Timeout: 2 * time.Second,
+	})
+	c.Addr = core.Addr{127, 0, 0, 1}
+	c.Clock = e.clock
+	return c
+}
+
+// step advances the shared clock so consecutive authenticators differ.
+func (e *env) step() { e.clk.Advance(3 * time.Second) }
+
+// TestKpasswdSelfService reproduces the §5.2 kpasswd flow: the user
+// proves the old password, the new key is installed, old logins fail and
+// new ones work.
+func TestKpasswdSelfService(t *testing.T) {
+	e := newEnv(t)
+	c := e.client(t, "jis", "")
+	if err := ChangePassword(c, e.kdbmL.Addr(), "zanzibar", "new-secret"); err != nil {
+		t.Fatal(err)
+	}
+	e.step()
+	// Old password no longer logs in.
+	if _, err := e.client(t, "jis", "").Login("zanzibar"); err == nil {
+		t.Error("old password still valid")
+	}
+	e.step()
+	if _, err := e.client(t, "jis", "").Login("new-secret"); err != nil {
+		t.Errorf("new password rejected: %v", err)
+	}
+	// KVNO bumped.
+	entry, _ := e.db.Get("jis", "")
+	if entry.KVNO != 2 {
+		t.Errorf("kvno = %d", entry.KVNO)
+	}
+	if !strings.Contains(e.logBuf.String(), "PERMITTED change_password") {
+		t.Error("password change not logged")
+	}
+}
+
+// TestKpasswdWrongOldPassword: without the old password no changepw
+// ticket can be fetched.
+func TestKpasswdWrongOldPassword(t *testing.T) {
+	e := newEnv(t)
+	c := e.client(t, "jis", "")
+	if err := ChangePassword(c, e.kdbmL.Addr(), "bad-guess", "new-secret"); err == nil {
+		t.Fatal("password changed with wrong old password")
+	}
+	// Database untouched.
+	entry, _ := e.db.Get("jis", "")
+	if entry.KVNO != 1 {
+		t.Error("kvno changed")
+	}
+}
+
+// TestUserCannotChangeOthers: "a passerby could walk up and change
+// her/his password" is exactly what the design prevents; a non-admin
+// changing someone else's password is denied and logged.
+func TestUserCannotChangeOthers(t *testing.T) {
+	e := newEnv(t)
+	c := e.client(t, "jis", "") // plain user, not on the ACL
+	key := client.PasswordKey(core.Principal{Name: "bcn", Realm: testRealm}, "stolen")
+	err := ChangeOtherPassword(c, e.kdbmL.Addr(), "zanzibar",
+		core.Principal{Name: "bcn", Realm: testRealm}, key)
+	var pe *core.ProtocolError
+	if !errors.As(err, &pe) || pe.Code != core.ErrNotAuthorized {
+		t.Errorf("cross-user change error = %v", err)
+	}
+	if !strings.Contains(e.logBuf.String(), "DENIED change_password") {
+		t.Error("denial not logged")
+	}
+}
+
+// TestAdminOperations: the admin instance (on the ACL) can add
+// principals and change any password (§5.1, §5.2, Figure 12).
+func TestAdminOperations(t *testing.T) {
+	e := newEnv(t)
+	admin := e.client(t, "jis", "admin")
+
+	// Add a new service principal.
+	newKey, _ := des.NewRandomKey()
+	rcmd := core.Principal{Name: "rcmd", Instance: "helen", Realm: testRealm}
+	if err := AddPrincipal(admin, e.kdbmL.Addr(), "sekrit", rcmd, newKey, 0); err != nil {
+		t.Fatal(err)
+	}
+	entry, err := e.db.Get("rcmd", "helen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, _ := e.db.Key(entry); k != newKey {
+		t.Error("stored key mismatch")
+	}
+	// Adding it again fails.
+	e.step()
+	if err := AddPrincipal(admin, e.kdbmL.Addr(), "sekrit", rcmd, newKey, 0); err == nil {
+		t.Error("duplicate principal added")
+	}
+	// Admin resets bcn's password.
+	e.step()
+	bcnKey := client.PasswordKey(core.Principal{Name: "bcn", Realm: testRealm}, "reset-1")
+	if err := ChangeOtherPassword(admin, e.kdbmL.Addr(), "sekrit",
+		core.Principal{Name: "bcn", Realm: testRealm}, bcnKey); err != nil {
+		t.Fatal(err)
+	}
+	e.step()
+	if _, err := e.client(t, "bcn", "").Login("reset-1"); err != nil {
+		t.Errorf("reset password rejected: %v", err)
+	}
+	// Extract a service key (ext_srvtab).
+	e.step()
+	k, kvno, err := ExtractKey(admin, e.kdbmL.Addr(), "sekrit", rcmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != newKey || kvno != 1 {
+		t.Error("extracted key mismatch")
+	}
+	// Listing.
+	e.step()
+	listing, err := ListPrincipals(admin, e.kdbmL.Addr(), "sekrit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(listing, "rcmd.helen") || !strings.Contains(listing, "jis.admin") {
+		t.Errorf("listing incomplete:\n%s", listing)
+	}
+}
+
+// TestNonAdminPrivilegedOps: plain users cannot add, extract, or list.
+func TestNonAdminPrivilegedOps(t *testing.T) {
+	e := newEnv(t)
+	c := e.client(t, "jis", "") // jis without the admin instance
+	key, _ := des.NewRandomKey()
+	var pe *core.ProtocolError
+
+	err := AddPrincipal(c, e.kdbmL.Addr(), "zanzibar",
+		core.Principal{Name: "evil", Realm: testRealm}, key, 0)
+	if !errors.As(err, &pe) || pe.Code != core.ErrNotAuthorized {
+		t.Errorf("add error = %v", err)
+	}
+	e.step()
+	_, _, err = ExtractKey(c, e.kdbmL.Addr(), "zanzibar",
+		core.Principal{Name: "rlogin", Instance: "priam", Realm: testRealm})
+	if !errors.As(err, &pe) || pe.Code != core.ErrNotAuthorized {
+		t.Errorf("extract error = %v", err)
+	}
+	e.step()
+	if _, err := ListPrincipals(c, e.kdbmL.Addr(), "zanzibar"); err == nil {
+		t.Error("non-admin listed the database")
+	}
+}
+
+// TestAdminMasterOnly reproduces Figure 11: "administration requests
+// cannot be serviced" against a read-only (slave) database.
+func TestAdminMasterOnly(t *testing.T) {
+	e := newEnv(t)
+	e.db.SetReadOnly(true)
+	c := e.client(t, "jis", "")
+	err := ChangePassword(c, e.kdbmL.Addr(), "zanzibar", "new-secret")
+	var pe *core.ProtocolError
+	if !errors.As(err, &pe) || pe.Code != core.ErrSlaveReadOnly {
+		t.Errorf("slave admin error = %v", err)
+	}
+}
+
+// TestGetEntry: self and admin may read; others may not.
+func TestGetEntry(t *testing.T) {
+	e := newEnv(t)
+	// Self-read via Execute (in-process, already authenticated).
+	rep := e.server.Execute(core.Principal{Name: "jis", Realm: testRealm},
+		&Request{Op: OpGetEntry, Name: "jis"})
+	if !rep.OK || rep.KVNO != 1 {
+		t.Errorf("self get = %+v", rep)
+	}
+	rep = e.server.Execute(core.Principal{Name: "jis", Realm: testRealm},
+		&Request{Op: OpGetEntry, Name: "bcn"})
+	if rep.OK {
+		t.Error("cross-user get permitted")
+	}
+	rep = e.server.Execute(core.Principal{Name: "jis", Instance: "admin", Realm: testRealm},
+		&Request{Op: OpGetEntry, Name: "bcn"})
+	if !rep.OK {
+		t.Errorf("admin get denied: %v", rep.Text)
+	}
+	rep = e.server.Execute(core.Principal{Name: "jis", Instance: "admin", Realm: testRealm},
+		&Request{Op: OpGetEntry, Name: "ghost"})
+	if rep.OK || rep.Code != core.ErrPrincipalUnknown {
+		t.Errorf("missing-entry get = %+v", rep)
+	}
+}
+
+// TestForeignRealmRequesterDenied: an identity authenticated in another
+// realm cannot administer this one.
+func TestForeignRealmRequesterDenied(t *testing.T) {
+	e := newEnv(t)
+	rep := e.server.Execute(core.Principal{Name: "jis", Instance: "admin", Realm: "LCS.MIT.EDU"},
+		&Request{Op: OpChangePassword, Name: "jis"})
+	if rep.OK || rep.Code != core.ErrNotAuthorized {
+		t.Errorf("foreign admin = %+v", rep)
+	}
+}
+
+// TestExecuteUnknownOpAndBadTarget covers protocol edge cases.
+func TestExecuteUnknownOpAndBadTarget(t *testing.T) {
+	e := newEnv(t)
+	admin := core.Principal{Name: "jis", Instance: "admin", Realm: testRealm}
+	if rep := e.server.Execute(admin, &Request{Op: Op(77), Name: "x"}); rep.OK {
+		t.Error("unknown op permitted")
+	}
+	if rep := e.server.Execute(admin, &Request{Op: OpChangePassword, Name: ""}); rep.OK {
+		t.Error("empty target permitted")
+	}
+}
+
+func TestRequestReplyCodec(t *testing.T) {
+	key, _ := des.NewRandomKey()
+	req := &Request{Op: OpAddPrincipal, Name: "rcmd", Instance: "helen", Key: key, MaxLife: 95}
+	got, err := DecodeRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *req {
+		t.Errorf("request round trip: %+v", got)
+	}
+	rep := &Reply{OK: true, Code: core.ErrNone, Text: "fine", KVNO: 3, Key: key,
+		Expiration: core.TimeFromGo(t0)}
+	gotR, err := DecodeReply(rep.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotR != *rep {
+		t.Errorf("reply round trip: %+v", gotR)
+	}
+	// Truncations.
+	enc := req.Encode()
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeRequest(enc[:n]); err == nil {
+			t.Fatalf("truncated request (%d bytes) accepted", n)
+		}
+	}
+	if _, err := DecodeReply([]byte{1}); err == nil {
+		t.Error("truncated reply accepted")
+	}
+	failRep := &Reply{Code: core.ErrNotAuthorized, Text: "no"}
+	if failRep.Err() == nil {
+		t.Error("failed reply has nil Err")
+	}
+	if (&Reply{OK: true}).Err() != nil {
+		t.Error("ok reply has non-nil Err")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op := OpChangePassword; op <= OpListPrincipals; op++ {
+		if op.String() == "unknown-op" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+	if Op(99).String() != "unknown-op" {
+		t.Error("unknown op name wrong")
+	}
+}
+
+func TestACL(t *testing.T) {
+	adm := core.Principal{Name: "jis", Instance: "admin", Realm: testRealm}
+	a, err := NewACL(adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Allowed(adm) {
+		t.Error("listed admin denied")
+	}
+	if a.Allowed(core.Principal{Name: "jis", Realm: testRealm}) {
+		t.Error("NULL instance allowed; ACL must require admin instances")
+	}
+	if a.Allowed(core.Principal{Name: "jis", Instance: "admin", Realm: "LCS.MIT.EDU"}) {
+		t.Error("foreign-realm admin allowed")
+	}
+	// The §5.1 convention is enforced at insertion too.
+	if _, err := NewACL(core.Principal{Name: "jis", Realm: testRealm}); err == nil {
+		t.Error("NULL-instance ACL entry accepted")
+	}
+}
+
+func TestACLFile(t *testing.T) {
+	a, _ := NewACL(
+		core.Principal{Name: "jis", Instance: "admin", Realm: testRealm},
+		core.Principal{Name: "bcn", Instance: "admin", Realm: testRealm},
+	)
+	path := t.TempDir() + "/kadm_acl"
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadACL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("loaded %d entries", got.Len())
+	}
+	if !got.Allowed(core.Principal{Name: "bcn", Instance: "admin", Realm: testRealm}) {
+		t.Error("entry lost in round trip")
+	}
+	if _, err := LoadACL(path + ".missing"); err == nil {
+		t.Error("missing ACL loaded")
+	}
+}

@@ -1,0 +1,208 @@
+// Package kadm implements the Kerberos Database Management Service of
+// §5 — the administration server (KDBM) with its kpasswd and kadmin
+// client sides.
+//
+// The KDBM server "accepts requests to add principals to the database or
+// change the passwords for existing principals" (§5.1). It is reachable
+// only with a ticket for changepw.kerberos, which the ticket-granting
+// service refuses to issue — the authentication service itself must be
+// used, forcing the user to enter a password. Authorization is
+// self-service or by ACL of admin instances; every request, permitted or
+// denied, is logged.
+package kadm
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+)
+
+// Op is a KDBM command opcode.
+type Op uint8
+
+// KDBM operations.
+const (
+	// OpChangePassword sets the requester's (or, for admins, anyone's)
+	// key. kpasswd uses it (§5.2).
+	OpChangePassword Op = iota + 1
+	// OpAddPrincipal registers a new principal (kadmin, §5.2).
+	OpAddPrincipal
+	// OpGetEntry fetches a principal's public record (no key).
+	OpGetEntry
+	// OpExtractKey returns a service's key for srvtab installation
+	// (ext_srvtab, §6.3). Admin-only.
+	OpExtractKey
+	// OpListPrincipals lists database entries. Admin-only.
+	OpListPrincipals
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpChangePassword:
+		return "change_password"
+	case OpAddPrincipal:
+		return "add_principal"
+	case OpGetEntry:
+		return "get_entry"
+	case OpExtractKey:
+		return "extract_key"
+	case OpListPrincipals:
+		return "list_principals"
+	default:
+		return "unknown-op"
+	}
+}
+
+// Request is one KDBM command. It travels inside a private message
+// (§2.1: private messages carry passwords), so new keys never cross the
+// network in the clear.
+type Request struct {
+	Op       Op
+	Name     string  // target principal name
+	Instance string  // target principal instance
+	Key      des.Key // new key for change/add; zero otherwise
+	MaxLife  core.Lifetime
+}
+
+// Reply is the KDBM answer, also carried in a private message.
+type Reply struct {
+	OK         bool
+	Code       core.ErrorCode // set when !OK
+	Text       string         // human-readable detail or listing
+	KVNO       uint8          // for get/extract
+	Key        des.Key        // for extract
+	Expiration core.KerberosTime
+}
+
+// ErrBadAdminMessage reports a malformed KDBM payload.
+var ErrBadAdminMessage = errors.New("kadm: malformed admin message")
+
+// Encode renders the request payload.
+func (r *Request) Encode() []byte {
+	var buf []byte
+	buf = append(buf, byte(r.Op))
+	buf = appendStr(buf, r.Name)
+	buf = appendStr(buf, r.Instance)
+	buf = append(buf, r.Key[:]...)
+	buf = append(buf, byte(r.MaxLife))
+	return buf
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(data []byte) (*Request, error) {
+	r := &payloadReader{data: data}
+	req := &Request{Op: Op(r.u8()), Name: r.str(), Instance: r.str()}
+	copy(req.Key[:], r.bytesN(des.KeySize))
+	req.MaxLife = core.Lifetime(r.u8())
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// Encode renders the reply payload.
+func (r *Reply) Encode() []byte {
+	var buf []byte
+	if r.OK {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.Code))
+	buf = appendStr(buf, r.Text)
+	buf = append(buf, r.KVNO)
+	buf = append(buf, r.Key[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.Expiration))
+	return buf
+}
+
+// DecodeReply parses a reply payload.
+func DecodeReply(data []byte) (*Reply, error) {
+	r := &payloadReader{data: data}
+	rep := &Reply{OK: r.u8() != 0, Code: core.ErrorCode(r.u32()), Text: r.str()}
+	rep.KVNO = r.u8()
+	copy(rep.Key[:], r.bytesN(des.KeySize))
+	rep.Expiration = core.KerberosTime(r.u32())
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Err converts a failed reply into a ProtocolError, nil when OK.
+func (r *Reply) Err() error {
+	if r.OK {
+		return nil
+	}
+	return &core.ProtocolError{Code: r.Code, Text: r.Text}
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+type payloadReader struct {
+	data []byte
+	err  error
+}
+
+func (r *payloadReader) fail() {
+	if r.err == nil {
+		r.err = ErrBadAdminMessage
+	}
+}
+
+func (r *payloadReader) u8() uint8 {
+	if r.err != nil || len(r.data) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.data[0]
+	r.data = r.data[1:]
+	return v
+}
+
+func (r *payloadReader) u32() uint32 {
+	if r.err != nil || len(r.data) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data)
+	r.data = r.data[4:]
+	return v
+}
+
+func (r *payloadReader) bytesN(n int) []byte {
+	if r.err != nil || len(r.data) < n {
+		r.fail()
+		return make([]byte, n)
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *payloadReader) str() string {
+	if r.err != nil {
+		return ""
+	}
+	n, used := binary.Uvarint(r.data)
+	if used <= 0 || n > 1<<16 || uint64(len(r.data)-used) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.data[used : used+int(n)])
+	r.data = r.data[used+int(n):]
+	return s
+}
+
+func (r *payloadReader) done() error {
+	if r.err == nil && len(r.data) != 0 {
+		r.fail()
+	}
+	return r.err
+}

@@ -1,0 +1,291 @@
+package kadm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/kdb"
+	"kerberos/internal/kdc"
+)
+
+// Server is the KDBM administration server. Unlike the authentication
+// server it performs write operations, so "the KDBM server may only run
+// on the master Kerberos machine" (§5, Figure 11); against a read-only
+// database every request fails with ErrSlaveReadOnly.
+type Server struct {
+	realm  string
+	db     *kdb.Database
+	acl    *ACL
+	clock  func() time.Time
+	logger *log.Logger
+
+	svcMu sync.Mutex
+	svc   *client.Service // changepw.kerberos verifier, rebuilt on key change
+	kvno  uint8
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithClock substitutes the time source.
+func WithClock(clock func() time.Time) Option {
+	return func(s *Server) { s.clock = clock }
+}
+
+// WithLogger directs the request log. "All requests to the KDBM program,
+// whether permitted or denied, are logged" (§5.1).
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// NewServer creates a KDBM server for realm over the master database.
+func NewServer(realm string, db *kdb.Database, acl *ACL, opts ...Option) *Server {
+	s := &Server{
+		realm:  realm,
+		db:     db,
+		acl:    acl,
+		clock:  time.Now,
+		logger: log.New(discard{}, "", 0),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// service returns the AP-request verifier for changepw.kerberos, backed
+// by the current database key.
+func (s *Server) service() (*client.Service, error) {
+	entry, err := s.db.Get(core.ChangePwName, core.ChangePwInstance)
+	if err != nil {
+		return nil, core.NewError(core.ErrDatabase, "KDBM service key missing: %v", err)
+	}
+	key, err := s.db.Key(entry)
+	if err != nil {
+		return nil, core.NewError(core.ErrDatabase, "KDBM service key undecryptable")
+	}
+	s.svcMu.Lock()
+	defer s.svcMu.Unlock()
+	if s.svc == nil || s.kvno != entry.KVNO {
+		tab := client.NewSrvtab()
+		sp := core.ChangePwPrincipal(s.realm)
+		tab.Set(sp, entry.KVNO, key)
+		svc := client.NewService(sp, tab)
+		svc.Clock = s.clock
+		s.svc = svc
+		s.kvno = entry.KVNO
+	}
+	return s.svc, nil
+}
+
+// HandleConn runs the KDBM protocol on one connection (Figure 12):
+// AP request in, mutual-auth reply out, then one private-message command
+// and its private-message reply.
+func (s *Server) HandleConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	from := core.Addr{}
+	if t, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		from = core.AddrFromIP(t.IP)
+	}
+
+	apMsg, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	svc, err := s.service()
+	if err != nil {
+		s.logger.Printf("kdbm %s: unserviceable: %v", s.realm, err)
+		return
+	}
+	sess, err := svc.ReadRequest(apMsg, from)
+	if err != nil {
+		s.logger.Printf("kdbm %s: DENIED unauthenticated request from %v: %v", s.realm, from, err)
+		var pe *core.ProtocolError
+		if !errors.As(err, &pe) {
+			pe = core.NewError(core.ErrNotAuthenticated, "%v", err)
+		}
+		kdc.WriteFrame(conn, (&core.ErrorMessage{Code: pe.Code, Text: pe.Text}).Encode())
+		return
+	}
+	if len(sess.Reply) != 0 {
+		if err := kdc.WriteFrame(conn, sess.Reply); err != nil {
+			return
+		}
+	}
+
+	privMsg, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	payload, err := sess.RdPriv(privMsg)
+	if err != nil {
+		s.logger.Printf("kdbm %s: DENIED garbled command from %v: %v", s.realm, sess.Client, err)
+		return
+	}
+	req, err := DecodeRequest(payload)
+	var reply *Reply
+	if err != nil {
+		reply = &Reply{Code: core.ErrMsgTypeCode, Text: err.Error()}
+	} else {
+		reply = s.Execute(sess.Client, req)
+	}
+	kdc.WriteFrame(conn, sess.MkPriv(reply.Encode()))
+}
+
+// Execute authorizes and performs one admin command on behalf of the
+// authenticated requester. Exported for in-process tests and benches.
+func (s *Server) Execute(requester core.Principal, req *Request) *Reply {
+	reply := s.execute(requester, req)
+	verdict := "PERMITTED"
+	if !reply.OK {
+		verdict = "DENIED"
+	}
+	s.logger.Printf("kdbm %s: %s %s %s.%s by %v: %s",
+		s.realm, verdict, req.Op, req.Name, req.Instance, requester, reply.Text)
+	return reply
+}
+
+func fail(code core.ErrorCode, format string, args ...any) *Reply {
+	return &Reply{Code: code, Text: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) execute(requester core.Principal, req *Request) *Reply {
+	if s.db.ReadOnly() {
+		return fail(core.ErrSlaveReadOnly, "administration requests require the master machine")
+	}
+	if requester.Realm != s.realm {
+		return fail(core.ErrNotAuthorized, "requester %v is not of realm %s", requester, s.realm)
+	}
+	target := core.Principal{Name: req.Name, Instance: req.Instance, Realm: s.realm}
+	if !target.Valid() && req.Op != OpListPrincipals {
+		return fail(core.ErrMsgTypeCode, "invalid target principal")
+	}
+
+	// "it authorizes it by comparing the authenticated principal name of
+	// the requester of the change to the principal name of the target of
+	// the request. If they are the same, the request is permitted. If
+	// they are not the same, the KDBM server consults an access control
+	// list" (§5.1).
+	self := requester.Name == target.Name && requester.Instance == target.Instance
+	admin := s.acl.Allowed(requester)
+
+	now := s.clock()
+	switch req.Op {
+	case OpChangePassword:
+		if !self && !admin {
+			return fail(core.ErrNotAuthorized, "%v may not change the password of %v", requester, target)
+		}
+		if err := s.db.SetKey(req.Name, req.Instance, req.Key, requester.String(), now); err != nil {
+			return fail(core.ErrDatabase, "%v", err)
+		}
+		e, _ := s.db.Get(req.Name, req.Instance)
+		return &Reply{OK: true, Text: "password changed", KVNO: e.KVNO}
+
+	case OpAddPrincipal:
+		if !admin {
+			return fail(core.ErrNotAuthorized, "%v is not a Kerberos administrator", requester)
+		}
+		if err := s.db.Add(req.Name, req.Instance, req.Key, req.MaxLife, requester.String(), now); err != nil {
+			return fail(core.ErrDuplicatePrincipa, "%v", err)
+		}
+		return &Reply{OK: true, Text: "principal added", KVNO: 1}
+
+	case OpGetEntry:
+		if !self && !admin {
+			return fail(core.ErrNotAuthorized, "%v may not read %v", requester, target)
+		}
+		e, err := s.db.Get(req.Name, req.Instance)
+		if err != nil {
+			return fail(core.ErrPrincipalUnknown, "%v", err)
+		}
+		return &Reply{OK: true, Text: "entry found", KVNO: e.KVNO,
+			Expiration: core.TimeFromGo(e.Expiration)}
+
+	case OpExtractKey:
+		if !admin {
+			return fail(core.ErrNotAuthorized, "%v may not extract keys", requester)
+		}
+		e, err := s.db.Get(req.Name, req.Instance)
+		if err != nil {
+			return fail(core.ErrPrincipalUnknown, "%v", err)
+		}
+		key, err := s.db.Key(e)
+		if err != nil {
+			return fail(core.ErrDatabase, "key undecryptable")
+		}
+		return &Reply{OK: true, Text: "key extracted", KVNO: e.KVNO, Key: key}
+
+	case OpListPrincipals:
+		if !admin {
+			return fail(core.ErrNotAuthorized, "%v may not list the database", requester)
+		}
+		text := ""
+		for _, id := range s.db.List() {
+			text += id + "\n"
+		}
+		return &Reply{OK: true, Text: text}
+
+	default:
+		return fail(core.ErrMsgTypeCode, "unknown operation %d", req.Op)
+	}
+}
+
+// Listener serves KDBM over TCP.
+type Listener struct {
+	tcp    net.Listener
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Serve binds the KDBM server on addr.
+func Serve(s *Server, addr string) (*Listener, error) {
+	tcp, err := net.Listen("tcp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kadm: binding: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Listener{tcp: tcp, ctx: ctx, cancel: cancel}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := tcp.Accept()
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				continue
+			}
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				s.HandleConn(conn)
+			}()
+		}
+	}()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.tcp.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections.
+func (l *Listener) Close() error {
+	l.cancel()
+	l.tcp.Close()
+	l.wg.Wait()
+	return nil
+}

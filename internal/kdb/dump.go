@@ -1,0 +1,159 @@
+package kdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+)
+
+// Database dumps (§5.3): "The master database is dumped every hour. The
+// database is sent, in its entirety, to the slave machines, which then
+// update their own databases." Private keys inside a dump remain sealed
+// in the master key, so "the information passed from master to slave
+// over the network is not useful to an eavesdropper."
+
+var dumpMagic = [4]byte{'K', 'D', 'B', '1'}
+
+// ErrBadDump reports a dump that failed structural validation.
+var ErrBadDump = errors.New("kdb: malformed database dump")
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+type dumpReader struct {
+	data []byte
+	err  error
+}
+
+func (r *dumpReader) bytes() []byte {
+	if r.err != nil {
+		return nil
+	}
+	n, used := binary.Uvarint(r.data)
+	if used <= 0 || n > 1<<20 || uint64(len(r.data)-used) < n {
+		r.err = ErrBadDump
+		return nil
+	}
+	b := r.data[used : used+int(n)]
+	r.data = r.data[used+int(n):]
+	return b
+}
+
+func (r *dumpReader) str() string { return string(r.bytes()) }
+
+func (r *dumpReader) u64() uint64 {
+	if r.err != nil || len(r.data) < 8 {
+		r.err = ErrBadDump
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.data)
+	r.data = r.data[8:]
+	return v
+}
+
+func (r *dumpReader) u8() uint8 {
+	if r.err != nil || len(r.data) < 1 {
+		r.err = ErrBadDump
+		return 0
+	}
+	v := r.data[0]
+	r.data = r.data[1:]
+	return v
+}
+
+// Dump serializes the entire database deterministically. Keys stay
+// sealed in the master key.
+func (db *Database) Dump() []byte {
+	entries := make([]*Entry, 0, db.Len())
+	db.store.Range(func(e *Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	return EncodeEntries(entries)
+}
+
+// ParseDump decodes a dump into entries without installing them.
+func ParseDump(dump []byte) ([]*Entry, error) {
+	if len(dump) < 8 || [4]byte(dump[:4]) != dumpMagic {
+		return nil, ErrBadDump
+	}
+	count := binary.BigEndian.Uint32(dump[4:8])
+	r := dumpReader{data: dump[8:]}
+	entries := make([]*Entry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		e := &Entry{
+			Name:     r.str(),
+			Instance: r.str(),
+			EncKey:   append([]byte(nil), r.bytes()...),
+			KVNO:     r.u8(),
+		}
+		e.Expiration = time.Unix(int64(r.u64()), 0).UTC()
+		e.MaxLife = core.Lifetime(r.u8())
+		e.ModTime = time.Unix(int64(r.u64()), 0).UTC()
+		e.ModBy = r.str()
+		if r.err != nil {
+			return nil, r.err
+		}
+		entries = append(entries, e)
+	}
+	if len(r.data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadDump, len(r.data))
+	}
+	return entries, nil
+}
+
+// LoadDump atomically replaces the database contents with a dump,
+// bypassing the read-only check — this is exactly how a slave's copy is
+// refreshed by kpropd (§5.3).
+func (db *Database) LoadDump(dump []byte) error {
+	entries, err := ParseDump(dump)
+	if err != nil {
+		return err
+	}
+	db.store.ReplaceAll(entries)
+	return nil
+}
+
+// DumpChecksum computes the keyed checksum of a dump under the master
+// database key: "First kprop sends a checksum of the new database it is
+// about to send. The checksum is encrypted in the Kerberos master
+// database key, which both the master and slave Kerberos machines
+// possess" (§5.3).
+func DumpChecksum(masterKey des.Key, dump []byte) uint64 {
+	return des.CBCChecksum(masterKey, dump)
+}
+
+// Save writes the dump to path with a 0600 mode, for the master's
+// on-disk database and for backups ("would also be wise to maintain
+// backups of the Master database", §6.3).
+func (db *Database) Save(path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, db.Dump(), 0o600); err != nil {
+		return fmt.Errorf("kdb: saving database: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("kdb: installing database: %w", err)
+	}
+	return nil
+}
+
+// Load reads a previously saved dump from path into the database.
+func (db *Database) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("kdb: loading database: %w", err)
+	}
+	return db.LoadDump(data)
+}

@@ -1,0 +1,110 @@
+package kdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileStore is a write-through Store: every mutation is persisted to the
+// database file before it returns, the way ndbm gave the Athena daemons
+// a single shared source of truth on the master machine. kadmind runs
+// over a FileStore so password changes are durable immediately, and
+// kerberosd (its own process) re-reads the file when its modification
+// time changes.
+type FileStore struct {
+	mem  *MemStore
+	path string
+
+	mu sync.Mutex // serializes file writes
+}
+
+// OpenFileStore opens (or creates) a file-backed store at path.
+func OpenFileStore(path string) (*FileStore, error) {
+	fs := &FileStore{mem: NewMemStore(), path: path}
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		// Fresh database; first mutation creates the file.
+	case err != nil:
+		return nil, fmt.Errorf("kdb: opening %s: %w", path, err)
+	default:
+		entries, err := ParseDump(data)
+		if err != nil {
+			return nil, fmt.Errorf("kdb: parsing %s: %w", path, err)
+		}
+		fs.mem.ReplaceAll(entries)
+	}
+	return fs, nil
+}
+
+// persist writes the full store to disk atomically.
+func (fs *FileStore) persist() error {
+	var entries []*Entry
+	fs.mem.Range(func(e *Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	tmp := fs.path + ".tmp"
+	if err := os.WriteFile(tmp, EncodeEntries(entries), 0o600); err != nil {
+		return fmt.Errorf("kdb: persisting: %w", err)
+	}
+	return os.Rename(tmp, fs.path)
+}
+
+// Fetch implements Store.
+func (fs *FileStore) Fetch(id string) (*Entry, bool) { return fs.mem.Fetch(id) }
+
+// Put implements Store, persisting before returning. A persistence
+// failure panics: continuing with a diverged file would silently violate
+// the single-definitive-copy rule of §5.
+func (fs *FileStore) Put(e *Entry) {
+	fs.mem.Put(e)
+	if err := fs.persist(); err != nil {
+		panic(err)
+	}
+}
+
+// Delete implements Store.
+func (fs *FileStore) Delete(id string) {
+	fs.mem.Delete(id)
+	if err := fs.persist(); err != nil {
+		panic(err)
+	}
+}
+
+// Range implements Store.
+func (fs *FileStore) Range(fn func(*Entry) bool) { fs.mem.Range(fn) }
+
+// Len implements Store.
+func (fs *FileStore) Len() int { return fs.mem.Len() }
+
+// ReplaceAll implements Store.
+func (fs *FileStore) ReplaceAll(entries []*Entry) {
+	fs.mem.ReplaceAll(entries)
+	if err := fs.persist(); err != nil {
+		panic(err)
+	}
+}
+
+// EncodeEntries serializes entries in the dump format (sorted input is
+// not required; output follows input order, and MemStore.Range already
+// sorts).
+func EncodeEntries(entries []*Entry) []byte {
+	buf := append([]byte(nil), dumpMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = appendString(buf, e.Name)
+		buf = appendString(buf, e.Instance)
+		buf = appendBytes(buf, e.EncKey)
+		buf = append(buf, e.KVNO)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.Expiration.Unix()))
+		buf = append(buf, byte(e.MaxLife))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.ModTime.Unix()))
+		buf = appendString(buf, e.ModBy)
+	}
+	return buf
+}

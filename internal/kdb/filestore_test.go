@@ -1,0 +1,111 @@
+package kdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kerberos/internal/des"
+)
+
+func TestFileStoreWriteThrough(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "principal.db")
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := des.StringToKey("m", "R")
+	db := NewWithStore(master, fs)
+	key, _ := des.NewRandomKey()
+	if err := db.Add("jis", "", key, 0, "t", t0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second open — as another process would — sees the entry with no
+	// explicit save having happened.
+	fs2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewWithStore(master, fs2)
+	e, err := db2.Get("jis", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, err := db2.Key(e); err != nil || k != key {
+		t.Errorf("key round trip: %v", err)
+	}
+
+	// Key change persists too.
+	k2, _ := des.NewRandomKey()
+	if err := db.SetKey("jis", "", k2, "t", t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	fs3, _ := OpenFileStore(path)
+	db3 := NewWithStore(master, fs3)
+	e3, _ := db3.Get("jis", "")
+	if e3.KVNO != 2 {
+		t.Errorf("kvno after reopen = %d", e3.KVNO)
+	}
+	// Deletes persist.
+	if err := db.Delete("jis", ""); err != nil {
+		t.Fatal(err)
+	}
+	fs4, _ := OpenFileStore(path)
+	if fs4.Len() != 0 {
+		t.Error("delete not persisted")
+	}
+}
+
+func TestFileStoreFreshAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	// Fresh path: open succeeds with an empty store.
+	fs, err := OpenFileStore(filepath.Join(dir, "new.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != 0 {
+		t.Error("fresh store not empty")
+	}
+	// Corrupt file: open fails loudly.
+	bad := filepath.Join(dir, "bad.db")
+	if err := writeFile(bad, []byte("not a database")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(bad); err == nil {
+		t.Error("corrupt database opened")
+	}
+}
+
+func TestFileStoreReplaceAll(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slave.db")
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := des.StringToKey("m", "R")
+	db := NewWithStore(master, fs)
+
+	src := New(master)
+	key, _ := des.NewRandomKey()
+	for _, n := range []string{"a", "b", "c"} {
+		if err := src.Add(n, "", key, 0, "t", t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.LoadDump(src.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != 3 {
+		t.Errorf("persisted %d entries after ReplaceAll", reopened.Len())
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}

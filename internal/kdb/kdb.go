@@ -1,0 +1,326 @@
+// Package kdb is the Kerberos database library (§2.2, §5): "a record is
+// held for each principal, containing the name, private key, and
+// expiration date of the principal, along with some administrative
+// information."
+//
+// Like the Athena implementation — which moved from INGRES to ndbm — the
+// storage layer is a replaceable module behind the Store interface; the
+// provided MemStore keeps records in memory and serializes to a binary
+// dump for file persistence and for the hourly full-database propagation
+// of §5.3. All private keys are encrypted in the master database key
+// ("All passwords in the Kerberos database are encrypted in the master
+// database key"), so dumps and slave transfers never expose raw keys.
+package kdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+)
+
+// DefaultExpiration is how far in the future a new principal's entry
+// expires: "usually set to a few years into the future at registration"
+// (§2.2).
+const DefaultExpiration = 3 * 365 * 24 * time.Hour
+
+// Entry is one principal record. The private key is held encrypted in
+// the master database key; use Database.Key to recover it.
+type Entry struct {
+	Name     string // primary name
+	Instance string // instance ("" is the default instance)
+
+	EncKey []byte // principal's private key, sealed in the master key
+	KVNO   uint8  // key version, bumped on every password change
+
+	Expiration time.Time // entry invalid after this date
+	MaxLife    core.Lifetime
+
+	// Administrative information.
+	ModTime time.Time // last modification
+	ModBy   string    // principal that made the last modification
+}
+
+// ID renders the store key for a (name, instance) pair.
+func ID(name, instance string) string { return name + "." + instance }
+
+// ID returns the entry's store key.
+func (e *Entry) ID() string { return ID(e.Name, e.Instance) }
+
+// Principal returns the entry's principal in the given realm.
+func (e *Entry) Principal(realm string) core.Principal {
+	return core.Principal{Name: e.Name, Instance: e.Instance, Realm: realm}
+}
+
+// Expired reports whether the entry is past its expiration date.
+func (e *Entry) Expired(now time.Time) bool {
+	return !e.Expiration.IsZero() && now.After(e.Expiration)
+}
+
+// clone returns a deep copy so callers can't mutate store internals.
+func (e *Entry) clone() *Entry {
+	c := *e
+	c.EncKey = append([]byte(nil), e.EncKey...)
+	return &c
+}
+
+// Store is the replaceable storage module. Implementations must be safe
+// for concurrent use.
+type Store interface {
+	// Fetch returns the entry for the key, or false.
+	Fetch(id string) (*Entry, bool)
+	// Put inserts or replaces an entry.
+	Put(e *Entry)
+	// Delete removes an entry; deleting a missing entry is a no-op.
+	Delete(id string)
+	// Range calls fn for every entry in unspecified order until fn
+	// returns false.
+	Range(fn func(*Entry) bool)
+	// Len returns the number of entries.
+	Len() int
+	// ReplaceAll atomically swaps the whole contents (propagation).
+	ReplaceAll(entries []*Entry)
+}
+
+// MemStore is the in-memory Store, the reproduction's stand-in for ndbm.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string]*Entry
+}
+
+// NewMemStore returns an empty store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string]*Entry)}
+}
+
+// Fetch implements Store.
+func (s *MemStore) Fetch(id string) (*Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.m[id]
+	if !ok {
+		return nil, false
+	}
+	return e.clone(), true
+}
+
+// Put implements Store.
+func (s *MemStore) Put(e *Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[e.ID()] = e.clone()
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, id)
+}
+
+// Range implements Store. Entries are cloned; iteration order is sorted
+// by ID for determinism (dumps must be byte-identical across runs).
+func (s *MemStore) Range(fn func(*Entry) bool) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.m))
+	for id := range s.m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	entries := make([]*Entry, len(ids))
+	for i, id := range ids {
+		entries[i] = s.m[id].clone()
+	}
+	s.mu.RUnlock()
+	for _, e := range entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// ReplaceAll implements Store.
+func (s *MemStore) ReplaceAll(entries []*Entry) {
+	m := make(map[string]*Entry, len(entries))
+	for _, e := range entries {
+		m[e.ID()] = e.clone()
+	}
+	s.mu.Lock()
+	s.m = m
+	s.mu.Unlock()
+}
+
+// Errors returned by Database operations.
+var (
+	ErrNotFound  = errors.New("kdb: principal not found")
+	ErrExists    = errors.New("kdb: principal already exists")
+	ErrReadOnly  = errors.New("kdb: database is read-only (slave copy)")
+	ErrMasterKey = errors.New("kdb: master key cannot decrypt entry")
+)
+
+// Database wraps a Store with the master database key and the read-only
+// discipline of §5: "there is always only one definitive copy of the
+// Kerberos database ... Other machines may possess read-only copies."
+type Database struct {
+	store     Store
+	masterKey des.Key
+
+	mu       sync.RWMutex
+	readOnly bool
+}
+
+// New creates a database over a fresh MemStore.
+func New(masterKey des.Key) *Database {
+	return NewWithStore(masterKey, NewMemStore())
+}
+
+// NewWithStore creates a database over a caller-provided Store.
+func NewWithStore(masterKey des.Key, store Store) *Database {
+	return &Database{store: store, masterKey: masterKey}
+}
+
+// SetReadOnly marks the database as a slave copy; all mutation fails
+// with ErrReadOnly until propagation replaces the contents.
+func (db *Database) SetReadOnly(ro bool) {
+	db.mu.Lock()
+	db.readOnly = ro
+	db.mu.Unlock()
+}
+
+// ReadOnly reports whether the database is a slave copy.
+func (db *Database) ReadOnly() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.readOnly
+}
+
+// MasterKey returns the master database key (needed by propagation to
+// authenticate dumps, §5.3).
+func (db *Database) MasterKey() des.Key { return db.masterKey }
+
+// Len returns the number of principals.
+func (db *Database) Len() int { return db.store.Len() }
+
+func (db *Database) writable() error {
+	if db.ReadOnly() {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// Add registers a new principal with the given private key. modBy names
+// the administrator (or program) making the change.
+func (db *Database) Add(name, instance string, key des.Key, maxLife core.Lifetime, modBy string, now time.Time) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
+	if !(core.Principal{Name: name, Instance: instance}).Valid() {
+		return fmt.Errorf("kdb: invalid principal %q", ID(name, instance))
+	}
+	if _, ok := db.store.Fetch(ID(name, instance)); ok {
+		return fmt.Errorf("%w: %s", ErrExists, ID(name, instance))
+	}
+	db.store.Put(&Entry{
+		Name:       name,
+		Instance:   instance,
+		EncKey:     des.Seal(db.masterKey, key[:]),
+		KVNO:       1,
+		Expiration: now.Add(DefaultExpiration),
+		MaxLife:    maxLife,
+		ModTime:    now,
+		ModBy:      modBy,
+	})
+	return nil
+}
+
+// Get fetches a principal's entry.
+func (db *Database) Get(name, instance string) (*Entry, error) {
+	e, ok := db.store.Fetch(ID(name, instance))
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
+	}
+	return e, nil
+}
+
+// Key decrypts an entry's private key with the master key.
+func (db *Database) Key(e *Entry) (des.Key, error) {
+	plain, err := des.Unseal(db.masterKey, e.EncKey)
+	if err != nil || len(plain) != des.KeySize {
+		return des.Key{}, ErrMasterKey
+	}
+	var k des.Key
+	copy(k[:], plain)
+	return k, nil
+}
+
+// SetKey changes a principal's private key (password change or srvtab
+// rotation), bumping the key version number.
+func (db *Database) SetKey(name, instance string, key des.Key, modBy string, now time.Time) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
+	e, ok := db.store.Fetch(ID(name, instance))
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
+	}
+	e.EncKey = des.Seal(db.masterKey, key[:])
+	e.KVNO++
+	e.ModTime = now
+	e.ModBy = modBy
+	db.store.Put(e)
+	return nil
+}
+
+// SetExpiration changes a principal's expiration date — the
+// administrative renewal that keeps long-lived accounts alive past the
+// few-years default of §2.2.
+func (db *Database) SetExpiration(name, instance string, expiration time.Time, modBy string, now time.Time) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
+	e, ok := db.store.Fetch(ID(name, instance))
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
+	}
+	e.Expiration = expiration
+	e.ModTime = now
+	e.ModBy = modBy
+	db.store.Put(e)
+	return nil
+}
+
+// Delete removes a principal.
+func (db *Database) Delete(name, instance string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
+	if _, ok := db.store.Fetch(ID(name, instance)); !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
+	}
+	db.store.Delete(ID(name, instance))
+	return nil
+}
+
+// Range iterates the database in deterministic order.
+func (db *Database) Range(fn func(*Entry) bool) { db.store.Range(fn) }
+
+// List returns all entry IDs in sorted order (kadmin's listing).
+func (db *Database) List() []string {
+	ids := make([]string, 0, db.Len())
+	db.store.Range(func(e *Entry) bool {
+		ids = append(ids, e.ID())
+		return true
+	})
+	return ids
+}

@@ -1,0 +1,180 @@
+package kdc
+
+import (
+	"testing"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+)
+
+const (
+	realmA = "ATHENA.MIT.EDU"
+	realmB = "LCS.MIT.EDU"
+	realmC = "WASHINGTON.EDU"
+)
+
+// twoRealms builds realms A and B sharing an inter-realm key (§7.2).
+func twoRealms(t *testing.T) (*realm, *realm) {
+	t.Helper()
+	a := newRealm(t, realmA)
+	b := newRealm(t, realmB)
+	shared, _ := des.NewRandomKey()
+	if err := RegisterCrossRealm(a.db, realmB, shared, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterCrossRealm(b.db, realmA, shared, t0); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// TestCrossRealm reproduces §7.2 end to end: a user registered in realm
+// A obtains, via A's KDC, a TGT for B's ticket-granting server, then
+// presents it to B's TGS for a ticket to a service in B. The final
+// ticket names A as the realm where the user was originally
+// authenticated.
+func TestCrossRealm(t *testing.T) {
+	a, b := twoRealms(t)
+
+	// Phase 1: local TGT in A.
+	localTGT := a.asExchange(t, core.TGSPrincipal(realmA, realmA), core.DefaultTGTLife)
+
+	// Phase 2: cross-realm TGT for B's TGS, issued by A's TGS.
+	remoteTGS := core.Principal{Name: core.TGSName, Instance: realmB, Realm: realmA}
+	raw, _ := a.tgsExchange(t, localTGT, remoteTGS, core.DefaultTGTLife, realmA)
+	if err := core.IfErrorMessage(raw); err != nil {
+		t.Fatalf("cross-realm TGT request failed: %v", err)
+	}
+	rep, _ := core.DecodeAuthReply(raw)
+	xTGT, err := rep.Open(localTGT.SessionKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: present the cross-realm TGT to B's TGS. The client states
+	// the issuing realm (A) so B selects the shared inter-realm key:
+	// "the remote ticket-granting server recognizes that the request is
+	// not from its own realm, and it uses the previously exchanged key to
+	// decrypt the ticket-granting ticket."
+	svcB := core.Principal{Name: "rlogin", Instance: "priam", Realm: realmB}
+	auth := core.NewAuthenticator(core.Principal{Name: "jis", Realm: realmA}, wsAddr, b.clock.now, 0)
+	req := &core.TGSRequest{
+		APReq: core.APRequest{
+			TicketRealm:   realmA,
+			Ticket:        xTGT.Ticket,
+			Authenticator: auth.Seal(xTGT.SessionKey),
+		},
+		Service: svcB,
+		Life:    core.DefaultTGTLife,
+		Time:    core.TimeFromGo(b.clock.now),
+	}
+	raw = b.server.Handle(req.Encode(), wsAddr)
+	if err := core.IfErrorMessage(raw); err != nil {
+		t.Fatalf("remote TGS exchange failed: %v", err)
+	}
+	rep, _ = core.DecodeAuthReply(raw)
+	enc, err := rep.Open(xTGT.SessionKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The service in B opens the ticket; "the realm field for the client
+	// contains the name of the realm in which the client was originally
+	// authenticated."
+	svcEntry, _ := b.db.Get("rlogin", "priam")
+	svcKey, _ := b.db.Key(svcEntry)
+	tkt, err := core.OpenTicket(svcKey, enc.Ticket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tkt.Client.Name != "jis" || tkt.Client.Realm != realmA {
+		t.Errorf("ticket client = %v, want jis@%s", tkt.Client, realmA)
+	}
+}
+
+// TestCrossRealmNoChaining: the single-hop restriction. A client
+// authenticated in A, holding a cross-realm TGT for B, asks B's TGS for
+// a TGT to a third realm C. The paper notes chained trust would require
+// recording "the entire path that was taken"; like the Athena
+// implementation we refuse the hop.
+func TestCrossRealmNoChaining(t *testing.T) {
+	a, b := twoRealms(t)
+	sharedBC, _ := des.NewRandomKey()
+	if err := RegisterCrossRealm(b.db, realmC, sharedBC, t0); err != nil {
+		t.Fatal(err)
+	}
+
+	localTGT := a.asExchange(t, core.TGSPrincipal(realmA, realmA), core.DefaultTGTLife)
+	remoteTGS := core.Principal{Name: core.TGSName, Instance: realmB, Realm: realmA}
+	raw, _ := a.tgsExchange(t, localTGT, remoteTGS, core.DefaultTGTLife, realmA)
+	rep, _ := core.DecodeAuthReply(raw)
+	xTGT, err := rep.Open(localTGT.SessionKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// B would issue krbtgt.C tickets to its own clients, but not to a
+	// client that arrived via cross-realm authentication.
+	auth := core.NewAuthenticator(core.Principal{Name: "jis", Realm: realmA}, wsAddr, b.clock.now, 0)
+	req := &core.TGSRequest{
+		APReq: core.APRequest{
+			TicketRealm:   realmA,
+			Ticket:        xTGT.Ticket,
+			Authenticator: auth.Seal(xTGT.SessionKey),
+		},
+		Service: core.Principal{Name: core.TGSName, Instance: realmC, Realm: realmB},
+		Life:    10,
+		Time:    core.TimeFromGo(b.clock.now),
+	}
+	raw = b.server.Handle(req.Encode(), wsAddr)
+	if c := protoCode(t, raw); c != core.ErrCannotIssue {
+		t.Errorf("realm chaining code = %v, want refusal", c)
+	}
+}
+
+// TestCrossRealmUnknownRealm: a TGT claiming to come from a realm we
+// share no key with is rejected.
+func TestCrossRealmUnknownRealm(t *testing.T) {
+	a, b := twoRealms(t)
+	localTGT := a.asExchange(t, core.TGSPrincipal(realmA, realmA), core.DefaultTGTLife)
+
+	auth := core.NewAuthenticator(core.Principal{Name: "jis", Realm: realmA}, wsAddr, b.clock.now, 0)
+	req := &core.TGSRequest{
+		APReq: core.APRequest{
+			TicketRealm:   "EVIL.EDU",
+			Ticket:        localTGT.Ticket,
+			Authenticator: auth.Seal(localTGT.SessionKey),
+		},
+		Service: core.Principal{Name: "rlogin", Instance: "priam", Realm: realmB},
+		Life:    10,
+		Time:    core.TimeFromGo(b.clock.now),
+	}
+	raw := b.server.Handle(req.Encode(), wsAddr)
+	if c := protoCode(t, raw); c != core.ErrWrongRealm {
+		t.Errorf("unknown realm code = %v", c)
+	}
+}
+
+// TestCrossRealmForgedTicket: a local TGT from A (sealed in A's own TGS
+// key, not the shared key) presented to B as if cross-realm fails to
+// decrypt.
+func TestCrossRealmForgedTicket(t *testing.T) {
+	a, b := twoRealms(t)
+	localTGT := a.asExchange(t, core.TGSPrincipal(realmA, realmA), core.DefaultTGTLife)
+
+	auth := core.NewAuthenticator(core.Principal{Name: "jis", Realm: realmA}, wsAddr, b.clock.now, 0)
+	req := &core.TGSRequest{
+		APReq: core.APRequest{
+			TicketRealm:   realmA, // claims the right realm, but the ticket is A's local TGT
+			Ticket:        localTGT.Ticket,
+			Authenticator: auth.Seal(localTGT.SessionKey),
+		},
+		Service: core.Principal{Name: "rlogin", Instance: "priam", Realm: realmB},
+		Life:    10,
+		Time:    core.TimeFromGo(b.clock.now),
+	}
+	raw := b.server.Handle(req.Encode(), wsAddr)
+	if c := protoCode(t, raw); c != core.ErrIntegrityFailed {
+		t.Errorf("forged ticket code = %v", c)
+	}
+}

@@ -1,0 +1,342 @@
+// Package kdc implements the Kerberos authentication server — the
+// read-only daemon of §2.2 that performs "the authentication of
+// principals, and generation of session keys". One Server instance
+// answers both protocol exchanges:
+//
+//   - the initial ticket exchange with the authentication service
+//     (Figure 5), and
+//   - the ticket-granting exchange (Figure 8).
+//
+// Because it never writes the database, a Server may run over either the
+// master database or a slave's read-only copy (Figure 10).
+package kdc
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+	"kerberos/internal/kdb"
+	"kerberos/internal/replay"
+)
+
+// Stats counts served requests, for monitoring and for the §9 scale
+// experiments.
+type Stats struct {
+	ASRequests  atomic.Uint64
+	TGSRequests atomic.Uint64
+	Errors      atomic.Uint64
+}
+
+// Server is an authentication server for one realm.
+type Server struct {
+	realm   string
+	db      *kdb.Database
+	replays *replay.Cache
+	clock   func() time.Time
+	logger  *log.Logger
+	stats   Stats
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithClock substitutes the time source (tests, simulations).
+func WithClock(clock func() time.Time) Option {
+	return func(s *Server) { s.clock = clock }
+}
+
+// WithLogger directs the server's request log.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// New creates an authentication server for realm over db. The database
+// must contain the realm's own TGS principal (krbtgt.<realm>).
+func New(realm string, db *kdb.Database, opts ...Option) *Server {
+	s := &Server{
+		realm:   realm,
+		db:      db,
+		replays: replay.New(),
+		clock:   time.Now,
+		logger:  log.New(discard{}, "", 0),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Realm returns the realm this server authenticates for.
+func (s *Server) Realm() string { return s.realm }
+
+// Stats exposes the request counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Handle processes one encoded request from the given address and
+// returns the encoded reply. It is transport-independent: the UDP and
+// TCP listeners, in-process tests, and benchmarks all call it. It never
+// returns nil; protocol failures become MsgError replies.
+func (s *Server) Handle(msg []byte, from core.Addr) []byte {
+	t, err := core.PeekType(msg)
+	if err != nil {
+		return s.errorReply(core.NewError(core.ErrBadVersionCode, "%v", err))
+	}
+	switch t {
+	case core.MsgAuthRequest:
+		return s.handleAS(msg, from)
+	case core.MsgTGSRequest:
+		return s.handleTGS(msg, from)
+	default:
+		return s.errorReply(core.NewError(core.ErrMsgTypeCode, "KDC cannot serve %v", t))
+	}
+}
+
+func (s *Server) errorReply(err error) []byte {
+	s.stats.Errors.Add(1)
+	var pe *core.ProtocolError
+	if !errors.As(err, &pe) {
+		pe = core.NewError(core.ErrGeneric, "%v", err)
+	}
+	s.logger.Printf("kdc %s: error reply: %v", s.realm, pe)
+	return (&core.ErrorMessage{Code: pe.Code, Text: pe.Text}).Encode()
+}
+
+// lookup fetches a principal entry from this realm's database, mapping
+// kdb errors to protocol errors.
+func (s *Server) lookup(p core.Principal, now time.Time) (*kdb.Entry, error) {
+	e, err := s.db.Get(p.Name, p.Instance)
+	if err != nil {
+		return nil, core.NewError(core.ErrPrincipalUnknown, "%v", p)
+	}
+	if e.Expired(now) {
+		return nil, core.NewError(core.ErrPrincipalExpired, "%v expired %v", p, e.Expiration)
+	}
+	return e, nil
+}
+
+// effMaxLife interprets an entry's MaxLife: zero means "no specific
+// limit".
+func effMaxLife(e *kdb.Entry) core.Lifetime {
+	if e.MaxLife == 0 {
+		return core.MaxLife
+	}
+	return e.MaxLife
+}
+
+// issue builds and seals a ticket plus the client-facing sealed reply
+// part. replyKey is what the EncTicketReply is sealed in (client private
+// key for AS, TGT session key for TGS); replyKVNO describes that key.
+func (s *Server) issue(client core.Principal, clientAddr core.Addr,
+	service *kdb.Entry, serviceName core.Principal, life core.Lifetime,
+	reqTime core.KerberosTime, replyKey des.Key, replyKVNO uint8,
+	now time.Time) ([]byte, error) {
+
+	serviceKey, err := s.db.Key(service)
+	if err != nil {
+		return nil, core.NewError(core.ErrDatabase, "cannot decrypt key for %v", serviceName)
+	}
+	sessionKey, err := des.NewRandomKey()
+	if err != nil {
+		return nil, core.NewError(core.ErrGeneric, "session key generation failed")
+	}
+	ticket := &core.Ticket{
+		Server:     serviceName,
+		Client:     client,
+		Addr:       clientAddr,
+		Issued:     core.TimeFromGo(now),
+		Life:       life,
+		SessionKey: sessionKey,
+	}
+	enc := &core.EncTicketReply{
+		SessionKey:  sessionKey,
+		Server:      serviceName,
+		Life:        life,
+		KVNO:        service.KVNO,
+		Issued:      core.TimeFromGo(now),
+		RequestTime: reqTime,
+		Ticket:      ticket.Seal(serviceKey),
+	}
+	return core.NewAuthReply(client, replyKVNO, replyKey, enc).Encode(), nil
+}
+
+// handleAS serves the initial ticket exchange (§4.2, Figure 5): "The
+// authentication server checks that it knows about the client. If so, it
+// generates a random session key ... It then creates a ticket for the
+// ticket-granting server ... encrypted in a key known only to the
+// ticket-granting server and the authentication server. The
+// authentication server then sends the ticket, along with a copy of the
+// random session key and some additional information, back to the
+// client. This response is encrypted in the client's private key."
+//
+// The same exchange issues tickets for changepw.kerberos (§5.1) and for
+// remote-realm TGSes (§7.2).
+func (s *Server) handleAS(msg []byte, from core.Addr) []byte {
+	s.stats.ASRequests.Add(1)
+	req, err := core.DecodeAuthRequest(msg)
+	if err != nil {
+		return s.errorReply(err)
+	}
+	now := s.clock()
+
+	client := req.Client.WithRealm(s.realm)
+	if client.Realm != s.realm {
+		return s.errorReply(core.NewError(core.ErrWrongRealm,
+			"client %v is not of realm %s", client, s.realm))
+	}
+	clientEntry, err := s.lookup(client, now)
+	if err != nil {
+		return s.errorReply(err)
+	}
+	service := req.Service.WithRealm(s.realm)
+	if service.Realm != s.realm {
+		return s.errorReply(core.NewError(core.ErrWrongRealm,
+			"service %v is not registered in realm %s", service, s.realm))
+	}
+	serviceEntry, err := s.lookup(service, now)
+	if err != nil {
+		return s.errorReply(err)
+	}
+
+	life := core.MinLife(req.Life,
+		core.MinLife(effMaxLife(clientEntry), effMaxLife(serviceEntry)))
+	clientKey, err := s.db.Key(clientEntry)
+	if err != nil {
+		return s.errorReply(core.NewError(core.ErrDatabase, "cannot decrypt key for %v", client))
+	}
+	reply, err := s.issue(client, from, serviceEntry, service, life,
+		req.Time, clientKey, clientEntry.KVNO, now)
+	if err != nil {
+		return s.errorReply(err)
+	}
+	s.logger.Printf("kdc %s: AS issued %v ticket to %v at %v", s.realm, service, client, from)
+	return reply
+}
+
+// handleTGS serves the ticket-granting exchange (§4.4, Figure 8). The
+// TGT plus a fresh authenticator arrive as an AP request for the
+// ticket-granting server; the reply is sealed in the TGT's session key,
+// so "there is no need for the user to enter her/his password again."
+func (s *Server) handleTGS(msg []byte, from core.Addr) []byte {
+	s.stats.TGSRequests.Add(1)
+	req, err := core.DecodeTGSRequest(msg)
+	if err != nil {
+		return s.errorReply(err)
+	}
+	now := s.clock()
+
+	// Select the key the TGT is sealed under. A local TGT is sealed in
+	// our own krbtgt key; a TGT issued by a remote realm's KDC for our
+	// TGS is sealed in the inter-realm key both administrators agreed on
+	// (§7.2), registered here as krbtgt.<remote realm>.
+	issuingRealm := req.APReq.TicketRealm
+	if issuingRealm == "" {
+		issuingRealm = s.realm
+	}
+	tgsEntry, err := s.lookup(core.TGSPrincipal(tgsKeyInstance(issuingRealm, s.realm), s.realm), now)
+	if err != nil {
+		return s.errorReply(core.NewError(core.ErrWrongRealm,
+			"no key shared with realm %s", issuingRealm))
+	}
+	tgsKey, err := s.db.Key(tgsEntry)
+	if err != nil {
+		return s.errorReply(core.NewError(core.ErrDatabase, "cannot decrypt TGS key"))
+	}
+
+	tgt, err := core.OpenTicket(tgsKey, req.APReq.Ticket)
+	if err != nil {
+		return s.errorReply(err)
+	}
+	// The ticket must actually be addressed to our ticket-granting
+	// service; a stolen service ticket for some other server must not
+	// mint new tickets.
+	if !tgt.Server.IsTGS() || tgt.Server.Instance != s.realm {
+		return s.errorReply(core.NewError(core.ErrCannotIssue,
+			"ticket is for %v, not the %s ticket-granting service", tgt.Server, s.realm))
+	}
+	auth, err := core.OpenAuthenticator(tgt.SessionKey, req.APReq.Authenticator)
+	if err != nil {
+		return s.errorReply(err)
+	}
+	if err := auth.Verify(tgt, from, now); err != nil {
+		return s.errorReply(err)
+	}
+	if s.replays.Seen(auth, now) {
+		return s.errorReply(core.NewError(core.ErrRepeat,
+			"authenticator from %v already presented", auth.Client))
+	}
+
+	service := req.Service.WithRealm(s.realm)
+	// "This service is unique in that the ticket-granting service will
+	// not issue tickets for it. Instead, the authentication service
+	// itself must be used" (§5.1).
+	if service.IsChangePw() {
+		return s.errorReply(core.NewError(core.ErrCannotIssue,
+			"tickets for %v are only issued by the authentication service", service))
+	}
+	// Single-hop cross-realm only: a client authenticated elsewhere may
+	// use our services, but may not hop onward to a third realm — the
+	// path-recording needed to make chained trust meaningful is future
+	// work in the paper (§7.2).
+	crossRealmHop := service.IsTGS() && service.Instance != s.realm
+	if crossRealmHop && tgt.Client.Realm != s.realm {
+		return s.errorReply(core.NewError(core.ErrCannotIssue,
+			"client of realm %s may not chain to realm %s via %s",
+			tgt.Client.Realm, service.Instance, s.realm))
+	}
+	if service.Realm != s.realm {
+		return s.errorReply(core.NewError(core.ErrWrongRealm,
+			"service %v is not registered in realm %s", service, s.realm))
+	}
+	serviceEntry, err := s.lookup(service, now)
+	if err != nil {
+		return s.errorReply(err)
+	}
+
+	// "The lifetime of the new ticket is the minimum of the remaining
+	// life for the ticket-granting ticket and the default for the
+	// service" (§4.4).
+	remaining := tgt.RemainingLife(now)
+	life := core.MinLife(req.Life, core.MinLife(remaining, effMaxLife(serviceEntry)))
+
+	// The client's realm in the new ticket is where the client was
+	// originally authenticated (§7.2), carried over from the TGT.
+	reply, err := s.issue(tgt.Client, from, serviceEntry, service, life,
+		req.Time, tgt.SessionKey, 0, now)
+	if err != nil {
+		return s.errorReply(err)
+	}
+	s.logger.Printf("kdc %s: TGS issued %v ticket to %v (authenticated by %s)",
+		s.realm, service, tgt.Client, tgt.Client.Realm)
+	return reply
+}
+
+// tgsKeyInstance picks which database entry holds the key a TGT from
+// issuingRealm is sealed in: our own realm's TGT key for local tickets,
+// otherwise the inter-realm key registered under the remote realm's name.
+func tgsKeyInstance(issuingRealm, localRealm string) string {
+	if issuingRealm == localRealm {
+		return localRealm
+	}
+	return issuingRealm
+}
+
+// RegisterCrossRealm records the shared inter-realm key in db: "the
+// administrators of each pair of realms select a key to be shared
+// between their realms" (§7.2). Call it on both realms' databases with
+// the same key; each side stores it as krbtgt.<other realm>.
+func RegisterCrossRealm(db *kdb.Database, otherRealm string, shared des.Key, now time.Time) error {
+	err := db.Add(core.TGSName, otherRealm, shared, 0, "cross-realm", now)
+	if err != nil {
+		return fmt.Errorf("kdc: registering cross-realm key for %s: %w", otherRealm, err)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package kdc
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+	"kerberos/internal/kdb"
+)
+
+// TestKDCLogging: the server logs issued tickets and error replies.
+func TestKDCLogging(t *testing.T) {
+	var buf bytes.Buffer
+	db := kdb.New(des.StringToKey("master", testRealm))
+	tgsKey, _ := des.NewRandomKey()
+	if err := db.Add(core.TGSName, testRealm, tgsKey, 0, "init", t0); err != nil {
+		t.Fatal(err)
+	}
+	userKey := des.StringToKey("pw", testRealm+"jis")
+	if err := db.Add("jis", "", userKey, 0, "init", t0); err != nil {
+		t.Fatal(err)
+	}
+	s := New(testRealm, db,
+		WithClock(func() time.Time { return t0 }),
+		WithLogger(log.New(&buf, "", 0)))
+
+	req := (&core.AuthRequest{
+		Client:  core.Principal{Name: "jis", Realm: testRealm},
+		Service: core.TGSPrincipal(testRealm, testRealm),
+		Life:    10, Time: core.TimeFromGo(t0),
+	}).Encode()
+	s.Handle(req, wsAddr)
+	if !strings.Contains(buf.String(), "AS issued") {
+		t.Errorf("issue not logged: %q", buf.String())
+	}
+	buf.Reset()
+	bad := (&core.AuthRequest{
+		Client:  core.Principal{Name: "ghost", Realm: testRealm},
+		Service: core.TGSPrincipal(testRealm, testRealm),
+		Life:    10, Time: core.TimeFromGo(t0),
+	}).Encode()
+	s.Handle(bad, wsAddr)
+	if !strings.Contains(buf.String(), "error reply") {
+		t.Errorf("error not logged: %q", buf.String())
+	}
+}
+
+// TestKDCConcurrentMixedLoad hammers one server with parallel AS and TGS
+// traffic from many users, checking the replay cache and database
+// locking hold up and every exchange verifies.
+func TestKDCConcurrentMixedLoad(t *testing.T) {
+	r := newRealm(t, testRealm)
+	const users = 16
+	userKeys := make([]des.Key, users)
+	for i := 0; i < users; i++ {
+		name := fmt.Sprintf("load%02d", i)
+		userKeys[i] = des.StringToKey("pw", testRealm+name)
+		if err := r.db.Add(name, "", userKeys[i], 0, "t", t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, users)
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("load%02d", i)
+			userP := core.Principal{Name: name, Realm: testRealm}
+			ws := core.Addr{10, 0, 0, byte(i)}
+			// AS exchange.
+			raw := r.server.Handle((&core.AuthRequest{
+				Client: userP, Service: core.TGSPrincipal(testRealm, testRealm),
+				Life: core.DefaultTGTLife, Time: core.TimeFromGo(t0),
+			}).Encode(), ws)
+			if err := core.IfErrorMessage(raw); err != nil {
+				errs <- err
+				return
+			}
+			rep, err := core.DecodeAuthReply(raw)
+			if err != nil {
+				errs <- err
+				return
+			}
+			tgt, err := rep.Open(userKeys[i])
+			if err != nil {
+				errs <- err
+				return
+			}
+			// 20 TGS exchanges each, unique checksums.
+			for n := 0; n < 20; n++ {
+				auth := core.NewAuthenticator(userP, ws, t0, uint32(n))
+				raw := r.server.Handle((&core.TGSRequest{
+					APReq: core.APRequest{
+						TicketRealm:   testRealm,
+						Ticket:        tgt.Ticket,
+						Authenticator: auth.Seal(tgt.SessionKey),
+					},
+					Service: core.Principal{Name: "rlogin", Instance: "priam", Realm: testRealm},
+					Life:    10, Time: core.TimeFromGo(t0),
+				}).Encode(), ws)
+				if err := core.IfErrorMessage(raw); err != nil {
+					errs <- fmt.Errorf("user %d tgs %d: %w", i, n, err)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if got := r.server.Stats().TGSRequests.Load(); got != users*20 {
+		t.Errorf("TGS count = %d, want %d", got, users*20)
+	}
+	if got := r.server.Stats().Errors.Load(); got != 0 {
+		t.Errorf("errors = %d", got)
+	}
+}
+
+// TestTGSExpiredServiceEntry: a service whose database entry has expired
+// cannot be issued tickets (§2.2 expiration dates apply to servers too).
+func TestTGSExpiredServiceEntry(t *testing.T) {
+	r := newRealm(t, testRealm)
+	key, _ := des.NewRandomKey()
+	longAgo := t0.Add(-4 * 365 * 24 * time.Hour)
+	if err := r.db.Add("oldsvc", "host", key, 0, "t", longAgo); err != nil {
+		t.Fatal(err)
+	}
+	tgt := r.asExchange(t, core.TGSPrincipal(testRealm, testRealm), core.DefaultTGTLife)
+	raw, _ := r.tgsExchange(t, tgt, core.Principal{Name: "oldsvc", Instance: "host", Realm: testRealm}, 10, testRealm)
+	if c := protoCode(t, raw); c != core.ErrPrincipalExpired {
+		t.Errorf("expired service code = %v", c)
+	}
+}
+
+// TestASZeroLifetimeRequest: a zero lifetime still yields a (5-minute)
+// ticket; the lifetime lattice has no zero-duration element.
+func TestASZeroLifetimeRequest(t *testing.T) {
+	r := newRealm(t, testRealm)
+	enc := r.asExchange(t, core.TGSPrincipal(testRealm, testRealm), 0)
+	if enc.Life != 0 || enc.Life.Duration() != 5*time.Minute {
+		t.Errorf("zero-life grant = %v (%v)", enc.Life, enc.Life.Duration())
+	}
+}
+
+// TestTicketOpenedOnlyByItsKey: property — a ticket sealed for one
+// service never opens under other random keys.
+func TestTicketOpenedOnlyByItsKey(t *testing.T) {
+	r := newRealm(t, testRealm)
+	enc := r.asExchange(t, core.TGSPrincipal(testRealm, testRealm), core.DefaultTGTLife)
+	for i := 0; i < 50; i++ {
+		k, _ := des.NewRandomKey()
+		if k == r.tgsKey {
+			continue
+		}
+		if _, err := core.OpenTicket(k, enc.Ticket); err == nil {
+			t.Fatalf("ticket opened under unrelated key %x", k)
+		}
+	}
+}
+
+// TestLifetimePolicyProperty: no matter what lifetime is requested, the
+// granted ticket never outlives the requested value, the service's
+// registered maximum, or (via the TGS) the remaining TGT life.
+func TestLifetimePolicyProperty(t *testing.T) {
+	r := newRealm(t, testRealm)
+	key, _ := des.NewRandomKey()
+	if err := r.db.Add("capped", "svc", key, 24, "t", t0); err != nil { // 24 units = 2h05m
+		t.Fatal(err)
+	}
+	tgt := r.asExchange(t, core.TGSPrincipal(testRealm, testRealm), core.DefaultTGTLife)
+
+	iter := 0
+	f := func(reqLife uint8, hoursIn uint8) bool {
+		// A unique per-iteration second keeps authenticators distinct for
+		// the replay cache while staying within the TGT's life.
+		iter++
+		elapsed := time.Duration(hoursIn%8)*time.Hour + time.Duration(iter)*time.Second
+		r.clock.now = t0.Add(elapsed)
+		raw, _ := r.tgsExchange(t, tgt,
+			core.Principal{Name: "capped", Instance: "svc", Realm: testRealm},
+			core.Lifetime(reqLife), testRealm)
+		if core.IfErrorMessage(raw) != nil {
+			return false
+		}
+		rep, err := core.DecodeAuthReply(raw)
+		if err != nil {
+			return false
+		}
+		enc, err := rep.Open(tgt.SessionKey)
+		if err != nil {
+			return false
+		}
+		// The lifetime lattice quantizes in 5-minute units rounding up,
+		// so the grant may exceed the exact remaining TGT life by less
+		// than one unit.
+		remaining := core.DefaultTGTLife.Duration() - elapsed
+		return enc.Life <= core.Lifetime(reqLife) &&
+			enc.Life <= 24 &&
+			enc.Life.Duration() < remaining+core.LifeUnit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+package kdc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"kerberos/internal/core"
+)
+
+// Transport: the authentication protocols are datagram-shaped, so the
+// primary listener is UDP (the historical kerberos port was 750/udp);
+// a TCP listener with length-prefixed framing serves large messages and
+// clients behind stream-only paths. Both feed Server.Handle.
+
+// MaxUDPMessage bounds a datagram request/reply.
+const MaxUDPMessage = 8192
+
+// maxTCPMessage bounds a framed stream message.
+const maxTCPMessage = 1 << 20
+
+// Listener runs a Server on real sockets.
+type Listener struct {
+	server *Server
+
+	udp *net.UDPConn
+	tcp net.Listener
+
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Serve binds UDP and TCP on addr (e.g. "127.0.0.1:0") and serves until
+// Close. The two sockets share a port when addr requests port 0: UDP
+// binds first and TCP follows on the same port — retrying with a fresh
+// UDP port if some other process already holds that TCP port.
+func Serve(server *Server, addr string) (*Listener, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kdc: resolving %q: %w", addr, err)
+	}
+	var udp *net.UDPConn
+	var tcp net.Listener
+	for attempt := 0; ; attempt++ {
+		udp, err = net.ListenUDP("udp4", udpAddr)
+		if err != nil {
+			return nil, fmt.Errorf("kdc: binding udp: %w", err)
+		}
+		tcp, err = net.Listen("tcp4", udp.LocalAddr().String())
+		if err == nil {
+			break
+		}
+		udp.Close()
+		if udpAddr.Port != 0 || attempt >= 16 {
+			return nil, fmt.Errorf("kdc: binding tcp: %w", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Listener{server: server, udp: udp, tcp: tcp, ctx: ctx, cancel: cancel}
+	l.wg.Add(2)
+	go l.serveUDP()
+	go l.serveTCP()
+	return l, nil
+}
+
+// Addr returns the bound address, suitable for clients.
+func (l *Listener) Addr() string { return l.udp.LocalAddr().String() }
+
+// Close stops serving and waits for in-flight handlers.
+func (l *Listener) Close() error {
+	l.cancel()
+	l.udp.Close()
+	l.tcp.Close()
+	l.wg.Wait()
+	return nil
+}
+
+func (l *Listener) serveUDP() {
+	defer l.wg.Done()
+	buf := make([]byte, MaxUDPMessage)
+	for {
+		n, from, err := l.udp.ReadFromUDP(buf)
+		if err != nil {
+			if l.ctx.Err() != nil {
+				return
+			}
+			continue
+		}
+		msg := make([]byte, n)
+		copy(msg, buf[:n])
+		reply := l.server.Handle(msg, addrOf(from.IP))
+		if len(reply) <= MaxUDPMessage {
+			l.udp.WriteToUDP(reply, from)
+		}
+	}
+}
+
+func (l *Listener) serveTCP() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.tcp.Accept()
+		if err != nil {
+			if l.ctx.Err() != nil {
+				return
+			}
+			continue
+		}
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			defer conn.Close()
+			from := addrOfConn(conn)
+			for {
+				conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+				msg, err := ReadFrame(conn)
+				if err != nil {
+					return
+				}
+				if err := WriteFrame(conn, l.server.Handle(msg, from)); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// ReadFrame reads one length-prefixed message from a stream.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxTCPMessage {
+		return nil, fmt.Errorf("kdc: bad frame length %d", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// WriteFrame writes one length-prefixed message to a stream.
+func WriteFrame(w io.Writer, msg []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// Exchange sends one request to a KDC address and returns the reply,
+// trying UDP first and falling back to TCP for oversized messages —
+// mirroring the classic client behaviour.
+func Exchange(addr string, req []byte, timeout time.Duration) ([]byte, error) {
+	if len(req) <= MaxUDPMessage {
+		reply, err := exchangeUDP(addr, req, timeout)
+		if err == nil {
+			return reply, nil
+		}
+	}
+	return exchangeTCP(addr, req, timeout)
+}
+
+func exchangeUDP(addr string, req []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.Dial("udp4", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(req); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, MaxUDPMessage)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+func exchangeTCP(addr string, req []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.DialTimeout("tcp4", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	return ReadFrame(conn)
+}
+
+// ExchangeAny tries each KDC address in turn until one answers — the
+// availability mechanism of §5.3: "If the master machine is down,
+// authentication can still be achieved on one of the slave machines."
+func ExchangeAny(addrs []string, req []byte, timeout time.Duration) ([]byte, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("kdc: no KDC addresses configured")
+	}
+	var lastErr error
+	for _, a := range addrs {
+		reply, err := Exchange(a, req, timeout)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("kdc: no KDC reachable: %w", lastErr)
+}
+
+func addrOf(ip net.IP) core.Addr { return core.AddrFromIP(ip) }
+
+func addrOfConn(c net.Conn) core.Addr {
+	if t, ok := c.RemoteAddr().(*net.TCPAddr); ok {
+		return addrOf(t.IP)
+	}
+	return core.Addr{}
+}

@@ -1,0 +1,234 @@
+// Package kprop implements the database propagation software of §5.3
+// (Figure 13): "A program on the master host, called kprop, sends the
+// update to a peer program, called kpropd, running on each of the slave
+// machines. First kprop sends a checksum of the new database it is about
+// to send. The checksum is encrypted in the Kerberos master database
+// key, which both the master and slave Kerberos machines possess. The
+// data is then transferred over the network ... The slave propagation
+// server calculates a checksum of the data it has received, and if it
+// matches the checksum sent by the master, the new information is used
+// to update the slave's database."
+package kprop
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kerberos/internal/des"
+	"kerberos/internal/kdb"
+	"kerberos/internal/kdc"
+)
+
+// DefaultInterval is how often the master pushes the database: "The
+// master database is dumped every hour" (§5.3).
+const DefaultInterval = time.Hour
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Master is the kprop side: it dumps the master database and pushes it
+// to slaves.
+type Master struct {
+	db     *kdb.Database
+	slaves []string
+	logger *log.Logger
+}
+
+// NewMaster creates the propagation client for the master database.
+func NewMaster(db *kdb.Database, slaveAddrs []string, logger *log.Logger) *Master {
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	return &Master{db: db, slaves: slaveAddrs, logger: logger}
+}
+
+// PropagateTo pushes one full dump to a single kpropd.
+func (m *Master) PropagateTo(addr string) error {
+	dump := m.db.Dump()
+	var sumBytes [8]byte
+	binary.BigEndian.PutUint64(sumBytes[:], kdb.DumpChecksum(m.db.MasterKey(), dump))
+	sealedSum := des.Seal(m.db.MasterKey(), sumBytes[:])
+
+	conn, err := net.DialTimeout("tcp4", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("kprop: connecting to %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+
+	if err := kdc.WriteFrame(conn, sealedSum); err != nil {
+		return fmt.Errorf("kprop: sending checksum: %w", err)
+	}
+	if err := kdc.WriteFrame(conn, dump); err != nil {
+		return fmt.Errorf("kprop: sending dump: %w", err)
+	}
+	ack, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("kprop: reading acknowledgement: %w", err)
+	}
+	if string(ack) != "OK" {
+		return fmt.Errorf("kprop: slave %s rejected update: %s", addr, ack)
+	}
+	m.logger.Printf("kprop: propagated %d bytes (%d principals) to %s",
+		len(dump), m.db.Len(), addr)
+	return nil
+}
+
+// PropagateAll pushes to every configured slave, collecting errors; one
+// sick slave does not block the others.
+func (m *Master) PropagateAll() error {
+	var errs []error
+	for _, addr := range m.slaves {
+		if err := m.PropagateTo(addr); err != nil {
+			m.logger.Printf("kprop: %v", err)
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Run pushes on the given interval until the context is cancelled — the
+// periodic kick-off the administrator arranges (§6.3). A zero interval
+// means DefaultInterval.
+func (m *Master) Run(ctx context.Context, interval time.Duration) {
+	if interval == 0 {
+		interval = DefaultInterval
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			_ = m.PropagateAll()
+		}
+	}
+}
+
+// Slave is the kpropd side: it receives dumps, verifies them against the
+// encrypted checksum, and swaps them into the local read-only database.
+type Slave struct {
+	db     *kdb.Database
+	logger *log.Logger
+
+	updates   atomic.Uint64
+	rejected  atomic.Uint64
+	lastBytes atomic.Uint64
+}
+
+// NewSlave creates the propagation server over a slave database. The
+// database is forced read-only: only propagation may modify it (§5).
+func NewSlave(db *kdb.Database, logger *log.Logger) *Slave {
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	db.SetReadOnly(true)
+	return &Slave{db: db, logger: logger}
+}
+
+// Updates reports how many dumps have been installed.
+func (s *Slave) Updates() uint64 { return s.updates.Load() }
+
+// Rejected reports how many dumps failed verification.
+func (s *Slave) Rejected() uint64 { return s.rejected.Load() }
+
+// handleConn processes one kprop connection.
+func (s *Slave) handleConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(60 * time.Second))
+
+	sealedSum, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	dump, err := kdc.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	if err := s.Install(sealedSum, dump); err != nil {
+		s.rejected.Add(1)
+		s.logger.Printf("kpropd: rejected update: %v", err)
+		kdc.WriteFrame(conn, []byte(err.Error()))
+		return
+	}
+	kdc.WriteFrame(conn, []byte("OK"))
+}
+
+// Install verifies a (sealed checksum, dump) pair and swaps it into the
+// database. "it is essential that only information from the master host
+// be accepted by the slaves, and that tampering of data be detected,
+// thus the checksum" (§5.3).
+func (s *Slave) Install(sealedSum, dump []byte) error {
+	sumBytes, err := des.Unseal(s.db.MasterKey(), sealedSum)
+	if err != nil || len(sumBytes) != 8 {
+		return errors.New("kpropd: checksum not sealed in the master database key")
+	}
+	want := binary.BigEndian.Uint64(sumBytes)
+	if got := kdb.DumpChecksum(s.db.MasterKey(), dump); got != want {
+		return fmt.Errorf("kpropd: dump checksum %x does not match master's %x", got, want)
+	}
+	if err := s.db.LoadDump(dump); err != nil {
+		return fmt.Errorf("kpropd: installing dump: %w", err)
+	}
+	s.updates.Add(1)
+	s.lastBytes.Store(uint64(len(dump)))
+	s.logger.Printf("kpropd: installed %d bytes (%d principals)", len(dump), s.db.Len())
+	return nil
+}
+
+// Listener serves kpropd over TCP.
+type Listener struct {
+	tcp    net.Listener
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Serve binds kpropd on addr.
+func Serve(s *Slave, addr string) (*Listener, error) {
+	tcp, err := net.Listen("tcp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kpropd: binding: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Listener{tcp: tcp, ctx: ctx, cancel: cancel}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := tcp.Accept()
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				continue
+			}
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				s.handleConn(conn)
+			}()
+		}
+	}()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.tcp.Addr().String() }
+
+// Close stops the listener.
+func (l *Listener) Close() error {
+	l.cancel()
+	l.tcp.Close()
+	l.wg.Wait()
+	return nil
+}

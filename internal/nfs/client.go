@@ -1,0 +1,182 @@
+package nfs
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	kclient "kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/kdc"
+)
+
+// Client is a workstation's view of the file server: a persistent
+// connection carrying framed NFS requests, each stamped with the local
+// user's claimed credential. For the Kerberized variants it also holds
+// the user's Kerberos client, used once at mount time (hybrid) or on
+// every operation (per-op).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+
+	// Cred is the NFS credential placed in every request.
+	Cred Credential
+	// Krb authenticates mount transactions and per-op requests.
+	Krb *kclient.Client
+	// Service is the file server's principal (nfs.<host>@realm).
+	Service core.Principal
+	// PerOp makes every file operation carry a fresh AP request.
+	PerOp bool
+
+	seq atomic.Uint32
+}
+
+// Dial connects to the file server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp4", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("nfs: dialing %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := kdc.WriteFrame(c.conn, req.Encode()); err != nil {
+		return nil, err
+	}
+	raw, err := kdc.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeResponse(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// do runs one file operation, attaching per-op Kerberos proof when
+// configured. The sequence number rides in the authenticator checksum so
+// every request is distinct for the server's replay cache.
+func (c *Client) do(req *Request) (*Response, error) {
+	req.Cred = c.Cred
+	if c.PerOp {
+		if c.Krb == nil {
+			return nil, errors.New("nfs: per-op mode requires a Kerberos client")
+		}
+		auth, _, err := c.Krb.MkReq(c.Service, c.seq.Add(1), false)
+		if err != nil {
+			return nil, fmt.Errorf("nfs: per-op authentication: %w", err)
+		}
+		req.Auth = auth
+	}
+	return c.roundTrip(req)
+}
+
+// Read fetches a file.
+func (c *Client) Read(path string) ([]byte, error) {
+	resp, err := c.do(&Request{Op: OpRead, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Write stores a file.
+func (c *Client) Write(path string, data []byte, mode uint16) error {
+	_, err := c.do(&Request{Op: OpWrite, Path: path, Data: data, Mode: mode})
+	return err
+}
+
+// Append extends a file.
+func (c *Client) Append(path string, data []byte) error {
+	_, err := c.do(&Request{Op: OpAppend, Path: path, Data: data})
+	return err
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string, mode uint16) error {
+	_, err := c.do(&Request{Op: OpMkdir, Path: path, Mode: mode})
+	return err
+}
+
+// Remove deletes a file or empty directory.
+func (c *Client) Remove(path string) error {
+	_, err := c.do(&Request{Op: OpRemove, Path: path})
+	return err
+}
+
+// GetAttr stats a file.
+func (c *Client) GetAttr(path string) (EntryInfo, error) {
+	resp, err := c.do(&Request{Op: OpGetAttr, Path: path})
+	if err != nil {
+		return EntryInfo{}, err
+	}
+	if len(resp.Infos) != 1 {
+		return EntryInfo{}, errors.New("nfs: malformed getattr response")
+	}
+	return resp.Infos[0], nil
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(path string) ([]EntryInfo, error) {
+	resp, err := c.do(&Request{Op: OpReadDir, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Infos, nil
+}
+
+// Mount performs the classic export check followed by the Kerberos
+// authentication mapping request of the appendix: the user proves their
+// identity to the mount daemon, shipping their UID-ON-CLIENT sealed
+// inside the authenticator, and the daemon installs the kernel mapping.
+// Not needed in trusted or per-op modes.
+func (c *Client) Mount(path string, uidOnClient uint32) error {
+	if _, err := c.roundTrip(&Request{Op: OpMount, Path: path, Cred: c.Cred}); err != nil {
+		return fmt.Errorf("nfs: mount check: %w", err)
+	}
+	if c.Krb == nil {
+		return errors.New("nfs: kerberized mount requires a Kerberos client")
+	}
+	auth, _, err := c.Krb.MkReq(c.Service, uidOnClient, false)
+	if err != nil {
+		return fmt.Errorf("nfs: mount authentication: %w", err)
+	}
+	if _, err := c.roundTrip(&Request{Op: OpKrbMap, Auth: auth, Cred: c.Cred}); err != nil {
+		return fmt.Errorf("nfs: kerberos mapping request: %w", err)
+	}
+	return nil
+}
+
+// Unmount removes this user's kernel mapping.
+func (c *Client) Unmount(uidOnClient uint32) error {
+	_, err := c.roundTrip(&Request{Op: OpUnmap, Cred: Credential{UID: uidOnClient}})
+	return err
+}
+
+// FlushUID invalidates all mappings to a server UID (logout cleanup).
+func (c *Client) FlushUID(serverUID uint32) error {
+	_, err := c.roundTrip(&Request{Op: OpFlushUID, Cred: Credential{UID: serverUID}})
+	return err
+}
+
+// FlushAddr invalidates all mappings from this workstation (handing the
+// machine to the next user).
+func (c *Client) FlushAddr() error {
+	_, err := c.roundTrip(&Request{Op: OpFlushAddr})
+	return err
+}

@@ -1,0 +1,424 @@
+package nfs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	kclient "kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+	"kerberos/internal/kdb"
+	"kerberos/internal/kdc"
+	"kerberos/internal/vfs"
+)
+
+const testRealm = "ATHENA.MIT.EDU"
+
+var (
+	aliceCred = vfs.Cred{UID: 1001, GIDs: []uint32{100}}
+	bobCred   = vfs.Cred{UID: 1002, GIDs: []uint32{100}}
+	loopback  = core.Addr{127, 0, 0, 1}
+)
+
+// TestCredMapOps reproduces the appendix's new-system-call operations.
+func TestCredMapOps(t *testing.T) {
+	cm := NewCredMap()
+	ws1 := core.Addr{18, 72, 0, 3}
+	ws2 := core.Addr{18, 72, 0, 4}
+
+	cm.Add(MapKey{ws1, 501}, aliceCred)
+	cm.Add(MapKey{ws2, 501}, bobCred) // same client uid, different host
+	cm.Add(MapKey{ws1, 502}, bobCred)
+	if cm.Len() != 3 {
+		t.Fatalf("len = %d", cm.Len())
+	}
+	got, ok := cm.Lookup(MapKey{ws1, 501})
+	if !ok || got.UID != aliceCred.UID {
+		t.Errorf("lookup = %+v %v", got, ok)
+	}
+	if _, ok := cm.Lookup(MapKey{ws1, 999}); ok {
+		t.Error("phantom mapping found")
+	}
+	// Delete one mapping (unmount).
+	cm.Delete(MapKey{ws1, 501})
+	if _, ok := cm.Lookup(MapKey{ws1, 501}); ok {
+		t.Error("mapping survived delete")
+	}
+	// Flush by server UID (logout of bob everywhere).
+	if n := cm.FlushUID(bobCred.UID); n != 2 {
+		t.Errorf("FlushUID removed %d", n)
+	}
+	if cm.Len() != 0 {
+		t.Errorf("len after flush = %d", cm.Len())
+	}
+	// Flush by address (workstation handed to next user).
+	cm.Add(MapKey{ws1, 501}, aliceCred)
+	cm.Add(MapKey{ws1, 502}, bobCred)
+	cm.Add(MapKey{ws2, 501}, aliceCred)
+	if n := cm.FlushAddr(ws1); n != 2 {
+		t.Errorf("FlushAddr removed %d", n)
+	}
+	if _, ok := cm.Lookup(MapKey{ws2, 501}); !ok {
+		t.Error("other host's mapping lost")
+	}
+	hits, misses := cm.Stats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+	// Mutating a looked-up cred must not corrupt the table.
+	got, _ = cm.Lookup(MapKey{ws2, 501})
+	if len(got.GIDs) > 0 {
+		got.GIDs[0] = 9999
+	}
+	again, _ := cm.Lookup(MapKey{ws2, 501})
+	if len(again.GIDs) > 0 && again.GIDs[0] == 9999 {
+		t.Error("lookup aliased table internals")
+	}
+}
+
+func TestRequestResponseCodec(t *testing.T) {
+	req := &Request{
+		Op: OpWrite, Path: "/mit/alice/f", Data: []byte("hello"),
+		Mode: 0o644, Cred: Credential{UID: 1001, GIDs: []uint32{100, 200}},
+		Auth: []byte("ap-request"),
+	}
+	got, err := DecodeRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != req.Op || got.Path != req.Path || string(got.Data) != "hello" ||
+		got.Mode != req.Mode || got.Cred.UID != 1001 || len(got.Cred.GIDs) != 2 ||
+		string(got.Auth) != "ap-request" {
+		t.Errorf("round trip: %+v", got)
+	}
+	resp := &Response{OK: true, Data: []byte("contents"), Infos: []EntryInfo{
+		{Name: "f", Size: 8, Mode: 0o644, IsDir: false, UID: 1001, GID: 100},
+		{Name: "d", IsDir: true, UID: 0, GID: 0},
+	}}
+	gotR, err := DecodeResponse(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotR.OK || string(gotR.Data) != "contents" || len(gotR.Infos) != 2 ||
+		gotR.Infos[1].Name != "d" || !gotR.Infos[1].IsDir {
+		t.Errorf("response round trip: %+v", gotR)
+	}
+	// Truncation safety.
+	enc := req.Encode()
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeRequest(enc[:n]); err == nil {
+			t.Fatalf("truncated request accepted at %d", n)
+		}
+	}
+}
+
+// env is a live realm + file server.
+type env struct {
+	kdcL   *kdc.Listener
+	nfsL   *Listener
+	server *Server
+	db     *kdb.Database
+	cfg    *kclient.Config
+}
+
+func newEnv(t testing.TB, mode AuthMode, friendly bool) *env {
+	t.Helper()
+	e := &env{}
+	e.db = kdb.New(des.StringToKey("master", testRealm))
+	tgsKey, _ := des.NewRandomKey()
+	if err := e.db.Add(core.TGSName, testRealm, tgsKey, 0, "kdb_init", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"alice", "bob", "stranger"} {
+		key := kclient.PasswordKey(core.Principal{Name: u, Realm: testRealm}, u+"-pw")
+		if err := e.db.Add(u, "", key, 0, "register", time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nfsPrincipal := core.Principal{Name: "nfs", Instance: "fileserver", Realm: testRealm}
+	nfsKey, _ := des.NewRandomKey()
+	if err := e.db.Add("nfs", "fileserver", nfsKey, 0, "kadmin", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	kdcSrv := kdc.New(testRealm, e.db)
+	kl, err := kdc.Serve(kdcSrv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kl.Close() })
+	e.kdcL = kl
+	e.cfg = &kclient.Config{Realms: map[string][]string{testRealm: {kl.Addr()}}, Timeout: 2 * time.Second}
+
+	fs := vfs.New()
+	if err := fs.MkdirAll("/mit/alice", vfs.Root, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fs.Chown("/mit/alice", vfs.Root, aliceCred.UID, 100)
+	fs.Chmod("/mit/alice", vfs.Root, 0o700)
+	fs.Write("/motd", vfs.Root, []byte("welcome"), 0o644)
+
+	tab := kclient.NewSrvtab()
+	tab.Set(nfsPrincipal, 1, nfsKey)
+	e.server = NewServer(ServerConfig{
+		Realm:     testRealm,
+		FS:        fs,
+		Mode:      mode,
+		Friendly:  friendly,
+		Principal: nfsPrincipal,
+		Keytab:    tab,
+		Accounts: []Account{
+			{Username: "alice", Cred: aliceCred},
+			{Username: "bob", Cred: bobCred},
+			// "stranger" has a Kerberos principal but no local account.
+		},
+	})
+	nl, err := Serve(e.server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nl.Close() })
+	e.nfsL = nl
+	return e
+}
+
+// krbClient logs a user in and returns their Kerberos client.
+func (e *env) krbClient(t testing.TB, user string) *kclient.Client {
+	t.Helper()
+	c := kclient.New(core.Principal{Name: user, Realm: testRealm}, e.cfg)
+	c.Addr = loopback
+	if _, err := c.Login(user + "-pw"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestMappedModeEndToEnd walks the whole appendix flow: kerberized
+// mount, mapped operations, unmount, nobody fallback.
+func TestMappedModeEndToEnd(t *testing.T) {
+	e := newEnv(t, ModeMapped, true)
+	alice := e.krbClient(t, "alice")
+
+	nc, err := Dial(e.nfsL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	const uidOnClient = 501 // alice's uid on the workstation
+	nc.Cred = Credential{UID: uidOnClient}
+	nc.Krb = alice
+	nc.Service = core.Principal{Name: "nfs", Instance: "fileserver", Realm: testRealm}
+
+	// Before the mount: friendly server maps to nobody, so alice's 0700
+	// home is inaccessible but the world-readable motd works.
+	if _, err := nc.Read("/mit/alice/secret"); err == nil {
+		t.Error("unmapped request reached a private home")
+	}
+	if data, err := nc.Read("/motd"); err != nil || string(data) != "welcome" {
+		t.Errorf("nobody motd read: %q %v", data, err)
+	}
+	if e.server.Stats().NobodyServed.Load() == 0 {
+		t.Error("nobody counter not bumped")
+	}
+
+	// Kerberized mount installs the mapping.
+	if err := nc.Mount("/mit/alice", uidOnClient); err != nil {
+		t.Fatal(err)
+	}
+	if e.server.CredMap().Len() != 1 {
+		t.Error("mapping not installed")
+	}
+	// Now operations run as alice's server credential.
+	if err := nc.Write("/mit/alice/thesis.tex", []byte("ch1"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	data, err := nc.Read("/mit/alice/thesis.tex")
+	if err != nil || string(data) != "ch1" {
+		t.Fatalf("read after mount: %q %v", data, err)
+	}
+	if err := nc.Append("/mit/alice/thesis.tex", []byte("+ch2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Mkdir("/mit/alice/src", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := nc.ReadDir("/mit/alice")
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("readdir: %v %v", infos, err)
+	}
+	fi, err := nc.GetAttr("/mit/alice/thesis.tex")
+	if err != nil || fi.UID != aliceCred.UID || fi.Size != 7 {
+		t.Fatalf("getattr: %+v %v", fi, err)
+	}
+	if err := nc.Remove("/mit/alice/src"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unmount removes the mapping; the same requests fall back to nobody.
+	if err := nc.Unmount(uidOnClient); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Read("/mit/alice/thesis.tex"); err == nil {
+		t.Error("mapping survived unmount")
+	}
+}
+
+// TestMappedDiscardsClientGIDs: "all information in the client-generated
+// credential except the UID-ON-CLIENT is discarded" — claiming root's
+// groups gains nothing once mapped.
+func TestMappedDiscardsClientGIDs(t *testing.T) {
+	e := newEnv(t, ModeMapped, true)
+	alice := e.krbClient(t, "alice")
+	nc, err := Dial(e.nfsL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Cred = Credential{UID: 501, GIDs: []uint32{0}} // claims wheel!
+	nc.Krb = alice
+	nc.Service = core.Principal{Name: "nfs", Instance: "fileserver", Realm: testRealm}
+	if err := nc.Mount("/mit/alice", 501); err != nil {
+		t.Fatal(err)
+	}
+	// A root-group-only file stays out of reach: the mapping yields
+	// alice's groups, not the claimed ones.
+	e.server.fs.Write("/wheel-only", vfs.Root, []byte("x"), 0o640)
+	if _, err := nc.Read("/wheel-only"); err == nil {
+		t.Error("claimed GIDs were honored in mapped mode")
+	}
+}
+
+// TestUnfriendlyMode: "Unfriendly servers return an NFS access error
+// when no valid mapping can be found."
+func TestUnfriendlyMode(t *testing.T) {
+	e := newEnv(t, ModeMapped, false)
+	nc, err := Dial(e.nfsL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Cred = Credential{UID: 501}
+	if _, err := nc.Read("/motd"); err == nil || !strings.Contains(err.Error(), "access error") {
+		t.Errorf("unfriendly unmapped read = %v", err)
+	}
+	if e.server.Stats().Denied.Load() == 0 {
+		t.Error("denied counter not bumped")
+	}
+}
+
+// TestTrustedModeMasquerade demonstrates the vulnerability the appendix
+// describes in unmodified NFS: a "trusted" workstation can claim any
+// UID and read anyone's files.
+func TestTrustedModeMasquerade(t *testing.T) {
+	e := newEnv(t, ModeTrusted, true)
+	e.server.fs.Write("/mit/alice/secret", vfs.Cred{UID: aliceCred.UID, GIDs: []uint32{100}}, []byte("grades"), 0o600)
+
+	nc, err := Dial(e.nfsL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Mallory simply claims alice's UID; no Kerberos anywhere.
+	nc.Cred = Credential{UID: aliceCred.UID, GIDs: []uint32{100}}
+	data, err := nc.Read("/mit/alice/secret")
+	if err != nil || string(data) != "grades" {
+		t.Fatalf("trusted-mode masquerade should succeed (that's the bug): %v", err)
+	}
+}
+
+// TestPerOpMode: every operation authenticated; works for account
+// holders, fails without Kerberos, and replays are caught.
+func TestPerOpMode(t *testing.T) {
+	e := newEnv(t, ModePerOpKerberos, true)
+	alice := e.krbClient(t, "alice")
+	nc, err := Dial(e.nfsL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Cred = Credential{UID: 501}
+	nc.Krb = alice
+	nc.Service = core.Principal{Name: "nfs", Instance: "fileserver", Realm: testRealm}
+	nc.PerOp = true
+
+	if err := nc.Write("/mit/alice/f", []byte("data"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := nc.Read("/mit/alice/f"); err != nil || string(data) != "data" {
+		t.Fatalf("per-op read: %q %v", data, err)
+	}
+	// Without per-op auth, the same server denies everything.
+	raw, err := Dial(e.nfsL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.Cred = Credential{UID: aliceCred.UID}
+	if _, err := raw.Read("/mit/alice/f"); err == nil {
+		t.Error("unauthenticated request served in per-op mode")
+	}
+}
+
+// TestKrbMapDeniedForUnknownAccount: a principal with no local account
+// cannot establish a mapping.
+func TestKrbMapDeniedForUnknownAccount(t *testing.T) {
+	e := newEnv(t, ModeMapped, true)
+	stranger := e.krbClient(t, "stranger")
+	nc, err := Dial(e.nfsL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Cred = Credential{UID: 777}
+	nc.Krb = stranger
+	nc.Service = core.Principal{Name: "nfs", Instance: "fileserver", Realm: testRealm}
+	if err := nc.Mount("/mit/alice", 777); err == nil || !strings.Contains(err.Error(), "no local account") {
+		t.Errorf("stranger mount = %v", err)
+	}
+	if e.server.CredMap().Len() != 0 {
+		t.Error("mapping installed for stranger")
+	}
+}
+
+// TestFlushAddrClearsWorkstation: before the next user sits down, all
+// the previous user's mappings from that workstation vanish.
+func TestFlushAddrClearsWorkstation(t *testing.T) {
+	e := newEnv(t, ModeMapped, true)
+	alice := e.krbClient(t, "alice")
+	nc, err := Dial(e.nfsL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Cred = Credential{UID: 501}
+	nc.Krb = alice
+	nc.Service = core.Principal{Name: "nfs", Instance: "fileserver", Realm: testRealm}
+	if err := nc.Mount("/mit/alice", 501); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.FlushAddr(); err != nil {
+		t.Fatal(err)
+	}
+	if e.server.CredMap().Len() != 0 {
+		t.Error("mappings survived FlushAddr")
+	}
+}
+
+// TestGarbageRequest: malformed frames get error responses, not crashes.
+func TestGarbageRequest(t *testing.T) {
+	e := newEnv(t, ModeMapped, true)
+	reply := e.server.Handle([]byte{0xff, 0x01}, loopback)
+	resp, err := DecodeResponse(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Error("garbage request succeeded")
+	}
+	reply = e.server.Handle((&Request{Op: Op(99), Path: "/x"}).Encode(), loopback)
+	resp, _ = DecodeResponse(reply)
+	if resp.OK {
+		t.Error("unknown op succeeded")
+	}
+}

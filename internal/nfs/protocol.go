@@ -1,0 +1,158 @@
+package nfs
+
+import (
+	"kerberos/internal/vfs"
+	"kerberos/internal/wire"
+)
+
+// Op is an NFS or mount-daemon operation code.
+type Op uint8
+
+// File operations (served by the NFS server proper) and mount-daemon
+// transactions (served by mountd; the appendix adds "a new transaction
+// type, the Kerberos authentication mapping request").
+const (
+	OpGetAttr Op = iota + 1
+	OpRead
+	OpWrite
+	OpAppend
+	OpMkdir
+	OpRemove
+	OpReadDir
+
+	OpMount     // classic mount check
+	OpKrbMap    // Kerberos authentication mapping request (appendix)
+	OpUnmap     // remove the caller's mapping at unmount time
+	OpFlushUID  // invalidate all mappings to a server UID (logout)
+	OpFlushAddr // invalidate all mappings from the caller's address
+)
+
+// String names the operation.
+func (o Op) String() string {
+	names := map[Op]string{
+		OpGetAttr: "getattr", OpRead: "read", OpWrite: "write",
+		OpAppend: "append", OpMkdir: "mkdir", OpRemove: "remove",
+		OpReadDir: "readdir", OpMount: "mount", OpKrbMap: "krb_map",
+		OpUnmap: "unmap", OpFlushUID: "flush_uid", OpFlushAddr: "flush_addr",
+	}
+	if n, ok := names[o]; ok {
+		return n
+	}
+	return "unknown-op"
+}
+
+// Credential is the NFS credential included in each request: claimed
+// UID and GIDs. Under the hybrid design everything but the UID is
+// discarded by the server.
+type Credential struct {
+	UID  uint32
+	GIDs []uint32
+}
+
+// Request is one NFS/mountd request.
+type Request struct {
+	Op   Op
+	Path string
+	Data []byte
+	Mode uint16
+	Cred Credential
+	// Auth carries Kerberos proof where the mode demands it: an AP
+	// request on every operation in per-op mode, or on the OpKrbMap
+	// mount transaction in hybrid mode.
+	Auth []byte
+}
+
+// Encode renders the request.
+func (r *Request) Encode() []byte {
+	var w wire.Writer
+	w.U8(uint8(r.Op))
+	w.Str(r.Path)
+	w.Bytes(r.Data)
+	w.U16(r.Mode)
+	w.U32(r.Cred.UID)
+	w.U8(uint8(len(r.Cred.GIDs)))
+	for _, g := range r.Cred.GIDs {
+		w.U32(g)
+	}
+	w.Bytes(r.Auth)
+	return w.Buf
+}
+
+// DecodeRequest parses a request.
+func DecodeRequest(data []byte) (*Request, error) {
+	r := wire.NewReader(data)
+	req := &Request{Op: Op(r.U8()), Path: r.Str()}
+	req.Data = r.BytesCopy()
+	req.Mode = r.U16()
+	req.Cred.UID = r.U32()
+	n := int(r.U8())
+	for i := 0; i < n; i++ {
+		req.Cred.GIDs = append(req.Cred.GIDs, r.U32())
+	}
+	req.Auth = r.BytesCopy()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// EntryInfo is directory-listing metadata on the wire.
+type EntryInfo struct {
+	Name  string
+	Size  uint32
+	Mode  uint16
+	IsDir bool
+	UID   uint32
+	GID   uint32
+}
+
+func infoFrom(fi vfs.FileInfo) EntryInfo {
+	return EntryInfo{
+		Name: fi.Name, Size: uint32(fi.Size), Mode: uint16(fi.Mode),
+		IsDir: fi.IsDir, UID: fi.UID, GID: fi.GID,
+	}
+}
+
+// Response is the server's answer.
+type Response struct {
+	OK    bool
+	Err   string
+	Data  []byte
+	Infos []EntryInfo
+}
+
+// Encode renders the response.
+func (r *Response) Encode() []byte {
+	var w wire.Writer
+	w.Bool(r.OK)
+	w.Str(r.Err)
+	w.Bytes(r.Data)
+	w.U16(uint16(len(r.Infos)))
+	for _, fi := range r.Infos {
+		w.Str(fi.Name)
+		w.U32(fi.Size)
+		w.U16(fi.Mode)
+		w.Bool(fi.IsDir)
+		w.U32(fi.UID)
+		w.U32(fi.GID)
+	}
+	return w.Buf
+}
+
+// DecodeResponse parses a response.
+func DecodeResponse(data []byte) (*Response, error) {
+	r := wire.NewReader(data)
+	resp := &Response{OK: r.Bool(), Err: r.Str()}
+	resp.Data = r.BytesCopy()
+	n := int(r.U16())
+	for i := 0; i < n; i++ {
+		resp.Infos = append(resp.Infos, EntryInfo{
+			Name: r.Str(), Size: r.U32(), Mode: r.U16(),
+			IsDir: r.Bool(), UID: r.U32(), GID: r.U32(),
+		})
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,133 @@
+package nfs
+
+import (
+	"strings"
+	"testing"
+
+	"kerberos/internal/core"
+)
+
+// TestPerOpReplayRejected: in the per-op design, a captured NFS request
+// (with its embedded AP request) replayed from the same address is
+// refused by the server's replay cache.
+func TestPerOpReplayRejected(t *testing.T) {
+	e := newEnv(t, ModePerOpKerberos, true)
+	alice := e.krbClient(t, "alice")
+	apReq, _, err := alice.MkReq(core.Principal{Name: "nfs", Instance: "fileserver", Realm: testRealm}, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := (&Request{Op: OpGetAttr, Path: "/motd",
+		Cred: Credential{UID: aliceCred.UID}, Auth: apReq}).Encode()
+
+	first := e.server.Handle(req, loopback)
+	resp, _ := DecodeResponse(first)
+	if !resp.OK {
+		t.Fatalf("first request failed: %s", resp.Err)
+	}
+	replayed := e.server.Handle(req, loopback)
+	resp, _ = DecodeResponse(replayed)
+	if resp.OK {
+		t.Fatal("replayed per-op request served")
+	}
+	if !strings.Contains(resp.Err, "authentication failed") {
+		t.Errorf("replay error = %q", resp.Err)
+	}
+}
+
+// TestPerOpStolenRequestFromOtherHost: per-op requests captured and
+// re-sent from a different address fail the ticket's address check.
+func TestPerOpStolenRequestFromOtherHost(t *testing.T) {
+	e := newEnv(t, ModePerOpKerberos, true)
+	alice := e.krbClient(t, "alice")
+	apReq, _, err := alice.MkReq(core.Principal{Name: "nfs", Instance: "fileserver", Realm: testRealm}, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := (&Request{Op: OpGetAttr, Path: "/motd",
+		Cred: Credential{UID: aliceCred.UID}, Auth: apReq}).Encode()
+	resp, _ := DecodeResponse(e.server.Handle(req, core.Addr{10, 66, 66, 66}))
+	if resp.OK {
+		t.Fatal("stolen per-op request served from wrong host")
+	}
+}
+
+// TestMountFromWrongHost: the Kerberos mapping request is bound to the
+// workstation address inside the ticket; relayed mounts fail.
+func TestMountFromWrongHost(t *testing.T) {
+	e := newEnv(t, ModeMapped, true)
+	alice := e.krbClient(t, "alice")
+	apReq, _, err := alice.MkReq(core.Principal{Name: "nfs", Instance: "fileserver", Realm: testRealm}, 501, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := (&Request{Op: OpKrbMap, Auth: apReq, Cred: Credential{UID: 501}}).Encode()
+	resp, _ := DecodeResponse(e.server.Handle(req, core.Addr{10, 66, 66, 66}))
+	if resp.OK {
+		t.Fatal("relayed mapping request accepted")
+	}
+	if e.server.CredMap().Len() != 0 {
+		t.Error("mapping installed from wrong host")
+	}
+}
+
+// TestMappingIsPerHost: a mapping installed for workstation A does not
+// serve the same client UID arriving from workstation B.
+func TestMappingIsPerHost(t *testing.T) {
+	e := newEnv(t, ModeMapped, false) // unfriendly: misses are errors
+	wsA := core.Addr{10, 1, 1, 1}
+	e.server.CredMap().Add(MapKey{Addr: wsA, UID: 501}, aliceCred)
+
+	req := (&Request{Op: OpGetAttr, Path: "/motd", Cred: Credential{UID: 501}}).Encode()
+	resp, _ := DecodeResponse(e.server.Handle(req, wsA))
+	if !resp.OK {
+		t.Fatalf("mapped host denied: %s", resp.Err)
+	}
+	resp, _ = DecodeResponse(e.server.Handle(req, core.Addr{10, 2, 2, 2}))
+	if resp.OK {
+		t.Fatal("other host rode workstation A's mapping")
+	}
+}
+
+// TestFriendlyVsUnfriendlyCounters: the two configurations differ only
+// in how unmapped requests fail, and the stats show which path ran.
+func TestFriendlyVsUnfriendlyCounters(t *testing.T) {
+	friendly := newEnv(t, ModeMapped, true)
+	req := (&Request{Op: OpGetAttr, Path: "/motd", Cred: Credential{UID: 9}}).Encode()
+	resp, _ := DecodeResponse(friendly.server.Handle(req, loopback))
+	if !resp.OK { // /motd is world-readable; nobody can stat it
+		t.Fatalf("friendly stat failed: %s", resp.Err)
+	}
+	if friendly.server.Stats().NobodyServed.Load() != 1 {
+		t.Error("friendly path not counted")
+	}
+	unfriendly := newEnv(t, ModeMapped, false)
+	resp, _ = DecodeResponse(unfriendly.server.Handle(req, loopback))
+	if resp.OK {
+		t.Fatal("unfriendly served an unmapped request")
+	}
+	if unfriendly.server.Stats().Denied.Load() != 1 {
+		t.Error("unfriendly denial not counted")
+	}
+}
+
+// TestServerOverSocketsKeepsAddressBinding: the TCP listener extracts
+// the true peer address, so loopback clients get loopback mappings.
+func TestServerOverSocketsKeepsAddressBinding(t *testing.T) {
+	e := newEnv(t, ModeMapped, true)
+	alice := e.krbClient(t, "alice")
+	nc, err := Dial(e.nfsL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Cred = Credential{UID: 501}
+	nc.Krb = alice
+	nc.Service = core.Principal{Name: "nfs", Instance: "fileserver", Realm: testRealm}
+	if err := nc.Mount("/mit/alice", 501); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.server.CredMap().Lookup(MapKey{Addr: loopback, UID: 501}); !ok {
+		t.Error("mapping not keyed by the socket peer address")
+	}
+}

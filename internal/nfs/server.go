@@ -1,0 +1,389 @@
+package nfs
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/kdc"
+	"kerberos/internal/vfs"
+)
+
+// AuthMode selects how the server derives the effective credential for
+// each file operation — the three designs the appendix weighs.
+type AuthMode int
+
+const (
+	// ModeTrusted is unmodified NFS between trusted systems: the
+	// client-supplied credential is believed outright. "it is possible
+	// from a trusted workstation to masquerade as any valid user of the
+	// file service system."
+	ModeTrusted AuthMode = iota
+	// ModePerOpKerberos attaches a full Kerberos authentication to every
+	// NFS operation — the design the authors rejected: "a significant
+	// performance penalty would be paid if this solution were adopted.
+	// Credentials are exchanged on every NFS operation including all
+	// disk read and write activities."
+	ModePerOpKerberos
+	// ModeMapped is the shipped hybrid: the kernel maps
+	// <CLIENT-IP-ADDRESS, UID-ON-CLIENT> to a server credential; the
+	// mapping is installed at mount time by a Kerberos-moderated
+	// exchange with the mount daemon.
+	ModeMapped
+)
+
+// String names the mode.
+func (m AuthMode) String() string {
+	switch m {
+	case ModeTrusted:
+		return "trusted"
+	case ModePerOpKerberos:
+		return "per-op-kerberos"
+	case ModeMapped:
+		return "mapped"
+	default:
+		return "unknown"
+	}
+}
+
+// Account is a row of the mount daemon's account file: "This username is
+// then looked up in a special file to yield the user's UID and GIDs
+// list. For efficiency, this file is a ndbm database file with the
+// username as the key."
+type Account struct {
+	Username string
+	Cred     vfs.Cred
+}
+
+// Stats counts server decisions, for the appendix experiments.
+type Stats struct {
+	Ops          atomic.Uint64
+	NobodyServed atomic.Uint64
+	Denied       atomic.Uint64
+	MapsAdded    atomic.Uint64
+}
+
+// Server is the modified NFS file server plus its mount daemon.
+type Server struct {
+	realm    string
+	fs       *vfs.FS
+	mode     AuthMode
+	friendly bool // unmapped → nobody (friendly) vs access error (unfriendly)
+
+	cmap     *CredMap
+	accounts map[string]vfs.Cred
+	svc      *client.Service // verifies AP requests (mountd, per-op mode)
+	logger   *log.Logger
+	stats    Stats
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// ServerConfig assembles a Server.
+type ServerConfig struct {
+	Realm     string           // local Kerberos realm
+	FS        *vfs.FS          // exported filesystem
+	Mode      AuthMode         // authentication design
+	Friendly  bool             // friendly (nobody) vs unfriendly (error) for unmapped requests
+	Principal core.Principal   // service identity, e.g. nfs.fileserver@REALM
+	Keytab    *client.Srvtab   // holds the service key
+	Accounts  []Account        // local account database
+	Logger    *log.Logger      // optional
+	Clock     func() time.Time // optional; fake clocks in tests
+}
+
+// NewServer builds the server.
+func NewServer(cfg ServerConfig) *Server {
+	s := &Server{
+		realm:    cfg.Realm,
+		fs:       cfg.FS,
+		mode:     cfg.Mode,
+		friendly: cfg.Friendly,
+		cmap:     NewCredMap(),
+		accounts: make(map[string]vfs.Cred),
+		logger:   cfg.Logger,
+	}
+	if s.logger == nil {
+		s.logger = log.New(discard{}, "", 0)
+	}
+	for _, a := range cfg.Accounts {
+		cred := a.Cred
+		cred.GIDs = append([]uint32(nil), a.Cred.GIDs...)
+		s.accounts[a.Username] = cred
+	}
+	if cfg.Keytab != nil {
+		s.svc = client.NewService(cfg.Principal, cfg.Keytab)
+		s.svc.Clock = cfg.Clock
+	}
+	return s
+}
+
+// Mode returns the configured authentication design.
+func (s *Server) Mode() AuthMode { return s.mode }
+
+// Stats exposes the decision counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// CredMap exposes the kernel mapping table (tests, logout flushes).
+func (s *Server) CredMap() *CredMap { return s.cmap }
+
+func errResp(format string, args ...any) []byte {
+	return (&Response{Err: fmt.Sprintf(format, args...)}).Encode()
+}
+
+// Handle processes one encoded request arriving from the given address.
+func (s *Server) Handle(msg []byte, from core.Addr) []byte {
+	req, err := DecodeRequest(msg)
+	if err != nil {
+		return errResp("malformed request: %v", err)
+	}
+	switch req.Op {
+	case OpMount, OpKrbMap, OpUnmap, OpFlushUID, OpFlushAddr:
+		return s.handleMountd(req, from)
+	default:
+		return s.handleFileOp(req, from)
+	}
+}
+
+// effectiveCred derives the credential an operation runs as, per mode.
+func (s *Server) effectiveCred(req *Request, from core.Addr) (vfs.Cred, []byte) {
+	switch s.mode {
+	case ModeTrusted:
+		// Unmodified NFS: believe the packet.
+		return vfs.Cred{UID: req.Cred.UID, GIDs: req.Cred.GIDs}, nil
+
+	case ModePerOpKerberos:
+		if s.svc == nil {
+			return vfs.Cred{}, errResp("server has no Kerberos identity")
+		}
+		sess, err := s.svc.ReadRequest(req.Auth, from)
+		if err != nil {
+			s.stats.Denied.Add(1)
+			return vfs.Cred{}, errResp("kerberos authentication failed: %v", err)
+		}
+		cred, ok := s.lookupAccount(sess.Client)
+		if !ok {
+			s.stats.Denied.Add(1)
+			return vfs.Cred{}, errResp("no local account for %v", sess.Client)
+		}
+		return cred, nil
+
+	case ModeMapped:
+		// "The basic mapping function maps the tuple <CLIENT-IP-ADDRESS,
+		// UID-ON-CLIENT> to a valid NFS credential on the server system."
+		cred, ok := s.cmap.Lookup(MapKey{Addr: from, UID: req.Cred.UID})
+		if ok {
+			return cred, nil
+		}
+		if s.friendly {
+			// "In our friendly configuration we default the unmappable
+			// requests into the credentials for the user nobody."
+			s.stats.NobodyServed.Add(1)
+			return vfs.Nobody, nil
+		}
+		// "Unfriendly servers return an NFS access error when no valid
+		// mapping can be found."
+		s.stats.Denied.Add(1)
+		return vfs.Cred{}, errResp("NFS access error: no credential mapping")
+
+	default:
+		return vfs.Cred{}, errResp("unknown auth mode")
+	}
+}
+
+// lookupAccount converts a Kerberos principal into a local credential.
+// Only principals of the local realm have accounts; the instance is not
+// part of the username.
+func (s *Server) lookupAccount(p core.Principal) (vfs.Cred, bool) {
+	if p.Realm != s.realm || p.Instance != "" {
+		return vfs.Cred{}, false
+	}
+	cred, ok := s.accounts[p.Name]
+	if !ok {
+		return vfs.Cred{}, false
+	}
+	cred.GIDs = append([]uint32(nil), cred.GIDs...)
+	return cred, true
+}
+
+func (s *Server) handleFileOp(req *Request, from core.Addr) []byte {
+	s.stats.Ops.Add(1)
+	cred, errReply := s.effectiveCred(req, from)
+	if errReply != nil {
+		return errReply
+	}
+	switch req.Op {
+	case OpGetAttr:
+		fi, err := s.fs.Stat(req.Path, cred)
+		if err != nil {
+			return errResp("%v", err)
+		}
+		return (&Response{OK: true, Infos: []EntryInfo{infoFrom(fi)}}).Encode()
+	case OpRead:
+		data, err := s.fs.Read(req.Path, cred)
+		if err != nil {
+			return errResp("%v", err)
+		}
+		return (&Response{OK: true, Data: data}).Encode()
+	case OpWrite:
+		if err := s.fs.Write(req.Path, cred, req.Data, vfs.Mode(req.Mode)); err != nil {
+			return errResp("%v", err)
+		}
+		return (&Response{OK: true}).Encode()
+	case OpAppend:
+		if err := s.fs.Append(req.Path, cred, req.Data); err != nil {
+			return errResp("%v", err)
+		}
+		return (&Response{OK: true}).Encode()
+	case OpMkdir:
+		if err := s.fs.Mkdir(req.Path, cred, vfs.Mode(req.Mode)); err != nil {
+			return errResp("%v", err)
+		}
+		return (&Response{OK: true}).Encode()
+	case OpRemove:
+		if err := s.fs.Remove(req.Path, cred); err != nil {
+			return errResp("%v", err)
+		}
+		return (&Response{OK: true}).Encode()
+	case OpReadDir:
+		fis, err := s.fs.ReadDir(req.Path, cred)
+		if err != nil {
+			return errResp("%v", err)
+		}
+		resp := &Response{OK: true}
+		for _, fi := range fis {
+			resp.Infos = append(resp.Infos, infoFrom(fi))
+		}
+		return resp.Encode()
+	default:
+		return errResp("unknown operation %d", req.Op)
+	}
+}
+
+// handleMountd serves the mount daemon transactions.
+func (s *Server) handleMountd(req *Request, from core.Addr) []byte {
+	switch req.Op {
+	case OpMount:
+		// Classic export check: the path must exist and be a directory.
+		fi, err := s.fs.Stat(req.Path, vfs.Root)
+		if err != nil || !fi.IsDir {
+			return errResp("mountd: %s not exported", req.Path)
+		}
+		return (&Response{OK: true}).Encode()
+
+	case OpKrbMap:
+		// "as part of the mounting process, the client system provides a
+		// Kerberos authenticator along with an indication of her/his
+		// UID-ON-CLIENT (encrypted in the Kerberos authenticator)."
+		if s.svc == nil {
+			return errResp("mountd: server has no Kerberos identity")
+		}
+		sess, err := s.svc.ReadRequest(req.Auth, from)
+		if err != nil {
+			return errResp("mountd: kerberos authentication failed: %v", err)
+		}
+		uidOnClient := sess.Checksum // sealed inside the authenticator
+		// "The server's mount daemon converts the Kerberos principal
+		// name into a local username ... From this information, an NFS
+		// credential is constructed and handed to the kernel as the
+		// valid mapping."
+		cred, ok := s.lookupAccount(sess.Client)
+		if !ok {
+			return errResp("mountd: no local account for %v", sess.Client)
+		}
+		s.cmap.Add(MapKey{Addr: from, UID: uidOnClient}, cred)
+		s.stats.MapsAdded.Add(1)
+		s.logger.Printf("mountd: mapped <%v,%d> -> uid %d for %v",
+			from, uidOnClient, cred.UID, sess.Client)
+		return (&Response{OK: true}).Encode()
+
+	case OpUnmap:
+		// "At unmount time a request is sent to the mount daemon to
+		// remove the previously added mapping from the kernel."
+		s.cmap.Delete(MapKey{Addr: from, UID: req.Cred.UID})
+		return (&Response{OK: true}).Encode()
+
+	case OpFlushUID:
+		// "flush all entries that map to a specific UID on the server."
+		n := s.cmap.FlushUID(req.Cred.UID)
+		s.logger.Printf("mountd: flushed %d mappings to uid %d", n, req.Cred.UID)
+		return (&Response{OK: true}).Encode()
+
+	case OpFlushAddr:
+		n := s.cmap.FlushAddr(from)
+		s.logger.Printf("mountd: flushed %d mappings from %v", n, from)
+		return (&Response{OK: true}).Encode()
+
+	default:
+		return errResp("unknown mountd operation")
+	}
+}
+
+// Listener serves the NFS server over TCP with the shared frame codec.
+type Listener struct {
+	tcp    net.Listener
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Serve binds the server on addr.
+func Serve(s *Server, addr string) (*Listener, error) {
+	tcp, err := net.Listen("tcp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nfs: binding: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Listener{tcp: tcp, ctx: ctx, cancel: cancel}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := tcp.Accept()
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				continue
+			}
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				defer conn.Close()
+				from := core.Addr{}
+				if t, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+					from = core.AddrFromIP(t.IP)
+				}
+				for {
+					msg, err := kdc.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					if err := kdc.WriteFrame(conn, s.Handle(msg, from)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.tcp.Addr().String() }
+
+// Close stops the listener.
+func (l *Listener) Close() error {
+	l.cancel()
+	l.tcp.Close()
+	l.wg.Wait()
+	return nil
+}

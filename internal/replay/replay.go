@@ -1,0 +1,80 @@
+// Package replay implements the server-side replay detection of §4.3:
+// "The server is also allowed to keep track of all past requests with
+// time stamps that are still valid. In order to further foil replay
+// attacks, a request received with the same ticket and time stamp as one
+// already received can be discarded."
+package replay
+
+import (
+	"sync"
+	"time"
+
+	"kerberos/internal/core"
+)
+
+// entry identifies one seen authenticator. Timestamps outside the clock
+// skew window are rejected before they reach the cache, so entries only
+// need to live for the skew window.
+type entry struct {
+	client   string
+	time     core.KerberosTime
+	microSec uint32
+	checksum uint32
+}
+
+// Cache remembers recently seen authenticators. It is safe for
+// concurrent use. The zero value is not usable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	seen    map[entry]time.Time // value: when the entry may be forgotten
+	sweepAt time.Time
+	window  time.Duration
+}
+
+// New creates a cache holding authenticators for the full replay window
+// (twice the clock skew: an authenticator can be at most ClockSkew old or
+// ClockSkew in the future when first accepted).
+func New() *Cache {
+	return &Cache{
+		seen:   make(map[entry]time.Time),
+		window: 2 * core.ClockSkew,
+	}
+}
+
+// Seen records the authenticator and reports whether it had been
+// presented before within the replay window. The first presentation
+// returns false; any identical presentation afterwards returns true.
+func (c *Cache) Seen(auth *core.Authenticator, now time.Time) bool {
+	e := entry{
+		client:   auth.Client.String(),
+		time:     auth.Time,
+		microSec: auth.MicroSec,
+		checksum: auth.Checksum,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sweepAt.IsZero() {
+		c.sweepAt = now.Add(c.window)
+	}
+	if now.After(c.sweepAt) {
+		for k, expiry := range c.seen {
+			if now.After(expiry) {
+				delete(c.seen, k)
+			}
+		}
+		c.sweepAt = now.Add(c.window)
+	}
+	if expiry, dup := c.seen[e]; dup && now.Before(expiry) {
+		return true
+	}
+	c.seen[e] = now.Add(c.window)
+	return false
+}
+
+// Len reports the number of remembered authenticators (for tests and
+// monitoring).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seen)
+}

@@ -1,0 +1,134 @@
+package replay
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"kerberos/internal/core"
+)
+
+var t0 = time.Date(1988, 2, 9, 12, 0, 0, 0, time.UTC)
+
+func auth(name string, at time.Time, cksum uint32) *core.Authenticator {
+	return core.NewAuthenticator(
+		core.Principal{Name: name, Realm: "ATHENA.MIT.EDU"},
+		core.Addr{18, 72, 0, 3}, at, cksum)
+}
+
+func TestFirstPresentationAccepted(t *testing.T) {
+	c := New()
+	if c.Seen(auth("jis", t0, 0), t0) {
+		t.Error("fresh authenticator reported as replay")
+	}
+}
+
+func TestExactReplayDetected(t *testing.T) {
+	c := New()
+	a := auth("jis", t0, 7)
+	if c.Seen(a, t0) {
+		t.Fatal("first presentation flagged")
+	}
+	if !c.Seen(a, t0.Add(time.Second)) {
+		t.Error("identical replay not detected")
+	}
+	if !c.Seen(a, t0.Add(2*time.Minute)) {
+		t.Error("later replay within window not detected")
+	}
+}
+
+func TestDistinctAuthenticatorsNotConfused(t *testing.T) {
+	c := New()
+	base := auth("jis", t0, 0)
+	if c.Seen(base, t0) {
+		t.Fatal("first flagged")
+	}
+	// Same client, new timestamp: a genuinely new request.
+	if c.Seen(auth("jis", t0.Add(time.Second), 0), t0.Add(time.Second)) {
+		t.Error("new timestamp treated as replay")
+	}
+	// Same second, different microseconds.
+	b := auth("jis", t0, 0)
+	b.MicroSec = base.MicroSec + 1
+	if c.Seen(b, t0) {
+		t.Error("different microseconds treated as replay")
+	}
+	// Different client, same times.
+	if c.Seen(auth("bcn", t0, 0), t0) {
+		t.Error("different client treated as replay")
+	}
+	// Different checksum (different application request).
+	if c.Seen(auth("jis", t0, 99), t0) {
+		t.Error("different checksum treated as replay")
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	c := New()
+	a := auth("jis", t0, 0)
+	c.Seen(a, t0)
+	// After the replay window the entry may be forgotten — by then the
+	// skew check rejects the stale authenticator anyway.
+	later := t0.Add(2*core.ClockSkew + time.Minute)
+	if c.Seen(a, later) {
+		t.Error("entry survived past the replay window")
+	}
+}
+
+func TestSweepEviction(t *testing.T) {
+	c := New()
+	for i := 0; i < 100; i++ {
+		c.Seen(auth("jis", t0.Add(time.Duration(i)*time.Millisecond), 0), t0)
+	}
+	if c.Len() != 100 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Trigger a sweep well past everyone's expiry.
+	c.Seen(auth("bcn", t0.Add(time.Hour), 0), t0.Add(time.Hour))
+	if c.Len() > 2 {
+		t.Errorf("sweep left %d entries", c.Len())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	replays := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// All goroutines share the same 200 authenticators.
+				if c.Seen(auth("jis", t0.Add(time.Duration(i)*time.Second), 0), t0.Add(time.Duration(i)*time.Second)) {
+					replays[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range replays {
+		total += n
+	}
+	// Each of the 200 authenticators is fresh exactly once: 8*200 total
+	// presentations, 200 accepted, 1400 flagged.
+	if total != 1400 {
+		t.Errorf("replay count = %d, want 1400", total)
+	}
+}
+
+// BenchmarkReplayCache prices the §4.3 duplicate check that guards every
+// authenticated request — an ablation for the "server is also allowed to
+// keep track of all past requests" design choice.
+func BenchmarkReplayCache(b *testing.B) {
+	c := New()
+	base := time.Date(1988, 2, 9, 12, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := auth("jis", base.Add(time.Duration(i)*time.Microsecond), uint32(i))
+		if c.Seen(a, base) {
+			b.Fatal("false replay")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package testclock provides a race-free adjustable clock for tests and
+// simulations: tests advance it while server goroutines read it through
+// their injected clock functions.
+package testclock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is an adjustable time source safe for concurrent use.
+type Clock struct {
+	ns atomic.Int64
+}
+
+// New creates a clock set to t.
+func New(t time.Time) *Clock {
+	c := &Clock{}
+	c.ns.Store(t.UnixNano())
+	return c
+}
+
+// Now returns the current simulated time; pass c.Now as a clock func.
+func (c *Clock) Now() time.Time {
+	return time.Unix(0, c.ns.Load()).UTC()
+}
+
+// Set jumps the clock to t.
+func (c *Clock) Set(t time.Time) {
+	c.ns.Store(t.UnixNano())
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	return time.Unix(0, c.ns.Add(int64(d))).UTC()
+}

@@ -1,0 +1,419 @@
+// Package vfs is an in-memory UNIX-like filesystem with uid/gid/mode
+// permission checking — the file-server substrate beneath the NFS case
+// study of the paper's appendix. It stands in for the VAX 11/750 file
+// servers that held Athena home directories; what matters to the
+// reproduction is that every operation is checked against an NFS-style
+// credential (UID + GID list), which is exactly what the credential-
+// mapping experiment exercises.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Cred is the identity an operation runs as: "This credential contains
+// information about the unique user identifier (UID) of the requester
+// and a list of the group identifiers (GIDs) of the requester's
+// membership" (appendix).
+type Cred struct {
+	UID  uint32
+	GIDs []uint32
+}
+
+// Root is the superuser credential.
+var Root = Cred{UID: 0}
+
+// NobodyUID is the unprivileged fallback identity: "we default the
+// unmappable requests into the credentials for the user 'nobody' who has
+// no privileged access and has a unique UID" (appendix).
+const NobodyUID = 65534
+
+// Nobody is the unmapped-request credential.
+var Nobody = Cred{UID: NobodyUID}
+
+// inGroup reports whether the credential carries gid.
+func (c Cred) inGroup(gid uint32) bool {
+	for _, g := range c.GIDs {
+		if g == gid {
+			return true
+		}
+	}
+	return false
+}
+
+// Mode is a permission bit set (the low nine bits of a UNIX mode).
+type Mode uint16
+
+// Permission bit groups.
+const (
+	permR = 4
+	permW = 2
+	permX = 1
+)
+
+// Errors.
+var (
+	ErrNotExist = errors.New("vfs: no such file or directory")
+	ErrExist    = errors.New("vfs: file exists")
+	ErrPerm     = errors.New("vfs: permission denied")
+	ErrNotDir   = errors.New("vfs: not a directory")
+	ErrIsDir    = errors.New("vfs: is a directory")
+)
+
+// FileInfo describes one file.
+type FileInfo struct {
+	Name    string
+	Size    int
+	Mode    Mode
+	IsDir   bool
+	UID     uint32
+	GID     uint32
+	ModTime time.Time
+	Inode   uint64
+}
+
+type node struct {
+	ino      uint64
+	dir      bool
+	mode     Mode
+	uid, gid uint32
+	data     []byte
+	children map[string]*node
+	mtime    time.Time
+}
+
+// FS is the filesystem. The zero value is not usable; call New. All
+// methods are safe for concurrent use.
+type FS struct {
+	mu      sync.RWMutex
+	root    *node
+	nextIno uint64
+	clock   func() time.Time
+}
+
+// New creates a filesystem whose root is owned by root with mode 0755.
+func New() *FS {
+	fs := &FS{clock: time.Now, nextIno: 1}
+	fs.root = &node{ino: 1, dir: true, mode: 0o755, children: map[string]*node{}}
+	return fs
+}
+
+// SetClock substitutes the timestamp source.
+func (fs *FS) SetClock(clock func() time.Time) { fs.clock = clock }
+
+// splitPath normalizes and splits an absolute path.
+func splitPath(p string) ([]string, error) {
+	clean := path.Clean("/" + p)
+	if clean == "/" {
+		return nil, nil
+	}
+	return strings.Split(clean[1:], "/"), nil
+}
+
+// access checks one permission bit (permR/permW/permX) on n for cred.
+func access(n *node, cred Cred, want Mode) bool {
+	if cred.UID == 0 {
+		// Root bypasses permission bits, as UNIX does; execute on files
+		// still requires some x bit, irrelevant here.
+		return true
+	}
+	var shift uint
+	switch {
+	case cred.UID == n.uid:
+		shift = 6
+	case cred.inGroup(n.gid):
+		shift = 3
+	default:
+		shift = 0
+	}
+	return (n.mode>>shift)&want == want
+}
+
+// walk resolves all but the last component, checking execute (search)
+// permission on every directory crossed.
+func (fs *FS) walk(parts []string, cred Cred) (*node, error) {
+	cur := fs.root
+	for _, part := range parts {
+		if !cur.dir {
+			return nil, ErrNotDir
+		}
+		if !access(cur, cred, permX) {
+			return nil, fmt.Errorf("%w: search %q", ErrPerm, part)
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// resolve returns (parent, leaf name, node or nil).
+func (fs *FS) resolve(p string, cred Cred) (*node, string, *node, error) {
+	parts, err := splitPath(p)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if len(parts) == 0 {
+		return nil, "", fs.root, nil
+	}
+	parent, err := fs.walk(parts[:len(parts)-1], cred)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if !parent.dir {
+		return nil, "", nil, ErrNotDir
+	}
+	if !access(parent, cred, permX) {
+		return nil, "", nil, ErrPerm
+	}
+	name := parts[len(parts)-1]
+	return parent, name, parent.children[name], nil
+}
+
+// Mkdir creates a directory owned by cred.
+func (fs *FS) Mkdir(p string, cred Cred, mode Mode) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, existing, err := fs.resolve(p, cred)
+	if err != nil {
+		return err
+	}
+	if parent == nil {
+		return ErrExist // mkdir "/"
+	}
+	if existing != nil {
+		return ErrExist
+	}
+	if !access(parent, cred, permW) {
+		return ErrPerm
+	}
+	fs.nextIno++
+	gid := uint32(0)
+	if len(cred.GIDs) > 0 {
+		gid = cred.GIDs[0]
+	}
+	parent.children[name] = &node{
+		ino: fs.nextIno, dir: true, mode: mode & 0o777,
+		uid: cred.UID, gid: gid,
+		children: map[string]*node{}, mtime: fs.clock(),
+	}
+	parent.mtime = fs.clock()
+	return nil
+}
+
+// MkdirAll creates a directory chain as cred.
+func (fs *FS) MkdirAll(p string, cred Cred, mode Mode) error {
+	parts, _ := splitPath(p)
+	cur := ""
+	for _, part := range parts {
+		cur += "/" + part
+		if err := fs.Mkdir(cur, cred, mode); err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write creates or replaces a file's contents as cred.
+func (fs *FS) Write(p string, cred Cred, data []byte, mode Mode) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, existing, err := fs.resolve(p, cred)
+	if err != nil {
+		return err
+	}
+	if existing == nil {
+		if parent == nil {
+			return ErrIsDir
+		}
+		if !access(parent, cred, permW) {
+			return ErrPerm
+		}
+		fs.nextIno++
+		gid := uint32(0)
+		if len(cred.GIDs) > 0 {
+			gid = cred.GIDs[0]
+		}
+		parent.children[name] = &node{
+			ino: fs.nextIno, mode: mode & 0o777,
+			uid: cred.UID, gid: gid,
+			data: append([]byte(nil), data...), mtime: fs.clock(),
+		}
+		parent.mtime = fs.clock()
+		return nil
+	}
+	if existing.dir {
+		return ErrIsDir
+	}
+	if !access(existing, cred, permW) {
+		return ErrPerm
+	}
+	existing.data = append([]byte(nil), data...)
+	existing.mtime = fs.clock()
+	return nil
+}
+
+// Append adds data to the end of an existing file as cred.
+func (fs *FS) Append(p string, cred Cred, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, _, n, err := fs.resolve(p, cred)
+	if err != nil {
+		return err
+	}
+	if n == nil {
+		return ErrNotExist
+	}
+	if n.dir {
+		return ErrIsDir
+	}
+	if !access(n, cred, permW) {
+		return ErrPerm
+	}
+	n.data = append(n.data, data...)
+	n.mtime = fs.clock()
+	return nil
+}
+
+// Read returns a file's contents as cred.
+func (fs *FS) Read(p string, cred Cred) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, _, n, err := fs.resolve(p, cred)
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return nil, ErrNotExist
+	}
+	if n.dir {
+		return nil, ErrIsDir
+	}
+	if !access(n, cred, permR) {
+		return nil, ErrPerm
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// Stat returns file metadata (no read permission required, as in UNIX —
+// only search permission on the path).
+func (fs *FS) Stat(p string, cred Cred) (FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, name, n, err := fs.resolve(p, cred)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	if n == nil {
+		return FileInfo{}, ErrNotExist
+	}
+	if name == "" {
+		name = "/"
+	}
+	return FileInfo{
+		Name: name, Size: len(n.data), Mode: n.mode, IsDir: n.dir,
+		UID: n.uid, GID: n.gid, ModTime: n.mtime, Inode: n.ino,
+	}, nil
+}
+
+// ReadDir lists a directory as cred.
+func (fs *FS) ReadDir(p string, cred Cred) ([]FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, _, n, err := fs.resolve(p, cred)
+	if err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return nil, ErrNotExist
+	}
+	if !n.dir {
+		return nil, ErrNotDir
+	}
+	if !access(n, cred, permR) {
+		return nil, ErrPerm
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]FileInfo, len(names))
+	for i, name := range names {
+		c := n.children[name]
+		out[i] = FileInfo{
+			Name: name, Size: len(c.data), Mode: c.mode, IsDir: c.dir,
+			UID: c.uid, GID: c.gid, ModTime: c.mtime, Inode: c.ino,
+		}
+	}
+	return out, nil
+}
+
+// Remove deletes a file or empty directory as cred.
+func (fs *FS) Remove(p string, cred Cred) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, n, err := fs.resolve(p, cred)
+	if err != nil {
+		return err
+	}
+	if n == nil {
+		return ErrNotExist
+	}
+	if parent == nil {
+		return ErrPerm // removing "/"
+	}
+	if !access(parent, cred, permW) {
+		return ErrPerm
+	}
+	if n.dir && len(n.children) > 0 {
+		return fmt.Errorf("vfs: directory not empty")
+	}
+	delete(parent.children, name)
+	parent.mtime = fs.clock()
+	return nil
+}
+
+// Chown changes ownership; only root may.
+func (fs *FS) Chown(p string, cred Cred, uid, gid uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if cred.UID != 0 {
+		return ErrPerm
+	}
+	_, _, n, err := fs.resolve(p, cred)
+	if err != nil {
+		return err
+	}
+	if n == nil {
+		return ErrNotExist
+	}
+	n.uid, n.gid = uid, gid
+	return nil
+}
+
+// Chmod changes permission bits; owner or root only.
+func (fs *FS) Chmod(p string, cred Cred, mode Mode) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, _, n, err := fs.resolve(p, cred)
+	if err != nil {
+		return err
+	}
+	if n == nil {
+		return ErrNotExist
+	}
+	if cred.UID != 0 && cred.UID != n.uid {
+		return ErrPerm
+	}
+	n.mode = mode & 0o777
+	return nil
+}

@@ -1,0 +1,264 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	alice = Cred{UID: 1001, GIDs: []uint32{100}}
+	bob   = Cred{UID: 1002, GIDs: []uint32{100, 200}}
+	eve   = Cred{UID: 6666}
+)
+
+func newHome(t testing.TB) *FS {
+	t.Helper()
+	fs := New()
+	if err := fs.MkdirAll("/mit/alice", Root, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chown("/mit/alice", Root, alice.UID, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chmod("/mit/alice", Root, 0o750); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := newHome(t)
+	data := []byte("\\documentclass{thesis}")
+	if err := fs.Write("/mit/alice/thesis.tex", alice, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("/mit/alice/thesis.tex", alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Errorf("read %q", got)
+	}
+	// Overwrite.
+	if err := fs.Write("/mit/alice/thesis.tex", alice, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.Read("/mit/alice/thesis.tex", alice)
+	if string(got) != "v2" {
+		t.Errorf("after overwrite: %q", got)
+	}
+	// Append.
+	if err := fs.Append("/mit/alice/thesis.tex", alice, []byte("+more")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.Read("/mit/alice/thesis.tex", alice)
+	if string(got) != "v2+more" {
+		t.Errorf("after append: %q", got)
+	}
+}
+
+func TestPermissionChecks(t *testing.T) {
+	fs := newHome(t)
+	if err := fs.Write("/mit/alice/private", alice, []byte("secret"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Group member bob can search the 0750 home but not read the 0600 file.
+	if _, err := fs.Read("/mit/alice/private", bob); !errors.Is(err, ErrPerm) {
+		t.Errorf("bob read = %v", err)
+	}
+	// Eve (not in group) cannot even search the home directory.
+	if _, err := fs.Read("/mit/alice/private", eve); !errors.Is(err, ErrPerm) {
+		t.Errorf("eve read = %v", err)
+	}
+	// Eve cannot write into alice's home.
+	if err := fs.Write("/mit/alice/troll", eve, []byte("x"), 0o644); !errors.Is(err, ErrPerm) {
+		t.Errorf("eve write = %v", err)
+	}
+	// Bob cannot write either (0750: group has no w).
+	if err := fs.Write("/mit/alice/gift", bob, []byte("x"), 0o644); !errors.Is(err, ErrPerm) {
+		t.Errorf("bob write = %v", err)
+	}
+	// Root reads everything.
+	if _, err := fs.Read("/mit/alice/private", Root); err != nil {
+		t.Errorf("root read = %v", err)
+	}
+	// A group-readable file is readable by bob.
+	if err := fs.Write("/mit/alice/shared", alice, []byte("hi"), 0o640); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("/mit/alice/shared", bob); err != nil {
+		t.Errorf("bob group read = %v", err)
+	}
+}
+
+// TestNobodyHasNoPrivilege: the appendix's friendly-mode fallback maps
+// strangers to nobody, "who has no privileged access".
+func TestNobodyHasNoPrivilege(t *testing.T) {
+	fs := newHome(t)
+	if err := fs.Write("/mit/alice/file", alice, []byte("x"), 0o640); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("/mit/alice/file", Nobody); !errors.Is(err, ErrPerm) {
+		t.Errorf("nobody read = %v", err)
+	}
+	// World-readable paths still work for nobody.
+	if err := fs.Write("/motd", Root, []byte("welcome to athena"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("/motd", Nobody); err != nil {
+		t.Errorf("nobody motd read = %v", err)
+	}
+}
+
+func TestStatAndReadDir(t *testing.T) {
+	fs := newHome(t)
+	fs.Write("/mit/alice/a.txt", alice, []byte("aaa"), 0o644)
+	fs.Write("/mit/alice/b.txt", alice, []byte("b"), 0o644)
+	fs.Mkdir("/mit/alice/src", alice, 0o755)
+
+	info, err := fs.Stat("/mit/alice/a.txt", alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 3 || info.UID != alice.UID || info.GID != 100 || info.IsDir {
+		t.Errorf("stat = %+v", info)
+	}
+	list, err := fs.ReadDir("/mit/alice", alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 || list[0].Name != "a.txt" || list[2].Name != "src" || !list[2].IsDir {
+		t.Errorf("readdir = %+v", list)
+	}
+	// Stat on the root works.
+	if _, err := fs.Stat("/", alice); err != nil {
+		t.Errorf("stat / = %v", err)
+	}
+	// ReadDir on a file fails.
+	if _, err := fs.ReadDir("/mit/alice/a.txt", alice); !errors.Is(err, ErrNotDir) {
+		t.Errorf("readdir file = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := newHome(t)
+	fs.Write("/mit/alice/tmp", alice, []byte("x"), 0o644)
+	if err := fs.Remove("/mit/alice/tmp", alice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/mit/alice/tmp", alice); !errors.Is(err, ErrNotExist) {
+		t.Error("file survived remove")
+	}
+	// Non-empty directory refuses.
+	fs.Mkdir("/mit/alice/d", alice, 0o755)
+	fs.Write("/mit/alice/d/f", alice, nil, 0o644)
+	if err := fs.Remove("/mit/alice/d", alice); err == nil {
+		t.Error("non-empty dir removed")
+	}
+	fs.Remove("/mit/alice/d/f", alice)
+	if err := fs.Remove("/mit/alice/d", alice); err != nil {
+		t.Errorf("empty dir remove = %v", err)
+	}
+	// Eve cannot remove alice's files.
+	fs.Write("/mit/alice/keep", alice, nil, 0o644)
+	if err := fs.Remove("/mit/alice/keep", eve); !errors.Is(err, ErrPerm) {
+		t.Errorf("eve remove = %v", err)
+	}
+}
+
+func TestErrorsOnBadPaths(t *testing.T) {
+	fs := newHome(t)
+	if _, err := fs.Read("/nonexistent", alice); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing read = %v", err)
+	}
+	if _, err := fs.Read("/mit/alice", alice); !errors.Is(err, ErrIsDir) {
+		t.Errorf("read dir = %v", err)
+	}
+	fs.Write("/mit/alice/f", alice, nil, 0o644)
+	if err := fs.Mkdir("/mit/alice/f/sub", alice, 0o755); !errors.Is(err, ErrNotDir) {
+		t.Errorf("mkdir under file = %v", err)
+	}
+	if err := fs.Mkdir("/mit/alice/f", alice, 0o755); !errors.Is(err, ErrExist) {
+		t.Errorf("mkdir over file = %v", err)
+	}
+	if err := fs.Append("/mit/alice/nope", alice, nil); !errors.Is(err, ErrNotExist) {
+		t.Errorf("append missing = %v", err)
+	}
+}
+
+func TestChownChmodAuthorization(t *testing.T) {
+	fs := newHome(t)
+	fs.Write("/mit/alice/f", alice, nil, 0o644)
+	if err := fs.Chown("/mit/alice/f", alice, bob.UID, 200); !errors.Is(err, ErrPerm) {
+		t.Errorf("non-root chown = %v", err)
+	}
+	if err := fs.Chmod("/mit/alice/f", bob, 0o777); !errors.Is(err, ErrPerm) {
+		t.Errorf("non-owner chmod = %v", err)
+	}
+	if err := fs.Chmod("/mit/alice/f", alice, 0o600); err != nil {
+		t.Errorf("owner chmod = %v", err)
+	}
+	if err := fs.Chown("/mit/alice/f", Root, bob.UID, 200); err != nil {
+		t.Errorf("root chown = %v", err)
+	}
+	info, _ := fs.Stat("/mit/alice/f", Root)
+	if info.UID != bob.UID || info.GID != 200 || info.Mode != 0o600 {
+		t.Errorf("after chown/chmod: %+v", info)
+	}
+}
+
+func TestPathNormalization(t *testing.T) {
+	fs := newHome(t)
+	fs.Write("/mit/alice/f", alice, []byte("x"), 0o644)
+	for _, p := range []string{"/mit/alice/f", "mit/alice/f", "/mit//alice/./f", "/mit/bob/../alice/f"} {
+		if _, err := fs.Read(p, alice); err != nil {
+			t.Errorf("Read(%q) = %v", p, err)
+		}
+	}
+}
+
+// TestWriteReadProperty: whatever bytes are written come back for the
+// owner, regardless of content.
+func TestWriteReadProperty(t *testing.T) {
+	fs := newHome(t)
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		p := "/mit/alice/file" + string(rune('a'+i%26))
+		if err := fs.Write(p, alice, data, 0o600); err != nil {
+			return false
+		}
+		got, err := fs.Read(p, alice)
+		return err == nil && string(got) == string(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := newHome(t)
+	done := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func(g int) {
+			p := "/mit/alice/conc" + string(rune('a'+g))
+			for i := 0; i < 50; i++ {
+				if err := fs.Write(p, alice, []byte{byte(i)}, 0o644); err != nil {
+					done <- err
+					return
+				}
+				if _, err := fs.Read(p, alice); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

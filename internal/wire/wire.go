@@ -1,0 +1,160 @@
+// Package wire provides the small length-prefixed binary codec shared by
+// the application-level protocols (NFS, mount daemon, the Kerberized
+// applications). The Kerberos core keeps its own codec in internal/core;
+// this one is for everything above it.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrTruncated reports input that ended before its structure did, a
+// hostile length field, or trailing garbage.
+var ErrTruncated = errors.New("wire: truncated or malformed message")
+
+// MaxBytes bounds any length-prefixed field.
+const MaxBytes = 1 << 24
+
+// Writer accumulates an encoded message. The zero value is ready to use.
+type Writer struct{ Buf []byte }
+
+// U8 appends a byte.
+func (w *Writer) U8(v uint8) { w.Buf = append(w.Buf, v) }
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) { w.Buf = binary.BigEndian.AppendUint16(w.Buf, v) }
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) { w.Buf = binary.BigEndian.AppendUint32(w.Buf, v) }
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) { w.Buf = binary.BigEndian.AppendUint64(w.Buf, v) }
+
+// Bool appends a boolean byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Bytes appends a length-prefixed byte string.
+func (w *Writer) Bytes(b []byte) {
+	w.Buf = binary.AppendUvarint(w.Buf, uint64(len(b)))
+	w.Buf = append(w.Buf, b...)
+}
+
+// Str appends a length-prefixed string.
+func (w *Writer) Str(s string) { w.Bytes([]byte(s)) }
+
+// Raw appends bytes with no prefix.
+func (w *Writer) Raw(b []byte) { w.Buf = append(w.Buf, b...) }
+
+// Reader decodes an encoded message, latching the first error.
+type Reader struct {
+	Data []byte
+	err  error
+}
+
+// NewReader wraps data.
+func NewReader(data []byte) *Reader { return &Reader{Data: data} }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+// U8 reads a byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil || len(r.Data) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.Data[0]
+	r.Data = r.Data[1:]
+	return v
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	if r.err != nil || len(r.Data) < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.Data)
+	r.Data = r.Data[2:]
+	return v
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil || len(r.Data) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.Data)
+	r.Data = r.Data[4:]
+	return v
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	if r.err != nil || len(r.Data) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.Data)
+	r.Data = r.Data[8:]
+	return v
+}
+
+// Bool reads a boolean byte.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Bytes reads a length-prefixed byte string (aliasing the input).
+func (r *Reader) Bytes() []byte {
+	if r.err != nil {
+		return nil
+	}
+	n, used := binary.Uvarint(r.Data)
+	if used <= 0 || n > MaxBytes || uint64(len(r.Data)-used) < n {
+		r.fail()
+		return nil
+	}
+	b := r.Data[used : used+int(n)]
+	r.Data = r.Data[used+int(n):]
+	return b
+}
+
+// BytesCopy reads a length-prefixed byte string into fresh storage.
+func (r *Reader) BytesCopy() []byte {
+	return append([]byte(nil), r.Bytes()...)
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string { return string(r.Bytes()) }
+
+// RawN reads exactly n unprefixed bytes.
+func (r *Reader) RawN(n int) []byte {
+	if r.err != nil || len(r.Data) < n {
+		r.fail()
+		return make([]byte, n)
+	}
+	b := r.Data[:n]
+	r.Data = r.Data[n:]
+	return b
+}
+
+// Err returns the latched error.
+func (r *Reader) Err() error { return r.err }
+
+// Done returns the latched error, also failing on trailing bytes.
+func (r *Reader) Done() error {
+	if r.err == nil && len(r.Data) != 0 {
+		r.fail()
+	}
+	return r.err
+}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(7)
+	w.U16(300)
+	w.U32(70000)
+	w.U64(1 << 40)
+	w.Bool(true)
+	w.Bool(false)
+	w.Str("hello")
+	w.Bytes([]byte{1, 2, 3})
+	w.Raw([]byte{9, 9})
+
+	r := NewReader(w.Buf)
+	if r.U8() != 7 || r.U16() != 300 || r.U32() != 70000 || r.U64() != 1<<40 {
+		t.Error("integer round trip failed")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bool round trip failed")
+	}
+	if r.Str() != "hello" {
+		t.Error("string round trip failed")
+	}
+	if !bytes.Equal(r.Bytes(), []byte{1, 2, 3}) {
+		t.Error("bytes round trip failed")
+	}
+	if !bytes.Equal(r.RawN(2), []byte{9, 9}) {
+		t.Error("raw round trip failed")
+	}
+	if err := r.Done(); err != nil {
+		t.Errorf("Done = %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var w Writer
+	w.U32(1)
+	w.Str("payload")
+	enc := w.Buf
+	for n := 0; n < len(enc); n++ {
+		r := NewReader(enc[:n])
+		r.U32()
+		r.Str()
+		if r.Done() == nil {
+			t.Errorf("prefix of %d bytes decoded cleanly", n)
+		}
+	}
+	// Trailing garbage.
+	r := NewReader(append(append([]byte(nil), enc...), 0xFF))
+	r.U32()
+	r.Str()
+	if r.Done() == nil {
+		t.Error("trailing garbage not detected")
+	}
+}
+
+func TestErrorLatching(t *testing.T) {
+	r := NewReader(nil)
+	r.U8() // fails; error latches
+	if r.Err() == nil {
+		t.Fatal("no latched error")
+	}
+	// All further reads return zero values without panicking.
+	if r.U32() != 0 || r.Str() != "" || r.Bytes() != nil || r.Bool() {
+		t.Error("post-error reads returned non-zero")
+	}
+	if len(r.RawN(4)) != 4 {
+		t.Error("RawN after error must still return n bytes")
+	}
+}
+
+func TestHostileLength(t *testing.T) {
+	// A uvarint length far beyond the data must not allocate or crash.
+	r := NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	if r.Bytes() != nil || r.Err() == nil {
+		t.Error("hostile length accepted")
+	}
+}
+
+func TestBytesCopyIsolation(t *testing.T) {
+	var w Writer
+	w.Bytes([]byte("shared"))
+	r := NewReader(w.Buf)
+	cp := r.BytesCopy()
+	cp[0] = 'X'
+	if w.Buf[1] == 'X' {
+		t.Error("BytesCopy aliased the input")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(a uint8, b uint32, s string, data []byte, flag bool) bool {
+		var w Writer
+		w.U8(a)
+		w.U32(b)
+		w.Str(s)
+		w.Bytes(data)
+		w.Bool(flag)
+		r := NewReader(w.Buf)
+		ok := r.U8() == a && r.U32() == b && r.Str() == s &&
+			bytes.Equal(r.Bytes(), data) && r.Bool() == flag
+		return ok && r.Done() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuzzNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		r := NewReader(data)
+		r.U8()
+		r.Bytes()
+		r.U64()
+		r.Str()
+		r.RawN(3)
+		r.Done()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package workload generates the synthetic Athena-scale population used
+// to reproduce §9 of the paper: "Since January of 1987, Kerberos has
+// been Project Athena's sole means of authenticating its 5,000 users,
+// 650 workstations, and 65 servers."
+//
+// The population is deterministic in its seed, so experiment runs are
+// repeatable. The driver replays a synthetic workday against a KDC
+// in-process (message level), measuring authentication throughput the
+// way the deployment would experience it.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+	"kerberos/internal/kdb"
+	"kerberos/internal/kdc"
+)
+
+// Spec sizes a synthetic deployment.
+type Spec struct {
+	Users        int
+	Workstations int
+	Services     int
+	Seed         int64
+}
+
+// Athena is the §9 deployment: 5,000 users, 650 workstations, 65
+// servers.
+var Athena = Spec{Users: 5000, Workstations: 650, Services: 65}
+
+// Small is a laptop-friendly smoke-test population.
+var Small = Spec{Users: 50, Workstations: 10, Services: 5}
+
+// UserName returns the i-th synthetic username.
+func (s Spec) UserName(i int) string { return fmt.Sprintf("u%05d", i) }
+
+// UserPassword returns the i-th user's password (deterministic).
+func (s Spec) UserPassword(i int) string {
+	return fmt.Sprintf("pw-%d-%d", s.Seed, i)
+}
+
+// UserPrincipal returns the i-th user principal in realm.
+func (s Spec) UserPrincipal(i int, realm string) core.Principal {
+	return core.Principal{Name: s.UserName(i), Realm: realm}
+}
+
+// WorkstationAddr returns the i-th workstation's address, spread over a
+// 10.0.0.0/8-style space as Athena's subnets were over MITnet.
+func (s Spec) WorkstationAddr(i int) core.Addr {
+	return core.Addr{10, byte(i >> 16), byte(i >> 8), byte(i)}
+}
+
+// ServicePrincipal returns the i-th service principal: one service type
+// per host, mirroring the instance-per-machine convention of §3.
+func (s Spec) ServicePrincipal(i int, realm string) core.Principal {
+	kinds := []string{"rlogin", "rsh", "pop", "nfs", "zephyr"}
+	return core.Principal{
+		Name:     kinds[i%len(kinds)],
+		Instance: fmt.Sprintf("host%03d", i),
+		Realm:    realm,
+	}
+}
+
+// Install registers the whole population in a realm database: every
+// user with a password-derived key, every service with a random key.
+func Install(db *kdb.Database, spec Spec, realm string, now time.Time) error {
+	for i := 0; i < spec.Users; i++ {
+		p := spec.UserPrincipal(i, realm)
+		key := client.PasswordKey(p, spec.UserPassword(i))
+		if err := db.Add(p.Name, p.Instance, key, 0, "register", now); err != nil {
+			return fmt.Errorf("workload: installing user %d: %w", i, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	for i := 0; i < spec.Services; i++ {
+		p := spec.ServicePrincipal(i, realm)
+		// Deterministic per-seed service keys, derived like passwords.
+		key := des.StringToKey(fmt.Sprintf("svc-%d-%d", rng.Int63(), i), realm)
+		if err := db.Add(p.Name, p.Instance, key, 0, "kadmin", now); err != nil {
+			return fmt.Errorf("workload: installing service %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Metrics aggregates a driver run.
+type Metrics struct {
+	ASExchanges  atomic.Uint64
+	TGSExchanges atomic.Uint64
+	Failures     atomic.Uint64
+	Elapsed      time.Duration
+}
+
+// Driver replays user sessions against a KDC handler.
+type Driver struct {
+	Spec  Spec
+	Realm string
+	// Handle is the KDC entry point (master or slave); message-level so
+	// the experiment measures the server, not the socket stack.
+	Handle func(msg []byte, from core.Addr) []byte
+	// TicketsPerLogin is how many TGS exchanges follow each login.
+	TicketsPerLogin int
+
+	seq atomic.Uint32
+}
+
+// RunUser performs one user's session: an AS exchange (the login of
+// §4.2) followed by TicketsPerLogin TGS exchanges (§4.4), verifying
+// every reply cryptographically as a real workstation would.
+func (d *Driver) RunUser(i int, m *Metrics) error {
+	userP := d.Spec.UserPrincipal(i, d.Realm)
+	userKey := client.PasswordKey(userP, d.Spec.UserPassword(i))
+	ws := d.Spec.WorkstationAddr(i % max(d.Spec.Workstations, 1))
+	now := time.Now()
+
+	// Phase 1: initial ticket.
+	asReq := &core.AuthRequest{
+		Client:  userP,
+		Service: core.TGSPrincipal(d.Realm, d.Realm),
+		Life:    core.DefaultTGTLife,
+		Time:    core.TimeFromGo(now),
+	}
+	raw := d.Handle(asReq.Encode(), ws)
+	if err := core.IfErrorMessage(raw); err != nil {
+		m.Failures.Add(1)
+		return err
+	}
+	rep, err := core.DecodeAuthReply(raw)
+	if err != nil {
+		m.Failures.Add(1)
+		return err
+	}
+	tgt, err := rep.Open(userKey)
+	if err != nil {
+		m.Failures.Add(1)
+		return err
+	}
+	m.ASExchanges.Add(1)
+
+	// Phases 2+3 repeated: service tickets via the TGS.
+	for t := 0; t < d.TicketsPerLogin; t++ {
+		svc := d.Spec.ServicePrincipal((i+t)%max(d.Spec.Services, 1), d.Realm)
+		// The sequence number rides in the checksum so simultaneous
+		// requests never collide in the replay cache.
+		auth := core.NewAuthenticator(userP, ws, time.Now(), d.seq.Add(1))
+		tgsReq := &core.TGSRequest{
+			APReq: core.APRequest{
+				TicketRealm:   d.Realm,
+				Ticket:        tgt.Ticket,
+				Authenticator: auth.Seal(tgt.SessionKey),
+			},
+			Service: svc,
+			Life:    core.MaxLife,
+			Time:    core.TimeFromGo(time.Now()),
+		}
+		raw := d.Handle(tgsReq.Encode(), ws)
+		if err := core.IfErrorMessage(raw); err != nil {
+			m.Failures.Add(1)
+			return err
+		}
+		tgsRep, err := core.DecodeAuthReply(raw)
+		if err != nil {
+			m.Failures.Add(1)
+			return err
+		}
+		if _, err := tgsRep.Open(tgt.SessionKey); err != nil {
+			m.Failures.Add(1)
+			return err
+		}
+		m.TGSExchanges.Add(1)
+	}
+	return nil
+}
+
+// Run replays sessions for every user with the given concurrency,
+// returning aggregate metrics.
+func (d *Driver) Run(concurrency int) *Metrics {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	m := &Metrics{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				_ = d.RunUser(i, m)
+			}
+		}()
+	}
+	for i := 0; i < d.Spec.Users; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	m.Elapsed = time.Since(start)
+	return m
+}
+
+// NewRealmServer builds a KDC over a freshly installed population —
+// convenience for tests and benchmarks.
+func NewRealmServer(spec Spec, realm string) (*kdc.Server, *kdb.Database, error) {
+	db := kdb.New(client.PasswordKey(core.Principal{Name: "K", Instance: "M", Realm: realm}, "master"))
+	now := time.Now()
+	tgsKey, err := des.NewRandomKey()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := db.Add(core.TGSName, realm, tgsKey, 0, "kdb_init", now); err != nil {
+		return nil, nil, err
+	}
+	if err := Install(db, spec, realm, now); err != nil {
+		return nil, nil, err
+	}
+	return kdc.New(realm, db), db, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

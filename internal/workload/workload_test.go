@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/kdb"
+)
+
+func TestSpecDeterminism(t *testing.T) {
+	a := Spec{Users: 10, Workstations: 3, Services: 2, Seed: 7}
+	b := Spec{Users: 10, Workstations: 3, Services: 2, Seed: 7}
+	for i := 0; i < 10; i++ {
+		if a.UserName(i) != b.UserName(i) || a.UserPassword(i) != b.UserPassword(i) {
+			t.Fatal("user generation not deterministic")
+		}
+	}
+	if a.WorkstationAddr(1) == a.WorkstationAddr(2) {
+		t.Error("workstation addresses collide")
+	}
+	// Different seeds give different passwords.
+	c := Spec{Users: 10, Seed: 8}
+	if a.UserPassword(3) == c.UserPassword(3) {
+		t.Error("seed does not affect passwords")
+	}
+	// Service principals carry per-host instances (§3 convention).
+	s0 := a.ServicePrincipal(0, "R")
+	s1 := a.ServicePrincipal(1, "R")
+	if s0.Instance == s1.Instance {
+		t.Error("service instances collide")
+	}
+}
+
+func TestInstallPopulation(t *testing.T) {
+	spec := Spec{Users: 25, Workstations: 5, Services: 4, Seed: 1}
+	db := kdb.New(client.PasswordKey(core.Principal{Name: "K"}, "m"))
+	if err := Install(db, spec, "TEST.REALM", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 25+4 {
+		t.Errorf("installed %d entries, want 29", db.Len())
+	}
+	// Installing twice fails on duplicates, proving entries landed.
+	if err := Install(db, spec, "TEST.REALM", time.Now()); err == nil {
+		t.Error("double install succeeded")
+	}
+}
+
+// TestAthenaScalePopulation runs the §9 workload at reduced size in
+// normal test runs; the full 5,000-user day lives in the benchmark
+// suite (BenchmarkS9AthenaScale).
+func TestAthenaScalePopulation(t *testing.T) {
+	spec := Small
+	if !testing.Short() {
+		spec = Spec{Users: 400, Workstations: 65, Services: 20, Seed: 9}
+	}
+	server, _, err := NewRealmServer(spec, "ATHENA.MIT.EDU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{
+		Spec:            spec,
+		Realm:           "ATHENA.MIT.EDU",
+		Handle:          server.Handle,
+		TicketsPerLogin: 3,
+	}
+	m := d.Run(8)
+	if got := m.ASExchanges.Load(); got != uint64(spec.Users) {
+		t.Errorf("AS exchanges = %d, want %d", got, spec.Users)
+	}
+	if got := m.TGSExchanges.Load(); got != uint64(spec.Users*3) {
+		t.Errorf("TGS exchanges = %d, want %d", got, spec.Users*3)
+	}
+	if m.Failures.Load() != 0 {
+		t.Errorf("failures = %d", m.Failures.Load())
+	}
+	// Cross-check against the server's own counters.
+	if server.Stats().ASRequests.Load() != uint64(spec.Users) {
+		t.Error("server AS counter disagrees")
+	}
+	if server.Stats().Errors.Load() != 0 {
+		t.Errorf("server error counter = %d", server.Stats().Errors.Load())
+	}
+}
+
+// TestDriverDetectsFailure: a user with a wrong password shows up in the
+// failure counter, not as silent success.
+func TestDriverDetectsFailure(t *testing.T) {
+	spec := Spec{Users: 3, Workstations: 1, Services: 1, Seed: 4}
+	server, db, err := NewRealmServer(spec, "ATHENA.MIT.EDU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt user 1's key behind the driver's back.
+	k := client.PasswordKey(core.Principal{Name: spec.UserName(1), Realm: "ATHENA.MIT.EDU"}, "different")
+	if err := db.SetKey(spec.UserName(1), "", k, "test", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{Spec: spec, Realm: "ATHENA.MIT.EDU", Handle: server.Handle, TicketsPerLogin: 1}
+	m := d.Run(2)
+	if m.Failures.Load() != 1 {
+		t.Errorf("failures = %d, want 1", m.Failures.Load())
+	}
+	if m.ASExchanges.Load() != 2 {
+		t.Errorf("AS exchanges = %d, want 2", m.ASExchanges.Load())
+	}
+}

@@ -1,0 +1,377 @@
+// Package kerberos is a from-scratch reproduction of the system
+// described in Steiner, Neuman & Schiller, "Kerberos: An Authentication
+// Service for Open Network Systems" (USENIX Winter 1988): the trusted
+// third-party authentication service built at MIT's Project Athena,
+// together with its database, administration server, replication
+// software, user programs, and the Kerberized applications the paper
+// describes (including the NFS credential-mapping case study from the
+// appendix).
+//
+// This package is the public facade: it re-exports the main types of the
+// internal packages and provides Realm, a complete in-process Kerberos
+// realm (database + authentication server + optional administration
+// server) listening on loopback sockets — the quickest way to stand up a
+// working deployment, and what the examples and benchmarks build on.
+//
+// The layering below mirrors Figure 1 of the paper:
+//
+//	internal/des     encryption library (DES, CBC/PCBC, string-to-key)
+//	internal/core    tickets, authenticators, protocol messages
+//	internal/kdb     database library
+//	internal/kdc     authentication server (AS + TGS)
+//	internal/kadm    administration server (KDBM) + kadmin/kpasswd
+//	internal/kprop   database propagation (kprop/kpropd)
+//	internal/client  applications library + user programs' logic
+//	internal/nfs     the appendix's Kerberized NFS
+package kerberos
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+	"kerberos/internal/kadm"
+	"kerberos/internal/kdb"
+	"kerberos/internal/kdc"
+	"kerberos/internal/kprop"
+)
+
+// Re-exported core types. See the internal packages for full
+// documentation.
+type (
+	// Principal is a Kerberos name: name.instance@realm (§3).
+	Principal = core.Principal
+	// Lifetime is a ticket lifetime in 5-minute units.
+	Lifetime = core.Lifetime
+	// Addr is a client network address as carried in tickets.
+	Addr = core.Addr
+	// Key is a DES key.
+	Key = des.Key
+	// Client performs the user-side protocol (kinit, TGS exchanges,
+	// krb_mk_req).
+	Client = client.Client
+	// Credentials is one cached ticket plus session key.
+	Credentials = client.Credentials
+	// Service is the server side of application authentication
+	// (krb_rd_req).
+	Service = client.Service
+	// Srvtab is the server key file (/etc/srvtab, §6.3).
+	Srvtab = client.Srvtab
+	// Config is the client-side realm configuration (KDC addresses).
+	Config = client.Config
+	// ProtocolError is a protocol-level failure with its error code.
+	ProtocolError = core.ProtocolError
+)
+
+// Re-exported constructors and helpers.
+var (
+	// ParsePrincipal parses "name.instance@realm".
+	ParsePrincipal = core.ParsePrincipal
+	// TGSPrincipal names a ticket-granting service.
+	TGSPrincipal = core.TGSPrincipal
+	// StringToKey converts a password and salt to a DES key.
+	StringToKey = des.StringToKey
+	// PasswordKey converts a principal's password to its private key.
+	PasswordKey = client.PasswordKey
+	// NewRandomKey generates a fresh session/service key.
+	NewRandomKey = des.NewRandomKey
+	// NewSrvtab creates an empty server key file.
+	NewSrvtab = client.NewSrvtab
+	// NewClient creates a client for a principal.
+	NewClient = client.New
+	// NewService creates a server-side authentication context.
+	NewService = client.NewService
+	// NewCredCache creates an empty credential cache.
+	NewCredCache = client.NewCredCache
+	// UnmarshalCredCache parses a serialized ticket file.
+	UnmarshalCredCache = client.UnmarshalCredCache
+	// LoadCredCache reads a ticket file from disk.
+	LoadCredCache = client.LoadCredCache
+)
+
+// DefaultTGTLife is the 8-hour ticket-granting-ticket lifetime of §6.1.
+const DefaultTGTLife = core.DefaultTGTLife
+
+// RealmConfig configures an in-process realm.
+type RealmConfig struct {
+	// Name is the realm name, e.g. "ATHENA.MIT.EDU".
+	Name string
+	// MasterPassword derives the master database key.
+	MasterPassword string
+	// Clock substitutes the time source everywhere (tests/simulations).
+	Clock func() time.Time
+	// Logger receives server logs; nil discards them.
+	Logger *log.Logger
+	// Slaves is how many read-only slave KDCs to run beside the master
+	// (Figure 10). Each gets its own database copy and listener.
+	Slaves int
+}
+
+// Realm is a complete in-process Kerberos realm: the master database,
+// a master KDC listener, optional slave KDCs with propagation, and
+// (after ServeAdmin) a KDBM administration server.
+type Realm struct {
+	Name string
+	// DB is the master database.
+	DB *kdb.Database
+	// KDC is the master authentication server.
+	KDC *kdc.Server
+
+	cfg       RealmConfig
+	listener  *kdc.Listener
+	slaves    []*kdc.Listener
+	slaveDBs  []*kdb.Database
+	kpropd    []*kprop.Listener
+	kpropdS   []*kprop.Slave
+	adminL    *kadm.Listener
+	adminACL  *kadm.ACL
+	clockFunc func() time.Time
+}
+
+// NewRealm creates the realm: initializes the database with the
+// essential principals (the realm's TGS and the KDBM service, §6.3) and
+// starts the authentication server(s) on loopback.
+func NewRealm(cfg RealmConfig) (*Realm, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("kerberos: realm name required")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	r := &Realm{
+		Name:      cfg.Name,
+		DB:        kdb.New(des.StringToKey(cfg.MasterPassword, cfg.Name)),
+		cfg:       cfg,
+		clockFunc: clock,
+	}
+	now := clock()
+	tgsKey, err := des.NewRandomKey()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.DB.Add(core.TGSName, cfg.Name, tgsKey, 0, "kdb_init", now); err != nil {
+		return nil, err
+	}
+	cpKey, err := des.NewRandomKey()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.DB.Add(core.ChangePwName, core.ChangePwInstance, cpKey, 12, "kdb_init", now); err != nil {
+		return nil, err
+	}
+
+	opts := []kdc.Option{kdc.WithClock(clock)}
+	if cfg.Logger != nil {
+		opts = append(opts, kdc.WithLogger(cfg.Logger))
+	}
+	r.KDC = kdc.New(cfg.Name, r.DB, opts...)
+	r.listener, err = kdc.Serve(r.KDC, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Slaves; i++ {
+		if err := r.addSlave(opts); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	r.adminACL, _ = kadm.NewACL()
+	return r, nil
+}
+
+func (r *Realm) addSlave(opts []kdc.Option) error {
+	sdb := kdb.New(r.DB.MasterKey())
+	slave := kprop.NewSlave(sdb, r.cfg.Logger)
+	pl, err := kprop.Serve(slave, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	sl, err := kdc.Serve(kdc.New(r.Name, sdb, opts...), "127.0.0.1:0")
+	if err != nil {
+		pl.Close()
+		return err
+	}
+	r.slaveDBs = append(r.slaveDBs, sdb)
+	r.kpropd = append(r.kpropd, pl)
+	r.kpropdS = append(r.kpropdS, slave)
+	r.slaves = append(r.slaves, sl)
+	return nil
+}
+
+// KDCAddrs returns all KDC addresses, master first then slaves — the
+// order clients try them (§5.3 availability).
+func (r *Realm) KDCAddrs() []string {
+	addrs := []string{r.listener.Addr()}
+	for _, s := range r.slaves {
+		addrs = append(addrs, s.Addr())
+	}
+	return addrs
+}
+
+// MasterAddr returns the master KDC address.
+func (r *Realm) MasterAddr() string { return r.listener.Addr() }
+
+// SlaveAddrs returns only the slave KDC addresses.
+func (r *Realm) SlaveAddrs() []string {
+	addrs := make([]string, len(r.slaves))
+	for i, s := range r.slaves {
+		addrs[i] = s.Addr()
+	}
+	return addrs
+}
+
+// Propagate pushes the master database to every slave (Figure 13) —
+// what the hourly kprop cron job does.
+func (r *Realm) Propagate() error {
+	addrs := make([]string, len(r.kpropd))
+	for i, l := range r.kpropd {
+		addrs[i] = l.Addr()
+	}
+	return kprop.NewMaster(r.DB, addrs, r.cfg.Logger).PropagateAll()
+}
+
+// ClientConfig returns a client configuration pointing at this realm's
+// KDCs (and optionally other realms').
+func (r *Realm) ClientConfig(others ...*Realm) *Config {
+	cfg := &Config{
+		Realms:  map[string][]string{r.Name: r.KDCAddrs()},
+		Timeout: 2 * time.Second,
+	}
+	for _, o := range others {
+		cfg.Realms[o.Name] = o.KDCAddrs()
+	}
+	return cfg
+}
+
+// AddUser registers a user principal with a password.
+func (r *Realm) AddUser(username, password string) error {
+	p := core.Principal{Name: username, Realm: r.Name}
+	return r.DB.Add(username, "", client.PasswordKey(p, password), 0, "register", r.clockFunc())
+}
+
+// AddAdmin registers an admin-instance principal and places it on the
+// KDBM access control list (§5.1).
+func (r *Realm) AddAdmin(username, password string) error {
+	p := core.Principal{Name: username, Instance: core.AdminInstance, Realm: r.Name}
+	if err := r.DB.Add(username, core.AdminInstance,
+		client.PasswordKey(p, password), 0, "kdb_init", r.clockFunc()); err != nil {
+		return err
+	}
+	return r.adminACL.Add(p)
+}
+
+// AddService registers a service principal with a fresh random key
+// (§6.3: "assigned a private key, usually ... an automatically generated
+// random key") and returns a srvtab holding it, ready to install on the
+// server's machine.
+func (r *Realm) AddService(name, instance string) (*Srvtab, error) {
+	key, err := des.NewRandomKey()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.DB.Add(name, instance, key, 0, "kadmin", r.clockFunc()); err != nil {
+		return nil, err
+	}
+	tab := client.NewSrvtab()
+	tab.Set(core.Principal{Name: name, Instance: instance, Realm: r.Name}, 1, key)
+	return tab, nil
+}
+
+// NewLoggedInClient builds a client for a user, sets its workstation
+// address to loopback (matching what the KDC sees), and performs the
+// initial ticket exchange.
+func (r *Realm) NewLoggedInClient(username, password string, others ...*Realm) (*Client, error) {
+	c := client.New(core.Principal{Name: username, Realm: r.Name}, r.ClientConfig(others...))
+	c.Addr = core.Addr{127, 0, 0, 1}
+	c.Clock = r.cfg.Clock
+	if _, err := c.Login(password); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewServiceContext builds the server-side verifier for a service
+// registered with AddService.
+func (r *Realm) NewServiceContext(name, instance string, tab *Srvtab) *Service {
+	svc := client.NewService(core.Principal{Name: name, Instance: instance, Realm: r.Name}, tab)
+	svc.Clock = r.cfg.Clock
+	return svc
+}
+
+// ServeAdmin starts the KDBM administration server (Figure 11: master
+// machine only) and returns its address.
+func (r *Realm) ServeAdmin() (string, error) {
+	if r.adminL != nil {
+		return r.adminL.Addr(), nil
+	}
+	opts := []kadm.Option{}
+	if r.cfg.Clock != nil {
+		opts = append(opts, kadm.WithClock(r.cfg.Clock))
+	}
+	if r.cfg.Logger != nil {
+		opts = append(opts, kadm.WithLogger(r.cfg.Logger))
+	}
+	srv := kadm.NewServer(r.Name, r.DB, r.adminACL, opts...)
+	l, err := kadm.Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	r.adminL = l
+	return l.Addr(), nil
+}
+
+// TrustRealm establishes the §7.2 inter-realm relationship: both realms
+// record the same shared key, enabling cross-realm authentication in
+// both directions.
+func TrustRealm(a, b *Realm) error {
+	shared, err := des.NewRandomKey()
+	if err != nil {
+		return err
+	}
+	now := a.clockFunc()
+	if err := kdc.RegisterCrossRealm(a.DB, b.Name, shared, now); err != nil {
+		return err
+	}
+	return kdc.RegisterCrossRealm(b.DB, a.Name, shared, now)
+}
+
+// ChangePassword runs the kpasswd flow against this realm's KDBM server
+// (ServeAdmin must have been called).
+func (r *Realm) ChangePassword(username, oldPassword, newPassword string) error {
+	if r.adminL == nil {
+		return fmt.Errorf("kerberos: administration server not running")
+	}
+	c := client.New(core.Principal{Name: username, Realm: r.Name}, r.ClientConfig())
+	c.Addr = core.Addr{127, 0, 0, 1}
+	c.Clock = r.cfg.Clock
+	return kadm.ChangePassword(c, r.adminL.Addr(), oldPassword, newPassword)
+}
+
+// AdminAddr returns the KDBM address, empty if not serving.
+func (r *Realm) AdminAddr() string {
+	if r.adminL == nil {
+		return ""
+	}
+	return r.adminL.Addr()
+}
+
+// Close shuts down every listener.
+func (r *Realm) Close() error {
+	if r.listener != nil {
+		r.listener.Close()
+	}
+	for _, s := range r.slaves {
+		s.Close()
+	}
+	for _, p := range r.kpropd {
+		p.Close()
+	}
+	if r.adminL != nil {
+		r.adminL.Close()
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package kerberos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"kerberos/internal/core"
+)
+
+func testRealm(t testing.TB) *Realm {
+	t.Helper()
+	r, err := NewRealm(RealmConfig{Name: "ATHENA.MIT.EDU", MasterPassword: "master"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestFullProtocolFig9 is Figure 9 through the public API: login, TGT,
+// service ticket, application request, mutual authentication.
+func TestFullProtocolFig9(t *testing.T) {
+	realm := testRealm(t)
+	if err := realm.AddUser("jis", "zanzibar"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := realm.AddService("rlogin", "priam")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	user, err := realm.NewLoggedInClient("jis", "zanzibar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := Principal{Name: "rlogin", Instance: "priam", Realm: realm.Name}
+	cred, err := user.GetCredentials(service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.Service != service {
+		t.Errorf("credential service = %v", cred.Service)
+	}
+	apReq, session, err := user.MkReq(service, 42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := realm.NewServiceContext("rlogin", "priam", tab)
+	sess, err := server.ReadRequest(apReq, Addr{127, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Client.Name != "jis" || sess.Checksum != 42 {
+		t.Errorf("server saw %v cksum=%d", sess.Client, sess.Checksum)
+	}
+	if err := session.VerifyReply(sess.Reply); err != nil {
+		t.Errorf("mutual auth failed: %v", err)
+	}
+	// Session traffic both ways.
+	priv := sess.MkPriv([]byte("hello"))
+	if data, err := session.RdPriv(priv, Addr{}); err != nil || string(data) != "hello" {
+		t.Errorf("session priv: %q %v", data, err)
+	}
+}
+
+// TestRealmAdminFlow: ServeAdmin + kpasswd through the facade.
+func TestRealmAdminFlow(t *testing.T) {
+	realm := testRealm(t)
+	if err := realm.AddUser("jis", "zanzibar"); err != nil {
+		t.Fatal(err)
+	}
+	if err := realm.AddAdmin("jis", "admin-secret"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := realm.ServeAdmin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" || realm.AdminAddr() != addr {
+		t.Fatal("admin address wrong")
+	}
+	// Idempotent.
+	addr2, err := realm.ServeAdmin()
+	if err != nil || addr2 != addr {
+		t.Error("second ServeAdmin changed address")
+	}
+	if err := realm.ChangePassword("jis", "zanzibar", "new-pass"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := realm.NewLoggedInClient("jis", "zanzibar"); err == nil {
+		t.Error("old password survived")
+	}
+	if _, err := realm.NewLoggedInClient("jis", "new-pass"); err != nil {
+		t.Errorf("new password rejected: %v", err)
+	}
+}
+
+// TestRealmSlavesAndPropagation through the facade.
+func TestRealmSlavesAndPropagation(t *testing.T) {
+	realm, err := NewRealm(RealmConfig{
+		Name: "ATHENA.MIT.EDU", MasterPassword: "master", Slaves: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer realm.Close()
+	if err := realm.AddUser("jis", "zanzibar"); err != nil {
+		t.Fatal(err)
+	}
+	if len(realm.SlaveAddrs()) != 2 || len(realm.KDCAddrs()) != 3 {
+		t.Fatal("slave topology wrong")
+	}
+	// Before propagation a slave-only client fails; after, it works.
+	slaveCfg := &Config{Realms: map[string][]string{realm.Name: realm.SlaveAddrs()}, Timeout: 2 * time.Second}
+	c := NewClient(Principal{Name: "jis", Realm: realm.Name}, slaveCfg)
+	c.Addr = Addr{127, 0, 0, 1}
+	if _, err := c.Login("zanzibar"); err == nil {
+		t.Error("slave served a user before propagation")
+	}
+	if err := realm.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewClient(Principal{Name: "jis", Realm: realm.Name}, slaveCfg)
+	c2.Addr = Addr{127, 0, 0, 1}
+	if _, err := c2.Login("zanzibar"); err != nil {
+		t.Errorf("slave login after propagation: %v", err)
+	}
+}
+
+// TestTrustRealmFacade: §7.2 in three lines of API.
+func TestTrustRealmFacade(t *testing.T) {
+	a := testRealm(t)
+	b, err := NewRealm(RealmConfig{Name: "LCS.MIT.EDU", MasterPassword: "other"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := TrustRealm(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddUser("jis", "zanzibar"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := b.AddService("rlogin", "ai-lab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := a.NewLoggedInClient("jis", "zanzibar", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := Principal{Name: "rlogin", Instance: "ai-lab", Realm: b.Name}
+	apReq, _, err := user.MkReq(remote, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := b.NewServiceContext("rlogin", "ai-lab", tab)
+	sess, err := svc.ReadRequest(apReq, Addr{127, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Client.Realm != a.Name {
+		t.Errorf("client realm = %s, want original realm %s", sess.Client.Realm, a.Name)
+	}
+}
+
+// TestRealmValidation: basic misuse errors.
+func TestRealmValidation(t *testing.T) {
+	if _, err := NewRealm(RealmConfig{}); err == nil {
+		t.Error("empty realm name accepted")
+	}
+	realm := testRealm(t)
+	if err := realm.AddUser("jis", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := realm.AddUser("jis", "pw"); err == nil {
+		t.Error("duplicate user accepted")
+	}
+	if err := realm.ChangePassword("jis", "pw", "new"); err == nil ||
+		!strings.Contains(err.Error(), "not running") {
+		t.Errorf("ChangePassword without admin server = %v", err)
+	}
+	// Wrong password surfaces as a decryption failure, not a KDC error.
+	if _, err := realm.NewLoggedInClient("jis", "wrong"); err == nil {
+		t.Error("wrong password accepted")
+	}
+	var pe *ProtocolError
+	_, err := realm.NewLoggedInClient("ghost", "x")
+	if !errors.As(err, &pe) || pe.Code != core.ErrPrincipalUnknown {
+		t.Errorf("unknown user error = %v", err)
+	}
+}

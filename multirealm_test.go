@@ -1,0 +1,142 @@
+package kerberos
+
+// Three-realm topology tests for §7.2: trust is pairwise and
+// non-transitive — A↔B and B↔C do not give A→C.
+
+import (
+	"testing"
+)
+
+func threeRealms(t *testing.T) (a, b, c *Realm) {
+	t.Helper()
+	mk := func(name string) *Realm {
+		r, err := NewRealm(RealmConfig{Name: name, MasterPassword: "m-" + name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		return r
+	}
+	a = mk("ATHENA.MIT.EDU")
+	b = mk("LCS.MIT.EDU")
+	c = mk("WASHINGTON.EDU")
+	if err := TrustRealm(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := TrustRealm(b, c); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, c
+}
+
+// TestTrustIsNotTransitive: jis@A can reach services in B (direct key)
+// but not in C — the path-recording needed for chained trust is exactly
+// the future work §7.2 describes.
+func TestTrustIsNotTransitive(t *testing.T) {
+	a, b, c := threeRealms(t)
+	if err := a.AddUser("jis", "zanzibar"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddService("rlogin", "lcs-host"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddService("rlogin", "uw-host"); err != nil {
+		t.Fatal(err)
+	}
+	user, err := a.NewLoggedInClient("jis", "zanzibar", b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct neighbor: works.
+	if _, err := user.GetCredentials(Principal{Name: "rlogin", Instance: "lcs-host", Realm: b.Name}); err != nil {
+		t.Fatalf("A→B failed: %v", err)
+	}
+	// Two hops away: refused. A's KDC has no krbtgt.<C> entry, so the
+	// cross-realm TGT request itself fails.
+	if _, err := user.GetCredentials(Principal{Name: "rlogin", Instance: "uw-host", Realm: c.Name}); err == nil {
+		t.Fatal("A→C succeeded without a shared key")
+	}
+}
+
+// TestTrustIsBidirectional: one TrustRealm call enables both directions.
+func TestTrustIsBidirectional(t *testing.T) {
+	a, b, _ := threeRealms(t)
+	if err := b.AddUser("bcn", "seattle"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := a.AddService("rlogin", "athena-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A user of B uses a service of A.
+	user, err := b.NewLoggedInClient("bcn", "seattle", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := Principal{Name: "rlogin", Instance: "athena-host", Realm: a.Name}
+	apReq, _, err := user.MkReq(svc, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := a.NewServiceContext("rlogin", "athena-host", tab)
+	sess, err := server.ReadRequest(apReq, Addr{127, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Client.Realm != b.Name {
+		t.Errorf("client realm = %s, want %s", sess.Client.Realm, b.Name)
+	}
+}
+
+// TestForeignUserLocalPolicy: "Services in the remote realm can choose
+// whether to honor those credentials" — the authenticated realm is
+// exposed, so a service can apply its own policy.
+func TestForeignUserLocalPolicy(t *testing.T) {
+	a, b, _ := threeRealms(t)
+	if err := a.AddUser("jis", "zanzibar"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddUser("bcn", "seattle"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := b.AddService("nfs", "lcs-fs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := b.NewServiceContext("nfs", "lcs-fs", tab)
+	svc := Principal{Name: "nfs", Instance: "lcs-fs", Realm: b.Name}
+
+	// A local-only policy: honor credentials only from the home realm.
+	localOnly := func(client Principal) bool { return client.Realm == b.Name }
+
+	foreign, err := a.NewLoggedInClient("jis", "zanzibar", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apReq, _, err := foreign.MkReq(svc, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := server.ReadRequest(apReq, Addr{127, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err) // authentication itself succeeds...
+	}
+	if localOnly(sess.Client) {
+		t.Error("policy should flag the foreign realm") // ...authorization is the service's call
+	}
+	local, err := b.NewLoggedInClient("bcn", "seattle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apReq2, _, err := local.MkReq(svc, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := server.ReadRequest(apReq2, Addr{127, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !localOnly(sess2.Client) {
+		t.Error("local client flagged as foreign")
+	}
+}

@@ -1,0 +1,170 @@
+package kerberos
+
+// Threat-model tests for the §8 discussion: what a thief can and cannot
+// do with stolen credentials, and how lifetime bounds the damage.
+
+import (
+	"testing"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/testclock"
+)
+
+// TestStolenTicketFileOtherHost: a ticket file copied off a workstation
+// is useless from any other address — tickets are bound to the
+// workstation's IP (§4.1).
+func TestStolenTicketFileOtherHost(t *testing.T) {
+	clk := testclock.New(time.Date(1988, 2, 9, 12, 0, 0, 0, time.UTC))
+	clock := clk.Now
+	realm, err := NewRealm(RealmConfig{Name: "ATHENA.MIT.EDU", MasterPassword: "m", Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer realm.Close()
+	if err := realm.AddUser("jis", "zanzibar"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := realm.AddService("rlogin", "priam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := realm.NewLoggedInClient("jis", "zanzibar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := Principal{Name: "rlogin", Instance: "priam", Realm: realm.Name}
+	if _, err := victim.GetCredentials(svc); err != nil {
+		t.Fatal(err)
+	}
+
+	// The thief copies the ticket file to their own machine.
+	stolen, err := UnmarshalCredCache(victim.Cache.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	thief := NewClient(victim.Principal, realm.ClientConfig())
+	thief.Cache = stolen
+	thief.Addr = Addr{10, 66, 66, 66} // the thief's real address
+	thief.Clock = clock
+
+	server := realm.NewServiceContext("rlogin", "priam", tab)
+	msg, _, err := thief.MkReq(svc, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The service sees the request arriving from the thief's address,
+	// which doesn't match the address sealed in the ticket.
+	if _, err := server.ReadRequest(msg, thief.Addr); err == nil {
+		t.Fatal("stolen ticket honored from another host")
+	}
+	// Even a thief who also forges the victim's address in their own
+	// authenticator fails: the transport address betrays them.
+	thief2 := NewClient(victim.Principal, realm.ClientConfig())
+	thief2.Cache = stolen
+	thief2.Addr = Addr{127, 0, 0, 1} // forged to match the ticket
+	thief2.Clock = clock
+	clk.Advance(2 * time.Second)
+	msg2, _, err := thief2.MkReq(svc, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.ReadRequest(msg2, Addr{10, 66, 66, 66}); err == nil {
+		t.Fatal("address-forged authenticator honored from the wrong transport address")
+	}
+}
+
+// TestStolenTicketSameHostWindow: §8's residual risk — on the same
+// (public) workstation, a stolen ticket works until it expires; after
+// expiry it is dead everywhere. This is exactly the tradeoff the
+// lifetime policy manages.
+func TestStolenTicketSameHostWindow(t *testing.T) {
+	clk := testclock.New(time.Date(1988, 2, 9, 12, 0, 0, 0, time.UTC))
+	clock := clk.Now
+	realm, err := NewRealm(RealmConfig{Name: "ATHENA.MIT.EDU", MasterPassword: "m", Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer realm.Close()
+	if err := realm.AddUser("jis", "zanzibar"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := realm.AddService("rlogin", "priam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := realm.NewLoggedInClient("jis", "zanzibar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := Principal{Name: "rlogin", Instance: "priam", Realm: realm.Name}
+	if _, err := victim.GetCredentials(svc); err != nil {
+		t.Fatal(err)
+	}
+	stolen, err := UnmarshalCredCache(victim.Cache.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thief := NewClient(victim.Principal, realm.ClientConfig())
+	thief.Cache = stolen
+	thief.Addr = Addr{127, 0, 0, 1} // same public workstation
+	thief.Clock = clock
+	server := realm.NewServiceContext("rlogin", "priam", tab)
+
+	// Within the lifetime: the theft works (the paper's §8 worry).
+	clk.Advance(time.Hour)
+	msg, _, err := thief.MkReq(svc, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.ReadRequest(msg, thief.Addr); err != nil {
+		t.Fatalf("within lifetime, same host: expected the known exposure, got %v", err)
+	}
+	// After expiry: dead. The thief cannot refresh anything without the
+	// password.
+	clk.Advance(9 * time.Hour)
+	if _, _, err := thief.MkReq(svc, 0, false); err == nil {
+		t.Fatal("expired stolen cache still produced requests")
+	}
+	if _, err := thief.GetCredentials(svc); err == nil {
+		t.Fatal("thief refreshed credentials without the password")
+	}
+}
+
+// TestPasswordNeverOnWire: sniffing every KDC exchange of a login must
+// reveal neither the password nor the password-derived key.
+func TestPasswordNeverOnWire(t *testing.T) {
+	// The AS request is the only thing the client sends, and it is built
+	// before the password is even used; check its contents directly.
+	req := (&core.AuthRequest{
+		Client:  core.Principal{Name: "jis", Realm: "ATHENA.MIT.EDU"},
+		Service: core.TGSPrincipal("ATHENA.MIT.EDU", "ATHENA.MIT.EDU"),
+		Life:    core.DefaultTGTLife,
+		Time:    core.TimeFromGo(time.Now()),
+	}).Encode()
+	password := "zanzibar"
+	key := PasswordKey(core.Principal{Name: "jis", Realm: "ATHENA.MIT.EDU"}, password)
+	if containsBytes(req, []byte(password)) || containsBytes(req, key[:]) {
+		t.Fatal("AS request leaks password material")
+	}
+}
+
+func containsBytes(haystack, needle []byte) bool {
+	if len(needle) == 0 || len(haystack) < len(needle) {
+		return false
+	}
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		match := true
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
