@@ -1,0 +1,24 @@
+# Development targets. The repo is pure Go with no dependencies; every
+# target is a thin wrapper so CI and humans run the same commands.
+
+.PHONY: build test race vet bench verify
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+# Full verification: tier-1 (build + tests) plus vet and the race suite.
+verify:
+	sh scripts/verify.sh
+
+# KDC hot-path benchmarks; writes BENCH_kdc.json.
+bench:
+	sh scripts/bench.sh

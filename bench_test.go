@@ -187,6 +187,65 @@ func BenchmarkFig8ServerTicket(b *testing.B) {
 	}
 }
 
+// BenchmarkKDCParallelAS hammers the KDC's AS path from all cores at
+// once — the §9 morning-login storm concentrated on one machine. Only
+// the server side runs, so the number reported is pure KDC capacity;
+// the request bytes are shared because Handle never retains or mutates
+// its input.
+func BenchmarkKDCParallelAS(b *testing.B) {
+	env := newBenchEnv(b)
+	req := (&core.AuthRequest{
+		Client:  core.Principal{Name: "jis", Realm: benchRealm},
+		Service: core.TGSPrincipal(benchRealm, benchRealm),
+		Life:    core.DefaultTGTLife,
+		Time:    core.TimeFromGo(time.Now()),
+	}).Encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			raw := env.realm.KDC.Handle(req, core.Addr(loopback))
+			if err := core.IfErrorMessage(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkKDCParallelTGS drives concurrent TGS exchanges through one
+// KDC. Every iteration presents a fresh authenticator (distinct
+// checksum), so all of them pass — and stress — the sharded replay
+// cache rather than short-circuiting on a duplicate.
+func BenchmarkKDCParallelTGS(b *testing.B) {
+	env := newBenchEnv(b)
+	tgt, ok := env.user.Cache.Get(core.TGSPrincipal(benchRealm, benchRealm), time.Now())
+	if !ok {
+		b.Fatal("no TGT")
+	}
+	userP := core.Principal{Name: "jis", Realm: benchRealm}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			auth := core.NewAuthenticator(userP, core.Addr(loopback), time.Now(), env.seq.Add(1))
+			req := &core.TGSRequest{
+				APReq: core.APRequest{
+					TicketRealm:   benchRealm,
+					Ticket:        tgt.Ticket,
+					Authenticator: auth.Seal(tgt.SessionKey),
+				},
+				Service: core.Principal{Name: "rlogin", Instance: "priam", Realm: benchRealm},
+				Life:    core.MaxLife,
+				Time:    core.TimeFromGo(time.Now()),
+			}
+			raw := env.realm.KDC.Handle(req.Encode(), core.Addr(loopback))
+			if err := core.IfErrorMessage(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFig6RequestService measures the application request (Figure
 // 6): krb_mk_req with cached credentials plus the server's krb_rd_req.
 func BenchmarkFig6RequestService(b *testing.B) {

@@ -131,7 +131,8 @@ func (c *Client) LoginService(password string, service core.Principal, life core
 	}
 	key := PasswordKey(c.Principal, password)
 	enc, err := rep.Open(key)
-	key = des.Key{} // erase
+	des.ForgetKey(key) // drop the cached schedule along with the key itself
+	key = des.Key{}    // erase
 	_ = key
 	if err != nil {
 		return nil, fmt.Errorf("client: cannot decrypt KDC reply (incorrect password?): %w", err)

@@ -38,6 +38,7 @@ func NewAuthenticator(client Principal, addr Addr, now time.Time, cksum uint32) 
 
 func (a *Authenticator) encode() []byte {
 	var w writer
+	w.grow(sizePrincipal(a.Client) + 16)
 	w.principal(a.Client)
 	w.u32(a.Checksum)
 	w.addr(a.Addr)

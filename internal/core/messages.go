@@ -28,6 +28,7 @@ type AuthRequest struct {
 // Encode renders the request.
 func (m *AuthRequest) Encode() []byte {
 	var w writer
+	w.grow(2 + sizePrincipal(m.Client) + sizePrincipal(m.Service) + 5)
 	w.header(MsgAuthRequest)
 	w.principal(m.Client)
 	w.principal(m.Service)
@@ -71,6 +72,7 @@ type EncTicketReply struct {
 
 func (m *EncTicketReply) encode() []byte {
 	var w writer
+	w.grow(len(m.SessionKey) + sizePrincipal(m.Server) + 10 + sizeBytes(len(m.Ticket)))
 	w.raw(m.SessionKey[:])
 	w.principal(m.Server)
 	w.u8(uint8(m.Life))
@@ -114,6 +116,7 @@ func NewAuthReply(client Principal, kvno uint8, key des.Key, enc *EncTicketReply
 // Encode renders the reply.
 func (m *AuthReply) Encode() []byte {
 	var w writer
+	w.grow(2 + sizePrincipal(m.Client) + 1 + sizeBytes(len(m.Sealed)))
 	w.header(MsgAuthReply)
 	w.principal(m.Client)
 	w.u8(m.KVNO)
@@ -162,6 +165,8 @@ type APRequest struct {
 // Encode renders the request.
 func (m *APRequest) Encode() []byte {
 	var w writer
+	w.grow(3 + sizeBytes(len(m.TicketRealm)) + sizeBytes(len(m.Ticket)) +
+		sizeBytes(len(m.Authenticator)) + 1)
 	w.header(MsgAPRequest)
 	w.u8(m.KVNO)
 	w.str(m.TicketRealm)
@@ -219,6 +224,7 @@ func NewAPReply(sessionKey des.Key, auth *Authenticator) *APReply {
 // Encode renders the reply.
 func (m *APReply) Encode() []byte {
 	var w writer
+	w.grow(2 + sizeBytes(len(m.Sealed)))
 	w.header(MsgAPReply)
 	w.bytes(m.Sealed)
 	return w.buf
@@ -273,6 +279,8 @@ type TGSRequest struct {
 // Encode renders the request.
 func (m *TGSRequest) Encode() []byte {
 	var w writer
+	w.grow(3 + sizeBytes(len(m.APReq.TicketRealm)) + sizeBytes(len(m.APReq.Ticket)) +
+		sizeBytes(len(m.APReq.Authenticator)) + sizePrincipal(m.Service) + 5)
 	w.header(MsgTGSRequest)
 	w.u8(m.APReq.KVNO)
 	w.str(m.APReq.TicketRealm)

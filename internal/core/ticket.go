@@ -28,6 +28,7 @@ type Ticket struct {
 // encode renders the ticket's cleartext structure.
 func (t *Ticket) encode() []byte {
 	var w writer
+	w.grow(sizePrincipal(t.Server) + sizePrincipal(t.Client) + 9 + len(t.SessionKey))
 	w.principal(t.Server)
 	w.principal(t.Client)
 	w.addr(t.Addr)

@@ -68,6 +68,32 @@ const MaxStringLen = 1 << 20
 // writer accumulates an encoded message.
 type writer struct{ buf []byte }
 
+// grow pre-sizes the buffer so the appends that follow never reallocate;
+// an encoder that announces its size up front costs one allocation.
+func (w *writer) grow(n int) {
+	if cap(w.buf)-len(w.buf) < n {
+		w.buf = append(make([]byte, 0, len(w.buf)+n), w.buf...)
+	}
+}
+
+// sizeUvarint is the encoded length of n's uvarint prefix.
+func sizeUvarint(n int) int {
+	size := 1
+	for n >= 0x80 {
+		n >>= 7
+		size++
+	}
+	return size
+}
+
+// sizeBytes is the on-wire size of an n-byte length-prefixed string.
+func sizeBytes(n int) int { return sizeUvarint(n) + n }
+
+// sizePrincipal is the on-wire size of a principal's three components.
+func sizePrincipal(p Principal) int {
+	return sizeBytes(len(p.Name)) + sizeBytes(len(p.Instance)) + sizeBytes(len(p.Realm))
+}
+
 func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
 func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
 func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
@@ -78,7 +104,10 @@ func (w *writer) bytes(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
-func (w *writer) str(s string) { w.bytes([]byte(s)) }
+func (w *writer) str(s string) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
 
 func (w *writer) principal(p Principal) {
 	w.str(p.Name)

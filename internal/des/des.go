@@ -33,18 +33,26 @@ var ErrKeySize = errors.New("des: key must be 8 bytes")
 // of the block size.
 var ErrInput = errors.New("des: input not a multiple of the block size")
 
-// Cipher is an expanded DES key: the 16 48-bit round subkeys. It is safe
-// for concurrent use after creation.
+// Cipher is an expanded DES key: the 16 48-bit round subkeys, plus the
+// key itself so sealed-message operations (which use the key as IV and
+// checksum seed) need only the Cipher. It is safe for concurrent use
+// after creation and never mutated, so one Cipher may be shared freely —
+// see SchedCache for reusing expansions of long-lived keys.
 type Cipher struct {
 	subkeys [16]uint64
+	key     Key
 }
 
 // NewCipher expands key into a Cipher.
 func NewCipher(key Key) *Cipher {
 	c := new(Cipher)
+	c.key = key
 	c.expandKey(key)
 	return c
 }
+
+// Key returns the key this Cipher was expanded from.
+func (c *Cipher) Key() Key { return c.key }
 
 // NewCipherBytes expands an 8-byte key slice into a Cipher.
 func NewCipherBytes(key []byte) (*Cipher, error) {

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // This file covers the paper's key-handling needs: "Each Kerberos principal
@@ -80,13 +81,47 @@ func fixWeak(k Key) Key {
 	return k
 }
 
+// randBuf batches CSPRNG reads: one operating-system read refills 64
+// keys' worth of bits, so a KDC issuing a session key per ticket (§4.2)
+// does not pay a system call per issue. Buffers live in a sync.Pool, so
+// concurrent issuers draw from distinct buffers without contending.
+type randBuf struct {
+	b   [64 * KeySize]byte
+	off int
+}
+
+var randPool = sync.Pool{
+	// A fresh buffer starts exhausted so first use fills it.
+	New: func() any { return &randBuf{off: 64 * KeySize} },
+}
+
+// randKeyBytes fills k with CSPRNG bytes from a pooled buffer. Handed-out
+// bytes are wiped from the buffer so a pooled buffer never retains key
+// material.
+func randKeyBytes(k *Key) error {
+	rb := randPool.Get().(*randBuf)
+	if rb.off+KeySize > len(rb.b) {
+		if _, err := rand.Read(rb.b[:]); err != nil {
+			randPool.Put(rb)
+			return err
+		}
+		rb.off = 0
+	}
+	copy(k[:], rb.b[rb.off:rb.off+KeySize])
+	clear(rb.b[rb.off : rb.off+KeySize])
+	rb.off += KeySize
+	randPool.Put(rb)
+	return nil
+}
+
 // NewRandomKey generates a fresh session key: random bits from the
-// operating system, odd parity, never weak. The authentication server
-// calls this for every ticket it issues (§4.2).
+// operating system (batched through a pooled buffer), odd parity, never
+// weak. The authentication server calls this for every ticket it issues
+// (§4.2).
 func NewRandomKey() (Key, error) {
 	var k Key
 	for {
-		if _, err := rand.Read(k[:]); err != nil {
+		if err := randKeyBytes(&k); err != nil {
 			return Key{}, fmt.Errorf("des: generating session key: %w", err)
 		}
 		k = fixWeak(FixParity(k))
@@ -160,8 +195,26 @@ func (c *Cipher) cbcChecksum(data, iv []byte) uint64 {
 }
 
 // CBCChecksum computes the DES-CBC message authentication code of data
-// under key, using the key as IV (the Kerberos convention). data need not
-// be block-aligned; it is zero-padded.
+// under the cipher's key, using the key as IV (the Kerberos convention).
+// data need not be block-aligned; a short final block is zero-extended in
+// place, without allocating a padded copy.
+func (c *Cipher) CBCChecksum(data []byte) uint64 {
+	prev := binary.BigEndian.Uint64(c.key[:])
+	n := len(data) / BlockSize * BlockSize
+	for i := 0; i < n; i += BlockSize {
+		p := binary.BigEndian.Uint64(data[i:])
+		prev = c.crypt(p^prev, false)
+	}
+	if n < len(data) {
+		var last [BlockSize]byte
+		copy(last[:], data[n:])
+		prev = c.crypt(binary.BigEndian.Uint64(last[:])^prev, false)
+	}
+	return prev
+}
+
+// CBCChecksum computes the DES-CBC message authentication code of data
+// under key, reusing key's cached schedule.
 func CBCChecksum(key Key, data []byte) uint64 {
-	return NewCipher(key).cbcChecksum(Pad(data), key[:])
+	return sched.For(key).CBCChecksum(data)
 }

@@ -1,0 +1,103 @@
+package des
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Key-schedule caching. Expanding a DES key into its 16 round subkeys
+// costs more than encrypting several blocks, and the KDC re-uses a small
+// set of long-lived keys (the master key, the TGS key, service keys, and
+// each client's private key during a login storm) for every ticket it
+// issues. A SchedCache remembers expansions so each key is expanded once.
+//
+// The cache is bounded: ephemeral session keys flow through the package
+// Seal/Unseal helpers too, and without a cap they would accumulate
+// forever. When the cap is exceeded an arbitrary fraction of entries is
+// evicted — exact LRU is not worth a lock on the hit path.
+
+// DefaultSchedCap is the capacity of the package-level schedule cache:
+// generously above the working set of a busy realm (master + TGS +
+// service keys + recently active client keys) but small enough that dead
+// session keys are recycled quickly.
+const DefaultSchedCap = 4096
+
+// SchedCache is a concurrency-safe cache of expanded key schedules.
+// Hits are lock-free reads; only misses and eviction take the fill lock.
+type SchedCache struct {
+	m     sync.Map // Key -> *Cipher
+	count atomic.Int64
+	max   int64
+	fill  sync.Mutex // serializes eviction scans
+}
+
+// NewSchedCache creates a cache holding at most max expanded schedules.
+func NewSchedCache(max int) *SchedCache {
+	if max < 1 {
+		max = 1
+	}
+	return &SchedCache{max: int64(max)}
+}
+
+// For returns the expanded schedule for key, expanding and caching it on
+// first use. Concurrent callers for the same key converge on one Cipher.
+func (s *SchedCache) For(key Key) *Cipher {
+	if c, ok := s.m.Load(key); ok {
+		return c.(*Cipher)
+	}
+	c := NewCipher(key)
+	actual, loaded := s.m.LoadOrStore(key, c)
+	if loaded {
+		return actual.(*Cipher)
+	}
+	if s.count.Add(1) > s.max {
+		s.evict()
+	}
+	return c
+}
+
+// Forget drops the cached schedule for key, if any — for keys that must
+// not outlive their use (a client's password-derived key, §4.2's "the
+// user's password and DES key are erased from memory") and for key
+// changes.
+func (s *SchedCache) Forget(key Key) {
+	if _, ok := s.m.LoadAndDelete(key); ok {
+		s.count.Add(-1)
+	}
+}
+
+// Len reports the number of cached schedules (approximate under
+// concurrent use).
+func (s *SchedCache) Len() int { return int(s.count.Load()) }
+
+// evict removes an arbitrary quarter of the cache. Amortized over the
+// insertions that refilled it, the scan is O(1) per miss.
+func (s *SchedCache) evict() {
+	s.fill.Lock()
+	defer s.fill.Unlock()
+	target := s.max - s.max/4
+	if s.count.Load() <= target {
+		return // another goroutine already evicted
+	}
+	s.m.Range(func(k, _ any) bool {
+		if _, ok := s.m.LoadAndDelete(k); ok {
+			if s.count.Add(-1) <= target {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// sched is the package-level cache used by the Seal, Unseal, and
+// CBCChecksum convenience functions.
+var sched = NewSchedCache(DefaultSchedCap)
+
+// CipherFor returns a cached expanded schedule for key from the
+// package-level cache.
+func CipherFor(key Key) *Cipher { return sched.For(key) }
+
+// ForgetKey drops key's schedule from the package-level cache. Callers
+// that erase a sensitive key from memory should also call ForgetKey so
+// the expanded schedule does not survive the erasure.
+func ForgetKey(key Key) { sched.Forget(key) }

@@ -1,0 +1,115 @@
+package des
+
+import (
+	"sync"
+	"testing"
+)
+
+func schedKey(i int) Key {
+	return FixParity(Key{byte(i), byte(i >> 8), byte(i >> 16), 1, 2, 3, 4, 5})
+}
+
+func TestSchedCacheReturnsWorkingCipher(t *testing.T) {
+	s := NewSchedCache(16)
+	key := schedKey(1)
+	c := s.For(key)
+	sealed := c.Seal([]byte("ticket"))
+	plain, err := c.Unseal(sealed)
+	if err != nil || string(plain) != "ticket" {
+		t.Fatalf("cached cipher broken: %q, %v", plain, err)
+	}
+	// The same key must converge on the same expansion.
+	if s.For(key) != c {
+		t.Error("second For(key) returned a different Cipher")
+	}
+}
+
+func TestSchedCacheForget(t *testing.T) {
+	s := NewSchedCache(16)
+	key := schedKey(2)
+	c := s.For(key)
+	s.Forget(key)
+	if s.Len() != 0 {
+		t.Errorf("len = %d after Forget, want 0", s.Len())
+	}
+	if s.For(key) == c {
+		t.Error("Forget did not drop the cached schedule")
+	}
+	// Forgetting an absent key must not corrupt the count.
+	s.Forget(schedKey(99))
+	if s.Len() != 1 {
+		t.Errorf("len = %d, want 1", s.Len())
+	}
+}
+
+func TestSchedCacheEviction(t *testing.T) {
+	const cap = 32
+	s := NewSchedCache(cap)
+	for i := 0; i < 10*cap; i++ {
+		s.For(schedKey(i))
+	}
+	if n := s.Len(); n > cap {
+		t.Errorf("cache holds %d schedules, cap is %d", n, cap)
+	}
+	// Evicted keys are re-expanded transparently.
+	c := s.For(schedKey(0))
+	if _, err := c.Unseal(c.Seal([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedCacheConcurrent storms the cache from many goroutines with a
+// key space larger than the cap, so hits, misses, evictions, and
+// Forgets all race. Run under -race this is the cache's safety proof.
+func TestSchedCacheConcurrent(t *testing.T) {
+	s := NewSchedCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := schedKey(i % 100)
+				c := s.For(key)
+				if c == nil || c.Key() != key {
+					t.Error("For returned wrong cipher")
+					return
+				}
+				if i%17 == 0 {
+					s.Forget(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Len(); n < 0 || n > 64 {
+		t.Errorf("len = %d after storm, want 0..64", n)
+	}
+}
+
+// TestSchedCacheHitAllocs guards the hot path: a cache hit must not
+// allocate (the whole point of caching the expansion).
+func TestSchedCacheHitAllocs(t *testing.T) {
+	s := NewSchedCache(16)
+	key := schedKey(3)
+	s.For(key)
+	allocs := testing.AllocsPerRun(100, func() {
+		if s.For(key) == nil {
+			t.Fatal("miss")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSchedCacheHit(b *testing.B) {
+	s := NewSchedCache(16)
+	key := schedKey(4)
+	s.For(key)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.For(key)
+	}
+}

@@ -14,6 +14,11 @@ import (
 // PCBC propagates any ciphertext corruption through the remainder of the
 // message (§2.2), and the checksum in the header detects it, so a sealed
 // message that unseals cleanly is both confidential and intact.
+//
+// The Cipher methods are the workhorses: they perform exactly one
+// allocation (the output buffer) and reuse the cipher's expanded key
+// schedule. The package-level Seal/Unseal functions route through the
+// shared schedule cache so repeated use of the same key expands it once.
 
 // ErrIntegrity reports a sealed message that failed its checksum or
 // structure checks after decryption — corruption, truncation, or a wrong
@@ -22,29 +27,33 @@ var ErrIntegrity = errors.New("des: sealed message integrity check failed")
 
 const sealHeaderLen = 8
 
-// Seal encrypts plaintext under key and returns the sealed ciphertext.
-func Seal(key Key, plaintext []byte) []byte {
-	buf := make([]byte, sealHeaderLen+len(plaintext))
+// SealedLen returns the sealed size of an n-byte plaintext: header plus
+// payload, rounded up to whole blocks.
+func SealedLen(n int) int {
+	return (sealHeaderLen + n + BlockSize - 1) / BlockSize * BlockSize
+}
+
+// Seal encrypts plaintext under the cipher's key and returns the sealed
+// ciphertext in a fresh buffer (the only allocation it performs).
+func (c *Cipher) Seal(plaintext []byte) []byte {
+	buf := make([]byte, SealedLen(len(plaintext)))
 	binary.BigEndian.PutUint32(buf[0:4], uint32(len(plaintext)))
-	binary.BigEndian.PutUint32(buf[4:8], QuadChecksum(key, plaintext))
+	binary.BigEndian.PutUint32(buf[4:8], QuadChecksum(c.key, plaintext))
 	copy(buf[sealHeaderLen:], plaintext)
-	padded := Pad(buf)
-	c := NewCipher(key)
-	// Error is impossible: padded is block-aligned and iv is 8 bytes.
-	_ = c.EncryptPCBC(padded, padded, key[:])
-	return padded
+	// Error is impossible: buf is block-aligned and the IV is 8 bytes.
+	_ = c.EncryptPCBC(buf, buf, c.key[:])
+	return buf
 }
 
 // Unseal decrypts a sealed ciphertext and verifies its integrity,
 // returning the original plaintext. A wrong key, truncated input, or any
 // tampering yields ErrIntegrity.
-func Unseal(key Key, ciphertext []byte) ([]byte, error) {
+func (c *Cipher) Unseal(ciphertext []byte) ([]byte, error) {
 	if len(ciphertext) < sealHeaderLen || len(ciphertext)%BlockSize != 0 {
 		return nil, ErrIntegrity
 	}
 	buf := make([]byte, len(ciphertext))
-	c := NewCipher(key)
-	if err := c.DecryptPCBC(buf, ciphertext, key[:]); err != nil {
+	if err := c.DecryptPCBC(buf, ciphertext, c.key[:]); err != nil {
 		return nil, ErrIntegrity
 	}
 	n := binary.BigEndian.Uint32(buf[0:4])
@@ -52,7 +61,7 @@ func Unseal(key Key, ciphertext []byte) ([]byte, error) {
 		return nil, ErrIntegrity
 	}
 	plaintext := buf[sealHeaderLen : sealHeaderLen+int(n)]
-	if QuadChecksum(key, plaintext) != binary.BigEndian.Uint32(buf[4:8]) {
+	if QuadChecksum(c.key, plaintext) != binary.BigEndian.Uint32(buf[4:8]) {
 		return nil, ErrIntegrity
 	}
 	// Padding must be zeros; reject other trailing bytes.
@@ -62,4 +71,16 @@ func Unseal(key Key, ciphertext []byte) ([]byte, error) {
 		}
 	}
 	return plaintext, nil
+}
+
+// Seal encrypts plaintext under key and returns the sealed ciphertext,
+// reusing key's cached schedule.
+func Seal(key Key, plaintext []byte) []byte {
+	return sched.For(key).Seal(plaintext)
+}
+
+// Unseal decrypts a sealed ciphertext under key and verifies its
+// integrity, reusing key's cached schedule.
+func Unseal(key Key, ciphertext []byte) ([]byte, error) {
+	return sched.For(key).Unseal(ciphertext)
 }

@@ -94,3 +94,47 @@ func TestSealDistinctPlaintexts(t *testing.T) {
 		t.Error("distinct plaintexts sealed identically")
 	}
 }
+
+// TestSealAllocs guards the single-allocation seal path: the only
+// allocation is the output buffer (the header is written in place and
+// encryption happens in place).
+func TestSealAllocs(t *testing.T) {
+	key := randomKeyT(t)
+	c := NewCipher(key)
+	msg := make([]byte, 100)
+	allocs := testing.AllocsPerRun(100, func() {
+		if len(c.Seal(msg)) == 0 {
+			t.Fatal("empty")
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("Cipher.Seal allocates %.1f objects/op, want <= 1", allocs)
+	}
+	// The package-level helper adds no allocation once the schedule is
+	// cached.
+	Seal(key, msg) // warm the cache
+	allocs = testing.AllocsPerRun(100, func() {
+		if len(Seal(key, msg)) == 0 {
+			t.Fatal("empty")
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("Seal allocates %.1f objects/op, want <= 1", allocs)
+	}
+}
+
+// TestUnsealAllocs guards the unseal path: one allocation for the
+// decryption buffer; the plaintext is a view into it.
+func TestUnsealAllocs(t *testing.T) {
+	key := randomKeyT(t)
+	c := NewCipher(key)
+	sealed := c.Seal(make([]byte, 100))
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.Unseal(sealed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("Cipher.Unseal allocates %.1f objects/op, want <= 1", allocs)
+	}
+}

@@ -123,6 +123,10 @@ func (db *Database) LoadDump(dump []byte) error {
 		return err
 	}
 	db.store.ReplaceAll(entries)
+	// The new contents may carry different keys for existing principals
+	// (a dump from a rebuilt master can reuse KVNOs), so drop every
+	// cached decrypted key rather than trust KVNO validation alone.
+	db.invalidateAllKeys()
 	return nil
 }
 

@@ -58,6 +58,9 @@ func (fs *FileStore) persist() error {
 // Fetch implements Store.
 func (fs *FileStore) Fetch(id string) (*Entry, bool) { return fs.mem.Fetch(id) }
 
+// FetchShared implements Store.
+func (fs *FileStore) FetchShared(id string) (*Entry, bool) { return fs.mem.FetchShared(id) }
+
 // Put implements Store, persisting before returning. A persistence
 // failure panics: continuing with a diverged file would silently violate
 // the single-definitive-copy rule of §5.

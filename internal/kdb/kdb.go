@@ -73,6 +73,11 @@ func (e *Entry) clone() *Entry {
 type Store interface {
 	// Fetch returns the entry for the key, or false.
 	Fetch(id string) (*Entry, bool)
+	// FetchShared returns the stored entry without copying it. The
+	// caller must treat the result as read-only: stored entries are
+	// immutable (mutation replaces the whole entry), so sharing is safe
+	// and the KDC's per-request lookups avoid a clone.
+	FetchShared(id string) (*Entry, bool)
 	// Put inserts or replaces an entry.
 	Put(e *Entry)
 	// Delete removes an entry; deleting a missing entry is a no-op.
@@ -106,6 +111,16 @@ func (s *MemStore) Fetch(id string) (*Entry, bool) {
 		return nil, false
 	}
 	return e.clone(), true
+}
+
+// FetchShared implements Store. Entries in the map are never mutated in
+// place (Put stores a fresh clone), so handing out the pointer is safe
+// as long as the caller does not write through it.
+func (s *MemStore) FetchShared(id string) (*Entry, bool) {
+	s.mu.RLock()
+	e, ok := s.m[id]
+	s.mu.RUnlock()
+	return e, ok
 }
 
 // Put implements Store.
@@ -172,12 +187,39 @@ var (
 // Database wraps a Store with the master database key and the read-only
 // discipline of §5: "there is always only one definitive copy of the
 // Kerberos database ... Other machines may possess read-only copies."
+//
+// Because every private key in the store is sealed in the master key,
+// naive operation pays a master-key DES decryption on every ticket
+// issued. The Database therefore keeps a cache of decrypted keys,
+// validated by key version number: a cached key is only served while the
+// entry's KVNO matches the KVNO it was decrypted under, so password
+// changes and srvtab rotations (which bump the KVNO) take effect
+// immediately.
 type Database struct {
-	store     Store
-	masterKey des.Key
+	store        Store
+	masterKey    des.Key
+	masterCipher *des.Cipher // master key expanded once
+
+	keyMu    sync.RWMutex
+	keyCache map[cacheID]cachedKey
 
 	mu       sync.RWMutex
 	readOnly bool
+}
+
+// cacheID keys the decrypted-key cache. A struct of the entry's name
+// components (rather than the rendered "name.instance" ID) so a cache
+// lookup allocates nothing.
+type cacheID struct {
+	name, instance string
+}
+
+// cachedKey is one decrypted private key plus the KVNO it was decrypted
+// under and its expanded schedule.
+type cachedKey struct {
+	kvno   uint8
+	key    des.Key
+	cipher *des.Cipher
 }
 
 // New creates a database over a fresh MemStore.
@@ -187,7 +229,12 @@ func New(masterKey des.Key) *Database {
 
 // NewWithStore creates a database over a caller-provided Store.
 func NewWithStore(masterKey des.Key, store Store) *Database {
-	return &Database{store: store, masterKey: masterKey}
+	return &Database{
+		store:        store,
+		masterKey:    masterKey,
+		masterCipher: des.NewCipher(masterKey),
+		keyCache:     make(map[cacheID]cachedKey),
+	}
 }
 
 // SetReadOnly marks the database as a slave copy; all mutation fails
@@ -234,17 +281,21 @@ func (db *Database) Add(name, instance string, key des.Key, maxLife core.Lifetim
 	db.store.Put(&Entry{
 		Name:       name,
 		Instance:   instance,
-		EncKey:     des.Seal(db.masterKey, key[:]),
+		EncKey:     db.masterCipher.Seal(key[:]),
 		KVNO:       1,
 		Expiration: now.Add(DefaultExpiration),
 		MaxLife:    maxLife,
 		ModTime:    now,
 		ModBy:      modBy,
 	})
+	// A re-registered principal restarts at KVNO 1; a stale cached key
+	// from a previous life must not match it.
+	db.invalidateKey(name, instance)
 	return nil
 }
 
-// Get fetches a principal's entry.
+// Get fetches a principal's entry as a private copy the caller may
+// mutate.
 func (db *Database) Get(name, instance string) (*Entry, error) {
 	e, ok := db.store.Fetch(ID(name, instance))
 	if !ok {
@@ -253,15 +304,72 @@ func (db *Database) Get(name, instance string) (*Entry, error) {
 	return e, nil
 }
 
-// Key decrypts an entry's private key with the master key.
+// GetRO fetches a principal's entry without copying it. The caller must
+// treat the entry as read-only. This is the KDC's per-request lookup
+// path: no clone, no allocation.
+func (db *Database) GetRO(name, instance string) (*Entry, error) {
+	e, ok := db.store.FetchShared(ID(name, instance))
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
+	}
+	return e, nil
+}
+
+// Key returns an entry's decrypted private key, from the cache when the
+// entry's KVNO matches, otherwise by a master-key decryption (the result
+// is cached for next time).
 func (db *Database) Key(e *Entry) (des.Key, error) {
-	plain, err := des.Unseal(db.masterKey, e.EncKey)
+	ck, err := db.cachedKey(e)
+	if err != nil {
+		return des.Key{}, err
+	}
+	return ck.key, nil
+}
+
+// KeyCipher returns the expanded schedule of an entry's decrypted
+// private key, cached alongside the key itself.
+func (db *Database) KeyCipher(e *Entry) (*des.Cipher, error) {
+	ck, err := db.cachedKey(e)
+	if err != nil {
+		return nil, err
+	}
+	return ck.cipher, nil
+}
+
+func (db *Database) cachedKey(e *Entry) (cachedKey, error) {
+	id := cacheID{e.Name, e.Instance}
+	db.keyMu.RLock()
+	ck, ok := db.keyCache[id]
+	db.keyMu.RUnlock()
+	if ok && ck.kvno == e.KVNO {
+		return ck, nil
+	}
+	plain, err := db.masterCipher.Unseal(e.EncKey)
 	if err != nil || len(plain) != des.KeySize {
-		return des.Key{}, ErrMasterKey
+		return cachedKey{}, ErrMasterKey
 	}
 	var k des.Key
 	copy(k[:], plain)
-	return k, nil
+	ck = cachedKey{kvno: e.KVNO, key: k, cipher: des.NewCipher(k)}
+	db.keyMu.Lock()
+	db.keyCache[id] = ck
+	db.keyMu.Unlock()
+	return ck, nil
+}
+
+// invalidateKey drops a principal's cached decrypted key.
+func (db *Database) invalidateKey(name, instance string) {
+	db.keyMu.Lock()
+	delete(db.keyCache, cacheID{name, instance})
+	db.keyMu.Unlock()
+}
+
+// invalidateAllKeys empties the decrypted-key cache (bulk content
+// replacement: propagation, file reload).
+func (db *Database) invalidateAllKeys() {
+	db.keyMu.Lock()
+	clear(db.keyCache)
+	db.keyMu.Unlock()
 }
 
 // SetKey changes a principal's private key (password change or srvtab
@@ -274,11 +382,12 @@ func (db *Database) SetKey(name, instance string, key des.Key, modBy string, now
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
 	}
-	e.EncKey = des.Seal(db.masterKey, key[:])
+	e.EncKey = db.masterCipher.Seal(key[:])
 	e.KVNO++
 	e.ModTime = now
 	e.ModBy = modBy
 	db.store.Put(e)
+	db.invalidateKey(name, instance)
 	return nil
 }
 
@@ -309,6 +418,7 @@ func (db *Database) Delete(name, instance string) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
 	}
 	db.store.Delete(ID(name, instance))
+	db.invalidateKey(name, instance)
 	return nil
 }
 

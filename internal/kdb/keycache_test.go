@@ -1,0 +1,210 @@
+package kdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+)
+
+// TestKeyCacheHit verifies repeated Key calls for the same entry skip the
+// master-key decryption and agree, and that the cache-hit path does not
+// allocate — this is the per-ticket lookup on the KDC hot path.
+func TestKeyCacheHit(t *testing.T) {
+	db := newTestDB(t)
+	key := des.StringToKey("zanzibar", "ATHENA.MIT.EDUjis")
+	if err := db.Add("jis", "", key, core.DefaultTGTLife, "test", t0); err != nil {
+		t.Fatal(err)
+	}
+	e, err := db.Get("jis", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Key(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != key {
+		t.Fatal("first Key() wrong")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		k, err := db.Key(e)
+		if err != nil || k != key {
+			t.Fatal("cached Key() wrong")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached Key() allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestKeyCipherCached verifies KeyCipher returns a ready-to-use cipher
+// and the same expansion on repeat calls.
+func TestKeyCipherCached(t *testing.T) {
+	db := newTestDB(t)
+	key := des.StringToKey("zanzibar", "ATHENA.MIT.EDUjis")
+	if err := db.Add("jis", "", key, core.DefaultTGTLife, "test", t0); err != nil {
+		t.Fatal(err)
+	}
+	e, err := db.Get("jis", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := db.KeyCipher(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Key() != key {
+		t.Error("cipher key differs from principal key")
+	}
+	c2, err := db.KeyCipher(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("repeat KeyCipher expanded the schedule again")
+	}
+}
+
+// TestKeyCacheInvalidatedOnKVNOChange is the correctness condition for
+// caching decrypted keys at all: after SetKey bumps the KVNO, Key must
+// return the NEW key, never the cached old one.
+func TestKeyCacheInvalidatedOnKVNOChange(t *testing.T) {
+	db := newTestDB(t)
+	oldKey := des.StringToKey("zanzibar", "ATHENA.MIT.EDUjis")
+	if err := db.Add("jis", "", oldKey, core.DefaultTGTLife, "test", t0); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := db.Get("jis", "")
+	if k, _ := db.Key(e); k != oldKey {
+		t.Fatal("warm-up lookup wrong")
+	}
+	newKey := des.StringToKey("new-password", "ATHENA.MIT.EDUjis")
+	if err := db.SetKey("jis", "", newKey, "kpasswd", t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := db.Get("jis", "")
+	if e2.KVNO != e.KVNO+1 {
+		t.Fatalf("KVNO = %d, want %d", e2.KVNO, e.KVNO+1)
+	}
+	got, err := db.Key(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == oldKey {
+		t.Fatal("stale cached key returned after password change")
+	}
+	if got != newKey {
+		t.Fatal("wrong key after password change")
+	}
+	// A caller still holding the OLD entry must not be served the new
+	// key: the cache is keyed by KVNO.
+	if k, err := db.Key(e); err == nil && k == newKey {
+		t.Error("old-KVNO entry served the new key")
+	}
+}
+
+// TestKeyCacheInvalidatedOnReAdd covers the delete/re-register path: the
+// fresh principal restarts at KVNO 1, which a stale cache entry for the
+// old KVNO-1 key would shadow.
+func TestKeyCacheInvalidatedOnReAdd(t *testing.T) {
+	db := newTestDB(t)
+	oldKey := des.StringToKey("first", "Xjis")
+	db.Add("jis", "", oldKey, core.DefaultTGTLife, "test", t0)
+	e, _ := db.Get("jis", "")
+	db.Key(e) // warm the cache at KVNO 1
+	if err := db.Delete("jis", ""); err != nil {
+		t.Fatal(err)
+	}
+	newKey := des.StringToKey("second", "Xjis")
+	if err := db.Add("jis", "", newKey, core.DefaultTGTLife, "test", t0); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := db.Get("jis", "")
+	got, err := db.Key(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != newKey {
+		t.Error("re-registered principal served the pre-delete cached key")
+	}
+}
+
+// TestGetROSharesEntry verifies the read-only fetch used by the KDC:
+// same data as Get, no clone.
+func TestGetROSharesEntry(t *testing.T) {
+	db := newTestDB(t)
+	key := des.StringToKey("zanzibar", "ATHENA.MIT.EDUjis")
+	db.Add("jis", "", key, core.DefaultTGTLife, "test", t0)
+	a, err := db.GetRO("jis", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := db.GetRO("jis", "")
+	if a != b {
+		t.Error("GetRO cloned the entry")
+	}
+	cl, _ := db.Get("jis", "")
+	if cl == a {
+		t.Error("Get returned the shared entry (callers may mutate it)")
+	}
+	if cl.Name != a.Name || cl.KVNO != a.KVNO || string(cl.EncKey) != string(a.EncKey) {
+		t.Error("GetRO and Get disagree")
+	}
+}
+
+// TestKeyCacheConcurrent races lookups against password changes; run
+// under -race this is the cache's safety proof, and every observed key
+// must be one the principal actually had at that KVNO.
+func TestKeyCacheConcurrent(t *testing.T) {
+	db := newTestDB(t)
+	keys := make([]des.Key, 9)
+	for i := range keys {
+		keys[i] = des.StringToKey(fmt.Sprintf("pw-%d", i), "Xjis")
+	}
+	if err := db.Add("jis", "", keys[0], core.DefaultTGTLife, "test", t0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e, err := db.GetRO("jis", "")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				k, err := db.Key(e)
+				if err != nil {
+					continue // raced with SetKey; entry superseded
+				}
+				if int(e.KVNO) < 1 || int(e.KVNO) > len(keys) {
+					t.Errorf("impossible KVNO %d", e.KVNO)
+					return
+				}
+				if k != keys[e.KVNO-1] {
+					t.Errorf("KVNO %d served wrong key", e.KVNO)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i < len(keys); i++ {
+		if err := db.SetKey("jis", "", keys[i], "kpasswd", t0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

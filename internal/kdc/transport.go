@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -17,6 +18,13 @@ import (
 // primary listener is UDP (the historical kerberos port was 750/udp);
 // a TCP listener with length-prefixed framing serves large messages and
 // clients behind stream-only paths. Both feed Server.Handle.
+//
+// The UDP socket is drained by several reader goroutines, each owning a
+// reusable packet buffer — requests are handled and answered without a
+// per-packet allocation or copy (Server.Handle never retains its input).
+// TCP connections are capped by a semaphore and every read carries a
+// deadline, so a stalled or hostile client can neither pin a goroutine
+// forever nor exhaust the server's slot budget.
 
 // MaxUDPMessage bounds a datagram request/reply.
 const MaxUDPMessage = 8192
@@ -24,12 +32,36 @@ const MaxUDPMessage = 8192
 // maxTCPMessage bounds a framed stream message.
 const maxTCPMessage = 1 << 20
 
+// Tunables, variables so tests can tighten them. Read once at Serve.
+var (
+	// maxTCPConns caps concurrently served TCP connections.
+	maxTCPConns = 256
+	// tcpReadTimeout bounds one framed read; an idle or stalled client
+	// is disconnected and its slot freed.
+	tcpReadTimeout = 30 * time.Second
+)
+
+// udpReaderCount picks how many goroutines drain the UDP socket.
+func udpReaderCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Listener runs a Server on real sockets.
 type Listener struct {
 	server *Server
 
 	udp *net.UDPConn
 	tcp net.Listener
+
+	tcpSem      chan struct{} // counting semaphore: live TCP conns
+	readTimeout time.Duration
 
 	wg     sync.WaitGroup
 	ctx    context.Context
@@ -62,9 +94,20 @@ func Serve(server *Server, addr string) (*Listener, error) {
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	l := &Listener{server: server, udp: udp, tcp: tcp, ctx: ctx, cancel: cancel}
-	l.wg.Add(2)
-	go l.serveUDP()
+	l := &Listener{
+		server:      server,
+		udp:         udp,
+		tcp:         tcp,
+		tcpSem:      make(chan struct{}, maxTCPConns),
+		readTimeout: tcpReadTimeout,
+		ctx:         ctx,
+		cancel:      cancel,
+	}
+	readers := udpReaderCount()
+	l.wg.Add(readers + 1)
+	for i := 0; i < readers; i++ {
+		go l.serveUDP()
+	}
 	go l.serveTCP()
 	return l, nil
 }
@@ -81,6 +124,11 @@ func (l *Listener) Close() error {
 	return nil
 }
 
+// serveUDP is one UDP reader. Several run concurrently over the shared
+// socket; the kernel hands each datagram to exactly one of them. The
+// request buffer is reused across packets: Server.Handle fully decodes
+// the message (copying what it keeps) before returning, so the next
+// read may overwrite it.
 func (l *Listener) serveUDP() {
 	defer l.wg.Done()
 	buf := make([]byte, MaxUDPMessage)
@@ -92,20 +140,29 @@ func (l *Listener) serveUDP() {
 			}
 			continue
 		}
-		msg := make([]byte, n)
-		copy(msg, buf[:n])
-		reply := l.server.Handle(msg, addrOf(from.IP))
+		reply := l.server.Handle(buf[:n], addrOf(from.IP))
 		if len(reply) <= MaxUDPMessage {
 			l.udp.WriteToUDP(reply, from)
 		}
 	}
 }
 
+// serveTCP accepts connections, each occupying one semaphore slot for
+// its lifetime. When all slots are busy, accepting pauses — pending
+// connections queue in the kernel backlog instead of spawning unbounded
+// goroutines. Slots are freed when a connection closes or stalls past
+// the read deadline.
 func (l *Listener) serveTCP() {
 	defer l.wg.Done()
 	for {
+		select {
+		case l.tcpSem <- struct{}{}:
+		case <-l.ctx.Done():
+			return
+		}
 		conn, err := l.tcp.Accept()
 		if err != nil {
+			<-l.tcpSem
 			if l.ctx.Err() != nil {
 				return
 			}
@@ -114,10 +171,11 @@ func (l *Listener) serveTCP() {
 		l.wg.Add(1)
 		go func() {
 			defer l.wg.Done()
+			defer func() { <-l.tcpSem }()
 			defer conn.Close()
 			from := addrOfConn(conn)
 			for {
-				conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+				conn.SetReadDeadline(time.Now().Add(l.readTimeout))
 				msg, err := ReadFrame(conn)
 				if err != nil {
 					return

@@ -3,6 +3,13 @@
 // time stamps that are still valid. In order to further foil replay
 // attacks, a request received with the same ticket and time stamp as one
 // already received can be discarded."
+//
+// The cache is sharded: each authenticator hashes to one of shardCount
+// independently locked shards, so concurrent requests only contend when
+// they land on the same shard. Expiry is incremental — each check retires
+// at most a few expired entries from its own shard's FIFO queue — so no
+// request ever waits behind a full-map sweep, and a busy shard never
+// blocks an unrelated one.
 package replay
 
 import (
@@ -12,32 +19,133 @@ import (
 	"kerberos/internal/core"
 )
 
-// entry identifies one seen authenticator. Timestamps outside the clock
-// skew window are rejected before they reach the cache, so entries only
-// need to live for the skew window.
-type entry struct {
-	client   string
+// shardCount is the number of independently locked shards. A power of
+// two well above typical core counts keeps collision odds low.
+const shardCount = 16
+
+// sweepBatch bounds how many expired entries one check may retire, so
+// expiry cost is amortized across requests instead of spiking on one.
+const sweepBatch = 8
+
+// key identifies one seen authenticator. The client's name components
+// are stored directly (not rendered to a string) so building a key
+// allocates nothing. Timestamps outside the clock skew window are
+// rejected before they reach the cache, so entries only need to live for
+// the skew window.
+type key struct {
+	name     string
+	instance string
+	realm    string
 	time     core.KerberosTime
 	microSec uint32
 	checksum uint32
 }
 
+// expiring is one FIFO-queue element: a key and when it may be
+// forgotten. Expiry times are assigned from a monotonic clock at insert,
+// so the queue is ordered and the oldest entry is always at the front.
+type expiring struct {
+	k      key
+	expiry time.Time
+}
+
+// shard is one lock domain: the seen map plus the FIFO expiry queue.
+type shard struct {
+	mu    sync.Mutex
+	seen  map[key]time.Time // value: when the entry may be forgotten
+	queue []expiring        // insertion-ordered expiry schedule
+	head  int               // index of the oldest queue element
+}
+
 // Cache remembers recently seen authenticators. It is safe for
 // concurrent use. The zero value is not usable; call New.
 type Cache struct {
-	mu      sync.Mutex
-	seen    map[entry]time.Time // value: when the entry may be forgotten
-	sweepAt time.Time
-	window  time.Duration
+	window time.Duration
+	shards [shardCount]shard
 }
 
 // New creates a cache holding authenticators for the full replay window
 // (twice the clock skew: an authenticator can be at most ClockSkew old or
 // ClockSkew in the future when first accepted).
 func New() *Cache {
-	return &Cache{
-		seen:   make(map[entry]time.Time),
-		window: 2 * core.ClockSkew,
+	c := &Cache{window: 2 * core.ClockSkew}
+	for i := range c.shards {
+		c.shards[i].seen = make(map[key]time.Time)
+	}
+	return c
+}
+
+// keyOf builds the lookup key for an authenticator without allocating.
+func keyOf(auth *core.Authenticator) key {
+	return key{
+		name:     auth.Client.Name,
+		instance: auth.Client.Instance,
+		realm:    auth.Client.Realm,
+		time:     auth.Time,
+		microSec: auth.MicroSec,
+		checksum: auth.Checksum,
+	}
+}
+
+// fnvString folds s into an FNV-1a hash without converting to []byte.
+func fnvString(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// fnvUint32 folds v into an FNV-1a hash byte by byte (whole-word
+// folding cancels when correlated fields are XORed in sequence).
+func fnvUint32(h, v uint32) uint32 {
+	h = (h ^ (v & 0xff)) * 16777619
+	h = (h ^ (v >> 8 & 0xff)) * 16777619
+	h = (h ^ (v >> 16 & 0xff)) * 16777619
+	h = (h ^ (v >> 24)) * 16777619
+	return h
+}
+
+// shardIndex hashes a key to its shard. A final avalanche step spreads
+// entropy into the low bits the modulo keeps.
+func shardIndex(k *key) int {
+	h := uint32(2166136261)
+	h = fnvString(h, k.name)
+	h = fnvString(h, k.instance)
+	h = fnvString(h, k.realm)
+	h = fnvUint32(h, uint32(k.time))
+	h = fnvUint32(h, k.microSec)
+	h = fnvUint32(h, k.checksum)
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	return int(h % shardCount)
+}
+
+// sweep retires up to sweepBatch expired entries from the front of the
+// shard's queue. Called with the shard locked. Because re-presentation
+// after expiry re-inserts a key with a later deadline (and a new queue
+// element), a queue element only deletes its key when the map still
+// holds the deadline it was queued with.
+func (s *shard) sweep(now time.Time) {
+	for n := 0; n < sweepBatch && s.head < len(s.queue); n++ {
+		e := &s.queue[s.head]
+		if now.Before(e.expiry) {
+			break
+		}
+		if deadline, ok := s.seen[e.k]; ok && !now.Before(deadline) && deadline.Equal(e.expiry) {
+			delete(s.seen, e.k)
+		}
+		*e = expiring{} // release the key's strings
+		s.head++
+	}
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	} else if s.head > 1024 && s.head > len(s.queue)/2 {
+		// Compact the consumed front so the queue does not grow without
+		// bound across windows.
+		s.queue = append(s.queue[:0], s.queue[s.head:]...)
+		s.head = 0
 	}
 }
 
@@ -45,36 +153,30 @@ func New() *Cache {
 // presented before within the replay window. The first presentation
 // returns false; any identical presentation afterwards returns true.
 func (c *Cache) Seen(auth *core.Authenticator, now time.Time) bool {
-	e := entry{
-		client:   auth.Client.String(),
-		time:     auth.Time,
-		microSec: auth.MicroSec,
-		checksum: auth.Checksum,
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.sweepAt.IsZero() {
-		c.sweepAt = now.Add(c.window)
-	}
-	if now.After(c.sweepAt) {
-		for k, expiry := range c.seen {
-			if now.After(expiry) {
-				delete(c.seen, k)
-			}
-		}
-		c.sweepAt = now.Add(c.window)
-	}
-	if expiry, dup := c.seen[e]; dup && now.Before(expiry) {
+	k := keyOf(auth)
+	s := &c.shards[shardIndex(&k)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweep(now)
+	if deadline, dup := s.seen[k]; dup && now.Before(deadline) {
 		return true
 	}
-	c.seen[e] = now.Add(c.window)
+	deadline := now.Add(c.window)
+	s.seen[k] = deadline
+	s.queue = append(s.queue, expiring{k: k, expiry: deadline})
 	return false
 }
 
 // Len reports the number of remembered authenticators (for tests and
-// monitoring).
+// monitoring). Expired entries not yet retired by incremental sweeps are
+// counted.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.seen)
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.seen)
+		s.mu.Unlock()
+	}
+	return total
 }

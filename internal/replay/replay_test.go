@@ -1,7 +1,9 @@
 package replay
 
 import (
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -83,10 +85,143 @@ func TestSweepEviction(t *testing.T) {
 	if c.Len() != 100 {
 		t.Fatalf("len = %d", c.Len())
 	}
-	// Trigger a sweep well past everyone's expiry.
-	c.Seen(auth("bcn", t0.Add(time.Hour), 0), t0.Add(time.Hour))
-	if c.Len() > 2 {
-		t.Errorf("sweep left %d entries", c.Len())
+	// Sweeping is incremental and per shard: each check retires a
+	// bounded batch of expired entries from its own shard. Enough
+	// fresh traffic spread across the shards drains all 100.
+	later := t0.Add(time.Hour)
+	for i := 0; i < 200; i++ {
+		c.Seen(auth("bcn", later.Add(time.Duration(i)*time.Second), 0), later)
+	}
+	if got := c.Len(); got > 200 {
+		t.Errorf("incremental sweeps left %d entries, want <= 200 (expired not drained)", got)
+	}
+}
+
+// TestSweepIsBounded verifies the expiry work one request performs is
+// amortized: a single check retires at most sweepBatch entries, never
+// the whole map — the full-map sweep used to run inline under a global
+// lock while a request waited.
+func TestSweepIsBounded(t *testing.T) {
+	c := New()
+	// Pile many entries into one shard: same client, same second,
+	// varying checksum picked to land on the shard of a probe key.
+	probe := auth("jis", t0.Add(time.Hour), 0)
+	pk := keyOf(probe)
+	target := shardIndex(&pk)
+	planted := 0
+	for i := uint32(0); planted < 100; i++ {
+		a := auth("jis", t0, i)
+		k := keyOf(a)
+		if shardIndex(&k) == target {
+			c.Seen(a, t0)
+			planted++
+		}
+	}
+	s := &c.shards[target]
+	s.mu.Lock()
+	before := len(s.seen)
+	s.mu.Unlock()
+	if before != 100 {
+		t.Fatalf("planted %d entries in shard, want 100", before)
+	}
+	// One check after everything expired retires at most sweepBatch.
+	c.Seen(probe, t0.Add(time.Hour))
+	s.mu.Lock()
+	after := len(s.seen)
+	s.mu.Unlock()
+	if retired := before - (after - 1); retired > sweepBatch {
+		t.Errorf("one check retired %d entries, want <= %d", retired, sweepBatch)
+	}
+	if after >= before+1 {
+		t.Errorf("check retired nothing: %d entries before, %d after", before, after)
+	}
+}
+
+// TestSweepDoesNotBlockOtherShards pins one shard's lock (standing in
+// for a slow sweep or a stuck request) and verifies a request for a
+// different shard completes anyway.
+func TestSweepDoesNotBlockOtherShards(t *testing.T) {
+	c := New()
+	a := auth("jis", t0, 0)
+	ka := keyOf(a)
+	// Find an authenticator living in a different shard.
+	var b *core.Authenticator
+	for i := uint32(1); ; i++ {
+		cand := auth("bcn", t0, i)
+		kc := keyOf(cand)
+		if shardIndex(&kc) != shardIndex(&ka) {
+			b = cand
+			break
+		}
+	}
+	s := &c.shards[shardIndex(&ka)]
+	s.mu.Lock() // hold a's shard hostage
+	done := make(chan bool, 1)
+	go func() {
+		done <- c.Seen(b, t0)
+	}()
+	select {
+	case dup := <-done:
+		if dup {
+			t.Error("fresh authenticator flagged as replay")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request on unrelated shard blocked by a locked shard")
+	}
+	s.mu.Unlock()
+}
+
+// TestShardSpread sanity-checks the hash: distinct authenticators must
+// not all collapse into one shard.
+func TestShardSpread(t *testing.T) {
+	used := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		a := auth("jis", t0.Add(time.Duration(i)*time.Second), uint32(i))
+		k := keyOf(a)
+		used[shardIndex(&k)] = true
+	}
+	if len(used) < shardCount/2 {
+		t.Errorf("256 distinct authenticators hit only %d/%d shards", len(used), shardCount)
+	}
+}
+
+// TestSeenReplayCheckAllocs guards the zero-allocation replay check: a
+// duplicate presentation (pure lookup, the common server hot path after
+// an attack or a retransmit) must not allocate — the old implementation
+// rendered the client principal to a fresh string on every check.
+func TestSeenReplayCheckAllocs(t *testing.T) {
+	c := New()
+	a := auth("jis", t0, 7)
+	c.Seen(a, t0)
+	allocs := testing.AllocsPerRun(100, func() {
+		if !c.Seen(a, t0) {
+			t.Fatal("replay not detected")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("duplicate check allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestQueueCompaction exercises the ring-compaction path: many windows
+// of traffic through one cache must not grow the queue without bound.
+func TestQueueCompaction(t *testing.T) {
+	c := New()
+	now := t0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 200; i++ {
+			c.Seen(auth("jis", now.Add(time.Duration(i)*time.Millisecond), uint32(round)), now)
+		}
+		now = now.Add(2*core.ClockSkew + time.Minute)
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		qlen, slen := len(s.queue), len(s.seen)
+		s.mu.Unlock()
+		if qlen > 4*slen+1024 {
+			t.Errorf("shard %d queue grew to %d for %d live entries", i, qlen, slen)
+		}
 	}
 }
 
@@ -131,4 +266,31 @@ func BenchmarkReplayCache(b *testing.B) {
 			b.Fatal("false replay")
 		}
 	}
+}
+
+// BenchmarkReplayContention hammers the cache from all cores at once —
+// the §9 login-storm shape. With a single global lock this serialized
+// every authenticated request in the KDC; sharding lets checks on
+// distinct authenticators proceed in parallel.
+func BenchmarkReplayContention(b *testing.B) {
+	c := New()
+	base := time.Date(1988, 2, 9, 12, 0, 0, 0, time.UTC)
+	var id atomic.Uint32
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		// Distinct client per goroutine, distinct checksum per op:
+		// every presentation is fresh.
+		client := core.Principal{
+			Name:  "user" + strconv.Itoa(int(id.Add(1))),
+			Realm: "ATHENA.MIT.EDU",
+		}
+		i := uint32(0)
+		for pb.Next() {
+			i++
+			a := core.NewAuthenticator(client, core.Addr{18, 72, 0, 3}, base, i)
+			if c.Seen(a, base) {
+				b.Fatal("false replay")
+			}
+		}
+	})
 }

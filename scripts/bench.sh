@@ -1,0 +1,52 @@
+#!/bin/sh
+# Run the KDC hot-path benchmarks and record the results as
+# BENCH_kdc.json (ns/op, B/op, allocs/op per benchmark).
+#
+#   sh scripts/bench.sh [count]
+#
+# count defaults to 5 runs per benchmark; the JSON records the fastest
+# run of each (least-noise estimator for a quiet machine).
+set -e
+
+COUNT="${1:-5}"
+OUT="BENCH_kdc.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench 'Fig5|Fig8|S9|KDCParallel|ReplayContention' (count=$COUNT)"
+go test -run '^$' -benchmem -count="$COUNT" \
+    -bench 'Fig5InitialTicket|Fig8ServerTicket|S9AthenaScale|KDCParallelAS|KDCParallelTGS' \
+    . | tee "$RAW"
+go test -run '^$' -benchmem -count="$COUNT" \
+    -bench 'ReplayContention' ./internal/replay/ | tee -a "$RAW"
+
+# Fold the raw `go test` benchmark lines into JSON, keeping the minimum
+# ns/op observed per benchmark (with its paired B/op and allocs/op).
+awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i - 1)
+        if ($(i) == "B/op")      bytes = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+        best[name] = ns; b[name] = bytes; a[name] = allocs
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+}
+END {
+    printf "{\n" > out
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s}%s\n", \
+            name, best[name], b[name], a[name], (i < n ? "," : "") >> out
+    }
+    printf "}\n" >> out
+}' "$RAW"
+
+echo "== wrote $OUT"
+cat "$OUT"

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 verification plus static and race checks.
+#
+#   sh scripts/verify.sh         # build, vet, tests, race tests
+#   sh scripts/verify.sh quick   # tier-1 only (build + tests)
+#
+# Run from the repository root.
+set -e
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+if [ "${1:-}" = "quick" ]; then
+    echo "verify: tier-1 OK"
+    exit 0
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
