@@ -1,7 +1,7 @@
 # Development targets. The repo is pure Go with no dependencies; every
 # target is a thin wrapper so CI and humans run the same commands.
 
-.PHONY: build test race vet bench verify
+.PHONY: build test race vet bench verify ci
 
 build:
 	go build ./...
@@ -18,6 +18,11 @@ vet:
 # Full verification: tier-1 (build + tests) plus vet and the race suite.
 verify:
 	sh scripts/verify.sh
+
+# What CI runs (.github/workflows/ci.yml): static checks, then the full
+# suite under the race detector. The fault-injection soaks honor
+# `go test -short`, so a fast local pass is `go test -short ./...`.
+ci: vet build race
 
 # KDC hot-path benchmarks; writes BENCH_kdc.json.
 bench:

@@ -27,12 +27,14 @@ func tktFile() string {
 
 func main() {
 	var (
-		realm  = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
-		kdcs   = flag.String("kdc", "127.0.0.1:7500", "comma-separated KDC addresses (master first)")
-		user   = flag.String("user", "", "principal (name or name.instance)")
-		life   = flag.Duration("life", 8*time.Hour, "requested ticket lifetime")
-		file   = flag.String("tktfile", tktFile(), "ticket file")
-		wsAddr = flag.String("addr", "127.0.0.1", "this workstation's address")
+		realm   = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
+		kdcs    = flag.String("kdc", "127.0.0.1:7500", "comma-separated KDC addresses (master first)")
+		user    = flag.String("user", "", "principal (name or name.instance)")
+		life    = flag.Duration("life", 8*time.Hour, "requested ticket lifetime")
+		file    = flag.String("tktfile", tktFile(), "ticket file")
+		wsAddr  = flag.String("addr", "127.0.0.1", "this workstation's address")
+		timeout = flag.Duration("timeout", 3*time.Second,
+			"total budget for the KDC exchange, covering UDP retransmissions and failover to slave KDCs")
 	)
 	flag.Parse()
 	if *user == "" {
@@ -52,7 +54,7 @@ func main() {
 
 	c := client.New(p, &client.Config{
 		Realms:  map[string][]string{p.Realm: strings.Split(*kdcs, ",")},
-		Timeout: 3 * time.Second,
+		Timeout: *timeout,
 	})
 	c.Addr = core.AddrFromString(*wsAddr)
 	cred, err := c.LoginService(password,

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -260,9 +261,47 @@ func (r *tktReader) bytesN(n int) []byte {
 	return b
 }
 
-// Save writes the ticket file with owner-only permissions.
+// Save writes the ticket file with owner-only permissions. The write is
+// crash-safe: bytes go to a temporary file in the same directory, which
+// is fsynced and then renamed over path — a crash mid-write leaves
+// either the old complete file or the new one, never a torn hybrid
+// that UnmarshalCredCache would reject at the next login. The marshal
+// buffer holds live session keys, so it is zeroed before returning.
 func (cc *CredCache) Save(path string) error {
-	if err := os.WriteFile(path, cc.Marshal(), 0o600); err != nil {
+	data := cc.Marshal()
+	defer func() {
+		for i := range data {
+			data[i] = 0
+		}
+	}()
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("client: writing ticket file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op once the rename lands
+	// CreateTemp already opens 0600; restate it in case the process
+	// umask story ever changes.
+	if err := tmp.Chmod(0o600); err != nil {
+		tmp.Close()
+		return fmt.Errorf("client: writing ticket file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("client: writing ticket file: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("client: syncing ticket file: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("client: writing ticket file: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("client: writing ticket file: %w", err)
 	}
 	return nil

@@ -234,3 +234,93 @@ func TestCredCacheMarshalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSaveAtomicReplace: Save must replace an existing ticket file in
+// one step and leave no temporary droppings behind — a crash mid-save
+// may lose the new cache but never corrupt the old one.
+func TestSaveAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tkt0")
+
+	cc1 := NewCredCache(core.Principal{Name: "jis", Realm: testRealm})
+	cc1.Store(sampleCred("rlogin", 95))
+	if err := cc1.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	cc2 := NewCredCache(core.Principal{Name: "jis", Realm: testRealm})
+	cc2.Store(sampleCred("rlogin", 95))
+	cc2.Store(sampleCred("pop", 12))
+	if err := cc2.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadCredCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("reloaded cache has %d creds, want the replacement's 2", got.Len())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "tkt0" {
+			t.Errorf("save left %q behind", e.Name())
+		}
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Errorf("replaced ticket file mode = %v, want 0600", info.Mode().Perm())
+	}
+}
+
+// TestSaveToMissingDirFails: a failed save surfaces an error and leaves
+// no partial files anywhere.
+func TestSaveToMissingDirFails(t *testing.T) {
+	dir := t.TempDir()
+	cc := NewCredCache(core.Principal{Name: "jis", Realm: testRealm})
+	cc.Store(sampleCred("rlogin", 95))
+	if err := cc.Save(filepath.Join(dir, "no", "such", "tkt0")); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("failed save left files behind: %v", entries)
+	}
+}
+
+// TestTicketFilePartialWriteRejected: every strict prefix of a
+// marshalled cache — what a torn, non-atomic write could have left on
+// disk — must be rejected cleanly by the loader, never crash it or
+// yield a half-parsed cache.
+func TestTicketFilePartialWriteRejected(t *testing.T) {
+	cc := NewCredCache(core.Principal{Name: "jis", Instance: "root", Realm: testRealm})
+	cc.Store(sampleCred("rlogin", 95))
+	cc.Store(sampleCred("pop", 12))
+	data := cc.Marshal()
+
+	path := filepath.Join(t.TempDir(), "tkt0")
+	for n := 0; n < len(data); n++ {
+		if err := os.WriteFile(path, data[:n], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCredCache(path); err == nil {
+			t.Fatalf("truncated ticket file of %d/%d bytes loaded without error", n, len(data))
+		}
+	}
+	// The intact file still loads.
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadCredCache(path); err != nil || got.Len() != 2 {
+		t.Fatalf("intact file failed to load: %v", err)
+	}
+}

@@ -3,6 +3,8 @@ package client
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"sync"
 	"time"
 
 	"kerberos/internal/core"
@@ -12,12 +14,26 @@ import (
 
 // Config is the client-side realm configuration (the krb.conf role):
 // which KDC addresses serve which realm, with slaves listed after the
-// master for failover (§5.3).
+// master for failover (§5.3). Exchanges run through a per-realm
+// kdc.Selector, so one lost datagram costs a retransmission interval
+// (not the whole timeout), a dead master is raced against the slaves
+// after a short head start, and the last-responsive KDC is remembered
+// across exchanges.
 type Config struct {
-	// Realms maps realm name → KDC addresses, tried in order.
+	// Realms maps realm name → KDC addresses, master listed first.
 	Realms map[string][]string
-	// Timeout bounds one KDC exchange. Zero means one second.
+	// Timeout bounds one whole KDC exchange — retransmissions, slave
+	// failover, and a TCP fallback included. Zero means one second.
 	Timeout time.Duration
+
+	// DialUDP and DialTCP override socket construction for every
+	// selector this config builds (fault injection in tests). Nil means
+	// real sockets.
+	DialUDP kdc.UDPDial
+	DialTCP kdc.TCPDial
+
+	mu        sync.Mutex
+	selectors map[string]*kdc.Selector
 }
 
 func (c *Config) timeout() time.Duration {
@@ -27,12 +43,26 @@ func (c *Config) timeout() time.Duration {
 	return c.Timeout
 }
 
-func (c *Config) kdcs(realm string) ([]string, error) {
+// selector returns the realm's sticky KDC selector, building it on
+// first use (and rebuilding if the address list was edited since).
+func (c *Config) selector(realm string) (*kdc.Selector, error) {
 	addrs := c.Realms[realm]
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("client: no KDCs configured for realm %s", realm)
 	}
-	return addrs, nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.selectors == nil {
+		c.selectors = make(map[string]*kdc.Selector)
+	}
+	s, ok := c.selectors[realm]
+	if !ok || !slices.Equal(s.Addrs(), addrs) {
+		s = kdc.NewSelector(addrs...)
+		s.DialUDP = c.DialUDP
+		s.DialTCP = c.DialTCP
+		c.selectors[realm] = s
+	}
+	return s, nil
 }
 
 // Salt derives the string-to-key salt for a principal: realm plus name
@@ -78,13 +108,14 @@ func (c *Client) now() time.Time {
 	return time.Now()
 }
 
-// exchange sends req to the principal's realm KDCs (or the named realm's).
+// exchange sends req to the principal's realm KDCs (or the named
+// realm's) through the realm's sticky selector.
 func (c *Client) exchange(realm string, req []byte) ([]byte, error) {
-	addrs, err := c.Config.kdcs(realm)
+	sel, err := c.Config.selector(realm)
 	if err != nil {
 		return nil, err
 	}
-	reply, err := kdc.ExchangeAny(addrs, req, c.Config.timeout())
+	reply, err := sel.Exchange(req, c.Config.timeout())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,116 @@
+package client
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/kdc"
+)
+
+// blackholeKDC binds a UDP socket that swallows every datagram and a
+// TCP listener on the same port that accepts and never answers — a
+// crashed master KDC that is still routed.
+func blackholeKDC(t *testing.T) string {
+	t.Helper()
+	var pc net.PacketConn
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		var err error
+		pc, err = net.ListenPacket("udp4", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err = net.Listen("tcp4", pc.LocalAddr().String())
+		if err == nil {
+			break
+		}
+		pc.Close()
+		if attempt >= 16 {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { pc.Close(); ln.Close() })
+	go func() {
+		buf := make([]byte, 8192)
+		for {
+			if _, _, err := pc.ReadFrom(buf); err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(io.Discard, conn) }()
+		}
+	}()
+	return pc.LocalAddr().String()
+}
+
+// TestLoginFailoverUnderLoss is the issue's acceptance scenario at the
+// kinit level: the realm lists a dead (blackholed) master first and a
+// live slave second, and the network drops 20% of request datagrams.
+// Login must still succeed within the configured 2-second budget.
+func TestLoginFailoverUnderLoss(t *testing.T) {
+	env := newEnv(t, testRealm)
+	inj := kdc.NewFaultInjector(kdc.FaultSpec{LossRate: 0.2, Seed: 7})
+	cfg := &Config{
+		Realms:  map[string][]string{testRealm: {blackholeKDC(t), env.listener.Addr()}},
+		Timeout: 2 * time.Second,
+		DialUDP: inj.DialUDP,
+	}
+	c := New(core.Principal{Name: "jis", Realm: testRealm}, cfg)
+	c.Addr = loopback
+	c.Clock = env.clock.Now
+
+	start := time.Now()
+	cred, err := c.Login("zanzibar")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("login failed after %v with the master down and 20%% loss: %v", elapsed, err)
+	}
+	if elapsed >= 2*time.Second {
+		t.Errorf("login took %v, over the 2s budget", elapsed)
+	}
+	if cred.Service != core.TGSPrincipal(testRealm, testRealm) {
+		t.Errorf("TGT service = %v", cred.Service)
+	}
+
+	// The slave is now sticky: the TGS exchange that follows leads with
+	// it instead of re-probing the dead master.
+	start = time.Now()
+	if _, err := c.GetCredentials(core.Principal{Name: "rlogin", Instance: "priam", Realm: testRealm}); err != nil {
+		t.Fatal(err)
+	}
+	if e2 := time.Since(start); e2 >= 2*time.Second {
+		t.Errorf("service ticket took %v; the selector did not stick to the slave", e2)
+	}
+}
+
+// TestClientRetransmitsThroughLoss: both exchanges of a full kinit +
+// service-ticket flow recover from deterministic request loss — the
+// AS and TGS requests each lose their first datagram and succeed on
+// retransmission, exercising the KDC's idempotent duplicate handling
+// from the library path.
+func TestClientRetransmitsThroughLoss(t *testing.T) {
+	env := newEnv(t, testRealm)
+	inj := kdc.NewFaultInjector(kdc.FaultSpec{DropFirst: 1, LossRate: 0.3, Seed: 11})
+	env.config.DialUDP = inj.DialUDP
+
+	c := env.newClient(t, "jis")
+	if _, err := c.Login("zanzibar"); err != nil {
+		t.Fatalf("login under loss: %v", err)
+	}
+	if _, err := c.GetCredentials(core.Principal{Name: "rlogin", Instance: "priam", Realm: testRealm}); err != nil {
+		t.Fatalf("service ticket under loss: %v", err)
+	}
+	if inj.Dropped.Load() < 1 {
+		t.Error("fault injector dropped nothing; the test exercised no recovery")
+	}
+}

@@ -30,6 +30,8 @@ const (
 	ErrSlaveReadOnly     // write attempted against a slave (§5)
 	ErrDuplicatePrincipa // principal already registered
 	ErrGeneric           // anything else
+	// Transport-signaling errors (not in the paper's v4 error list).
+	ErrReplyTooBig // reply exceeds the UDP datagram bound; retry over TCP
 )
 
 // String names the error code.
@@ -75,6 +77,8 @@ func (c ErrorCode) String() string {
 		return "database is read-only (slave)"
 	case ErrDuplicatePrincipa:
 		return "principal already exists"
+	case ErrReplyTooBig:
+		return "reply too big for a datagram, retry over TCP"
 	default:
 		return fmt.Sprintf("error %d", uint32(c))
 	}

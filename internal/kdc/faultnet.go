@@ -1,0 +1,136 @@
+package kdc
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault injection for the client↔KDC packet path. A FaultInjector wraps
+// the client's sockets (via the Selector/Exchange dial hooks) and
+// applies faults to each outgoing datagram: deterministic drops of the
+// first N sends, seeded probabilistic loss, duplication, and fixed
+// added latency. It lives in the package proper, not a _test file, so
+// resilience tests anywhere in the module — the transport tests here,
+// the client tests, the §9 Athena-day workload — can drive exchanges
+// through the same lossy "network".
+//
+// Faults are applied to the request direction only; replies travel
+// untouched. For the retransmission logic that is equivalent (the
+// client cannot tell a lost request from a lost reply) and it keeps the
+// server sockets real.
+
+// FaultSpec configures an injector. The zero value injects nothing.
+type FaultSpec struct {
+	// DropFirst deterministically swallows the first N datagrams the
+	// client sends, regardless of rates — the non-flaky way to force a
+	// known number of retransmissions in a test.
+	DropFirst int
+	// LossRate is the probability in [0,1] that any later datagram is
+	// dropped.
+	LossRate float64
+	// DupRate is the probability in [0,1] that a datagram is delivered
+	// twice — the duplicate-reply scenario.
+	DupRate float64
+	// Delay is a fixed extra latency added to every delivered datagram.
+	Delay time.Duration
+	// Seed seeds the probabilistic faults, making a run reproducible.
+	Seed int64
+}
+
+// FaultInjector applies a FaultSpec to dialed connections. Counters are
+// exported for test assertions.
+type FaultInjector struct {
+	spec FaultSpec
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	sent int
+
+	// Sent counts datagrams the client attempted to send; Dropped and
+	// Duplicated count the faults actually applied.
+	Sent       atomic.Int64
+	Dropped    atomic.Int64
+	Duplicated atomic.Int64
+}
+
+// NewFaultInjector builds an injector for the given spec.
+func NewFaultInjector(spec FaultSpec) *FaultInjector {
+	return &FaultInjector{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+}
+
+// DialUDP is a Selector.DialUDP / exchange hook that routes every send
+// through the injector.
+func (f *FaultInjector) DialUDP(addr string) (net.Conn, error) {
+	conn, err := net.Dial("udp4", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Conn: conn, f: f}, nil
+}
+
+type faultAction int
+
+const (
+	faultPass faultAction = iota
+	faultDrop
+	faultDup
+)
+
+func (f *FaultInjector) decide() faultAction {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.sent
+	f.sent++
+	if n < f.spec.DropFirst {
+		return faultDrop
+	}
+	if f.spec.LossRate > 0 && f.rng.Float64() < f.spec.LossRate {
+		return faultDrop
+	}
+	if f.spec.DupRate > 0 && f.rng.Float64() < f.spec.DupRate {
+		return faultDup
+	}
+	return faultPass
+}
+
+// faultConn interposes on Write; reads and deadlines pass through to
+// the real socket.
+type faultConn struct {
+	net.Conn
+	f *FaultInjector
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	c.f.Sent.Add(1)
+	switch c.f.decide() {
+	case faultDrop:
+		c.f.Dropped.Add(1)
+		return len(b), nil // swallowed by the "network"
+	case faultDup:
+		c.f.Duplicated.Add(1)
+		if err := c.deliver(b); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.deliver(b); err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+func (c *faultConn) deliver(b []byte) error {
+	if d := c.f.spec.Delay; d > 0 {
+		// Deliver later from a timer goroutine. The socket may be closed
+		// by then (the exchange won or gave up) — a late write error is
+		// exactly a datagram arriving after its flow died, so it is
+		// dropped silently.
+		cp := append([]byte(nil), b...)
+		time.AfterFunc(d, func() { _, _ = c.Conn.Write(cp) })
+		return nil
+	}
+	_, err := c.Conn.Write(b)
+	return err
+}

@@ -30,6 +30,12 @@ type Stats struct {
 	ASRequests  atomic.Uint64
 	TGSRequests atomic.Uint64
 	Errors      atomic.Uint64
+	// TGSRetransmits counts duplicate TGS requests answered with the
+	// remembered original reply instead of fresh work or a replay error.
+	TGSRetransmits atomic.Uint64
+	// UDPOverflows counts replies that exceeded the UDP datagram bound
+	// and were replaced by the "retry over TCP" signal.
+	UDPOverflows atomic.Uint64
 }
 
 // Server is an authentication server for one realm.
@@ -269,7 +275,21 @@ func (s *Server) handleTGS(msg []byte, from core.Addr) []byte {
 	if err := auth.Verify(tgt, from, now); err != nil {
 		return s.errorReply(err)
 	}
-	if s.replays.Seen(auth, now) {
+	reqDigest := replay.Digest(msg)
+	if cached, dup := s.replays.SeenWithReply(auth, reqDigest, now); dup {
+		// A byte-identical re-presentation within the window is almost
+		// always the client retransmitting after a lost reply; answer it
+		// with the original reply (no fresh work, no new session key)
+		// rather than a replay error. Only a duplicate arriving before
+		// the first request finished — or a true replay of an
+		// authenticator we never answered — is rejected.
+		if cached != nil {
+			s.stats.TGSRetransmits.Add(1)
+			if s.logger != nil {
+				s.logger.Printf("kdc %s: TGS resending reply to retransmit from %v", s.realm, auth.Client)
+			}
+			return cached
+		}
 		return s.errorReply(core.NewError(core.ErrRepeat,
 			"authenticator from %v already presented", auth.Client))
 	}
@@ -318,6 +338,10 @@ func (s *Server) handleTGS(msg []byte, from core.Addr) []byte {
 		s.logger.Printf("kdc %s: TGS issued %v ticket to %v (authenticated by %s)",
 			s.realm, service, tgt.Client, tgt.Client.Realm)
 	}
+	// Attach the reply to the recorded authenticator so a retransmission
+	// of this exact request is answered idempotently. The reply buffer is
+	// immutable once returned, so retention without a copy is safe.
+	s.replays.Remember(auth, reqDigest, reply, now)
 	return reply
 }
 

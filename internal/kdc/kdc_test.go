@@ -1,6 +1,7 @@
 package kdc
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 	"time"
@@ -326,11 +327,26 @@ func TestTGSReplayDetected(t *testing.T) {
 		Life:    10,
 		Time:    core.TimeFromGo(r.clock.now),
 	}
-	if err := core.IfErrorMessage(r.server.Handle(req.Encode(), wsAddr)); err != nil {
+	first := r.server.Handle(req.Encode(), wsAddr)
+	if err := core.IfErrorMessage(first); err != nil {
 		t.Fatalf("first request failed: %v", err)
 	}
-	// The identical message is replayed off the network.
-	if c := protoCode(t, r.server.Handle(req.Encode(), wsAddr)); c != core.ErrRepeat {
+	// The byte-identical message again — what a client retransmitting
+	// after a lost reply sends. The server discards the work (§4.3) but
+	// answers idempotently with the remembered original reply; replaying
+	// it off the network gains an attacker nothing new.
+	second := r.server.Handle(req.Encode(), wsAddr)
+	if !bytes.Equal(first, second) {
+		t.Errorf("retransmitted request not answered with the original reply")
+	}
+	if got := r.server.Stats().TGSRetransmits.Load(); got != 1 {
+		t.Errorf("TGSRetransmits = %d, want 1", got)
+	}
+	// The same authenticator stapled to a *different* request body is a
+	// true replay and is refused.
+	forged := *req
+	forged.Service = core.Principal{Name: "pop", Instance: "po10", Realm: testRealm}
+	if c := protoCode(t, r.server.Handle(forged.Encode(), wsAddr)); c != core.ErrRepeat {
 		t.Errorf("replay code = %v, want %v", c, core.ErrRepeat)
 	}
 }

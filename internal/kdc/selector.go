@@ -1,0 +1,157 @@
+package kdc
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Selector picks among a realm's KDC addresses — the master plus the
+// slave servers of §5.3 — and carries one exchange to whichever answers
+// first, without letting a dead address eat the caller's whole budget:
+//
+//   - It is sticky: the last KDC that answered is tried first on the
+//     next call, so a realm running on a slave while the master is down
+//     does not re-probe the dead master on every exchange.
+//   - It races rather than serializes: the preferred address gets a
+//     short head start, after which the next address is dialed
+//     alongside it. The first valid reply wins; a fast failure (port
+//     unreachable) forfeits the rest of the head start immediately.
+//   - Every attempt shares the caller's single deadline, so the worst
+//     case is bounded by the budget, not by budget × addresses.
+//
+// A Selector is safe for concurrent use.
+type Selector struct {
+	addrs     []string
+	preferred atomic.Int32
+
+	// HeadStart is how long the currently preferred KDC may remain the
+	// only one being asked before the next address is raced alongside
+	// it. Zero derives it from the call budget: timeout / (2·addresses),
+	// clamped to [20ms, 500ms].
+	HeadStart time.Duration
+
+	// DialUDP and DialTCP override socket construction — the seam the
+	// fault-injection harness plugs into. Nil means real sockets.
+	DialUDP UDPDial
+	DialTCP TCPDial
+}
+
+// NewSelector builds a selector over the given KDC addresses, listed
+// master first (the krb.conf convention).
+func NewSelector(addrs ...string) *Selector {
+	return &Selector{addrs: append([]string(nil), addrs...)}
+}
+
+// Addrs returns the configured addresses in their original order.
+func (s *Selector) Addrs() []string { return append([]string(nil), s.addrs...) }
+
+// Preferred returns the address the next Exchange will lead with.
+func (s *Selector) Preferred() string {
+	if len(s.addrs) == 0 {
+		return ""
+	}
+	i := int(s.preferred.Load())
+	if i < 0 || i >= len(s.addrs) {
+		i = 0
+	}
+	return s.addrs[i]
+}
+
+func (s *Selector) headStart(timeout time.Duration, n int) time.Duration {
+	if s.HeadStart > 0 {
+		return s.HeadStart
+	}
+	h := timeout / time.Duration(2*n)
+	if h < 20*time.Millisecond {
+		h = 20 * time.Millisecond
+	}
+	if h > 500*time.Millisecond {
+		h = 500 * time.Millisecond
+	}
+	return h
+}
+
+func (s *Selector) dials() (UDPDial, TCPDial) {
+	du, dt := s.DialUDP, s.DialTCP
+	if du == nil {
+		du = defaultDialUDP
+	}
+	if dt == nil {
+		dt = defaultDialTCP
+	}
+	return du, dt
+}
+
+// Exchange sends req to the realm's KDCs and returns the first valid
+// reply, all within timeout. On success the answering KDC becomes the
+// preferred one; when every address fails, the preference rotates so
+// the next call leads with a different KDC.
+func (s *Selector) Exchange(req []byte, timeout time.Duration) ([]byte, error) {
+	n := len(s.addrs)
+	if n == 0 {
+		return nil, errors.New("kdc: no KDC addresses configured")
+	}
+	deadline := time.Now().Add(timeout)
+	dialUDP, dialTCP := s.dials()
+	start := int(s.preferred.Load())
+	if start < 0 || start >= n {
+		start = 0
+	}
+	if n == 1 {
+		return exchangeDeadline(dialUDP, dialTCP, s.addrs[0], req, deadline)
+	}
+
+	type result struct {
+		idx   int
+		reply []byte
+		err   error
+	}
+	// Buffered to the attempt count so stragglers that lose the race can
+	// deliver and exit instead of leaking.
+	results := make(chan result, n)
+	launched := 0
+	launch := func() {
+		idx := (start + launched) % n
+		launched++
+		go func() {
+			reply, err := exchangeDeadline(dialUDP, dialTCP, s.addrs[idx], req, deadline)
+			results <- result{idx: idx, reply: reply, err: err}
+		}()
+	}
+	launch()
+	head := s.headStart(timeout, n)
+	timer := time.NewTimer(head)
+	defer timer.Stop()
+	pending := 1
+	var lastErr error
+	for pending > 0 {
+		select {
+		case r := <-results:
+			pending--
+			if r.err == nil {
+				s.preferred.Store(int32(r.idx))
+				return r.reply, nil
+			}
+			lastErr = r.err
+			// A failure forfeits the remaining head start: dial the next
+			// address now rather than waiting out the stagger.
+			if launched < n {
+				launch()
+				pending++
+				timer.Reset(head)
+			}
+		case <-timer.C:
+			if launched < n {
+				launch()
+				pending++
+				timer.Reset(head)
+			}
+		}
+	}
+	// Everyone failed. Rotate the preference: the old favourite may be
+	// down for a while, so the next call should lead elsewhere.
+	s.preferred.Store(int32((start + 1) % n))
+	return nil, fmt.Errorf("kdc: no KDC reachable: %w", lastErr)
+}

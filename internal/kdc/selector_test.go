@@ -1,0 +1,218 @@
+package kdc
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"kerberos/internal/core"
+)
+
+// blackholeAddr stands up a crashed-but-routed master KDC: a UDP socket
+// that swallows every datagram and a TCP listener on the same port that
+// accepts and then says nothing. Unlike a closed port (which refuses
+// instantly), a blackhole only ever fails by timeout — the expensive
+// way for a client to discover a dead KDC, and the case the selector's
+// head-start racing exists for.
+func blackholeAddr(t *testing.T) string {
+	t.Helper()
+	var pc net.PacketConn
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		var err error
+		pc, err = net.ListenPacket("udp4", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err = net.Listen("tcp4", pc.LocalAddr().String())
+		if err == nil {
+			break
+		}
+		pc.Close()
+		if attempt >= 16 {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { pc.Close(); ln.Close() })
+	go func() {
+		buf := make([]byte, MaxUDPMessage)
+		for {
+			if _, _, err := pc.ReadFrom(buf); err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(io.Discard, conn) }() // hold open, never answer
+		}
+	}()
+	return pc.LocalAddr().String()
+}
+
+// checkASReply fails the test unless reply is a decodable, non-error
+// authentication reply.
+func checkASReply(t *testing.T, reply []byte) {
+	t.Helper()
+	if err := core.IfErrorMessage(reply); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.DecodeAuthReply(reply); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDownedMasterFailover is the §5.3 availability scenario as a hard
+// acceptance test: the master is a blackhole, the slave answers. The
+// exchange must succeed within the caller's 2s budget — and well under
+// it, since only the head start is spent discovering the master is
+// silent. Afterwards the slave is sticky, so the next exchange does not
+// pay the head start again.
+func TestDownedMasterFailover(t *testing.T) {
+	r, l := serveRealm(t)
+	master := blackholeAddr(t)
+	s := NewSelector(master, l.Addr())
+	s.HeadStart = 100 * time.Millisecond
+
+	start := time.Now()
+	reply, err := s.Exchange(asReqBytes(r), 2*time.Second)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("failover exchange failed after %v: %v", elapsed, err)
+	}
+	checkASReply(t, reply)
+	if elapsed >= 2*time.Second {
+		t.Errorf("failover burned the whole budget (%v)", elapsed)
+	}
+	if elapsed > time.Second {
+		t.Errorf("failover took %v; want roughly the head start, not the budget", elapsed)
+	}
+	if got := s.Preferred(); got != l.Addr() {
+		t.Errorf("preferred KDC = %s, want the answering slave %s", got, l.Addr())
+	}
+
+	start = time.Now()
+	reply, err = s.Exchange(asReqBytes(r), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkASReply(t, reply)
+	if e2 := time.Since(start); e2 > 100*time.Millisecond {
+		t.Errorf("sticky exchange took %v; it should lead with the live slave immediately", e2)
+	}
+}
+
+// TestFailoverUnderLossAndDeadMaster is the issue's acceptance
+// criterion end to end at the transport layer: with the master down and
+// 20% request loss on the path to the slave, a kinit-equivalent AS
+// exchange still completes within a 2-second budget.
+func TestFailoverUnderLossAndDeadMaster(t *testing.T) {
+	r, l := serveRealm(t)
+	master := blackholeAddr(t)
+	inj := NewFaultInjector(FaultSpec{LossRate: 0.2, Seed: 1988})
+	s := NewSelector(master, l.Addr())
+	s.HeadStart = 50 * time.Millisecond
+	s.DialUDP = inj.DialUDP
+
+	start := time.Now()
+	reply, err := s.Exchange(asReqBytes(r), 2*time.Second)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("AS exchange failed after %v under 20%% loss with the master down: %v", elapsed, err)
+	}
+	checkASReply(t, reply)
+	if elapsed >= 2*time.Second {
+		t.Errorf("exchange took %v, over the 2s budget", elapsed)
+	}
+}
+
+// TestSelectorRotatesOnTotalFailure: when every KDC is unreachable the
+// call fails inside its budget and the preference moves off the old
+// favourite, so the next call probes a different address first.
+func TestSelectorRotatesOnTotalFailure(t *testing.T) {
+	dead1, dead2 := "127.0.0.1:1", "127.0.0.1:2" // reserved ports, nothing listens
+	s := NewSelector(dead1, dead2)
+	start := time.Now()
+	if _, err := s.Exchange([]byte{0x01}, 500*time.Millisecond); err == nil {
+		t.Fatal("exchange against dead KDCs succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("total failure took %v; attempts must share one budget, not stack", elapsed)
+	}
+	if got := s.Preferred(); got != dead2 {
+		t.Errorf("preference did not rotate: still %s", got)
+	}
+}
+
+// TestFlappingSlave: a KDC that answers, dies, and comes back. The
+// selector demotes it while it is down and recovers it once it is the
+// only one answering again.
+func TestFlappingSlave(t *testing.T) {
+	r := newRealm(t, testRealm)
+	serveOn := func(addr string) *Listener {
+		t.Helper()
+		var l *Listener
+		var err error
+		// The freed port can take a moment to become bindable again.
+		for attempt := 0; attempt < 20; attempt++ {
+			l, err = Serve(r.server, addr)
+			if err == nil {
+				t.Cleanup(func() { l.Close() })
+				return l
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatalf("rebinding %s: %v", addr, err)
+		return nil
+	}
+	lA := serveOn("127.0.0.1:0")
+	lB := serveOn("127.0.0.1:0")
+	s := NewSelector(lA.Addr(), lB.Addr())
+	s.HeadStart = 50 * time.Millisecond
+
+	exchange := func() {
+		t.Helper()
+		reply, err := s.Exchange(asReqBytes(r), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkASReply(t, reply)
+	}
+
+	exchange()
+	if got := s.Preferred(); got != lA.Addr() {
+		t.Fatalf("preferred = %s, want %s", got, lA.Addr())
+	}
+
+	// A goes down; exchanges fail over to B and stick there.
+	lA.Close()
+	exchange()
+	if got := s.Preferred(); got != lB.Addr() {
+		t.Errorf("after A died: preferred = %s, want %s", got, lB.Addr())
+	}
+
+	// A flaps back up on its old address and B goes down; the selector
+	// walks back to A.
+	lA2 := serveOn(lA.Addr())
+	lB.Close()
+	exchange()
+	if got := s.Preferred(); got != lA2.Addr() {
+		t.Errorf("after B died: preferred = %s, want %s", got, lA2.Addr())
+	}
+}
+
+// TestSelectorNoAddresses: an unconfigured realm fails immediately with
+// a clear error instead of hanging or panicking.
+func TestSelectorNoAddresses(t *testing.T) {
+	if _, err := NewSelector().Exchange([]byte{0x01}, time.Second); err == nil {
+		t.Fatal("selector with no addresses succeeded")
+	}
+	if got := NewSelector().Preferred(); got != "" {
+		t.Errorf("empty selector preferred = %q", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"runtime"
 	"sync"
@@ -39,7 +40,18 @@ var (
 	// tcpReadTimeout bounds one framed read; an idle or stalled client
 	// is disconnected and its slot freed.
 	tcpReadTimeout = 30 * time.Second
+	// maxUDPReply is the largest reply serveUDP will put in a datagram;
+	// larger replies become the "retry over TCP" signal. Tests shrink it
+	// to force the oversized path with ordinary messages.
+	maxUDPReply = MaxUDPMessage
 )
+
+// udpOverflowReply is the pre-encoded "response too big, use TCP" error
+// a UDP reader sends in place of a reply that exceeds maxUDPReply.
+var udpOverflowReply = (&core.ErrorMessage{
+	Code: core.ErrReplyTooBig,
+	Text: "reply exceeds the UDP limit, retry over TCP",
+}).Encode()
 
 // udpReaderCount picks how many goroutines drain the UDP socket.
 func udpReaderCount() int {
@@ -141,9 +153,20 @@ func (l *Listener) serveUDP() {
 			continue
 		}
 		reply := l.server.Handle(buf[:n], addrOf(from.IP))
-		if len(reply) <= MaxUDPMessage {
-			l.udp.WriteToUDP(reply, from)
+		if len(reply) == 0 {
+			// Nothing to say; never emit an empty datagram (a zero-length
+			// UDP write is delivered and would confuse the client's read
+			// loop into parsing an empty message).
+			continue
 		}
+		if len(reply) > maxUDPReply {
+			// The answer cannot travel as a datagram. Historically the
+			// reply was silently dropped and the client burned its whole
+			// timeout; instead tell it explicitly to retry over TCP.
+			l.server.stats.UDPOverflows.Add(1)
+			reply = udpOverflowReply
+		}
+		l.udp.WriteToUDP(reply, from)
 	}
 }
 
@@ -216,66 +239,190 @@ func WriteFrame(w io.Writer, msg []byte) error {
 	return err
 }
 
-// Exchange sends one request to a KDC address and returns the reply,
-// trying UDP first and falling back to TCP for oversized messages —
-// mirroring the classic client behaviour.
+// Client-side exchange. UDP is datagram-shaped and lossy: one lost
+// packet must cost a retransmission interval, not the caller's whole
+// budget. The exchange therefore retransmits with exponential backoff
+// and jitter inside the caller's deadline, accepts the first valid KDC
+// reply (ignoring stale or garbled datagrams, including duplicates
+// provoked by its own retransmissions), and falls back to TCP when the
+// server signals that the answer exceeds a datagram.
+
+// UDPDial opens the client side of a datagram exchange. Overridable so
+// tests can interpose fault injection (see FaultInjector).
+type UDPDial func(addr string) (net.Conn, error)
+
+// TCPDial opens the client side of a stream exchange, bounded by the
+// exchange deadline.
+type TCPDial func(addr string, deadline time.Time) (net.Conn, error)
+
+func defaultDialUDP(addr string) (net.Conn, error) { return net.Dial("udp4", addr) }
+
+func defaultDialTCP(addr string, deadline time.Time) (net.Conn, error) {
+	return net.DialTimeout("tcp4", addr, time.Until(deadline))
+}
+
+// Retransmission tunables (variables so tests can tighten them).
+var (
+	// udpRetryBase is the wait before the first retransmission; each
+	// further retransmission doubles it, up to udpRetryMax.
+	udpRetryBase = 120 * time.Millisecond
+	udpRetryMax  = 1500 * time.Millisecond
+)
+
+// jitter spreads a wait over [d/2, d] so a fleet of clients recovering
+// from the same outage does not retransmit in lockstep.
+func jitter(d time.Duration) time.Duration {
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// validKDCReply reports whether a datagram parses as something a KDC
+// sends: a well-versioned AUTH_REPLY or ERROR. Anything else is a stale
+// or misdirected datagram and is ignored by the read loop.
+func validKDCReply(reply []byte) bool {
+	t, err := core.PeekType(reply)
+	return err == nil && (t == core.MsgAuthReply || t == core.MsgError)
+}
+
+// IsReplyTooBig reports whether reply is the server's explicit
+// "response too big, use TCP" signal.
+func IsReplyTooBig(reply []byte) bool {
+	var pe *core.ProtocolError
+	return errors.As(core.IfErrorMessage(reply), &pe) && pe.Code == core.ErrReplyTooBig
+}
+
+// isRepeatError reports whether reply is the server's duplicate
+// suppression (ErrRepeat).
+func isRepeatError(reply []byte) bool {
+	var pe *core.ProtocolError
+	return errors.As(core.IfErrorMessage(reply), &pe) && pe.Code == core.ErrRepeat
+}
+
+// Exchange sends one request to a KDC address and returns the reply:
+// UDP with retransmission first, switching to TCP when the request is
+// too large for a datagram, when the server signals an oversized reply,
+// or when the datagram path fails with budget still remaining.
 func Exchange(addr string, req []byte, timeout time.Duration) ([]byte, error) {
+	return exchangeDeadline(defaultDialUDP, defaultDialTCP, addr, req, time.Now().Add(timeout))
+}
+
+func exchangeDeadline(dialUDP UDPDial, dialTCP TCPDial, addr string, req []byte, deadline time.Time) ([]byte, error) {
 	if len(req) <= MaxUDPMessage {
-		reply, err := exchangeUDP(addr, req, timeout)
-		if err == nil {
+		reply, err := exchangeUDP(dialUDP, addr, req, deadline)
+		switch {
+		case err == nil && !IsReplyTooBig(reply):
 			return reply, nil
+		case err == nil:
+			// The server told us the answer cannot travel as a datagram:
+			// switch transports immediately instead of timing out.
+		case !time.Now().Before(deadline):
+			return nil, err
 		}
 	}
-	return exchangeTCP(addr, req, timeout)
+	return exchangeTCPDeadline(dialTCP, addr, req, deadline)
 }
 
-func exchangeUDP(addr string, req []byte, timeout time.Duration) ([]byte, error) {
-	conn, err := net.Dial("udp4", addr)
+// exchangeUDP runs one datagram exchange: send, wait, retransmit with
+// backoff, until a valid reply arrives or the deadline passes. Replies
+// that do not parse as KDC messages — stragglers from earlier
+// retransmissions, misdirected or corrupted datagrams — are skipped
+// rather than surfaced as errors.
+func exchangeUDP(dial UDPDial, addr string, req []byte, deadline time.Time) ([]byte, error) {
+	conn, err := dial(addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
-	if _, err := conn.Write(req); err != nil {
-		return nil, err
-	}
 	buf := make([]byte, MaxUDPMessage)
-	n, err := conn.Read(buf)
-	if err != nil {
-		return nil, err
+	wait := udpRetryBase
+	// repeatReply holds an ErrRepeat answer received mid-exchange. When
+	// this request (or a network-duplicated copy of it) races its own
+	// duplicate, the KDC's replay suppression can answer before the
+	// genuine reply does; holding the error and retransmitting collects
+	// the remembered original answer. Only if nothing better arrives by
+	// the deadline does the replay error surface to the caller.
+	var repeatReply []byte
+	for {
+		if !time.Now().Before(deadline) {
+			if repeatReply != nil {
+				return repeatReply, nil
+			}
+			return nil, fmt.Errorf("kdc: no reply from %s within deadline", addr)
+		}
+		if _, err := conn.Write(req); err != nil {
+			return nil, err
+		}
+		tryUntil := time.Now().Add(jitter(wait))
+		if tryUntil.After(deadline) {
+			tryUntil = deadline
+		}
+		for {
+			conn.SetReadDeadline(tryUntil)
+			n, err := conn.Read(buf)
+			if err != nil {
+				var ne net.Error
+				if !(errors.As(err, &ne) && ne.Timeout()) {
+					// Socket-level failure (e.g. ICMP port unreachable
+					// surfacing as ECONNREFUSED): the KDC is down, not
+					// slow. Fail fast so failover can start.
+					return nil, err
+				}
+				if !time.Now().Before(deadline) {
+					if repeatReply != nil {
+						return repeatReply, nil
+					}
+					return nil, fmt.Errorf("kdc: no reply from %s within deadline: %w", addr, err)
+				}
+				break // this interval is spent; retransmit
+			}
+			reply := buf[:n:n]
+			if !validKDCReply(reply) {
+				continue // stale or garbled datagram; keep listening
+			}
+			if isRepeatError(reply) {
+				repeatReply = append([]byte(nil), reply...)
+				continue
+			}
+			return reply, nil
+		}
+		if wait < udpRetryMax {
+			wait *= 2
+		}
 	}
-	return buf[:n], nil
 }
 
+// exchangeTCP is the stream exchange with a duration budget (kept for
+// callers and tests that address a single KDC directly).
 func exchangeTCP(addr string, req []byte, timeout time.Duration) ([]byte, error) {
-	conn, err := net.DialTimeout("tcp4", addr, timeout)
+	return exchangeTCPDeadline(defaultDialTCP, addr, req, time.Now().Add(timeout))
+}
+
+func exchangeTCPDeadline(dial TCPDial, addr string, req []byte, deadline time.Time) ([]byte, error) {
+	if !time.Now().Before(deadline) {
+		return nil, fmt.Errorf("kdc: no budget left for TCP exchange with %s", addr)
+	}
+	conn, err := dial(addr, deadline)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
+	conn.SetDeadline(deadline)
 	if err := WriteFrame(conn, req); err != nil {
 		return nil, err
 	}
 	return ReadFrame(conn)
 }
 
-// ExchangeAny tries each KDC address in turn until one answers — the
-// availability mechanism of §5.3: "If the master machine is down,
-// authentication can still be achieved on one of the slave machines."
+// ExchangeAny asks a realm's KDCs until one answers — the availability
+// mechanism of §5.3: "If the master machine is down, authentication can
+// still be achieved on one of the slave machines." It is a stateless
+// convenience over Selector; callers doing repeated exchanges should
+// hold a Selector so the last-responsive KDC is remembered.
 func ExchangeAny(addrs []string, req []byte, timeout time.Duration) ([]byte, error) {
-	if len(addrs) == 0 {
-		return nil, errors.New("kdc: no KDC addresses configured")
-	}
-	var lastErr error
-	for _, a := range addrs {
-		reply, err := Exchange(a, req, timeout)
-		if err == nil {
-			return reply, nil
-		}
-		lastErr = err
-	}
-	return nil, fmt.Errorf("kdc: no KDC reachable: %w", lastErr)
+	return NewSelector(addrs...).Exchange(req, timeout)
 }
 
 func addrOf(ip net.IP) core.Addr { return core.AddrFromIP(ip) }

@@ -49,12 +49,25 @@ type expiring struct {
 	expiry time.Time
 }
 
+// entry is what the cache remembers per authenticator: the expiry
+// deadline, plus (optionally) the reply the server sent — so a
+// retransmitted request can be answered idempotently instead of being
+// rejected as a replay. A genuine attacker replaying a captured
+// authenticator from a different request body still gains nothing: it
+// only ever receives a byte-identical copy of a reply already sent to
+// the legitimate client, sealed in keys the attacker lacks.
+type entry struct {
+	deadline time.Time
+	digest   uint64 // Digest of the full request the reply answers
+	reply    []byte // nil until Remember attaches the server's answer
+}
+
 // shard is one lock domain: the seen map plus the FIFO expiry queue.
 type shard struct {
 	mu    sync.Mutex
-	seen  map[key]time.Time // value: when the entry may be forgotten
-	queue []expiring        // insertion-ordered expiry schedule
-	head  int               // index of the oldest queue element
+	seen  map[key]entry // value: expiry deadline plus remembered reply
+	queue []expiring    // insertion-ordered expiry schedule
+	head  int           // index of the oldest queue element
 }
 
 // Cache remembers recently seen authenticators. It is safe for
@@ -70,7 +83,7 @@ type Cache struct {
 func New() *Cache {
 	c := &Cache{window: 2 * core.ClockSkew}
 	for i := range c.shards {
-		c.shards[i].seen = make(map[key]time.Time)
+		c.shards[i].seen = make(map[key]entry)
 	}
 	return c
 }
@@ -132,7 +145,7 @@ func (s *shard) sweep(now time.Time) {
 		if now.Before(e.expiry) {
 			break
 		}
-		if deadline, ok := s.seen[e.k]; ok && !now.Before(deadline) && deadline.Equal(e.expiry) {
+		if got, ok := s.seen[e.k]; ok && !now.Before(got.deadline) && got.deadline.Equal(e.expiry) {
 			delete(s.seen, e.k)
 		}
 		*e = expiring{} // release the key's strings
@@ -153,18 +166,65 @@ func (s *shard) sweep(now time.Time) {
 // presented before within the replay window. The first presentation
 // returns false; any identical presentation afterwards returns true.
 func (c *Cache) Seen(auth *core.Authenticator, now time.Time) bool {
+	_, dup := c.SeenWithReply(auth, 0, now)
+	return dup
+}
+
+// Digest folds a full request message into the fingerprint that gates
+// idempotent reply replay (FNV-1a 64). It is not cryptographic — the
+// authenticator's sealed checksum provides the integrity — it only
+// distinguishes "the same datagram again" from "the same authenticator
+// stapled to a different request".
+func Digest(msg []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range msg {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+// SeenWithReply is Seen for idempotent request/reply servers: like
+// Seen, but on a duplicate it also returns the reply previously
+// attached via Remember — provided the full request digest matches the
+// one the reply answered. A KDC uses this to answer a retransmitted
+// ticket-granting request — byte-identical because the client resent
+// the same datagram after losing the reply — with the original answer
+// instead of a replay error, while still refusing both fresh work and
+// any answer for a replayed authenticator stapled to a different
+// request body.
+func (c *Cache) SeenWithReply(auth *core.Authenticator, reqDigest uint64, now time.Time) ([]byte, bool) {
 	k := keyOf(auth)
 	s := &c.shards[shardIndex(&k)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sweep(now)
-	if deadline, dup := s.seen[k]; dup && now.Before(deadline) {
-		return true
+	if got, dup := s.seen[k]; dup && now.Before(got.deadline) {
+		if got.reply != nil && got.digest == reqDigest {
+			return got.reply, true
+		}
+		return nil, true
 	}
 	deadline := now.Add(c.window)
-	s.seen[k] = deadline
+	s.seen[k] = entry{deadline: deadline}
 	s.queue = append(s.queue, expiring{k: k, expiry: deadline})
-	return false
+	return nil, false
+}
+
+// Remember attaches the server's reply (and the digest of the request
+// it answers) to an authenticator the cache is already holding,
+// making future byte-identical duplicates answerable idempotently. The
+// reply slice is retained, not copied; callers must not mutate it
+// afterwards. Unknown or expired authenticators are ignored.
+func (c *Cache) Remember(auth *core.Authenticator, reqDigest uint64, reply []byte, now time.Time) {
+	k := keyOf(auth)
+	s := &c.shards[shardIndex(&k)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if got, ok := s.seen[k]; ok && now.Before(got.deadline) {
+		got.digest = reqDigest
+		got.reply = reply
+		s.seen[k] = got
+	}
 }
 
 // Len reports the number of remembered authenticators (for tests and

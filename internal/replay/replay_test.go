@@ -294,3 +294,62 @@ func BenchmarkReplayContention(b *testing.B) {
 		}
 	})
 }
+
+// TestRememberedReplyReturned: a byte-identical duplicate (a client
+// retransmission after a lost reply) is answered with the remembered
+// reply; the same authenticator on a different request body is not.
+func TestRememberedReplyReturned(t *testing.T) {
+	c := New()
+	a := auth("jis", t0, 7)
+	req := []byte("the exact request datagram")
+	reply := []byte("the original reply")
+	if _, dup := c.SeenWithReply(a, Digest(req), t0); dup {
+		t.Fatal("first presentation flagged")
+	}
+	c.Remember(a, Digest(req), reply, t0)
+
+	got, dup := c.SeenWithReply(a, Digest(req), t0.Add(time.Second))
+	if !dup {
+		t.Fatal("retransmit not flagged as duplicate")
+	}
+	if string(got) != string(reply) {
+		t.Errorf("retransmit reply = %q, want %q", got, reply)
+	}
+	// Same authenticator, different request body: a true replay — seen,
+	// but no reply handed out.
+	got, dup = c.SeenWithReply(a, Digest([]byte("forged request")), t0.Add(time.Second))
+	if !dup || got != nil {
+		t.Errorf("forged duplicate: reply=%v dup=%v, want nil/true", got, dup)
+	}
+}
+
+// TestRememberBeforeReplyAttached: a duplicate racing in before the
+// server finished the first request finds no remembered reply.
+func TestRememberBeforeReplyAttached(t *testing.T) {
+	c := New()
+	a := auth("jis", t0, 9)
+	d := Digest([]byte("req"))
+	c.SeenWithReply(a, d, t0)
+	if got, dup := c.SeenWithReply(a, d, t0); !dup || got != nil {
+		t.Errorf("concurrent duplicate: reply=%v dup=%v, want nil/true", got, dup)
+	}
+	// Remember for an expired or never-seen authenticator is a no-op.
+	c.Remember(auth("ghost", t0, 1), d, []byte("r"), t0)
+	if c.Seen(auth("ghost", t0, 1), t0) {
+		t.Error("Remember inserted an unseen authenticator")
+	}
+}
+
+// TestRememberedReplyExpires: the memo dies with the replay window, so
+// a very late duplicate is treated as a fresh presentation again.
+func TestRememberedReplyExpires(t *testing.T) {
+	c := New()
+	a := auth("jis", t0, 11)
+	d := Digest([]byte("req"))
+	c.SeenWithReply(a, d, t0)
+	c.Remember(a, d, []byte("reply"), t0)
+	late := t0.Add(2*core.ClockSkew + time.Minute)
+	if got, dup := c.SeenWithReply(a, d, late); dup || got != nil {
+		t.Errorf("expired entry: reply=%v dup=%v, want nil/false", got, dup)
+	}
+}

@@ -105,10 +105,36 @@ type Driver struct {
 	// Handle is the KDC entry point (master or slave); message-level so
 	// the experiment measures the server, not the socket stack.
 	Handle func(msg []byte, from core.Addr) []byte
+	// Exchange, when set, carries each message to the KDC instead of
+	// Handle — e.g. a kdc.Selector closure over real sockets, so
+	// resilience experiments can inject packet loss, duplication, and
+	// dead masters between the workstation and the KDC.
+	Exchange func(req []byte) ([]byte, error)
+	// Addr, when nonzero, overrides the synthetic per-user workstation
+	// address. Required when driving real sockets: the KDC then sees the
+	// true source address, and authenticators must carry it too.
+	Addr core.Addr
 	// TicketsPerLogin is how many TGS exchanges follow each login.
 	TicketsPerLogin int
 
 	seq atomic.Uint32
+}
+
+// send carries one encoded request to the KDC via whichever path the
+// driver is configured with.
+func (d *Driver) send(msg []byte, from core.Addr) ([]byte, error) {
+	if d.Exchange != nil {
+		return d.Exchange(msg)
+	}
+	return d.Handle(msg, from), nil
+}
+
+// wsAddr picks the workstation address user i authenticates from.
+func (d *Driver) wsAddr(i int) core.Addr {
+	if d.Addr != (core.Addr{}) {
+		return d.Addr
+	}
+	return d.Spec.WorkstationAddr(i % max(d.Spec.Workstations, 1))
 }
 
 // RunUser performs one user's session: an AS exchange (the login of
@@ -117,7 +143,7 @@ type Driver struct {
 func (d *Driver) RunUser(i int, m *Metrics) error {
 	userP := d.Spec.UserPrincipal(i, d.Realm)
 	userKey := client.PasswordKey(userP, d.Spec.UserPassword(i))
-	ws := d.Spec.WorkstationAddr(i % max(d.Spec.Workstations, 1))
+	ws := d.wsAddr(i)
 	now := time.Now()
 
 	// Phase 1: initial ticket.
@@ -127,7 +153,11 @@ func (d *Driver) RunUser(i int, m *Metrics) error {
 		Life:    core.DefaultTGTLife,
 		Time:    core.TimeFromGo(now),
 	}
-	raw := d.Handle(asReq.Encode(), ws)
+	raw, err := d.send(asReq.Encode(), ws)
+	if err != nil {
+		m.Failures.Add(1)
+		return err
+	}
 	if err := core.IfErrorMessage(raw); err != nil {
 		m.Failures.Add(1)
 		return err
@@ -160,7 +190,11 @@ func (d *Driver) RunUser(i int, m *Metrics) error {
 			Life:    core.MaxLife,
 			Time:    core.TimeFromGo(time.Now()),
 		}
-		raw := d.Handle(tgsReq.Encode(), ws)
+		raw, err := d.send(tgsReq.Encode(), ws)
+		if err != nil {
+			m.Failures.Add(1)
+			return err
+		}
 		if err := core.IfErrorMessage(raw); err != nil {
 			m.Failures.Add(1)
 			return err
