@@ -1,7 +1,7 @@
 # Development targets. The repo is pure Go with no dependencies; every
 # target is a thin wrapper so CI and humans run the same commands.
 
-.PHONY: build test race vet bench verify ci
+.PHONY: build test race vet bench verify ci fuzz cover
 
 build:
 	go build ./...
@@ -19,10 +19,19 @@ vet:
 verify:
 	sh scripts/verify.sh
 
-# What CI runs (.github/workflows/ci.yml): static checks, then the full
-# suite under the race detector. The fault-injection soaks honor
-# `go test -short`, so a fast local pass is `go test -short ./...`.
-ci: vet build race
+# Fuzz smoke: every native fuzz target for 10s (FUZZTIME overrides).
+fuzz:
+	sh scripts/fuzz.sh $(FUZZTIME)
+
+# Coverage gate: internal/wire + internal/obs must stay >= 80%.
+cover:
+	sh scripts/cover.sh
+
+# What CI runs (.github/workflows/ci.yml): static checks, the full
+# suite under the race detector, the coverage gate, and the fuzz smoke
+# pass. The fault-injection soaks honor `go test -short`, so a fast
+# local pass is `go test -short ./...`.
+ci: vet build race cover fuzz
 
 # KDC hot-path benchmarks; writes BENCH_kdc.json.
 bench:

@@ -482,6 +482,13 @@ func BenchmarkS9AthenaScale(b *testing.B) {
 		b.Fatalf("%d failures", f)
 	}
 	b.ReportMetric(float64(m.ASExchanges.Load()+m.TGSExchanges.Load())/float64(b.N), "exchanges/session")
+	// Per-exchange latency quantiles from the driver's histograms — the
+	// tail, not just the mean the ns/op column reports.
+	as, tgs := m.ASLatency.Snapshot(), m.TGSLatency.Snapshot()
+	b.ReportMetric(float64(as.Quantile(0.50).Nanoseconds()), "as-p50-ns")
+	b.ReportMetric(float64(as.Quantile(0.99).Nanoseconds()), "as-p99-ns")
+	b.ReportMetric(float64(tgs.Quantile(0.50).Nanoseconds()), "tgs-p50-ns")
+	b.ReportMetric(float64(tgs.Quantile(0.99).Nanoseconds()), "tgs-p99-ns")
 }
 
 // --- Appendix: the NFS envelope calculation -----------------------------

@@ -18,6 +18,7 @@ import (
 	"kerberos/internal/des"
 	"kerberos/internal/kdb"
 	"kerberos/internal/kdc"
+	"kerberos/internal/obs"
 )
 
 func main() {
@@ -26,6 +27,8 @@ func main() {
 		dbPath = flag.String("db", "principal.db", "database file")
 		addr   = flag.String("addr", "127.0.0.1:7500", "listen address (udp+tcp)")
 		slave  = flag.Bool("slave", false, "serve a read-only slave copy")
+		admin  = flag.String("admin", "",
+			"admin listener address serving /metrics, /healthz and /debug/pprof (e.g. 127.0.0.1:7600); empty disables")
 		reload = flag.Duration("reload-interval", time.Second,
 			"how often to re-read the database file when it changes (kadmind/kpropd write it); 0 disables")
 	)
@@ -43,10 +46,20 @@ func main() {
 		db.SetReadOnly(true)
 	}
 	logger := log.New(os.Stderr, "kerberosd ", log.LstdFlags)
-	server := kdc.New(*realm, db, kdc.WithLogger(logger))
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("kdc_db_principals", func() int64 { return int64(db.Len()) })
+	server := kdc.New(*realm, db, kdc.WithLogger(logger), kdc.WithRegistry(reg))
 	l, err := kdc.Serve(server, *addr)
 	if err != nil {
 		log.Fatalf("kerberosd: %v", err)
+	}
+	if *admin != "" {
+		a, err := obs.ServeAdmin(*admin, reg)
+		if err != nil {
+			log.Fatalf("kerberosd: %v", err)
+		}
+		defer a.Close()
+		logger.Printf("admin listener (metrics, pprof) on %s", a.Addr())
 	}
 	role := "master"
 	if *slave {
@@ -92,6 +105,6 @@ func main() {
 	close(stopReload)
 	l.Close()
 	logger.Printf("served %d AS and %d TGS requests (%d errors)",
-		server.Stats().ASRequests.Load(), server.Stats().TGSRequests.Load(),
-		server.Stats().Errors.Load())
+		server.Metrics().ASRequests.Load(), server.Metrics().TGSRequests.Load(),
+		server.Metrics().Errors.Load())
 }

@@ -1,0 +1,209 @@
+// Command kstat is a live dashboard over a Kerberos server's admin
+// listener (kerberosd -admin, or anything serving an obs.Registry via
+// obs.ServeAdmin). It polls the /metrics text snapshot, derives
+// per-second rates from successive scrapes, and renders counters,
+// gauges, and latency histograms (p50/p95/p99 plus a bucket sparkline)
+// in place.
+//
+//	kstat -addr 127.0.0.1:7600             # refresh every 2s
+//	kstat -addr 127.0.0.1:7600 -once       # one snapshot, then exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// sample is one parsed scrape: scalar metrics by name, histogram bucket
+// counts by base name in le_ns order.
+type sample struct {
+	when    time.Time
+	scalars map[string]int64
+	buckets map[string][]bucket
+}
+
+type bucket struct {
+	leNS  int64 // -1 for +Inf
+	count int64 // cumulative
+}
+
+// parseMetrics reads the admin listener's text format (see
+// obs.Registry.WriteText): "name value" lines plus
+// name_bucket{le_ns="bound"} cumulative lines.
+func parseMetrics(text string, when time.Time) *sample {
+	s := &sample{when: when, scalars: map[string]int64{}, buckets: map[string][]bucket{}}
+	for _, line := range strings.Split(text, "\n") {
+		name, value, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok || name == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			continue
+		}
+		if base, rest, isBucket := strings.Cut(name, "_bucket{le_ns=\""); isBucket {
+			bound := strings.TrimSuffix(rest, "\"}")
+			le := int64(-1)
+			if bound != "+Inf" {
+				if le, err = strconv.ParseInt(bound, 10, 64); err != nil {
+					continue
+				}
+			}
+			s.buckets[base] = append(s.buckets[base], bucket{leNS: le, count: n})
+			continue
+		}
+		s.scalars[name] = n
+	}
+	return s
+}
+
+// histBases returns the base names that look like histograms (have a
+// _count companion and quantile lines), sorted.
+func (s *sample) histBases() []string {
+	var bases []string
+	for name := range s.scalars {
+		if base, ok := strings.CutSuffix(name, "_count"); ok {
+			if _, ok := s.scalars[base+"_p50_ns"]; ok {
+				bases = append(bases, base)
+			}
+		}
+	}
+	sort.Strings(bases)
+	return bases
+}
+
+// isHistField reports whether name belongs to one of the histogram
+// families in bases, so the scalar table can skip it.
+func isHistField(name string, bases []string) bool {
+	for _, b := range bases {
+		if strings.HasPrefix(name, b+"_") {
+			switch strings.TrimPrefix(name, b+"_") {
+			case "count", "sum_ns", "max_ns", "p50_ns", "p95_ns", "p99_ns":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// sparkline renders per-bucket (non-cumulative) counts as a compact bar
+// row, scaled to the largest bucket.
+func sparkline(bs []bucket) string {
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	prev, peak := int64(0), int64(0)
+	per := make([]int64, len(bs))
+	for i, b := range bs {
+		per[i] = b.count - prev
+		prev = b.count
+		if per[i] > peak {
+			peak = per[i]
+		}
+	}
+	if peak == 0 {
+		return ""
+	}
+	var out strings.Builder
+	for _, n := range per {
+		idx := int(n * int64(len(levels)-1) / peak)
+		if n > 0 && idx == 0 {
+			idx = 1
+		}
+		out.WriteRune(levels[idx])
+	}
+	return out.String()
+}
+
+// render writes the dashboard for cur, with rates derived against prev
+// (which may be nil on the first scrape).
+func render(w io.Writer, addr string, cur, prev *sample) {
+	fmt.Fprintf(w, "kstat %s  %s\n\n", addr, cur.when.Format("15:04:05"))
+
+	bases := cur.histBases()
+	var names []string
+	for name := range cur.scalars {
+		if !isHistField(name, bases) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := cur.scalars[name]
+		rate := ""
+		if prev != nil {
+			if dt := cur.when.Sub(prev.when).Seconds(); dt > 0 {
+				if pv, ok := prev.scalars[name]; ok && v >= pv {
+					rate = fmt.Sprintf("  %8.1f/s", float64(v-pv)/dt)
+				}
+			}
+		}
+		fmt.Fprintf(w, "  %-28s %12d%s\n", name, v, rate)
+	}
+
+	for _, base := range bases {
+		fmt.Fprintf(w, "\n  %s  (n=%d)\n", base, cur.scalars[base+"_count"])
+		fmt.Fprintf(w, "    p50 %-10s p95 %-10s p99 %-10s max %-10s\n",
+			fmtDur(cur.scalars[base+"_p50_ns"]), fmtDur(cur.scalars[base+"_p95_ns"]),
+			fmtDur(cur.scalars[base+"_p99_ns"]), fmtDur(cur.scalars[base+"_max_ns"]))
+		if bs := cur.buckets[base]; len(bs) > 0 {
+			lo, hi := bs[0].leNS, bs[len(bs)-1].leNS
+			hiLabel := "+Inf"
+			if hi >= 0 {
+				hiLabel = fmtDur(hi)
+			}
+			fmt.Fprintf(w, "    [%s … %s] %s\n", fmtDur(lo), hiLabel, sparkline(bs))
+		}
+	}
+}
+
+func scrape(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("kstat: %s returned %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7600", "admin listener address (kerberosd -admin)")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "print one snapshot and exit")
+	)
+	flag.Parse()
+	url := "http://" + *addr + "/metrics"
+
+	var prev *sample
+	for {
+		text, err := scrape(url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kstat: %v\n", err)
+			os.Exit(1)
+		}
+		cur := parseMetrics(text, time.Now())
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear and home
+		}
+		render(os.Stdout, *addr, cur, prev)
+		if *once {
+			return
+		}
+		prev = cur
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kerberos/internal/obs"
+)
+
+// snapshotText builds a real registry snapshot so the parser is tested
+// against exactly what obs.WriteText emits.
+func snapshotText(t *testing.T) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("kdc_as_requests").Add(120)
+	reg.Gauge("kdc_db_principals").Set(5000)
+	h := reg.Histogram("kdc_as_latency")
+	for i := 0; i < 99; i++ {
+		h.Observe(12 * time.Microsecond)
+	}
+	h.Observe(9 * time.Millisecond)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestParseMetrics(t *testing.T) {
+	s := parseMetrics(snapshotText(t), time.Now())
+	if s.scalars["kdc_as_requests"] != 120 {
+		t.Errorf("counter = %d", s.scalars["kdc_as_requests"])
+	}
+	if s.scalars["kdc_db_principals"] != 5000 {
+		t.Errorf("gauge = %d", s.scalars["kdc_db_principals"])
+	}
+	if s.scalars["kdc_as_latency_count"] != 100 {
+		t.Errorf("hist count = %d", s.scalars["kdc_as_latency_count"])
+	}
+	bs := s.buckets["kdc_as_latency"]
+	if len(bs) == 0 || bs[len(bs)-1].count != 100 {
+		t.Errorf("buckets = %v", bs)
+	}
+	if got := s.histBases(); len(got) != 1 || got[0] != "kdc_as_latency" {
+		t.Errorf("histBases = %v", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	now := time.Now()
+	prev := parseMetrics("kdc_as_requests 100\n", now.Add(-2*time.Second))
+	cur := parseMetrics(snapshotText(t), now)
+	var b strings.Builder
+	render(&b, "127.0.0.1:7600", cur, prev)
+	out := b.String()
+	for _, want := range []string{"kdc_as_requests", "10.0/s", "kdc_as_latency", "p99", "p50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Histogram component scalars fold into the histogram block, not the
+	// scalar table.
+	if strings.Contains(out, "kdc_as_latency_p50_ns") {
+		t.Errorf("histogram field leaked into scalar table:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]bucket{{1000, 0}, {2000, 0}}); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	got := sparkline([]bucket{{1000, 10}, {2000, 10}, {4000, 90}})
+	if len([]rune(got)) != 3 {
+		t.Errorf("sparkline = %q", got)
+	}
+	if strings.ContainsRune(got, ' ') && !strings.HasSuffix(got, "█") {
+		t.Errorf("sparkline scaling off: %q", got)
+	}
+}

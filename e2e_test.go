@@ -29,7 +29,7 @@ func buildBinaries(t *testing.T, dir string) map[string]string {
 	names := []string{
 		"kdb_init", "kerberosd", "kadmind", "kprop", "kpropd",
 		"kinit", "klist", "kdestroy", "kpasswd", "kadmin",
-		"ext_srvtab", "krsh", "krshd", "ktrace",
+		"ext_srvtab", "krsh", "krshd", "ktrace", "kstat",
 	}
 	bins := make(map[string]string, len(names))
 	for _, n := range names {
@@ -60,6 +60,14 @@ func run(t *testing.T, bin string, stdin string, args ...string) (string, error)
 // "on ADDR" line announcing the bound address.
 func daemon(t *testing.T, bin string, stdin string, args ...string) (addr string) {
 	t.Helper()
+	return daemonN(t, bin, stdin, 1, args...)[0]
+}
+
+// daemonN is daemon for binaries that announce several listeners (e.g.
+// kerberosd -admin prints the admin address before the protocol one);
+// it returns the first n announced addresses in announcement order.
+func daemonN(t *testing.T, bin string, stdin string, n int, args ...string) []string {
+	t.Helper()
 	cmd := exec.Command(bin, args...)
 	cmd.Stdin = strings.NewReader(stdin)
 	stderr, err := cmd.StderrPipe()
@@ -77,7 +85,7 @@ func daemon(t *testing.T, bin string, stdin string, args ...string) (addr string
 	re := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
 	sc := bufio.NewScanner(stderr)
 	deadline := time.After(30 * time.Second)
-	found := make(chan string, 1)
+	found := make(chan string, n)
 	go func() {
 		for sc.Scan() {
 			if m := re.FindStringSubmatch(sc.Text()); m != nil {
@@ -88,14 +96,17 @@ func daemon(t *testing.T, bin string, stdin string, args ...string) (addr string
 			}
 		}
 	}()
-	select {
-	case a := <-found:
-		// Keep draining stderr so the daemon never blocks on a full pipe.
-		return a
-	case <-deadline:
-		t.Fatalf("%s never announced its address", bin)
-		return ""
+	addrs := make([]string, 0, n)
+	for len(addrs) < n {
+		select {
+		case a := <-found:
+			// Keep draining stderr so the daemon never blocks on a full pipe.
+			addrs = append(addrs, a)
+		case <-deadline:
+			t.Fatalf("%s announced %d of %d addresses", bin, len(addrs), n)
+		}
 	}
+	return addrs
 }
 
 func TestEndToEndBinaries(t *testing.T) {
@@ -120,8 +131,10 @@ func TestEndToEndBinaries(t *testing.T) {
 	}
 
 	// --- daemons -------------------------------------------------------
-	kdcAddr := daemon(t, bins["kerberosd"], masterPw+"\n",
-		"-realm", e2eRealm, "-db", dbPath, "-addr", "127.0.0.1:0")
+	kdcAddrs := daemonN(t, bins["kerberosd"], masterPw+"\n", 2,
+		"-realm", e2eRealm, "-db", dbPath, "-addr", "127.0.0.1:0",
+		"-admin", "127.0.0.1:0")
+	adminAddr, kdcAddr := kdcAddrs[0], kdcAddrs[1] // admin is announced first
 	kdbmAddr := daemon(t, bins["kadmind"], masterPw+"\n",
 		"-realm", e2eRealm, "-db", dbPath, "-acl", aclPath, "-addr", "127.0.0.1:0",
 		"-save-interval", "1")
@@ -244,6 +257,22 @@ func TestEndToEndBinaries(t *testing.T) {
 	out, err = run(t, bins["ktrace"], "")
 	if err != nil || !strings.Contains(out, "Both sides now share a session key") {
 		t.Fatalf("ktrace: %v\n%s", err, out)
+	}
+
+	// --- kstat: live metrics from the master's admin listener ------------
+	// The kinits above went through the master KDC, so its AS latency
+	// histogram must be non-empty by now.
+	out, err = run(t, bins["kstat"], "", "-addr", adminAddr, "-once")
+	if err != nil {
+		t.Fatalf("kstat: %v\n%s", err, out)
+	}
+	for _, want := range []string{"kdc_as_requests", "kdc_as_latency", "p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("kstat output missing %q:\n%s", want, out)
+		}
+	}
+	if m := regexp.MustCompile(`kdc_as_latency\s+\(n=(\d+)\)`).FindStringSubmatch(out); m == nil || m[1] == "0" {
+		t.Fatalf("kstat shows empty AS latency histogram:\n%s", out)
 	}
 
 	// --- kdestroy --------------------------------------------------------

@@ -1,10 +1,12 @@
 package client
 
 import (
+	"errors"
 	"time"
 
 	"kerberos/internal/core"
 	"kerberos/internal/des"
+	"kerberos/internal/obs"
 	"kerberos/internal/replay"
 )
 
@@ -95,6 +97,11 @@ type Service struct {
 	// Clock substitutes the time source; nil means time.Now.
 	Clock func() time.Time
 
+	// Sink, when non-nil, receives one obs.AppAuth (or obs.MutualAuth,
+	// when the client requested the Figure 7 proof) event per
+	// ReadRequest.
+	Sink obs.Sink
+
 	replays *replay.Cache
 }
 
@@ -131,6 +138,37 @@ type ServerSession struct {
 // from is the transport source address; pass the zero Addr to skip that
 // comparison.
 func (s *Service) ReadRequest(msg []byte, from core.Addr) (*ServerSession, error) {
+	if s.Sink == nil {
+		return s.readRequest(msg, from)
+	}
+	start := time.Now()
+	sess, err := s.readRequest(msg, from)
+	ev := obs.Event{
+		Kind:     obs.AppAuth,
+		Time:     start,
+		Duration: time.Since(start),
+		Service:  s.Principal.String(),
+	}
+	if sess != nil {
+		ev.Principal = sess.Client.String()
+		if sess.MutualAuth {
+			ev.Kind = obs.MutualAuth
+			ev.Bytes = len(sess.Reply)
+		}
+	}
+	if err != nil {
+		var pe *core.ProtocolError
+		if errors.As(err, &pe) {
+			ev.Err = pe.Code.String()
+		} else {
+			ev.Err = err.Error()
+		}
+	}
+	s.Sink.Emit(ev)
+	return sess, err
+}
+
+func (s *Service) readRequest(msg []byte, from core.Addr) (*ServerSession, error) {
 	req, err := core.DecodeAPRequest(msg)
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ import (
 	"kerberos/internal/core"
 	"kerberos/internal/kdb"
 	"kerberos/internal/kdc"
+	"kerberos/internal/obs"
 )
 
 // Server is the KDBM administration server. Unlike the authentication
@@ -26,9 +27,27 @@ type Server struct {
 	clock  func() time.Time
 	logger *log.Logger
 
+	metrics Metrics
+	sink    obs.Sink
+
 	svcMu sync.Mutex
 	svc   *client.Service // changepw.kerberos verifier, rebuilt on key change
 	kvno  uint8
+}
+
+// Metrics counts and times admin operations. Denied covers both
+// authorization failures and operational errors (every non-OK reply);
+// per §5.1 both dispositions are equally log-worthy.
+type Metrics struct {
+	Ops       obs.Counter
+	Denied    obs.Counter
+	OpLatency obs.Histogram
+}
+
+func (m *Metrics) register(reg *obs.Registry) {
+	reg.RegisterCounter("kadm_ops", &m.Ops)
+	reg.RegisterCounter("kadm_denied", &m.Denied)
+	reg.RegisterHistogram("kadm_op_latency", &m.OpLatency)
 }
 
 // Option customizes a Server.
@@ -44,6 +63,20 @@ func WithClock(clock func() time.Time) Option {
 func WithLogger(l *log.Logger) Option {
 	return func(s *Server) { s.logger = l }
 }
+
+// WithRegistry publishes the server's metrics on reg under the kadm_
+// prefix.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *Server) { s.metrics.register(reg) }
+}
+
+// WithTraceSink emits one obs.KadmOp event per executed admin command.
+func WithTraceSink(sink obs.Sink) Option {
+	return func(s *Server) { s.sink = sink }
+}
+
+// Metrics exposes the operation counters and latency histogram.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
 
 type discard struct{}
 
@@ -147,13 +180,32 @@ func (s *Server) HandleConn(conn net.Conn) {
 // Execute authorizes and performs one admin command on behalf of the
 // authenticated requester. Exported for in-process tests and benches.
 func (s *Server) Execute(requester core.Principal, req *Request) *Reply {
+	s.metrics.Ops.Inc()
+	start := time.Now()
 	reply := s.execute(requester, req)
+	d := time.Since(start)
+	s.metrics.OpLatency.Observe(d)
 	verdict := "PERMITTED"
 	if !reply.OK {
 		verdict = "DENIED"
+		s.metrics.Denied.Inc()
 	}
 	s.logger.Printf("kdbm %s: %s %s %s.%s by %v: %s",
 		s.realm, verdict, req.Op, req.Name, req.Instance, requester, reply.Text)
+	if s.sink != nil {
+		ev := obs.Event{
+			Kind:      obs.KadmOp,
+			Time:      start,
+			Duration:  d,
+			Principal: requester.String(),
+			Service:   fmt.Sprintf("%s %s.%s", req.Op, req.Name, req.Instance),
+			KVNO:      reply.KVNO,
+		}
+		if !reply.OK {
+			ev.Err = reply.Code.String()
+		}
+		s.sink.Emit(ev)
+	}
 	return reply
 }
 

@@ -229,7 +229,7 @@ func TestOversizedReplyFallsBackToTCP(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Errorf("TCP fallback took %v; the signal should preempt the UDP budget", elapsed)
 	}
-	if got := r.server.Stats().UDPOverflows.Load(); got < 2 {
+	if got := r.server.Metrics().UDPOverflows.Load(); got < 2 {
 		t.Errorf("UDPOverflows = %d, want >= 2", got)
 	}
 }

@@ -15,27 +15,43 @@ import (
 	"errors"
 	"fmt"
 	"log"
-	"sync/atomic"
 	"time"
 
 	"kerberos/internal/core"
 	"kerberos/internal/des"
 	"kerberos/internal/kdb"
+	"kerberos/internal/obs"
 	"kerberos/internal/replay"
 )
 
-// Stats counts served requests, for monitoring and for the §9 scale
-// experiments.
-type Stats struct {
-	ASRequests  atomic.Uint64
-	TGSRequests atomic.Uint64
-	Errors      atomic.Uint64
+// Metrics counts and times served requests, for monitoring and for the
+// §9 scale experiments. All fields are lock-free and safe to read while
+// the server runs.
+type Metrics struct {
+	ASRequests  obs.Counter
+	TGSRequests obs.Counter
+	Errors      obs.Counter
 	// TGSRetransmits counts duplicate TGS requests answered with the
 	// remembered original reply instead of fresh work or a replay error.
-	TGSRetransmits atomic.Uint64
+	TGSRetransmits obs.Counter
 	// UDPOverflows counts replies that exceeded the UDP datagram bound
 	// and were replaced by the "retry over TCP" signal.
-	UDPOverflows atomic.Uint64
+	UDPOverflows obs.Counter
+	// ASLatency and TGSLatency distribute per-request service time,
+	// including requests answered with an error reply.
+	ASLatency  obs.Histogram
+	TGSLatency obs.Histogram
+}
+
+// register attaches every field to reg under the kdc_ prefix.
+func (m *Metrics) register(reg *obs.Registry) {
+	reg.RegisterCounter("kdc_as_requests", &m.ASRequests)
+	reg.RegisterCounter("kdc_tgs_requests", &m.TGSRequests)
+	reg.RegisterCounter("kdc_errors", &m.Errors)
+	reg.RegisterCounter("kdc_tgs_retransmits", &m.TGSRetransmits)
+	reg.RegisterCounter("kdc_udp_overflows", &m.UDPOverflows)
+	reg.RegisterHistogram("kdc_as_latency", &m.ASLatency)
+	reg.RegisterHistogram("kdc_tgs_latency", &m.TGSLatency)
 }
 
 // Server is an authentication server for one realm.
@@ -45,7 +61,8 @@ type Server struct {
 	replays *replay.Cache
 	clock   func() time.Time
 	logger  *log.Logger // nil: logging disabled (the request hot path pays nothing)
-	stats   Stats
+	metrics Metrics
+	sink    obs.Sink // nil: tracing disabled (no events built, no strings rendered)
 }
 
 // Option customizes a Server.
@@ -59,6 +76,22 @@ func WithClock(clock func() time.Time) Option {
 // WithLogger directs the server's request log.
 func WithLogger(l *log.Logger) Option {
 	return func(s *Server) { s.logger = l }
+}
+
+// WithRegistry publishes the server's metrics — request counters,
+// latency histograms, and the replay cache's counters — on reg under
+// the kdc_ prefix.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *Server) {
+		s.metrics.register(reg)
+		s.replays.RegisterMetrics(reg, "kdc_replay")
+	}
+}
+
+// WithTraceSink emits one obs.Event per completed AS/TGS exchange to
+// sink. A nil sink (the default) disables tracing entirely.
+func WithTraceSink(sink obs.Sink) Option {
+	return func(s *Server) { s.sink = sink }
 }
 
 // New creates an authentication server for realm over db. The database
@@ -79,8 +112,8 @@ func New(realm string, db *kdb.Database, opts ...Option) *Server {
 // Realm returns the realm this server authenticates for.
 func (s *Server) Realm() string { return s.realm }
 
-// Stats exposes the request counters.
-func (s *Server) Stats() *Stats { return &s.stats }
+// Metrics exposes the request counters and latency histograms.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
 
 // Handle processes one encoded request from the given address and
 // returns the encoded reply. It is transport-independent: the UDP and
@@ -102,7 +135,7 @@ func (s *Server) Handle(msg []byte, from core.Addr) []byte {
 }
 
 func (s *Server) errorReply(err error) []byte {
-	s.stats.Errors.Add(1)
+	s.metrics.Errors.Inc()
 	var pe *core.ProtocolError
 	if !errors.As(err, &pe) {
 		pe = core.NewError(core.ErrGeneric, "%v", err)
@@ -111,6 +144,32 @@ func (s *Server) errorReply(err error) []byte {
 		s.logger.Printf("kdc %s: error reply: %v", s.realm, pe)
 	}
 	return (&core.ErrorMessage{Code: pe.Code, Text: pe.Text}).Encode()
+}
+
+// fail builds the error reply and, when tracing, records the protocol
+// error code on the exchange's event.
+func (s *Server) fail(ev *obs.Event, err error) []byte {
+	if s.sink != nil {
+		var pe *core.ProtocolError
+		if errors.As(err, &pe) {
+			ev.Err = pe.Code.String()
+		} else {
+			ev.Err = err.Error()
+		}
+	}
+	return s.errorReply(err)
+}
+
+// trace finishes and emits ev; a no-op without a sink.
+func (s *Server) trace(ev *obs.Event, kind obs.Kind, start time.Time, d time.Duration, reply []byte) {
+	if s.sink == nil {
+		return
+	}
+	ev.Kind = kind
+	ev.Time = start
+	ev.Duration = d
+	ev.Bytes = len(reply)
+	s.sink.Emit(*ev)
 }
 
 // lookup fetches a principal entry from this realm's database, mapping
@@ -184,43 +243,60 @@ func (s *Server) issue(client core.Principal, clientAddr core.Addr,
 // The same exchange issues tickets for changepw.kerberos (§5.1) and for
 // remote-realm TGSes (§7.2).
 func (s *Server) handleAS(msg []byte, from core.Addr) []byte {
-	s.stats.ASRequests.Add(1)
+	s.metrics.ASRequests.Inc()
+	start := time.Now()
+	var ev obs.Event
+	reply := s.doAS(msg, from, &ev)
+	d := time.Since(start)
+	s.metrics.ASLatency.Observe(d)
+	s.trace(&ev, obs.ExchangeAS, start, d, reply)
+	return reply
+}
+
+func (s *Server) doAS(msg []byte, from core.Addr, ev *obs.Event) []byte {
 	req, err := core.DecodeAuthRequest(msg)
 	if err != nil {
-		return s.errorReply(err)
+		return s.fail(ev, err)
 	}
 	now := s.clock()
 
 	client := req.Client.WithRealm(s.realm)
+	if s.sink != nil {
+		ev.Principal = client.String()
+	}
 	if client.Realm != s.realm {
-		return s.errorReply(core.NewError(core.ErrWrongRealm,
+		return s.fail(ev, core.NewError(core.ErrWrongRealm,
 			"client %v is not of realm %s", client, s.realm))
 	}
 	clientEntry, err := s.lookup(client, now)
 	if err != nil {
-		return s.errorReply(err)
+		return s.fail(ev, err)
 	}
 	service := req.Service.WithRealm(s.realm)
+	if s.sink != nil {
+		ev.Service = service.String()
+	}
 	if service.Realm != s.realm {
-		return s.errorReply(core.NewError(core.ErrWrongRealm,
+		return s.fail(ev, core.NewError(core.ErrWrongRealm,
 			"service %v is not registered in realm %s", service, s.realm))
 	}
 	serviceEntry, err := s.lookup(service, now)
 	if err != nil {
-		return s.errorReply(err)
+		return s.fail(ev, err)
 	}
 
 	life := core.MinLife(req.Life,
 		core.MinLife(effMaxLife(clientEntry), effMaxLife(serviceEntry)))
 	clientKey, err := s.db.Key(clientEntry)
 	if err != nil {
-		return s.errorReply(core.NewError(core.ErrDatabase, "cannot decrypt key for %v", client))
+		return s.fail(ev, core.NewError(core.ErrDatabase, "cannot decrypt key for %v", client))
 	}
 	reply, err := s.issue(client, from, serviceEntry, service, life,
 		req.Time, clientKey, clientEntry.KVNO, now)
 	if err != nil {
-		return s.errorReply(err)
+		return s.fail(ev, err)
 	}
+	ev.KVNO = serviceEntry.KVNO
 	if s.logger != nil {
 		s.logger.Printf("kdc %s: AS issued %v ticket to %v at %v", s.realm, service, client, from)
 	}
@@ -232,10 +308,20 @@ func (s *Server) handleAS(msg []byte, from core.Addr) []byte {
 // ticket-granting server; the reply is sealed in the TGT's session key,
 // so "there is no need for the user to enter her/his password again."
 func (s *Server) handleTGS(msg []byte, from core.Addr) []byte {
-	s.stats.TGSRequests.Add(1)
+	s.metrics.TGSRequests.Inc()
+	start := time.Now()
+	var ev obs.Event
+	reply := s.doTGS(msg, from, &ev)
+	d := time.Since(start)
+	s.metrics.TGSLatency.Observe(d)
+	s.trace(&ev, obs.ExchangeTGS, start, d, reply)
+	return reply
+}
+
+func (s *Server) doTGS(msg []byte, from core.Addr, ev *obs.Event) []byte {
 	req, err := core.DecodeTGSRequest(msg)
 	if err != nil {
-		return s.errorReply(err)
+		return s.fail(ev, err)
 	}
 	now := s.clock()
 
@@ -249,31 +335,34 @@ func (s *Server) handleTGS(msg []byte, from core.Addr) []byte {
 	}
 	tgsEntry, err := s.lookup(core.TGSPrincipal(tgsKeyInstance(issuingRealm, s.realm), s.realm), now)
 	if err != nil {
-		return s.errorReply(core.NewError(core.ErrWrongRealm,
+		return s.fail(ev, core.NewError(core.ErrWrongRealm,
 			"no key shared with realm %s", issuingRealm))
 	}
 	tgsKey, err := s.db.Key(tgsEntry)
 	if err != nil {
-		return s.errorReply(core.NewError(core.ErrDatabase, "cannot decrypt TGS key"))
+		return s.fail(ev, core.NewError(core.ErrDatabase, "cannot decrypt TGS key"))
 	}
 
 	tgt, err := core.OpenTicket(tgsKey, req.APReq.Ticket)
 	if err != nil {
-		return s.errorReply(err)
+		return s.fail(ev, err)
 	}
 	// The ticket must actually be addressed to our ticket-granting
 	// service; a stolen service ticket for some other server must not
 	// mint new tickets.
 	if !tgt.Server.IsTGS() || tgt.Server.Instance != s.realm {
-		return s.errorReply(core.NewError(core.ErrCannotIssue,
+		return s.fail(ev, core.NewError(core.ErrCannotIssue,
 			"ticket is for %v, not the %s ticket-granting service", tgt.Server, s.realm))
+	}
+	if s.sink != nil {
+		ev.Principal = tgt.Client.String()
 	}
 	auth, err := core.OpenAuthenticator(tgt.SessionKey, req.APReq.Authenticator)
 	if err != nil {
-		return s.errorReply(err)
+		return s.fail(ev, err)
 	}
 	if err := auth.Verify(tgt, from, now); err != nil {
-		return s.errorReply(err)
+		return s.fail(ev, err)
 	}
 	reqDigest := replay.Digest(msg)
 	if cached, dup := s.replays.SeenWithReply(auth, reqDigest, now); dup {
@@ -284,22 +373,26 @@ func (s *Server) handleTGS(msg []byte, from core.Addr) []byte {
 		// the first request finished — or a true replay of an
 		// authenticator we never answered — is rejected.
 		if cached != nil {
-			s.stats.TGSRetransmits.Add(1)
+			s.metrics.TGSRetransmits.Inc()
+			ev.Detail = "retransmit"
 			if s.logger != nil {
 				s.logger.Printf("kdc %s: TGS resending reply to retransmit from %v", s.realm, auth.Client)
 			}
 			return cached
 		}
-		return s.errorReply(core.NewError(core.ErrRepeat,
+		return s.fail(ev, core.NewError(core.ErrRepeat,
 			"authenticator from %v already presented", auth.Client))
 	}
 
 	service := req.Service.WithRealm(s.realm)
+	if s.sink != nil {
+		ev.Service = service.String()
+	}
 	// "This service is unique in that the ticket-granting service will
 	// not issue tickets for it. Instead, the authentication service
 	// itself must be used" (§5.1).
 	if service.IsChangePw() {
-		return s.errorReply(core.NewError(core.ErrCannotIssue,
+		return s.fail(ev, core.NewError(core.ErrCannotIssue,
 			"tickets for %v are only issued by the authentication service", service))
 	}
 	// Single-hop cross-realm only: a client authenticated elsewhere may
@@ -308,17 +401,17 @@ func (s *Server) handleTGS(msg []byte, from core.Addr) []byte {
 	// work in the paper (§7.2).
 	crossRealmHop := service.IsTGS() && service.Instance != s.realm
 	if crossRealmHop && tgt.Client.Realm != s.realm {
-		return s.errorReply(core.NewError(core.ErrCannotIssue,
+		return s.fail(ev, core.NewError(core.ErrCannotIssue,
 			"client of realm %s may not chain to realm %s via %s",
 			tgt.Client.Realm, service.Instance, s.realm))
 	}
 	if service.Realm != s.realm {
-		return s.errorReply(core.NewError(core.ErrWrongRealm,
+		return s.fail(ev, core.NewError(core.ErrWrongRealm,
 			"service %v is not registered in realm %s", service, s.realm))
 	}
 	serviceEntry, err := s.lookup(service, now)
 	if err != nil {
-		return s.errorReply(err)
+		return s.fail(ev, err)
 	}
 
 	// "The lifetime of the new ticket is the minimum of the remaining
@@ -332,8 +425,9 @@ func (s *Server) handleTGS(msg []byte, from core.Addr) []byte {
 	reply, err := s.issue(tgt.Client, from, serviceEntry, service, life,
 		req.Time, tgt.SessionKey, 0, now)
 	if err != nil {
-		return s.errorReply(err)
+		return s.fail(ev, err)
 	}
+	ev.KVNO = serviceEntry.KVNO
 	if s.logger != nil {
 		s.logger.Printf("kdc %s: TGS issued %v ticket to %v (authenticated by %s)",
 			s.realm, service, tgt.Client, tgt.Client.Realm)

@@ -121,10 +121,10 @@ func TestKDCConcurrentMixedLoad(t *testing.T) {
 			t.Error(err)
 		}
 	}
-	if got := r.server.Stats().TGSRequests.Load(); got != users*20 {
+	if got := r.server.Metrics().TGSRequests.Load(); got != users*20 {
 		t.Errorf("TGS count = %d, want %d", got, users*20)
 	}
-	if got := r.server.Stats().Errors.Load(); got != 0 {
+	if got := r.server.Metrics().Errors.Load(); got != 0 {
 		t.Errorf("errors = %d", got)
 	}
 }

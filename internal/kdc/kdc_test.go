@@ -145,7 +145,7 @@ func TestASExchange(t *testing.T) {
 	if _, err := core.OpenTicket(r.userKey, enc.Ticket); err == nil {
 		t.Error("ticket opened with user key")
 	}
-	if got := r.server.Stats().ASRequests.Load(); got != 1 {
+	if got := r.server.Metrics().ASRequests.Load(); got != 1 {
 		t.Errorf("AS request count = %d", got)
 	}
 }
@@ -339,7 +339,7 @@ func TestTGSReplayDetected(t *testing.T) {
 	if !bytes.Equal(first, second) {
 		t.Errorf("retransmitted request not answered with the original reply")
 	}
-	if got := r.server.Stats().TGSRetransmits.Load(); got != 1 {
+	if got := r.server.Metrics().TGSRetransmits.Load(); got != 1 {
 		t.Errorf("TGSRetransmits = %d, want 1", got)
 	}
 	// The same authenticator stapled to a *different* request body is a

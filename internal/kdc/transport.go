@@ -163,7 +163,7 @@ func (l *Listener) serveUDP() {
 			// The answer cannot travel as a datagram. Historically the
 			// reply was silently dropped and the client burned its whole
 			// timeout; instead tell it explicitly to retry over TCP.
-			l.server.stats.UDPOverflows.Add(1)
+			l.server.metrics.UDPOverflows.Inc()
 			reply = udpOverflowReply
 		}
 		l.udp.WriteToUDP(reply, from)

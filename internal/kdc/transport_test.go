@@ -135,7 +135,7 @@ func TestConcurrentClients(t *testing.T) {
 	// At least one request per client; a slow reply may provoke a
 	// retransmission, which the server counts as a fresh AS request
 	// (initial-ticket exchanges carry no authenticator to dedupe on).
-	if got := r.server.Stats().ASRequests.Load(); got < 32 {
+	if got := r.server.Metrics().ASRequests.Load(); got < 32 {
 		t.Errorf("AS requests = %d, want >= 32", got)
 	}
 }

@@ -18,12 +18,12 @@ import (
 	"log"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"kerberos/internal/des"
 	"kerberos/internal/kdb"
 	"kerberos/internal/kdc"
+	"kerberos/internal/obs"
 )
 
 // DefaultInterval is how often the master pushes the database: "The
@@ -34,25 +34,102 @@ type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
+// Option customizes a Master or a Slave with observability hooks.
+type Option func(*options)
+
+type options struct {
+	reg  *obs.Registry
+	sink obs.Sink
+}
+
+// WithRegistry publishes propagation metrics on reg (kprop_* for the
+// master side, kpropd_* for the slave side).
+func WithRegistry(reg *obs.Registry) Option {
+	return func(o *options) { o.reg = reg }
+}
+
+// WithTraceSink emits one obs.KpropRound event per push (master side)
+// to sink.
+func WithTraceSink(sink obs.Sink) Option {
+	return func(o *options) { o.sink = sink }
+}
+
+// masterMetrics tracks the kprop side: how often dumps go out, how
+// large they are, and how stale the slaves can be (lag is derivable
+// from kprop_last_success_unix).
+type masterMetrics struct {
+	pushes       obs.Counter
+	failures     obs.Counter
+	bytes        obs.Counter
+	lastSuccess  obs.Gauge // unix seconds of the last successful push
+	roundLatency obs.Histogram
+}
+
+func (m *masterMetrics) register(reg *obs.Registry) {
+	reg.RegisterCounter("kprop_pushes", &m.pushes)
+	reg.RegisterCounter("kprop_failures", &m.failures)
+	reg.RegisterCounter("kprop_bytes", &m.bytes)
+	reg.RegisterGauge("kprop_last_success_unix", &m.lastSuccess)
+	reg.RegisterHistogram("kprop_round_latency", &m.roundLatency)
+}
+
 // Master is the kprop side: it dumps the master database and pushes it
 // to slaves.
 type Master struct {
-	db     *kdb.Database
-	slaves []string
-	logger *log.Logger
+	db      *kdb.Database
+	slaves  []string
+	logger  *log.Logger
+	metrics masterMetrics
+	sink    obs.Sink
 }
 
 // NewMaster creates the propagation client for the master database.
-func NewMaster(db *kdb.Database, slaveAddrs []string, logger *log.Logger) *Master {
+func NewMaster(db *kdb.Database, slaveAddrs []string, logger *log.Logger, opts ...Option) *Master {
 	if logger == nil {
 		logger = log.New(discard{}, "", 0)
 	}
-	return &Master{db: db, slaves: slaveAddrs, logger: logger}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	m := &Master{db: db, slaves: slaveAddrs, logger: logger, sink: o.sink}
+	if o.reg != nil {
+		m.metrics.register(o.reg)
+	}
+	return m
 }
 
 // PropagateTo pushes one full dump to a single kpropd.
 func (m *Master) PropagateTo(addr string) error {
+	start := time.Now()
 	dump := m.db.Dump()
+	err := m.propagateTo(addr, dump)
+	d := time.Since(start)
+	m.metrics.pushes.Inc()
+	m.metrics.roundLatency.Observe(d)
+	if err != nil {
+		m.metrics.failures.Inc()
+	} else {
+		m.metrics.bytes.Add(uint64(len(dump)))
+		m.metrics.lastSuccess.Set(time.Now().Unix())
+	}
+	if m.sink != nil {
+		ev := obs.Event{
+			Kind:     obs.KpropRound,
+			Time:     start,
+			Duration: d,
+			Service:  addr,
+			Bytes:    len(dump),
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		m.sink.Emit(ev)
+	}
+	return err
+}
+
+func (m *Master) propagateTo(addr string, dump []byte) error {
 	var sumBytes [8]byte
 	binary.BigEndian.PutUint64(sumBytes[:], kdb.DumpChecksum(m.db.MasterKey(), dump))
 	sealedSum := des.Seal(m.db.MasterKey(), sumBytes[:])
@@ -114,32 +191,55 @@ func (m *Master) Run(ctx context.Context, interval time.Duration) {
 	}
 }
 
+// slaveMetrics tracks the kpropd side: installed and rejected dumps,
+// bytes received, and how long an install (verify + swap) takes.
+type slaveMetrics struct {
+	updates        obs.Counter
+	rejected       obs.Counter
+	bytes          obs.Counter
+	lastBytes      obs.Gauge
+	installLatency obs.Histogram
+}
+
+func (m *slaveMetrics) register(reg *obs.Registry) {
+	reg.RegisterCounter("kpropd_updates", &m.updates)
+	reg.RegisterCounter("kpropd_rejected", &m.rejected)
+	reg.RegisterCounter("kpropd_bytes", &m.bytes)
+	reg.RegisterGauge("kpropd_last_bytes", &m.lastBytes)
+	reg.RegisterHistogram("kpropd_install_latency", &m.installLatency)
+}
+
 // Slave is the kpropd side: it receives dumps, verifies them against the
 // encrypted checksum, and swaps them into the local read-only database.
 type Slave struct {
-	db     *kdb.Database
-	logger *log.Logger
-
-	updates   atomic.Uint64
-	rejected  atomic.Uint64
-	lastBytes atomic.Uint64
+	db      *kdb.Database
+	logger  *log.Logger
+	metrics slaveMetrics
 }
 
 // NewSlave creates the propagation server over a slave database. The
 // database is forced read-only: only propagation may modify it (§5).
-func NewSlave(db *kdb.Database, logger *log.Logger) *Slave {
+func NewSlave(db *kdb.Database, logger *log.Logger, opts ...Option) *Slave {
 	if logger == nil {
 		logger = log.New(discard{}, "", 0)
 	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
 	db.SetReadOnly(true)
-	return &Slave{db: db, logger: logger}
+	s := &Slave{db: db, logger: logger}
+	if o.reg != nil {
+		s.metrics.register(o.reg)
+	}
+	return s
 }
 
 // Updates reports how many dumps have been installed.
-func (s *Slave) Updates() uint64 { return s.updates.Load() }
+func (s *Slave) Updates() uint64 { return s.metrics.updates.Load() }
 
 // Rejected reports how many dumps failed verification.
-func (s *Slave) Rejected() uint64 { return s.rejected.Load() }
+func (s *Slave) Rejected() uint64 { return s.metrics.rejected.Load() }
 
 // handleConn processes one kprop connection.
 func (s *Slave) handleConn(conn net.Conn) {
@@ -155,7 +255,6 @@ func (s *Slave) handleConn(conn net.Conn) {
 		return
 	}
 	if err := s.Install(sealedSum, dump); err != nil {
-		s.rejected.Add(1)
 		s.logger.Printf("kpropd: rejected update: %v", err)
 		kdc.WriteFrame(conn, []byte(err.Error()))
 		return
@@ -168,6 +267,21 @@ func (s *Slave) handleConn(conn net.Conn) {
 // be accepted by the slaves, and that tampering of data be detected,
 // thus the checksum" (§5.3).
 func (s *Slave) Install(sealedSum, dump []byte) error {
+	start := time.Now()
+	err := s.install(sealedSum, dump)
+	s.metrics.installLatency.Observe(time.Since(start))
+	if err != nil {
+		s.metrics.rejected.Inc()
+		return err
+	}
+	s.metrics.updates.Inc()
+	s.metrics.bytes.Add(uint64(len(dump)))
+	s.metrics.lastBytes.Set(int64(len(dump)))
+	s.logger.Printf("kpropd: installed %d bytes (%d principals)", len(dump), s.db.Len())
+	return nil
+}
+
+func (s *Slave) install(sealedSum, dump []byte) error {
 	sumBytes, err := des.Unseal(s.db.MasterKey(), sealedSum)
 	if err != nil || len(sumBytes) != 8 {
 		return errors.New("kpropd: checksum not sealed in the master database key")
@@ -179,9 +293,6 @@ func (s *Slave) Install(sealedSum, dump []byte) error {
 	if err := s.db.LoadDump(dump); err != nil {
 		return fmt.Errorf("kpropd: installing dump: %w", err)
 	}
-	s.updates.Add(1)
-	s.lastBytes.Store(uint64(len(dump)))
-	s.logger.Printf("kpropd: installed %d bytes (%d principals)", len(dump), s.db.Len())
 	return nil
 }
 

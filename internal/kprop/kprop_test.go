@@ -153,7 +153,7 @@ func TestForgedChecksumRejected(t *testing.T) {
 	if err := slave.Install(sealed, dump); err == nil {
 		t.Fatal("forged propagation accepted")
 	}
-	if slave.Rejected() != 0 { // Install alone doesn't bump the socket counter
+	if slave.Rejected() != 1 { // every failed verification counts, even off-socket
 		t.Error("unexpected rejected count")
 	}
 	if slaveDB.Len() != 0 {

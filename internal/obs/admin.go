@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// The operator surface: an opt-in HTTP listener serving the metrics
+// snapshot and the Go profiling endpoints. It is deliberately separate
+// from the protocol listeners — the paper's KDC answers only the
+// authentication protocols on its ports; monitoring rides on an admin
+// address the operator chooses (and firewalls) explicitly.
+
+// Admin is a running admin listener.
+type Admin struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin binds the admin listener on addr and serves:
+//
+//	/metrics        the registry's text snapshot (what kstat polls)
+//	/healthz        liveness probe ("ok")
+//	/debug/pprof/   the standard Go profiling endpoints
+//
+// Pass "127.0.0.1:0" to pick a free port (tests); the bound address is
+// available from Addr.
+func ServeAdmin(addr string, reg *Registry) (*Admin, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: binding admin listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a := &Admin{
+		lis: lis,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go a.srv.Serve(lis)
+	return a, nil
+}
+
+// Addr returns the bound address, suitable for kstat's -addr flag.
+func (a *Admin) Addr() string { return a.lis.Addr().String() }
+
+// Close stops the listener and any in-flight scrapes.
+func (a *Admin) Close() error { return a.srv.Close() }

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminListener(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("as_requests").Add(7)
+	reg.Histogram("as_latency").Observe(2 * time.Millisecond)
+
+	a, err := ServeAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	base := "http://" + a.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{"as_requests 7\n", "as_latency_count 1\n", "as_latency_p99_ns "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// pprof wiring: the index and a profile endpoint both answer.
+	if code, body := get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestAdminListenerBadAddr(t *testing.T) {
+	if _, err := ServeAdmin("256.0.0.1:bogus", NewRegistry()); err == nil {
+		t.Error("expected bind error")
+	}
+}
+
+func TestAdminClose(t *testing.T) {
+	a, err := ServeAdmin("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := a.Addr()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("listener still serving after Close")
+	}
+}

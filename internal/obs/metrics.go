@@ -1,0 +1,362 @@
+// Package obs is the realm-wide observability layer: a stdlib-only,
+// allocation-light metrics registry (counters, gauges, fixed-bucket
+// latency histograms), structured per-exchange trace events, and an
+// operator surface (a /metrics-style text snapshot plus pprof wiring,
+// served by the admin listener in admin.go and rendered live by
+// cmd/kstat).
+//
+// The §9 deployment claim — one realm carrying 5,000 users, 650
+// workstations, and 65 servers — is only reproducible if the realm's
+// behaviour under load is visible, so every server-side package (kdc,
+// kprop, kadm, replay, the workload driver) reports through this one.
+//
+// Design constraints, in order:
+//
+//  1. The hot path pays almost nothing. Counter.Add, Gauge.Set, and
+//     Histogram.Observe are a handful of atomic operations — no locks,
+//     no allocations, no interface dispatch — so the PR 1 zero-alloc
+//     AS/TGS path is preserved (guarded by AllocsPerRun in the tests).
+//  2. Zero values work. A Counter, Gauge, or Histogram embedded by
+//     value in another package's struct is usable without construction
+//     and can be registered afterwards.
+//  3. Reading is lock-free on the writers. Snapshots and quantiles are
+//     computed from atomic loads; a scrape never blocks a request.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+// The zero value is ready to use.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value (queue depth, last-success
+// timestamp). The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the number of histogram buckets: 27 exponential
+// latency bounds from 1µs to ~67s, plus one overflow bucket.
+const HistBuckets = 28
+
+// BucketBound returns the inclusive upper bound of bucket i
+// (1µs << i), or a negative duration for the overflow bucket.
+func BucketBound(i int) time.Duration {
+	if i >= HistBuckets-1 {
+		return -1 // +Inf
+	}
+	return time.Microsecond << uint(i)
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d <= 1µs<<i, saturating at the overflow bucket.
+func bucketIndex(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	us := uint64((d + time.Microsecond - 1) / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	idx := bits.Len64(us - 1)
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	return idx
+}
+
+// Histogram is a fixed-bucket latency distribution. Observation is a
+// few atomic adds — no locks, no allocation — and p50/p95/p99 are
+// derivable from any snapshot without stopping the writers. The zero
+// value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// Count returns how many observations have been recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot captures a consistent-enough view for monitoring: buckets
+// are loaded atomically one by one, so a scrape racing observations may
+// be off by the requests in flight — never torn, never blocking.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNS: h.sum.Load(),
+		MaxNS: h.max.Load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile is shorthand for Snapshot().Quantile(q).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64
+	SumNS   int64
+	MaxNS   int64
+	Buckets [HistBuckets]uint64
+}
+
+// Mean returns the average observed duration.
+func (s *HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / int64(s.Count))
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
+// bound of the first bucket whose cumulative count reaches q·Count.
+// Observations in the overflow bucket report the recorded maximum.
+func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q*float64(s.Count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
+	}
+	cum := uint64(0)
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= target {
+			if b := BucketBound(i); b >= 0 {
+				return b
+			}
+			return time.Duration(s.MaxNS)
+		}
+	}
+	return time.Duration(s.MaxNS)
+}
+
+// Registry is a named collection of metrics. Registration takes a
+// mutex (setup-time only); the metrics themselves are lock-free, so
+// holding pre-resolved pointers keeps the request path cold-cache-free
+// of the registry entirely.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]entry
+}
+
+type entry struct {
+	c  *Counter
+	g  *Gauge
+	gf func() int64
+	h  *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]entry)}
+}
+
+// Counter returns the named counter, creating it on first use.
+// A nil registry returns an unregistered counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok && e.c != nil {
+		return e.c
+	}
+	c := &Counter{}
+	r.entries[name] = entry{c: c}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok && e.g != nil {
+		return e.g
+	}
+	g := &Gauge{}
+	r.entries[name] = entry{g: g}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok && e.h != nil {
+		return e.h
+	}
+	h := &Histogram{}
+	r.entries[name] = entry{h: h}
+	return h
+}
+
+// RegisterCounter attaches an existing counter (typically a zero-value
+// field embedded in another package's struct) under name.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[name] = entry{c: c}
+}
+
+// RegisterGauge attaches an existing gauge under name.
+func (r *Registry) RegisterGauge(name string, g *Gauge) {
+	if r == nil || g == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[name] = entry{g: g}
+}
+
+// RegisterHistogram attaches an existing histogram under name.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[name] = entry{h: h}
+}
+
+// GaugeFunc registers a derived gauge computed at scrape time (cache
+// sizes, database length, uptime). fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[name] = entry{gf: fn}
+}
+
+// WriteText renders the /metrics snapshot: one "name value" line per
+// counter and gauge; histograms expand to _count, _sum_ns, _max_ns,
+// quantile (_p50_ns, _p95_ns, _p99_ns) and cumulative
+// name_bucket{le_ns="bound"} lines. Names are sorted, so the output is
+// diffable and trivially parseable (cmd/kstat consumes it).
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.entries))
+	entries := make([]entry, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		entries = append(entries, r.entries[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for i, name := range names {
+		e := entries[i]
+		switch {
+		case e.c != nil:
+			fmt.Fprintf(&b, "%s %d\n", name, e.c.Load())
+		case e.g != nil:
+			fmt.Fprintf(&b, "%s %d\n", name, e.g.Load())
+		case e.gf != nil:
+			fmt.Fprintf(&b, "%s %d\n", name, e.gf())
+		case e.h != nil:
+			writeHistogramText(&b, name, e.h.Snapshot())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogramText(b *strings.Builder, name string, s HistogramSnapshot) {
+	fmt.Fprintf(b, "%s_count %d\n", name, s.Count)
+	fmt.Fprintf(b, "%s_sum_ns %d\n", name, s.SumNS)
+	fmt.Fprintf(b, "%s_max_ns %d\n", name, s.MaxNS)
+	fmt.Fprintf(b, "%s_p50_ns %d\n", name, s.Quantile(0.50).Nanoseconds())
+	fmt.Fprintf(b, "%s_p95_ns %d\n", name, s.Quantile(0.95).Nanoseconds())
+	fmt.Fprintf(b, "%s_p99_ns %d\n", name, s.Quantile(0.99).Nanoseconds())
+	// Emit cumulative buckets from the first through the last nonzero
+	// one, so an empty histogram costs no bucket lines and a fast one
+	// does not print dozens of saturated tail buckets.
+	last := -1
+	for i, n := range s.Buckets {
+		if n != 0 {
+			last = i
+		}
+	}
+	cum := uint64(0)
+	for i := 0; i <= last; i++ {
+		cum += s.Buckets[i]
+		if bound := BucketBound(i); bound >= 0 {
+			fmt.Fprintf(b, "%s_bucket{le_ns=\"%d\"} %d\n", name, bound.Nanoseconds(), cum)
+		} else {
+			fmt.Fprintf(b, "%s_bucket{le_ns=\"+Inf\"} %d\n", name, cum)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter // zero value usable
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(-7)
+	g.Add(10)
+	if got := g.Load(); got != 3 {
+		t.Errorf("gauge = %d, want 3", got)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{time.Hour, HistBuckets - 1}, // overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's bound maps into that bucket (inclusive upper bound).
+	for i := 0; i < HistBuckets-1; i++ {
+		if got := bucketIndex(BucketBound(i)); got != i {
+			t.Errorf("bucketIndex(BucketBound(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram // zero value usable
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	// 90 fast observations, 10 slow ones.
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(40 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if p50 := s.Quantile(0.50); p50 > 16*time.Microsecond {
+		t.Errorf("p50 = %v, want <= 16µs bucket", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 32*time.Millisecond {
+		t.Errorf("p99 = %v, want >= 32ms", p99)
+	}
+	if s.MaxNS != (40 * time.Millisecond).Nanoseconds() {
+		t.Errorf("max = %d", s.MaxNS)
+	}
+	if mean := s.Mean(); mean < 3*time.Millisecond || mean > 6*time.Millisecond {
+		t.Errorf("mean = %v", mean)
+	}
+	// Overflow observations report the recorded max.
+	var o Histogram
+	o.Observe(time.Hour)
+	if got := o.Quantile(0.99); got != time.Hour {
+		t.Errorf("overflow quantile = %v, want 1h", got)
+	}
+}
+
+func TestHistogramNegativeObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumNS != 0 || s.Buckets[0] != 1 {
+		t.Errorf("negative observation recorded as %+v", s)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("x_total")
+	c2 := reg.Counter("x_total")
+	if c1 != c2 {
+		t.Error("same name returned distinct counters")
+	}
+	if reg.Histogram("h") != reg.Histogram("h") {
+		t.Error("same name returned distinct histograms")
+	}
+	if reg.Gauge("g") != reg.Gauge("g") {
+		t.Error("same name returned distinct gauges")
+	}
+	// A nil registry hands out working, unregistered metrics.
+	var nilReg *Registry
+	nilReg.Counter("a").Inc()
+	nilReg.Gauge("b").Set(1)
+	nilReg.Histogram("c").Observe(time.Millisecond)
+	if err := nilReg.WriteText(&strings.Builder{}); err != nil {
+		t.Errorf("nil WriteText: %v", err)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("kdc_as_requests").Add(3)
+	reg.Gauge("kdc_db_principals").Set(5000)
+	reg.GaugeFunc("derived", func() int64 { return 17 })
+	var ext Counter
+	ext.Add(9)
+	reg.RegisterCounter("external_total", &ext)
+	h := reg.Histogram("kdc_as_latency")
+	h.Observe(3 * time.Microsecond)
+	h.Observe(900 * time.Microsecond)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"kdc_as_requests 3\n",
+		"kdc_db_principals 5000\n",
+		"derived 17\n",
+		"external_total 9\n",
+		"kdc_as_latency_count 2\n",
+		"kdc_as_latency_p50_ns ",
+		"kdc_as_latency_p95_ns ",
+		"kdc_as_latency_p99_ns ",
+		`kdc_as_latency_bucket{le_ns="4000"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted output: derived < external_total < kdc_...
+	if strings.Index(out, "derived") > strings.Index(out, "external_total") {
+		t.Error("output not sorted")
+	}
+}
+
+func TestRegisterExistingMetrics(t *testing.T) {
+	reg := NewRegistry()
+	var g Gauge
+	g.Set(11)
+	reg.RegisterGauge("g", &g)
+	var h Histogram
+	h.Observe(time.Microsecond)
+	reg.RegisterHistogram("h", &h)
+	var b strings.Builder
+	reg.WriteText(&b)
+	if !strings.Contains(b.String(), "g 11\n") || !strings.Contains(b.String(), "h_count 1\n") {
+		t.Errorf("registered metrics missing:\n%s", b.String())
+	}
+	// Nil arguments are ignored rather than panicking.
+	reg.RegisterCounter("nil", nil)
+	reg.RegisterGauge("nil", nil)
+	reg.RegisterHistogram("nil", nil)
+	reg.GaugeFunc("nil", nil)
+}
+
+// TestHotPathAllocs pins the observability hot path at zero
+// allocations, so instrumenting the PR 1 zero-alloc AS/TGS path does
+// not regress it.
+func TestHotPathAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(4)
+		h.Observe(123 * time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Errorf("hot-path metric ops allocate %v times per run, want 0", allocs)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per || c.Load() != workers*per {
+		t.Errorf("count = %d / %d", h.Count(), c.Load())
+	}
+	s := h.Snapshot()
+	total := uint64(0)
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != workers*per {
+		t.Errorf("bucket sum = %d", total)
+	}
+}

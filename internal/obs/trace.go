@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+)
+
+// Per-exchange tracing. Every protocol exchange a server completes —
+// an AS or TGS exchange, a service-side application authentication
+// (with or without the Figure 7 mutual-auth proof), a KDBM admin
+// operation, a kprop propagation round — can emit one structured Event
+// through a pluggable Sink. Tests assert on exact event sequences
+// (the Figure 9 trace), operators feed them to a log.
+//
+// Emission is strictly opt-in: a server holding a nil Sink builds no
+// event and renders no strings, so the traced and untraced hot paths
+// differ only by one nil check.
+
+// Kind identifies which protocol exchange an Event describes.
+type Kind uint8
+
+// Event kinds, one per exchange the paper describes.
+const (
+	ExchangeAS  Kind = iota + 1 // initial ticket exchange (Figure 5)
+	ExchangeTGS                 // ticket-granting exchange (Figure 8)
+	AppAuth                     // service-side krb_rd_req (Figure 6)
+	MutualAuth                  // application auth with the Figure 7 proof
+	KadmOp                      // one KDBM administration operation (Figure 12)
+	KpropRound                  // one database propagation round (Figure 13)
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ExchangeAS:
+		return "AS"
+	case ExchangeTGS:
+		return "TGS"
+	case AppAuth:
+		return "APP_AUTH"
+	case MutualAuth:
+		return "MUTUAL_AUTH"
+	case KadmOp:
+		return "KADM_OP"
+	case KpropRound:
+		return "KPROP_ROUND"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// Event is one completed exchange: who asked, what for, under which
+// key version, how long it took, and how it ended.
+type Event struct {
+	Kind      Kind
+	Time      time.Time     // when the exchange started
+	Duration  time.Duration // how long the server spent on it
+	Principal string        // requesting principal ("" if never identified)
+	Service   string        // target service, admin op, or peer address
+	KVNO      uint8         // key version the reply/ticket is bound to
+	Bytes     int           // payload size where meaningful (kprop dumps)
+	Err       string        // "" on success, else the protocol error
+	Detail    string        // qualifier, e.g. "retransmit" for memoized TGS replies
+}
+
+// OK reports whether the exchange succeeded.
+func (e Event) OK() bool { return e.Err == "" }
+
+// Outcome renders the success/failure disposition.
+func (e Event) Outcome() string {
+	if e.Err == "" {
+		if e.Detail != "" {
+			return e.Detail
+		}
+		return "ok"
+	}
+	return "error"
+}
+
+// String renders the event on one line for logs.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %s", e.Kind, e.Outcome())
+	if e.Principal != "" {
+		s += " principal=" + e.Principal
+	}
+	if e.Service != "" {
+		s += " service=" + e.Service
+	}
+	if e.KVNO != 0 {
+		s += fmt.Sprintf(" kvno=%d", e.KVNO)
+	}
+	if e.Bytes != 0 {
+		s += fmt.Sprintf(" bytes=%d", e.Bytes)
+	}
+	s += fmt.Sprintf(" dur=%v", e.Duration)
+	if e.Err != "" {
+		s += " err=" + e.Err
+	}
+	return s
+}
+
+// Sink receives trace events. Implementations must be safe for
+// concurrent use; Emit is called from request goroutines and must not
+// block for long.
+type Sink interface {
+	Emit(Event)
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(Event)
+
+// Emit calls the function.
+func (f FuncSink) Emit(e Event) { f(e) }
+
+// Collector is a test Sink that records every event in order.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit appends the event.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything collected so far.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Len reports how many events have been collected.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Reset discards all collected events.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.events = nil
+	c.mu.Unlock()
+}
+
+// LogSink writes each event as one line to a standard logger.
+type LogSink struct{ L *log.Logger }
+
+// Emit logs the event.
+func (s LogSink) Emit(e Event) {
+	if s.L != nil {
+		s.L.Printf("trace: %s", e)
+	}
+}
+
+// MultiSink fans one event out to several sinks.
+type MultiSink []Sink
+
+// Emit forwards to every sink in order.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		if s != nil {
+			s.Emit(e)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"log"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		ExchangeAS:  "AS",
+		ExchangeTGS: "TGS",
+		AppAuth:     "APP_AUTH",
+		MutualAuth:  "MUTUAL_AUTH",
+		KadmOp:      "KADM_OP",
+		KpropRound:  "KPROP_ROUND",
+		Kind(99):    "KIND(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestEventOutcome(t *testing.T) {
+	ok := Event{Kind: ExchangeAS}
+	if !ok.OK() || ok.Outcome() != "ok" {
+		t.Errorf("success outcome = %q", ok.Outcome())
+	}
+	retr := Event{Kind: ExchangeTGS, Detail: "retransmit"}
+	if retr.Outcome() != "retransmit" {
+		t.Errorf("retransmit outcome = %q", retr.Outcome())
+	}
+	bad := Event{Kind: ExchangeAS, Err: "PRINCIPAL_UNKNOWN"}
+	if bad.OK() || bad.Outcome() != "error" {
+		t.Errorf("failure outcome = %q", bad.Outcome())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		Kind:      ExchangeTGS,
+		Duration:  3 * time.Millisecond,
+		Principal: "jis@ATHENA.MIT.EDU",
+		Service:   "rlogin.priam@ATHENA.MIT.EDU",
+		KVNO:      2,
+		Bytes:     128,
+		Err:       "EXPIRED",
+	}
+	s := e.String()
+	for _, want := range []string{"TGS", "error", "jis@", "rlogin.priam", "kvno=2", "bytes=128", "err=EXPIRED"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	c.Emit(Event{Kind: ExchangeAS})
+	c.Emit(Event{Kind: ExchangeTGS})
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	evs := c.Events()
+	if evs[0].Kind != ExchangeAS || evs[1].Kind != ExchangeTGS {
+		t.Errorf("events out of order: %v", evs)
+	}
+	// Events returns a copy.
+	evs[0].Kind = KadmOp
+	if c.Events()[0].Kind != ExchangeAS {
+		t.Error("Events did not copy")
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Error("Reset left events behind")
+	}
+}
+
+func TestFuncLogMultiSinks(t *testing.T) {
+	var got []Event
+	fs := FuncSink(func(e Event) { got = append(got, e) })
+	var b strings.Builder
+	ls := LogSink{L: log.New(&b, "", 0)}
+	m := MultiSink{fs, ls, nil}
+	m.Emit(Event{Kind: KpropRound, Bytes: 42})
+	if len(got) != 1 || got[0].Bytes != 42 {
+		t.Errorf("func sink got %v", got)
+	}
+	if !strings.Contains(b.String(), "KPROP_ROUND") {
+		t.Errorf("log sink wrote %q", b.String())
+	}
+	LogSink{}.Emit(Event{}) // nil logger is a no-op
+}

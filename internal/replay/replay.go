@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"kerberos/internal/core"
+	"kerberos/internal/obs"
 )
 
 // shardCount is the number of independently locked shards. A power of
@@ -70,11 +71,22 @@ type shard struct {
 	head  int           // index of the oldest queue element
 }
 
+// Metrics counts cache activity. All fields are lock-free; a scrape
+// never takes a shard lock.
+type Metrics struct {
+	Checks     obs.Counter // presentations examined (Seen/SeenWithReply)
+	Hits       obs.Counter // duplicates detected within the window
+	Memoized   obs.Counter // duplicates answered with a remembered reply
+	Remembered obs.Counter // replies attached for idempotent retransmits
+	Swept      obs.Counter // expired entries retired by incremental sweeps
+}
+
 // Cache remembers recently seen authenticators. It is safe for
 // concurrent use. The zero value is not usable; call New.
 type Cache struct {
-	window time.Duration
-	shards [shardCount]shard
+	window  time.Duration
+	metrics Metrics
+	shards  [shardCount]shard
 }
 
 // New creates a cache holding authenticators for the full replay window
@@ -86,6 +98,24 @@ func New() *Cache {
 		c.shards[i].seen = make(map[key]entry)
 	}
 	return c
+}
+
+// Metrics exposes the cache's activity counters.
+func (c *Cache) Metrics() *Metrics { return &c.metrics }
+
+// RegisterMetrics publishes the cache's counters — and a derived gauge
+// for the current entry count — on reg under the given prefix (e.g.
+// "kdc_replay" yields kdc_replay_checks, kdc_replay_entries, ...).
+func (c *Cache) RegisterMetrics(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(prefix+"_checks", &c.metrics.Checks)
+	reg.RegisterCounter(prefix+"_hits", &c.metrics.Hits)
+	reg.RegisterCounter(prefix+"_memoized", &c.metrics.Memoized)
+	reg.RegisterCounter(prefix+"_remembered", &c.metrics.Remembered)
+	reg.RegisterCounter(prefix+"_swept", &c.metrics.Swept)
+	reg.GaugeFunc(prefix+"_entries", func() int64 { return int64(c.Len()) })
 }
 
 // keyOf builds the lookup key for an authenticator without allocating.
@@ -139,7 +169,7 @@ func shardIndex(k *key) int {
 // after expiry re-inserts a key with a later deadline (and a new queue
 // element), a queue element only deletes its key when the map still
 // holds the deadline it was queued with.
-func (s *shard) sweep(now time.Time) {
+func (s *shard) sweep(now time.Time) (swept int) {
 	for n := 0; n < sweepBatch && s.head < len(s.queue); n++ {
 		e := &s.queue[s.head]
 		if now.Before(e.expiry) {
@@ -147,6 +177,7 @@ func (s *shard) sweep(now time.Time) {
 		}
 		if got, ok := s.seen[e.k]; ok && !now.Before(got.deadline) && got.deadline.Equal(e.expiry) {
 			delete(s.seen, e.k)
+			swept++
 		}
 		*e = expiring{} // release the key's strings
 		s.head++
@@ -160,6 +191,7 @@ func (s *shard) sweep(now time.Time) {
 		s.queue = append(s.queue[:0], s.queue[s.head:]...)
 		s.head = 0
 	}
+	return swept
 }
 
 // Seen records the authenticator and reports whether it had been
@@ -193,13 +225,18 @@ func Digest(msg []byte) uint64 {
 // any answer for a replayed authenticator stapled to a different
 // request body.
 func (c *Cache) SeenWithReply(auth *core.Authenticator, reqDigest uint64, now time.Time) ([]byte, bool) {
+	c.metrics.Checks.Inc()
 	k := keyOf(auth)
 	s := &c.shards[shardIndex(&k)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.sweep(now)
+	if n := s.sweep(now); n > 0 {
+		c.metrics.Swept.Add(uint64(n))
+	}
 	if got, dup := s.seen[k]; dup && now.Before(got.deadline) {
+		c.metrics.Hits.Inc()
 		if got.reply != nil && got.digest == reqDigest {
+			c.metrics.Memoized.Inc()
 			return got.reply, true
 		}
 		return nil, true
@@ -224,6 +261,7 @@ func (c *Cache) Remember(auth *core.Authenticator, reqDigest uint64, reply []byt
 		got.digest = reqDigest
 		got.reply = reply
 		s.seen[k] = got
+		c.metrics.Remembered.Inc()
 	}
 }
 

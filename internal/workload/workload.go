@@ -21,6 +21,7 @@ import (
 	"kerberos/internal/des"
 	"kerberos/internal/kdb"
 	"kerberos/internal/kdc"
+	"kerberos/internal/obs"
 )
 
 // Spec sizes a synthetic deployment.
@@ -90,12 +91,26 @@ func Install(db *kdb.Database, spec Spec, realm string, now time.Time) error {
 	return nil
 }
 
-// Metrics aggregates a driver run.
+// Metrics aggregates a driver run. Beyond the exchange counts, the
+// latency histograms capture the client-observed distribution of each
+// round trip — the §9 experience is shaped by its tail, not its mean.
 type Metrics struct {
 	ASExchanges  atomic.Uint64
 	TGSExchanges atomic.Uint64
 	Failures     atomic.Uint64
 	Elapsed      time.Duration
+	ASLatency    obs.Histogram
+	TGSLatency   obs.Histogram
+}
+
+// Summary renders the run in one line, with p50/p95/p99 per exchange.
+func (m *Metrics) Summary() string {
+	as, tgs := m.ASLatency.Snapshot(), m.TGSLatency.Snapshot()
+	return fmt.Sprintf(
+		"AS %d (p50 %v p95 %v p99 %v) TGS %d (p50 %v p95 %v p99 %v) failures %d in %v",
+		m.ASExchanges.Load(), as.Quantile(0.50), as.Quantile(0.95), as.Quantile(0.99),
+		m.TGSExchanges.Load(), tgs.Quantile(0.50), tgs.Quantile(0.95), tgs.Quantile(0.99),
+		m.Failures.Load(), m.Elapsed)
 }
 
 // Driver replays user sessions against a KDC handler.
@@ -153,11 +168,13 @@ func (d *Driver) RunUser(i int, m *Metrics) error {
 		Life:    core.DefaultTGTLife,
 		Time:    core.TimeFromGo(now),
 	}
+	asStart := time.Now()
 	raw, err := d.send(asReq.Encode(), ws)
 	if err != nil {
 		m.Failures.Add(1)
 		return err
 	}
+	m.ASLatency.Observe(time.Since(asStart))
 	if err := core.IfErrorMessage(raw); err != nil {
 		m.Failures.Add(1)
 		return err
@@ -190,11 +207,13 @@ func (d *Driver) RunUser(i int, m *Metrics) error {
 			Life:    core.MaxLife,
 			Time:    core.TimeFromGo(time.Now()),
 		}
+		tgsStart := time.Now()
 		raw, err := d.send(tgsReq.Encode(), ws)
 		if err != nil {
 			m.Failures.Add(1)
 			return err
 		}
+		m.TGSLatency.Observe(time.Since(tgsStart))
 		if err := core.IfErrorMessage(raw); err != nil {
 			m.Failures.Add(1)
 			return err

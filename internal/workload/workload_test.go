@@ -77,11 +77,11 @@ func TestAthenaScalePopulation(t *testing.T) {
 		t.Errorf("failures = %d", m.Failures.Load())
 	}
 	// Cross-check against the server's own counters.
-	if server.Stats().ASRequests.Load() != uint64(spec.Users) {
+	if server.Metrics().ASRequests.Load() != uint64(spec.Users) {
 		t.Error("server AS counter disagrees")
 	}
-	if server.Stats().Errors.Load() != 0 {
-		t.Errorf("server error counter = %d", server.Stats().Errors.Load())
+	if server.Metrics().Errors.Load() != 0 {
+		t.Errorf("server error counter = %d", server.Metrics().Errors.Load())
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"kerberos/internal/kdb"
 	"kerberos/internal/kdc"
 	"kerberos/internal/kprop"
+	"kerberos/internal/obs"
 )
 
 // Re-exported core types. See the internal packages for full
@@ -108,6 +109,13 @@ type RealmConfig struct {
 	// Slaves is how many read-only slave KDCs to run beside the master
 	// (Figure 10). Each gets its own database copy and listener.
 	Slaves int
+	// Registry, when non-nil, collects metrics from every server the
+	// realm runs (master KDC, KDBM, propagation). Serve it with
+	// obs.ServeAdmin and watch it with cmd/kstat.
+	Registry *obs.Registry
+	// TraceSink, when non-nil, receives one structured event per
+	// completed exchange across all of the realm's servers.
+	TraceSink obs.Sink
 }
 
 // Realm is a complete in-process Kerberos realm: the master database,
@@ -126,6 +134,7 @@ type Realm struct {
 	slaveDBs  []*kdb.Database
 	kpropd    []*kprop.Listener
 	kpropdS   []*kprop.Slave
+	kpropM    *kprop.Master
 	adminL    *kadm.Listener
 	adminACL  *kadm.ACL
 	clockFunc func() time.Time
@@ -168,7 +177,16 @@ func NewRealm(cfg RealmConfig) (*Realm, error) {
 	if cfg.Logger != nil {
 		opts = append(opts, kdc.WithLogger(cfg.Logger))
 	}
-	r.KDC = kdc.New(cfg.Name, r.DB, opts...)
+	if cfg.TraceSink != nil {
+		opts = append(opts, kdc.WithTraceSink(cfg.TraceSink))
+	}
+	// Only the master KDC publishes on the registry — the slaves would
+	// collide on the same metric names. Their exchanges still trace.
+	masterOpts := opts
+	if cfg.Registry != nil {
+		masterOpts = append(append([]kdc.Option{}, opts...), kdc.WithRegistry(cfg.Registry))
+	}
+	r.KDC = kdc.New(cfg.Name, r.DB, masterOpts...)
 	r.listener, err = kdc.Serve(r.KDC, "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -227,11 +245,21 @@ func (r *Realm) SlaveAddrs() []string {
 // Propagate pushes the master database to every slave (Figure 13) —
 // what the hourly kprop cron job does.
 func (r *Realm) Propagate() error {
-	addrs := make([]string, len(r.kpropd))
-	for i, l := range r.kpropd {
-		addrs[i] = l.Addr()
+	if r.kpropM == nil {
+		addrs := make([]string, len(r.kpropd))
+		for i, l := range r.kpropd {
+			addrs[i] = l.Addr()
+		}
+		var kopts []kprop.Option
+		if r.cfg.Registry != nil {
+			kopts = append(kopts, kprop.WithRegistry(r.cfg.Registry))
+		}
+		if r.cfg.TraceSink != nil {
+			kopts = append(kopts, kprop.WithTraceSink(r.cfg.TraceSink))
+		}
+		r.kpropM = kprop.NewMaster(r.DB, addrs, r.cfg.Logger, kopts...)
 	}
-	return kprop.NewMaster(r.DB, addrs, r.cfg.Logger).PropagateAll()
+	return r.kpropM.PropagateAll()
 }
 
 // ClientConfig returns a client configuration pointing at this realm's
@@ -299,6 +327,7 @@ func (r *Realm) NewLoggedInClient(username, password string, others ...*Realm) (
 func (r *Realm) NewServiceContext(name, instance string, tab *Srvtab) *Service {
 	svc := client.NewService(core.Principal{Name: name, Instance: instance, Realm: r.Name}, tab)
 	svc.Clock = r.cfg.Clock
+	svc.Sink = r.cfg.TraceSink
 	return svc
 }
 
@@ -314,6 +343,12 @@ func (r *Realm) ServeAdmin() (string, error) {
 	}
 	if r.cfg.Logger != nil {
 		opts = append(opts, kadm.WithLogger(r.cfg.Logger))
+	}
+	if r.cfg.Registry != nil {
+		opts = append(opts, kadm.WithRegistry(r.cfg.Registry))
+	}
+	if r.cfg.TraceSink != nil {
+		opts = append(opts, kadm.WithTraceSink(r.cfg.TraceSink))
 	}
 	srv := kadm.NewServer(r.Name, r.DB, r.adminACL, opts...)
 	l, err := kadm.Serve(srv, "127.0.0.1:0")

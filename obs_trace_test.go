@@ -1,0 +1,156 @@
+package kerberos
+
+// End-to-end observability: wire a Collector and a Registry into a
+// realm, run the Figure 9 protocol walkthrough, and assert the exact
+// trace-event sequence and the metric counts it must produce.
+
+import (
+	"strings"
+	"testing"
+
+	"kerberos/internal/obs"
+)
+
+// TestFigure9TraceSequence replays TestFullProtocolFig9 with tracing on
+// and pins the emitted sequence: one AS exchange, one TGS exchange, one
+// mutually-authenticated application request — in that order, each
+// successful, each attributed to the right principals.
+func TestFigure9TraceSequence(t *testing.T) {
+	col := obs.NewCollector()
+	reg := obs.NewRegistry()
+	realm, err := NewRealm(RealmConfig{
+		Name:           "ATHENA.MIT.EDU",
+		MasterPassword: "master",
+		Registry:       reg,
+		TraceSink:      col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer realm.Close()
+	if err := realm.AddUser("jis", "zanzibar"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := realm.AddService("rlogin", "priam")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	user, err := realm.NewLoggedInClient("jis", "zanzibar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := Principal{Name: "rlogin", Instance: "priam", Realm: realm.Name}
+	apReq, session, err := user.MkReq(service, 42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := realm.NewServiceContext("rlogin", "priam", tab)
+	sess, err := server.ReadRequest(apReq, Addr{127, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := session.VerifyReply(sess.Reply); err != nil {
+		t.Fatal(err)
+	}
+
+	events := col.Events()
+	want := []struct {
+		kind      obs.Kind
+		principal string
+		service   string
+	}{
+		{obs.ExchangeAS, "jis@ATHENA.MIT.EDU", "krbtgt.ATHENA.MIT.EDU@ATHENA.MIT.EDU"},
+		{obs.ExchangeTGS, "jis@ATHENA.MIT.EDU", "rlogin.priam@ATHENA.MIT.EDU"},
+		{obs.MutualAuth, "jis@ATHENA.MIT.EDU", "rlogin.priam@ATHENA.MIT.EDU"},
+	}
+	if len(events) != len(want) {
+		for _, e := range events {
+			t.Logf("  %s", e)
+		}
+		t.Fatalf("got %d events, want %d", len(events), len(want))
+	}
+	for i, w := range want {
+		e := events[i]
+		if e.Kind != w.kind {
+			t.Errorf("event %d: kind = %s, want %s", i, e.Kind, w.kind)
+		}
+		if e.Principal != w.principal {
+			t.Errorf("event %d: principal = %q, want %q", i, e.Principal, w.principal)
+		}
+		if e.Service != w.service {
+			t.Errorf("event %d: service = %q, want %q", i, e.Service, w.service)
+		}
+		if !e.OK() {
+			t.Errorf("event %d: unexpected error %q", i, e.Err)
+		}
+		if e.Duration <= 0 {
+			t.Errorf("event %d: duration = %v", i, e.Duration)
+		}
+		if e.Bytes == 0 {
+			t.Errorf("event %d: zero reply bytes", i)
+		}
+	}
+	// Ticket version numbers ride along on the KDC replies.
+	if events[0].KVNO != 1 || events[1].KVNO != 1 {
+		t.Errorf("KDC event KVNOs = %d, %d, want 1, 1", events[0].KVNO, events[1].KVNO)
+	}
+
+	// The same run must be visible through the registry.
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, line := range []string{
+		"kdc_as_requests 1",
+		"kdc_tgs_requests 1",
+		"kdc_errors 0",
+		"kdc_as_latency_count 1",
+		"kdc_tgs_latency_count 1",
+		"kdc_replay_checks 1",
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Errorf("metrics snapshot missing %q:\n%s", line, text)
+		}
+	}
+}
+
+// TestTraceRecordsFailures: a login for an unregistered principal
+// surfaces as a failed AS event carrying the protocol error code, and
+// the error counter moves. (A merely wrong password never reaches the
+// KDC's error path — faithful to v4, the KDC seals the reply under
+// whatever key the database holds and the workstation fails to decrypt
+// it, so no failure event is expected for that case.)
+func TestTraceRecordsFailures(t *testing.T) {
+	col := obs.NewCollector()
+	reg := obs.NewRegistry()
+	realm, err := NewRealm(RealmConfig{
+		Name:           "ATHENA.MIT.EDU",
+		MasterPassword: "master",
+		Registry:       reg,
+		TraceSink:      col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer realm.Close()
+	if _, err := realm.NewLoggedInClient("nobody", "zanzibar"); err == nil {
+		t.Fatal("login for unknown principal succeeded")
+	}
+
+	events := col.Events()
+	if len(events) == 0 {
+		t.Fatal("no events emitted")
+	}
+	e := events[0]
+	if e.Kind != obs.ExchangeAS || e.OK() {
+		t.Errorf("event = %s, want failed AS exchange", e)
+	}
+	if e.Err != "principal unknown" {
+		t.Errorf("err = %q, want the principal-unknown code", e.Err)
+	}
+	if reg.Counter("kdc_errors").Load() == 0 {
+		t.Error("kdc_errors did not move")
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Coverage gate for the packages whose correctness everything else leans
+# on: the wire substrate and the observability layer. Fails if combined
+# statement coverage falls below the threshold.
+#
+#   sh scripts/cover.sh [threshold]
+#
+# threshold defaults to 80 (percent).
+set -e
+
+THRESHOLD="${1:-80}"
+PROFILE="$(mktemp)"
+trap 'rm -f "$PROFILE"' EXIT
+
+echo "== go test -coverprofile ./internal/wire ./internal/obs"
+go test -count=1 -coverprofile="$PROFILE" \
+    -coverpkg=kerberos/internal/wire,kerberos/internal/obs \
+    ./internal/wire/ ./internal/obs/
+
+TOTAL="$(go tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+echo "== combined statement coverage: ${TOTAL}% (gate: ${THRESHOLD}%)"
+awk -v got="$TOTAL" -v want="$THRESHOLD" 'BEGIN { exit (got + 0 < want + 0) }' || {
+    echo "cover: FAIL — ${TOTAL}% < ${THRESHOLD}%"
+    exit 1
+}
+echo "cover: OK"
