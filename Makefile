@@ -1,7 +1,7 @@
 # Development targets. The repo is pure Go with no dependencies; every
 # target is a thin wrapper so CI and humans run the same commands.
 
-.PHONY: build test race vet bench verify ci fuzz cover
+.PHONY: build test race vet lint bench verify ci fuzz cover
 
 build:
 	go build ./...
@@ -14,6 +14,11 @@ race:
 
 vet:
 	go vet ./...
+
+# kervet: the repo's own static-analysis suite (cmd/kervet). Exits
+# non-zero on any finding; see DESIGN.md section 10 for the analyzers.
+lint:
+	go run ./cmd/kervet ./...
 
 # Full verification: tier-1 (build + tests) plus vet and the race suite.
 verify:
@@ -31,7 +36,7 @@ cover:
 # suite under the race detector, the coverage gate, and the fuzz smoke
 # pass. The fault-injection soaks honor `go test -short`, so a fast
 # local pass is `go test -short ./...`.
-ci: vet build race cover fuzz
+ci: vet lint build race cover fuzz
 
 # KDC hot-path benchmarks; writes BENCH_kdc.json.
 bench:

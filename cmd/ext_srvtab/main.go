@@ -53,6 +53,7 @@ func main() {
 		}
 		p = p.WithRealm(*realm)
 		key, kvno, err := kadm.ExtractKey(c, *kdbm, adminPw, p)
+		defer clear(key[:])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ext_srvtab:", err)
 			os.Exit(1)

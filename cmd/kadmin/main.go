@@ -54,6 +54,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "Password for new principal %v: ", target)
 		pwLine, _ := in.ReadString('\n')
 		key := client.PasswordKey(target, strings.TrimRight(pwLine, "\r\n"))
+		defer clear(key[:])
 		check(kadm.AddPrincipal(c, *kdbm, adminPw, target, key, 0))
 		fmt.Printf("added %v\n", target)
 
@@ -64,6 +65,7 @@ func main() {
 		target := mustPrincipal(args[1], *realm)
 		key, err := des.NewRandomKey()
 		check(err)
+		defer clear(key[:])
 		check(kadm.AddPrincipal(c, *kdbm, adminPw, target, key, 0))
 		fmt.Printf("added %v with a random key\n", target)
 
@@ -75,6 +77,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "New password for %v: ", target)
 		pwLine, _ := in.ReadString('\n')
 		key := client.PasswordKey(target, strings.TrimRight(pwLine, "\r\n"))
+		defer clear(key[:])
 		check(kadm.ChangeOtherPassword(c, *kdbm, adminPw, target, key))
 		fmt.Printf("changed password for %v\n", target)
 

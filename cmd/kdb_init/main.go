@@ -35,9 +35,11 @@ func main() {
 
 	tgsKey, err := des.NewRandomKey()
 	check(err)
+	defer clear(tgsKey[:])
 	check(db.Add(core.TGSName, *realm, tgsKey, 0, "kdb_init", now))
 	cpKey, err := des.NewRandomKey()
 	check(err)
+	defer clear(cpKey[:])
 	check(db.Add(core.ChangePwName, core.ChangePwInstance, cpKey, 12, "kdb_init", now))
 
 	if *admin != "" {

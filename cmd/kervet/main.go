@@ -1,0 +1,148 @@
+// Command kervet is the realm's static-analysis suite: it loads and
+// type-checks the repository from source (stdlib only — go/parser,
+// go/types, go/importer; no x/tools) and enforces the invariants the
+// compiler cannot see but the paper's security argument depends on:
+//
+//	consttime  secret keys and keyed checksums are compared in
+//	           constant time (crypto/subtle), §2.1/§4.3
+//	keyzero    key material materialized into locals is zeroized on
+//	           all return paths, §4.1
+//	clockuse   protocol code reads time only through the injected
+//	           clock abstraction, §2/§4.6
+//	hotpath    //kerb:hotpath functions (the PR 1 zero-alloc AS/TGS
+//	           path) stay free of fmt, map/closure allocation, and
+//	           map-order nondeterminism
+//	wiresym    exported wire structs with Encode have a matching
+//	           Decode and a golden vector under internal/wire/testdata
+//
+// Usage:
+//
+//	kervet [packages]     # default ./...
+//
+// Diagnostics print as file:line: analyzer: message; the exit status is
+// non-zero if any diagnostic is emitted. Suppress a finding with a
+// justified directive: //kerb:ignore <analyzer> -- <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kerberos/internal/analysis"
+	"kerberos/internal/analysis/clockuse"
+	"kerberos/internal/analysis/consttime"
+	"kerberos/internal/analysis/hotpath"
+	"kerberos/internal/analysis/keyzero"
+	"kerberos/internal/analysis/wiresym"
+)
+
+// protocolPkgs are the packages whose time reads must flow through the
+// clock abstraction: everywhere a skew window, lifetime, or replay
+// decision is made. Observability, the workload driver, and the CLI
+// tools legitimately read the wall clock.
+var protocolPkgs = []string{
+	"kerberos/internal/core",
+	"kerberos/internal/kdc",
+	"kerberos/internal/client",
+	"kerberos/internal/replay",
+	"kerberos/internal/wire",
+	"kerberos/internal/des",
+	"kerberos/internal/kprop",
+}
+
+// wirePkgs are where wire structs live; wiresym's Encode/Decode/golden
+// contract applies there.
+var wirePkgs = []string{
+	"kerberos/internal/core",
+	"kerberos/internal/wire",
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kervet [packages]\n\nAnalyzers:\n")
+		for _, a := range allAnalyzers(".") {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	os.Exit(run(flag.Args(), os.Stdout))
+}
+
+func allAnalyzers(modRoot string) []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		consttime.Analyzer,
+		keyzero.Analyzer,
+		clockuse.Analyzer,
+		hotpath.Analyzer,
+		wiresym.New(filepath.Join(modRoot, "internal", "wire", "testdata")),
+	}
+}
+
+func run(patterns []string, out *os.File) int {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kervet:", err)
+		return 2
+	}
+	analyzers := allAnalyzers(loader.ModRoot)
+	for _, a := range analyzers {
+		analysis.RegisterIgnorable(a.Name)
+	}
+	paths, err := loader.Match(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kervet:", err)
+		return 2
+	}
+	var pkgs []*analysis.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kervet:", err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run(pkgs, analyzers, scope)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kervet:", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		// Print module-relative paths: stable in CI logs, clickable in
+		// editors.
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(out, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "kervet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// scope decides which analyzers examine which packages.
+func scope(a *analysis.Analyzer, pkg *analysis.Package) bool {
+	switch a.Name {
+	case "clockuse":
+		return hasPrefix(pkg.Path, protocolPkgs)
+	case "wiresym":
+		return hasPrefix(pkg.Path, wirePkgs)
+	default:
+		return true
+	}
+}
+
+func hasPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

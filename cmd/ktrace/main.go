@@ -67,6 +67,7 @@ func main() {
 		log.Fatal(err)
 	}
 	userKey := kerberos.PasswordKey(core.Principal{Name: "jis", Realm: realm.Name}, "zanzibar")
+	defer clear(userKey[:])
 	tgtPart, err := asRep.Open(userKey)
 	if err != nil {
 		log.Fatal(err)

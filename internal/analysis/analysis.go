@@ -1,0 +1,243 @@
+// Package analysis is the kervet static-analysis framework: a small,
+// stdlib-only analogue of golang.org/x/tools/go/analysis. It loads and
+// type-checks the repository's packages (load.go), runs Analyzers over
+// them, and reports position-accurate Diagnostics that the kervet
+// driver renders as file:line: analyzer: message.
+//
+// The framework exists because the paper's security argument rests on
+// invariants the compiler cannot see — secrets must not outlive their
+// use (§4.1), every protocol decision must flow through the skew-checked
+// clock (§2, §4.6), replay defenses must not leak via comparison timing
+// — and reviewer memory is not an enforcement mechanism. Each invariant
+// is an Analyzer under internal/analysis/<name>; fixtures under each
+// analyzer's testdata directory pin both the positive findings and the
+// known false-positive shapes that must stay silent.
+//
+// Directives (comments the analyzers understand):
+//
+//	//kerb:hotpath
+//	    On a function's doc comment: the function is part of the PR 1
+//	    zero-alloc AS/TGS path; the hotpath analyzer forbids fmt calls,
+//	    map creation, closures, and map iteration inside it.
+//
+//	//kerb:clockadapter -- <reason>
+//	    On a function's doc comment: the function is a declared adapter
+//	    between the wall clock and the clock abstraction (a default
+//	    time source, or transport code that owns real I/O deadlines).
+//	    The clockuse analyzer skips it.
+//
+//	//kerb:ignore <analyzer> -- <reason>
+//	    On or directly above an offending line: suppress that analyzer
+//	    there. The reason is mandatory; a bare ignore is itself a
+//	    diagnostic, so every suppression carries its justification.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over one type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //kerb:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-line description, shown by `kervet -help`.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the driver's canonical file:line: analyzer: message
+// form (clickable in editors and CI logs).
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to each package, drops findings suppressed
+// by a //kerb:ignore directive, and returns the remainder sorted by
+// position. Malformed directives surface as diagnostics from the
+// pseudo-analyzer "kervet" so a suppression can never silently rot.
+func Run(pkgs []*Package, analyzers []*Analyzer, scope func(a *Analyzer, pkg *Package) bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, d := range pkg.Directives.Malformed {
+			diags = append(diags, Diagnostic{Pos: d.Pos, Analyzer: "kervet", Message: d.Message})
+		}
+		for _, a := range analyzers {
+			if scope != nil && !scope(a, pkg) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			before := len(diags)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			diags = filterIgnored(diags, before, pkg, a.Name)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// filterIgnored removes diagnostics from diags[start:] that land on a
+// line covered by a //kerb:ignore directive for the named analyzer.
+func filterIgnored(diags []Diagnostic, start int, pkg *Package, analyzer string) []Diagnostic {
+	kept := diags[:start]
+	for _, d := range diags[start:] {
+		if !pkg.Directives.Ignored(analyzer, d.Pos.Filename, d.Pos.Line) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// Directives is the per-package index of kerb: comment directives.
+type Directives struct {
+	// ignores maps analyzer name -> "file:line" -> true for lines a
+	// //kerb:ignore directive covers (the directive's own line and,
+	// for a standalone comment, the line after it).
+	ignores map[string]map[string]bool
+	// funcs maps a function declaration's position to the set of
+	// directive names (hotpath, clockadapter) in its doc comment.
+	funcs map[token.Pos]map[string]bool
+	// Malformed records directives missing their analyzer name or
+	// their mandatory "-- reason" justification.
+	Malformed []Diagnostic
+}
+
+// Ignored reports whether analyzer diagnostics on file:line are
+// suppressed.
+func (d *Directives) Ignored(analyzer, file string, line int) bool {
+	return d.ignores[analyzer][fmt.Sprintf("%s:%d", file, line)]
+}
+
+// FuncHas reports whether the function declaration has the named
+// directive (e.g. "hotpath", "clockadapter") in its doc comment.
+func (d *Directives) FuncHas(fn *ast.FuncDecl, name string) bool {
+	return d.funcs[fn.Pos()][name]
+}
+
+// knownIgnorable names the analyzers a //kerb:ignore may reference; the
+// set is registered by the driver (and by tests) so a typo in an ignore
+// directive is caught instead of silently suppressing nothing.
+var knownIgnorable = map[string]bool{}
+
+// RegisterIgnorable declares analyzer names valid in //kerb:ignore.
+func RegisterIgnorable(names ...string) {
+	for _, n := range names {
+		knownIgnorable[n] = true
+	}
+}
+
+// parseDirectives indexes every kerb: directive in the package's files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		ignores: map[string]map[string]bool{},
+		funcs:   map[token.Pos]map[string]bool{},
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				name, _, ok := cutDirective(c.Text)
+				if !ok || name == "ignore" {
+					continue
+				}
+				set := d.funcs[fn.Pos()]
+				if set == nil {
+					set = map[string]bool{}
+					d.funcs[fn.Pos()] = set
+				}
+				set[name] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, rest, ok := cutDirective(c.Text)
+				if !ok || name != "ignore" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				analyzer, reason, hasReason := strings.Cut(rest, "--")
+				analyzer = strings.TrimSpace(analyzer)
+				switch {
+				case analyzer == "":
+					d.Malformed = append(d.Malformed, Diagnostic{Pos: pos,
+						Message: "//kerb:ignore needs an analyzer name: //kerb:ignore <analyzer> -- <reason>"})
+					continue
+				case !hasReason || strings.TrimSpace(reason) == "":
+					d.Malformed = append(d.Malformed, Diagnostic{Pos: pos, Message: fmt.Sprintf(
+						"//kerb:ignore %s needs a justification: //kerb:ignore %s -- <reason>", analyzer, analyzer)})
+					continue
+				case len(knownIgnorable) > 0 && !knownIgnorable[analyzer]:
+					d.Malformed = append(d.Malformed, Diagnostic{Pos: pos,
+						Message: fmt.Sprintf("//kerb:ignore names unknown analyzer %q", analyzer)})
+					continue
+				}
+				m := d.ignores[analyzer]
+				if m == nil {
+					m = map[string]bool{}
+					d.ignores[analyzer] = m
+				}
+				// Cover the directive's own line (end-of-line form) and
+				// the next line (standalone-comment form).
+				m[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = true
+				m[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = true
+			}
+		}
+	}
+	return d
+}
+
+// cutDirective splits a "//kerb:name rest" comment into its parts.
+func cutDirective(text string) (name, rest string, ok bool) {
+	const prefix = "//kerb:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	body := text[len(prefix):]
+	name, rest, _ = strings.Cut(body, " ")
+	if name == "" {
+		return "", "", false
+	}
+	return name, strings.TrimSpace(rest), true
+}

@@ -1,0 +1,133 @@
+// Package analysistest runs a kervet analyzer over a fixture package
+// and checks its diagnostics against // want "regexp" expectation
+// comments, the same contract golang.org/x/tools/go/analysis uses —
+// reimplemented here against the stdlib so the analysis suite stays
+// dependency-free.
+//
+// A fixture is an ordinary Go package under the analyzer's
+// testdata/src/<name> directory. Every line that must produce a
+// diagnostic carries a trailing comment of the form
+//
+//	bad() // want "regexp" "second regexp"
+//
+// with one quoted regexp per expected diagnostic on that line. Lines
+// without a want comment must stay silent — which is how each
+// analyzer's known-false-positive cases are pinned.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"kerberos/internal/analysis"
+)
+
+// wantRE matches one quoted expectation inside a want comment, with
+// backquoted and double-quoted forms.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the fixture package rooted at dir (e.g. "testdata/src/a"),
+// applies the analyzer, filters //kerb:ignore suppressions exactly as
+// the kervet driver does, and reports any mismatch between diagnostics
+// and // want comments as test failures.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	analysis.RegisterIgnorable(a.Name)
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, "fixture/"+a.Name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	expects := collectWants(t, pkg)
+
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("%s: unexpected diagnostic (no matching // want): %s", d.Pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: no diagnostic matched // want %s", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// claim marks the first unconsumed expectation matching d, if any.
+func claim(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if !e.hit && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+			e.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every // want comment in the fixture.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				expects = append(expects, parseWant(t, pkg.Fset, c)...)
+			}
+		}
+	}
+	return expects
+}
+
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	text, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		return nil
+	}
+	// Only comments whose body is quoted regexps are expectations; prose
+	// that happens to start with "want" is not.
+	if t := strings.TrimSpace(text); t == "" || (t[0] != '"' && t[0] != '`') {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var expects []*expectation
+	for _, q := range wantRE.FindAllString(text, -1) {
+		pattern := q[1 : len(q)-1]
+		if q[0] == '"' {
+			var err error
+			pattern, err = strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+			}
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %s: %v", pos, q, err)
+		}
+		expects = append(expects, &expectation{
+			file: pos.Filename, line: pos.Line, re: re, raw: q,
+		})
+	}
+	if len(expects) == 0 {
+		t.Fatalf("%s: // want comment with no quoted regexps", pos)
+	}
+	return expects
+}

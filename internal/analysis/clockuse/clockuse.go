@@ -1,0 +1,56 @@
+// Package clockuse enforces the realm's clock discipline: the paper's
+// protocol checks (±5-minute skew windows, ticket lifetimes, replay
+// freshness — §2 assumptions, §4.6) are only testable and only correct
+// if every protocol decision flows through an injected clock (a
+// func() time.Time, advanced by internal/testclock in tests). A bare
+// time.Now() or time.Since() call in protocol code bypasses that
+// abstraction, so it is flagged.
+//
+// Declared adapters are exempt: a function whose doc comment carries
+// //kerb:clockadapter is the sanctioned bridge to the wall clock —
+// default time sources (used when no clock is injected) and transport
+// code whose I/O deadlines are inherently wall-clock. Referencing
+// time.Now as a value (clock: time.Now) is adapter wiring, not a read,
+// and is always allowed.
+package clockuse
+
+import (
+	"go/ast"
+
+	"kerberos/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "clockuse",
+	Doc:  "protocol code must read time through the injected clock, not time.Now/time.Since",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var name string
+			switch {
+			case analysis.IsPkgFunc(info, call, "time", "Now"):
+				name = "time.Now"
+			case analysis.IsPkgFunc(info, call, "time", "Since"):
+				name = "time.Since"
+			default:
+				return true
+			}
+			if fd := analysis.EnclosingFuncDecl(file, call); fd != nil &&
+				pass.Pkg.Directives.FuncHas(fd, "clockadapter") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct %s call in protocol code; take the injected clock (func() time.Time) or declare the function //kerb:clockadapter", name)
+			return true
+		})
+	}
+	return nil
+}

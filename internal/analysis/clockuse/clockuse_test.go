@@ -1,0 +1,13 @@
+package clockuse_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kerberos/internal/analysis/analysistest"
+	"kerberos/internal/analysis/clockuse"
+)
+
+func TestClockuse(t *testing.T) {
+	analysistest.Run(t, clockuse.Analyzer, filepath.Join("testdata", "src", "a"))
+}

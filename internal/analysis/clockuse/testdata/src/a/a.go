@@ -1,0 +1,59 @@
+// Package a is the clockuse fixture.
+package a
+
+import "time"
+
+// decide reads the wall clock inside protocol logic.
+func decide() time.Time {
+	return time.Now() // want `direct time\.Now call in protocol code`
+}
+
+// elapsed hides a wall-clock read behind time.Since.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `direct time\.Since call in protocol code`
+}
+
+// nested: calls inside closures are attributed to the enclosing
+// declaration, which is not an adapter here.
+func nested() func() time.Time {
+	return func() time.Time {
+		return time.Now() // want `direct time\.Now`
+	}
+}
+
+// --- cases that must stay silent ---
+
+// defaultClock: referencing time.Now as a value is adapter wiring, the
+// sanctioned way to declare a default time source.
+var defaultClock func() time.Time = time.Now
+
+// withClock consumes the abstraction; calling an injected clock is the
+// whole point.
+func withClock(clock func() time.Time) time.Time {
+	return clock()
+}
+
+// now is a declared adapter: the bridge between the wall clock and the
+// clock abstraction.
+//
+//kerb:clockadapter -- fixture: default time source when no clock is injected
+func now() time.Time { return time.Now() }
+
+// deadlineLoop is a declared transport adapter; every wall-clock read
+// inside, including closures, is sanctioned.
+//
+//kerb:clockadapter -- fixture: I/O deadlines are inherently wall-clock
+func deadlineLoop() time.Time {
+	f := func() time.Time { return time.Now() }
+	return f()
+}
+
+// ignored: a justified line-level suppression.
+func ignored() time.Time {
+	return time.Now() //kerb:ignore clockuse -- fixture: logging timestamp only
+}
+
+// parse: other time package functions are not clock reads.
+func parse() (time.Time, error) {
+	return time.Parse(time.RFC3339, "2026-08-06T00:00:00Z")
+}

@@ -1,0 +1,108 @@
+// Package consttime flags comparisons of secret byte material — keys,
+// keyed checksums, sealed authenticator bytes — performed with
+// bytes.Equal or the == / != operators, which short-circuit on the
+// first differing byte and therefore leak how much of the secret an
+// attacker has matched. The paper's replay and integrity defenses
+// (§2.1 safe messages, §4.3 authenticators) assume the checksum verdict
+// itself is the only observable; timing must not be a second channel.
+// Use crypto/subtle.ConstantTimeCompare for byte material and
+// crypto/subtle.ConstantTimeEq for fixed-width keyed checksums.
+package consttime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kerberos/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "consttime",
+	Doc:  "secret keys and keyed checksums must be compared in constant time (crypto/subtle)",
+	Run:  run,
+}
+
+// secretWords are identifier words that mark a value as secret-bearing.
+// Matching is word-wise ("monkey" does not match "key"; "sessionKey"
+// does). "digest" is deliberately absent: the replay cache's request
+// digest is a documented non-cryptographic fingerprint.
+var secretWords = map[string]bool{
+	"key": true, "cksum": true, "checksum": true, "mac": true,
+	"secret": true, "password": true, "passwd": true,
+}
+
+// checksumWords mark integer-typed values as keyed checksums; integers
+// need name evidence because most uint32s (lengths, counters, KVNOs)
+// are public.
+var checksumWords = map[string]bool{
+	"cksum": true, "checksum": true, "mac": true,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if analysis.IsPkgFunc(info, n, "bytes", "Equal") && len(n.Args) == 2 &&
+					(secretBytes(pass, n.Args[0]) || secretBytes(pass, n.Args[1])) {
+					pass.Reportf(n.Pos(),
+						"secret byte material compared with bytes.Equal; use crypto/subtle.ConstantTimeCompare")
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				switch {
+				case secretBytes(pass, n.X) || secretBytes(pass, n.Y):
+					pass.Reportf(n.Pos(),
+						"secret byte material compared with %s; use crypto/subtle.ConstantTimeCompare", n.Op)
+				case secretChecksum(pass, n.X) || secretChecksum(pass, n.Y):
+					pass.Reportf(n.Pos(),
+						"keyed checksum compared with %s; use crypto/subtle.ConstantTimeEq", n.Op)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// secretBytes reports whether e is byte material carrying a secret: a
+// value of a Key-named byte-array type, or a byte slice/array whose
+// identifier names it as key/checksum/secret material.
+func secretBytes(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.Pkg.Info.TypeOf(e)
+	if t == nil || !analysis.IsByteMaterial(t) {
+		return false
+	}
+	if analysis.HasWord(analysis.NamedName(t), secretWords) {
+		return true
+	}
+	if _, isCall := ast.Unparen(e).(*ast.CallExpr); isCall {
+		return false // a call result's name is the function, handled below
+	}
+	return analysis.HasWord(analysis.ExprName(e), secretWords)
+}
+
+// secretChecksum reports whether e is an integer-typed keyed checksum:
+// the result of a *Checksum function (QuadChecksum, CBCChecksum), or a
+// variable/field whose name words say checksum/cksum/mac.
+func secretChecksum(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if fn := analysis.Callee(pass.Pkg.Info, call); fn != nil {
+			return analysis.HasWord(fn.Name(), checksumWords)
+		}
+		return false
+	}
+	t := pass.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return false
+	}
+	return analysis.HasWord(analysis.ExprName(e), checksumWords)
+}

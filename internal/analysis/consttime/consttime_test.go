@@ -1,0 +1,13 @@
+package consttime_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kerberos/internal/analysis/analysistest"
+	"kerberos/internal/analysis/consttime"
+)
+
+func TestConsttime(t *testing.T) {
+	analysistest.Run(t, consttime.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,63 @@
+// Package a is the consttime fixture: each flagged line carries a
+// want expectation; the silent lines pin known false-positive shapes.
+package a
+
+import (
+	"bytes"
+	"crypto/subtle"
+)
+
+// Key mimics des.Key: a named byte array whose name marks it secret.
+type Key [8]byte
+
+func use(...any) {}
+
+// QuadChecksum mimics the keyed checksum helpers.
+func QuadChecksum(key Key, data []byte) uint32 { return uint32(len(data)) ^ uint32(key[0]) }
+
+func keyEqual(a, b Key) bool {
+	return a == b // want `secret byte material compared with ==`
+}
+
+func keyNotEqual(a, b Key) bool {
+	return a != b // want `secret byte material compared with !=`
+}
+
+func keyBytesEqual(sessionKey, other []byte) bool {
+	return bytes.Equal(sessionKey, other) // want `bytes\.Equal`
+}
+
+func checksumCall(k Key, msg []byte, wire uint32) bool {
+	return QuadChecksum(k, msg) == wire // want `keyed checksum compared with ==`
+}
+
+func checksumField(m struct{ Checksum uint32 }, sum uint32) bool {
+	return m.Checksum != sum // want `keyed checksum compared with !=`
+}
+
+// --- cases that must stay silent ---
+
+// goodCompare: the blessed constant-time form. The == 1 comparison on
+// subtle's int result must not itself be flagged.
+func goodCompare(a, b Key) bool {
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}
+
+// lenOfKey: len() yields a public int even when its operand is secret.
+func lenOfKey(key []byte) bool { return len(key) == 8 }
+
+// monkey: word-wise matching — "monkey" must not match "key".
+func monkey(monkeyBytes, donkeyBytes []byte) bool {
+	return bytes.Equal(monkeyBytes, donkeyBytes)
+}
+
+// kvno: public metadata with an integer type and no checksum words.
+func kvno(reqKVNO, dbKVNO uint8) bool { return reqKVNO != dbKVNO }
+
+// names: principal strings are identities, not byte material.
+func names(client, server string) bool { return client == server }
+
+// ignored: a justified suppression silences the finding.
+func ignored(a, b Key) bool {
+	return a == b //kerb:ignore consttime -- fixture: public test vectors, not live keys
+}

@@ -1,0 +1,86 @@
+// Package hotpath polices functions annotated //kerb:hotpath — the
+// PR 1 zero-allocation AS/TGS request path, whose alloc counts are
+// pinned by AllocsPerRun guards. Inside an annotated function the
+// analyzer forbids the constructs that silently reintroduce
+// allocations or nondeterminism:
+//
+//   - any fmt.* call (interface boxing and formatting state allocate),
+//   - map creation (make(map...) or a map literal),
+//   - function literals (closures capture and usually escape),
+//   - ranging over a map (iteration order is random; if the order
+//     reaches the wire or a checksum, replies become nondeterministic).
+//
+// Reading or writing existing map entries is fine — the replay cache
+// and key caches index maps on the hot path by design.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kerberos/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "//kerb:hotpath functions may not call fmt, build maps or closures, or range over maps",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.Pkg.Directives.FuncHas(fn, "hotpath") {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if f := analysis.Callee(info, n); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(),
+					"hot-path function %s calls fmt.%s, which allocates; format off the hot path or drop the annotation", name, f.Name())
+			}
+			if analysis.IsBuiltin(info, n, "make") && len(n.Args) > 0 && isMapType(info, n.Args[0]) {
+				pass.Reportf(n.Pos(), "hot-path function %s allocates a map with make", name)
+			}
+		case *ast.CompositeLit:
+			if isMapType(info, n) {
+				pass.Reportf(n.Pos(), "hot-path function %s allocates a map literal", name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"hot-path function %s creates a closure, which captures and typically escapes", name)
+			return false // inner violations would be double-reported
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(),
+						"hot-path function %s ranges over a map; iteration order is random and must not reach the wire", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isMapType reports whether the expression's type (for a composite
+// literal) or the type expression itself (for make's first argument)
+// denotes a map.
+func isMapType(info *types.Info, e ast.Expr) bool {
+	if t := info.TypeOf(e); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kerberos/internal/analysis/analysistest"
+	"kerberos/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,49 @@
+// Package a is the hotpath fixture.
+package a
+
+import "fmt"
+
+func sink(...any) {}
+
+// hot is annotated, so every forbidden construct inside it is flagged.
+//
+//kerb:hotpath
+func hot(m map[string]int, xs []int) int {
+	fmt.Println("served") // want `calls fmt\.Println`
+	n := make(map[int]int) // want `allocates a map with make`
+	lit := map[string]bool{"a": true} // want `allocates a map literal`
+	f := func() int { return 1 } // want `creates a closure`
+	total := 0
+	for k := range m { // want `ranges over a map`
+		total += m[k]
+	}
+	sink(n, lit, f)
+	// Allowed on the hot path: map reads/writes and slice ranges.
+	m["hit"]++
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// hotIgnored: a justified suppression for a cold error branch.
+//
+//kerb:hotpath
+func hotIgnored(fail bool) error {
+	if fail {
+		return fmt.Errorf("cold error path") //kerb:ignore hotpath -- fixture: error branch never taken on the hot path
+	}
+	return nil
+}
+
+// --- cases that must stay silent ---
+
+// cold is not annotated: identical constructs are fine elsewhere.
+func cold(m map[string]int) {
+	fmt.Println(len(m))
+	n := map[string]int{}
+	for k := range m {
+		n[k] = m[k]
+	}
+	sink(n, func() {})
+}

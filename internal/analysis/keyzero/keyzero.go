@@ -1,0 +1,269 @@
+// Package keyzero enforces the paper's §4.1 key-handling rule — "the
+// user's password and DES key are erased from memory" — over functions
+// that materialize key material into locals: a local of a Key-named
+// byte-array type (des.Key), or a byte buffer named as key/schedule/
+// password material, must be zeroized before the function returns,
+// unless the value's whole point is to outlive the call (it is
+// returned, or stored into a longer-lived structure).
+//
+// Accepted zeroization proofs, checkable without a CFG:
+//
+//   - a deferred wipe (defer clear(k[:]), defer wipe(k)) — covers every
+//     return path by construction, or
+//   - an inline wipe (clear, a zero-composite assignment, a zeroing
+//     loop, or a call to a zero*/wipe*/erase*/scrub* helper) in a
+//     function with at most one return statement, where "before the
+//     single exit" is trivially "on all paths".
+//
+// A function with multiple return statements must use defer: an inline
+// wipe cannot be shown (syntactically) to dominate every exit.
+package keyzero
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kerberos/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "keyzero",
+	Doc:  "key material materialized into locals must be zeroized on all return paths",
+	Run:  run,
+}
+
+// keyWords name byte buffers that hold key material.
+var keyWords = map[string]bool{
+	"key": true, "sched": true, "schedule": true, "subkey": true,
+	"password": true, "passwd": true, "secret": true,
+}
+
+// wipeWords name functions that count as zeroizers.
+var wipeWords = map[string]bool{
+	"zero": true, "wipe": true, "erase": true, "scrub": true, "clear": true,
+	"destroy": true, "forget": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// candidate is one key-material local under scrutiny.
+type candidate struct {
+	obj          types.Object
+	decl         *ast.Ident
+	escapes      bool
+	wiped        bool // any zeroizer mentions it
+	deferredWipe bool // a deferred zeroizer mentions it
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	cands := map[types.Object]*candidate{}
+
+	// Pass 1: find key-material locals declared in the body.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Defs[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if isKeyMaterial(obj) {
+			cands[obj] = &candidate{obj: obj, decl: id}
+		}
+		return true
+	})
+	if len(cands) == 0 {
+		return
+	}
+
+	returns := 0
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			returns++
+		}
+		return true
+	})
+
+	// Pass 2: classify every use.
+	classify(info, fn.Body, cands, false)
+
+	for _, c := range cands {
+		switch {
+		case c.escapes:
+			// Returned or stored into something longer-lived: the value
+			// is meant to outlive the call; its owner wipes it.
+		case c.deferredWipe:
+			// Deferred wipe covers all paths.
+		case c.wiped && returns <= 1:
+			// Inline wipe with a single exit.
+		case c.wiped:
+			pass.Reportf(c.decl.Pos(),
+				"key material %q is wiped inline but the function has %d return statements; zeroize via defer so every return path is covered",
+				c.decl.Name, returns)
+		default:
+			pass.Reportf(c.decl.Pos(),
+				"key material %q is not zeroized before return (clear it, or defer a wipe)",
+				c.decl.Name)
+		}
+	}
+}
+
+// classify walks stmts recording escapes and wipes of candidates.
+// inDefer marks that the traversal is inside a defer statement.
+func classify(info *types.Info, n ast.Node, cands map[types.Object]*candidate, inDefer bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			markWipe(info, n.Call, cands, true)
+			classify(info, n.Call, cands, true)
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				markEscapes(info, res, cands)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				markEscapes(info, elt, cands)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				var lhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					lhs = n.Lhs[i]
+				}
+				// A zero-composite store (k = Key{}) is a wipe, not use.
+				if c := candOf(info, n.Lhs[min(i, len(n.Lhs)-1)], cands); c != nil && isZeroComposite(rhs) {
+					c.wiped = true
+					if inDefer {
+						c.deferredWipe = true
+					}
+					continue
+				}
+				// Zeroing element stores (k[i] = 0, the explicit wipe
+				// loop) count as a wipe of k.
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isZeroLiteral(rhs) {
+					if c := candOf(info, idx.X, cands); c != nil {
+						c.wiped = true
+						if inDefer {
+							c.deferredWipe = true
+						}
+						continue
+					}
+				}
+				// Storing the value through a field, index, or deref —
+				// or into a named variable that itself escapes — parks
+				// key material beyond this frame.
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					markEscapes(info, rhs, cands)
+				}
+			}
+		case *ast.SendStmt:
+			markEscapes(info, n.Value, cands)
+		case *ast.UnaryExpr:
+			// &k hands out a pointer; ownership (and the duty to wipe)
+			// moves with it.
+			if n.Op == token.AND {
+				markEscapes(info, n.X, cands)
+			}
+		case *ast.CallExpr:
+			markWipe(info, n, cands, inDefer)
+		}
+		return true
+	})
+}
+
+// markEscapes marks any candidate identifier inside e as escaping.
+func markEscapes(info *types.Info, e ast.Expr, cands map[types.Object]*candidate) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if c, ok := cands[info.Uses[id]]; ok {
+				c.escapes = true
+			}
+		}
+		return true
+	})
+}
+
+// markWipe records call-based zeroizers: clear(k), clear(k[:]),
+// wipe(&k), zeroKey(k[:]), ...
+func markWipe(info *types.Info, call *ast.CallExpr, cands map[types.Object]*candidate, deferred bool) {
+	isWiper := analysis.IsBuiltin(info, call, "clear")
+	if !isWiper {
+		if fn := analysis.Callee(info, call); fn != nil {
+			isWiper = analysis.HasWord(fn.Name(), wipeWords)
+		}
+	}
+	if !isWiper {
+		return
+	}
+	for _, arg := range call.Args {
+		if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			arg = u.X
+		}
+		if c := candOf(info, arg, cands); c != nil {
+			c.wiped = true
+			if deferred {
+				c.deferredWipe = true
+			}
+		}
+	}
+}
+
+// candOf resolves an expression (k, k[:], (k)) to a candidate.
+func candOf(info *types.Info, e ast.Expr, cands map[types.Object]*candidate) *candidate {
+	if e == nil {
+		return nil
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return cands[info.Uses[e]]
+	case *ast.SliceExpr:
+		return candOf(info, e.X, cands)
+	}
+	return nil
+}
+
+// isZeroComposite reports whether e is an empty composite literal
+// (Key{}, [8]byte{}).
+func isZeroComposite(e ast.Expr) bool {
+	cl, ok := ast.Unparen(e).(*ast.CompositeLit)
+	return ok && len(cl.Elts) == 0
+}
+
+// isZeroLiteral reports whether e is the literal 0.
+func isZeroLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// isKeyMaterial reports whether a local holds key material: a value of
+// a Key-worded named byte-array/slice type, or a byte buffer whose own
+// name says key/schedule/password.
+func isKeyMaterial(obj types.Object) bool {
+	t := obj.Type()
+	if !analysis.IsByteMaterial(t) {
+		return false
+	}
+	if analysis.HasWord(analysis.NamedName(t), keyWords) {
+		return true
+	}
+	return analysis.HasWord(obj.Name(), keyWords)
+}

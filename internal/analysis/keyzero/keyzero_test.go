@@ -1,0 +1,13 @@
+package keyzero_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kerberos/internal/analysis/analysistest"
+	"kerberos/internal/analysis/keyzero"
+)
+
+func TestKeyzero(t *testing.T) {
+	analysistest.Run(t, keyzero.Analyzer, filepath.Join("testdata", "src", "a"))
+}

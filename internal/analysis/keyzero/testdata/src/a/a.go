@@ -1,0 +1,119 @@
+// Package a is the keyzero fixture.
+package a
+
+// Key mimics des.Key.
+type Key [8]byte
+
+type entry struct{ key Key }
+
+var vault = map[string]entry{}
+
+func use(...any) {}
+
+func derive() Key { var k Key; k[0] = 1; return k }
+
+// leak materializes a key and drops it on the floor.
+func leak() {
+	var k Key // want `key material "k" is not zeroized`
+	use(k)
+}
+
+// leakBuf: a named key buffer, same rule.
+func leakBuf() {
+	keyBytes := make([]byte, 8) // want `key material "keyBytes" is not zeroized`
+	use(keyBytes)
+}
+
+// clearedSingleExit: an inline clear with one exit point is enough.
+func clearedSingleExit() int {
+	var k Key
+	use(k)
+	clear(k[:])
+	return 0
+}
+
+// loopWiped: the explicit zeroing loop also counts.
+func loopWiped() {
+	sessionKey := make([]byte, 8)
+	use(sessionKey)
+	for i := range sessionKey {
+		sessionKey[i] = 0
+	}
+}
+
+// zeroAssign: overwriting with the zero value counts.
+func zeroAssign() {
+	var k Key
+	use(k)
+	k = Key{}
+	use(k)
+}
+
+// multiExitInline: inline wipes cannot be proven to cover both returns.
+func multiExitInline(cond bool) int {
+	var k Key // want `zeroize via defer`
+	use(k)
+	if cond {
+		clear(k[:])
+		return 1
+	}
+	clear(k[:])
+	return 0
+}
+
+// multiExitDefer: defer covers every path.
+func multiExitDefer(cond bool) int {
+	var k Key
+	defer clear(k[:])
+	use(k)
+	if cond {
+		return 1
+	}
+	return 0
+}
+
+// wipeHelper: a named wiper function is recognized.
+func wipeKey(b []byte) { clear(b) }
+
+func viaHelper() {
+	var k Key
+	use(k)
+	wipeKey(k[:])
+}
+
+// --- cases that must stay silent (false-positive shapes) ---
+
+// returned: the key's whole point is to outlive the call.
+func returned() Key {
+	var k Key
+	use(k)
+	return k
+}
+
+// stored: cache/struct population transfers ownership — the cache is
+// the long-lived owner and wipes on eviction.
+func stored(name string) {
+	var k Key
+	use(k)
+	vault[name] = entry{key: k}
+}
+
+// pointerOut: handing out &k transfers the duty to wipe.
+func pointerOut(fill func(*Key)) {
+	var k Key
+	fill(&k)
+	use(k)
+}
+
+// publicBuf: byte buffers without key naming or typing are not key
+// material.
+func publicBuf() {
+	data := make([]byte, 64)
+	use(data)
+}
+
+// ignored: a justified suppression silences the finding.
+func ignored() {
+	var k Key //kerb:ignore keyzero -- fixture: lifetime owned by caller convention
+	use(k)
+}

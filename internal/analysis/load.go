@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus everything an
+// analyzer needs: syntax, types, and the kerb: directive index.
+type Package struct {
+	Path       string // import path ("kerberos/internal/des")
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Directives *Directives
+}
+
+// Loader parses and type-checks the module's packages. In-module
+// imports are resolved from source (recursively, memoized); everything
+// else — the standard library — is delegated to go/importer's source
+// importer, so the whole pipeline needs no compiled export data and no
+// tooling beyond the stdlib.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string
+	ModPath string
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.Importer
+}
+
+// NewLoader creates a loader for the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// findModule walks upward from dir to the enclosing go.mod and returns
+// the module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Match expands package patterns into import paths. "./..." (or
+// "all") walks every package under the module root; any other pattern
+// is a directory relative to the module root (or an import path).
+// Directories named testdata, vendor, or starting with "." or "_" are
+// skipped, matching go tool conventions.
+func (l *Loader) Match(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var paths []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch pat {
+		case "./...", "...", "all":
+			err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != l.ModRoot && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if len(goFilesIn(path)) == 0 {
+					return nil
+				}
+				rel, err := filepath.Rel(l.ModRoot, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					add(l.ModPath)
+				} else {
+					add(l.ModPath + "/" + filepath.ToSlash(rel))
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			p := strings.TrimPrefix(pat, "./")
+			if !strings.HasPrefix(p, l.ModPath) {
+				if p == "." {
+					p = l.ModPath
+				} else {
+					p = l.ModPath + "/" + filepath.ToSlash(p)
+				}
+			}
+			add(p)
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// goFilesIn lists the non-test .go files of a directory, sorted.
+func goFilesIn(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files
+}
+
+// Load parses and type-checks the package at the given import path
+// (which must be in-module), returning a cached result on repeat calls.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	rel, ok := strings.CutPrefix(path, l.ModPath)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", path, l.ModPath)
+	}
+	dir := filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	pkg, err := l.loadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under a
+// synthetic import path. Used by the fixture-test harness, where the
+// package is not part of any module; its imports must be stdlib-only.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	if p, ok := l.pkgs[asPath]; ok {
+		return p, nil
+	}
+	pkg, err := l.loadDir(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[asPath] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	files := goFilesIn(dir)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := cfg.Check(path, l.Fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:       path,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      asts,
+		Types:      tpkg,
+		Info:       info,
+		Directives: parseDirectives(l.Fset, asts),
+	}, nil
+}
+
+// loaderImporter adapts Loader to types.Importer: module-internal
+// imports load from source here; everything else goes to the stdlib
+// source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// Shared syntax/type helpers for the analyzers.
+
+// Callee resolves the function object a call invokes, or nil for
+// builtins, type conversions, and indirect calls through variables.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call invokes the named function from the
+// named package (path form, e.g. "bytes", "Equal").
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := Callee(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// IsBuiltin reports whether call invokes the named builtin (make,
+// clear, ...).
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// Words splits an identifier into lower-cased words at case changes,
+// underscores, and digits: "sessionKeyKVNO" -> [session key kvno],
+// "monkey" -> [monkey]. Word-wise matching is what keeps "monkey" from
+// matching "key".
+func Words(name string) []string {
+	var words []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			words = append(words, strings.ToLower(string(cur)))
+			cur = nil
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || unicode.IsDigit(r):
+			flush()
+		case unicode.IsUpper(r):
+			// Boundary before an upper rune, except inside an acronym
+			// run ("KVNO"); an acronym ends before "Xx" (upper followed
+			// by lower).
+			if i > 0 && (!unicode.IsUpper(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]))) {
+				flush()
+			}
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return words
+}
+
+// HasWord reports whether any word of name is in set.
+func HasWord(name string, set map[string]bool) bool {
+	for _, w := range Words(name) {
+		if set[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// IsByteMaterial reports whether t is a byte slice or byte array
+// (possibly behind a named type), i.e. raw material a timing-safe
+// compare could apply to.
+func IsByteMaterial(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isByte(u.Elem())
+	case *types.Array:
+		return isByte(u.Elem())
+	}
+	return false
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// NamedName returns the name of t's named type (unwrapping pointers),
+// or "".
+func NamedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// ExprName extracts the rightmost identifier of an expression —
+// "m.Checksum" -> "Checksum", "key" -> "key" — or "".
+func ExprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return ExprName(e.X)
+	case *ast.SliceExpr:
+		return ExprName(e.X)
+	}
+	return ""
+}
+
+// EnclosingFuncDecl returns the top-level FuncDecl containing n (Go
+// function declarations do not nest; function literals inside a decl
+// belong to it), or nil for package-level positions.
+func EnclosingFuncDecl(file *ast.File, n ast.Node) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= n.Pos() && n.Pos() <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

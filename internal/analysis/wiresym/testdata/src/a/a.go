@@ -1,0 +1,47 @@
+// Package a is the wiresym fixture. The goldens directory next to this
+// file holds vectors for the well-formed types only.
+package a
+
+// Good has the full contract: Encode, DecodeGood, and a golden vector
+// (goldens/good.golden).
+type Good struct{ V uint8 }
+
+func (g *Good) Encode() []byte { return []byte{g.V} }
+
+func DecodeGood(b []byte) (*Good, error) { return &Good{V: b[0]}, nil }
+
+// Methodical decodes via a method instead of a package function, and
+// has goldens/methodical.golden.
+type Methodical struct{ V uint8 }
+
+func (m Methodical) Encode() []byte { return []byte{m.V} }
+
+func (m *Methodical) Decode(b []byte) error { m.V = b[0]; return nil }
+
+// Orphan can encode but nothing can read it back, and no golden pins
+// its format.
+type Orphan struct{ V uint8 }                      // want `no matching decoder` `no golden vector`
+func (o Orphan) Encode() []byte { return []byte{o.V} }
+
+// Undocumented round-trips but has no golden vector.
+type Undocumented struct{ V uint8 }                // want `no golden vector undocumented\.golden`
+func (u Undocumented) Encode() []byte            { return []byte{u.V} }
+func DecodeUndocumented(b []byte) (Undocumented, error) { return Undocumented{V: b[0]}, nil }
+
+// --- cases that must stay silent ---
+
+// appender's Encode takes a destination: a streaming encoder, not a
+// wire struct (known false-positive shape).
+type Appender struct{ V uint8 }
+
+func (a Appender) Encode(dst []byte) []byte { return append(dst, a.V) }
+
+// renderer's Encode returns a string, not wire bytes.
+type Renderer struct{ V uint8 }
+
+func (r Renderer) Encode() string { return string(rune(r.V)) }
+
+// unexported wire helpers are internal plumbing.
+type scratch struct{ V uint8 }
+
+func (s scratch) Encode() []byte { return []byte{s.V} }

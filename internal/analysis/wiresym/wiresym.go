@@ -1,0 +1,135 @@
+// Package wiresym enforces wire-format symmetry: every exported wire
+// struct that can serialize itself (an Encode() []byte method) must
+// have a matching decoder — a Decode method or a package-level
+// Decode<Type> function — and a checked-in golden vector under
+// internal/wire/testdata, so the byte format is pinned against both
+// asymmetric refactors (an encoder whose output nothing can read back)
+// and silent format drift (no golden to diff against).
+//
+// Structs whose Encode takes parameters (streaming encoders, appenders)
+// are a different shape and are not wire structs for this rule.
+package wiresym
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kerberos/internal/analysis"
+)
+
+// New builds the analyzer with the directory that must hold one
+// <lowercased type name>.golden vector per wire struct.
+func New(goldenDir string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "wiresym",
+		Doc:  "exported wire structs with Encode need a matching Decode and a golden vector",
+		Run: func(pass *analysis.Pass) error {
+			return run(pass, goldenDir)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, goldenDir string) error {
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		if !hasNullaryBytesMethod(named, "Encode") {
+			continue
+		}
+		pos := findTypeSpec(pass, name)
+
+		if !hasDecoder(pass.Pkg.Types, named, name) {
+			pass.Reportf(pos,
+				"wire struct %s has Encode but no matching decoder (method Decode or func Decode%s)", name, name)
+		}
+		golden := strings.ToLower(name) + ".golden"
+		if _, err := os.Stat(filepath.Join(goldenDir, golden)); err != nil {
+			pass.Reportf(pos,
+				"wire struct %s has no golden vector %s under %s (add one and a round-trip test)",
+				name, golden, filepath.ToSlash(goldenDir))
+		}
+	}
+	return nil
+}
+
+// hasNullaryBytesMethod reports whether T or *T has a method with the
+// given name taking no arguments and returning []byte.
+func hasNullaryBytesMethod(named *types.Named, name string) bool {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			fn := ms.At(i).Obj().(*types.Func)
+			if fn.Name() != name {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+				isByteSlice(sig.Results().At(0).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// hasDecoder reports whether the package offers a way back from bytes:
+// a Decode method on the type, or a package-level Decode<Name> func.
+func hasDecoder(pkg *types.Package, named *types.Named, name string) bool {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == "Decode" {
+				return true
+			}
+		}
+	}
+	if fn, ok := pkg.Scope().Lookup("Decode" + name).(*types.Func); ok && fn != nil {
+		return true
+	}
+	return false
+}
+
+// findTypeSpec locates the type declaration for diagnostics.
+func findTypeSpec(pass *analysis.Pass, name string) (pos token.Pos) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == name {
+					return ts.Pos()
+				}
+			}
+		}
+	}
+	// Fall back to the package clause of the first file.
+	if len(pass.Pkg.Files) > 0 {
+		return pass.Pkg.Files[0].Package
+	}
+	return token.NoPos
+}

@@ -1,0 +1,14 @@
+package wiresym_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kerberos/internal/analysis/analysistest"
+	"kerberos/internal/analysis/wiresym"
+)
+
+func TestWiresym(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "a")
+	analysistest.Run(t, wiresym.New(filepath.Join(dir, "goldens")), dir)
+}

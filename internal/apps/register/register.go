@@ -92,6 +92,7 @@ func (r *Registrar) Register(name, mitID, username, password string) error {
 		return fmt.Errorf("%w: %s", ErrTaken, username)
 	}
 	key := client.PasswordKey(p, password)
+	defer clear(key[:])
 	if err := r.DB.Add(username, "", key, 0, "register", r.now()); err != nil {
 		return fmt.Errorf("register: adding principal: %w", err)
 	}

@@ -110,6 +110,9 @@ func NewService(principal core.Principal, keytab *Srvtab) *Service {
 	return &Service{Principal: principal, Keytab: keytab, replays: replay.New()}
 }
 
+// now falls back to the wall clock when no test clock is injected.
+//
+//kerb:clockadapter -- the declared fallback boundary for Service.Clock
 func (s *Service) now() time.Time {
 	if s.Clock != nil {
 		return s.Clock()
@@ -141,12 +144,12 @@ func (s *Service) ReadRequest(msg []byte, from core.Addr) (*ServerSession, error
 	if s.Sink == nil {
 		return s.readRequest(msg, from)
 	}
-	start := time.Now()
+	start := s.now()
 	sess, err := s.readRequest(msg, from)
 	ev := obs.Event{
 		Kind:     obs.AppAuth,
 		Time:     start,
-		Duration: time.Since(start),
+		Duration: s.now().Sub(start),
 		Service:  s.Principal.String(),
 	}
 	if sess != nil {
@@ -177,6 +180,7 @@ func (s *Service) readRequest(msg []byte, from core.Addr) (*ServerSession, error
 	if err != nil {
 		return nil, core.NewError(core.ErrDatabase, "%v", err)
 	}
+	defer clear(key[:])
 	if req.KVNO != 0 && req.KVNO != kvno {
 		return nil, core.NewError(core.ErrIntegrityFailed,
 			"ticket sealed with key version %d, server holds %d", req.KVNO, kvno)

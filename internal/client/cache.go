@@ -233,8 +233,7 @@ func UnmarshalCredCache(data []byte) (*CredCache, error) {
 		c := &Credentials{
 			Service: core.Principal{Name: r.str(), Instance: r.str(), Realm: r.str()},
 		}
-		key := r.bytesN(des.KeySize)
-		copy(c.SessionKey[:], key)
+		copy(c.SessionKey[:], r.bytesN(des.KeySize))
 		c.Ticket = append([]byte(nil), r.bytes()...)
 		c.KVNO = r.u8()
 		c.TicketRealm = r.str()

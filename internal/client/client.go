@@ -101,6 +101,9 @@ func New(principal core.Principal, cfg *Config) *Client {
 	}
 }
 
+// now falls back to the wall clock when no test clock is injected.
+//
+//kerb:clockadapter -- the declared fallback boundary for Client.Clock
 func (c *Client) now() time.Time {
 	if c.Clock != nil {
 		return c.Clock()
@@ -161,10 +164,10 @@ func (c *Client) LoginService(password string, service core.Principal, life core
 		return nil, err
 	}
 	key := PasswordKey(c.Principal, password)
+	// Drop the cached schedule and the key itself on every return path.
+	defer des.ForgetKey(key)
+	defer clear(key[:])
 	enc, err := rep.Open(key)
-	des.ForgetKey(key) // drop the cached schedule along with the key itself
-	key = des.Key{}    // erase
-	_ = key
 	if err != nil {
 		return nil, fmt.Errorf("client: cannot decrypt KDC reply (incorrect password?): %w", err)
 	}

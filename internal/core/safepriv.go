@@ -68,7 +68,7 @@ func ReadSafe(key des.Key, msg []byte, from Addr, now time.Time) ([]byte, error)
 	if err := r.done(); err != nil {
 		return nil, err
 	}
-	if des.QuadChecksum(key, m.safeBody()) != m.Checksum {
+	if !des.ChecksumEqual(des.QuadChecksum(key, m.safeBody()), m.Checksum) {
 		return nil, NewError(ErrIntegrityFailed, "safe message checksum mismatch")
 	}
 	if !from.IsZero() && m.Addr != from {

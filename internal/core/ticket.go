@@ -48,6 +48,7 @@ func decodeTicket(data []byte) (*Ticket, error) {
 		Life:   Lifetime(r.u8()),
 	}
 	key := r.bytes2(des.KeySize)
+	defer clear(key) // also scrubs the key bytes from the plaintext buffer
 	if err := r.done(); err != nil {
 		return nil, fmt.Errorf("core: decoding ticket: %w", err)
 	}

@@ -1,6 +1,9 @@
 package des
 
-import "encoding/binary"
+import (
+	"crypto/subtle"
+	"encoding/binary"
+)
 
 // QuadChecksum is the keyed quadratic checksum used by Kerberos safe
 // messages (§2.1 "safe messages": "authentication of each message, but do
@@ -38,4 +41,12 @@ func QuadChecksum(key Key, data []byte) uint32 {
 // (the product fits in 62 bits, within uint64).
 func mulmod(a, b uint64) uint64 {
 	return (a * b) % 0x7fffffff
+}
+
+// ChecksumEqual compares two keyed checksums in constant time. A
+// data-dependent comparison would let an attacker forging safe messages
+// learn the checksum byte-by-byte from timing; §2.1's integrity argument
+// assumes the verifier leaks nothing about the expected value.
+func ChecksumEqual(a, b uint32) bool {
+	return subtle.ConstantTimeEq(int32(a), int32(b)) == 1
 }

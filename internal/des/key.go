@@ -2,6 +2,7 @@ package des
 
 import (
 	"crypto/rand"
+	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -55,19 +56,23 @@ func FixParity(k Key) Key {
 	return k
 }
 
-// HasOddParity reports whether every byte of k has odd parity.
+// HasOddParity reports whether every byte of k has odd parity. The
+// comparison is constant-time: parity checks run on candidate keys.
 func HasOddParity(k Key) bool {
-	return k == FixParity(k)
+	fp := FixParity(k)
+	defer clear(fp[:])
+	return subtle.ConstantTimeCompare(k[:], fp[:]) == 1
 }
 
 // IsWeak reports whether k is one of the weak or semi-weak DES keys.
+// Every entry is compared in constant time so the scan's duration does
+// not depend on the candidate key's value.
 func IsWeak(k Key) bool {
-	for _, w := range weakKeys {
-		if k == w {
-			return true
-		}
+	match := 0
+	for i := range weakKeys {
+		match |= subtle.ConstantTimeCompare(k[:], weakKeys[i][:])
 	}
-	return false
+	return match == 1
 }
 
 // fixWeak nudges a weak key into a strong one the way the Kerberos
@@ -177,6 +182,9 @@ func StringToKey(password, salt string) Key {
 
 	c := NewCipher(k)
 	sum := c.cbcChecksum(padded, k[:])
+	clear(k[:]) // the fold buffer holds password-derived bits
+	clear(padded)
+	clear(input)
 	var out Key
 	binary.BigEndian.PutUint64(out[:], sum)
 	return fixWeak(FixParity(out))

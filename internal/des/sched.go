@@ -41,6 +41,8 @@ func NewSchedCache(max int) *SchedCache {
 
 // For returns the expanded schedule for key, expanding and caching it on
 // first use. Concurrent callers for the same key converge on one Cipher.
+//
+//kerb:hotpath
 func (s *SchedCache) For(key Key) *Cipher {
 	if c, ok := s.m.Load(key); ok {
 		return c.(*Cipher)

@@ -35,6 +35,8 @@ func SealedLen(n int) int {
 
 // Seal encrypts plaintext under the cipher's key and returns the sealed
 // ciphertext in a fresh buffer (the only allocation it performs).
+//
+//kerb:hotpath
 func (c *Cipher) Seal(plaintext []byte) []byte {
 	buf := make([]byte, SealedLen(len(plaintext)))
 	binary.BigEndian.PutUint32(buf[0:4], uint32(len(plaintext)))
@@ -48,6 +50,8 @@ func (c *Cipher) Seal(plaintext []byte) []byte {
 // Unseal decrypts a sealed ciphertext and verifies its integrity,
 // returning the original plaintext. A wrong key, truncated input, or any
 // tampering yields ErrIntegrity.
+//
+//kerb:hotpath
 func (c *Cipher) Unseal(ciphertext []byte) ([]byte, error) {
 	if len(ciphertext) < sealHeaderLen || len(ciphertext)%BlockSize != 0 {
 		return nil, ErrIntegrity
@@ -61,7 +65,7 @@ func (c *Cipher) Unseal(ciphertext []byte) ([]byte, error) {
 		return nil, ErrIntegrity
 	}
 	plaintext := buf[sealHeaderLen : sealHeaderLen+int(n)]
-	if QuadChecksum(c.key, plaintext) != binary.BigEndian.Uint32(buf[4:8]) {
+	if !ChecksumEqual(QuadChecksum(c.key, plaintext), binary.BigEndian.Uint32(buf[4:8])) {
 		return nil, ErrIntegrity
 	}
 	// Padding must be zeros; reject other trailing bytes.
@@ -75,6 +79,8 @@ func (c *Cipher) Unseal(ciphertext []byte) ([]byte, error) {
 
 // Seal encrypts plaintext under key and returns the sealed ciphertext,
 // reusing key's cached schedule.
+//
+//kerb:hotpath
 func Seal(key Key, plaintext []byte) []byte {
 	return sched.For(key).Seal(plaintext)
 }

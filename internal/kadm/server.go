@@ -108,6 +108,7 @@ func (s *Server) service() (*client.Service, error) {
 	if err != nil {
 		return nil, core.NewError(core.ErrDatabase, "KDBM service key undecryptable")
 	}
+	defer clear(key[:])
 	s.svcMu.Lock()
 	defer s.svcMu.Unlock()
 	if s.svc == nil || s.kvno != entry.KVNO {

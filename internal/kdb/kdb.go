@@ -318,6 +318,8 @@ func (db *Database) GetRO(name, instance string) (*Entry, error) {
 // Key returns an entry's decrypted private key, from the cache when the
 // entry's KVNO matches, otherwise by a master-key decryption (the result
 // is cached for next time).
+//
+//kerb:hotpath
 func (db *Database) Key(e *Entry) (des.Key, error) {
 	ck, err := db.cachedKey(e)
 	if err != nil {

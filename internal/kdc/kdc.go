@@ -244,10 +244,10 @@ func (s *Server) issue(client core.Principal, clientAddr core.Addr,
 // remote-realm TGSes (§7.2).
 func (s *Server) handleAS(msg []byte, from core.Addr) []byte {
 	s.metrics.ASRequests.Inc()
-	start := time.Now()
+	start := s.clock()
 	var ev obs.Event
 	reply := s.doAS(msg, from, &ev)
-	d := time.Since(start)
+	d := s.clock().Sub(start)
 	s.metrics.ASLatency.Observe(d)
 	s.trace(&ev, obs.ExchangeAS, start, d, reply)
 	return reply
@@ -291,6 +291,7 @@ func (s *Server) doAS(msg []byte, from core.Addr, ev *obs.Event) []byte {
 	if err != nil {
 		return s.fail(ev, core.NewError(core.ErrDatabase, "cannot decrypt key for %v", client))
 	}
+	defer clear(clientKey[:])
 	reply, err := s.issue(client, from, serviceEntry, service, life,
 		req.Time, clientKey, clientEntry.KVNO, now)
 	if err != nil {
@@ -309,10 +310,10 @@ func (s *Server) doAS(msg []byte, from core.Addr, ev *obs.Event) []byte {
 // so "there is no need for the user to enter her/his password again."
 func (s *Server) handleTGS(msg []byte, from core.Addr) []byte {
 	s.metrics.TGSRequests.Inc()
-	start := time.Now()
+	start := s.clock()
 	var ev obs.Event
 	reply := s.doTGS(msg, from, &ev)
-	d := time.Since(start)
+	d := s.clock().Sub(start)
 	s.metrics.TGSLatency.Observe(d)
 	s.trace(&ev, obs.ExchangeTGS, start, d, reply)
 	return reply
@@ -342,6 +343,7 @@ func (s *Server) doTGS(msg []byte, from core.Addr, ev *obs.Event) []byte {
 	if err != nil {
 		return s.fail(ev, core.NewError(core.ErrDatabase, "cannot decrypt TGS key"))
 	}
+	defer clear(tgsKey[:])
 
 	tgt, err := core.OpenTicket(tgsKey, req.APReq.Ticket)
 	if err != nil {

@@ -88,6 +88,8 @@ func (s *Selector) dials() (UDPDial, TCPDial) {
 // reply, all within timeout. On success the answering KDC becomes the
 // preferred one; when every address fails, the preference rotates so
 // the next call leads with a different KDC.
+//
+//kerb:clockadapter -- failover budget is a wall-clock I/O deadline shared across KDCs
 func (s *Selector) Exchange(req []byte, timeout time.Duration) ([]byte, error) {
 	n := len(s.addrs)
 	if n == 0 {

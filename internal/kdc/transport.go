@@ -175,6 +175,8 @@ func (l *Listener) serveUDP() {
 // connections queue in the kernel backlog instead of spawning unbounded
 // goroutines. Slots are freed when a connection closes or stalls past
 // the read deadline.
+//
+//kerb:clockadapter -- per-connection read deadlines are wall-clock I/O timeouts, not protocol time
 func (l *Listener) serveTCP() {
 	defer l.wg.Done()
 	for {
@@ -305,10 +307,13 @@ func isRepeatError(reply []byte) bool {
 // UDP with retransmission first, switching to TCP when the request is
 // too large for a datagram, when the server signals an oversized reply,
 // or when the datagram path fails with budget still remaining.
+//
+//kerb:clockadapter -- converts a caller timeout into a wall-clock I/O deadline
 func Exchange(addr string, req []byte, timeout time.Duration) ([]byte, error) {
 	return exchangeDeadline(defaultDialUDP, defaultDialTCP, addr, req, time.Now().Add(timeout))
 }
 
+//kerb:clockadapter -- retry/backoff pacing against a wall-clock I/O deadline
 func exchangeDeadline(dialUDP UDPDial, dialTCP TCPDial, addr string, req []byte, deadline time.Time) ([]byte, error) {
 	if len(req) <= MaxUDPMessage {
 		reply, err := exchangeUDP(dialUDP, addr, req, deadline)
@@ -330,6 +335,8 @@ func exchangeDeadline(dialUDP UDPDial, dialTCP TCPDial, addr string, req []byte,
 // that do not parse as KDC messages — stragglers from earlier
 // retransmissions, misdirected or corrupted datagrams — are skipped
 // rather than surfaced as errors.
+//
+//kerb:clockadapter -- socket deadlines and retransmit pacing are wall-clock I/O timeouts
 func exchangeUDP(dial UDPDial, addr string, req []byte, deadline time.Time) ([]byte, error) {
 	conn, err := dial(addr)
 	if err != nil {
@@ -396,10 +403,13 @@ func exchangeUDP(dial UDPDial, addr string, req []byte, deadline time.Time) ([]b
 
 // exchangeTCP is the stream exchange with a duration budget (kept for
 // callers and tests that address a single KDC directly).
+//
+//kerb:clockadapter -- converts a caller timeout into a wall-clock I/O deadline
 func exchangeTCP(addr string, req []byte, timeout time.Duration) ([]byte, error) {
 	return exchangeTCPDeadline(defaultDialTCP, addr, req, time.Now().Add(timeout))
 }
 
+//kerb:clockadapter -- socket deadlines are wall-clock I/O timeouts
 func exchangeTCPDeadline(dial TCPDial, addr string, req []byte, deadline time.Time) ([]byte, error) {
 	if !time.Now().Before(deadline) {
 		return nil, fmt.Errorf("kdc: no budget left for TCP exchange with %s", addr)

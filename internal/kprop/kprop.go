@@ -100,6 +100,8 @@ func NewMaster(db *kdb.Database, slaveAddrs []string, logger *log.Logger, opts .
 }
 
 // PropagateTo pushes one full dump to a single kpropd.
+//
+//kerb:clockadapter -- propagation latency metrics and dial deadlines are wall-clock
 func (m *Master) PropagateTo(addr string) error {
 	start := time.Now()
 	dump := m.db.Dump()
@@ -129,6 +131,7 @@ func (m *Master) PropagateTo(addr string) error {
 	return err
 }
 
+//kerb:clockadapter -- connection deadlines are wall-clock I/O timeouts
 func (m *Master) propagateTo(addr string, dump []byte) error {
 	var sumBytes [8]byte
 	binary.BigEndian.PutUint64(sumBytes[:], kdb.DumpChecksum(m.db.MasterKey(), dump))
@@ -242,6 +245,8 @@ func (s *Slave) Updates() uint64 { return s.metrics.updates.Load() }
 func (s *Slave) Rejected() uint64 { return s.metrics.rejected.Load() }
 
 // handleConn processes one kprop connection.
+//
+//kerb:clockadapter -- connection read deadlines are wall-clock I/O timeouts
 func (s *Slave) handleConn(conn net.Conn) {
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(60 * time.Second))
@@ -266,6 +271,8 @@ func (s *Slave) handleConn(conn net.Conn) {
 // database. "it is essential that only information from the master host
 // be accepted by the slaves, and that tampering of data be detected,
 // thus the checksum" (§5.3).
+//
+//kerb:clockadapter -- install latency metrics are wall-clock observability, not protocol time
 func (s *Slave) Install(sealedSum, dump []byte) error {
 	start := time.Now()
 	err := s.install(sealedSum, dump)

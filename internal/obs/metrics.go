@@ -39,9 +39,13 @@ import (
 type Counter struct{ v atomic.Uint64 }
 
 // Add increments the counter by n.
+//
+//kerb:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//kerb:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Load returns the current count.
@@ -52,6 +56,8 @@ func (c *Counter) Load() uint64 { return c.v.Load() }
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores v.
+//
+//kerb:hotpath
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add adjusts the gauge by delta.
@@ -102,6 +108,8 @@ type Histogram struct {
 }
 
 // Observe records one duration. Negative durations count as zero.
+//
+//kerb:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	ns := int64(d)
 	if ns < 0 {

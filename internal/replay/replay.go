@@ -197,6 +197,8 @@ func (s *shard) sweep(now time.Time) (swept int) {
 // Seen records the authenticator and reports whether it had been
 // presented before within the replay window. The first presentation
 // returns false; any identical presentation afterwards returns true.
+//
+//kerb:hotpath
 func (c *Cache) Seen(auth *core.Authenticator, now time.Time) bool {
 	_, dup := c.SeenWithReply(auth, 0, now)
 	return dup

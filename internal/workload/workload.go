@@ -73,22 +73,35 @@ func (s Spec) ServicePrincipal(i int, realm string) core.Principal {
 // user with a password-derived key, every service with a random key.
 func Install(db *kdb.Database, spec Spec, realm string, now time.Time) error {
 	for i := 0; i < spec.Users; i++ {
-		p := spec.UserPrincipal(i, realm)
-		key := client.PasswordKey(p, spec.UserPassword(i))
-		if err := db.Add(p.Name, p.Instance, key, 0, "register", now); err != nil {
+		if err := installUser(db, spec, realm, i, now); err != nil {
 			return fmt.Errorf("workload: installing user %d: %w", i, err)
 		}
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 	for i := 0; i < spec.Services; i++ {
-		p := spec.ServicePrincipal(i, realm)
-		// Deterministic per-seed service keys, derived like passwords.
-		key := des.StringToKey(fmt.Sprintf("svc-%d-%d", rng.Int63(), i), realm)
-		if err := db.Add(p.Name, p.Instance, key, 0, "kadmin", now); err != nil {
+		if err := installService(db, spec, realm, i, rng.Int63(), now); err != nil {
 			return fmt.Errorf("workload: installing service %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// installUser registers one user, wiping the derived key before the
+// loop moves on (one helper call per principal keeps the wipe scoped).
+func installUser(db *kdb.Database, spec Spec, realm string, i int, now time.Time) error {
+	p := spec.UserPrincipal(i, realm)
+	key := client.PasswordKey(p, spec.UserPassword(i))
+	defer clear(key[:])
+	return db.Add(p.Name, p.Instance, key, 0, "register", now)
+}
+
+// installService registers one service with a deterministic per-seed
+// key, derived like a password.
+func installService(db *kdb.Database, spec Spec, realm string, i int, seed int64, now time.Time) error {
+	p := spec.ServicePrincipal(i, realm)
+	key := des.StringToKey(fmt.Sprintf("svc-%d-%d", seed, i), realm)
+	defer clear(key[:])
+	return db.Add(p.Name, p.Instance, key, 0, "kadmin", now)
 }
 
 // Metrics aggregates a driver run. Beyond the exchange counts, the
@@ -158,6 +171,7 @@ func (d *Driver) wsAddr(i int) core.Addr {
 func (d *Driver) RunUser(i int, m *Metrics) error {
 	userP := d.Spec.UserPrincipal(i, d.Realm)
 	userKey := client.PasswordKey(userP, d.Spec.UserPassword(i))
+	defer clear(userKey[:])
 	ws := d.wsAddr(i)
 	now := time.Now()
 
@@ -269,6 +283,7 @@ func NewRealmServer(spec Spec, realm string) (*kdc.Server, *kdb.Database, error)
 	if err != nil {
 		return nil, nil, err
 	}
+	defer clear(tgsKey[:])
 	if err := db.Add(core.TGSName, realm, tgsKey, 0, "kdb_init", now); err != nil {
 		return nil, nil, err
 	}

@@ -162,6 +162,7 @@ func NewRealm(cfg RealmConfig) (*Realm, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer clear(tgsKey[:])
 	if err := r.DB.Add(core.TGSName, cfg.Name, tgsKey, 0, "kdb_init", now); err != nil {
 		return nil, err
 	}
@@ -169,6 +170,7 @@ func NewRealm(cfg RealmConfig) (*Realm, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer clear(cpKey[:])
 	if err := r.DB.Add(core.ChangePwName, core.ChangePwInstance, cpKey, 12, "kdb_init", now); err != nil {
 		return nil, err
 	}
@@ -301,6 +303,7 @@ func (r *Realm) AddService(name, instance string) (*Srvtab, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer clear(key[:])
 	if err := r.DB.Add(name, instance, key, 0, "kadmin", r.clockFunc()); err != nil {
 		return nil, err
 	}

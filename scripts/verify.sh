@@ -1,27 +1,34 @@
 #!/bin/sh
-# Tier-1 verification plus static and race checks.
+# Tier-1 verification plus static and race checks, fail-fast with a
+# banner per stage so a red run names the stage that broke.
 #
-#   sh scripts/verify.sh         # build, vet, tests, race tests
+#   sh scripts/verify.sh         # vet, lint, build, test, race
 #   sh scripts/verify.sh quick   # tier-1 only (build + tests)
 #
 # Run from the repository root.
-set -e
 
-echo "== go build ./..."
-go build ./...
-
-echo "== go test ./..."
-go test ./...
+stage() {
+    name=$1
+    shift
+    echo "==> [$name] $*"
+    "$@" || {
+        status=$?
+        echo "verify: FAILED at stage '$name' (exit $status)" >&2
+        exit $status
+    }
+}
 
 if [ "${1:-}" = "quick" ]; then
+    stage build go build ./...
+    stage test go test ./...
     echo "verify: tier-1 OK"
     exit 0
 fi
 
-echo "== go vet ./..."
-go vet ./...
-
-echo "== go test -race ./..."
-go test -race ./...
+stage vet go vet ./...
+stage lint go run ./cmd/kervet ./...
+stage build go build ./...
+stage test go test ./...
+stage race go test -race ./...
 
 echo "verify: OK"
