@@ -38,6 +38,8 @@ cover:
 # local pass is `go test -short ./...`.
 ci: vet lint build race cover fuzz
 
-# KDC hot-path benchmarks; writes BENCH_kdc.json.
+# Benchmarks: KDC hot path (BENCH_kdc.json) and database propagation
+# (BENCH_kprop.json).
 bench:
 	sh scripts/bench.sh
+	sh scripts/bench_kprop.sh

@@ -58,6 +58,7 @@ var protocolPkgs = []string{
 var wirePkgs = []string{
 	"kerberos/internal/core",
 	"kerberos/internal/wire",
+	"kerberos/internal/kprop",
 }
 
 func main() {

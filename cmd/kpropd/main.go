@@ -1,7 +1,9 @@
 // Command kpropd is the slave-side propagation daemon of §5.3: it
-// receives full database dumps from kprop, verifies the checksum sealed
-// in the master database key, installs verified dumps into the local
-// read-only copy, and saves them for the colocated slave kerberosd.
+// receives updates from kprop — incremental deltas when its (serial,
+// digest) checks out against the master's journal, full database dumps
+// otherwise — verifies the checksum sealed in the master database key,
+// installs verified updates atomically into the local read-only copy,
+// and saves them crash-safely for the colocated slave kerberosd.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"kerberos/internal/des"
 	"kerberos/internal/kdb"
 	"kerberos/internal/kprop"
+	"kerberos/internal/obs"
 )
 
 func main() {
@@ -25,6 +28,8 @@ func main() {
 		realm  = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
 		dbPath = flag.String("db", "principal.slave.db", "slave database file")
 		addr   = flag.String("addr", "127.0.0.1:7520", "listen address (tcp)")
+		admin  = flag.String("admin", "",
+			"admin listener address serving /metrics, /healthz and /debug/pprof (e.g. 127.0.0.1:7603); empty disables")
 	)
 	flag.Parse()
 
@@ -40,14 +45,26 @@ func main() {
 		}
 	}
 	logger := log.New(os.Stderr, "kpropd ", log.LstdFlags)
-	slave := kprop.NewSlave(db, logger)
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("kpropd_db_principals", func() int64 { return int64(db.Len()) })
+	slave := kprop.NewSlave(db, logger, kprop.WithRegistry(reg))
 	l, err := kprop.Serve(slave, *addr)
 	if err != nil {
 		log.Fatalf("kpropd: %v", err)
 	}
 	logger.Printf("receiving for realm %s on %s", *realm, l.Addr())
 
-	// Persist each installed update.
+	if *admin != "" {
+		a, err := obs.ServeAdmin(*admin, reg)
+		if err != nil {
+			log.Fatalf("kpropd: %v", err)
+		}
+		defer a.Close()
+		logger.Printf("admin listener (metrics, pprof) on %s", a.Addr())
+	}
+
+	// Persist each installed update. Save writes via temp+fsync+rename,
+	// so a crash mid-save leaves the previous dump intact.
 	stop := make(chan struct{})
 	go func() {
 		last := uint64(0)
@@ -61,7 +78,7 @@ func main() {
 					if err := db.Save(*dbPath); err != nil {
 						logger.Printf("saving: %v", err)
 					} else {
-						logger.Printf("saved update %d to %s", n, *dbPath)
+						logger.Printf("saved update %d to %s (serial %d)", n, *dbPath, db.Serial())
 					}
 				}
 			case <-stop:

@@ -132,7 +132,9 @@ func render(w io.Writer, addr string, cur, prev *sample) {
 	bases := cur.histBases()
 	var names []string
 	for name := range cur.scalars {
-		if !isHistField(name, bases) {
+		// Labeled series (e.g. kprop_slave_lag{slave="..."}) render in
+		// their own panel, not the flat scalar table.
+		if !isHistField(name, bases) && !strings.Contains(name, "{") {
 			names = append(names, name)
 		}
 	}
@@ -150,6 +152,8 @@ func render(w io.Writer, addr string, cur, prev *sample) {
 		fmt.Fprintf(w, "  %-28s %12d%s\n", name, v, rate)
 	}
 
+	renderPropagation(w, cur, prev)
+
 	for _, base := range bases {
 		fmt.Fprintf(w, "\n  %s  (n=%d)\n", base, cur.scalars[base+"_count"])
 		fmt.Fprintf(w, "    p50 %-10s p95 %-10s p99 %-10s max %-10s\n",
@@ -163,6 +167,64 @@ func render(w io.Writer, addr string, cur, prev *sample) {
 			}
 			fmt.Fprintf(w, "    [%s … %s] %s\n", fmtDur(lo), hiLabel, sparkline(bs))
 		}
+	}
+}
+
+// rate formats the per-second growth of a counter between scrapes, or
+// "" when there is no prior sample to difference against.
+func rate(cur, prev *sample, name string) string {
+	if prev == nil {
+		return ""
+	}
+	dt := cur.when.Sub(prev.when).Seconds()
+	pv, ok := prev.scalars[name]
+	if dt <= 0 || !ok || cur.scalars[name] < pv {
+		return ""
+	}
+	return fmt.Sprintf(" (%.1f/s)", float64(cur.scalars[name]-pv)/dt)
+}
+
+// renderPropagation draws the kprop/kpropd panel when the scraped
+// registry belongs to a propagation daemon: the delta/full round mix,
+// bytes-on-wire rate, and per-slave replication lag in journal serials.
+func renderPropagation(w io.Writer, cur, prev *sample) {
+	_, isMaster := cur.scalars["kprop_serial"]
+	_, isSlave := cur.scalars["kpropd_serial"]
+	if !isMaster && !isSlave {
+		return
+	}
+	fmt.Fprintf(w, "\n  propagation\n")
+	if isMaster {
+		deltas, fulls := cur.scalars["kprop_delta_rounds"], cur.scalars["kprop_full_rounds"]
+		mix := "no rounds yet"
+		if total := deltas + fulls; total > 0 {
+			mix = fmt.Sprintf("%d delta / %d full (%.0f%% delta)",
+				deltas, fulls, 100*float64(deltas)/float64(total))
+		}
+		fmt.Fprintf(w, "    serial %-10d rounds: %s\n", cur.scalars["kprop_serial"], mix)
+		fmt.Fprintf(w, "    bytes on wire %d%s  delta %d  full %d\n",
+			cur.scalars["kprop_bytes"], rate(cur, prev, "kprop_bytes"),
+			cur.scalars["kprop_delta_bytes"], cur.scalars["kprop_full_bytes"])
+	}
+	if isSlave {
+		fmt.Fprintf(w, "    serial %-10d installed: %d delta / %d full, %d resyncs, %d rejected\n",
+			cur.scalars["kpropd_serial"], cur.scalars["kpropd_deltas"],
+			cur.scalars["kpropd_fulls"], cur.scalars["kpropd_resyncs"],
+			cur.scalars["kpropd_rejected"])
+		fmt.Fprintf(w, "    bytes received %d%s  last update %d bytes\n",
+			cur.scalars["kpropd_bytes"], rate(cur, prev, "kpropd_bytes"),
+			cur.scalars["kpropd_last_bytes"])
+	}
+	var lags []string
+	for name := range cur.scalars {
+		if strings.HasPrefix(name, `kprop_slave_lag{slave="`) {
+			lags = append(lags, name)
+		}
+	}
+	sort.Strings(lags)
+	for _, name := range lags {
+		addr := strings.TrimSuffix(strings.TrimPrefix(name, `kprop_slave_lag{slave="`), `"}`)
+		fmt.Fprintf(w, "    slave %-24s lag %d serials\n", addr, cur.scalars[name])
 	}
 }
 

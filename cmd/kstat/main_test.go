@@ -66,6 +66,56 @@ func TestRender(t *testing.T) {
 	}
 }
 
+// TestRenderPropagationPanel: a kprop master registry gets the
+// propagation panel — per-slave lag rows, delta/full mix, bytes rate —
+// and labeled gauges stay out of the flat scalar table.
+func TestRenderPropagationPanel(t *testing.T) {
+	now := time.Now()
+	text := "kprop_serial 120\n" +
+		"kprop_delta_rounds 9\n" +
+		"kprop_full_rounds 1\n" +
+		"kprop_bytes 5000\n" +
+		"kprop_delta_bytes 800\n" +
+		"kprop_full_bytes 4200\n" +
+		"kprop_slave_lag{slave=\"10.0.0.2:7520\"} 0\n" +
+		"kprop_slave_lag{slave=\"10.0.0.3:7520\"} 40\n"
+	prev := parseMetrics("kprop_bytes 3000\n", now.Add(-2*time.Second))
+	cur := parseMetrics(text, now)
+	var b strings.Builder
+	render(&b, "127.0.0.1:7602", cur, prev)
+	out := b.String()
+	for _, want := range []string{
+		"propagation",
+		"9 delta / 1 full (90% delta)",
+		"slave 10.0.0.3:7520",
+		"lag 40 serials",
+		"(1000.0/s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "kprop_slave_lag{") {
+		t.Errorf("labeled gauge leaked into scalar table:\n%s", out)
+	}
+
+	// A slave-side registry gets its own flavor of the panel.
+	slave := parseMetrics("kpropd_serial 80\nkpropd_deltas 7\nkpropd_fulls 2\n"+
+		"kpropd_resyncs 1\nkpropd_rejected 0\nkpropd_bytes 900\nkpropd_last_bytes 120\n", now)
+	b.Reset()
+	render(&b, "x", slave, nil)
+	if out := b.String(); !strings.Contains(out, "7 delta / 2 full, 1 resyncs") {
+		t.Errorf("slave panel missing install mix:\n%s", out)
+	}
+
+	// Registries without propagation metrics are untouched.
+	b.Reset()
+	render(&b, "x", parseMetrics("kdc_as_requests 1\n", now), nil)
+	if strings.Contains(b.String(), "propagation") {
+		t.Errorf("propagation panel rendered for a KDC registry:\n%s", b.String())
+	}
+}
+
 func TestSparkline(t *testing.T) {
 	if got := sparkline([]bucket{{1000, 0}, {2000, 0}}); got != "" {
 		t.Errorf("empty sparkline = %q", got)

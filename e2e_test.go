@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -293,6 +294,160 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 			t.Fatal("condition never became true")
 		}
 		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// TestIncrementalPropagationE2E exercises kprop v2 across real
+// processes: a kprop daemon watching the kadmind-owned database file
+// pushes to two kpropd slaves — one bootstrapping from empty (a
+// retention gap, healed by a full dump) and one whose database has
+// silently diverged from the master's lineage (detected by the rolling
+// digest, healed by a full resync). Once both converge, further kadmind
+// writes ship as compressed deltas, and the kstat propagation panel
+// over kprop's admin listener reports the round mix and per-slave lag.
+func TestIncrementalPropagationE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every binary")
+	}
+	dir := t.TempDir()
+	bins := buildBinaries(t, dir)
+	dbPath := filepath.Join(dir, "principal.db")
+	aclPath := filepath.Join(dir, "kadm.acl")
+	const masterPw = "prop-master-password"
+
+	if out, err := run(t, bins["kdb_init"], masterPw+"\nadmin-pw\n",
+		"-realm", e2eRealm, "-db", dbPath, "-admin", "root", "-acl", aclPath); err != nil {
+		t.Fatalf("kdb_init: %v\n%s", err, out)
+	}
+	kdcAddr := daemon(t, bins["kerberosd"], masterPw+"\n",
+		"-realm", e2eRealm, "-db", dbPath, "-addr", "127.0.0.1:0")
+	kdbmAddr := daemon(t, bins["kadmind"], masterPw+"\n",
+		"-realm", e2eRealm, "-db", dbPath, "-acl", aclPath, "-addr", "127.0.0.1:0",
+		"-save-interval", "1")
+
+	addUser := func(name string) {
+		t.Helper()
+		if out, err := run(t, bins["kadmin"], "admin-pw\n"+name+"-pw\n",
+			"-realm", e2eRealm, "-kdc", kdcAddr, "-kdbm", kdbmAddr, "-admin", "root",
+			"add", name); err != nil {
+			t.Fatalf("kadmin add %s: %v\n%s", name, err, out)
+		}
+	}
+	masterKey := StringToKey(masterPw, e2eRealm)
+	onDisk := func(path, name string) func() bool {
+		return func() bool {
+			db := kdb.New(masterKey)
+			if err := db.Load(path); err != nil {
+				return false
+			}
+			_, err := db.Get(name, "")
+			return err == nil
+		}
+	}
+
+	addUser("prop1")
+	waitFor(t, 20*time.Second, onDisk(dbPath, "prop1"))
+
+	// Slave 1 bootstraps from nothing: its first update must be a full
+	// dump (the master's journal cannot reach back to serial 0).
+	slave1DB := filepath.Join(dir, "slave1.db")
+	s1 := daemonN(t, bins["kpropd"], masterPw+"\n", 2,
+		"-realm", e2eRealm, "-db", slave1DB, "-addr", "127.0.0.1:0",
+		"-admin", "127.0.0.1:0")
+	s1Addr, s1Admin := s1[0], s1[1]
+
+	// Slave 2 starts from a forged copy of the master database: same
+	// serial, tampered lineage digest — the §5.3 nightmare of a slave
+	// that silently drifted. The master must detect the divergence and
+	// heal it with a full resync, never a delta.
+	data, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, meta, err := kdb.ParseDumpFull(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slave2DB := filepath.Join(dir, "slave2.db")
+	forged := kdb.EncodeEntriesAt(entries, kdb.DumpMeta{Serial: meta.Serial, Digest: meta.Digest ^ 0xdeadbeef})
+	if err := os.WriteFile(slave2DB, forged, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	s2 := daemonN(t, bins["kpropd"], masterPw+"\n", 2,
+		"-realm", e2eRealm, "-db", slave2DB, "-addr", "127.0.0.1:0",
+		"-admin", "127.0.0.1:0")
+	s2Addr, s2Admin := s2[0], s2[1]
+
+	// The kprop daemon: push every 500ms, re-reading the kadmind-owned
+	// database file into the journal as it changes.
+	propAdmin := daemon(t, bins["kprop"], masterPw+"\n",
+		"-realm", e2eRealm, "-db", dbPath, "-slaves", s1Addr+","+s2Addr,
+		"-interval", "500ms", "-reload", "300ms", "-admin", "127.0.0.1:0")
+
+	kstat := func(addr string) string {
+		t.Helper()
+		out, err := run(t, bins["kstat"], "", "-addr", addr, "-once")
+		if err != nil {
+			t.Fatalf("kstat %s: %v\n%s", addr, err, out)
+		}
+		return out
+	}
+	metric := func(out, name string) int {
+		m := regexp.MustCompile(regexp.QuoteMeta(name) + `\s+(\d+)`).FindStringSubmatch(out)
+		if m == nil {
+			return -1
+		}
+		n, _ := strconv.Atoi(m[1])
+		return n
+	}
+
+	// Both slaves heal via full dumps: one retention gap, one divergence.
+	waitFor(t, 20*time.Second, func() bool {
+		out := kstat(propAdmin)
+		return metric(out, "kprop_fallback_retention") >= 1 &&
+			metric(out, "kprop_fallback_divergence") >= 1 &&
+			metric(out, "kprop_full_rounds") >= 2
+	})
+
+	// New churn now ships as deltas to both converged slaves.
+	addUser("prop2")
+	waitFor(t, 20*time.Second, func() bool {
+		return metric(kstat(propAdmin), "kprop_delta_rounds") >= 2
+	})
+
+	// The kstat propagation panel over the master's registry.
+	out := kstat(propAdmin)
+	for _, want := range []string{"propagation", "% delta)", "slave " + s1Addr, "slave " + s2Addr, "lag"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("kstat propagation panel missing %q:\n%s", want, out)
+		}
+	}
+
+	// Slave-side panels: the bootstrap slave took a full then deltas; the
+	// divergent slave never accepted anything but a full resync first.
+	s1Out, s2Out := kstat(s1Admin), kstat(s2Admin)
+	if metric(s1Out, "kpropd_fulls") < 1 || metric(s1Out, "kpropd_deltas") < 1 {
+		t.Fatalf("slave1 install mix wrong:\n%s", s1Out)
+	}
+	if metric(s2Out, "kpropd_fulls") < 1 || metric(s2Out, "kpropd_deltas") < 1 {
+		t.Fatalf("slave2 install mix wrong:\n%s", s2Out)
+	}
+
+	// Convergence is durable: both slaves' saved databases carry prop2 on
+	// the master's exact (serial, digest) lineage.
+	waitFor(t, 20*time.Second, onDisk(slave1DB, "prop2"))
+	waitFor(t, 20*time.Second, onDisk(slave2DB, "prop2"))
+	mdb, s2db := kdb.New(masterKey), kdb.New(masterKey)
+	if err := mdb.Load(dbPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2db.Load(slave2DB); err != nil {
+		t.Fatal(err)
+	}
+	if s2db.Serial() == 0 || s2db.Serial() > mdb.Serial() ||
+		(s2db.Serial() == mdb.Serial() && s2db.Digest() != mdb.Digest()) {
+		t.Fatalf("slave2 lineage (%d, %x) never rejoined master (%d, %x)",
+			s2db.Serial(), s2db.Digest(), mdb.Serial(), mdb.Digest())
 	}
 }
 

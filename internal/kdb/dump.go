@@ -16,11 +16,25 @@ import (
 // update their own databases." Private keys inside a dump remain sealed
 // in the master key, so "the information passed from master to slave
 // over the network is not useful to an eavesdropper."
+//
+// Format v2 prefixes the entries with the propagation metadata the
+// incremental plane needs — the database serial and rolling digest — so
+// a restarted master or slave resumes the same lineage instead of
+// forcing a full resync. v1 dumps (no metadata) still load, at serial 0.
 
-var dumpMagic = [4]byte{'K', 'D', 'B', '1'}
+var (
+	dumpMagic   = [4]byte{'K', 'D', 'B', '1'}
+	dumpMagicV2 = [4]byte{'K', 'D', 'B', '2'}
+)
 
 // ErrBadDump reports a dump that failed structural validation.
 var ErrBadDump = errors.New("kdb: malformed database dump")
+
+// DumpMeta is the propagation metadata a v2 dump carries.
+type DumpMeta struct {
+	Serial uint64 // monotonic change serial at dump time
+	Digest uint64 // rolling content digest at dump time
+}
 
 func appendString(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
@@ -73,56 +87,104 @@ func (r *dumpReader) u8() uint8 {
 	return v
 }
 
-// Dump serializes the entire database deterministically. Keys stay
-// sealed in the master key.
+// appendEntryBody serializes the fields that follow an entry's name and
+// instance — shared between full dumps and journal changes so the two
+// planes cannot drift apart.
+func appendEntryBody(buf []byte, e *Entry) []byte {
+	buf = appendBytes(buf, e.EncKey)
+	buf = append(buf, e.KVNO)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Expiration.Unix()))
+	buf = append(buf, byte(e.MaxLife))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.ModTime.Unix()))
+	return appendString(buf, e.ModBy)
+}
+
+// readEntryBody is the inverse of appendEntryBody.
+func readEntryBody(r *dumpReader, e *Entry) {
+	e.EncKey = append([]byte(nil), r.bytes()...)
+	e.KVNO = r.u8()
+	e.Expiration = time.Unix(int64(r.u64()), 0).UTC()
+	e.MaxLife = core.Lifetime(r.u8())
+	e.ModTime = time.Unix(int64(r.u64()), 0).UTC()
+	e.ModBy = r.str()
+}
+
+// Dump serializes the entire database deterministically, including its
+// propagation metadata. Keys stay sealed in the master key.
 func (db *Database) Dump() []byte {
+	db.wmu.Lock()
+	meta := DumpMeta{Serial: db.serial.Load(), Digest: db.digest.Load()}
 	entries := make([]*Entry, 0, db.Len())
 	db.store.Range(func(e *Entry) bool {
 		entries = append(entries, e)
 		return true
 	})
-	return EncodeEntries(entries)
+	db.wmu.Unlock()
+	return EncodeEntriesAt(entries, meta)
 }
 
 // ParseDump decodes a dump into entries without installing them.
 func ParseDump(dump []byte) ([]*Entry, error) {
-	if len(dump) < 8 || [4]byte(dump[:4]) != dumpMagic {
-		return nil, ErrBadDump
+	entries, _, err := ParseDumpFull(dump)
+	return entries, err
+}
+
+// ParseDumpFull decodes a dump and its propagation metadata (zero for a
+// v1 dump).
+func ParseDumpFull(dump []byte) ([]*Entry, DumpMeta, error) {
+	var meta DumpMeta
+	if len(dump) < 8 {
+		return nil, meta, ErrBadDump
 	}
-	count := binary.BigEndian.Uint32(dump[4:8])
-	r := dumpReader{data: dump[8:]}
+	body := dump[4:]
+	switch [4]byte(dump[:4]) {
+	case dumpMagic:
+	case dumpMagicV2:
+		if len(body) < 16 {
+			return nil, meta, ErrBadDump
+		}
+		meta.Serial = binary.BigEndian.Uint64(body)
+		meta.Digest = binary.BigEndian.Uint64(body[8:])
+		body = body[16:]
+	default:
+		return nil, meta, ErrBadDump
+	}
+	if len(body) < 4 {
+		return nil, meta, ErrBadDump
+	}
+	count := binary.BigEndian.Uint32(body)
+	r := dumpReader{data: body[4:]}
 	entries := make([]*Entry, 0, count)
 	for i := uint32(0); i < count; i++ {
 		e := &Entry{
 			Name:     r.str(),
 			Instance: r.str(),
-			EncKey:   append([]byte(nil), r.bytes()...),
-			KVNO:     r.u8(),
 		}
-		e.Expiration = time.Unix(int64(r.u64()), 0).UTC()
-		e.MaxLife = core.Lifetime(r.u8())
-		e.ModTime = time.Unix(int64(r.u64()), 0).UTC()
-		e.ModBy = r.str()
+		readEntryBody(&r, e)
 		if r.err != nil {
-			return nil, r.err
+			return nil, meta, r.err
 		}
 		entries = append(entries, e)
 	}
 	if len(r.data) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadDump, len(r.data))
+		return nil, meta, fmt.Errorf("%w: %d trailing bytes", ErrBadDump, len(r.data))
 	}
-	return entries, nil
+	return entries, meta, nil
 }
 
 // LoadDump atomically replaces the database contents with a dump,
 // bypassing the read-only check — this is exactly how a slave's copy is
-// refreshed by kpropd (§5.3).
+// refreshed by kpropd (§5.3). The dump's serial and digest become the
+// database's; the journal restarts (a full load is a new delta horizon).
 func (db *Database) LoadDump(dump []byte) error {
-	entries, err := ParseDump(dump)
+	entries, meta, err := ParseDumpFull(dump)
 	if err != nil {
 		return err
 	}
+	db.wmu.Lock()
 	db.store.ReplaceAll(entries)
+	db.resetJournalLocked(meta.Serial, meta.Digest)
+	db.wmu.Unlock()
 	// The new contents may carry different keys for existing principals
 	// (a dump from a rebuilt master can reuse KVNOs), so drop every
 	// cached decrypted key rather than trust KVNO validation alone.
@@ -139,16 +201,39 @@ func DumpChecksum(masterKey des.Key, dump []byte) uint64 {
 	return des.CBCChecksum(masterKey, dump)
 }
 
+// WriteFileAtomic writes data to path with the crash-safe
+// temp+fsync+rename discipline: a reader (or a restart) sees either the
+// old contents or the new, never a torn file.
+func WriteFileAtomic(path string, data []byte, mode os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, mode)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // Save writes the dump to path with a 0600 mode, for the master's
 // on-disk database and for backups ("would also be wise to maintain
-// backups of the Master database", §6.3).
+// backups of the Master database", §6.3). The write is atomic and
+// fsynced: a crash mid-save leaves the previous database intact.
 func (db *Database) Save(path string) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, db.Dump(), 0o600); err != nil {
+	if err := WriteFileAtomic(path, db.Dump(), 0o600); err != nil {
 		return fmt.Errorf("kdb: saving database: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("kdb: installing database: %w", err)
 	}
 	return nil
 }

@@ -17,7 +17,9 @@ type FileStore struct {
 	mem  *MemStore
 	path string
 
-	mu sync.Mutex // serializes file writes
+	mu         sync.Mutex // serializes file writes
+	loadedMeta DumpMeta
+	metaSource func() DumpMeta
 }
 
 // OpenFileStore opens (or creates) a file-backed store at path.
@@ -30,16 +32,36 @@ func OpenFileStore(path string) (*FileStore, error) {
 	case err != nil:
 		return nil, fmt.Errorf("kdb: opening %s: %w", path, err)
 	default:
-		entries, err := ParseDump(data)
+		entries, meta, err := ParseDumpFull(data)
 		if err != nil {
 			return nil, fmt.Errorf("kdb: parsing %s: %w", path, err)
 		}
 		fs.mem.ReplaceAll(entries)
+		fs.loadedMeta = meta
 	}
 	return fs, nil
 }
 
-// persist writes the full store to disk atomically.
+// LoadedMeta reports the propagation metadata found in the file at open
+// time, so the Database seeds its serial and digest from disk instead of
+// starting a new lineage on every restart.
+func (fs *FileStore) LoadedMeta() DumpMeta {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.loadedMeta
+}
+
+// SetMetaSource installs the callback persist() uses to stamp the
+// current serial and digest into every file write. The Database wires
+// this up so writes are recorded as meta-then-entries atomically.
+func (fs *FileStore) SetMetaSource(fn func() DumpMeta) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.metaSource = fn
+}
+
+// persist writes the full store to disk atomically (temp+fsync+rename:
+// a crash mid-write leaves the previous file intact).
 func (fs *FileStore) persist() error {
 	var entries []*Entry
 	fs.mem.Range(func(e *Entry) bool {
@@ -48,11 +70,16 @@ func (fs *FileStore) persist() error {
 	})
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	tmp := fs.path + ".tmp"
-	if err := os.WriteFile(tmp, EncodeEntries(entries), 0o600); err != nil {
+	var meta DumpMeta
+	if fs.metaSource != nil {
+		meta = fs.metaSource()
+	} else {
+		meta = fs.loadedMeta
+	}
+	if err := WriteFileAtomic(fs.path, EncodeEntriesAt(entries, meta), 0o600); err != nil {
 		return fmt.Errorf("kdb: persisting: %w", err)
 	}
-	return os.Rename(tmp, fs.path)
+	return nil
 }
 
 // Fetch implements Store.
@@ -93,21 +120,38 @@ func (fs *FileStore) ReplaceAll(entries []*Entry) {
 	}
 }
 
-// EncodeEntries serializes entries in the dump format (sorted input is
-// not required; output follows input order, and MemStore.Range already
-// sorts).
+// ApplyBatch implements Store: one in-memory batch, one file write.
+func (fs *FileStore) ApplyBatch(upserts []*Entry, deletes []string) {
+	fs.mem.ApplyBatch(upserts, deletes)
+	if err := fs.persist(); err != nil {
+		panic(err)
+	}
+}
+
+// EncodeEntries serializes entries in the v1 dump format (sorted input
+// is not required; output follows input order, and MemStore.Range
+// already sorts).
 func EncodeEntries(entries []*Entry) []byte {
-	buf := append([]byte(nil), dumpMagic[:]...)
+	return encodeEntriesMagic(entries, dumpMagic, DumpMeta{})
+}
+
+// EncodeEntriesAt serializes entries in the v2 dump format, carrying the
+// propagation serial and digest.
+func EncodeEntriesAt(entries []*Entry, meta DumpMeta) []byte {
+	return encodeEntriesMagic(entries, dumpMagicV2, meta)
+}
+
+func encodeEntriesMagic(entries []*Entry, magic [4]byte, meta DumpMeta) []byte {
+	buf := append([]byte(nil), magic[:]...)
+	if magic == dumpMagicV2 {
+		buf = binary.BigEndian.AppendUint64(buf, meta.Serial)
+		buf = binary.BigEndian.AppendUint64(buf, meta.Digest)
+	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
 	for _, e := range entries {
 		buf = appendString(buf, e.Name)
 		buf = appendString(buf, e.Instance)
-		buf = appendBytes(buf, e.EncKey)
-		buf = append(buf, e.KVNO)
-		buf = binary.BigEndian.AppendUint64(buf, uint64(e.Expiration.Unix()))
-		buf = append(buf, byte(e.MaxLife))
-		buf = binary.BigEndian.AppendUint64(buf, uint64(e.ModTime.Unix()))
-		buf = appendString(buf, e.ModBy)
+		buf = appendEntryBody(buf, e)
 	}
 	return buf
 }

@@ -1,0 +1,388 @@
+package kdb
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// Incremental propagation support (the kprop v2 plane). The paper's §4.3
+// scheme ships the whole database "about once an hour"; at millions of
+// principals that is the dominant replication cost, so the database now
+// keeps a monotonic serial, a rolling content digest, and a bounded
+// in-memory journal of entry-level changes. A slave that advertises a
+// (serial, digest) the master can still verify receives only the journal
+// segment it is missing — O(churn) instead of O(database) — and anything
+// the master cannot verify (serial out of retention, digest mismatch, a
+// slave from a different lineage) falls back to a full dump.
+//
+// The digest is a chained FNV-1a over the canonical encoding of every
+// change since the last full load. It is NOT an integrity mechanism —
+// transit integrity stays with the master-key CBC checksum of §5.3 — it
+// exists to detect divergence: two databases at the same serial whose
+// histories differ will disagree in their digests, and the slave is then
+// healed with a full resync rather than silently drifting.
+
+// ChangeOp distinguishes journal operations.
+type ChangeOp uint8
+
+// Journal operations.
+const (
+	ChangeUpsert ChangeOp = 1 // Entry carries the full new record
+	ChangeDelete ChangeOp = 2 // Entry carries only Name/Instance
+)
+
+// Change is one journaled mutation: the serial it was applied under and
+// the entry it created, replaced, or removed.
+type Change struct {
+	Serial uint64
+	Op     ChangeOp
+	Entry  *Entry
+}
+
+// journalRec pairs a change with the database digest after applying it.
+type journalRec struct {
+	change Change
+	digest uint64
+}
+
+// DefaultJournalCap bounds the in-memory journal: at 1% hourly churn it
+// retains several propagation rounds even for a 100k-principal realm.
+const DefaultJournalCap = 8192
+
+// Errors returned by the delta-apply path.
+var (
+	ErrSerialGap  = errors.New("kdb: serial gap (full resync required)")
+	ErrBadChanges = errors.New("kdb: malformed change set")
+)
+
+var changesMagic = [4]byte{'K', 'C', 'H', '1'}
+
+// chainDigest folds one canonically encoded change into the rolling
+// database digest (FNV-1a 64; divergence detection, not integrity).
+func chainDigest(prev uint64, encodedChange []byte) uint64 {
+	h := fnv.New64a()
+	var seed [8]byte
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(prev >> (56 - 8*i))
+	}
+	h.Write(seed[:])
+	h.Write(encodedChange)
+	return h.Sum64()
+}
+
+// appendChange serializes one change canonically (the encoding both the
+// journal digest and the kprop delta payload use).
+func appendChange(buf []byte, c Change) []byte {
+	buf = append(buf, byte(c.Op))
+	u64 := func(b []byte, v uint64) []byte {
+		return append(b,
+			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	buf = u64(buf, c.Serial)
+	buf = appendString(buf, c.Entry.Name)
+	buf = appendString(buf, c.Entry.Instance)
+	if c.Op == ChangeUpsert {
+		buf = appendEntryBody(buf, c.Entry)
+	}
+	return buf
+}
+
+// encodeChange serializes a single change (journal digest unit).
+func encodeChange(c Change) []byte { return appendChange(nil, c) }
+
+// EncodeChanges serializes a journal segment for the wire. The serials
+// ride inside, so a keyed checksum of this buffer covers them.
+func EncodeChanges(changes []Change) []byte {
+	buf := append([]byte(nil), changesMagic[:]...)
+	var n [4]byte
+	n[0], n[1], n[2], n[3] = byte(len(changes)>>24), byte(len(changes)>>16), byte(len(changes)>>8), byte(len(changes))
+	buf = append(buf, n[:]...)
+	for _, c := range changes {
+		buf = appendChange(buf, c)
+	}
+	return buf
+}
+
+// DecodeChanges parses a wire journal segment, validating structure and
+// strictly ascending, contiguous serials.
+func DecodeChanges(data []byte) ([]Change, error) {
+	if len(data) < 8 || [4]byte(data[:4]) != changesMagic {
+		return nil, ErrBadChanges
+	}
+	count := uint32(data[4])<<24 | uint32(data[5])<<16 | uint32(data[6])<<8 | uint32(data[7])
+	if uint64(count) > uint64(len(data)) { // each change is ≥ 11 bytes
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadChanges, count)
+	}
+	r := dumpReader{data: data[8:]}
+	changes := make([]Change, 0, count)
+	for i := uint32(0); i < count; i++ {
+		op := ChangeOp(r.u8())
+		c := Change{Op: op, Serial: r.u64()}
+		e := &Entry{Name: r.str(), Instance: r.str()}
+		switch op {
+		case ChangeUpsert:
+			readEntryBody(&r, e)
+		case ChangeDelete:
+			// name+instance only
+		default:
+			return nil, fmt.Errorf("%w: unknown op %d", ErrBadChanges, op)
+		}
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadChanges, r.err)
+		}
+		c.Entry = e
+		if n := len(changes); n > 0 && c.Serial != changes[n-1].Serial+1 {
+			return nil, fmt.Errorf("%w: serials not contiguous", ErrBadChanges)
+		}
+		changes = append(changes, c)
+	}
+	if len(r.data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadChanges, len(r.data))
+	}
+	return changes, nil
+}
+
+// Serial returns the database's monotonic change serial. It advances by
+// one on every journaled mutation and jumps on a full dump install.
+func (db *Database) Serial() uint64 { return db.serial.Load() }
+
+// Digest returns the rolling content digest at the current serial.
+func (db *Database) Digest() uint64 { return db.digest.Load() }
+
+// SetJournalCap bounds the in-memory change journal (0 restores the
+// default). Retention is the delta horizon: a slave further behind than
+// the journal reaches gets a full dump.
+func (db *Database) SetJournalCap(n int) {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if n <= 0 {
+		n = DefaultJournalCap
+	}
+	db.journalCap = n
+	db.trimJournalLocked()
+}
+
+// JournalLen reports how many changes are currently retained.
+func (db *Database) JournalLen() int {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	return len(db.journal)
+}
+
+// record journals one mutation. Callers hold db.wmu and apply the store
+// mutation after recording, so a persisting Store (FileStore) writes the
+// post-change serial and digest alongside the entries.
+func (db *Database) record(op ChangeOp, e *Entry) {
+	c := Change{Serial: db.serial.Load() + 1, Op: op, Entry: e.clone()}
+	db.serial.Store(c.Serial)
+	db.digest.Store(chainDigest(db.digest.Load(), encodeChange(c)))
+	db.journal = append(db.journal, journalRec{change: c, digest: db.digest.Load()})
+	db.trimJournalLocked()
+}
+
+// trimJournalLocked drops the oldest records past the cap, remembering
+// the digest of the newest dropped one (the pre-retention boundary).
+func (db *Database) trimJournalLocked() {
+	cap := db.journalCap
+	if cap <= 0 {
+		cap = DefaultJournalCap
+	}
+	if len(db.journal) <= cap {
+		return
+	}
+	drop := len(db.journal) - cap
+	db.preBaseDigest = db.journal[drop-1].digest
+	db.journal = append(db.journal[:0:0], db.journal[drop:]...)
+}
+
+// resetJournalLocked empties the journal after a bulk replacement; the
+// current digest becomes the retention boundary.
+func (db *Database) resetJournalLocked(serial, digest uint64) {
+	db.serial.Store(serial)
+	db.digest.Store(digest)
+	db.journal = nil
+	db.preBaseDigest = digest
+}
+
+// DeltaVerdict says how the master can serve a slave at a given state.
+type DeltaVerdict uint8
+
+// ChangesSince verdicts.
+const (
+	DeltaOK            DeltaVerdict = iota // changes returned (possibly none)
+	FallbackRetention                      // slave older than the journal reaches
+	FallbackAhead                          // slave claims a serial beyond the master's
+	FallbackDivergence                     // serial known but digest disagrees
+)
+
+// String names the verdict for logs.
+func (v DeltaVerdict) String() string {
+	switch v {
+	case DeltaOK:
+		return "delta"
+	case FallbackRetention:
+		return "retention"
+	case FallbackAhead:
+		return "ahead"
+	case FallbackDivergence:
+		return "divergence"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// ChangesSince returns the journal segment a slave at (serial, digest)
+// is missing, verifying the digest against the master's history at that
+// serial. Any verdict other than DeltaOK means the slave must be healed
+// with a full dump.
+func (db *Database) ChangesSince(serial, digest uint64) ([]Change, DeltaVerdict) {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	cur := db.serial.Load()
+	switch {
+	case serial > cur:
+		return nil, FallbackAhead
+	case serial == cur:
+		if digest != db.digest.Load() {
+			return nil, FallbackDivergence
+		}
+		return nil, DeltaOK
+	}
+	if len(db.journal) == 0 {
+		return nil, FallbackRetention
+	}
+	base := db.journal[0].change.Serial // oldest retained change
+	if serial < base-1 {
+		return nil, FallbackRetention
+	}
+	// Digest the master had at the slave's serial.
+	var at uint64
+	if serial == base-1 {
+		at = db.preBaseDigest
+	} else {
+		at = db.journal[serial-base].digest
+	}
+	if at != digest {
+		return nil, FallbackDivergence
+	}
+	seg := db.journal
+	if serial >= base {
+		seg = db.journal[serial-base+1:]
+	}
+	changes := make([]Change, len(seg))
+	for i, rec := range seg {
+		changes[i] = rec.change
+	}
+	return changes, DeltaOK
+}
+
+// ApplyChanges installs a verified journal segment on a slave copy,
+// bypassing the read-only discipline exactly like LoadDump. The segment
+// must start at the slave's current serial + 1 (no gaps, no replays) and,
+// when wantDigest is nonzero, must chain to it — otherwise nothing is
+// applied and the caller should request a full resync.
+func (db *Database) ApplyChanges(changes []Change, wantDigest uint64) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	cur := db.serial.Load()
+	if len(changes) == 0 {
+		if wantDigest != 0 && wantDigest != db.digest.Load() {
+			return fmt.Errorf("%w: digest mismatch at serial %d", ErrSerialGap, cur)
+		}
+		return nil
+	}
+	if changes[0].Serial != cur+1 {
+		return fmt.Errorf("%w: have serial %d, delta starts at %d", ErrSerialGap, cur, changes[0].Serial)
+	}
+	// Validate and chain the digest before touching the store: the apply
+	// must be all-or-nothing.
+	digest := db.digest.Load()
+	digests := make([]uint64, len(changes))
+	var upserts []*Entry
+	var deletes []string
+	for i, c := range changes {
+		if c.Entry == nil || c.Serial != cur+1+uint64(i) {
+			return ErrBadChanges
+		}
+		switch c.Op {
+		case ChangeUpsert:
+			upserts = append(upserts, c.Entry)
+		case ChangeDelete:
+			deletes = append(deletes, c.Entry.ID())
+		default:
+			return ErrBadChanges
+		}
+		digest = chainDigest(digest, encodeChange(c))
+		digests[i] = digest
+	}
+	if wantDigest != 0 && digest != wantDigest {
+		return fmt.Errorf("%w: digest mismatch after serial %d", ErrSerialGap, changes[len(changes)-1].Serial)
+	}
+	db.store.ApplyBatch(upserts, deletes)
+	for i, c := range changes {
+		db.invalidateKey(c.Entry.Name, c.Entry.Instance)
+		db.journal = append(db.journal, journalRec{change: c, digest: digests[i]})
+	}
+	db.serial.Store(changes[len(changes)-1].Serial)
+	db.digest.Store(digest)
+	db.trimJournalLocked()
+	return nil
+}
+
+// SyncFrom diffs freshly loaded entries (a re-read of the on-disk
+// database another daemon wrote) against the current contents and
+// journals the differences as ordinary upserts/deletes — the master-side
+// path that turns "the file changed" into an O(churn) delta instead of a
+// new lineage. Returns how many changes were recorded.
+func (db *Database) SyncFrom(entries []*Entry) (int, error) {
+	if err := db.writable(); err != nil {
+		return 0, err
+	}
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	next := make(map[string]*Entry, len(entries))
+	for _, e := range entries {
+		next[e.ID()] = e
+	}
+	changed := 0
+	// Deletions first: entries present here but absent in the new state.
+	var gone []*Entry
+	db.store.Range(func(e *Entry) bool {
+		if _, ok := next[e.ID()]; !ok {
+			gone = append(gone, e)
+		}
+		return true
+	})
+	for _, e := range gone {
+		db.record(ChangeDelete, &Entry{Name: e.Name, Instance: e.Instance})
+		db.store.Delete(e.ID())
+		db.invalidateKey(e.Name, e.Instance)
+		changed++
+	}
+	// Upserts: new or differing entries, in deterministic order.
+	seen := make(map[string]bool, len(next))
+	for _, e := range entries {
+		if seen[e.ID()] {
+			continue
+		}
+		seen[e.ID()] = true
+		if old, ok := db.store.Fetch(e.ID()); ok && entryEqual(old, e) {
+			continue
+		}
+		db.record(ChangeUpsert, e)
+		db.store.Put(e)
+		db.invalidateKey(e.Name, e.Instance)
+		changed++
+	}
+	return changed, nil
+}
+
+// entryEqual compares every propagated field.
+func entryEqual(a, b *Entry) bool {
+	return a.Name == b.Name && a.Instance == b.Instance &&
+		string(a.EncKey) == string(b.EncKey) && a.KVNO == b.KVNO &&
+		a.Expiration.Equal(b.Expiration) && a.MaxLife == b.MaxLife &&
+		a.ModTime.Equal(b.ModTime) && a.ModBy == b.ModBy
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kerberos/internal/core"
@@ -89,6 +90,10 @@ type Store interface {
 	Len() int
 	// ReplaceAll atomically swaps the whole contents (propagation).
 	ReplaceAll(entries []*Entry)
+	// ApplyBatch applies a set of upserts and deletes in one atomic
+	// step: readers see either none or all of the batch (incremental
+	// propagation installs a delta this way).
+	ApplyBatch(upserts []*Entry, deletes []string)
 }
 
 // MemStore is the in-memory Store, the reproduction's stand-in for ndbm.
@@ -176,6 +181,23 @@ func (s *MemStore) ReplaceAll(entries []*Entry) {
 	s.mu.Unlock()
 }
 
+// ApplyBatch implements Store: one lock window for the whole batch, so
+// concurrent readers never observe a half-applied delta.
+func (s *MemStore) ApplyBatch(upserts []*Entry, deletes []string) {
+	clones := make([]*Entry, len(upserts))
+	for i, e := range upserts {
+		clones[i] = e.clone()
+	}
+	s.mu.Lock()
+	for _, e := range clones {
+		s.m[e.ID()] = e
+	}
+	for _, id := range deletes {
+		delete(s.m, id)
+	}
+	s.mu.Unlock()
+}
+
 // Errors returned by Database operations.
 var (
 	ErrNotFound  = errors.New("kdb: principal not found")
@@ -205,6 +227,16 @@ type Database struct {
 
 	mu       sync.RWMutex
 	readOnly bool
+
+	// Incremental-propagation state (journal.go): wmu serializes
+	// mutations so the journal order is the store apply order; serial
+	// and digest are atomics so reads never contend with writers.
+	wmu           sync.Mutex
+	serial        atomic.Uint64
+	digest        atomic.Uint64
+	journal       []journalRec
+	journalCap    int
+	preBaseDigest uint64
 }
 
 // cacheID keys the decrypted-key cache. A struct of the entry's name
@@ -227,14 +259,29 @@ func New(masterKey des.Key) *Database {
 	return NewWithStore(masterKey, NewMemStore())
 }
 
-// NewWithStore creates a database over a caller-provided Store.
+// NewWithStore creates a database over a caller-provided Store. A store
+// that carries propagation metadata (FileStore re-opening an existing
+// database) seeds the serial and digest, and is handed a source for
+// persisting them alongside the entries.
 func NewWithStore(masterKey des.Key, store Store) *Database {
-	return &Database{
+	db := &Database{
 		store:        store,
 		masterKey:    masterKey,
 		masterCipher: des.NewCipher(masterKey),
 		keyCache:     make(map[cacheID]cachedKey),
 	}
+	if ms, ok := store.(interface{ LoadedMeta() DumpMeta }); ok {
+		meta := ms.LoadedMeta()
+		db.serial.Store(meta.Serial)
+		db.digest.Store(meta.Digest)
+		db.preBaseDigest = meta.Digest
+	}
+	if ms, ok := store.(interface{ SetMetaSource(func() DumpMeta) }); ok {
+		ms.SetMetaSource(func() DumpMeta {
+			return DumpMeta{Serial: db.serial.Load(), Digest: db.digest.Load()}
+		})
+	}
+	return db
 }
 
 // SetReadOnly marks the database as a slave copy; all mutation fails
@@ -275,10 +322,12 @@ func (db *Database) Add(name, instance string, key des.Key, maxLife core.Lifetim
 	if !(core.Principal{Name: name, Instance: instance}).Valid() {
 		return fmt.Errorf("kdb: invalid principal %q", ID(name, instance))
 	}
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	if _, ok := db.store.Fetch(ID(name, instance)); ok {
 		return fmt.Errorf("%w: %s", ErrExists, ID(name, instance))
 	}
-	db.store.Put(&Entry{
+	e := &Entry{
 		Name:       name,
 		Instance:   instance,
 		EncKey:     db.masterCipher.Seal(key[:]),
@@ -287,7 +336,9 @@ func (db *Database) Add(name, instance string, key des.Key, maxLife core.Lifetim
 		MaxLife:    maxLife,
 		ModTime:    now,
 		ModBy:      modBy,
-	})
+	}
+	db.record(ChangeUpsert, e)
+	db.store.Put(e)
 	// A re-registered principal restarts at KVNO 1; a stale cached key
 	// from a previous life must not match it.
 	db.invalidateKey(name, instance)
@@ -380,6 +431,8 @@ func (db *Database) SetKey(name, instance string, key des.Key, modBy string, now
 	if err := db.writable(); err != nil {
 		return err
 	}
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	e, ok := db.store.Fetch(ID(name, instance))
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
@@ -388,6 +441,7 @@ func (db *Database) SetKey(name, instance string, key des.Key, modBy string, now
 	e.KVNO++
 	e.ModTime = now
 	e.ModBy = modBy
+	db.record(ChangeUpsert, e)
 	db.store.Put(e)
 	db.invalidateKey(name, instance)
 	return nil
@@ -400,6 +454,8 @@ func (db *Database) SetExpiration(name, instance string, expiration time.Time, m
 	if err := db.writable(); err != nil {
 		return err
 	}
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	e, ok := db.store.Fetch(ID(name, instance))
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
@@ -407,6 +463,7 @@ func (db *Database) SetExpiration(name, instance string, expiration time.Time, m
 	e.Expiration = expiration
 	e.ModTime = now
 	e.ModBy = modBy
+	db.record(ChangeUpsert, e)
 	db.store.Put(e)
 	return nil
 }
@@ -416,9 +473,12 @@ func (db *Database) Delete(name, instance string) error {
 	if err := db.writable(); err != nil {
 		return err
 	}
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	if _, ok := db.store.Fetch(ID(name, instance)); !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
 	}
+	db.record(ChangeDelete, &Entry{Name: name, Instance: instance})
 	db.store.Delete(ID(name, instance))
 	db.invalidateKey(name, instance)
 	return nil

@@ -1,0 +1,177 @@
+package kprop
+
+// Propagation benchmarks backing BENCH_kprop.json (scripts/
+// bench_kprop.sh): full-dump vs delta bytes-on-wire and wall-clock at
+// 5k and 100k principals with 1% churn per round, and serial vs
+// parallel fan-out to 8 slaves over a simulated WAN. Each round is a
+// complete master↔slave conversation over real TCP sockets; the
+// wirebytes/op metric is the master's kprop_bytes counter, i.e. the
+// compressed payload the network actually carries.
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"kerberos/internal/des"
+	"kerberos/internal/kdb"
+	"kerberos/internal/obs"
+	"kerberos/internal/workload"
+)
+
+const benchChurn = 0.01 // 1% of principals change per round, §5.3 scale
+
+// benchRealm builds a master database of n principals plus a connected,
+// already-seeded slave, returning the master, its registry, and the
+// slave address.
+func benchRealm(b *testing.B, n int, opts ...Option) (*Master, *kdb.Database, workload.Spec, *obs.Registry, string) {
+	b.Helper()
+	db := kdb.New(des.StringToKey("bench-master-pw", testRealm))
+	spec := workload.Spec{Users: n, Workstations: 8, Services: 5, Seed: 424242}
+	if err := workload.Install(db, spec, testRealm, t0); err != nil {
+		b.Fatal(err)
+	}
+	// Retain at least one full churn round so steady state stays on the
+	// delta path.
+	db.SetJournalCap(n)
+
+	slaveDB := kdb.New(des.StringToKey("bench-master-pw", testRealm))
+	l, err := Serve(NewSlave(slaveDB, nil), "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	addr := l.Addr()
+
+	reg := obs.NewRegistry()
+	m := NewMaster(db, []string{addr}, nil, append([]Option{WithRegistry(reg)}, opts...)...)
+	// Seed the slave so the measured rounds are steady-state churn, not
+	// the initial bootstrap.
+	if err := m.PropagateTo(addr); err != nil {
+		b.Fatal(err)
+	}
+	return m, db, spec, reg, addr
+}
+
+// benchRound measures one propagation round per iteration: churn 1% of
+// the population (off the clock), then push to the slave.
+func benchRound(b *testing.B, users int, opts ...Option) {
+	m, db, spec, reg, addr := benchRealm(b, users, opts...)
+	wire := reg.Counter("kprop_bytes")
+	start := wire.Load()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := workload.Churn(db, spec, testRealm, benchChurn, int64(i), t0); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := m.PropagateTo(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(wire.Load()-start)/float64(b.N), "wirebytes/op")
+}
+
+func BenchmarkKpropFull5k(b *testing.B)  { benchRound(b, 5000, WithForceFull()) }
+func BenchmarkKpropDelta5k(b *testing.B) { benchRound(b, 5000) }
+
+func BenchmarkKpropFull100k(b *testing.B)  { benchRound(b, 100_000, WithForceFull()) }
+func BenchmarkKpropDelta100k(b *testing.B) { benchRound(b, 100_000) }
+
+// delayConn models a WAN hop: every master→slave message pays half an
+// RTT before it is written. Serial fan-out pays the latency once per
+// slave in sequence; parallel fan-out overlaps it.
+type delayConn struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (c *delayConn) Write(p []byte) (int, error) {
+	time.Sleep(c.delay)
+	return c.Conn.Write(p)
+}
+
+// benchFanOut measures a full PropagateAll round to 8 slaves behind a
+// simulated 25ms-RTT WAN, with the given concurrency bound.
+func benchFanOut(b *testing.B, fanout int) {
+	const slaves = 8
+	const rtt = 25 * time.Millisecond
+
+	db := kdb.New(des.StringToKey("bench-master-pw", testRealm))
+	spec := workload.Spec{Users: 1000, Workstations: 8, Services: 5, Seed: 7}
+	if err := workload.Install(db, spec, testRealm, t0); err != nil {
+		b.Fatal(err)
+	}
+	db.SetJournalCap(spec.Users)
+
+	addrs := make([]string, slaves)
+	for i := range addrs {
+		slaveDB := kdb.New(des.StringToKey("bench-master-pw", testRealm))
+		l, err := Serve(NewSlave(slaveDB, nil), "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { l.Close() })
+		addrs[i] = l.Addr()
+	}
+
+	dial := func(addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp4", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return &delayConn{Conn: c, delay: rtt / 2}, nil
+	}
+	m := NewMaster(db, addrs, nil, WithFanout(fanout), WithDialer(dial))
+	if err := m.PropagateAll(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := workload.Churn(db, spec, testRealm, benchChurn, int64(i), t0); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := m.PropagateAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKpropFanOutSerial8(b *testing.B)   { benchFanOut(b, 1) }
+func BenchmarkKpropFanOutParallel8(b *testing.B) { benchFanOut(b, 8) }
+
+// TestBenchSetupConverges keeps the benchmark harness honest under
+// plain `go test`: one churn round propagates and converges.
+func TestBenchSetupConverges(t *testing.T) {
+	db := kdb.New(des.StringToKey("bench-master-pw", testRealm))
+	spec := workload.Spec{Users: 100, Workstations: 4, Services: 5, Seed: 1}
+	if err := workload.Install(db, spec, testRealm, t0); err != nil {
+		t.Fatal(err)
+	}
+	slaveDB := kdb.New(des.StringToKey("bench-master-pw", testRealm))
+	l, err := Serve(NewSlave(slaveDB, nil), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	m := NewMaster(db, []string{l.Addr()}, nil)
+	if err := m.PropagateAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Churn(db, spec, testRealm, 0.05, 1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PropagateAll(); err != nil {
+		t.Fatal(err)
+	}
+	if slaveDB.Serial() != db.Serial() || slaveDB.Digest() != db.Digest() {
+		t.Fatalf("slave at (%d, %x), master at (%d, %x)",
+			slaveDB.Serial(), slaveDB.Digest(), db.Serial(), db.Digest())
+	}
+}

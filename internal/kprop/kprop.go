@@ -8,6 +8,15 @@
 // server calculates a checksum of the data it has received, and if it
 // matches the checksum sent by the master, the new information is used
 // to update the slave's database."
+//
+// On top of the paper's full-dump scheme this package speaks kprop v2:
+// the slave advertises the (serial, digest) its copy is at and the
+// master ships only the flate-compressed journal segment it is missing —
+// O(churn) instead of O(database) per round — falling back to a
+// compressed full dump whenever the slave's state cannot be verified
+// (out of retention, diverged, ahead, or the slave rejects the delta).
+// Fan-out to the slave set runs with bounded concurrency and optional
+// per-slave retry/backoff instead of one serial round per slave.
 package kprop
 
 import (
@@ -16,13 +25,13 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"kerberos/internal/des"
 	"kerberos/internal/kdb"
-	"kerberos/internal/kdc"
 	"kerberos/internal/obs"
 )
 
@@ -30,16 +39,24 @@ import (
 // master database is dumped every hour" (§5.3).
 const DefaultInterval = time.Hour
 
+// DefaultFanout bounds how many slaves one round updates concurrently.
+const DefaultFanout = 4
+
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
-// Option customizes a Master or a Slave with observability hooks.
+// Option customizes a Master or a Slave.
 type Option func(*options)
 
 type options struct {
-	reg  *obs.Registry
-	sink obs.Sink
+	reg       *obs.Registry
+	sink      obs.Sink
+	fanout    int
+	forceFull bool
+	retries   int
+	backoff   time.Duration
+	dial      func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // WithRegistry publishes propagation metrics on reg (kprop_* for the
@@ -54,33 +71,86 @@ func WithTraceSink(sink obs.Sink) Option {
 	return func(o *options) { o.sink = sink }
 }
 
-// masterMetrics tracks the kprop side: how often dumps go out, how
-// large they are, and how stale the slaves can be (lag is derivable
-// from kprop_last_success_unix).
+// WithFanout bounds the number of slaves updated concurrently per round
+// (master side). n < 1 means DefaultFanout; 1 restores serial rounds.
+func WithFanout(n int) Option {
+	return func(o *options) { o.fanout = n }
+}
+
+// WithForceFull disables deltas: every push ships a full (still
+// compressed) dump, the paper's original behaviour.
+func WithForceFull() Option {
+	return func(o *options) { o.forceFull = true }
+}
+
+// WithRetry retries a failed slave push up to retries more times within
+// the same round, sleeping backoff (with jitter, doubling per attempt)
+// in between. The default is no retries.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(o *options) { o.retries, o.backoff = retries, backoff }
+}
+
+// WithDialer replaces the TCP dialer (master side) — used by tests and
+// benchmarks to inject latency or failures.
+func WithDialer(dial func(addr string, timeout time.Duration) (net.Conn, error)) Option {
+	return func(o *options) { o.dial = dial }
+}
+
+// masterMetrics tracks the kprop side: how many rounds went out as
+// deltas versus full dumps, why full dumps happened, how many bytes hit
+// the wire for each, and how long pushes and whole fan-out rounds take.
 type masterMetrics struct {
 	pushes       obs.Counter
 	failures     obs.Counter
-	bytes        obs.Counter
-	lastSuccess  obs.Gauge // unix seconds of the last successful push
+	retries      obs.Counter
+	bytes        obs.Counter // total wire bytes, delta + full
+	deltaRounds  obs.Counter
+	fullRounds   obs.Counter
+	deltaBytes   obs.Counter
+	fullBytes    obs.Counter
+	fbRetention  obs.Counter // slave behind the journal horizon
+	fbAhead      obs.Counter // slave ahead of the master (other lineage)
+	fbDivergence obs.Counter // digest mismatch at a known serial
+	fbReject     obs.Counter // slave NACKed a delta and asked for full
+	lastSuccess  obs.Gauge   // unix seconds of the last successful push
 	roundLatency obs.Histogram
+	fanoutLat    obs.Histogram
 }
 
 func (m *masterMetrics) register(reg *obs.Registry) {
 	reg.RegisterCounter("kprop_pushes", &m.pushes)
 	reg.RegisterCounter("kprop_failures", &m.failures)
+	reg.RegisterCounter("kprop_retries", &m.retries)
 	reg.RegisterCounter("kprop_bytes", &m.bytes)
+	reg.RegisterCounter("kprop_delta_rounds", &m.deltaRounds)
+	reg.RegisterCounter("kprop_full_rounds", &m.fullRounds)
+	reg.RegisterCounter("kprop_delta_bytes", &m.deltaBytes)
+	reg.RegisterCounter("kprop_full_bytes", &m.fullBytes)
+	reg.RegisterCounter("kprop_fallback_retention", &m.fbRetention)
+	reg.RegisterCounter("kprop_fallback_ahead", &m.fbAhead)
+	reg.RegisterCounter("kprop_fallback_divergence", &m.fbDivergence)
+	reg.RegisterCounter("kprop_fallback_reject", &m.fbReject)
 	reg.RegisterGauge("kprop_last_success_unix", &m.lastSuccess)
 	reg.RegisterHistogram("kprop_round_latency", &m.roundLatency)
+	reg.RegisterHistogram("kprop_fanout_latency", &m.fanoutLat)
 }
 
-// Master is the kprop side: it dumps the master database and pushes it
-// to slaves.
+// Master is the kprop side: it tracks what each slave has acknowledged
+// and pushes deltas (or full dumps) to bring them current.
 type Master struct {
-	db      *kdb.Database
-	slaves  []string
-	logger  *log.Logger
-	metrics masterMetrics
-	sink    obs.Sink
+	db        *kdb.Database
+	slaves    []string
+	logger    *log.Logger
+	metrics   masterMetrics
+	sink      obs.Sink
+	fanout    int
+	forceFull bool
+	retries   int
+	backoff   time.Duration
+	dial      func(addr string, timeout time.Duration) (net.Conn, error)
+
+	mu    sync.Mutex
+	acked map[string]uint64 // slave addr → last acked serial
 }
 
 // NewMaster creates the propagation client for the master database.
@@ -88,32 +158,146 @@ func NewMaster(db *kdb.Database, slaveAddrs []string, logger *log.Logger, opts .
 	if logger == nil {
 		logger = log.New(discard{}, "", 0)
 	}
-	var o options
+	o := options{fanout: DefaultFanout, backoff: 250 * time.Millisecond}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	m := &Master{db: db, slaves: slaveAddrs, logger: logger, sink: o.sink}
+	if o.fanout < 1 {
+		o.fanout = DefaultFanout
+	}
+	if o.dial == nil {
+		o.dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp4", addr, timeout)
+		}
+	}
+	m := &Master{
+		db: db, slaves: slaveAddrs, logger: logger, sink: o.sink,
+		fanout: o.fanout, forceFull: o.forceFull,
+		retries: o.retries, backoff: o.backoff, dial: o.dial,
+		acked: make(map[string]uint64, len(slaveAddrs)),
+	}
 	if o.reg != nil {
 		m.metrics.register(o.reg)
+		o.reg.GaugeFunc("kprop_serial", func() int64 { return int64(db.Serial()) })
+		for _, addr := range slaveAddrs {
+			addr := addr
+			o.reg.GaugeFunc(fmt.Sprintf("kprop_slave_lag{slave=%q}", addr), func() int64 {
+				return int64(db.Serial() - m.AckedSerial(addr))
+			})
+		}
 	}
 	return m
 }
 
-// PropagateTo pushes one full dump to a single kpropd.
+// AckedSerial reports the last serial a slave acknowledged (0 before the
+// first successful push this process made to it).
+func (m *Master) AckedSerial(addr string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.acked[addr]
+}
+
+func (m *Master) setAcked(addr string, serial uint64) {
+	m.mu.Lock()
+	if serial > m.acked[addr] {
+		m.acked[addr] = serial
+	}
+	m.mu.Unlock()
+}
+
+// sealSum computes the §5.3 keyed checksum of data and seals it in the
+// master database key.
+func sealSum(key des.Key, data []byte) []byte {
+	var sumBytes [8]byte
+	binary.BigEndian.PutUint64(sumBytes[:], kdb.DumpChecksum(key, data))
+	return des.Seal(key, sumBytes[:])
+}
+
+// openSum unseals a §5.3 checksum.
+func openSum(key des.Key, sealed []byte) (uint64, error) {
+	sumBytes, err := des.Unseal(key, sealed)
+	if err != nil || len(sumBytes) != 8 {
+		return 0, errors.New("kprop: checksum not sealed in the master database key")
+	}
+	return binary.BigEndian.Uint64(sumBytes), nil
+}
+
+// round caches the expensive full-dump artifacts so one fan-out round
+// dumps, checksums, and compresses the database at most once no matter
+// how many slaves need the full path.
+type round struct {
+	m       *Master
+	once    sync.Once
+	msg     []byte // encoded FullDumpMsg
+	rawLen  int    // uncompressed dump size
+	wireLen int    // compressed payload size
+}
+
+func (r *round) fullMsg() ([]byte, int, int) {
+	r.once.Do(func() {
+		dump := r.m.db.Dump()
+		payload := deflate(dump)
+		f := FullDumpMsg{SealedSum: sealSum(r.m.db.MasterKey(), dump), Payload: payload}
+		r.msg = f.Encode()
+		r.rawLen = len(dump)
+		r.wireLen = len(payload)
+	})
+	return r.msg, r.rawLen, r.wireLen
+}
+
+// pushResult describes what one push shipped.
+type pushResult struct {
+	kind      string // "delta" or "full"
+	fallback  string // why a full dump was sent, "" for a chosen delta
+	wireBytes int    // payload bytes on the wire (compressed)
+	changes   int    // delta changes shipped
+	serial    uint64 // serial the slave acked
+}
+
+// PropagateTo pushes one update (delta if possible) to a single kpropd.
 //
 //kerb:clockadapter -- propagation latency metrics and dial deadlines are wall-clock
 func (m *Master) PropagateTo(addr string) error {
+	return m.push(addr, &round{m: m})
+}
+
+// push runs one instrumented exchange with one slave.
+//
+//kerb:clockadapter -- propagation latency metrics are wall-clock observability
+func (m *Master) push(addr string, rnd *round) error {
 	start := time.Now()
-	dump := m.db.Dump()
-	err := m.propagateTo(addr, dump)
+	res, err := m.exchange(addr, rnd)
 	d := time.Since(start)
 	m.metrics.pushes.Inc()
 	m.metrics.roundLatency.Observe(d)
 	if err != nil {
 		m.metrics.failures.Inc()
 	} else {
-		m.metrics.bytes.Add(uint64(len(dump)))
+		m.metrics.bytes.Add(uint64(res.wireBytes))
 		m.metrics.lastSuccess.Set(time.Now().Unix())
+		m.setAcked(addr, res.serial)
+		switch res.kind {
+		case "delta":
+			m.metrics.deltaRounds.Inc()
+			m.metrics.deltaBytes.Add(uint64(res.wireBytes))
+			m.logger.Printf("kprop: delta %d changes (%d bytes) to %s, serial %d",
+				res.changes, res.wireBytes, addr, res.serial)
+		case "full":
+			m.metrics.fullRounds.Inc()
+			m.metrics.fullBytes.Add(uint64(res.wireBytes))
+			m.logger.Printf("kprop: full dump (%d bytes, %d principals) to %s (%s), serial %d",
+				res.wireBytes, m.db.Len(), addr, res.fallback, res.serial)
+		}
+	}
+	switch res.fallback {
+	case kdb.FallbackRetention.String():
+		m.metrics.fbRetention.Inc()
+	case kdb.FallbackAhead.String():
+		m.metrics.fbAhead.Inc()
+	case kdb.FallbackDivergence.String():
+		m.metrics.fbDivergence.Inc()
+	case "reject":
+		m.metrics.fbReject.Inc()
 	}
 	if m.sink != nil {
 		ev := obs.Event{
@@ -121,7 +305,11 @@ func (m *Master) PropagateTo(addr string) error {
 			Time:     start,
 			Duration: d,
 			Service:  addr,
-			Bytes:    len(dump),
+			Bytes:    res.wireBytes,
+			Detail:   res.kind,
+		}
+		if res.fallback != "" {
+			ev.Detail = res.kind + ":" + res.fallback
 		}
 		if err != nil {
 			ev.Err = err.Error()
@@ -131,47 +319,146 @@ func (m *Master) PropagateTo(addr string) error {
 	return err
 }
 
+// exchange speaks one v2 conversation with a slave.
+//
 //kerb:clockadapter -- connection deadlines are wall-clock I/O timeouts
-func (m *Master) propagateTo(addr string, dump []byte) error {
-	var sumBytes [8]byte
-	binary.BigEndian.PutUint64(sumBytes[:], kdb.DumpChecksum(m.db.MasterKey(), dump))
-	sealedSum := des.Seal(m.db.MasterKey(), sumBytes[:])
-
-	conn, err := net.DialTimeout("tcp4", addr, 5*time.Second)
+func (m *Master) exchange(addr string, rnd *round) (pushResult, error) {
+	var res pushResult
+	conn, err := m.dial(addr, 5*time.Second)
 	if err != nil {
-		return fmt.Errorf("kprop: connecting to %s: %w", addr, err)
+		return res, fmt.Errorf("kprop: connecting to %s: %w", addr, err)
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	conn.SetDeadline(time.Now().Add(60 * time.Second))
 
-	if err := kdc.WriteFrame(conn, sealedSum); err != nil {
-		return fmt.Errorf("kprop: sending checksum: %w", err)
+	hello := MasterHello{Version: wireVersion, Serial: m.db.Serial(), Digest: m.db.Digest()}
+	if err := writeFrame(conn, hello.Encode()); err != nil {
+		return res, fmt.Errorf("kprop: sending hello to %s: %w", addr, err)
 	}
-	if err := kdc.WriteFrame(conn, dump); err != nil {
-		return fmt.Errorf("kprop: sending dump: %w", err)
-	}
-	ack, err := kdc.ReadFrame(conn)
+	frame, err := readFrame(conn)
 	if err != nil {
-		return fmt.Errorf("kprop: reading acknowledgement: %w", err)
+		return res, fmt.Errorf("kprop: reading hello from %s: %w", addr, err)
 	}
-	if string(ack) != "OK" {
-		return fmt.Errorf("kprop: slave %s rejected update: %s", addr, ack)
+	sh, err := DecodeSlaveHello(frame)
+	if err != nil {
+		return res, fmt.Errorf("kprop: slave %s hello: %w", addr, err)
 	}
-	m.logger.Printf("kprop: propagated %d bytes (%d principals) to %s",
-		len(dump), m.db.Len(), addr)
-	return nil
-}
 
-// PropagateAll pushes to every configured slave, collecting errors; one
-// sick slave does not block the others.
-func (m *Master) PropagateAll() error {
-	var errs []error
-	for _, addr := range m.slaves {
-		if err := m.PropagateTo(addr); err != nil {
-			m.logger.Printf("kprop: %v", err)
-			errs = append(errs, err)
+	sendFull := m.forceFull
+	if !sendFull {
+		changes, verdict := m.db.ChangesSince(sh.Serial, sh.Digest)
+		if verdict != kdb.DeltaOK {
+			sendFull = true
+			res.fallback = verdict.String()
+		} else {
+			seg := kdb.EncodeChanges(changes)
+			to := sh.Serial + uint64(len(changes))
+			d := DeltaMsg{
+				From:      sh.Serial,
+				To:        to,
+				SealedSum: sealSum(m.db.MasterKey(), seg),
+				Payload:   deflate(seg),
+			}
+			if err := writeFrame(conn, d.Encode()); err != nil {
+				return res, fmt.Errorf("kprop: sending delta to %s: %w", addr, err)
+			}
+			res.kind = "delta"
+			res.changes = len(changes)
+			res.wireBytes = len(d.Payload)
+			ack, err := m.readAck(conn, addr)
+			if err != nil {
+				return res, err
+			}
+			if ack.OK {
+				res.serial = ack.Serial
+				return res, nil
+			}
+			if !ack.NeedFull {
+				return res, fmt.Errorf("kprop: slave %s rejected delta: %s", addr, ack.Err)
+			}
+			// The slave could not apply the delta (e.g. it restarted into
+			// a diverged copy between hello and apply) and asked for a
+			// full resync on this connection.
+			sendFull = true
+			res.fallback = "reject"
 		}
 	}
+
+	msg, _, wireLen := rnd.fullMsg()
+	if err := writeFrame(conn, msg); err != nil {
+		return res, fmt.Errorf("kprop: sending dump to %s: %w", addr, err)
+	}
+	res.kind = "full"
+	res.wireBytes += wireLen
+	ack, err := m.readAck(conn, addr)
+	if err != nil {
+		return res, err
+	}
+	if !ack.OK {
+		return res, fmt.Errorf("kprop: slave %s rejected dump: %s", addr, ack.Err)
+	}
+	res.serial = ack.Serial
+	return res, nil
+}
+
+func (m *Master) readAck(conn net.Conn, addr string) (AckMsg, error) {
+	frame, err := readFrame(conn)
+	if err != nil {
+		return AckMsg{}, fmt.Errorf("kprop: reading ack from %s: %w", addr, err)
+	}
+	ack, err := DecodeAckMsg(frame)
+	if err != nil {
+		return AckMsg{}, fmt.Errorf("kprop: slave %s ack: %w", addr, err)
+	}
+	return ack, nil
+}
+
+// pushWithRetry retries transient failures with jittered, doubling
+// backoff — one sick slave costs its own retries, never the round.
+//
+//kerb:clockadapter -- retry backoff sleeps are wall-clock by nature
+func (m *Master) pushWithRetry(addr string, rnd *round) error {
+	err := m.push(addr, rnd)
+	for attempt := 0; err != nil && attempt < m.retries; attempt++ {
+		m.metrics.retries.Inc()
+		sleep := m.backoff << attempt
+		sleep += time.Duration(rand.Int63n(int64(sleep)/2 + 1))
+		time.Sleep(sleep)
+		err = m.push(addr, rnd)
+	}
+	return err
+}
+
+// PropagateAll pushes to every configured slave with bounded
+// concurrency, collecting errors; one sick slave does not block the
+// others. The full dump, if any slave needs it, is computed once.
+//
+//kerb:clockadapter -- fan-out round latency metric is wall-clock observability
+func (m *Master) PropagateAll() error {
+	start := time.Now()
+	rnd := &round{m: m}
+	sem := make(chan struct{}, m.fanout)
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs []error
+	)
+	for _, addr := range m.slaves {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(addr string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := m.pushWithRetry(addr, rnd); err != nil {
+				m.logger.Printf("kprop: %v", err)
+				emu.Lock()
+				errs = append(errs, err)
+				emu.Unlock()
+			}
+		}(addr)
+	}
+	wg.Wait()
+	m.metrics.fanoutLat.Observe(time.Since(start))
 	return errors.Join(errs...)
 }
 
@@ -194,26 +481,36 @@ func (m *Master) Run(ctx context.Context, interval time.Duration) {
 	}
 }
 
-// slaveMetrics tracks the kpropd side: installed and rejected dumps,
-// bytes received, and how long an install (verify + swap) takes.
+// slaveMetrics tracks the kpropd side: installed and rejected updates,
+// the delta/full split, resync recoveries, bytes received, and how long
+// an install (verify + swap) takes.
 type slaveMetrics struct {
 	updates        obs.Counter
 	rejected       obs.Counter
+	deltas         obs.Counter
+	fulls          obs.Counter
+	resyncs        obs.Counter // deltas that failed and healed via full dump
 	bytes          obs.Counter
 	lastBytes      obs.Gauge
+	serial         obs.Gauge
 	installLatency obs.Histogram
 }
 
 func (m *slaveMetrics) register(reg *obs.Registry) {
 	reg.RegisterCounter("kpropd_updates", &m.updates)
 	reg.RegisterCounter("kpropd_rejected", &m.rejected)
+	reg.RegisterCounter("kpropd_deltas", &m.deltas)
+	reg.RegisterCounter("kpropd_fulls", &m.fulls)
+	reg.RegisterCounter("kpropd_resyncs", &m.resyncs)
 	reg.RegisterCounter("kpropd_bytes", &m.bytes)
 	reg.RegisterGauge("kpropd_last_bytes", &m.lastBytes)
+	reg.RegisterGauge("kpropd_serial", &m.serial)
 	reg.RegisterHistogram("kpropd_install_latency", &m.installLatency)
 }
 
-// Slave is the kpropd side: it receives dumps, verifies them against the
-// encrypted checksum, and swaps them into the local read-only database.
+// Slave is the kpropd side: it receives updates, verifies them against
+// the encrypted checksum, and applies them to the local read-only
+// database — deltas atomically in place, full dumps as a swap.
 type Slave struct {
 	db      *kdb.Database
 	logger  *log.Logger
@@ -238,68 +535,209 @@ func NewSlave(db *kdb.Database, logger *log.Logger, opts ...Option) *Slave {
 	return s
 }
 
-// Updates reports how many dumps have been installed.
+// Updates reports how many updates (deltas or dumps) have been installed.
 func (s *Slave) Updates() uint64 { return s.metrics.updates.Load() }
 
-// Rejected reports how many dumps failed verification.
+// Rejected reports how many updates failed verification.
 func (s *Slave) Rejected() uint64 { return s.metrics.rejected.Load() }
 
-// handleConn processes one kprop connection.
+// Resyncs reports how many failed deltas were healed by a full dump.
+func (s *Slave) Resyncs() uint64 { return s.metrics.resyncs.Load() }
+
+// handleConn processes one kprop connection: v2 if the first frame is a
+// MasterHello, the paper's original two-frame exchange otherwise.
 //
 //kerb:clockadapter -- connection read deadlines are wall-clock I/O timeouts
 func (s *Slave) handleConn(conn net.Conn) {
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(60 * time.Second))
 
-	sealedSum, err := kdc.ReadFrame(conn)
+	first, err := readFrame(conn)
 	if err != nil {
 		return
 	}
-	dump, err := kdc.ReadFrame(conn)
+	if !isV2(first) {
+		s.handleLegacy(conn, first)
+		return
+	}
+	hello, err := DecodeMasterHello(first)
+	if err != nil {
+		return
+	}
+	sh := SlaveHello{
+		Serial:     s.db.Serial(),
+		Digest:     s.db.Digest(),
+		Principals: uint32(s.db.Len()),
+	}
+	if err := writeFrame(conn, sh.Encode()); err != nil {
+		return
+	}
+	msg, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	ack := s.applyUpdate(hello, msg)
+	if err := writeFrame(conn, ack.Encode()); err != nil {
+		return
+	}
+	if !ack.NeedFull {
+		return
+	}
+	// The delta could not be applied; the master sends a full dump on
+	// the same connection and the slave heals from it.
+	msg, err = readFrame(conn)
+	if err != nil {
+		return
+	}
+	ack = s.applyUpdate(hello, msg)
+	if ack.OK {
+		s.metrics.resyncs.Inc()
+	}
+	writeFrame(conn, ack.Encode())
+}
+
+// handleLegacy speaks the original §5.3 exchange: a sealed checksum
+// frame, a dump frame, and a textual ack.
+func (s *Slave) handleLegacy(conn net.Conn, sealedSum []byte) {
+	dump, err := readFrame(conn)
 	if err != nil {
 		return
 	}
 	if err := s.Install(sealedSum, dump); err != nil {
 		s.logger.Printf("kpropd: rejected update: %v", err)
-		kdc.WriteFrame(conn, []byte(err.Error()))
+		writeFrame(conn, []byte(err.Error()))
 		return
 	}
-	kdc.WriteFrame(conn, []byte("OK"))
+	writeFrame(conn, []byte("OK"))
 }
 
-// Install verifies a (sealed checksum, dump) pair and swaps it into the
-// database. "it is essential that only information from the master host
-// be accepted by the slaves, and that tampering of data be detected,
-// thus the checksum" (§5.3).
+// applyUpdate dispatches one v2 update message and returns the ack.
+func (s *Slave) applyUpdate(hello MasterHello, msg []byte) AckMsg {
+	if len(msg) >= 5 && [4]byte(msg[:4]) == wireMagic {
+		switch msg[4] {
+		case kindDelta:
+			return s.applyDelta(hello, msg)
+		case kindFullDump:
+			return s.applyFull(msg)
+		}
+	}
+	s.metrics.rejected.Inc()
+	return AckMsg{Serial: s.db.Serial(), Err: "kpropd: unknown update message"}
+}
+
+// applyDelta verifies and atomically applies a journal segment. Any
+// failure asks the master for a full resync: stale or out-of-order
+// serials, a checksum that does not open under the master key, or a
+// digest chain that does not land where the master said it would.
+func (s *Slave) applyDelta(hello MasterHello, msg []byte) AckMsg {
+	changes, payloadLen, wantDigest, err := s.verifyDelta(hello, msg)
+	if err != nil {
+		s.metrics.rejected.Inc() // install() was never reached
+	} else {
+		err = s.install(func() error { return s.db.ApplyChanges(changes, wantDigest) }, payloadLen)
+	}
+	if err != nil {
+		s.logger.Printf("kpropd: delta rejected: %v", err)
+		return AckMsg{Serial: s.db.Serial(), NeedFull: true, Err: err.Error()}
+	}
+	s.metrics.deltas.Inc()
+	s.logger.Printf("kpropd: applied delta of %d changes, serial %d", len(changes), s.db.Serial())
+	return AckMsg{Serial: s.db.Serial(), OK: true}
+}
+
+// verifyDelta decodes, decompresses, and checksum-verifies a delta
+// message without touching the database.
+func (s *Slave) verifyDelta(hello MasterHello, msg []byte) (changes []kdb.Change, payloadLen int, wantDigest uint64, err error) {
+	d, err := DecodeDeltaMsg(msg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	seg, err := inflate(d.Payload)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	want, err := openSum(s.db.MasterKey(), d.SealedSum)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if got := kdb.DumpChecksum(s.db.MasterKey(), seg); got != want {
+		return nil, 0, 0, fmt.Errorf("kpropd: delta checksum %x does not match master's %x", got, want)
+	}
+	changes, err = kdb.DecodeChanges(seg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(changes) > 0 && changes[0].Serial != d.From+1 {
+		return nil, 0, 0, fmt.Errorf("kpropd: delta starts at serial %d, header says %d", changes[0].Serial, d.From+1)
+	}
+	// When the delta lands exactly on the master's advertised state, the
+	// applied digest chain must land on the master's digest — the
+	// divergence check that catches same-serial different-history copies.
+	if d.To == hello.Serial {
+		wantDigest = hello.Digest
+	}
+	return changes, len(d.Payload), wantDigest, nil
+}
+
+// applyFull verifies and installs a compressed full dump.
+func (s *Slave) applyFull(msg []byte) AckMsg {
+	f, err := DecodeFullDumpMsg(msg)
+	var dump []byte
+	if err == nil {
+		dump, err = inflate(f.Payload)
+	}
+	if err != nil {
+		s.metrics.rejected.Inc() // Install() was never reached
+		s.logger.Printf("kpropd: rejected update: %v", err)
+		return AckMsg{Serial: s.db.Serial(), Err: err.Error()}
+	}
+	if err := s.Install(f.SealedSum, dump); err != nil {
+		s.logger.Printf("kpropd: rejected update: %v", err)
+		return AckMsg{Serial: s.db.Serial(), Err: err.Error()}
+	}
+	s.metrics.fulls.Inc()
+	return AckMsg{Serial: s.db.Serial(), OK: true}
+}
+
+// Install verifies a (sealed checksum, uncompressed dump) pair and swaps
+// it into the database. "it is essential that only information from the
+// master host be accepted by the slaves, and that tampering of data be
+// detected, thus the checksum" (§5.3).
 //
 //kerb:clockadapter -- install latency metrics are wall-clock observability, not protocol time
 func (s *Slave) Install(sealedSum, dump []byte) error {
+	return s.install(func() error {
+		want, err := openSum(s.db.MasterKey(), sealedSum)
+		if err != nil {
+			return err
+		}
+		if got := kdb.DumpChecksum(s.db.MasterKey(), dump); got != want {
+			return fmt.Errorf("kpropd: dump checksum %x does not match master's %x", got, want)
+		}
+		if err := s.db.LoadDump(dump); err != nil {
+			return fmt.Errorf("kpropd: installing dump: %w", err)
+		}
+		return nil
+	}, len(dump))
+}
+
+// install runs one verified apply under the install metrics.
+//
+//kerb:clockadapter -- install latency metrics are wall-clock observability, not protocol time
+func (s *Slave) install(apply func() error, wireBytes int) error {
 	start := time.Now()
-	err := s.install(sealedSum, dump)
+	err := apply()
 	s.metrics.installLatency.Observe(time.Since(start))
 	if err != nil {
 		s.metrics.rejected.Inc()
 		return err
 	}
 	s.metrics.updates.Inc()
-	s.metrics.bytes.Add(uint64(len(dump)))
-	s.metrics.lastBytes.Set(int64(len(dump)))
-	s.logger.Printf("kpropd: installed %d bytes (%d principals)", len(dump), s.db.Len())
-	return nil
-}
-
-func (s *Slave) install(sealedSum, dump []byte) error {
-	sumBytes, err := des.Unseal(s.db.MasterKey(), sealedSum)
-	if err != nil || len(sumBytes) != 8 {
-		return errors.New("kpropd: checksum not sealed in the master database key")
-	}
-	want := binary.BigEndian.Uint64(sumBytes)
-	if got := kdb.DumpChecksum(s.db.MasterKey(), dump); got != want {
-		return fmt.Errorf("kpropd: dump checksum %x does not match master's %x", got, want)
-	}
-	if err := s.db.LoadDump(dump); err != nil {
-		return fmt.Errorf("kpropd: installing dump: %w", err)
-	}
+	s.metrics.bytes.Add(uint64(wireBytes))
+	s.metrics.lastBytes.Set(int64(wireBytes))
+	s.metrics.serial.Set(int64(s.db.Serial()))
+	s.logger.Printf("kpropd: installed update (%d wire bytes, %d principals, serial %d)",
+		wireBytes, s.db.Len(), s.db.Serial())
 	return nil
 }
 

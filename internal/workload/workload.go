@@ -104,6 +104,51 @@ func installService(db *kdb.Database, spec Spec, realm string, i int, seed int64
 	return db.Add(p.Name, p.Instance, key, 0, "kadmin", now)
 }
 
+// Churn mutates a fraction of the user population, modeling the write
+// traffic a live realm feeds into incremental propagation (§5.3): the
+// dominant operation is a password change (SetKey), with an occasional
+// deregistration and re-registration. Deterministic in (Seed, round) so
+// benchmark and test runs are repeatable; returns how many journal
+// changes the round produced.
+func Churn(db *kdb.Database, spec Spec, realm string, fraction float64, round int64, now time.Time) (int, error) {
+	if spec.Users == 0 || fraction <= 0 {
+		return 0, nil
+	}
+	n := int(float64(spec.Users) * fraction)
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed*1_000_003 + round))
+	start := rng.Intn(spec.Users)
+	changes := 0
+	for j := 0; j < n; j++ {
+		i := (start + j) % spec.Users
+		p := spec.UserPrincipal(i, realm)
+		if err := churnUser(db, spec, p, i, round, j%10 == 3, now); err != nil {
+			return changes, fmt.Errorf("workload: churn round %d user %d: %w", round, i, err)
+		}
+		changes++
+		if j%10 == 3 {
+			changes++ // delete + re-add journals two changes
+		}
+	}
+	return changes, nil
+}
+
+// churnUser applies one user's churn — a helper call per principal so
+// the derived key is wiped before the loop moves on.
+func churnUser(db *kdb.Database, spec Spec, p core.Principal, i int, round int64, reregister bool, now time.Time) error {
+	key := client.PasswordKey(p, fmt.Sprintf("%s-r%d", spec.UserPassword(i), round))
+	defer clear(key[:])
+	if reregister {
+		if err := db.Delete(p.Name, p.Instance); err != nil {
+			return err
+		}
+		return db.Add(p.Name, p.Instance, key, 0, "kadmin", now)
+	}
+	return db.SetKey(p.Name, p.Instance, key, "kadmin", now)
+}
+
 // Metrics aggregates a driver run. Beyond the exchange counts, the
 // latency histograms capture the client-observed distribution of each
 // round trip — the §9 experience is shaped by its tail, not its mean.

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Run the propagation benchmarks and record the results as
+# BENCH_kprop.json: wall-clock per round, compressed bytes on the wire
+# per round (the benchmark's wirebytes/op metric, from the master's
+# kprop_bytes counter), and alloc stats, for full-dump vs delta rounds
+# at 5k and 100k principals with 1% churn, plus serial vs parallel
+# fan-out to 8 slaves over a simulated 25ms-RTT WAN.
+#
+#   sh scripts/bench_kprop.sh [count]
+#
+# count defaults to 3 runs per benchmark (the 100k population is
+# expensive to install); the JSON records the fastest run of each.
+set -e
+
+COUNT="${1:-3}"
+OUT="BENCH_kprop.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench 'Kprop' ./internal/kprop (count=$COUNT)"
+go test -run '^$' -benchmem -count="$COUNT" \
+    -bench 'KpropFull5k|KpropDelta5k|KpropFull100k|KpropDelta100k|KpropFanOutSerial8|KpropFanOutParallel8' \
+    ./internal/kprop | tee "$RAW"
+
+# Fold the raw `go test` benchmark lines into JSON, keeping the minimum
+# ns/op observed per benchmark with its paired metrics.
+awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+    ns = ""; wire = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")         ns = $(i - 1)
+        if ($(i) == "wirebytes/op")  wire = $(i - 1)
+        if ($(i) == "B/op")          bytes = $(i - 1)
+        if ($(i) == "allocs/op")     allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+        best[name] = ns; w[name] = wire; b[name] = bytes; a[name] = allocs
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+}
+END {
+    printf "{\n" > out
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s", name, best[name] >> out
+        if (w[name] != "") printf ", \"wirebytes_op\": %s", w[name] >> out
+        if (b[name] != "") printf ", \"bytes_op\": %s", b[name] >> out
+        if (a[name] != "") printf ", \"allocs_op\": %s", a[name] >> out
+        printf "}%s\n", (i < n ? "," : "") >> out
+    }
+    printf "}\n" >> out
+}' "$RAW"
+
+echo "== wrote $OUT"
+cat "$OUT"

@@ -21,4 +21,7 @@ for target in FuzzDecoders FuzzUnseal; do
     go test -run '^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME" ./internal/core
 done
 
+echo "== go test -fuzz=FuzzDelta -fuzztime=$FUZZTIME ./internal/kprop"
+go test -run '^$' -fuzz='^FuzzDelta$' -fuzztime="$FUZZTIME" ./internal/kprop
+
 echo "fuzz smoke: OK"
