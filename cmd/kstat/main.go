@@ -21,24 +21,28 @@ import (
 	"time"
 )
 
-// sample is one parsed scrape: scalar metrics by name, histogram bucket
-// counts by base name in le_ns order.
+// sample is one parsed scrape: scalar metrics by name, duration
+// histogram buckets by base name in le_ns order, and size histogram
+// buckets (unitless counts — batch sizes, window occupancy) in le order.
 type sample struct {
-	when    time.Time
-	scalars map[string]int64
-	buckets map[string][]bucket
+	when        time.Time
+	scalars     map[string]int64
+	buckets     map[string][]bucket
+	sizeBuckets map[string][]bucket
 }
 
 type bucket struct {
-	leNS  int64 // -1 for +Inf
+	leNS  int64 // upper bound (ns for duration hists, a count for size hists); -1 for +Inf
 	count int64 // cumulative
 }
 
 // parseMetrics reads the admin listener's text format (see
-// obs.Registry.WriteText): "name value" lines plus
-// name_bucket{le_ns="bound"} cumulative lines.
+// obs.Registry.WriteText): "name value" lines plus cumulative
+// name_bucket{le_ns="bound"} (duration) and name_bucket{le="bound"}
+// (size) lines.
 func parseMetrics(text string, when time.Time) *sample {
-	s := &sample{when: when, scalars: map[string]int64{}, buckets: map[string][]bucket{}}
+	s := &sample{when: when, scalars: map[string]int64{},
+		buckets: map[string][]bucket{}, sizeBuckets: map[string][]bucket{}}
 	for _, line := range strings.Split(text, "\n") {
 		name, value, ok := strings.Cut(strings.TrimSpace(line), " ")
 		if !ok || name == "" {
@@ -49,14 +53,15 @@ func parseMetrics(text string, when time.Time) *sample {
 			continue
 		}
 		if base, rest, isBucket := strings.Cut(name, "_bucket{le_ns=\""); isBucket {
-			bound := strings.TrimSuffix(rest, "\"}")
-			le := int64(-1)
-			if bound != "+Inf" {
-				if le, err = strconv.ParseInt(bound, 10, 64); err != nil {
-					continue
-				}
+			if le, ok := parseBound(rest); ok {
+				s.buckets[base] = append(s.buckets[base], bucket{leNS: le, count: n})
 			}
-			s.buckets[base] = append(s.buckets[base], bucket{leNS: le, count: n})
+			continue
+		}
+		if base, rest, isBucket := strings.Cut(name, "_bucket{le=\""); isBucket {
+			if le, ok := parseBound(rest); ok {
+				s.sizeBuckets[base] = append(s.sizeBuckets[base], bucket{leNS: le, count: n})
+			}
 			continue
 		}
 		s.scalars[name] = n
@@ -64,8 +69,19 @@ func parseMetrics(text string, when time.Time) *sample {
 	return s
 }
 
-// histBases returns the base names that look like histograms (have a
-// _count companion and quantile lines), sorted.
+// parseBound decodes the tail of a bucket label: `bound"}` where bound
+// is an integer or +Inf (reported as -1).
+func parseBound(rest string) (int64, bool) {
+	bound := strings.TrimSuffix(rest, "\"}")
+	if bound == "+Inf" {
+		return -1, true
+	}
+	le, err := strconv.ParseInt(bound, 10, 64)
+	return le, err == nil
+}
+
+// histBases returns the base names that look like duration histograms
+// (a _count companion plus nanosecond quantile lines), sorted.
 func (s *sample) histBases() []string {
 	var bases []string
 	for name := range s.scalars {
@@ -79,13 +95,39 @@ func (s *sample) histBases() []string {
 	return bases
 }
 
+// sizeHistBases returns the base names that look like size histograms:
+// a _count companion plus unitless quantile lines (_p50 without _ns).
+func (s *sample) sizeHistBases() []string {
+	var bases []string
+	for name := range s.scalars {
+		if base, ok := strings.CutSuffix(name, "_count"); ok {
+			if _, isSize := s.scalars[base+"_p50"]; isSize {
+				if _, isDur := s.scalars[base+"_p50_ns"]; !isDur {
+					bases = append(bases, base)
+				}
+			}
+		}
+	}
+	sort.Strings(bases)
+	return bases
+}
+
 // isHistField reports whether name belongs to one of the histogram
-// families in bases, so the scalar table can skip it.
-func isHistField(name string, bases []string) bool {
+// families (duration fields for bases, unitless fields for sizeBases),
+// so the scalar table can skip it.
+func isHistField(name string, bases, sizeBases []string) bool {
 	for _, b := range bases {
 		if strings.HasPrefix(name, b+"_") {
 			switch strings.TrimPrefix(name, b+"_") {
 			case "count", "sum_ns", "max_ns", "p50_ns", "p95_ns", "p99_ns":
+				return true
+			}
+		}
+	}
+	for _, b := range sizeBases {
+		if strings.HasPrefix(name, b+"_") {
+			switch strings.TrimPrefix(name, b+"_") {
+			case "count", "sum", "max", "p50", "p99":
 				return true
 			}
 		}
@@ -130,11 +172,12 @@ func render(w io.Writer, addr string, cur, prev *sample) {
 	fmt.Fprintf(w, "kstat %s  %s\n\n", addr, cur.when.Format("15:04:05"))
 
 	bases := cur.histBases()
+	sizeBases := cur.sizeHistBases()
 	var names []string
 	for name := range cur.scalars {
 		// Labeled series (e.g. kprop_slave_lag{slave="..."}) render in
 		// their own panel, not the flat scalar table.
-		if !isHistField(name, bases) && !strings.Contains(name, "{") {
+		if !isHistField(name, bases, sizeBases) && !strings.Contains(name, "{") {
 			names = append(names, name)
 		}
 	}
@@ -166,6 +209,27 @@ func render(w io.Writer, addr string, cur, prev *sample) {
 				hiLabel = fmtDur(hi)
 			}
 			fmt.Fprintf(w, "    [%s … %s] %s\n", fmtDur(lo), hiLabel, sparkline(bs))
+		}
+	}
+
+	// Size histograms: batch widths, gather-window occupancy — unitless
+	// counts, so the quantiles and bounds render as plain integers.
+	for _, base := range sizeBases {
+		count := cur.scalars[base+"_count"]
+		fmt.Fprintf(w, "\n  %s  (n=%d)\n", base, count)
+		mean := ""
+		if count > 0 {
+			mean = fmt.Sprintf(" mean %-8.1f", float64(cur.scalars[base+"_sum"])/float64(count))
+		}
+		fmt.Fprintf(w, "    p50 %-10d p99 %-10d max %-10d%s\n",
+			cur.scalars[base+"_p50"], cur.scalars[base+"_p99"], cur.scalars[base+"_max"], mean)
+		if bs := cur.sizeBuckets[base]; len(bs) > 0 {
+			lo, hi := bs[0].leNS, bs[len(bs)-1].leNS
+			hiLabel := "+Inf"
+			if hi >= 0 {
+				hiLabel = strconv.FormatInt(hi, 10)
+			}
+			fmt.Fprintf(w, "    [%d … %s] %s\n", lo, hiLabel, sparkline(bs))
 		}
 	}
 }

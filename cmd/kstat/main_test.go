@@ -20,6 +20,11 @@ func snapshotText(t *testing.T) string {
 		h.Observe(12 * time.Microsecond)
 	}
 	h.Observe(9 * time.Millisecond)
+	var sh obs.SizeHistogram
+	reg.RegisterSizeHistogram("kdc_batch_size", &sh)
+	for _, n := range []int64{1, 1, 4, 17, 64} {
+		sh.Observe(n)
+	}
 	var b strings.Builder
 	if err := reg.WriteText(&b); err != nil {
 		t.Fatal(err)
@@ -45,6 +50,20 @@ func TestParseMetrics(t *testing.T) {
 	if got := s.histBases(); len(got) != 1 || got[0] != "kdc_as_latency" {
 		t.Errorf("histBases = %v", got)
 	}
+	// Size histograms parse into their own bucket map and base list.
+	if got := s.sizeHistBases(); len(got) != 1 || got[0] != "kdc_batch_size" {
+		t.Errorf("sizeHistBases = %v", got)
+	}
+	if s.scalars["kdc_batch_size_count"] != 5 || s.scalars["kdc_batch_size_max"] != 64 {
+		t.Errorf("size hist scalars = %v", s.scalars)
+	}
+	sbs := s.sizeBuckets["kdc_batch_size"]
+	if len(sbs) == 0 || sbs[len(sbs)-1].count != 5 {
+		t.Errorf("size buckets = %v", sbs)
+	}
+	if len(s.buckets["kdc_batch_size"]) != 0 {
+		t.Error("size buckets leaked into the duration bucket map")
+	}
 }
 
 func TestRender(t *testing.T) {
@@ -54,7 +73,10 @@ func TestRender(t *testing.T) {
 	var b strings.Builder
 	render(&b, "127.0.0.1:7600", cur, prev)
 	out := b.String()
-	for _, want := range []string{"kdc_as_requests", "10.0/s", "kdc_as_latency", "p99", "p50"} {
+	for _, want := range []string{
+		"kdc_as_requests", "10.0/s", "kdc_as_latency", "p99", "p50",
+		"kdc_batch_size", "mean 17.4",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}
@@ -63,6 +85,9 @@ func TestRender(t *testing.T) {
 	// scalar table.
 	if strings.Contains(out, "kdc_as_latency_p50_ns") {
 		t.Errorf("histogram field leaked into scalar table:\n%s", out)
+	}
+	if strings.Contains(out, "kdc_batch_size_p50") || strings.Contains(out, "kdc_batch_size_sum") {
+		t.Errorf("size histogram field leaked into scalar table:\n%s", out)
 	}
 }
 

@@ -1,0 +1,118 @@
+package des
+
+// Bitsliced DES core: 64 independent blocks, each under its own key, are
+// encrypted in one pass. The batch is held "sideways" — plane i is a
+// uint64 whose bit L carries bit i+1 (FIPS numbering, MSB first) of lane
+// L's block — so every boolean operation of the cipher acts on all 64
+// lanes at once.
+//
+// In this representation the bit-shuffling that dominates a scalar DES —
+// IP, E, P, FP, PC-1, the key rotations, PC-2 — costs nothing: a
+// permutation of bits is a relabeling of planes. Only the S-boxes remain,
+// and those run as boolean circuits (sbox_bitslice.go, generated from the
+// FIPS tables) over the planes. The key schedule collapses the same way:
+// PC-1, the per-round rotations, and PC-2 compose into bsSubkeyIdx, a
+// static table mapping each of the 768 subkey bits straight to a key-bit
+// plane, so per-lane keys need one 64×64 transpose and nothing else.
+//
+// The transposes in and out are the price of admission (~one boolean op
+// per block bit); they amortize once a pass carries more than a handful
+// of blocks. batch.go decides when that is worth it.
+
+// bsLanes is the lane count of the bitsliced core: one bit of a uint64
+// plane per lane.
+const bsLanes = 64
+
+// bsSubkeyIdx[r][i] is the plane index (0-based from the key's most
+// significant bit) of the key bit that becomes bit i+1 of round r's
+// 48-bit subkey. It composes PC-1, the cumulative left rotations of the
+// C and D halves, and PC-2 into a single relabeling, shared by all keys.
+var bsSubkeyIdx [16][48]uint8
+
+func init() {
+	// cd[p] is the 0-based key-bit index sitting at CD position p before
+	// any rotation (PC-1).
+	var cd [56]byte
+	for p := 0; p < 56; p++ {
+		cd[p] = permutedChoice1[p] - 1
+	}
+	rot := 0
+	for r := 0; r < 16; r++ {
+		rot += int(keyRotations[r])
+		for i := 0; i < 48; i++ {
+			// Position in CD selected by PC-2, unrotated within its half:
+			// a left rotation by rot means position p reads from p+rot.
+			p := int(permutedChoice2[i]) - 1
+			var q int
+			if p < 28 {
+				q = (p + rot) % 28
+			} else {
+				q = 28 + (p-28+rot)%28
+			}
+			bsSubkeyIdx[r][i] = cd[q]
+		}
+	}
+}
+
+// transpose64 transposes a, viewed as a 64×64 bit matrix with a[r]'s most
+// significant bit as column 0. It is its own inverse. (The recursive
+// block-swap formulation of Hacker's Delight §7-3, six levels of masked
+// exchanges.)
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000ffffffff)
+	for j := 32; j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (a[k] ^ (a[k+j] >> uint(j))) & m
+			a[k] ^= t
+			a[k+j] ^= t << uint(j)
+		}
+		m ^= m << uint(j>>1)
+	}
+}
+
+// bsCrypt runs the DES cipher over the 64 lanes of p, each lane keyed by
+// its own column of the key planes kp. p holds bit planes on entry (plane
+// i = block bit i+1 across lanes) and bit planes of the result on exit;
+// kp is the transpose of the lanes' 8-byte keys, as built by bsLoadKeys.
+func bsCrypt(p *[64]uint64, kp *[64]uint64, decrypt bool) {
+	// The initial permutation is a relabeling: round state plane i of L
+	// is input plane IP(i).
+	var a, b [32]uint64
+	for i := 0; i < 32; i++ {
+		a[i] = p[initialPermutation[i]-1]
+		b[i] = p[initialPermutation[32+i]-1]
+	}
+	// Each bsFeistel XORs f(R) into L, making it the next round's R; the
+	// pointer swap is the Feistel crossover.
+	l, r := &a, &b
+	if decrypt {
+		for i := 15; i >= 0; i-- {
+			bsFeistel(l, r, kp, &bsSubkeyIdx[i])
+			l, r = r, l
+		}
+	} else {
+		for i := 0; i < 16; i++ {
+			bsFeistel(l, r, kp, &bsSubkeyIdx[i])
+			l, r = r, l
+		}
+	}
+	// Pre-output swap and final permutation, again as relabelings: the
+	// pre-output's bits 1..32 come from R, 33..64 from L.
+	for i := 0; i < 64; i++ {
+		f := int(finalPermutation[i]) - 1
+		if f < 32 {
+			p[i] = r[f]
+		} else {
+			p[i] = l[f-32]
+		}
+	}
+}
+
+// bsPackKey packs a key into the lane word a caller stores before
+// transposing the lane keys into key planes. The packed word — and the
+// planes made from it — are key material and must be wiped after use.
+func bsPackKey(k Key) uint64 {
+	return uint64(k[0])<<56 | uint64(k[1])<<48 | uint64(k[2])<<40 |
+		uint64(k[3])<<32 | uint64(k[4])<<24 | uint64(k[5])<<16 |
+		uint64(k[6])<<8 | uint64(k[7])
+}

@@ -21,17 +21,23 @@ func QuadChecksum(key Key, data []byte) uint32 {
 	z := seed & prime
 	z2 := (seed >> 32) & prime
 
-	// Process in 4-byte words; a short trailing word is zero-extended.
-	for i := 0; i < len(data); i += 4 {
-		var w uint32
-		for j := 0; j < 4 && i+j < len(data); j++ {
-			w |= uint32(data[i+j]) << uint(8*j)
-		}
+	// Process whole 4-byte words with direct loads; the short trailing
+	// word, if any, is zero-extended byte by byte.
+	n := len(data) &^ 3
+	for i := 0; i < n; i += 4 {
 		// x = (z + w) mod p ; then the quadratic step
 		// z = (x^2 + z2^2) mod p ; z2 = x.
+		x := (z + uint64(binary.LittleEndian.Uint32(data[i:]))) % prime
+		z = (mulmod(x, x) + mulmod(z2, z2)) % prime
+		z2 = x
+	}
+	if n < len(data) {
+		var w uint32
+		for j, b := range data[n:] {
+			w |= uint32(b) << uint(8*j)
+		}
 		x := (z + uint64(w)) % prime
-		x2 := z2
-		z = (mulmod(x, x) + mulmod(x2, x2)) % prime
+		z = (mulmod(x, x) + mulmod(z2, z2)) % prime
 		z2 = x
 	}
 	return uint32(z)

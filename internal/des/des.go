@@ -39,7 +39,8 @@ var ErrInput = errors.New("des: input not a multiple of the block size")
 // after creation and never mutated, so one Cipher may be shared freely —
 // see SchedCache for reusing expansions of long-lived keys.
 type Cipher struct {
-	subkeys [16]uint64
+	subkeys [16]uint64 // the 48-bit round subkeys, MSB-aligned in the low 48 bits
+	ks      [32]uint32 // the same subkeys as window-positioned word pairs (fast.go)
 	key     Key
 }
 
@@ -89,6 +90,7 @@ func (c *Cipher) expandKey(key Key) {
 		dHalf = rotate28(dHalf, keyRotations[round])
 		c.subkeys[round] = permute(cHalf<<28|dHalf, 56, permutedChoice2[:])
 	}
+	c.expandRoundWords()
 }
 
 // feistel is the DES cipher function f(R, K).

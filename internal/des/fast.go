@@ -1,12 +1,30 @@
 package des
 
+import "math/bits"
+
 // Precomputed lookup tables, built once at init from the FIPS tables in
-// tables.go. This is the classic software-DES optimization the 1988
-// libdes generation used: fold the P permutation into the S-boxes
-// ("SP boxes") and turn the bit permutations IP, IP⁻¹ and E into
-// byte-indexed table ORs. The straightforward bit-by-bit permute() in
-// des.go remains the reference implementation; TestFastTablesMatchSpec
-// cross-checks them and the FIPS/stdlib vectors validate the result.
+// tables.go, and the table-driven cipher core that uses them. This is
+// the classic software-DES optimization lineage of the 1988 libdes
+// generation, taken one step further than SP boxes alone:
+//
+//   - The P permutation is folded into the S-boxes ("SP boxes"), so a
+//     round's nonlinear step is eight table lookups ORed together.
+//   - The E expansion is never materialized. E replicates each 4-bit
+//     group's neighbours, so its eight overlapping 6-bit windows split
+//     into two sets of four *disjoint* windows: the even windows read
+//     directly from R rotated right by one bit, the odd windows from
+//     that word rotated left four more. Each round therefore XORs two
+//     pre-positioned 32-bit key words and extracts eight 6-bit indices
+//     with plain shifts — no expansion tables, 8 loads per round
+//     instead of 12.
+//   - The key schedule is stored twice: as the 16 48-bit subkeys
+//     (subkeys, the format the reference core and the bitsliced core
+//     derive from) and as 32 window-positioned 32-bit words (ks, what
+//     the round above consumes).
+//
+// The straightforward bit-by-bit permute() in des.go remains the
+// reference implementation; TestFastMatchesReference cross-checks the
+// two and the FIPS/stdlib vectors validate the result.
 
 var (
 	// spBox[i][v] is S-box i applied to the 6-bit value v, already run
@@ -18,10 +36,6 @@ var (
 	// the final permutation.
 	ipTab [8][256]uint64
 	fpTab [8][256]uint64
-
-	// expTab[b][v] is the contribution of byte b of the 32-bit half
-	// block to the 48-bit expansion E.
-	expTab [4][256]uint64
 )
 
 func init() {
@@ -45,12 +59,6 @@ func init() {
 			fpTab[b][v] = permute(in, 64, finalPermutation[:])
 		}
 	}
-	for b := 0; b < 4; b++ {
-		for v := 0; v < 256; v++ {
-			in := uint64(v) << uint(24-8*b)
-			expTab[b][v] = permute(in, 32, expansion[:])
-		}
-	}
 }
 
 // permuteIP applies the initial permutation via tables.
@@ -67,14 +75,35 @@ func permuteFP(v uint64) uint64 {
 		fpTab[6][v>>8&0xff] | fpTab[7][v&0xff]
 }
 
-// feistelFast is f(R, K) with table-driven expansion and SP boxes.
-func feistelFast(r uint32, subkey uint64) uint32 {
-	x := (expTab[0][r>>24] | expTab[1][r>>16&0xff] |
-		expTab[2][r>>8&0xff] | expTab[3][r&0xff]) ^ subkey
-	return spBox[0][x>>42&0x3f] | spBox[1][x>>36&0x3f] |
-		spBox[2][x>>30&0x3f] | spBox[3][x>>24&0x3f] |
-		spBox[4][x>>18&0x3f] | spBox[5][x>>12&0x3f] |
-		spBox[6][x>>6&0x3f] | spBox[7][x&0x3f]
+// expandRoundWords derives ks, the window-positioned round-key words,
+// from the 48-bit subkeys. E's eight 6-bit windows cover, in the
+// cyclic bit sequence (32, 1, 2, ..., 31) of R, positions 4j..4j+5 for
+// window j. With R2 = R rotated right by one (so R2's MSB is bit 32),
+// the even windows j = 0,2,4,6 are the disjoint 6-bit fields of R2 at
+// shifts 26,18,10,2; the odd windows are the same fields of R2 rotated
+// left by four. Each round key is split the same way so one XOR per
+// word aligns key and data.
+func (c *Cipher) expandRoundWords() {
+	for r := 0; r < 16; r++ {
+		k := c.subkeys[r]
+		c.ks[2*r] = uint32(k>>42&0x3f)<<26 | uint32(k>>30&0x3f)<<18 |
+			uint32(k>>18&0x3f)<<10 | uint32(k>>6&0x3f)<<2
+		c.ks[2*r+1] = uint32(k>>36&0x3f)<<26 | uint32(k>>24&0x3f)<<18 |
+			uint32(k>>12&0x3f)<<10 | uint32(k&0x3f)<<2
+	}
+}
+
+// round is one Feistel round on (l, r) with the two window-positioned
+// key words, returning the new (l, r).
+func round(l, r, ku, kt uint32) (uint32, uint32) {
+	r2 := bits.RotateLeft32(r, 31)
+	u := r2 ^ ku
+	t := bits.RotateLeft32(r2, 4) ^ kt
+	f := spBox[0][u>>26] | spBox[2][u>>18&0x3f] |
+		spBox[4][u>>10&0x3f] | spBox[6][u>>2&0x3f] |
+		spBox[1][t>>26] | spBox[3][t>>18&0x3f] |
+		spBox[5][t>>10&0x3f] | spBox[7][t>>2&0x3f]
+	return r, l ^ f
 }
 
 // cryptFast is the table-driven cipher core used by all block
@@ -83,13 +112,14 @@ func (c *Cipher) cryptFast(block uint64, decrypt bool) uint64 {
 	v := permuteIP(block)
 	l := uint32(v >> 32)
 	r := uint32(v)
+	ks := &c.ks
 	if decrypt {
-		for round := 15; round >= 0; round-- {
-			l, r = r, l^feistelFast(r, c.subkeys[round])
+		for i := 30; i >= 0; i -= 2 {
+			l, r = round(l, r, ks[i], ks[i+1])
 		}
 	} else {
-		for round := 0; round < 16; round++ {
-			l, r = r, l^feistelFast(r, c.subkeys[round])
+		for i := 0; i < 32; i += 2 {
+			l, r = round(l, r, ks[i], ks[i+1])
 		}
 	}
 	return permuteFP(uint64(r)<<32 | uint64(l))

@@ -64,13 +64,28 @@ func HasOddParity(k Key) bool {
 	return subtle.ConstantTimeCompare(k[:], fp[:]) == 1
 }
 
+// weakKeys64 is weakKeys as big-endian words, for the word-wide
+// constant-time scan in IsWeak.
+var weakKeys64 = func() [16]uint64 {
+	var w [16]uint64
+	for i := range weakKeys {
+		w[i] = binary.BigEndian.Uint64(weakKeys[i][:])
+	}
+	return w
+}()
+
 // IsWeak reports whether k is one of the weak or semi-weak DES keys.
 // Every entry is compared in constant time so the scan's duration does
-// not depend on the candidate key's value.
+// not depend on the candidate key's value: each comparison is a single
+// branch-free word test, and all sixteen always run.
 func IsWeak(k Key) bool {
-	match := 0
-	for i := range weakKeys {
-		match |= subtle.ConstantTimeCompare(k[:], weakKeys[i][:])
+	kw := binary.BigEndian.Uint64(k[:])
+	match := uint64(0)
+	for i := range weakKeys64 {
+		d := kw ^ weakKeys64[i]
+		// (d | -d) has its top bit set exactly when d is nonzero, so
+		// this adds 1 for a match and 0 otherwise, without branching.
+		match |= ^(d | -d) >> 63
 	}
 	return match == 1
 }

@@ -41,6 +41,12 @@ type Metrics struct {
 	// including requests answered with an error reply.
 	ASLatency  obs.Histogram
 	TGSLatency obs.Histogram
+	// BatchSizes distributes HandleBatch call sizes — how many requests
+	// each drained burst actually carried (1 = scalar fast path).
+	BatchSizes obs.SizeHistogram
+	// GatherOccupancy distributes how full the UDP gather window was on
+	// each drain, before the batch cap was applied.
+	GatherOccupancy obs.SizeHistogram
 }
 
 // register attaches every field to reg under the kdc_ prefix.
@@ -52,6 +58,19 @@ func (m *Metrics) register(reg *obs.Registry) {
 	reg.RegisterCounter("kdc_udp_overflows", &m.UDPOverflows)
 	reg.RegisterHistogram("kdc_as_latency", &m.ASLatency)
 	reg.RegisterHistogram("kdc_tgs_latency", &m.TGSLatency)
+	reg.RegisterSizeHistogram("kdc_batch_size", &m.BatchSizes)
+	reg.RegisterSizeHistogram("kdc_batch_gather_occupancy", &m.GatherOccupancy)
+	// Library-wide crypto counters: how often batched seal/unseal work
+	// went through the bitsliced cipher versus falling back to scalar
+	// per-message operations (below-threshold batches).
+	reg.GaugeFunc("kdc_batch_bitslice_passes", func() int64 {
+		p, _ := des.BatchCounters()
+		return int64(p)
+	})
+	reg.GaugeFunc("kdc_batch_scalar_ops", func() int64 {
+		_, s := des.BatchCounters()
+		return int64(s)
+	})
 }
 
 // Server is an authentication server for one realm.

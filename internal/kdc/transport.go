@@ -8,8 +8,8 @@ import (
 	"io"
 	"math/rand"
 	"net"
-	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kerberos/internal/core"
@@ -20,9 +20,18 @@ import (
 // a TCP listener with length-prefixed framing serves large messages and
 // clients behind stream-only paths. Both feed Server.Handle.
 //
-// The UDP socket is drained by several reader goroutines, each owning a
-// reusable packet buffer — requests are handled and answered without a
-// per-packet allocation or copy (Server.Handle never retains its input).
+// The UDP path is a two-stage ring: one reader goroutine drains the
+// socket into a fixed ring of packet slots, and one handler goroutine
+// drains the ring in bursts through Server.HandleBatch, so a loaded
+// socket naturally presents multi-request batches to the bitsliced
+// crypto engine. A lone datagram flows straight through (HandleBatch's
+// depth-1 fast path is the scalar Handle), so idle-load latency is the
+// same as a direct dispatch. Replies are written back coalesced, one
+// sendto per datagram — portable stdlib I/O; without golang.org/x/sys
+// there is no recvmmsg/sendmmsg, so the batching win here is in the
+// crypto and the handoff, not in syscall count. If the handler falls
+// behind and the ring fills, the reader serves datagrams inline — the
+// kernel socket buffer, not an unbounded queue, is the backpressure.
 // TCP connections are capped by a semaphore and every read carries a
 // deadline, so a stalled or hostile client can neither pin a goroutine
 // forever nor exhaust the server's slot budget.
@@ -40,37 +49,64 @@ var (
 	// tcpReadTimeout bounds one framed read; an idle or stalled client
 	// is disconnected and its slot freed.
 	tcpReadTimeout = 30 * time.Second
-	// maxUDPReply is the largest reply serveUDP will put in a datagram;
-	// larger replies become the "retry over TCP" signal. Tests shrink it
-	// to force the oversized path with ordinary messages.
+	// maxUDPReply is the largest reply the UDP path will put in a
+	// datagram; larger replies become the "retry over TCP" signal. Tests
+	// shrink it to force the oversized path with ordinary messages.
 	maxUDPReply = MaxUDPMessage
+	// maxUDPBatch caps how many ring slots one HandleBatch call drains;
+	// des batches beyond 64 lanes split into multiple passes anyway, and
+	// a bounded drain keeps first-reply latency flat under floods.
+	maxUDPBatch = 64
+	// udpGatherWindow is how long the handler lingers after finding a
+	// non-full burst, letting more datagrams join the batch. Zero (the
+	// default) never delays: batching then comes only from genuine
+	// arrival concurrency, so a lone request pays no gather latency.
+	// Throughput experiments can trade a bounded delay for wider
+	// bitsliced passes.
+	udpGatherWindow time.Duration = 0
 )
 
+// udpRingSize is the slot count of the reader→handler ring (a power of
+// two). 256 slots of MaxUDPMessage is 2 MiB of packet buffers, owned
+// for the listener's lifetime.
+const (
+	udpRingSize = 256
+	udpRingMask = udpRingSize - 1
+)
+
+// udpSlot is one ring entry: a received datagram and where it came from.
+type udpSlot struct {
+	n    int
+	from *net.UDPAddr
+	buf  [MaxUDPMessage]byte
+}
+
+// udpRing is the single-producer single-consumer queue between the
+// socket reader and the batch handler. The reader owns head, the
+// handler owns tail; both are plain atomics, so neither side ever takes
+// a lock. Slot contents are published by the head store and released by
+// the tail store.
+type udpRing struct {
+	head  atomic.Uint64
+	tail  atomic.Uint64
+	slots [udpRingSize]udpSlot
+}
+
 // udpOverflowReply is the pre-encoded "response too big, use TCP" error
-// a UDP reader sends in place of a reply that exceeds maxUDPReply.
+// the UDP path sends in place of a reply that exceeds maxUDPReply.
 var udpOverflowReply = (&core.ErrorMessage{
 	Code: core.ErrReplyTooBig,
 	Text: "reply exceeds the UDP limit, retry over TCP",
 }).Encode()
 
-// udpReaderCount picks how many goroutines drain the UDP socket.
-func udpReaderCount() int {
-	n := runtime.GOMAXPROCS(0)
-	if n > 8 {
-		n = 8
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
 // Listener runs a Server on real sockets.
 type Listener struct {
 	server *Server
 
-	udp *net.UDPConn
-	tcp net.Listener
+	udp     *net.UDPConn
+	tcp     net.Listener
+	ring    *udpRing
+	udpWake chan struct{} // cap 1; reader nudges, closes on exit
 
 	tcpSem      chan struct{} // counting semaphore: live TCP conns
 	readTimeout time.Duration
@@ -110,16 +146,16 @@ func Serve(server *Server, addr string) (*Listener, error) {
 		server:      server,
 		udp:         udp,
 		tcp:         tcp,
+		ring:        new(udpRing),
+		udpWake:     make(chan struct{}, 1),
 		tcpSem:      make(chan struct{}, maxTCPConns),
 		readTimeout: tcpReadTimeout,
 		ctx:         ctx,
 		cancel:      cancel,
 	}
-	readers := udpReaderCount()
-	l.wg.Add(readers + 1)
-	for i := 0; i < readers; i++ {
-		go l.serveUDP()
-	}
+	l.wg.Add(3)
+	go l.udpReader()
+	go l.udpHandler()
 	go l.serveTCP()
 	return l, nil
 }
@@ -136,38 +172,105 @@ func (l *Listener) Close() error {
 	return nil
 }
 
-// serveUDP is one UDP reader. Several run concurrently over the shared
-// socket; the kernel hands each datagram to exactly one of them. The
-// request buffer is reused across packets: Server.Handle fully decodes
-// the message (copying what it keeps) before returning, so the next
-// read may overwrite it.
-func (l *Listener) serveUDP() {
+// udpReader is the ring's single producer: it reads each datagram
+// directly into the next free slot's buffer — no copy between the
+// socket and the batch — publishes it with the head store, and nudges
+// the handler. When the ring is full the handler is saturated, so the
+// reader serves the datagram inline with the scalar path instead of
+// dropping it or queueing without bound; while it does, the kernel
+// socket buffer absorbs the burst.
+func (l *Listener) udpReader() {
 	defer l.wg.Done()
-	buf := make([]byte, MaxUDPMessage)
+	defer close(l.udpWake)
+	spare := make([]byte, MaxUDPMessage)
 	for {
-		n, from, err := l.udp.ReadFromUDP(buf)
+		h := l.ring.head.Load()
+		if h-l.ring.tail.Load() < udpRingSize {
+			slot := &l.ring.slots[h&udpRingMask]
+			n, from, err := l.udp.ReadFromUDP(slot.buf[:])
+			if err != nil {
+				if l.ctx.Err() != nil {
+					return
+				}
+				continue
+			}
+			slot.n, slot.from = n, from
+			l.ring.head.Store(h + 1)
+			select {
+			case l.udpWake <- struct{}{}:
+			default:
+			}
+			continue
+		}
+		n, from, err := l.udp.ReadFromUDP(spare)
 		if err != nil {
 			if l.ctx.Err() != nil {
 				return
 			}
 			continue
 		}
-		reply := l.server.Handle(buf[:n], addrOf(from.IP))
-		if len(reply) == 0 {
-			// Nothing to say; never emit an empty datagram (a zero-length
-			// UDP write is delivered and would confuse the client's read
-			// loop into parsing an empty message).
+		l.writeUDPReply(l.server.Handle(spare[:n], addrOf(from.IP)), from)
+	}
+}
+
+// udpHandler is the ring's single consumer: it drains whatever burst
+// has accumulated — up to maxUDPBatch slots — into one HandleBatch
+// call, writes the replies back, and releases the slots. Batch width is
+// set by genuine arrival concurrency unless udpGatherWindow adds a
+// bounded linger; the window occupancy is observed either way so the
+// operator can see how wide the bursts actually run.
+//
+//kerb:clockadapter -- the optional gather linger is a wall-clock I/O pacing delay, not protocol time
+func (l *Listener) udpHandler() {
+	defer l.wg.Done()
+	batch := make([]BatchRequest, maxUDPBatch)
+	for {
+		t := l.ring.tail.Load()
+		avail := l.ring.head.Load() - t
+		if avail == 0 {
+			if _, ok := <-l.udpWake; !ok && l.ring.head.Load() == t {
+				return // reader gone and ring drained
+			}
 			continue
 		}
-		if len(reply) > maxUDPReply {
-			// The answer cannot travel as a datagram. Historically the
-			// reply was silently dropped and the client burned its whole
-			// timeout; instead tell it explicitly to retry over TCP.
-			l.server.metrics.UDPOverflows.Inc()
-			reply = udpOverflowReply
+		if udpGatherWindow > 0 && avail < uint64(maxUDPBatch) {
+			time.Sleep(udpGatherWindow)
+			avail = l.ring.head.Load() - t
 		}
-		l.udp.WriteToUDP(reply, from)
+		l.server.metrics.GatherOccupancy.Observe(int64(avail))
+		n := int(avail)
+		if n > maxUDPBatch {
+			n = maxUDPBatch
+		}
+		for i := 0; i < n; i++ {
+			slot := &l.ring.slots[(t+uint64(i))&udpRingMask]
+			batch[i] = BatchRequest{Msg: slot.buf[:slot.n], From: addrOf(slot.from.IP)}
+		}
+		l.server.HandleBatch(batch[:n])
+		for i := 0; i < n; i++ {
+			slot := &l.ring.slots[(t+uint64(i))&udpRingMask]
+			l.writeUDPReply(batch[i].Reply, slot.from)
+			batch[i] = BatchRequest{} // drop buffer references before release
+		}
+		l.ring.tail.Store(t + uint64(n))
 	}
+}
+
+// writeUDPReply sends one reply datagram, applying the shared rules:
+// never emit an empty datagram (a zero-length UDP write is delivered
+// and would confuse the client's read loop into parsing an empty
+// message), and replace an answer that cannot travel as a datagram with
+// the explicit "retry over TCP" signal — historically the reply was
+// silently dropped and the client burned its whole timeout.
+func (l *Listener) writeUDPReply(reply []byte, to *net.UDPAddr) {
+	if len(reply) == 0 {
+		return
+	}
+	if len(reply) > maxUDPReply {
+		l.server.metrics.UDPOverflows.Inc()
+		reply = udpOverflowReply
+	}
+	l.udp.WriteToUDP(reply, to)
 }
 
 // serveTCP accepts connections, each occupying one semaphore slot for

@@ -208,6 +208,7 @@ type entry struct {
 	g  *Gauge
 	gf func() int64
 	h  *Histogram
+	sh *SizeHistogram
 }
 
 // NewRegistry creates an empty registry.
@@ -336,6 +337,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %d\n", name, e.gf())
 		case e.h != nil:
 			writeHistogramText(&b, name, e.h.Snapshot())
+		case e.sh != nil:
+			writeSizeHistogramText(&b, name, e.sh.Snapshot())
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -186,11 +186,14 @@ func TestHotPathAllocs(t *testing.T) {
 	c := reg.Counter("c")
 	g := reg.Gauge("g")
 	h := reg.Histogram("h")
+	var sh SizeHistogram
+	reg.RegisterSizeHistogram("sh", &sh)
 	allocs := testing.AllocsPerRun(100, func() {
 		c.Inc()
 		c.Add(2)
 		g.Set(4)
 		h.Observe(123 * time.Microsecond)
+		sh.Observe(17)
 	})
 	if allocs != 0 {
 		t.Errorf("hot-path metric ops allocate %v times per run, want 0", allocs)
@@ -223,5 +226,60 @@ func TestConcurrentObserve(t *testing.T) {
 	}
 	if total != workers*per {
 		t.Errorf("bucket sum = %d", total)
+	}
+}
+
+// TestSizeHistogram exercises the unitless histogram: bucketing, the
+// snapshot statistics, and the text rendering's le= bucket lines.
+func TestSizeHistogram(t *testing.T) {
+	var h SizeHistogram
+	for _, n := range []int64{-3, 0, 1, 1, 2, 3, 17, 64, 5000} {
+		h.Observe(n)
+	}
+	s := h.Snapshot()
+	if s.Count != 9 {
+		t.Errorf("count = %d, want 9", s.Count)
+	}
+	if s.Max != 5000 {
+		t.Errorf("max = %d, want 5000", s.Max)
+	}
+	if s.Sum != 1+1+2+3+17+64+5000 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+	if got := s.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %d, want 2", got)
+	}
+	if got := s.Quantile(1); got != 5000 {
+		t.Errorf("p100 = %d, want 5000 (overflow reports max)", got)
+	}
+	// Bucketing: 3 lands in the le=4 bucket, 17 in le=32, 64 in le=64.
+	for _, c := range []struct {
+		n   int64
+		idx int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {17, 5}, {64, 6}, {1024, 10}, {5000, SizeHistBuckets - 1},
+	} {
+		if got := sizeBucketIndex(c.n); got != c.idx {
+			t.Errorf("sizeBucketIndex(%d) = %d, want %d", c.n, got, c.idx)
+		}
+	}
+	reg := NewRegistry()
+	reg.RegisterSizeHistogram("batch_size", &h)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"batch_size_count 9\n",
+		"batch_size_max 5000\n",
+		"batch_size_p50 2\n",
+		`batch_size_bucket{le="1"} 4`,
+		`batch_size_bucket{le="64"} 8`,
+		`batch_size_bucket{le="+Inf"} 9`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WriteText missing %q in:\n%s", want, text)
+		}
 	}
 }

@@ -13,12 +13,14 @@ OUT="BENCH_kdc.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "== go test -bench 'Fig5|Fig8|S9|KDCParallel|ReplayContention' (count=$COUNT)"
+echo "== go test -bench 'Fig5|Fig8|S9|KDCParallel|KDCBatch|ReplayContention' (count=$COUNT)"
 go test -run '^$' -benchmem -count="$COUNT" \
-    -bench 'Fig5InitialTicket|Fig8ServerTicket|S9AthenaScale|KDCParallelAS|KDCParallelTGS' \
+    -bench 'Fig5InitialTicket|Fig8ServerTicket|S9AthenaScale|KDCParallelAS|KDCParallelTGS|KDCBatchAS|KDCBatchedUDP' \
     . | tee "$RAW"
 go test -run '^$' -benchmem -count="$COUNT" \
     -bench 'ReplayContention' ./internal/replay/ | tee -a "$RAW"
+go test -run '^$' -benchmem -count="$COUNT" \
+    -bench 'BitsliceDES|ScalarDES|SealBatch64|SealSerial64' ./internal/des/ | tee -a "$RAW"
 
 # Fold the raw `go test` benchmark lines into JSON, keeping the minimum
 # ns/op observed per benchmark (with its paired B/op and allocs/op).
@@ -50,3 +52,27 @@ END {
 
 echo "== wrote $OUT"
 cat "$OUT"
+
+# Headline ratios for the bitsliced-DES work: cipher-core speedup, the
+# batched seal win, and the per-request win of the batched KDC pipeline
+# (a 64-wide HandleBatch) over the scalar path.
+awk -F'[:,]' '
+/"ns_op"/ {
+    name = $1; gsub(/[" ]/, "", name)
+    ns[name] = $3 + 0
+}
+END {
+    if (ns["BenchmarkScalarDES"] && ns["BenchmarkBitsliceDES"])
+        # BitsliceDES ns/op covers one full 64-block pass; per block is /64.
+        printf "== bitslice vs scalar DES:  %.2fx  (%d -> %d ns per block)\n",
+            ns["BenchmarkScalarDES"] / (ns["BenchmarkBitsliceDES"] / 64),
+            ns["BenchmarkScalarDES"], ns["BenchmarkBitsliceDES"] / 64
+    if (ns["BenchmarkSealSerial64"] && ns["BenchmarkSealBatch64"])
+        printf "== batched vs serial Seal:  %.2fx  (%d -> %d ns/op per 64-message batch)\n",
+            ns["BenchmarkSealSerial64"] / ns["BenchmarkSealBatch64"],
+            ns["BenchmarkSealSerial64"], ns["BenchmarkSealBatch64"]
+    if (ns["BenchmarkKDCParallelAS"] && ns["BenchmarkKDCBatchAS"])
+        printf "== batched KDC AS pipeline: %.2fx per request  (%d ns/op scalar vs %d ns/req batched)\n",
+            ns["BenchmarkKDCParallelAS"] / (ns["BenchmarkKDCBatchAS"] / 64),
+            ns["BenchmarkKDCParallelAS"], ns["BenchmarkKDCBatchAS"] / 64
+}' "$OUT"
