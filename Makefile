@@ -1,7 +1,7 @@
 # Development targets. The repo is pure Go with no dependencies; every
 # target is a thin wrapper so CI and humans run the same commands.
 
-.PHONY: build test race vet lint bench verify ci fuzz cover
+.PHONY: build test race race-regress vet lint bench verify ci fuzz cover
 
 build:
 	go build ./...
@@ -11,6 +11,15 @@ test:
 
 race:
 	go test -race ./...
+
+# The concurrency regressions (FileStore lost-update, segment-log crash
+# recovery, sharded propagation, the KDC cluster) under the race
+# detector with forced parallelism — GOMAXPROCS=4 surfaces the
+# interleavings these tests exist for even on single-CPU boxes.
+race-regress:
+	GOMAXPROCS=4 go test -race -count=1 \
+		-run 'TestFileStorePersistRace|TestSegment|TestSharded|TestShardCount|TestCluster' \
+		./internal/kdb/ ./internal/kprop/ ./internal/kdc/
 
 vet:
 	go vet ./...

@@ -20,11 +20,14 @@ package kerberos
 import (
 	"fmt"
 	"net"
+	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"kerberos/internal/client"
 	"kerberos/internal/core"
 	"kerberos/internal/des"
 	"kerberos/internal/kadm"
@@ -934,5 +937,169 @@ func TestT1LifetimeTable(t *testing.T) {
 		4 * time.Hour, 8 * time.Hour, 21 * time.Hour} {
 		kinits, touches := env.simulateWorkday(t, life)
 		t.Logf("%-12v %-18d %-18v (touches=%d)", life, kinits, life, touches)
+	}
+}
+
+// --- §9 at a-thousand-times scale ---------------------------------------
+
+// s9x1000State holds the (expensive) S9x1000 fixture, built once per
+// test binary: a 16-shard master with the full population, a sharded
+// read-only replica fed by kprop, and a 3-instance KDC cluster over the
+// replica.
+var s9x1000State struct {
+	once      sync.Once
+	err       error
+	spec      workload.Spec
+	master    *kdb.Database
+	replica   *kdb.Database
+	propAddr  string
+	cluster   *kdc.Cluster
+	selectors []*kdc.Selector
+}
+
+// s9x1000Spec scales §9 by 1000: 5M users, 650k workstations, 65k
+// services. KERB_S9X1000_SCALE divides the population for smoke runs
+// (e.g. =1000 gives the classic Athena population).
+func s9x1000Spec() workload.Spec {
+	spec := workload.Spec{Users: 5_000_000, Workstations: 650_000, Services: 65_000, Seed: 9}
+	if div := os.Getenv("KERB_S9X1000_SCALE"); div != "" {
+		var d int
+		fmt.Sscanf(div, "%d", &d)
+		if d > 1 {
+			spec.Users /= d
+			spec.Workstations /= d
+			spec.Services /= d
+		}
+	}
+	return spec
+}
+
+func s9x1000Setup() error {
+	s := &s9x1000State
+	s.once.Do(func() {
+		s.spec = s9x1000Spec()
+		const shards = 16
+		newSharded := func() *kdb.Database {
+			stores := make([]kdb.Store, shards)
+			for i := range stores {
+				stores[i] = kdb.NewMemStore()
+			}
+			return kdb.NewSharded(client.PasswordKey(
+				core.Principal{Name: "K", Instance: "M", Realm: benchRealm}, "master"), stores)
+		}
+		s.master = newSharded()
+		now := time.Now()
+		tgsKey, err := des.NewRandomKey()
+		if err != nil {
+			s.err = err
+			return
+		}
+		if err := s.master.Add(core.TGSName, benchRealm, tgsKey, 0, "kdb_init", now); err != nil {
+			s.err = err
+			return
+		}
+		clear(tgsKey[:])
+		if s.err = workload.Install(s.master, s.spec, benchRealm, now); s.err != nil {
+			return
+		}
+		// Seed the replica shard by shard — the same per-shard dumps
+		// kprop v3 ships, without paying for sockets on 300+ MB of dump.
+		s.replica = newSharded()
+		for i := 0; i < shards; i++ {
+			if s.err = s.replica.LoadDumpShard(i, s.master.DumpShard(i)); s.err != nil {
+				return
+			}
+		}
+		s.replica.SetReadOnly(true)
+		slave := kprop.NewSlave(s.replica, nil)
+		l, err := kprop.Serve(slave, "127.0.0.1:0")
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.propAddr = l.Addr()
+		// Three KDC instances over the replica, with one sticky selector
+		// per instance; the driver round-robins sessions across them.
+		s.cluster, s.err = kdc.NewCluster(benchRealm, s.replica, 3)
+		if s.err != nil {
+			return
+		}
+		for i := 0; i < len(s.cluster.Addrs()); i++ {
+			s.selectors = append(s.selectors, s.cluster.Selector())
+		}
+	})
+	return s.err
+}
+
+// BenchmarkS9x1000 is the scaling headline: the §9 deployment a
+// thousand times over — 5,000,000 principals on 650,000 workstations —
+// served by a sharded principal database behind a load-balanced
+// 3-instance KDC cluster, with kprop v3 shipping per-shard deltas to
+// the replica. One iteration is one user session (AS + three TGS over
+// real UDP sockets). Reported alongside ns/op: sessions/s throughput,
+// client-observed p99 per exchange, and the master→replica propagation
+// lag for a 1,000-user churn round.
+func BenchmarkS9x1000(b *testing.B) {
+	if err := s9x1000Setup(); err != nil {
+		b.Fatal(err)
+	}
+	s := &s9x1000State
+	var pick atomic.Uint64
+	d := &workload.Driver{
+		Spec: s.spec, Realm: benchRealm,
+		Exchange: func(req []byte) ([]byte, error) {
+			sel := s.selectors[int(pick.Add(1))%len(s.selectors)]
+			return sel.Exchange(req, 10*time.Second)
+		},
+		Addr:            core.Addr{127, 0, 0, 1},
+		TicketsPerLogin: 3,
+	}
+	m := &workload.Metrics{}
+	var next atomic.Uint64
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			// Stride through the population so successive sessions hit
+			// different shards and different decrypted-key cache lines.
+			i := int(next.Add(1)*104_729) % s.spec.Users
+			if err := d.RunUser(i, m); err != nil {
+				b.Fatalf("user %d: %v", i, err)
+			}
+		}
+	})
+	b.StopTimer()
+	elapsed := time.Since(start)
+	if f := m.Failures.Load(); f != 0 {
+		b.Fatalf("%d failures", f)
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "sessions/s")
+	as, tgs := m.ASLatency.Snapshot(), m.TGSLatency.Snapshot()
+	b.ReportMetric(float64(as.Quantile(0.99).Nanoseconds()), "as-p99-ns")
+	b.ReportMetric(float64(tgs.Quantile(0.99).Nanoseconds()), "tgs-p99-ns")
+
+	// Propagation lag: a 1,000-user churn round on the master, shipped
+	// to the replica as per-shard deltas over the real socket.
+	churn := 1000.0 / float64(s.spec.Users)
+	if _, err := workload.Churn(s.master, s.spec, benchRealm, churn, int64(b.N), time.Now()); err != nil {
+		b.Fatal(err)
+	}
+	mp := kprop.NewMaster(s.master, []string{s.propAddr}, nil)
+	propStart := time.Now()
+	if err := mp.PropagateAll(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(time.Since(propStart).Nanoseconds())/1e6, "prop-lag-ms")
+	if s.replica.Digest() != s.master.Digest() {
+		b.Fatal("replica diverged after churn propagation")
+	}
+
+	// Put the churned users' install-time passwords back (and ship the
+	// restore) so the next harness invocation's sessions still decrypt.
+	if _, err := workload.Revert(s.master, s.spec, benchRealm, churn, int64(b.N), time.Now()); err != nil {
+		b.Fatal(err)
+	}
+	if err := mp.PropagateAll(); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -25,29 +25,67 @@ func main() {
 	var (
 		realm  = flag.String("realm", "ATHENA.MIT.EDU", "realm name")
 		dbPath = flag.String("db", "principal.db", "database file")
-		addr   = flag.String("addr", "127.0.0.1:7500", "listen address (udp+tcp)")
-		slave  = flag.Bool("slave", false, "serve a read-only slave copy")
-		admin  = flag.String("admin", "",
+		dbDir  = flag.String("dbdir", "",
+			"segment-log database directory (sharded, append-only); overrides -db")
+		shards = flag.Int("shards", 0,
+			"shard count for a new -dbdir database (0 autodetects an existing one, or 1 for a new one)")
+		addr  = flag.String("addr", "127.0.0.1:7500", "listen address (udp+tcp)")
+		slave = flag.Bool("slave", false, "serve a read-only slave copy")
+		admin = flag.String("admin", "",
 			"admin listener address serving /metrics, /healthz and /debug/pprof (e.g. 127.0.0.1:7600); empty disables")
 		reload = flag.Duration("reload-interval", time.Second,
-			"how often to re-read the database file when it changes (kadmind/kpropd write it); 0 disables")
+			"how often to re-read the database file when it changes (kadmind/kpropd write it); 0 disables; ignored with -dbdir")
 	)
 	flag.Parse()
 
 	fmt.Fprint(os.Stderr, "Master database password: ")
 	line, _ := bufio.NewReader(os.Stdin).ReadString('\n')
 	masterPw := strings.TrimRight(line, "\r\n")
+	masterKey := des.StringToKey(masterPw, *realm)
 
-	db := kdb.New(des.StringToKey(masterPw, *realm))
-	if err := db.Load(*dbPath); err != nil {
-		log.Fatalf("kerberosd: %v", err)
+	var db *kdb.Database
+	if *dbDir != "" {
+		n := *shards
+		if n <= 0 {
+			if detected, err := kdb.DetectShards(*dbDir); err != nil {
+				log.Fatalf("kerberosd: %v", err)
+			} else if detected > 0 {
+				n = detected
+			} else {
+				n = 1
+			}
+		}
+		var err error
+		db, _, err = kdb.OpenSegmentDB(masterKey, *dbDir, n, kdb.SegmentOptions{})
+		if err != nil {
+			log.Fatalf("kerberosd: %v", err)
+		}
+		*reload = 0 // the segment log is this process's own durable store
+	} else {
+		db = kdb.New(masterKey)
+		if err := db.Load(*dbPath); err != nil {
+			log.Fatalf("kerberosd: %v", err)
+		}
 	}
+	// The database holds its own copy of the master key; wipe the local
+	// when main unwinds (§4.1 keyzero discipline).
+	defer clear(masterKey[:])
 	if *slave {
 		db.SetReadOnly(true)
 	}
 	logger := log.New(os.Stderr, "kerberosd ", log.LstdFlags)
 	reg := obs.NewRegistry()
 	reg.GaugeFunc("kdc_db_principals", func() int64 { return int64(db.Len()) })
+	reg.GaugeFunc("kdb_shards", func() int64 { return int64(db.Shards()) })
+	if db.Shards() > 1 {
+		for i := 0; i < db.Shards(); i++ {
+			i := i
+			reg.GaugeFunc(fmt.Sprintf("kdb_shard_len{shard=%q}", fmt.Sprint(i)),
+				func() int64 { return int64(db.ShardLen(i)) })
+			reg.GaugeFunc(fmt.Sprintf("kdb_shard_serial{shard=%q}", fmt.Sprint(i)),
+				func() int64 { return int64(db.ShardSerial(i)) })
+		}
+	}
 	server := kdc.New(*realm, db, kdc.WithLogger(logger), kdc.WithRegistry(reg))
 	l, err := kdc.Serve(server, *addr)
 	if err != nil {

@@ -195,6 +195,7 @@ func render(w io.Writer, addr string, cur, prev *sample) {
 		fmt.Fprintf(w, "  %-28s %12d%s\n", name, v, rate)
 	}
 
+	renderShards(w, cur, prev)
 	renderPropagation(w, cur, prev)
 
 	for _, base := range bases {
@@ -246,6 +247,26 @@ func rate(cur, prev *sample, name string) string {
 		return ""
 	}
 	return fmt.Sprintf(" (%.1f/s)", float64(cur.scalars[name]-pv)/dt)
+}
+
+// renderShards draws the per-shard panel when the scraped registry
+// belongs to a sharded kerberosd: each shard's principal count, journal
+// serial, and mutation rate (serials per second between scrapes).
+func renderShards(w io.Writer, cur, prev *sample) {
+	n, ok := cur.scalars["kdb_shards"]
+	if !ok || n <= 1 {
+		return
+	}
+	fmt.Fprintf(w, "\n  shards (%d)\n", n)
+	for i := int64(0); i < n; i++ {
+		lenName := fmt.Sprintf(`kdb_shard_len{shard="%d"}`, i)
+		serName := fmt.Sprintf(`kdb_shard_serial{shard="%d"}`, i)
+		if _, ok := cur.scalars[lenName]; !ok {
+			continue
+		}
+		fmt.Fprintf(w, "    shard %-4d %10d principals  serial %-10d%s\n",
+			i, cur.scalars[lenName], cur.scalars[serName], rate(cur, prev, serName))
+	}
 }
 
 // renderPropagation draws the kprop/kpropd panel when the scraped

@@ -86,6 +86,52 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		}
 		return true
 	})
+	// Pass 1.5: contamination. copy(dst, src) with a key-material dst
+	// puts the same secret bytes in src's buffer, so src is key material
+	// too — even when its name and type say nothing about keys. This is
+	// the unseal-then-copy shape (plain := unseal(enc); copy(k[:],
+	// plain)) that the name-based rule above cannot see. Iterate to a
+	// fixpoint so copy chains contaminate transitively.
+	for {
+		grew := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 || !analysis.IsBuiltin(info, call, "copy") {
+				return true
+			}
+			dst := exprObj(info, call.Args[0])
+			if dst == nil {
+				return true
+			}
+			if _, isCand := cands[dst]; !isCand && !isKeyMaterial(dst) {
+				return true
+			}
+			srcVar, ok := exprObj(info, call.Args[1]).(*types.Var)
+			if !ok || srcVar.IsField() || cands[srcVar] != nil {
+				return true
+			}
+			if !analysis.IsByteMaterial(srcVar.Type()) {
+				return true
+			}
+			// Only locals declared in this body: params and outer values
+			// are owned (and wiped) by someone else.
+			if srcVar.Pos() < fn.Body.Pos() || srcVar.Pos() > fn.Body.End() {
+				return true
+			}
+			decl := declIdent(info, fn.Body, srcVar)
+			if decl == nil {
+				decl = exprIdent(call.Args[1])
+			}
+			if decl != nil {
+				cands[srcVar] = &candidate{obj: srcVar, decl: decl}
+				grew = true
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
 	if len(cands) == 0 {
 		return
 	}
@@ -225,6 +271,43 @@ func markWipe(info *types.Info, call *ast.CallExpr, cands map[types.Object]*cand
 			}
 		}
 	}
+}
+
+// exprObj resolves an expression (k, k[:], (k)) to its object.
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SliceExpr:
+		return exprObj(info, e.X)
+	}
+	return nil
+}
+
+// declIdent finds the identifier that declares obj inside body.
+func declIdent(info *types.Info, body ast.Node, obj types.Object) *ast.Ident {
+	var decl *ast.Ident
+	ast.Inspect(body, func(n ast.Node) bool {
+		if decl != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Defs[id] == obj {
+			decl = id
+		}
+		return true
+	})
+	return decl
+}
+
+// exprIdent unwraps an expression (k, k[:], (k)) to its identifier.
+func exprIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SliceExpr:
+		return exprIdent(e.X)
+	}
+	return nil
 }
 
 // candOf resolves an expression (k, k[:], (k)) to a candidate.

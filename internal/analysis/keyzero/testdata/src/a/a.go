@@ -117,3 +117,43 @@ func ignored() {
 	var k Key //kerb:ignore keyzero -- fixture: lifetime owned by caller convention
 	use(k)
 }
+
+func unseal(enc []byte) []byte { return append([]byte(nil), enc...) }
+
+// contaminated reproduces the unseal-then-copy miss: plain's name and
+// type say nothing about keys, but copying it into key material means
+// it holds the same secret — it must be wiped like the key itself.
+func contaminated(enc []byte) (Key, error) {
+	plain := unseal(enc) // want `key material "plain" is not zeroized`
+	if len(plain) != 8 {
+		return Key{}, errTooShort
+	}
+	var k Key
+	copy(k[:], plain)
+	return k, nil
+}
+
+// contaminatedWiped is the fixed shape: a deferred clear covers every
+// return path of the contaminated buffer.
+func contaminatedWiped(enc []byte) (Key, error) {
+	plain := unseal(enc)
+	defer clear(plain)
+	if len(plain) != 8 {
+		return Key{}, errTooShort
+	}
+	var k Key
+	copy(k[:], plain)
+	return k, nil
+}
+
+// contaminatedChain: contamination is transitive through copy chains.
+func contaminatedChain(enc []byte) Key {
+	stage := unseal(enc)   // want `key material "stage" is not zeroized`
+	buf := make([]byte, 8) // want `key material "buf" is not zeroized`
+	copy(buf, stage)
+	var k Key
+	copy(k[:], buf)
+	return k
+}
+
+var errTooShort = (error)(nil)

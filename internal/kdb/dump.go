@@ -22,10 +22,21 @@ import (
 // a restarted master or slave resumes the same lineage instead of
 // forcing a full resync. v1 dumps (no metadata) still load, at serial 0.
 
+// Format v3 extends v2 for sharded databases: a vector of per-shard
+// (serial, digest) pairs precedes the entries, so a same-shape database
+// loading the dump resumes every shard's lineage. The entries themselves
+// are shard-agnostic (globally ID-sorted); a database of a different
+// shard shape can still load a v3 dump, at the cost of restarting its
+// lineage (slaves heal with one full resync).
 var (
 	dumpMagic   = [4]byte{'K', 'D', 'B', '1'}
 	dumpMagicV2 = [4]byte{'K', 'D', 'B', '2'}
+	dumpMagicV3 = [4]byte{'K', 'D', 'B', '3'}
 )
+
+// maxDumpShards bounds the shard-count field of a v3 dump (structural
+// validation, not a design limit).
+const maxDumpShards = 1 << 12
 
 // ErrBadDump reports a dump that failed structural validation.
 var ErrBadDump = errors.New("kdb: malformed database dump")
@@ -110,17 +121,69 @@ func readEntryBody(r *dumpReader, e *Entry) {
 }
 
 // Dump serializes the entire database deterministically, including its
-// propagation metadata. Keys stay sealed in the master key.
+// propagation metadata. Keys stay sealed in the master key. A
+// single-shard database emits the v2 format (byte-compatible with every
+// earlier release); a sharded one emits v3 with the per-shard metadata
+// vector. All shard write locks are held during the snapshot so the
+// entries and every shard's (serial, digest) are one consistent cut.
 func (db *Database) Dump() []byte {
-	db.wmu.Lock()
-	meta := DumpMeta{Serial: db.serial.Load(), Digest: db.digest.Load()}
+	for _, sh := range db.shards {
+		sh.wmu.Lock()
+	}
+	metas := make([]DumpMeta, len(db.shards))
+	for i, sh := range db.shards {
+		metas[i] = DumpMeta{Serial: sh.serial.Load(), Digest: sh.digest.Load()}
+	}
 	entries := make([]*Entry, 0, db.Len())
-	db.store.Range(func(e *Entry) bool {
+	collect := func(e *Entry) bool {
+		entries = append(entries, e)
+		return true
+	}
+	if len(db.shards) == 1 {
+		db.shards[0].store.Range(collect)
+	} else {
+		rangeMerged(db.stores(), collect)
+	}
+	for _, sh := range db.shards {
+		sh.wmu.Unlock()
+	}
+	if len(db.shards) == 1 {
+		return EncodeEntriesAt(entries, metas[0])
+	}
+	return encodeEntriesV3(entries, metas)
+}
+
+// DumpShard serializes shard i alone, in the v2 format, under its own
+// write lock — the unit the sharded propagation plane ships in parallel.
+func (db *Database) DumpShard(i int) []byte {
+	sh := db.shards[i]
+	sh.wmu.Lock()
+	meta := DumpMeta{Serial: sh.serial.Load(), Digest: sh.digest.Load()}
+	entries := make([]*Entry, 0, sh.store.Len())
+	sh.store.Range(func(e *Entry) bool {
 		entries = append(entries, e)
 		return true
 	})
-	db.wmu.Unlock()
+	sh.wmu.Unlock()
 	return EncodeEntriesAt(entries, meta)
+}
+
+// encodeEntriesV3 serializes a sharded dump: magic, shard-meta vector,
+// then the entry list in the shared layout.
+func encodeEntriesV3(entries []*Entry, metas []DumpMeta) []byte {
+	buf := append([]byte(nil), dumpMagicV3[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(metas)))
+	for _, m := range metas {
+		buf = binary.BigEndian.AppendUint64(buf, m.Serial)
+		buf = binary.BigEndian.AppendUint64(buf, m.Digest)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = appendString(buf, e.Name)
+		buf = appendString(buf, e.Instance)
+		buf = appendEntryBody(buf, e)
+	}
+	return buf
 }
 
 // ParseDump decodes a dump into entries without installing them.
@@ -130,27 +193,75 @@ func ParseDump(dump []byte) ([]*Entry, error) {
 }
 
 // ParseDumpFull decodes a dump and its propagation metadata (zero for a
-// v1 dump).
+// v1 dump; for a v3 dump the shard metas aggregate the same way the
+// Database does — serials sum, digests XOR-fold).
 func ParseDumpFull(dump []byte) ([]*Entry, DumpMeta, error) {
+	entries, metas, err := ParseDumpSharded(dump)
+	if err != nil {
+		return nil, DumpMeta{}, err
+	}
 	var meta DumpMeta
+	if len(metas) == 1 {
+		meta = metas[0]
+	} else {
+		for _, m := range metas {
+			meta.Serial += m.Serial
+			meta.Digest ^= m.Digest
+		}
+	}
+	return entries, meta, nil
+}
+
+// ParseDumpSharded decodes a dump and its per-shard propagation metadata
+// (a single meta for v1/v2 dumps).
+func ParseDumpSharded(dump []byte) ([]*Entry, []DumpMeta, error) {
 	if len(dump) < 8 {
-		return nil, meta, ErrBadDump
+		return nil, nil, ErrBadDump
 	}
 	body := dump[4:]
+	var metas []DumpMeta
 	switch [4]byte(dump[:4]) {
 	case dumpMagic:
+		metas = []DumpMeta{{}}
 	case dumpMagicV2:
 		if len(body) < 16 {
-			return nil, meta, ErrBadDump
+			return nil, nil, ErrBadDump
 		}
-		meta.Serial = binary.BigEndian.Uint64(body)
-		meta.Digest = binary.BigEndian.Uint64(body[8:])
+		metas = []DumpMeta{{
+			Serial: binary.BigEndian.Uint64(body),
+			Digest: binary.BigEndian.Uint64(body[8:]),
+		}}
 		body = body[16:]
+	case dumpMagicV3:
+		if len(body) < 4 {
+			return nil, nil, ErrBadDump
+		}
+		n := binary.BigEndian.Uint32(body)
+		body = body[4:]
+		if n == 0 || n > maxDumpShards || uint64(len(body)) < 16*uint64(n) {
+			return nil, nil, fmt.Errorf("%w: implausible shard count %d", ErrBadDump, n)
+		}
+		metas = make([]DumpMeta, n)
+		for i := range metas {
+			metas[i].Serial = binary.BigEndian.Uint64(body)
+			metas[i].Digest = binary.BigEndian.Uint64(body[8:])
+			body = body[16:]
+		}
 	default:
-		return nil, meta, ErrBadDump
+		return nil, nil, ErrBadDump
 	}
+	entries, err := parseEntryList(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return entries, metas, nil
+}
+
+// parseEntryList decodes the count-prefixed entry layout every dump
+// version shares.
+func parseEntryList(body []byte) ([]*Entry, error) {
 	if len(body) < 4 {
-		return nil, meta, ErrBadDump
+		return nil, ErrBadDump
 	}
 	count := binary.BigEndian.Uint32(body)
 	r := dumpReader{data: body[4:]}
@@ -162,33 +273,83 @@ func ParseDumpFull(dump []byte) ([]*Entry, DumpMeta, error) {
 		}
 		readEntryBody(&r, e)
 		if r.err != nil {
-			return nil, meta, r.err
+			return nil, r.err
 		}
 		entries = append(entries, e)
 	}
 	if len(r.data) != 0 {
-		return nil, meta, fmt.Errorf("%w: %d trailing bytes", ErrBadDump, len(r.data))
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadDump, len(r.data))
 	}
-	return entries, meta, nil
+	return entries, nil
 }
 
 // LoadDump atomically replaces the database contents with a dump,
 // bypassing the read-only check — this is exactly how a slave's copy is
-// refreshed by kpropd (§5.3). The dump's serial and digest become the
-// database's; the journal restarts (a full load is a new delta horizon).
+// refreshed by kpropd (§5.3). When the dump's shard shape matches the
+// database's, each shard resumes the dump's (serial, digest) lineage;
+// otherwise the contents load but the lineage restarts at zero (slaves
+// of a re-sharded master heal with one full resync). The journal
+// restarts either way — a full load is a new delta horizon.
+//
+// Per shard, the lineage reset happens before the store swap: a
+// persisting store stamps its rewrite with the new metadata, never a
+// stale serial next to new entries.
 func (db *Database) LoadDump(dump []byte) error {
-	entries, meta, err := ParseDumpFull(dump)
+	entries, metas, err := ParseDumpSharded(dump)
 	if err != nil {
 		return err
 	}
-	db.wmu.Lock()
-	db.store.ReplaceAll(entries)
-	db.resetJournalLocked(meta.Serial, meta.Digest)
-	db.wmu.Unlock()
+	n := len(db.shards)
+	if len(metas) != n {
+		metas = make([]DumpMeta, n) // different shard shape: new lineage
+	}
+	parts := make([][]*Entry, n)
+	if n == 1 {
+		parts[0] = entries
+	} else {
+		for _, e := range entries {
+			i := ShardIndex(e.Name, e.Instance, n)
+			parts[i] = append(parts[i], e)
+		}
+	}
+	for i, sh := range db.shards {
+		sh.wmu.Lock()
+		sh.resetJournalLocked(metas[i].Serial, metas[i].Digest)
+		sh.store.ReplaceAll(parts[i])
+		sh.wmu.Unlock()
+	}
 	// The new contents may carry different keys for existing principals
 	// (a dump from a rebuilt master can reuse KVNOs), so drop every
 	// cached decrypted key rather than trust KVNO validation alone.
 	db.invalidateAllKeys()
+	return nil
+}
+
+// LoadDumpShard replaces shard i alone from a v1/v2 dump (the unit
+// DumpShard produces). Every entry must belong to shard i under the
+// database's shard shape; a misrouted dump is rejected before anything
+// is applied.
+func (db *Database) LoadDumpShard(i int, dump []byte) error {
+	if len(dump) >= 4 && [4]byte(dump[:4]) == dumpMagicV3 {
+		return fmt.Errorf("%w: shard load needs a per-shard (v2) dump", ErrBadDump)
+	}
+	entries, meta, err := ParseDumpFull(dump)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if ShardIndex(e.Name, e.Instance, len(db.shards)) != i {
+			return fmt.Errorf("%w: entry %s does not belong to shard %d", ErrBadDump, e.ID(), i)
+		}
+	}
+	sh := db.shards[i]
+	sh.wmu.Lock()
+	sh.resetJournalLocked(meta.Serial, meta.Digest)
+	sh.store.ReplaceAll(entries)
+	sh.wmu.Unlock()
+	sh.keyMu.Lock()
+	clear(sh.keyCache)
+	sh.keyMu.Unlock()
 	return nil
 }
 

@@ -62,14 +62,23 @@ func (fs *FileStore) SetMetaSource(fn func() DumpMeta) {
 
 // persist writes the full store to disk atomically (temp+fsync+rename:
 // a crash mid-write leaves the previous file intact).
+//
+// The in-memory snapshot is taken INSIDE the fs.mu window. Snapshotting
+// before acquiring the lock loses updates: writer A snapshots, writer B
+// mutates, snapshots, and persists, then A acquires the lock and writes
+// its older snapshot over B's newer file — and the serial/digest stamped
+// from metaSource under the lock would disagree with the stale entries
+// beside them. Under the lock, the last file write always reflects the
+// newest memory state (and at least one of any set of racing writers
+// snapshots after all their mutations, so the final file is current).
 func (fs *FileStore) persist() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	var entries []*Entry
 	fs.mem.Range(func(e *Entry) bool {
 		entries = append(entries, e)
 		return true
 	})
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	var meta DumpMeta
 	if fs.metaSource != nil {
 		meta = fs.metaSource()

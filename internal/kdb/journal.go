@@ -58,6 +58,10 @@ var (
 
 var changesMagic = [4]byte{'K', 'C', 'H', '1'}
 
+// minChangeSize is the smallest possible encoded change: one op byte, an
+// eight-byte serial, and two zero-length (one varint byte each) strings.
+const minChangeSize = 11
+
 // chainDigest folds one canonically encoded change into the rolling
 // database digest (FNV-1a 64; divergence detection, not integrity).
 func chainDigest(prev uint64, encodedChange []byte) uint64 {
@@ -112,7 +116,11 @@ func DecodeChanges(data []byte) ([]Change, error) {
 		return nil, ErrBadChanges
 	}
 	count := uint32(data[4])<<24 | uint32(data[5])<<16 | uint32(data[6])<<8 | uint32(data[7])
-	if uint64(count) > uint64(len(data)) { // each change is ≥ 11 bytes
+	// Each change is ≥ 11 bytes (op + serial + two empty strings), so a
+	// count the payload cannot possibly hold is rejected before the
+	// pre-allocation below can amplify a small hostile delta into a
+	// multi-megabyte reservation.
+	if uint64(count) > uint64(len(data))/minChangeSize {
 		return nil, fmt.Errorf("%w: implausible count %d", ErrBadChanges, count)
 	}
 	r := dumpReader{data: data[8:]}
@@ -144,66 +152,137 @@ func DecodeChanges(data []byte) ([]Change, error) {
 	return changes, nil
 }
 
-// Serial returns the database's monotonic change serial. It advances by
-// one on every journaled mutation and jumps on a full dump install.
-func (db *Database) Serial() uint64 { return db.serial.Load() }
+// Serial returns the database's monotonic change serial: the shard
+// serial of a single-shard database, the sum of the shard serials of a
+// sharded one (each shard advances by one per journaled mutation, so
+// the sum is still monotonic and counts total mutations).
+func (db *Database) Serial() uint64 {
+	if len(db.shards) == 1 {
+		return db.shards[0].serial.Load()
+	}
+	var sum uint64
+	for _, sh := range db.shards {
+		sum += sh.serial.Load()
+	}
+	return sum
+}
 
-// Digest returns the rolling content digest at the current serial.
-func (db *Database) Digest() uint64 { return db.digest.Load() }
+// Digest returns the rolling content digest at the current serial (the
+// XOR-fold of the shard digests for a sharded database — an order-
+// independent divergence indicator; the per-shard digests remain the
+// authoritative lineage checks).
+func (db *Database) Digest() uint64 {
+	if len(db.shards) == 1 {
+		return db.shards[0].digest.Load()
+	}
+	var fold uint64
+	for _, sh := range db.shards {
+		fold ^= sh.digest.Load()
+	}
+	return fold
+}
 
-// SetJournalCap bounds the in-memory change journal (0 restores the
-// default). Retention is the delta horizon: a slave further behind than
-// the journal reaches gets a full dump.
+// ShardSerial returns shard i's monotonic change serial.
+func (db *Database) ShardSerial(i int) uint64 { return db.shards[i].serial.Load() }
+
+// ShardDigest returns shard i's rolling content digest.
+func (db *Database) ShardDigest(i int) uint64 { return db.shards[i].digest.Load() }
+
+// SetJournalCap bounds each shard's in-memory change journal (0 restores
+// the default). Retention is the delta horizon: a slave further behind
+// than the journal reaches gets a full dump.
 func (db *Database) SetJournalCap(n int) {
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
 	if n <= 0 {
 		n = DefaultJournalCap
 	}
-	db.journalCap = n
-	db.trimJournalLocked()
+	for _, sh := range db.shards {
+		sh.wmu.Lock()
+		sh.journalCap = n
+		sh.trimJournalLocked(true)
+		sh.wmu.Unlock()
+	}
 }
 
-// JournalLen reports how many changes are currently retained.
+// JournalLen reports how many changes are currently retained across all
+// shards.
 func (db *Database) JournalLen() int {
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	return len(db.journal)
+	n := 0
+	for _, sh := range db.shards {
+		sh.wmu.Lock()
+		n += len(sh.journal)
+		sh.wmu.Unlock()
+	}
+	return n
 }
 
-// record journals one mutation. Callers hold db.wmu and apply the store
-// mutation after recording, so a persisting Store (FileStore) writes the
-// post-change serial and digest alongside the entries.
-func (db *Database) record(op ChangeOp, e *Entry) {
-	c := Change{Serial: db.serial.Load() + 1, Op: op, Entry: e.clone()}
-	db.serial.Store(c.Serial)
-	db.digest.Store(chainDigest(db.digest.Load(), encodeChange(c)))
-	db.journal = append(db.journal, journalRec{change: c, digest: db.digest.Load()})
-	db.trimJournalLocked()
+// apply journals one mutation and applies it to the shard store
+// durably. Callers hold sh.wmu. The serial and digest are advanced
+// before the store mutation so a persisting Store (FileStore via its
+// meta source, SegmentStore via the log record) writes the post-change
+// lineage alongside the data. A store that persists via a change log
+// receives the already-encoded record, so the mutation appends O(change)
+// bytes instead of rewriting the database.
+func (sh *dbShard) apply(op ChangeOp, e *Entry) {
+	c := Change{Serial: sh.serial.Load() + 1, Op: op, Entry: e.clone()}
+	enc := encodeChange(c)
+	digest := chainDigest(sh.digest.Load(), enc)
+	sh.serial.Store(c.Serial)
+	sh.digest.Store(digest)
+	sh.journal = append(sh.journal, journalRec{change: c, digest: digest})
+	sh.trimJournalLocked(false)
+	if sh.clog != nil {
+		rec := LogRec{Enc: enc, Serial: c.Serial, Digest: digest}
+		var err error
+		if op == ChangeDelete {
+			err = sh.clog.ApplyLogged([]LogRec{rec}, nil, []string{c.Entry.ID()})
+		} else {
+			err = sh.clog.ApplyLogged([]LogRec{rec}, []*Entry{c.Entry}, nil)
+		}
+		if err != nil {
+			// Same discipline as FileStore: continuing with a diverged
+			// log would silently violate the single-definitive-copy rule.
+			panic(fmt.Errorf("kdb: appending change: %w", err))
+		}
+		return
+	}
+	if op == ChangeDelete {
+		sh.store.Delete(c.Entry.ID())
+	} else {
+		sh.store.Put(e)
+	}
 }
 
 // trimJournalLocked drops the oldest records past the cap, remembering
 // the digest of the newest dropped one (the pre-retention boundary).
-func (db *Database) trimJournalLocked() {
-	cap := db.journalCap
+// Trimming is amortized: the journal is allowed to grow 25% past the cap
+// before one bulk copy drops it back down, so a long mutation burst
+// (a million-principal install) pays O(1) amortized per change instead
+// of one full-journal copy per change. exact forces an immediate trim
+// to the cap (SetJournalCap shrinking retention).
+func (sh *dbShard) trimJournalLocked(exact bool) {
+	cap := sh.journalCap
 	if cap <= 0 {
 		cap = DefaultJournalCap
 	}
-	if len(db.journal) <= cap {
+	slack := cap / 4
+	if exact {
+		slack = 0
+	}
+	if len(sh.journal) <= cap+slack {
 		return
 	}
-	drop := len(db.journal) - cap
-	db.preBaseDigest = db.journal[drop-1].digest
-	db.journal = append(db.journal[:0:0], db.journal[drop:]...)
+	drop := len(sh.journal) - cap
+	sh.preBaseDigest = sh.journal[drop-1].digest
+	sh.journal = append(sh.journal[:0:0], sh.journal[drop:]...)
 }
 
 // resetJournalLocked empties the journal after a bulk replacement; the
 // current digest becomes the retention boundary.
-func (db *Database) resetJournalLocked(serial, digest uint64) {
-	db.serial.Store(serial)
-	db.digest.Store(digest)
-	db.journal = nil
-	db.preBaseDigest = digest
+func (sh *dbShard) resetJournalLocked(serial, digest uint64) {
+	sh.serial.Store(serial)
+	sh.digest.Store(digest)
+	sh.journal = nil
+	sh.preBaseDigest = digest
 }
 
 // DeltaVerdict says how the master can serve a slave at a given state.
@@ -236,40 +315,54 @@ func (v DeltaVerdict) String() string {
 // ChangesSince returns the journal segment a slave at (serial, digest)
 // is missing, verifying the digest against the master's history at that
 // serial. Any verdict other than DeltaOK means the slave must be healed
-// with a full dump.
+// with a full dump. On a sharded database the per-shard journals are the
+// delta planes — use ChangesSinceShard; the whole-database call reports
+// FallbackRetention (full resync) rather than guessing.
 func (db *Database) ChangesSince(serial, digest uint64) ([]Change, DeltaVerdict) {
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	cur := db.serial.Load()
+	if len(db.shards) != 1 {
+		return nil, FallbackRetention
+	}
+	return db.shards[0].changesSince(serial, digest)
+}
+
+// ChangesSinceShard is ChangesSince against shard i's journal.
+func (db *Database) ChangesSinceShard(i int, serial, digest uint64) ([]Change, DeltaVerdict) {
+	return db.shards[i].changesSince(serial, digest)
+}
+
+func (sh *dbShard) changesSince(serial, digest uint64) ([]Change, DeltaVerdict) {
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	cur := sh.serial.Load()
 	switch {
 	case serial > cur:
 		return nil, FallbackAhead
 	case serial == cur:
-		if digest != db.digest.Load() {
+		if digest != sh.digest.Load() {
 			return nil, FallbackDivergence
 		}
 		return nil, DeltaOK
 	}
-	if len(db.journal) == 0 {
+	if len(sh.journal) == 0 {
 		return nil, FallbackRetention
 	}
-	base := db.journal[0].change.Serial // oldest retained change
+	base := sh.journal[0].change.Serial // oldest retained change
 	if serial < base-1 {
 		return nil, FallbackRetention
 	}
 	// Digest the master had at the slave's serial.
 	var at uint64
 	if serial == base-1 {
-		at = db.preBaseDigest
+		at = sh.preBaseDigest
 	} else {
-		at = db.journal[serial-base].digest
+		at = sh.journal[serial-base].digest
 	}
 	if at != digest {
 		return nil, FallbackDivergence
 	}
-	seg := db.journal
+	seg := sh.journal
 	if serial >= base {
-		seg = db.journal[serial-base+1:]
+		seg = sh.journal[serial-base+1:]
 	}
 	changes := make([]Change, len(seg))
 	for i, rec := range seg {
@@ -282,13 +375,37 @@ func (db *Database) ChangesSince(serial, digest uint64) ([]Change, DeltaVerdict)
 // bypassing the read-only discipline exactly like LoadDump. The segment
 // must start at the slave's current serial + 1 (no gaps, no replays) and,
 // when wantDigest is nonzero, must chain to it — otherwise nothing is
-// applied and the caller should request a full resync.
+// applied and the caller should request a full resync. On a sharded
+// database deltas are per-shard: use ApplyChangesShard.
 func (db *Database) ApplyChanges(changes []Change, wantDigest uint64) error {
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	cur := db.serial.Load()
+	if len(db.shards) != 1 {
+		return fmt.Errorf("%w: sharded database needs per-shard deltas", ErrSerialGap)
+	}
+	return db.shards[0].applyChanges(changes, wantDigest)
+}
+
+// ApplyChangesShard is ApplyChanges against shard i. Every change must
+// belong to shard i (the master sharded them the same way); a misrouted
+// change is rejected before anything is applied.
+func (db *Database) ApplyChangesShard(i int, changes []Change, wantDigest uint64) error {
+	for _, c := range changes {
+		if c.Entry == nil {
+			return ErrBadChanges
+		}
+		if ShardIndex(c.Entry.Name, c.Entry.Instance, len(db.shards)) != i {
+			return fmt.Errorf("%w: change for %s does not belong to shard %d",
+				ErrBadChanges, c.Entry.ID(), i)
+		}
+	}
+	return db.shards[i].applyChanges(changes, wantDigest)
+}
+
+func (sh *dbShard) applyChanges(changes []Change, wantDigest uint64) error {
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	cur := sh.serial.Load()
 	if len(changes) == 0 {
-		if wantDigest != 0 && wantDigest != db.digest.Load() {
+		if wantDigest != 0 && wantDigest != sh.digest.Load() {
 			return fmt.Errorf("%w: digest mismatch at serial %d", ErrSerialGap, cur)
 		}
 		return nil
@@ -298,8 +415,9 @@ func (db *Database) ApplyChanges(changes []Change, wantDigest uint64) error {
 	}
 	// Validate and chain the digest before touching the store: the apply
 	// must be all-or-nothing.
-	digest := db.digest.Load()
+	digest := sh.digest.Load()
 	digests := make([]uint64, len(changes))
+	recs := make([]LogRec, len(changes))
 	var upserts []*Entry
 	var deletes []string
 	for i, c := range changes {
@@ -314,20 +432,28 @@ func (db *Database) ApplyChanges(changes []Change, wantDigest uint64) error {
 		default:
 			return ErrBadChanges
 		}
-		digest = chainDigest(digest, encodeChange(c))
+		enc := encodeChange(c)
+		digest = chainDigest(digest, enc)
 		digests[i] = digest
+		recs[i] = LogRec{Enc: enc, Serial: c.Serial, Digest: digest}
 	}
 	if wantDigest != 0 && digest != wantDigest {
 		return fmt.Errorf("%w: digest mismatch after serial %d", ErrSerialGap, changes[len(changes)-1].Serial)
 	}
-	db.store.ApplyBatch(upserts, deletes)
-	for i, c := range changes {
-		db.invalidateKey(c.Entry.Name, c.Entry.Instance)
-		db.journal = append(db.journal, journalRec{change: c, digest: digests[i]})
+	if sh.clog != nil {
+		if err := sh.clog.ApplyLogged(recs, upserts, deletes); err != nil {
+			return fmt.Errorf("kdb: appending delta: %w", err)
+		}
+	} else {
+		sh.store.ApplyBatch(upserts, deletes)
 	}
-	db.serial.Store(changes[len(changes)-1].Serial)
-	db.digest.Store(digest)
-	db.trimJournalLocked()
+	for i, c := range changes {
+		sh.invalidateKey(c.Entry.Name, c.Entry.Instance)
+		sh.journal = append(sh.journal, journalRec{change: c, digest: digests[i]})
+	}
+	sh.serial.Store(changes[len(changes)-1].Serial)
+	sh.digest.Store(digest)
+	sh.trimJournalLocked(false)
 	return nil
 }
 
@@ -340,8 +466,26 @@ func (db *Database) SyncFrom(entries []*Entry) (int, error) {
 	if err := db.writable(); err != nil {
 		return 0, err
 	}
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
+	// Partition the new state per shard, then diff each shard under its
+	// own lock — cross-shard entries never interleave in one journal.
+	parts := make([][]*Entry, len(db.shards))
+	for _, e := range entries {
+		i := 0
+		if len(db.shards) > 1 {
+			i = ShardIndex(e.Name, e.Instance, len(db.shards))
+		}
+		parts[i] = append(parts[i], e)
+	}
+	changed := 0
+	for i, sh := range db.shards {
+		changed += sh.syncFrom(parts[i])
+	}
+	return changed, nil
+}
+
+func (sh *dbShard) syncFrom(entries []*Entry) int {
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
 	next := make(map[string]*Entry, len(entries))
 	for _, e := range entries {
 		next[e.ID()] = e
@@ -349,16 +493,15 @@ func (db *Database) SyncFrom(entries []*Entry) (int, error) {
 	changed := 0
 	// Deletions first: entries present here but absent in the new state.
 	var gone []*Entry
-	db.store.Range(func(e *Entry) bool {
+	sh.store.Range(func(e *Entry) bool {
 		if _, ok := next[e.ID()]; !ok {
 			gone = append(gone, e)
 		}
 		return true
 	})
 	for _, e := range gone {
-		db.record(ChangeDelete, &Entry{Name: e.Name, Instance: e.Instance})
-		db.store.Delete(e.ID())
-		db.invalidateKey(e.Name, e.Instance)
+		sh.apply(ChangeDelete, &Entry{Name: e.Name, Instance: e.Instance})
+		sh.invalidateKey(e.Name, e.Instance)
 		changed++
 	}
 	// Upserts: new or differing entries, in deterministic order.
@@ -368,15 +511,14 @@ func (db *Database) SyncFrom(entries []*Entry) (int, error) {
 			continue
 		}
 		seen[e.ID()] = true
-		if old, ok := db.store.Fetch(e.ID()); ok && entryEqual(old, e) {
+		if old, ok := sh.store.FetchShared(e.ID()); ok && entryEqual(old, e) {
 			continue
 		}
-		db.record(ChangeUpsert, e)
-		db.store.Put(e)
-		db.invalidateKey(e.Name, e.Instance)
+		sh.apply(ChangeUpsert, e)
+		sh.invalidateKey(e.Name, e.Instance)
 		changed++
 	}
-	return changed, nil
+	return changed
 }
 
 // entryEqual compares every propagated field.

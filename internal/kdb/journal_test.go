@@ -438,3 +438,30 @@ func TestKillMidSaveLeavesOldDump(t *testing.T) {
 		}
 	}
 }
+
+// TestDecodeChangesImplausibleCount proves a hostile count prefix cannot
+// amplify a tiny delta into a multi-megabyte pre-allocation: each change
+// needs at least 11 bytes of payload, so any count the payload cannot
+// hold is rejected up front.
+func TestDecodeChangesImplausibleCount(t *testing.T) {
+	hostile := append([]byte{'K', 'C', 'H', '1', 0xff, 0xff, 0xff, 0xff}, make([]byte, 32)...)
+	if _, err := DecodeChanges(hostile); !errors.Is(err, ErrBadChanges) {
+		t.Fatalf("hostile count accepted: %v", err)
+	}
+	// A plausible-but-wrong count still fails structurally, not by panic.
+	short := append([]byte{'K', 'C', 'H', '1', 0, 0, 0, 2}, make([]byte, 22)...)
+	if _, err := DecodeChanges(short); !errors.Is(err, ErrBadChanges) {
+		t.Fatalf("truncated payload accepted: %v", err)
+	}
+	// The boundary holds: a real one-change set still decodes.
+	db := newTestDB(t)
+	addN(t, db, 1)
+	changes, verdict := db.ChangesSince(0, 0)
+	if verdict != DeltaOK {
+		t.Fatalf("verdict %v", verdict)
+	}
+	enc := EncodeChanges(changes)
+	if got, err := DecodeChanges(enc); err != nil || len(got) != 1 {
+		t.Fatalf("legitimate change set rejected: %v", err)
+	}
+}

@@ -206,9 +206,10 @@ var (
 	ErrMasterKey = errors.New("kdb: master key cannot decrypt entry")
 )
 
-// Database wraps a Store with the master database key and the read-only
-// discipline of §5: "there is always only one definitive copy of the
-// Kerberos database ... Other machines may possess read-only copies."
+// Database wraps one or more Store shards with the master database key
+// and the read-only discipline of §5: "there is always only one
+// definitive copy of the Kerberos database ... Other machines may
+// possess read-only copies."
 //
 // Because every private key in the store is sealed in the master key,
 // naive operation pays a master-key DES decryption on every ticket
@@ -217,20 +218,36 @@ var (
 // entry's KVNO matches the KVNO it was decrypted under, so password
 // changes and srvtab rotations (which bump the KVNO) take effect
 // immediately.
+//
+// A Database built with New/NewWithStore has exactly one shard and
+// behaves as the classic single-lock-domain database. NewSharded splits
+// the principal space by FNV-1a hash of ID(name, instance) into N
+// independent shards, each with its own store, lock domain, decrypted-
+// key cache, and change journal (per-shard serial + digest), so
+// mutations, key-cache fills, and kprop deltas on different shards
+// never contend.
 type Database struct {
-	store        Store
 	masterKey    des.Key
 	masterCipher *des.Cipher // master key expanded once
-
-	keyMu    sync.RWMutex
-	keyCache map[cacheID]cachedKey
 
 	mu       sync.RWMutex
 	readOnly bool
 
-	// Incremental-propagation state (journal.go): wmu serializes
-	// mutations so the journal order is the store apply order; serial
-	// and digest are atomics so reads never contend with writers.
+	shards []*dbShard
+}
+
+// dbShard is one independent slice of the principal space: a store, a
+// decrypted-key cache, and the incremental-propagation state of
+// journal.go. wmu serializes mutations so the journal order is the
+// store apply order; serial and digest are atomics so reads never
+// contend with writers.
+type dbShard struct {
+	store Store
+	clog  ChangeLogStore // non-nil when store persists via a change log
+
+	keyMu    sync.RWMutex
+	keyCache map[cacheID]cachedKey
+
 	wmu           sync.Mutex
 	serial        atomic.Uint64
 	digest        atomic.Uint64
@@ -259,29 +276,61 @@ func New(masterKey des.Key) *Database {
 	return NewWithStore(masterKey, NewMemStore())
 }
 
-// NewWithStore creates a database over a caller-provided Store. A store
-// that carries propagation metadata (FileStore re-opening an existing
-// database) seeds the serial and digest, and is handed a source for
-// persisting them alongside the entries.
+// NewWithStore creates a single-shard database over a caller-provided
+// Store. A store that carries propagation metadata (FileStore or
+// SegmentStore re-opening an existing database) seeds the serial and
+// digest, and is handed a source for persisting them alongside the
+// entries.
 func NewWithStore(masterKey des.Key, store Store) *Database {
+	return NewSharded(masterKey, []Store{store})
+}
+
+// NewSharded creates a database over one shard per provided store.
+// Principals are assigned to shards by ShardIndex of their ID; the
+// shard count is fixed for the lifetime of the database (and of its
+// on-disk form — re-sharding is a dump/reload).
+func NewSharded(masterKey des.Key, stores []Store) *Database {
+	if len(stores) == 0 {
+		panic("kdb: NewSharded needs at least one store")
+	}
 	db := &Database{
-		store:        store,
 		masterKey:    masterKey,
 		masterCipher: des.NewCipher(masterKey),
-		keyCache:     make(map[cacheID]cachedKey),
+		shards:       make([]*dbShard, len(stores)),
 	}
-	if ms, ok := store.(interface{ LoadedMeta() DumpMeta }); ok {
-		meta := ms.LoadedMeta()
-		db.serial.Store(meta.Serial)
-		db.digest.Store(meta.Digest)
-		db.preBaseDigest = meta.Digest
-	}
-	if ms, ok := store.(interface{ SetMetaSource(func() DumpMeta) }); ok {
-		ms.SetMetaSource(func() DumpMeta {
-			return DumpMeta{Serial: db.serial.Load(), Digest: db.digest.Load()}
-		})
+	for i, store := range stores {
+		sh := &dbShard{
+			store:    store,
+			keyCache: make(map[cacheID]cachedKey),
+		}
+		if cs, ok := store.(ChangeLogStore); ok {
+			sh.clog = cs
+		}
+		if ms, ok := store.(interface{ LoadedMeta() DumpMeta }); ok {
+			meta := ms.LoadedMeta()
+			sh.serial.Store(meta.Serial)
+			sh.digest.Store(meta.Digest)
+			sh.preBaseDigest = meta.Digest
+		}
+		if ms, ok := store.(interface{ SetMetaSource(func() DumpMeta) }); ok {
+			ms.SetMetaSource(func() DumpMeta {
+				return DumpMeta{Serial: sh.serial.Load(), Digest: sh.digest.Load()}
+			})
+		}
+		db.shards[i] = sh
 	}
 	return db
+}
+
+// Shards reports the shard count (1 for New/NewWithStore databases).
+func (db *Database) Shards() int { return len(db.shards) }
+
+// shard routes a principal to its shard.
+func (db *Database) shard(name, instance string) *dbShard {
+	if len(db.shards) == 1 {
+		return db.shards[0]
+	}
+	return db.shards[ShardIndex(name, instance, len(db.shards))]
 }
 
 // SetReadOnly marks the database as a slave copy; all mutation fails
@@ -304,7 +353,16 @@ func (db *Database) ReadOnly() bool {
 func (db *Database) MasterKey() des.Key { return db.masterKey }
 
 // Len returns the number of principals.
-func (db *Database) Len() int { return db.store.Len() }
+func (db *Database) Len() int {
+	n := 0
+	for _, sh := range db.shards {
+		n += sh.store.Len()
+	}
+	return n
+}
+
+// ShardLen returns the number of principals in shard i.
+func (db *Database) ShardLen(i int) int { return db.shards[i].store.Len() }
 
 func (db *Database) writable() error {
 	if db.ReadOnly() {
@@ -322,9 +380,12 @@ func (db *Database) Add(name, instance string, key des.Key, maxLife core.Lifetim
 	if !(core.Principal{Name: name, Instance: instance}).Valid() {
 		return fmt.Errorf("kdb: invalid principal %q", ID(name, instance))
 	}
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	if _, ok := db.store.Fetch(ID(name, instance)); ok {
+	sh := db.shard(name, instance)
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	// Existence check only: FetchShared avoids cloning the EncKey of an
+	// entry we are about to reject anyway.
+	if _, ok := sh.store.FetchShared(ID(name, instance)); ok {
 		return fmt.Errorf("%w: %s", ErrExists, ID(name, instance))
 	}
 	e := &Entry{
@@ -337,18 +398,17 @@ func (db *Database) Add(name, instance string, key des.Key, maxLife core.Lifetim
 		ModTime:    now,
 		ModBy:      modBy,
 	}
-	db.record(ChangeUpsert, e)
-	db.store.Put(e)
+	sh.apply(ChangeUpsert, e)
 	// A re-registered principal restarts at KVNO 1; a stale cached key
 	// from a previous life must not match it.
-	db.invalidateKey(name, instance)
+	sh.invalidateKey(name, instance)
 	return nil
 }
 
 // Get fetches a principal's entry as a private copy the caller may
 // mutate.
 func (db *Database) Get(name, instance string) (*Entry, error) {
-	e, ok := db.store.Fetch(ID(name, instance))
+	e, ok := db.shard(name, instance).store.Fetch(ID(name, instance))
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
 	}
@@ -359,7 +419,7 @@ func (db *Database) Get(name, instance string) (*Entry, error) {
 // treat the entry as read-only. This is the KDC's per-request lookup
 // path: no clone, no allocation.
 func (db *Database) GetRO(name, instance string) (*Entry, error) {
-	e, ok := db.store.FetchShared(ID(name, instance))
+	e, ok := db.shard(name, instance).store.FetchShared(ID(name, instance))
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
 	}
@@ -390,39 +450,45 @@ func (db *Database) KeyCipher(e *Entry) (*des.Cipher, error) {
 }
 
 func (db *Database) cachedKey(e *Entry) (cachedKey, error) {
+	sh := db.shard(e.Name, e.Instance)
 	id := cacheID{e.Name, e.Instance}
-	db.keyMu.RLock()
-	ck, ok := db.keyCache[id]
-	db.keyMu.RUnlock()
+	sh.keyMu.RLock()
+	ck, ok := sh.keyCache[id]
+	sh.keyMu.RUnlock()
 	if ok && ck.kvno == e.KVNO {
 		return ck, nil
 	}
 	plain, err := db.masterCipher.Unseal(e.EncKey)
+	// The unsealed buffer is the principal's private key in the clear;
+	// wipe it on every return path (§4.1 keyzero discipline).
+	defer clear(plain)
 	if err != nil || len(plain) != des.KeySize {
 		return cachedKey{}, ErrMasterKey
 	}
 	var k des.Key
 	copy(k[:], plain)
 	ck = cachedKey{kvno: e.KVNO, key: k, cipher: des.NewCipher(k)}
-	db.keyMu.Lock()
-	db.keyCache[id] = ck
-	db.keyMu.Unlock()
+	sh.keyMu.Lock()
+	sh.keyCache[id] = ck
+	sh.keyMu.Unlock()
 	return ck, nil
 }
 
 // invalidateKey drops a principal's cached decrypted key.
-func (db *Database) invalidateKey(name, instance string) {
-	db.keyMu.Lock()
-	delete(db.keyCache, cacheID{name, instance})
-	db.keyMu.Unlock()
+func (sh *dbShard) invalidateKey(name, instance string) {
+	sh.keyMu.Lock()
+	delete(sh.keyCache, cacheID{name, instance})
+	sh.keyMu.Unlock()
 }
 
-// invalidateAllKeys empties the decrypted-key cache (bulk content
+// invalidateAllKeys empties the decrypted-key caches (bulk content
 // replacement: propagation, file reload).
 func (db *Database) invalidateAllKeys() {
-	db.keyMu.Lock()
-	clear(db.keyCache)
-	db.keyMu.Unlock()
+	for _, sh := range db.shards {
+		sh.keyMu.Lock()
+		clear(sh.keyCache)
+		sh.keyMu.Unlock()
+	}
 }
 
 // SetKey changes a principal's private key (password change or srvtab
@@ -431,9 +497,10 @@ func (db *Database) SetKey(name, instance string, key des.Key, modBy string, now
 	if err := db.writable(); err != nil {
 		return err
 	}
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	e, ok := db.store.Fetch(ID(name, instance))
+	sh := db.shard(name, instance)
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	e, ok := sh.store.Fetch(ID(name, instance))
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
 	}
@@ -441,9 +508,8 @@ func (db *Database) SetKey(name, instance string, key des.Key, modBy string, now
 	e.KVNO++
 	e.ModTime = now
 	e.ModBy = modBy
-	db.record(ChangeUpsert, e)
-	db.store.Put(e)
-	db.invalidateKey(name, instance)
+	sh.apply(ChangeUpsert, e)
+	sh.invalidateKey(name, instance)
 	return nil
 }
 
@@ -454,17 +520,17 @@ func (db *Database) SetExpiration(name, instance string, expiration time.Time, m
 	if err := db.writable(); err != nil {
 		return err
 	}
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	e, ok := db.store.Fetch(ID(name, instance))
+	sh := db.shard(name, instance)
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	e, ok := sh.store.Fetch(ID(name, instance))
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
 	}
 	e.Expiration = expiration
 	e.ModTime = now
 	e.ModBy = modBy
-	db.record(ChangeUpsert, e)
-	db.store.Put(e)
+	sh.apply(ChangeUpsert, e)
 	return nil
 }
 
@@ -473,24 +539,75 @@ func (db *Database) Delete(name, instance string) error {
 	if err := db.writable(); err != nil {
 		return err
 	}
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	if _, ok := db.store.Fetch(ID(name, instance)); !ok {
+	sh := db.shard(name, instance)
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	// Existence check only: no need to clone the doomed entry's EncKey.
+	if _, ok := sh.store.FetchShared(ID(name, instance)); !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
 	}
-	db.record(ChangeDelete, &Entry{Name: name, Instance: instance})
-	db.store.Delete(ID(name, instance))
-	db.invalidateKey(name, instance)
+	sh.apply(ChangeDelete, &Entry{Name: name, Instance: instance})
+	sh.invalidateKey(name, instance)
 	return nil
 }
 
-// Range iterates the database in deterministic order.
-func (db *Database) Range(fn func(*Entry) bool) { db.store.Range(fn) }
+// Range iterates the database in deterministic (globally ID-sorted)
+// order, merging the per-shard sorted ranges.
+func (db *Database) Range(fn func(*Entry) bool) {
+	if len(db.shards) == 1 {
+		db.shards[0].store.Range(fn)
+		return
+	}
+	rangeMerged(db.stores(), fn)
+}
+
+// stores returns the per-shard stores in shard order.
+func (db *Database) stores() []Store {
+	stores := make([]Store, len(db.shards))
+	for i, sh := range db.shards {
+		stores[i] = sh.store
+	}
+	return stores
+}
+
+// rangeMerged iterates a set of stores (each of which ranges in sorted
+// order) as one globally ID-sorted sequence — the k-way merge that keeps
+// sharded dumps byte-identical to their single-store equivalents.
+func rangeMerged(stores []Store, fn func(*Entry) bool) {
+	lists := make([][]*Entry, len(stores))
+	for i, s := range stores {
+		lists[i] = make([]*Entry, 0, s.Len())
+		s.Range(func(e *Entry) bool {
+			lists[i] = append(lists[i], e)
+			return true
+		})
+	}
+	heads := make([]int, len(lists))
+	for {
+		best := -1
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[heads[i]].ID() < lists[best][heads[best]].ID() {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		e := lists[best][heads[best]]
+		heads[best]++
+		if !fn(e) {
+			return
+		}
+	}
+}
 
 // List returns all entry IDs in sorted order (kadmin's listing).
 func (db *Database) List() []string {
 	ids := make([]string, 0, db.Len())
-	db.store.Range(func(e *Entry) bool {
+	db.Range(func(e *Entry) bool {
 		ids = append(ids, e.ID())
 		return true
 	})

@@ -1,0 +1,718 @@
+package kdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"kerberos/internal/des"
+)
+
+// SegmentStore is the append-only disk backend that replaces the
+// rewrite-the-world FileStore on the master's mutation path. The on-disk
+// form is a base dump plus a sequence of segment logs:
+//
+//	base.kdb          full dump (v2 format) at some (serial, digest)
+//	seg-00000001.log  framed change records after the base
+//	seg-00000002.log  ...
+//
+// A mutation appends one framed record — the same canonical appendChange
+// encoding the journal digest and the kprop delta plane already use — to
+// the active (highest-numbered) segment: O(change) bytes written, never a
+// full-file rewrite. When the active segment passes SegmentBytes it is
+// sealed by opening the next segment; sealed segments are immutable. A
+// background compactor folds sealed segments into a fresh base dump and
+// deletes them, bounding startup replay to O(live data + one segment).
+//
+// Crash safety is by construction: records carry a CRC and are applied
+// only when complete, so a torn tail (the process died mid-append) is
+// detected and truncated back to the last whole record; the base dump is
+// replaced via temp+fsync+rename; and a crash between installing a new
+// base and deleting the segments it folded is harmless because replay
+// skips records at or below the base serial.
+type SegmentStore struct {
+	dir string
+	opt SegmentOptions
+
+	mem *MemStore
+
+	// fileMu serializes everything that touches the files: appends,
+	// sealing, compaction install, ReplaceAll. The in-memory apply
+	// happens inside the same window so file order and memory order
+	// cannot diverge (the FileStore lost-update race, fixed here by
+	// design rather than by care).
+	fileMu     sync.Mutex
+	active     *os.File
+	activeSeq  uint64
+	activeSize int64
+	sealed     []uint64 // sealed segment seqs, ascending, not yet compacted
+
+	baseMeta   DumpMeta // meta of the current base.kdb
+	lastMeta   DumpMeta // meta of the newest appended record
+	loadedMeta DumpMeta // meta observed at open time (after replay)
+	metaSource func() DumpMeta
+
+	compactCh  chan struct{}
+	done       chan struct{}
+	closeOnce  sync.Once
+	wg         sync.WaitGroup
+	compactMu  sync.Mutex // one compaction at a time
+	compactErr error
+	compacts   int // completed compactions (tests)
+}
+
+// SegmentOptions tunes a SegmentStore.
+type SegmentOptions struct {
+	// SegmentBytes seals the active segment once it reaches this size.
+	// Default 1 MiB.
+	SegmentBytes int64
+	// CompactAfter triggers background compaction once this many sealed
+	// segments accumulate. Default 4.
+	CompactAfter int
+	// NoFsync skips the fsync after each append (benchmarks; a crash may
+	// lose the tail but never corrupts — torn records truncate away).
+	NoFsync bool
+}
+
+func (o *SegmentOptions) defaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.CompactAfter <= 0 {
+		o.CompactAfter = 4
+	}
+}
+
+// LogRec is one durable change record: the canonical encoding plus the
+// lineage coordinates it moves the database to.
+type LogRec struct {
+	Enc    []byte // appendChange encoding (op, serial, id, body)
+	Serial uint64
+	Digest uint64
+}
+
+// ChangeLogStore is a Store that persists via a change log: the Database
+// hands it already-encoded journal records so a mutation's durable cost
+// is O(change), not O(database).
+type ChangeLogStore interface {
+	Store
+	// ApplyLogged durably appends recs and applies the corresponding
+	// upserts/deletes to memory as one atomic step.
+	ApplyLogged(recs []LogRec, upserts []*Entry, deletes []string) error
+}
+
+// ErrBadSegment reports a segment log that failed structural validation
+// somewhere other than its tail.
+var ErrBadSegment = errors.New("kdb: corrupt segment log")
+
+const (
+	segBaseName  = "base.kdb"
+	segPrefix    = "seg-"
+	segSuffix    = ".log"
+	recHeader    = 4 + 4 + 8 + 8 // len + crc + serial + digest
+	maxLogRecord = 1 << 24
+)
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+
+// appendLogRecord frames one record:
+//
+//	[u32 payload len][u32 CRC-32 (IEEE) of payload][payload]
+//	payload = [u64 serial][u64 digest][appendChange encoding]
+//
+// The serial and digest ride in the frame (redundant with the encoding)
+// so replay can filter already-folded records without parsing entries.
+func appendLogRecord(buf []byte, rec LogRec) []byte {
+	payloadLen := 16 + len(rec.Enc)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(payloadLen))
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // crc placeholder
+	buf = binary.BigEndian.AppendUint64(buf, rec.Serial)
+	buf = binary.BigEndian.AppendUint64(buf, rec.Digest)
+	buf = append(buf, rec.Enc...)
+	crc := crc32.ChecksumIEEE(buf[start+4:])
+	binary.BigEndian.PutUint32(buf[start:], crc)
+	return buf
+}
+
+// decodeOneChange parses a single appendChange encoding.
+func decodeOneChange(data []byte) (Change, error) {
+	r := dumpReader{data: data}
+	op := ChangeOp(r.u8())
+	c := Change{Op: op, Serial: r.u64()}
+	e := &Entry{Name: r.str(), Instance: r.str()}
+	switch op {
+	case ChangeUpsert:
+		readEntryBody(&r, e)
+	case ChangeDelete:
+		// name+instance only
+	default:
+		return Change{}, fmt.Errorf("%w: unknown op %d", ErrBadChanges, op)
+	}
+	if r.err != nil {
+		return Change{}, fmt.Errorf("%w: %v", ErrBadChanges, r.err)
+	}
+	if len(r.data) != 0 {
+		return Change{}, fmt.Errorf("%w: %d trailing bytes", ErrBadChanges, len(r.data))
+	}
+	c.Entry = e
+	return c, nil
+}
+
+// OpenSegmentStore opens (or creates) a segment-log store in dir.
+func OpenSegmentStore(dir string, opt SegmentOptions) (*SegmentStore, error) {
+	opt.defaults()
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("kdb: opening segment store: %w", err)
+	}
+	s := &SegmentStore{
+		dir:       dir,
+		opt:       opt,
+		mem:       NewMemStore(),
+		compactCh: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.compactor()
+	if len(s.sealed) >= s.opt.CompactAfter {
+		s.kickCompactor()
+	}
+	return s, nil
+}
+
+// load replays base + segments into memory and opens the active segment.
+func (s *SegmentStore) load() error {
+	if data, err := os.ReadFile(filepath.Join(s.dir, segBaseName)); err == nil {
+		entries, meta, perr := ParseDumpFull(data)
+		if perr != nil {
+			return fmt.Errorf("kdb: parsing %s: %w", segBaseName, perr)
+		}
+		s.mem.ReplaceAll(entries)
+		s.baseMeta = meta
+		s.lastMeta = meta
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("kdb: reading %s: %w", segBaseName, err)
+	}
+
+	seqs, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	for i, seq := range seqs {
+		last := i == len(seqs)-1
+		if err := s.replaySegment(seq, last); err != nil {
+			return err
+		}
+	}
+	if len(seqs) == 0 {
+		s.activeSeq = 1
+	} else {
+		s.activeSeq = seqs[len(seqs)-1]
+		s.sealed = seqs[:len(seqs)-1]
+	}
+	path := filepath.Join(s.dir, segName(s.activeSeq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o600)
+	if err != nil {
+		return fmt.Errorf("kdb: opening active segment: %w", err)
+	}
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("kdb: seeking active segment: %w", err)
+	}
+	s.active, s.activeSize = f, size
+	s.loadedMeta = s.lastMeta
+	return nil
+}
+
+func (s *SegmentStore) listSegments() ([]uint64, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("kdb: listing %s: %w", s.dir, err)
+	}
+	var seqs []uint64
+	for _, de := range ents {
+		name := de.Name()
+		if len(name) != len(segPrefix)+8+len(segSuffix) ||
+			name[:len(segPrefix)] != segPrefix || name[len(name)-len(segSuffix):] != segSuffix {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name[len(segPrefix):len(name)-len(segSuffix)], "%d", &seq); err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// replaySegment applies one segment's records to memory. A structurally
+// bad record in the last segment is a torn tail: the file is truncated
+// back to the last whole record. The same damage anywhere else is
+// corruption and refuses to load.
+func (s *SegmentStore) replaySegment(seq uint64, last bool) error {
+	path := filepath.Join(s.dir, segName(seq))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("kdb: reading segment: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, ok := readLogRecord(data[off:])
+		if !ok {
+			if !last {
+				return fmt.Errorf("%w: %s at offset %d", ErrBadSegment, segName(seq), off)
+			}
+			// Torn tail: drop the partial record, keep everything before.
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return fmt.Errorf("kdb: truncating torn segment: %w", err)
+			}
+			return nil
+		}
+		if rec.Serial > s.lastMeta.Serial {
+			c, err := decodeOneChange(rec.Enc)
+			if err != nil {
+				if !last {
+					return fmt.Errorf("%w: %s at offset %d: %v", ErrBadSegment, segName(seq), off, err)
+				}
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return fmt.Errorf("kdb: truncating torn segment: %w", err)
+				}
+				return nil
+			}
+			if c.Op == ChangeDelete {
+				s.mem.Delete(c.Entry.ID())
+			} else {
+				s.mem.Put(c.Entry)
+			}
+			s.lastMeta = DumpMeta{Serial: rec.Serial, Digest: rec.Digest}
+		}
+		off += n
+	}
+	return nil
+}
+
+// readLogRecord parses one framed record from the head of data. ok is
+// false when the record is incomplete or fails its CRC.
+func readLogRecord(data []byte) (LogRec, int, bool) {
+	if len(data) < recHeader {
+		return LogRec{}, 0, false
+	}
+	payloadLen := int(binary.BigEndian.Uint32(data))
+	if payloadLen < 16 || payloadLen > maxLogRecord || len(data) < 8+payloadLen {
+		return LogRec{}, 0, false
+	}
+	crc := binary.BigEndian.Uint32(data[4:])
+	payload := data[8 : 8+payloadLen]
+	//kerb:ignore consttime -- CRC-32 detects torn disk writes, not forgery; nothing here is keyed
+	if crc32.ChecksumIEEE(payload) != crc {
+		return LogRec{}, 0, false
+	}
+	rec := LogRec{
+		Serial: binary.BigEndian.Uint64(payload),
+		Digest: binary.BigEndian.Uint64(payload[8:]),
+		Enc:    payload[16:],
+	}
+	return rec, 8 + payloadLen, true
+}
+
+// LoadedMeta reports the lineage observed at open time (base plus segment
+// replay), so the Database resumes the on-disk serial and digest.
+func (s *SegmentStore) LoadedMeta() DumpMeta {
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	return s.loadedMeta
+}
+
+// SetMetaSource installs the callback ReplaceAll uses to stamp the base
+// dump it writes. Append-path records carry their own lineage.
+func (s *SegmentStore) SetMetaSource(fn func() DumpMeta) {
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	s.metaSource = fn
+}
+
+// ApplyLogged implements ChangeLogStore: one buffered write of the framed
+// records to the active segment, one fsync, one in-memory batch — all in
+// a single lock window so file order is memory order.
+func (s *SegmentStore) ApplyLogged(recs []LogRec, upserts []*Entry, deletes []string) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, rec := range recs {
+		buf = appendLogRecord(buf, rec)
+	}
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	if err := s.appendLocked(buf); err != nil {
+		return err
+	}
+	s.lastMeta = DumpMeta{Serial: recs[len(recs)-1].Serial, Digest: recs[len(recs)-1].Digest}
+	s.mem.ApplyBatch(upserts, deletes)
+	s.maybeSealLocked()
+	return nil
+}
+
+func (s *SegmentStore) appendLocked(buf []byte) error {
+	if _, err := s.active.Write(buf); err != nil {
+		return fmt.Errorf("kdb: appending segment record: %w", err)
+	}
+	if !s.opt.NoFsync {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("kdb: syncing segment: %w", err)
+		}
+	}
+	s.activeSize += int64(len(buf))
+	return nil
+}
+
+// maybeSealLocked rolls to the next segment once the active one is full.
+func (s *SegmentStore) maybeSealLocked() {
+	if s.activeSize < s.opt.SegmentBytes {
+		return
+	}
+	next := s.activeSeq + 1
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(next)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		// Keep appending to the oversized segment; sealing retries on the
+		// next append.
+		return
+	}
+	s.active.Close()
+	s.sealed = append(s.sealed, s.activeSeq)
+	s.active, s.activeSeq, s.activeSize = f, next, 0
+	if len(s.sealed) >= s.opt.CompactAfter {
+		s.kickCompactor()
+	}
+}
+
+func (s *SegmentStore) kickCompactor() {
+	select {
+	case s.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+func (s *SegmentStore) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.compactCh:
+			if err := s.Compact(); err != nil {
+				s.fileMu.Lock()
+				s.compactErr = err
+				s.fileMu.Unlock()
+			}
+		}
+	}
+}
+
+// Compact folds the sealed segments into a fresh base dump and deletes
+// them. Sealed segments and the current base are immutable, so the fold
+// runs without blocking appends; only the final install (rename + segment
+// deletion) takes the file lock. Safe to call concurrently with
+// mutations; also called synchronously by tests.
+func (s *SegmentStore) Compact() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	s.fileMu.Lock()
+	seqs := append([]uint64(nil), s.sealed...)
+	s.fileMu.Unlock()
+	if len(seqs) == 0 {
+		return nil
+	}
+
+	// Fold base + sealed segments outside the lock.
+	byID := make(map[string]*Entry)
+	meta := DumpMeta{}
+	if data, err := os.ReadFile(filepath.Join(s.dir, segBaseName)); err == nil {
+		entries, m, perr := ParseDumpFull(data)
+		if perr != nil {
+			return fmt.Errorf("kdb: compacting: parsing base: %w", perr)
+		}
+		for _, e := range entries {
+			byID[e.ID()] = e
+		}
+		meta = m
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("kdb: compacting: %w", err)
+	}
+	for _, seq := range seqs {
+		data, err := os.ReadFile(filepath.Join(s.dir, segName(seq)))
+		if err != nil {
+			return fmt.Errorf("kdb: compacting: %w", err)
+		}
+		off := 0
+		for off < len(data) {
+			rec, n, ok := readLogRecord(data[off:])
+			if !ok {
+				return fmt.Errorf("%w: %s at offset %d (sealed)", ErrBadSegment, segName(seq), off)
+			}
+			if rec.Serial > meta.Serial {
+				c, err := decodeOneChange(rec.Enc)
+				if err != nil {
+					return fmt.Errorf("kdb: compacting %s: %w", segName(seq), err)
+				}
+				if c.Op == ChangeDelete {
+					delete(byID, c.Entry.ID())
+				} else {
+					byID[c.Entry.ID()] = c.Entry
+				}
+				meta = DumpMeta{Serial: rec.Serial, Digest: rec.Digest}
+			}
+			off += n
+		}
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	entries := make([]*Entry, len(ids))
+	for i, id := range ids {
+		entries[i] = byID[id]
+	}
+	if err := WriteFileAtomic(filepath.Join(s.dir, segBaseName), EncodeEntriesAt(entries, meta), 0o600); err != nil {
+		return fmt.Errorf("kdb: compacting: installing base: %w", err)
+	}
+
+	// Install: the new base covers everything in the folded segments, so
+	// deleting them is safe — and a crash before the deletions is also
+	// safe, because replay skips records at or below the base serial.
+	s.fileMu.Lock()
+	s.baseMeta = meta
+	remaining := s.sealed[:0]
+	folded := make(map[uint64]bool, len(seqs))
+	for _, seq := range seqs {
+		folded[seq] = true
+	}
+	for _, seq := range s.sealed {
+		if !folded[seq] {
+			remaining = append(remaining, seq)
+		}
+	}
+	s.sealed = append([]uint64(nil), remaining...)
+	s.compacts++
+	s.fileMu.Unlock()
+	for _, seq := range seqs {
+		os.Remove(filepath.Join(s.dir, segName(seq)))
+	}
+	return nil
+}
+
+// Compactions reports how many background compactions have completed.
+func (s *SegmentStore) Compactions() int {
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	return s.compacts
+}
+
+// CompactErr returns the last background compaction error, if any.
+func (s *SegmentStore) CompactErr() error {
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	return s.compactErr
+}
+
+// Close stops the compactor and closes the active segment. Closing an
+// already-closed store is a no-op.
+func (s *SegmentStore) Close() error {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	if s.active != nil {
+		if !s.opt.NoFsync {
+			s.active.Sync()
+		}
+		err := s.active.Close()
+		s.active = nil
+		return err
+	}
+	return nil
+}
+
+// Fetch implements Store.
+func (s *SegmentStore) Fetch(id string) (*Entry, bool) { return s.mem.Fetch(id) }
+
+// FetchShared implements Store.
+func (s *SegmentStore) FetchShared(id string) (*Entry, bool) { return s.mem.FetchShared(id) }
+
+// Put implements Store. Used standalone (outside a Database, which logs
+// through ApplyLogged), the store synthesizes its own lineage record.
+func (s *SegmentStore) Put(e *Entry) {
+	if err := s.selfLog(ChangeUpsert, e); err != nil {
+		panic(err)
+	}
+}
+
+// Delete implements Store.
+func (s *SegmentStore) Delete(id string) {
+	name, instance := splitID(id)
+	if err := s.selfLog(ChangeDelete, &Entry{Name: name, Instance: instance}); err != nil {
+		panic(err)
+	}
+}
+
+// selfLog journals one standalone mutation with a synthesized serial.
+func (s *SegmentStore) selfLog(op ChangeOp, e *Entry) error {
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	c := Change{Serial: s.lastMeta.Serial + 1, Op: op, Entry: e}
+	enc := encodeChange(c)
+	digest := chainDigest(s.lastMeta.Digest, enc)
+	buf := appendLogRecord(nil, LogRec{Enc: enc, Serial: c.Serial, Digest: digest})
+	if err := s.appendLocked(buf); err != nil {
+		return err
+	}
+	s.lastMeta = DumpMeta{Serial: c.Serial, Digest: digest}
+	if op == ChangeDelete {
+		s.mem.Delete(e.ID())
+	} else {
+		s.mem.Put(e)
+	}
+	s.maybeSealLocked()
+	return nil
+}
+
+// splitID undoes ID(): the instance is everything after the last dot
+// (names may not contain dots; core.Principal.Valid enforces that).
+func splitID(id string) (name, instance string) {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '.' {
+			return id[:i], id[i+1:]
+		}
+	}
+	return id, ""
+}
+
+// Range implements Store.
+func (s *SegmentStore) Range(fn func(*Entry) bool) { s.mem.Range(fn) }
+
+// Len implements Store.
+func (s *SegmentStore) Len() int { return s.mem.Len() }
+
+// ReplaceAll implements Store: bulk replacement (propagation install,
+// LoadDump) writes a fresh base dump and starts an empty segment — the
+// one legitimately whole-file write left, and it is O(new contents).
+func (s *SegmentStore) ReplaceAll(entries []*Entry) {
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	meta := s.lastMeta
+	if s.metaSource != nil {
+		meta = s.metaSource()
+	}
+	if err := WriteFileAtomic(filepath.Join(s.dir, segBaseName), EncodeEntriesAt(entries, meta), 0o600); err != nil {
+		panic(fmt.Errorf("kdb: replacing base: %w", err))
+	}
+	// Drop every segment: the new base supersedes them all.
+	next := s.activeSeq + 1
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(next)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		panic(fmt.Errorf("kdb: rolling segment: %w", err))
+	}
+	old := append(append([]uint64(nil), s.sealed...), s.activeSeq)
+	s.active.Close()
+	s.active, s.activeSeq, s.activeSize = f, next, 0
+	s.sealed = nil
+	s.baseMeta, s.lastMeta = meta, meta
+	for _, seq := range old {
+		os.Remove(filepath.Join(s.dir, segName(seq)))
+	}
+	s.mem.ReplaceAll(entries)
+}
+
+// ApplyBatch implements Store, self-logging each mutation (a Database
+// routes batches through ApplyLogged instead).
+func (s *SegmentStore) ApplyBatch(upserts []*Entry, deletes []string) {
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	var buf []byte
+	meta := s.lastMeta
+	for _, e := range upserts {
+		c := Change{Serial: meta.Serial + 1, Op: ChangeUpsert, Entry: e}
+		enc := encodeChange(c)
+		meta = DumpMeta{Serial: c.Serial, Digest: chainDigest(meta.Digest, enc)}
+		buf = appendLogRecord(buf, LogRec{Enc: enc, Serial: c.Serial, Digest: meta.Digest})
+	}
+	for _, id := range deletes {
+		name, instance := splitID(id)
+		c := Change{Serial: meta.Serial + 1, Op: ChangeDelete, Entry: &Entry{Name: name, Instance: instance}}
+		enc := encodeChange(c)
+		meta = DumpMeta{Serial: c.Serial, Digest: chainDigest(meta.Digest, enc)}
+		buf = appendLogRecord(buf, LogRec{Enc: enc, Serial: c.Serial, Digest: meta.Digest})
+	}
+	if len(buf) > 0 {
+		if err := s.appendLocked(buf); err != nil {
+			panic(err)
+		}
+	}
+	s.lastMeta = meta
+	s.mem.ApplyBatch(upserts, deletes)
+	s.maybeSealLocked()
+}
+
+// OpenSegmentDB opens (or creates) a sharded database over segment-log
+// stores rooted at dir: shard i lives in dir/shard-NNN. The shard count
+// is fixed at creation; reopening with a different count is an error
+// (re-sharding is a dump/reload).
+func OpenSegmentDB(masterKey des.Key, dir string, shards int, opt SegmentOptions) (*Database, []*SegmentStore, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if existing, err := DetectShards(dir); err != nil {
+		return nil, nil, err
+	} else if existing > 0 && existing != shards {
+		return nil, nil, fmt.Errorf("kdb: %s holds %d shards, asked for %d (re-shard via dump/reload)", dir, existing, shards)
+	}
+	stores := make([]Store, shards)
+	segs := make([]*SegmentStore, shards)
+	for i := 0; i < shards; i++ {
+		s, err := OpenSegmentStore(filepath.Join(dir, shardDirName(i)), opt)
+		if err != nil {
+			for _, prev := range segs[:i] {
+				prev.Close()
+			}
+			return nil, nil, err
+		}
+		stores[i], segs[i] = s, s
+	}
+	return NewSharded(masterKey, stores), segs, nil
+}
+
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// DetectShards counts the shard-NNN subdirectories of a segment database
+// root (0 when dir does not exist or holds none).
+func DetectShards(dir string) (int, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("kdb: listing %s: %w", dir, err)
+	}
+	n := 0
+	for _, de := range ents {
+		var i int
+		if de.IsDir() {
+			if _, err := fmt.Sscanf(de.Name(), "shard-%03d", &i); err == nil {
+				n++
+			}
+		}
+	}
+	return n, nil
+}

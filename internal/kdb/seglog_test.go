@@ -1,0 +1,329 @@
+package kdb
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+)
+
+func openSegDB(t testing.TB, dir string, shards int, opt SegmentOptions) (*Database, []*SegmentStore) {
+	t.Helper()
+	db, segs, err := OpenSegmentDB(des.StringToKey("master-password", "ATHENA.MIT.EDU"), dir, shards, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, s := range segs {
+			s.Close()
+		}
+	})
+	return db, segs
+}
+
+func TestSegmentStoreReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, segs := openSegDB(t, dir, 1, SegmentOptions{})
+	addN(t, db, 10)
+	key2 := des.StringToKey("newpw", "R")
+	if err := db.SetKey("user003", "", key2, "t", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("user007", ""); err != nil {
+		t.Fatal(err)
+	}
+	serial, digest := db.Serial(), db.Digest()
+	segs[0].Close()
+
+	db2, _ := openSegDB(t, dir, 1, SegmentOptions{})
+	if db2.Len() != 9 {
+		t.Fatalf("reopened len = %d, want 9", db2.Len())
+	}
+	if db2.Serial() != serial || db2.Digest() != digest {
+		t.Fatalf("reopened lineage (%d, %x), want (%d, %x)", db2.Serial(), db2.Digest(), serial, digest)
+	}
+	e, err := db2.Get("user003", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.KVNO != 2 {
+		t.Fatalf("KVNO after reopen = %d", e.KVNO)
+	}
+	if k, err := db2.Key(e); err != nil || k != key2 {
+		t.Fatalf("key after reopen: %v", err)
+	}
+	if _, err := db2.Get("user007", ""); err == nil {
+		t.Fatal("deleted entry survived reopen")
+	}
+}
+
+// TestSegmentStoreAppendsNotRewrites is the acceptance criterion in
+// file-size form: N mutations grow the active segment by O(change) each
+// and never rewrite a base file.
+func TestSegmentStoreAppendsNotRewrites(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openSegDB(t, dir, 1, SegmentOptions{SegmentBytes: 1 << 30, NoFsync: true})
+	addN(t, db, 1)
+	seg := filepath.Join(dir, shardDirName(0), segName(1))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size1 := fi.Size()
+	addN2 := func(from, to int) {
+		for i := from; i < to; i++ {
+			key := des.StringToKey(fmt.Sprintf("pw%d", i), "R")
+			if err := db.Add(fmt.Sprintf("user%03d", i), "", key, core.DefaultTGTLife, "test", t0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	addN2(1, 101)
+	fi, _ = os.Stat(seg)
+	perChange := float64(fi.Size()-size1) / 100
+	if perChange > 256 {
+		t.Fatalf("%.0f bytes appended per mutation — that is a rewrite, not an append", perChange)
+	}
+	if _, err := os.Stat(filepath.Join(dir, shardDirName(0), segBaseName)); !os.IsNotExist(err) {
+		t.Fatal("base dump written on the mutation path")
+	}
+}
+
+func TestSegmentStoreSealAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so a few dozen mutations seal several.
+	db, segs := openSegDB(t, dir, 1, SegmentOptions{SegmentBytes: 512, CompactAfter: 2, NoFsync: true})
+	addN(t, db, 60)
+	if err := db.Delete("user010", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := segs[0].Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := segs[0].CompactErr(); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, shardDirName(0))
+	if _, err := os.Stat(filepath.Join(sub, segBaseName)); err != nil {
+		t.Fatalf("no base after compaction: %v", err)
+	}
+	ents, _ := os.ReadDir(sub)
+	segFiles := 0
+	for _, de := range ents {
+		if strings.HasPrefix(de.Name(), segPrefix) {
+			segFiles++
+		}
+	}
+	if segFiles > 2 {
+		t.Fatalf("%d segment files survive compaction", segFiles)
+	}
+	serial, digest := db.Serial(), db.Digest()
+	segs[0].Close()
+
+	// Replay = base + tail segments; contents and lineage identical.
+	db2, _ := openSegDB(t, dir, 1, SegmentOptions{})
+	if db2.Len() != 59 || db2.Serial() != serial || db2.Digest() != digest {
+		t.Fatalf("after compaction+reopen: len %d serial %d digest %x, want 59 %d %x",
+			db2.Len(), db2.Serial(), db2.Digest(), serial, digest)
+	}
+}
+
+// TestSegmentStoreTornTailSweep truncates the active segment at every
+// possible byte offset of its final record and proves each reopen
+// recovers exactly the last complete mutation.
+func TestSegmentStoreTornTailSweep(t *testing.T) {
+	dir := t.TempDir()
+	db, segs := openSegDB(t, dir, 1, SegmentOptions{NoFsync: true})
+	addN(t, db, 5)
+	segs[0].Close()
+	seg := filepath.Join(dir, shardDirName(0), segName(1))
+	whole, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the offset where the last record begins.
+	off, last := 0, 0
+	for off < len(whole) {
+		_, n, ok := readLogRecord(whole[off:])
+		if !ok {
+			t.Fatalf("undamaged segment unreadable at %d", off)
+		}
+		last = off
+		off += n
+	}
+	for cut := last + 1; cut < len(whole); cut++ {
+		work := t.TempDir()
+		sub := filepath.Join(work, shardDirName(0))
+		if err := os.MkdirAll(sub, 0o700); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, segName(1)), whole[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		db2, segs2 := openSegDB(t, work, 1, SegmentOptions{NoFsync: true})
+		if db2.Len() != 4 {
+			t.Fatalf("cut=%d: recovered %d entries, want 4 (last complete mutation)", cut, db2.Len())
+		}
+		if db2.Serial() != 4 {
+			t.Fatalf("cut=%d: serial %d, want 4", cut, db2.Serial())
+		}
+		// The torn record is gone from disk: appending works and a further
+		// reopen sees the new change.
+		if err := db2.Add("fresh", "", des.StringToKey("x", "R"), core.DefaultTGTLife, "t", t0); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		segs2[0].Close()
+		db3, _ := openSegDB(t, work, 1, SegmentOptions{NoFsync: true})
+		if db3.Len() != 5 || db3.Serial() != 5 {
+			t.Fatalf("cut=%d: after truncate+append reopen: len %d serial %d", cut, db3.Len(), db3.Serial())
+		}
+	}
+}
+
+// TestSegmentStoreCorruptionRefusesLoad proves damage anywhere but the
+// tail is corruption, not a crash artifact, and refuses to load.
+func TestSegmentStoreCorruptionRefusesLoad(t *testing.T) {
+	dir := t.TempDir()
+	// CompactAfter high enough that the sealed segments stay on disk.
+	db, segs := openSegDB(t, dir, 1, SegmentOptions{SegmentBytes: 256, CompactAfter: 1000, NoFsync: true})
+	addN(t, db, 30) // several sealed segments
+	segs[0].Close()
+	sub := filepath.Join(dir, shardDirName(0))
+	// Flip a byte in the FIRST segment (not the last).
+	seg1 := filepath.Join(sub, segName(1))
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(seg1, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = OpenSegmentDB(des.StringToKey("m", "R"), dir, 1, SegmentOptions{})
+	if err == nil {
+		t.Fatal("mid-history corruption loaded silently")
+	}
+}
+
+// TestSegmentDBKillRecovers is the kill-the-process crash test: a child
+// process mutates a segment database as fast as it can until SIGKILL,
+// and the parent then reopens the directory and checks the recovered
+// state is a consistent prefix: serial S means users 1..S' applied with
+// no holes (S' = serial minus any torn tail), lineage intact.
+func TestSegmentDBKillRecovers(t *testing.T) {
+	if os.Getenv("KDB_SEGKILL_CHILD") == "1" {
+		dir := os.Getenv("KDB_SEGKILL_DIR")
+		db, _, err := OpenSegmentDB(des.StringToKey("m", "R"), dir, 2, SegmentOptions{SegmentBytes: 4096, NoFsync: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i := 0; ; i++ {
+			key := des.StringToKey(fmt.Sprintf("pw%d", i), "R")
+			if err := db.Add(fmt.Sprintf("churn%06d", i), "", key, core.DefaultTGTLife, "child", t0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	dir := t.TempDir()
+	for round := 0; round < 3; round++ {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestSegmentDBKillRecovers")
+		cmd.Env = append(os.Environ(), "KDB_SEGKILL_CHILD=1", "KDB_SEGKILL_DIR="+dir)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(60 * time.Millisecond)
+		cmd.Process.Signal(syscall.SIGKILL)
+		cmd.Wait()
+
+		db, segs, err := OpenSegmentDB(des.StringToKey("m", "R"), dir, 2, SegmentOptions{NoFsync: true})
+		if err != nil {
+			t.Fatalf("round %d: reopen after SIGKILL: %v", round, err)
+		}
+		// Every shard recovered a contiguous prefix: the total applied
+		// mutations equal the number of present principals, and each
+		// present principal decrypts under the master key.
+		total := db.Serial()
+		if uint64(db.Len()) != total {
+			t.Fatalf("round %d: %d principals but serial %d", round, db.Len(), total)
+		}
+		seen := 0
+		var badKey error
+		db.Range(func(e *Entry) bool {
+			seen++
+			if _, err := db.Key(e); err != nil {
+				badKey = fmt.Errorf("%s: %w", e.ID(), err)
+				return false
+			}
+			return true
+		})
+		if badKey != nil {
+			t.Fatalf("round %d: recovered entry undecryptable: %v", round, badKey)
+		}
+		if seen == 0 && round > 0 {
+			t.Fatalf("round %d: child made no progress", round)
+		}
+		for _, s := range segs {
+			s.Close()
+		}
+		// Next round continues over the recovered directory — reopening
+		// a crashed database and crashing it again must also hold.
+		os.RemoveAll(dir)
+		dir = t.TempDir()
+	}
+}
+
+// TestSegmentDBShardedReopen exercises the sharded open/reopen plane:
+// shard count autodetection, mismatch rejection, and per-shard lineage.
+func TestSegmentDBShardedReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, segs := openSegDB(t, dir, 4, SegmentOptions{NoFsync: true})
+	addN(t, db, 40)
+	for _, s := range segs {
+		s.Close()
+	}
+	if n, err := DetectShards(dir); err != nil || n != 4 {
+		t.Fatalf("DetectShards = (%d, %v), want 4", n, err)
+	}
+	if _, _, err := OpenSegmentDB(des.StringToKey("m", "R"), dir, 8, SegmentOptions{}); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	db2, _ := openSegDB(t, dir, 4, SegmentOptions{})
+	if db2.Len() != 40 || db2.Serial() != 40 {
+		t.Fatalf("sharded reopen: len %d serial %d", db2.Len(), db2.Serial())
+	}
+	if db2.Digest() != db.Digest() {
+		t.Fatal("sharded reopen digest mismatch")
+	}
+}
+
+// TestSegmentStoreReplaceAllStartsFresh proves bulk replacement (the
+// propagation install path) collapses the directory to one base dump.
+func TestSegmentStoreReplaceAllStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	db, segs := openSegDB(t, dir, 1, SegmentOptions{SegmentBytes: 256, NoFsync: true})
+	addN(t, db, 20)
+
+	src := newTestDB(t)
+	addN(t, src, 7)
+	if err := db.LoadDump(src.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 7 || db.Serial() != src.Serial() || db.Digest() != src.Digest() {
+		t.Fatalf("after LoadDump: len %d lineage (%d, %x)", db.Len(), db.Serial(), db.Digest())
+	}
+	segs[0].Close()
+	db2, _ := openSegDB(t, dir, 1, SegmentOptions{})
+	if db2.Len() != 7 || db2.Serial() != src.Serial() || db2.Digest() != src.Digest() {
+		t.Fatalf("after LoadDump+reopen: len %d lineage (%d, %x)", db2.Len(), db2.Serial(), db2.Digest())
+	}
+}

@@ -1,0 +1,364 @@
+package kdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+)
+
+func TestShardIndexAgreesWithShardIndexID(t *testing.T) {
+	cases := []struct{ name, instance string }{
+		{"jis", ""}, {"rcmd", "mole"}, {"changepw", "kerberos"},
+		{"u.000", ""}, {"", ""}, {"a", "b.c"},
+	}
+	for _, n := range []int{1, 2, 3, 8, 16, 97} {
+		for _, c := range cases {
+			byParts := ShardIndex(c.name, c.instance, n)
+			byID := ShardIndexID(ID(c.name, c.instance), n)
+			if byParts != byID {
+				t.Errorf("ShardIndex(%q,%q,%d)=%d but ShardIndexID=%d",
+					c.name, c.instance, n, byParts, byID)
+			}
+			if byParts < 0 || byParts >= n {
+				t.Errorf("ShardIndex(%q,%q,%d)=%d out of range", c.name, c.instance, n, byParts)
+			}
+		}
+	}
+}
+
+func TestShardIndexSpreadsPrincipals(t *testing.T) {
+	const n = 16
+	counts := make([]int, n)
+	for i := 0; i < 10000; i++ {
+		counts[ShardIndex(fmt.Sprintf("u%05d", i), "", n)]++
+	}
+	for i, c := range counts {
+		// Perfect balance is 625; FNV on structured names should land
+		// every shard within a loose factor of two.
+		if c < 300 || c > 1200 {
+			t.Errorf("shard %d holds %d of 10000 principals (poor spread)", i, c)
+		}
+	}
+}
+
+// randomOps generates a deterministic mixed op sequence for the
+// equivalence tests.
+type storeOp struct {
+	kind int // 0 put, 1 delete, 2 batch, 3 replaceAll
+	e    *Entry
+	ups  []*Entry
+	dels []string
+	all  []*Entry
+}
+
+func mkEntry(i, rev int) *Entry {
+	return &Entry{
+		Name:       fmt.Sprintf("u%03d", i),
+		Instance:   fmt.Sprintf("i%d", i%3),
+		EncKey:     []byte{byte(i), byte(rev), 3, 4, 5, 6, 7, 8},
+		KVNO:       uint8(1 + rev%5),
+		Expiration: t0.Add(time.Duration(i) * time.Hour),
+		MaxLife:    core.Lifetime(i % 256),
+		ModTime:    t0.Add(time.Duration(rev) * time.Minute),
+		ModBy:      "prop",
+	}
+}
+
+func randomOps(rng *rand.Rand, n int) []storeOp {
+	ops := make([]storeOp, 0, n)
+	for len(ops) < n {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			ops = append(ops, storeOp{kind: 0, e: mkEntry(rng.Intn(60), rng.Intn(9))})
+		case 5, 6:
+			ops = append(ops, storeOp{kind: 1, e: mkEntry(rng.Intn(60), 0)})
+		case 7, 8:
+			var ups []*Entry
+			var dels []string
+			for k := 0; k < 1+rng.Intn(5); k++ {
+				ups = append(ups, mkEntry(rng.Intn(60), rng.Intn(9)))
+			}
+			for k := 0; k < rng.Intn(3); k++ {
+				dels = append(dels, mkEntry(rng.Intn(60), 0).ID())
+			}
+			ops = append(ops, storeOp{kind: 2, ups: ups, dels: dels})
+		default:
+			var all []*Entry
+			for k := 0; k < rng.Intn(20); k++ {
+				all = append(all, mkEntry(rng.Intn(60), rng.Intn(9)))
+			}
+			ops = append(ops, storeOp{kind: 3, all: all})
+		}
+	}
+	return ops
+}
+
+func applyOp(s Store, op storeOp) {
+	switch op.kind {
+	case 0:
+		s.Put(op.e)
+	case 1:
+		s.Delete(op.e.ID())
+	case 2:
+		s.ApplyBatch(op.ups, op.dels)
+	case 3:
+		s.ReplaceAll(op.all)
+	}
+}
+
+func snapshotStore(s Store) []*Entry {
+	var out []*Entry
+	s.Range(func(e *Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// TestShardedStoreEquivalence is the property test of the tentpole: a
+// ShardedStore driven by any op sequence is observationally equivalent
+// to a flat MemStore driven by the same sequence — same Fetch results,
+// same Len, and the same globally sorted Range (so dumps over either are
+// byte-identical).
+func TestShardedStoreEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 13} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + shards)))
+			flat := NewMemStore()
+			sharded := NewShardedStore(shards)
+			for _, op := range randomOps(rng, 400) {
+				applyOp(flat, op)
+				applyOp(sharded, op)
+			}
+			if flat.Len() != sharded.Len() {
+				t.Fatalf("Len: flat %d, sharded %d", flat.Len(), sharded.Len())
+			}
+			a, b := snapshotStore(flat), snapshotStore(sharded)
+			if len(a) != len(b) {
+				t.Fatalf("Range lengths differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if !entryEqual(a[i], b[i]) {
+					t.Fatalf("Range[%d]: flat %s, sharded %s", i, a[i].ID(), b[i].ID())
+				}
+				if got, ok := sharded.Fetch(a[i].ID()); !ok || !entryEqual(got, a[i]) {
+					t.Fatalf("Fetch(%s) disagrees", a[i].ID())
+				}
+				if got, ok := sharded.FetchShared(a[i].ID()); !ok || !entryEqual(got, a[i]) {
+					t.Fatalf("FetchShared(%s) disagrees", a[i].ID())
+				}
+			}
+			if dumpA, dumpB := EncodeEntries(a), EncodeEntries(b); !bytes.Equal(dumpA, dumpB) {
+				t.Fatal("dumps over equivalent stores differ")
+			}
+			// Missing IDs answer identically too.
+			if _, ok := sharded.Fetch("nobody.nowhere"); ok {
+				t.Fatal("phantom entry in sharded store")
+			}
+		})
+	}
+}
+
+// TestShardedDatabaseEquivalence drives a sharded Database and a classic
+// single-shard one through the same mutation sequence and asserts the
+// observable state matches: Serial (total mutations), entries, List
+// order, and dump entry payloads.
+func TestShardedDatabaseEquivalence(t *testing.T) {
+	master := des.StringToKey("master-password", "ATHENA.MIT.EDU")
+	flat := New(master)
+	stores := make([]Store, 8)
+	for i := range stores {
+		stores[i] = NewMemStore()
+	}
+	sharded := NewSharded(master, stores)
+
+	key := des.StringToKey("pw", "R")
+	for i := 0; i < 120; i++ {
+		name := fmt.Sprintf("u%03d", i%40)
+		switch i % 4 {
+		case 0:
+			flat.Add(name, "", key, core.DefaultTGTLife, "t", t0)
+			sharded.Add(name, "", key, core.DefaultTGTLife, "t", t0)
+		case 1:
+			k2 := des.StringToKey(fmt.Sprintf("pw%d", i), "R")
+			flat.SetKey(name, "", k2, "t", t0)
+			sharded.SetKey(name, "", k2, "t", t0)
+		case 2:
+			flat.SetExpiration(name, "", t0.Add(time.Duration(i)*time.Hour), "t", t0)
+			sharded.SetExpiration(name, "", t0.Add(time.Duration(i)*time.Hour), "t", t0)
+		default:
+			flat.Delete(name, "")
+			sharded.Delete(name, "")
+		}
+	}
+	if flat.Serial() != sharded.Serial() {
+		t.Fatalf("Serial: flat %d, sharded %d", flat.Serial(), sharded.Serial())
+	}
+	if flat.Len() != sharded.Len() {
+		t.Fatalf("Len: flat %d, sharded %d", flat.Len(), sharded.Len())
+	}
+	listA, listB := flat.List(), sharded.List()
+	if len(listA) != len(listB) {
+		t.Fatalf("List lengths differ: %d vs %d", len(listA), len(listB))
+	}
+	for i := range listA {
+		if listA[i] != listB[i] {
+			t.Fatalf("List[%d]: %s vs %s", i, listA[i], listB[i])
+		}
+	}
+	for _, id := range listA {
+		name, instance := splitID(id)
+		ea, _ := flat.Get(name, instance)
+		eb, err := sharded.Get(name, instance)
+		if err != nil || !entryEqual(ea, eb) {
+			t.Fatalf("Get(%s) disagrees (%v)", id, err)
+		}
+		ka, _ := flat.Key(ea)
+		kb, err := sharded.Key(eb)
+		if err != nil || ka != kb {
+			t.Fatalf("Key(%s) disagrees (%v)", id, err)
+		}
+	}
+	// Dump entry payloads agree (the v3 header differs by design).
+	ea, _ := ParseDump(flat.Dump())
+	eb, err := ParseDump(sharded.Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ea) != len(eb) {
+		t.Fatalf("dump entries: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if !entryEqual(ea[i], eb[i]) {
+			t.Fatalf("dump entry %d differs: %s vs %s", i, ea[i].ID(), eb[i].ID())
+		}
+	}
+}
+
+// TestShardedDumpRoundTrip proves v3 dump/load resumes every shard's
+// lineage on a same-shape database and restarts it on a different shape.
+func TestShardedDumpRoundTrip(t *testing.T) {
+	master := des.StringToKey("m", "R")
+	mk := func(n int) *Database {
+		stores := make([]Store, n)
+		for i := range stores {
+			stores[i] = NewMemStore()
+		}
+		return NewSharded(master, stores)
+	}
+	src := mk(4)
+	addN(t, src, 50)
+	dump := src.Dump()
+
+	same := mk(4)
+	if err := same.LoadDump(dump); err != nil {
+		t.Fatal(err)
+	}
+	if same.Len() != 50 || same.Serial() != src.Serial() || same.Digest() != src.Digest() {
+		t.Fatalf("same-shape load: len %d serial %d digest %x", same.Len(), same.Serial(), same.Digest())
+	}
+	for i := 0; i < 4; i++ {
+		if same.ShardSerial(i) != src.ShardSerial(i) || same.ShardDigest(i) != src.ShardDigest(i) {
+			t.Fatalf("shard %d lineage not resumed", i)
+		}
+	}
+
+	other := mk(8)
+	if err := other.LoadDump(dump); err != nil {
+		t.Fatal(err)
+	}
+	if other.Len() != 50 {
+		t.Fatalf("cross-shape load: len %d", other.Len())
+	}
+	if other.Serial() != 0 {
+		t.Fatalf("cross-shape load must restart lineage, serial %d", other.Serial())
+	}
+
+	// Per-shard dumps round-trip shard by shard.
+	dst := mk(4)
+	for i := 0; i < 4; i++ {
+		if err := dst.LoadDumpShard(i, src.DumpShard(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dst.Len() != 50 || dst.Serial() != src.Serial() {
+		t.Fatalf("per-shard load: len %d serial %d", dst.Len(), dst.Serial())
+	}
+	// A shard dump routed to the wrong shard is rejected.
+	for i := 0; i < 4; i++ {
+		if src.ShardLen(i) == 0 {
+			continue
+		}
+		wrong := (i + 1) % 4
+		if err := dst.LoadDumpShard(wrong, src.DumpShard(i)); err == nil {
+			t.Fatalf("misrouted shard dump %d→%d accepted", i, wrong)
+		}
+		break
+	}
+}
+
+// TestShardedDeltaPlane exercises per-shard ChangesSince/ApplyChanges —
+// the unit the kprop v3 plane ships.
+func TestShardedDeltaPlane(t *testing.T) {
+	master := des.StringToKey("m", "R")
+	mk := func() *Database {
+		stores := make([]Store, 4)
+		for i := range stores {
+			stores[i] = NewMemStore()
+		}
+		return NewSharded(master, stores)
+	}
+	src := mk()
+	dst := mk()
+	addN(t, src, 30)
+	for i := 0; i < 4; i++ {
+		if err := dst.LoadDumpShard(i, src.DumpShard(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addN2 := func(db *Database, from, to int) {
+		for i := from; i < to; i++ {
+			key := des.StringToKey(fmt.Sprintf("pw%d", i), "ATHENA.MIT.EDU")
+			if err := db.Add(fmt.Sprintf("user%03d", i), "", key, core.DefaultTGTLife, "test", t0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	addN2(src, 30, 45)
+	for i := 0; i < 4; i++ {
+		changes, verdict := src.ChangesSinceShard(i, dst.ShardSerial(i), dst.ShardDigest(i))
+		if verdict != DeltaOK {
+			t.Fatalf("shard %d verdict %v", i, verdict)
+		}
+		if err := dst.ApplyChangesShard(i, changes, src.ShardDigest(i)); err != nil {
+			t.Fatalf("shard %d apply: %v", i, err)
+		}
+	}
+	if dst.Len() != 45 || dst.Digest() != src.Digest() {
+		t.Fatalf("after per-shard deltas: len %d digest %x vs %x", dst.Len(), dst.Digest(), src.Digest())
+	}
+	// Misrouted changes are rejected before anything applies.
+	changes, verdict := src.ChangesSinceShard(0, 0, 0)
+	if verdict != DeltaOK || len(changes) == 0 {
+		t.Skip("no retained changes for shard 0")
+	}
+	for i := 1; i < 4; i++ {
+		if err := dst.ApplyChangesShard(i, changes, 0); err == nil {
+			t.Fatalf("misrouted delta for shard 0 accepted by shard %d", i)
+		}
+		break
+	}
+	// Whole-database delta calls on a sharded database refuse rather
+	// than guess.
+	if _, v := src.ChangesSince(0, 0); v != FallbackRetention {
+		t.Fatalf("whole-db ChangesSince on sharded db = %v", v)
+	}
+	if err := dst.ApplyChanges(nil, 0); err == nil {
+		t.Fatal("whole-db ApplyChanges on sharded db accepted")
+	}
+}

@@ -15,7 +15,11 @@ func FuzzDelta(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("KPv2"))
 	f.Add(MasterHello{Version: wireVersion, Serial: 1, Digest: 2}.Encode())
+	f.Add(MasterHello{Version: wireVersionV3, Serial: 1, Digest: 2, Shard: 3, Shards: 8}.Encode())
 	f.Add(AckMsg{Serial: 9, NeedFull: true, Err: "gap"}.Encode())
+	// A hostile count prefix on a tiny change set: DecodeChanges must
+	// reject it before pre-allocating count slots (amplification guard).
+	f.Add(append([]byte{'K', 'C', 'H', '1', 0xff, 0xff, 0xff, 0xff}, make([]byte, 32)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if h, err := DecodeMasterHello(data); err == nil {
 			roundTrip(t, h.Encode(), data)

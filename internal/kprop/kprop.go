@@ -189,18 +189,45 @@ func NewMaster(db *kdb.Database, slaveAddrs []string, logger *log.Logger, opts .
 	return m
 }
 
+// shardKey renders the acked-map key for one slave's shard (the bare
+// address for a v2 whole-database exchange).
+func shardKey(addr string, shard int) string {
+	if shard < 0 {
+		return addr
+	}
+	return fmt.Sprintf("%s#%d", addr, shard)
+}
+
 // AckedSerial reports the last serial a slave acknowledged (0 before the
-// first successful push this process made to it).
+// first successful push this process made to it). Against a sharded
+// database this is the sum of the per-shard acked serials, comparable to
+// Database.Serial.
 func (m *Master) AckedSerial(addr string) uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.acked[addr]
+	if m.db.Shards() == 1 {
+		return m.acked[addr]
+	}
+	var sum uint64
+	for i := 0; i < m.db.Shards(); i++ {
+		sum += m.acked[shardKey(addr, i)]
+	}
+	return sum
 }
 
-func (m *Master) setAcked(addr string, serial uint64) {
+// AckedShardSerial reports the last serial a slave acknowledged for one
+// shard.
+func (m *Master) AckedShardSerial(addr string, shard int) uint64 {
 	m.mu.Lock()
-	if serial > m.acked[addr] {
-		m.acked[addr] = serial
+	defer m.mu.Unlock()
+	return m.acked[shardKey(addr, shard)]
+}
+
+func (m *Master) setAcked(addr string, shard int, serial uint64) {
+	key := shardKey(addr, shard)
+	m.mu.Lock()
+	if serial > m.acked[key] {
+		m.acked[key] = serial
 	}
 	m.mu.Unlock()
 }
@@ -223,26 +250,43 @@ func openSum(key des.Key, sealed []byte) (uint64, error) {
 }
 
 // round caches the expensive full-dump artifacts so one fan-out round
-// dumps, checksums, and compresses the database at most once no matter
-// how many slaves need the full path.
+// dumps, checksums, and compresses each dump unit (the whole database,
+// or one shard of it) at most once no matter how many slaves need the
+// full path.
 type round struct {
-	m       *Master
+	m     *Master
+	fulls []roundFull // index shard+1 (0 is the whole-database unit)
+}
+
+type roundFull struct {
 	once    sync.Once
 	msg     []byte // encoded FullDumpMsg
 	rawLen  int    // uncompressed dump size
 	wireLen int    // compressed payload size
 }
 
-func (r *round) fullMsg() ([]byte, int, int) {
-	r.once.Do(func() {
-		dump := r.m.db.Dump()
+func newRound(m *Master) *round {
+	return &round{m: m, fulls: make([]roundFull, m.db.Shards()+1)}
+}
+
+// fullMsg returns the cached full-dump message for one unit: shard < 0
+// is the whole database (v2), otherwise one shard's v2 dump.
+func (r *round) fullMsg(shard int) ([]byte, int, int) {
+	rf := &r.fulls[shard+1]
+	rf.once.Do(func() {
+		var dump []byte
+		if shard < 0 {
+			dump = r.m.db.Dump()
+		} else {
+			dump = r.m.db.DumpShard(shard)
+		}
 		payload := deflate(dump)
 		f := FullDumpMsg{SealedSum: sealSum(r.m.db.MasterKey(), dump), Payload: payload}
-		r.msg = f.Encode()
-		r.rawLen = len(dump)
-		r.wireLen = len(payload)
+		rf.msg = f.Encode()
+		rf.rawLen = len(dump)
+		rf.wireLen = len(payload)
 	})
-	return r.msg, r.rawLen, r.wireLen
+	return rf.msg, rf.rawLen, rf.wireLen
 }
 
 // pushResult describes what one push shipped.
@@ -254,19 +298,60 @@ type pushResult struct {
 	serial    uint64 // serial the slave acked
 }
 
-// PropagateTo pushes one update (delta if possible) to a single kpropd.
+// shardUnits lists the exchange units for this database: the single
+// whole-database unit (-1, the v2 conversation) for an unsharded
+// database, one unit per shard otherwise.
+func (m *Master) shardUnits() []int {
+	if m.db.Shards() == 1 {
+		return []int{-1}
+	}
+	units := make([]int, m.db.Shards())
+	for i := range units {
+		units[i] = i
+	}
+	return units
+}
+
+// PropagateTo pushes one update (delta if possible) to a single kpropd —
+// every shard of a sharded database, in parallel bounded by the fanout.
 //
 //kerb:clockadapter -- propagation latency metrics and dial deadlines are wall-clock
 func (m *Master) PropagateTo(addr string) error {
-	return m.push(addr, &round{m: m})
+	rnd := newRound(m)
+	units := m.shardUnits()
+	if len(units) == 1 {
+		return m.push(addr, units[0], rnd)
+	}
+	sem := make(chan struct{}, m.fanout)
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs []error
+	)
+	for _, shard := range units {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(shard int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := m.push(addr, shard, rnd); err != nil {
+				emu.Lock()
+				errs = append(errs, err)
+				emu.Unlock()
+			}
+		}(shard)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
-// push runs one instrumented exchange with one slave.
+// push runs one instrumented exchange with one slave (one shard of it,
+// for a sharded database).
 //
 //kerb:clockadapter -- propagation latency metrics are wall-clock observability
-func (m *Master) push(addr string, rnd *round) error {
+func (m *Master) push(addr string, shard int, rnd *round) error {
 	start := time.Now()
-	res, err := m.exchange(addr, rnd)
+	res, err := m.exchange(addr, shard, rnd)
 	d := time.Since(start)
 	m.metrics.pushes.Inc()
 	m.metrics.roundLatency.Observe(d)
@@ -275,7 +360,7 @@ func (m *Master) push(addr string, rnd *round) error {
 	} else {
 		m.metrics.bytes.Add(uint64(res.wireBytes))
 		m.metrics.lastSuccess.Set(time.Now().Unix())
-		m.setAcked(addr, res.serial)
+		m.setAcked(addr, shard, res.serial)
 		switch res.kind {
 		case "delta":
 			m.metrics.deltaRounds.Inc()
@@ -319,10 +404,11 @@ func (m *Master) push(addr string, rnd *round) error {
 	return err
 }
 
-// exchange speaks one v2 conversation with a slave.
+// exchange speaks one conversation with a slave: v2 when shard < 0 (the
+// whole database), v3 scoped to one shard otherwise.
 //
 //kerb:clockadapter -- connection deadlines are wall-clock I/O timeouts
-func (m *Master) exchange(addr string, rnd *round) (pushResult, error) {
+func (m *Master) exchange(addr string, shard int, rnd *round) (pushResult, error) {
 	var res pushResult
 	conn, err := m.dial(addr, 5*time.Second)
 	if err != nil {
@@ -331,7 +417,18 @@ func (m *Master) exchange(addr string, rnd *round) (pushResult, error) {
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(60 * time.Second))
 
-	hello := MasterHello{Version: wireVersion, Serial: m.db.Serial(), Digest: m.db.Digest()}
+	var hello MasterHello
+	if shard < 0 {
+		hello = MasterHello{Version: wireVersion, Serial: m.db.Serial(), Digest: m.db.Digest()}
+	} else {
+		hello = MasterHello{
+			Version: wireVersionV3,
+			Serial:  m.db.ShardSerial(shard),
+			Digest:  m.db.ShardDigest(shard),
+			Shard:   uint32(shard),
+			Shards:  uint32(m.db.Shards()),
+		}
+	}
 	if err := writeFrame(conn, hello.Encode()); err != nil {
 		return res, fmt.Errorf("kprop: sending hello to %s: %w", addr, err)
 	}
@@ -346,7 +443,13 @@ func (m *Master) exchange(addr string, rnd *round) (pushResult, error) {
 
 	sendFull := m.forceFull
 	if !sendFull {
-		changes, verdict := m.db.ChangesSince(sh.Serial, sh.Digest)
+		var changes []kdb.Change
+		var verdict kdb.DeltaVerdict
+		if shard < 0 {
+			changes, verdict = m.db.ChangesSince(sh.Serial, sh.Digest)
+		} else {
+			changes, verdict = m.db.ChangesSinceShard(shard, sh.Serial, sh.Digest)
+		}
 		if verdict != kdb.DeltaOK {
 			sendFull = true
 			res.fallback = verdict.String()
@@ -384,7 +487,7 @@ func (m *Master) exchange(addr string, rnd *round) (pushResult, error) {
 		}
 	}
 
-	msg, _, wireLen := rnd.fullMsg()
+	msg, _, wireLen := rnd.fullMsg(shard)
 	if err := writeFrame(conn, msg); err != nil {
 		return res, fmt.Errorf("kprop: sending dump to %s: %w", addr, err)
 	}
@@ -417,26 +520,29 @@ func (m *Master) readAck(conn net.Conn, addr string) (AckMsg, error) {
 // backoff — one sick slave costs its own retries, never the round.
 //
 //kerb:clockadapter -- retry backoff sleeps are wall-clock by nature
-func (m *Master) pushWithRetry(addr string, rnd *round) error {
-	err := m.push(addr, rnd)
+func (m *Master) pushWithRetry(addr string, shard int, rnd *round) error {
+	err := m.push(addr, shard, rnd)
 	for attempt := 0; err != nil && attempt < m.retries; attempt++ {
 		m.metrics.retries.Inc()
 		sleep := m.backoff << attempt
 		sleep += time.Duration(rand.Int63n(int64(sleep)/2 + 1))
 		time.Sleep(sleep)
-		err = m.push(addr, rnd)
+		err = m.push(addr, shard, rnd)
 	}
 	return err
 }
 
 // PropagateAll pushes to every configured slave with bounded
 // concurrency, collecting errors; one sick slave does not block the
-// others. The full dump, if any slave needs it, is computed once.
+// others. Against a sharded database the work units are (slave, shard)
+// pairs, so independent shards of independent slaves ship in parallel.
+// Each full dump unit, if any slave needs it, is computed once.
 //
 //kerb:clockadapter -- fan-out round latency metric is wall-clock observability
 func (m *Master) PropagateAll() error {
 	start := time.Now()
-	rnd := &round{m: m}
+	rnd := newRound(m)
+	units := m.shardUnits()
 	sem := make(chan struct{}, m.fanout)
 	var (
 		wg   sync.WaitGroup
@@ -444,18 +550,20 @@ func (m *Master) PropagateAll() error {
 		errs []error
 	)
 	for _, addr := range m.slaves {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(addr string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := m.pushWithRetry(addr, rnd); err != nil {
-				m.logger.Printf("kprop: %v", err)
-				emu.Lock()
-				errs = append(errs, err)
-				emu.Unlock()
-			}
-		}(addr)
+		for _, shard := range units {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(addr string, shard int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := m.pushWithRetry(addr, shard, rnd); err != nil {
+					m.logger.Printf("kprop: %v", err)
+					emu.Lock()
+					errs = append(errs, err)
+					emu.Unlock()
+				}
+			}(addr, shard)
+		}
 	}
 	wg.Wait()
 	m.metrics.fanoutLat.Observe(time.Since(start))
@@ -544,6 +652,9 @@ func (s *Slave) Rejected() uint64 { return s.metrics.rejected.Load() }
 // Resyncs reports how many failed deltas were healed by a full dump.
 func (s *Slave) Resyncs() uint64 { return s.metrics.resyncs.Load() }
 
+// Fulls reports how many full-dump installs have been applied.
+func (s *Slave) Fulls() uint64 { return s.metrics.fulls.Load() }
+
 // handleConn processes one kprop connection: v2 if the first frame is a
 // MasterHello, the paper's original two-frame exchange otherwise.
 //
@@ -564,10 +675,37 @@ func (s *Slave) handleConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	sh := SlaveHello{
-		Serial:     s.db.Serial(),
-		Digest:     s.db.Digest(),
-		Principals: uint32(s.db.Len()),
+	// A v3 hello scopes the conversation to one shard; it is only valid
+	// when the slave's shard shape matches the master's. On a mismatch
+	// the slave still answers the handshake but NACKs the update — the
+	// operator re-shards deliberately, never by propagation accident.
+	shard := -1
+	mismatch := ""
+	if hello.Version >= wireVersionV3 {
+		if int(hello.Shards) != s.db.Shards() {
+			mismatch = fmt.Sprintf("kpropd: master has %d shards, slave has %d", hello.Shards, s.db.Shards())
+		} else {
+			shard = int(hello.Shard)
+		}
+	}
+	var sh SlaveHello
+	switch {
+	case mismatch != "":
+		// Zero state: never tempt the master into a delta it would build
+		// against the wrong shard shape.
+		sh = SlaveHello{}
+	case shard >= 0:
+		sh = SlaveHello{
+			Serial:     s.db.ShardSerial(shard),
+			Digest:     s.db.ShardDigest(shard),
+			Principals: uint32(s.db.ShardLen(shard)),
+		}
+	default:
+		sh = SlaveHello{
+			Serial:     s.db.Serial(),
+			Digest:     s.db.Digest(),
+			Principals: uint32(s.db.Len()),
+		}
 	}
 	if err := writeFrame(conn, sh.Encode()); err != nil {
 		return
@@ -576,7 +714,14 @@ func (s *Slave) handleConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	ack := s.applyUpdate(hello, msg)
+	var ack AckMsg
+	if mismatch != "" {
+		s.metrics.rejected.Inc()
+		s.logger.Printf("%s", mismatch)
+		ack = AckMsg{Err: mismatch}
+	} else {
+		ack = s.applyUpdate(hello, msg, shard)
+	}
 	if err := writeFrame(conn, ack.Encode()); err != nil {
 		return
 	}
@@ -589,7 +734,7 @@ func (s *Slave) handleConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	ack = s.applyUpdate(hello, msg)
+	ack = s.applyUpdate(hello, msg, shard)
 	if ack.OK {
 		s.metrics.resyncs.Inc()
 	}
@@ -611,38 +756,52 @@ func (s *Slave) handleLegacy(conn net.Conn, sealedSum []byte) {
 	writeFrame(conn, []byte("OK"))
 }
 
-// applyUpdate dispatches one v2 update message and returns the ack.
-func (s *Slave) applyUpdate(hello MasterHello, msg []byte) AckMsg {
+// ackSerial is the serial an ack reports: the shard's for a v3
+// conversation, the database's for v2.
+func (s *Slave) ackSerial(shard int) uint64 {
+	if shard >= 0 {
+		return s.db.ShardSerial(shard)
+	}
+	return s.db.Serial()
+}
+
+// applyUpdate dispatches one update message and returns the ack. shard
+// scopes a v3 conversation; -1 is the whole database (v2).
+func (s *Slave) applyUpdate(hello MasterHello, msg []byte, shard int) AckMsg {
 	if len(msg) >= 5 && [4]byte(msg[:4]) == wireMagic {
 		switch msg[4] {
 		case kindDelta:
-			return s.applyDelta(hello, msg)
+			return s.applyDelta(hello, msg, shard)
 		case kindFullDump:
-			return s.applyFull(msg)
+			return s.applyFull(msg, shard)
 		}
 	}
 	s.metrics.rejected.Inc()
-	return AckMsg{Serial: s.db.Serial(), Err: "kpropd: unknown update message"}
+	return AckMsg{Serial: s.ackSerial(shard), Err: "kpropd: unknown update message"}
 }
 
 // applyDelta verifies and atomically applies a journal segment. Any
 // failure asks the master for a full resync: stale or out-of-order
 // serials, a checksum that does not open under the master key, or a
 // digest chain that does not land where the master said it would.
-func (s *Slave) applyDelta(hello MasterHello, msg []byte) AckMsg {
+func (s *Slave) applyDelta(hello MasterHello, msg []byte, shard int) AckMsg {
 	changes, payloadLen, wantDigest, err := s.verifyDelta(hello, msg)
 	if err != nil {
 		s.metrics.rejected.Inc() // install() was never reached
 	} else {
-		err = s.install(func() error { return s.db.ApplyChanges(changes, wantDigest) }, payloadLen)
+		apply := func() error { return s.db.ApplyChanges(changes, wantDigest) }
+		if shard >= 0 {
+			apply = func() error { return s.db.ApplyChangesShard(shard, changes, wantDigest) }
+		}
+		err = s.install(apply, payloadLen)
 	}
 	if err != nil {
 		s.logger.Printf("kpropd: delta rejected: %v", err)
-		return AckMsg{Serial: s.db.Serial(), NeedFull: true, Err: err.Error()}
+		return AckMsg{Serial: s.ackSerial(shard), NeedFull: true, Err: err.Error()}
 	}
 	s.metrics.deltas.Inc()
 	s.logger.Printf("kpropd: applied delta of %d changes, serial %d", len(changes), s.db.Serial())
-	return AckMsg{Serial: s.db.Serial(), OK: true}
+	return AckMsg{Serial: s.ackSerial(shard), OK: true}
 }
 
 // verifyDelta decodes, decompresses, and checksum-verifies a delta
@@ -679,8 +838,9 @@ func (s *Slave) verifyDelta(hello MasterHello, msg []byte) (changes []kdb.Change
 	return changes, len(d.Payload), wantDigest, nil
 }
 
-// applyFull verifies and installs a compressed full dump.
-func (s *Slave) applyFull(msg []byte) AckMsg {
+// applyFull verifies and installs a compressed full dump (of the whole
+// database, or of one shard in a v3 conversation).
+func (s *Slave) applyFull(msg []byte, shard int) AckMsg {
 	f, err := DecodeFullDumpMsg(msg)
 	var dump []byte
 	if err == nil {
@@ -689,14 +849,19 @@ func (s *Slave) applyFull(msg []byte) AckMsg {
 	if err != nil {
 		s.metrics.rejected.Inc() // Install() was never reached
 		s.logger.Printf("kpropd: rejected update: %v", err)
-		return AckMsg{Serial: s.db.Serial(), Err: err.Error()}
+		return AckMsg{Serial: s.ackSerial(shard), Err: err.Error()}
 	}
-	if err := s.Install(f.SealedSum, dump); err != nil {
+	if shard >= 0 {
+		err = s.InstallShard(shard, f.SealedSum, dump)
+	} else {
+		err = s.Install(f.SealedSum, dump)
+	}
+	if err != nil {
 		s.logger.Printf("kpropd: rejected update: %v", err)
-		return AckMsg{Serial: s.db.Serial(), Err: err.Error()}
+		return AckMsg{Serial: s.ackSerial(shard), Err: err.Error()}
 	}
 	s.metrics.fulls.Inc()
-	return AckMsg{Serial: s.db.Serial(), OK: true}
+	return AckMsg{Serial: s.ackSerial(shard), OK: true}
 }
 
 // Install verifies a (sealed checksum, uncompressed dump) pair and swaps
@@ -716,6 +881,27 @@ func (s *Slave) Install(sealedSum, dump []byte) error {
 		}
 		if err := s.db.LoadDump(dump); err != nil {
 			return fmt.Errorf("kpropd: installing dump: %w", err)
+		}
+		return nil
+	}, len(dump))
+}
+
+// InstallShard is Install scoped to one shard: the checksum is verified
+// the same way, and the dump replaces only that shard's contents and
+// lineage.
+//
+//kerb:clockadapter -- install latency metrics are wall-clock observability, not protocol time
+func (s *Slave) InstallShard(shard int, sealedSum, dump []byte) error {
+	return s.install(func() error {
+		want, err := openSum(s.db.MasterKey(), sealedSum)
+		if err != nil {
+			return err
+		}
+		if got := kdb.DumpChecksum(s.db.MasterKey(), dump); got != want {
+			return fmt.Errorf("kpropd: dump checksum %x does not match master's %x", got, want)
+		}
+		if err := s.db.LoadDumpShard(shard, dump); err != nil {
+			return fmt.Errorf("kpropd: installing shard dump: %w", err)
 		}
 		return nil
 	}, len(dump))

@@ -47,8 +47,16 @@ const (
 	kindAck         = 0x05
 )
 
-// wireVersion is the protocol revision carried in MasterHello.
-const wireVersion = 2
+// Protocol revisions carried in MasterHello. v2 is the whole-database
+// delta plane; v3 scopes one conversation to one shard of a sharded
+// database (the hello gains the shard index and the master's shard
+// count), so the per-shard deltas of a large realm ship in parallel over
+// independent connections. A v3 master falls back to v2 framing when the
+// database has a single shard, so unsharded deployments are untouched.
+const (
+	wireVersion   = 2
+	wireVersionV3 = 3
+)
 
 var wireMagic = [4]byte{'K', 'P', 'v', '2'}
 
@@ -168,12 +176,16 @@ func body(data []byte, kind byte) ([]byte, error) {
 	return data[5:], nil
 }
 
-// MasterHello opens a v2 conversation: the protocol version and the
-// (serial, digest) the master database is at.
+// MasterHello opens a conversation: the protocol version and the
+// (serial, digest) the master is at. In a v3 hello the serial and digest
+// are those of one shard, named by Shard out of the master's Shards; a
+// v2 hello covers the whole database and carries no shard fields.
 type MasterHello struct {
 	Version uint8
 	Serial  uint64
 	Digest  uint64
+	Shard   uint32 // v3 only: which shard this conversation covers
+	Shards  uint32 // v3 only: the master's total shard count
 }
 
 // Encode serializes the hello.
@@ -181,7 +193,12 @@ func (h MasterHello) Encode() []byte {
 	buf := header(kindMasterHello)
 	buf = append(buf, h.Version)
 	buf = binary.BigEndian.AppendUint64(buf, h.Serial)
-	return binary.BigEndian.AppendUint64(buf, h.Digest)
+	buf = binary.BigEndian.AppendUint64(buf, h.Digest)
+	if h.Version >= wireVersionV3 {
+		buf = binary.BigEndian.AppendUint32(buf, h.Shard)
+		buf = binary.BigEndian.AppendUint32(buf, h.Shards)
+	}
+	return buf
 }
 
 // DecodeMasterHello parses a MasterHello message.
@@ -195,10 +212,20 @@ func DecodeMasterHello(data []byte) (MasterHello, error) {
 	h.Version = r.u8()
 	h.Serial = r.u64()
 	h.Digest = r.u64()
+	if h.Version >= wireVersionV3 {
+		h.Shard = r.u32()
+		h.Shards = r.u32()
+	}
 	if err := r.done(); err != nil {
 		return h, err
 	}
-	if h.Version != wireVersion {
+	switch h.Version {
+	case wireVersion:
+	case wireVersionV3:
+		if h.Shards == 0 || h.Shard >= h.Shards {
+			return h, fmt.Errorf("%w: shard %d of %d", ErrBadMessage, h.Shard, h.Shards)
+		}
+	default:
 		return h, fmt.Errorf("%w: unsupported version %d", ErrBadMessage, h.Version)
 	}
 	return h, nil

@@ -114,12 +114,7 @@ func Churn(db *kdb.Database, spec Spec, realm string, fraction float64, round in
 	if spec.Users == 0 || fraction <= 0 {
 		return 0, nil
 	}
-	n := int(float64(spec.Users) * fraction)
-	if n < 1 {
-		n = 1
-	}
-	rng := rand.New(rand.NewSource(spec.Seed*1_000_003 + round))
-	start := rng.Intn(spec.Users)
+	start, n := churnSpan(spec, fraction, round)
 	changes := 0
 	for j := 0; j < n; j++ {
 		i := (start + j) % spec.Users
@@ -133,6 +128,43 @@ func Churn(db *kdb.Database, spec Spec, realm string, fraction float64, round in
 		}
 	}
 	return changes, nil
+}
+
+// churnSpan picks the pseudo-random user range a churn round touches.
+// Deterministic in (Seed, round) so Revert can retrace the same span.
+func churnSpan(spec Spec, fraction float64, round int64) (start, n int) {
+	n = int(float64(spec.Users) * fraction)
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed*1_000_003 + round))
+	return rng.Intn(spec.Users), n
+}
+
+// Revert undoes a Churn round: every user in the round's span gets the
+// install-time password back. Benchmarks that measure churn propagation
+// use it so the population's keys match the Driver's again afterwards
+// (the KVNOs keep climbing, as they would in a live realm).
+func Revert(db *kdb.Database, spec Spec, realm string, fraction float64, round int64, now time.Time) (int, error) {
+	if spec.Users == 0 || fraction <= 0 {
+		return 0, nil
+	}
+	start, n := churnSpan(spec, fraction, round)
+	for j := 0; j < n; j++ {
+		i := (start + j) % spec.Users
+		if err := revertUser(db, spec, spec.UserPrincipal(i, realm), i, now); err != nil {
+			return j, fmt.Errorf("workload: revert round %d user %d: %w", round, i, err)
+		}
+	}
+	return n, nil
+}
+
+// revertUser restores one user's original key — a helper call per
+// principal so the derived key is wiped before the loop moves on.
+func revertUser(db *kdb.Database, spec Spec, p core.Principal, i int, now time.Time) error {
+	key := client.PasswordKey(p, spec.UserPassword(i))
+	defer clear(key[:])
+	return db.SetKey(p.Name, p.Instance, key, "kadmin", now)
 }
 
 // churnUser applies one user's churn — a helper call per principal so

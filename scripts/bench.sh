@@ -22,21 +22,34 @@ go test -run '^$' -benchmem -count="$COUNT" \
 go test -run '^$' -benchmem -count="$COUNT" \
     -bench 'BitsliceDES|ScalarDES|SealBatch64|SealSerial64' ./internal/des/ | tee -a "$RAW"
 
+# S9x1000 is the scaling headline (5M principals behind a 3-instance
+# cluster): one long-setup run, fixed iteration count so runs compare.
+# KERB_S9X1000_SCALE (e.g. 100) shrinks the population for quick boxes.
+echo "== go test -bench S9x1000 (count=1, benchtime=2000x)"
+go test -run '^$' -benchmem -count=1 -benchtime 2000x -timeout 1800s \
+    -bench 'S9x1000' . | tee -a "$RAW"
+
 # Fold the raw `go test` benchmark lines into JSON, keeping the minimum
 # ns/op observed per benchmark (with its paired B/op and allocs/op).
+# Custom ReportMetric units (sessions/s, as-p99-ns, prop-lag-ms, ...)
+# ride along as extra fields with '/'-and-'-' folded to '_'.
 awk -v out="$OUT" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; extra = ""
     for (i = 2; i <= NF; i++) {
-        if ($(i) == "ns/op")     ns = $(i - 1)
-        if ($(i) == "B/op")      bytes = $(i - 1)
-        if ($(i) == "allocs/op") allocs = $(i - 1)
+        if ($(i) == "ns/op")          ns = $(i - 1)
+        else if ($(i) == "B/op")      bytes = $(i - 1)
+        else if ($(i) == "allocs/op") allocs = $(i - 1)
+        else if ($(i) ~ /^[a-zA-Z][a-zA-Z0-9\/_-]*$/ && $(i - 1) ~ /^[0-9.]+$/) {
+            u = $(i); gsub(/[\/-]/, "_", u)
+            extra = extra sprintf(", \"%s\": %s", u, $(i - 1))
+        }
     }
     if (ns == "") next
     if (!(name in best) || ns + 0 < best[name] + 0) {
-        best[name] = ns; b[name] = bytes; a[name] = allocs
+        best[name] = ns; b[name] = bytes; a[name] = allocs; e[name] = extra
         if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
     }
 }
@@ -44,8 +57,8 @@ END {
     printf "{\n" > out
     for (i = 1; i <= n; i++) {
         name = order[i]
-        printf "  \"%s\": {\"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s}%s\n", \
-            name, best[name], b[name], a[name], (i < n ? "," : "") >> out
+        printf "  \"%s\": {\"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s%s}%s\n", \
+            name, best[name], b[name], a[name], e[name], (i < n ? "," : "") >> out
     }
     printf "}\n" >> out
 }' "$RAW"
