@@ -1,7 +1,7 @@
 # Development targets. The repo is pure Go with no dependencies; every
 # target is a thin wrapper so CI and humans run the same commands.
 
-.PHONY: build test race race-regress vet lint bench verify ci fuzz cover
+.PHONY: build test race race-regress vet lint bench bench-realm sim verify ci fuzz cover
 
 build:
 	go build ./...
@@ -52,3 +52,13 @@ ci: vet lint build race cover fuzz
 bench:
 	sh scripts/bench.sh
 	sh scripts/bench_kprop.sh
+
+# Realm capacity analysis: calibrate per-exchange cost, binary-search
+# the max sustainable QPS per topology, write BENCH_realm.json.
+bench-realm:
+	sh scripts/bench.sh bench-realm
+
+# Simulator smoke (<30s): a scaled Athena day run twice, byte-identical
+# runs required. CI runs this on every push.
+sim:
+	go run ./cmd/kersim -scenario athena-day -scale 0.1 -verify

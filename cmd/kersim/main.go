@@ -1,0 +1,114 @@
+// Command kersim drives the deterministic realm simulator: a scenario
+// file (or the canned athena-day) is executed in virtual time against
+// real in-process KDC instances, and the day's counters, latency
+// quantiles, and event trace come back. It is also the entry point for
+// the saturation analyzer that writes BENCH_realm.json.
+//
+//	kersim -scenario athena-day -scale 0.2          # one scaled day, summary
+//	kersim -scenario scenarios/athena-day.json      # the same day from its file
+//	kersim -scenario athena-day -scale 0.1 -verify  # run twice, require byte-identical runs
+//	kersim -scenario athena-day -trace              # dump the event trace
+//	kersim -analyze -out BENCH_realm.json           # calibrate + binary-search every topology
+//	kersim -dump                                    # print the canned scenario as JSON
+//
+// Everything inside a run happens on the simulated clock; the only
+// wall-clock use is the analyzer's service-time calibration.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kerberos/internal/sim"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "athena-day", "scenario JSON file, or the literal athena-day")
+		scale    = flag.Float64("scale", 1.0, "population scale for the canned scenario (0, 1]")
+		verify   = flag.Bool("verify", false, "run the scenario twice and require byte-identical trace and metrics")
+		trace    = flag.Bool("trace", false, "print the event trace")
+		metrics  = flag.Bool("metrics", false, "print the metrics snapshot")
+		dump     = flag.Bool("dump", false, "print the resolved scenario as JSON and exit")
+		analyze  = flag.Bool("analyze", false, "run the saturation analyzer over the benchmark topologies")
+		out      = flag.String("out", "BENCH_realm.json", "output path for -analyze")
+		slo      = flag.Duration("slo", 25*time.Millisecond, "p99 SLO for -analyze")
+		window   = flag.Duration("window", 0, "probe window for -analyze (default 20s)")
+	)
+	flag.Parse()
+
+	if *analyze {
+		opts := sim.SaturationOpts{SLO: *slo, Window: *window}
+		if err := sim.BenchRealm(*out, opts, 0.2); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return
+	}
+
+	sc, err := load(*scenario, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		data, err := json.MarshalIndent(sc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
+	}
+
+	res, err := run(sc)
+	if err != nil {
+		fatal(err)
+	}
+	if *verify {
+		res2, err := run(sc)
+		if err != nil {
+			fatal(err)
+		}
+		if !bytes.Equal(res.Trace, res2.Trace) {
+			fatal(fmt.Errorf("determinism violation: two runs of %s produced different traces", sc.Name))
+		}
+		if !bytes.Equal(res.MetricsText, res2.MetricsText) {
+			fatal(fmt.Errorf("determinism violation: two runs of %s produced different metrics", sc.Name))
+		}
+		fmt.Println("verify: two runs byte-identical")
+	}
+	if *trace {
+		os.Stdout.Write(res.Trace)
+	}
+	if *metrics {
+		os.Stdout.Write(res.MetricsText)
+	}
+	fmt.Println(res.Summary())
+}
+
+// load resolves the scenario argument: the canned day at the given
+// scale, or a scenario file. Scaling a file is the file's own business
+// (its cohort sizes are explicit), so -scale only applies to the
+// canned name.
+func load(name string, scale float64) (*sim.Scenario, error) {
+	if name == "athena-day" {
+		return sim.AthenaDay(scale), nil
+	}
+	return sim.Load(name)
+}
+
+func run(sc *sim.Scenario) (*sim.Result, error) {
+	s, err := sim.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kersim:", err)
+	os.Exit(1)
+}

@@ -57,3 +57,38 @@ func ignored() time.Time {
 func parse() (time.Time, error) {
 	return time.Parse(time.RFC3339, "2026-08-06T00:00:00Z")
 }
+
+// --- simulator-shaped cases (internal/sim discipline) ---
+
+// virtualEngine mirrors the discrete-event engine: all time flows from
+// a stored virtual instant, never the machine. Nothing to flag — and
+// nothing to exempt.
+type virtualEngine struct{ now time.Time }
+
+func (e *virtualEngine) advance(d time.Duration) time.Time {
+	e.now = e.now.Add(d)
+	return e.now
+}
+
+// scheduleRenewal mirrors session renewal math: pure arithmetic on
+// virtual instants stays silent.
+func scheduleRenewal(login time.Time, after time.Duration) time.Time {
+	return login.Add(after)
+}
+
+// calibrate mirrors the saturation analyzer's measurement bridge: a
+// declared adapter may meter real work with the wall clock.
+//
+//kerb:clockadapter -- fixture: calibration times real exchanges to feed the virtual service model
+func calibrate(work func()) time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+// driftedProbe is the trap the annotation exists for: simulator code
+// that "just quickly" timestamps an event from the machine instead of
+// the engine clock would silently break determinism.
+func driftedProbe(e *virtualEngine) time.Duration {
+	return time.Now().Sub(e.now) // want `direct time\.Now`
+}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"kerberos/internal/core"
 )
 
 // Fault injection for the client↔KDC packet path. A FaultInjector wraps
@@ -69,6 +71,32 @@ func (f *FaultInjector) DialUDP(addr string) (net.Conn, error) {
 		return nil, err
 	}
 	return &faultConn{Conn: conn, f: f}, nil
+}
+
+// WrapHandler lifts the injector to the message level: it returns a
+// handler that applies the same fault decisions — deterministic first-N
+// drops, seeded loss, duplication — to in-process exchanges, with no
+// sockets underneath. The realm simulator (internal/sim) uses it to put
+// a lossy or dead "network" in front of a KDC instance in virtual time:
+// a dropped request returns a nil reply (the client's datagram vanished;
+// retransmission is the caller's move), and a duplicated request invokes
+// the handler twice before the second reply is returned, which is
+// exactly how a duplicated datagram exercises the replay cache's
+// memoized-retransmit path. Delay is not modeled here — in a simulated
+// clock, added latency belongs to the caller's queue model.
+func (f *FaultInjector) WrapHandler(h func(msg []byte, from core.Addr) []byte) func(msg []byte, from core.Addr) []byte {
+	return func(msg []byte, from core.Addr) []byte {
+		f.Sent.Add(1)
+		switch f.decide() {
+		case faultDrop:
+			f.Dropped.Add(1)
+			return nil
+		case faultDup:
+			f.Duplicated.Add(1)
+			_ = h(msg, from)
+		}
+		return h(msg, from)
+	}
 }
 
 type faultAction int

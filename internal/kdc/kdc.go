@@ -31,6 +31,12 @@ type Metrics struct {
 	ASRequests  obs.Counter
 	TGSRequests obs.Counter
 	Errors      obs.Counter
+	// SkewErrors counts the subset of Errors rejected for clock skew
+	// (ErrSkew): a workstation whose clock drifted past ±5 minutes. The
+	// realm simulator and operators read it to tell a skew epidemic — a
+	// cohort of drifted clients being refused and retrying — apart from
+	// overload, which rejects nothing but answers late.
+	SkewErrors obs.Counter
 	// TGSRetransmits counts duplicate TGS requests answered with the
 	// remembered original reply instead of fresh work or a replay error.
 	TGSRetransmits obs.Counter
@@ -54,6 +60,7 @@ func (m *Metrics) register(reg *obs.Registry) {
 	reg.RegisterCounter("kdc_as_requests", &m.ASRequests)
 	reg.RegisterCounter("kdc_tgs_requests", &m.TGSRequests)
 	reg.RegisterCounter("kdc_errors", &m.Errors)
+	reg.RegisterCounter("kdc_skew_errors", &m.SkewErrors)
 	reg.RegisterCounter("kdc_tgs_retransmits", &m.TGSRetransmits)
 	reg.RegisterCounter("kdc_udp_overflows", &m.UDPOverflows)
 	reg.RegisterHistogram("kdc_as_latency", &m.ASLatency)
@@ -134,6 +141,11 @@ func (s *Server) Realm() string { return s.realm }
 // Metrics exposes the request counters and latency histograms.
 func (s *Server) Metrics() *Metrics { return &s.metrics }
 
+// ReplayLen reports how many authenticators the replay cache currently
+// holds — the number the renewal-wave simulation watches to prove the
+// amortized sweep keeps memory bounded across a day of bursts.
+func (s *Server) ReplayLen() int { return s.replays.Len() }
+
 // Handle processes one encoded request from the given address and
 // returns the encoded reply. It is transport-independent: the UDP and
 // TCP listeners, in-process tests, and benchmarks all call it. It never
@@ -158,6 +170,9 @@ func (s *Server) errorReply(err error) []byte {
 	var pe *core.ProtocolError
 	if !errors.As(err, &pe) {
 		pe = core.NewError(core.ErrGeneric, "%v", err)
+	}
+	if pe.Code == core.ErrSkew {
+		s.metrics.SkewErrors.Inc()
 	}
 	if s.logger != nil {
 		s.logger.Printf("kdc %s: error reply: %v", s.realm, pe)

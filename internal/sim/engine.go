@@ -1,0 +1,100 @@
+// Package sim is the deterministic discrete-event realm simulator: it
+// replays a day of realistic temporal load — §9's morning login storms,
+// the synchronized renewal wave ~8 hours later, a KDC instance dying
+// mid-burst, a cohort of workstations whose clocks drifted past the
+// ±5-minute window — against real in-process KDC servers, entirely in
+// simulated time.
+//
+// Two clocks are in play and must not be confused. Virtual time (the
+// injected testclock) drives every protocol decision and every latency
+// the simulator reports: arrivals, retransmission timeouts, queueing
+// delay, ticket lifetimes, skew checks. Wall time appears in exactly
+// one place — the calibration helper in saturation.go that measures
+// how long a real KDC exchange takes on this machine, declared
+// //kerb:clockadapter. Everything else is a pure function of the
+// scenario and its seed, which is what makes a run's event trace and
+// metrics snapshot byte-identical across executions.
+//
+// The moving parts:
+//
+//   - Engine (this file): a thin event loop over testclock's
+//     deterministic timers — earliest deadline first, FIFO at equal
+//     deadlines.
+//   - Scenario (scenario.go): the JSON-loadable description of a day —
+//     population, topology, cohorts with arrival windows, fault phases,
+//     churn phases.
+//   - Run (realm.go, session.go): the harness that installs the
+//     population, builds the KDC instances, models each instance as a
+//     small FIFO queue of workers in virtual time, and animates every
+//     cohort member through login → service tickets → renewal.
+//   - Saturation analyzer (saturation.go): binary-searches offered QPS
+//     for the highest load a topology sustains without violating its
+//     p99 SLO, emitting BENCH_realm.json.
+package sim
+
+import (
+	"time"
+
+	"kerberos/internal/testclock"
+)
+
+// Engine is the discrete-event loop: events are closures scheduled at
+// virtual instants, executed in deterministic order by stepping the
+// simulated clock from deadline to deadline.
+type Engine struct {
+	clock *testclock.Clock
+	start time.Time
+	steps int
+}
+
+// NewEngine creates an engine whose virtual clock starts at start.
+func NewEngine(start time.Time) *Engine {
+	return &Engine{clock: testclock.New(start), start: start}
+}
+
+// Clock exposes the simulated clock; pass Clock().Now as the injected
+// clock func to servers under simulation.
+func (e *Engine) Clock() *testclock.Clock { return e.clock }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.clock.Now() }
+
+// Start returns the virtual instant the engine was created at.
+func (e *Engine) Start() time.Time { return e.start }
+
+// Elapsed returns how far virtual time has progressed since start.
+func (e *Engine) Elapsed() time.Duration { return e.clock.Now().Sub(e.start) }
+
+// Steps returns how many events have executed.
+func (e *Engine) Steps() int { return e.steps }
+
+// At schedules fn at virtual instant t (FIFO among events sharing t).
+func (e *Engine) At(t time.Time, fn func()) {
+	e.clock.At(t, func() {
+		e.steps++
+		fn()
+	})
+}
+
+// After schedules fn d after the current virtual instant.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.At(e.clock.Now().Add(d), fn)
+}
+
+// Run executes events in order until the queue is empty or the next
+// event lies beyond until, then parks the clock at until. It returns
+// the number of events executed during this call.
+func (e *Engine) Run(until time.Time) int {
+	before := e.steps
+	for {
+		next, ok := e.clock.NextTimer()
+		if !ok || next.After(until) {
+			break
+		}
+		e.clock.Set(next)
+	}
+	if e.clock.Now().Before(until) {
+		e.clock.Set(until)
+	}
+	return e.steps - before
+}

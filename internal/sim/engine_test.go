@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(1988, 1, 25, 8, 0, 0, 0, time.UTC)
+
+// TestEngineOrdering schedules events out of order and at shared
+// instants and checks they fire in (time, schedule-order) sequence with
+// the clock reading each event's own instant.
+func TestEngineOrdering(t *testing.T) {
+	eng := NewEngine(t0)
+	var got []string
+	rec := func(name string, at time.Duration) func() {
+		return func() {
+			if now := eng.Now(); !now.Equal(t0.Add(at)) {
+				t.Errorf("event %s ran at clock %v, want %v", name, now, t0.Add(at))
+			}
+			got = append(got, name)
+		}
+	}
+	eng.At(t0.Add(3*time.Second), rec("c1", 3*time.Second))
+	eng.At(t0.Add(1*time.Second), rec("a", 1*time.Second))
+	eng.At(t0.Add(3*time.Second), rec("c2", 3*time.Second)) // same instant: FIFO
+	eng.After(2*time.Second, rec("b", 2*time.Second))
+
+	steps := eng.Run(t0.Add(time.Minute))
+	if steps != 4 {
+		t.Fatalf("Run returned %d steps, want 4", steps)
+	}
+	want := []string{"a", "b", "c1", "c2"}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if !eng.Now().Equal(t0.Add(time.Minute)) {
+		t.Fatalf("after Run clock = %v, want parked at until", eng.Now())
+	}
+}
+
+// TestEngineCascade checks that events scheduled from inside callbacks
+// run within the same Run, and that events past the horizon stay
+// pending.
+func TestEngineCascade(t *testing.T) {
+	eng := NewEngine(t0)
+	fired := 0
+	var chain func()
+	chain = func() {
+		fired++
+		if fired < 5 {
+			eng.After(time.Second, chain)
+		}
+	}
+	eng.After(time.Second, chain)
+	eng.At(t0.Add(time.Hour), func() { t.Error("past-horizon event fired") })
+
+	eng.Run(t0.Add(10 * time.Second))
+	if fired != 5 {
+		t.Fatalf("cascade fired %d times, want 5", fired)
+	}
+	if eng.Clock().PendingTimers() != 1 {
+		t.Fatalf("pending = %d, want the one past-horizon event", eng.Clock().PendingTimers())
+	}
+	if eng.Steps() != 5 {
+		t.Fatalf("Steps = %d, want 5", eng.Steps())
+	}
+}
+
+func TestEngineElapsed(t *testing.T) {
+	eng := NewEngine(t0)
+	eng.After(90*time.Minute, func() {})
+	eng.Run(t0.Add(2 * time.Hour))
+	if eng.Elapsed() != 2*time.Hour {
+		t.Fatalf("Elapsed = %v, want 2h", eng.Elapsed())
+	}
+}

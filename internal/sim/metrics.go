@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"kerberos/internal/obs"
+)
+
+// Metrics aggregates one simulation run. Everything is driven from the
+// single event-loop goroutine, but the fields are obs types so they
+// register on an obs.Registry like every other subsystem and render on
+// the same /metrics surface.
+//
+// The rejection taxonomy is the point of this struct: a realm under a
+// skew epidemic and a realm under overload both "fail logins", but the
+// operator's cure differs (fix the clocks vs add capacity), so the
+// simulator keeps the causes apart —
+//
+//   - SkewRejections: the KDC answered with ErrSkew (drifted client);
+//   - OverloadRejections: the KDC answered, but past the client's
+//     deadline — queue wait ate the budget;
+//   - Timeouts: no answer at all within the attempt budget (outage or
+//     loss the retransmissions could not route around).
+type Metrics struct {
+	Logins        obs.Counter
+	LoginFailures obs.Counter
+	TGS           obs.Counter
+	TGSFailures   obs.Counter
+	Renewals      obs.Counter
+	RenewalFails  obs.Counter
+
+	SkewRejections     obs.Counter
+	OverloadRejections obs.Counter
+	Timeouts           obs.Counter
+
+	Retransmits obs.Counter
+	Failovers   obs.Counter
+	Duplicates  obs.Counter
+
+	ChurnChanges obs.Counter
+
+	// Latency is the client-observed virtual round-trip distribution;
+	// QueueWait isolates the time spent waiting for a free worker.
+	Latency   obs.Histogram
+	QueueWait obs.Histogram
+}
+
+// register publishes every field on reg under the sim_ prefix.
+func (m *Metrics) register(reg *obs.Registry) {
+	reg.RegisterCounter("sim_logins", &m.Logins)
+	reg.RegisterCounter("sim_login_failures", &m.LoginFailures)
+	reg.RegisterCounter("sim_tgs", &m.TGS)
+	reg.RegisterCounter("sim_tgs_failures", &m.TGSFailures)
+	reg.RegisterCounter("sim_renewals", &m.Renewals)
+	reg.RegisterCounter("sim_renewal_failures", &m.RenewalFails)
+	reg.RegisterCounter("sim_skew_rejections", &m.SkewRejections)
+	reg.RegisterCounter("sim_overload_rejections", &m.OverloadRejections)
+	reg.RegisterCounter("sim_timeouts", &m.Timeouts)
+	reg.RegisterCounter("sim_retransmits", &m.Retransmits)
+	reg.RegisterCounter("sim_failovers", &m.Failovers)
+	reg.RegisterCounter("sim_duplicates", &m.Duplicates)
+	reg.RegisterCounter("sim_churn_changes", &m.ChurnChanges)
+	reg.RegisterHistogram("sim_latency", &m.Latency)
+	reg.RegisterHistogram("sim_queue_wait", &m.QueueWait)
+}
+
+// Text renders a deterministic snapshot: fixed field order, counters
+// and bucket-derived quantiles only — no wall-clock values, no
+// process-global state — so two same-seed runs produce byte-identical
+// output. This is what the determinism property test compares.
+func (m *Metrics) Text() []byte {
+	var b strings.Builder
+	w := func(name string, v uint64) { fmt.Fprintf(&b, "%s %d\n", name, v) }
+	w("sim_logins", m.Logins.Load())
+	w("sim_login_failures", m.LoginFailures.Load())
+	w("sim_tgs", m.TGS.Load())
+	w("sim_tgs_failures", m.TGSFailures.Load())
+	w("sim_renewals", m.Renewals.Load())
+	w("sim_renewal_failures", m.RenewalFails.Load())
+	w("sim_skew_rejections", m.SkewRejections.Load())
+	w("sim_overload_rejections", m.OverloadRejections.Load())
+	w("sim_timeouts", m.Timeouts.Load())
+	w("sim_retransmits", m.Retransmits.Load())
+	w("sim_failovers", m.Failovers.Load())
+	w("sim_duplicates", m.Duplicates.Load())
+	w("sim_churn_changes", m.ChurnChanges.Load())
+	lat := m.Latency.Snapshot()
+	fmt.Fprintf(&b, "sim_latency_count %d\n", lat.Count)
+	fmt.Fprintf(&b, "sim_latency_p50 %v\n", lat.Quantile(0.50))
+	fmt.Fprintf(&b, "sim_latency_p99 %v\n", lat.Quantile(0.99))
+	qw := m.QueueWait.Snapshot()
+	fmt.Fprintf(&b, "sim_queue_wait_p99 %v\n", qw.Quantile(0.99))
+	return []byte(b.String())
+}
+
+// quantile computes an exact quantile from raw latency samples (the
+// histogram's bucket bounds are factor-of-two; SLO decisions need
+// better resolution). samples is not modified.
+func quantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRenewalWave drives a morning login storm and checks the §4.3
+// ticket-lifetime consequence: every workstation comes back for a TGS
+// exchange on its aging TGT inside the ~8-hour window — after the
+// renewal point but before the DefaultTGTLife expiry — and the replay
+// cache's skew-window sweep keeps its population bounded far below the
+// day's total exchange count.
+func TestRenewalWave(t *testing.T) {
+	const users = 60
+	stormAt := 10 * time.Minute
+	stormOver := 10 * time.Minute
+	renewAfter := 7*time.Hour + 30*time.Minute
+	jitter := 10 * time.Minute
+	sc := &Scenario{
+		Name:  "renewal-wave",
+		Seed:  42,
+		Users: users,
+		Cohorts: []CohortSpec{{
+			Name: "shift", Users: users,
+			StormAt: Duration(stormAt), StormOver: Duration(stormOver),
+			TicketsPerLogin: 1,
+			RenewAfter:      Duration(renewAfter),
+			RenewJitter:     Duration(jitter),
+		}},
+		Duration: Duration(9 * time.Hour),
+	}
+	s, err := New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Execute()
+	m := res.Metrics
+
+	if got := m.Logins.Load(); got != users {
+		t.Fatalf("logins = %d, want %d", got, users)
+	}
+	if got := m.Renewals.Load(); got != users {
+		t.Fatalf("renewals = %d, want %d (offsets: %d recorded)", got, users, len(res.RenewalOffsets))
+	}
+	if got := m.RenewalFails.Load(); got != 0 {
+		t.Fatalf("renewal failures = %d, want 0: the TGT must still be honored at renewal time", got)
+	}
+
+	// Every renewal must land in the wave window: no earlier than the
+	// first login's renewal point, no later than the last login's point
+	// plus jitter — and always before the 7h55m DefaultTGTLife runs out
+	// on the freshest login.
+	lo := stormAt + renewAfter
+	hi := stormAt + stormOver + renewAfter + jitter
+	for i, off := range res.RenewalOffsets {
+		if off < lo || off > hi {
+			t.Fatalf("renewal %d at +%v outside wave window [%v, %v]", i, off, lo, hi)
+		}
+	}
+	tgtLife := time.Duration(95) * 5 * time.Minute // core.DefaultTGTLife units
+	if hi-stormAt > tgtLife {
+		t.Fatalf("scenario is self-contradictory: latest renewal %v after its login exceeds TGT life %v",
+			hi-stormAt, tgtLife)
+	}
+
+	// Memory bound: the replay cache holds only authenticators within
+	// the skew window, so its high-water mark must stay near the burst
+	// population, not accumulate toward the day's total TGS volume.
+	totalTGS := int(m.TGS.Load())
+	if totalTGS != 2*users { // one service ticket + one renewal each
+		t.Fatalf("tgs exchanges = %d, want %d", totalTGS, 2*users)
+	}
+	if res.ReplayLenMax == 0 {
+		t.Fatal("replay cache never sampled above zero; sampling is broken")
+	}
+	if res.ReplayLenMax > users+users/2 {
+		t.Fatalf("replay cache high-water %d exceeds burst population %d: sweep is not bounding memory",
+			res.ReplayLenMax, users)
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// fixedSvc pins the service-time model so the analyzer tests are
+// machine-independent — and deliberately slow (2ms per exchange, one
+// worker per instance), so saturation lands at a few hundred QPS and
+// probes stay small: one instance's open-loop ceiling is 1/2ms = 500
+// exchanges/s, i.e. 250 logins-with-one-ticket per second.
+var fixedSvc = ServiceModel{AS: Duration(2 * time.Millisecond), TGS: Duration(2 * time.Millisecond)}
+
+// TestFindSaturation checks the binary search itself: it must converge
+// on a positive sustainable rate below the open-loop ceiling, with the
+// p99 at the found rate inside the SLO.
+func TestFindSaturation(t *testing.T) {
+	opts := SaturationOpts{
+		SLO:     25 * time.Millisecond,
+		Window:  2 * time.Second,
+		StartQ:  30,
+		CapQ:    2048,
+		Service: fixedSvc,
+		Seed:    5,
+	}
+	top := Topology{Name: "flat-x1", Shards: 1, Instances: 1, Workers: 1}
+	res := FindSaturation(top, opts)
+	if res.MaxQPS <= 0 {
+		t.Fatalf("found no sustainable rate (probes %d)", res.Probes)
+	}
+	if res.MaxQPS >= float64(opts.CapQ) {
+		t.Fatalf("max qps %v hit the search ceiling; the queue model is not saturating", res.MaxQPS)
+	}
+	if res.P99AtMax > opts.SLO {
+		t.Fatalf("p99 at reported max = %v, above SLO %v", res.P99AtMax, opts.SLO)
+	}
+	if res.Probes < 3 {
+		t.Fatalf("probes = %d; the search cannot have both expanded and bisected", res.Probes)
+	}
+
+	// Sanity-check the frontier: driving the same topology well past
+	// the found rate must violate.
+	ok, p99, _ := probe(top, fixedSvc, res.MaxQPS*4, opts)
+	if ok {
+		t.Fatalf("4x the reported max (%v qps) still sustained (p99 %v); search stopped early", res.MaxQPS*4, p99)
+	}
+}
+
+// TestSaturationScalesWithInstances checks the comparative claim the
+// BENCH_realm matrix rests on: with the same per-exchange cost, three
+// instances must sustain materially more than one.
+func TestSaturationScalesWithInstances(t *testing.T) {
+	opts := SaturationOpts{
+		SLO:     25 * time.Millisecond,
+		Window:  2 * time.Second,
+		StartQ:  30,
+		CapQ:    2048,
+		Service: fixedSvc,
+		Seed:    5,
+	}
+	one := FindSaturation(Topology{Name: "x1", Shards: 16, Instances: 1, Workers: 1}, opts)
+	three := FindSaturation(Topology{Name: "x3", Shards: 16, Instances: 3, Workers: 1}, opts)
+	if three.MaxQPS < one.MaxQPS*1.5 {
+		t.Fatalf("3 instances sustain %.0f qps vs %.0f for 1; expected at least 1.5x scaling",
+			three.MaxQPS, one.MaxQPS)
+	}
+}
+
+// TestCalibrate smoke-tests the wall-clock bridge: real exchanges
+// against a live server must yield positive, plausible per-exchange
+// costs (machine-dependent, so only ordering and bounds are asserted).
+func TestCalibrate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration times real crypto")
+	}
+	svc := Calibrate(Topology{Shards: 4}, 200)
+	if svc.AS.D() < time.Microsecond || svc.TGS.D() < time.Microsecond {
+		t.Fatalf("calibrated costs implausibly low: AS %v TGS %v", svc.AS.D(), svc.TGS.D())
+	}
+	if svc.AS.D() > 100*time.Millisecond || svc.TGS.D() > 100*time.Millisecond {
+		t.Fatalf("calibrated costs implausibly high: AS %v TGS %v", svc.AS.D(), svc.TGS.D())
+	}
+}

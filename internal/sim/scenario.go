@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"kerberos/internal/core"
+	"kerberos/internal/kdc"
+	"kerberos/internal/workload"
+)
+
+// Duration is a time.Duration that marshals to/from JSON as a Go
+// duration string ("8h", "500ms"), so scenario files read like the
+// paper's prose rather than nanosecond counts. A bare JSON number is
+// accepted as nanoseconds.
+type Duration time.Duration
+
+// D returns the native duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("sim: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	ns, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil {
+		return fmt.Errorf("sim: bad duration %s: %w", b, err)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Topology describes the KDC deployment a scenario runs against: how
+// many database shards the principal space is split into, how many
+// server instances share the (replicated) database, and how many
+// request workers each instance runs — the capacity unit of the
+// virtual queue model, matching the parallel UDP readers of a real
+// kerberosd.
+type Topology struct {
+	Name      string `json:"name,omitempty"`
+	Shards    int    `json:"shards"`
+	Instances int    `json:"instances"`
+	Workers   int    `json:"workers"`
+}
+
+// ServiceModel is the virtual service-time model: how long one AS or
+// TGS exchange occupies a worker. In deterministic scenarios these are
+// fixed constants (plus seeded jitter); the saturation analyzer
+// calibrates them from real exchanges against the topology under test.
+type ServiceModel struct {
+	AS     Duration `json:"as"`
+	TGS    Duration `json:"tgs"`
+	Jitter Duration `json:"jitter,omitempty"`
+}
+
+// ClientModel is the workstation-side timing model, mirroring the PR-2
+// resilience parameters: one round trip of network latency per
+// exchange, a retransmission timeout that doubles per attempt and
+// rotates to the next instance (failover), an overall per-exchange
+// deadline, and the pause before a rejected client tries again.
+type ClientModel struct {
+	RTT         Duration `json:"rtt"`
+	RTO         Duration `json:"rto"`
+	Timeout     Duration `json:"timeout"`
+	MaxAttempts int      `json:"max_attempts"`
+	RetryDelay  Duration `json:"retry_delay"`
+	Think       Duration `json:"think"`
+}
+
+// CohortSpec is the JSON form of a workload.Cohort plus its population
+// slice: a named group of users, the window their logins storm in, and
+// their renewal/skew behavior.
+type CohortSpec struct {
+	Name            string   `json:"name"`
+	FirstUser       int      `json:"first_user"`
+	Users           int      `json:"users"`
+	StormAt         Duration `json:"storm_at"`
+	StormOver       Duration `json:"storm_over"`
+	TicketsPerLogin int      `json:"tickets_per_login"`
+	RenewAfter      Duration `json:"renew_after,omitempty"`
+	RenewJitter     Duration `json:"renew_jitter,omitempty"`
+	Skew            Duration `json:"skew,omitempty"`
+	Retries         int      `json:"retries,omitempty"`
+}
+
+// cohort lowers the spec to the workload package's temporal vocabulary.
+func (c CohortSpec) cohort() workload.Cohort {
+	return workload.Cohort{
+		Name:            c.Name,
+		FirstUser:       c.FirstUser,
+		Users:           c.Users,
+		Storm:           workload.Window{Start: c.StormAt.D(), Dur: c.StormOver.D()},
+		TicketsPerLogin: c.TicketsPerLogin,
+		RenewAfter:      c.RenewAfter.D(),
+		RenewJitter:     c.RenewJitter.D(),
+		Skew:            c.Skew.D(),
+		Retries:         c.Retries,
+	}
+}
+
+// FaultPhase puts a PR-2 FaultInjector in front of one instance for a
+// span of virtual time: Drop 1.0 is an outage (the mid-burst slave
+// failure), fractional Drop/Dup model a degraded segment.
+type FaultPhase struct {
+	Instance  int      `json:"instance"`
+	At        Duration `json:"at"`
+	Dur       Duration `json:"dur"`
+	Drop      float64  `json:"drop"`
+	Dup       float64  `json:"dup,omitempty"`
+	DropFirst int      `json:"drop_first,omitempty"`
+}
+
+// spec builds the injector spec; the seed derives from the scenario
+// seed and phase index so fault decisions replay exactly.
+func (f FaultPhase) spec(scenarioSeed int64, phase int) kdc.FaultSpec {
+	return kdc.FaultSpec{
+		DropFirst: f.DropFirst,
+		LossRate:  f.Drop,
+		DupRate:   f.Dup,
+		Seed:      scenarioSeed*31 + int64(phase),
+	}
+}
+
+// ChurnPhase runs one workload.Churn round against the master database
+// mid-scenario (the kadmin write traffic of a live realm), optionally
+// reverted later so long scenarios can repeat.
+type ChurnPhase struct {
+	At          Duration `json:"at"`
+	Fraction    float64  `json:"fraction"`
+	RevertAfter Duration `json:"revert_after,omitempty"`
+}
+
+// Scenario is one simulated day: a population, a topology, the timing
+// models, and the cohorts/faults/churn that give the day its shape.
+// The zero value of most fields is filled by Normalize.
+type Scenario struct {
+	Name         string       `json:"name"`
+	Seed         int64        `json:"seed"`
+	Realm        string       `json:"realm"`
+	Users        int          `json:"users"`
+	Workstations int          `json:"workstations"`
+	Services     int          `json:"services"`
+	Day          string       `json:"day,omitempty"` // RFC3339 virtual start instant
+	Duration     Duration     `json:"duration"`
+	SLO          Duration     `json:"slo,omitempty"` // p99 latency objective
+	Topology     Topology     `json:"topology"`
+	Service      ServiceModel `json:"service"`
+	Client       ClientModel  `json:"client"`
+	Cohorts      []CohortSpec `json:"cohorts"`
+	Faults       []FaultPhase `json:"faults,omitempty"`
+	Churn        []ChurnPhase `json:"churn,omitempty"`
+}
+
+// simEpoch is the default virtual start: the paper's January 1988, a
+// fixed instant so scenarios never touch the wall clock.
+const simEpoch = "1988-01-25T08:00:00Z"
+
+// Normalize fills defaults and validates; it returns the scenario for
+// chaining.
+func (s *Scenario) Normalize() (*Scenario, error) {
+	if s.Realm == "" {
+		s.Realm = "ATHENA.MIT.EDU"
+	}
+	if s.Day == "" {
+		s.Day = simEpoch
+	}
+	if _, err := time.Parse(time.RFC3339, s.Day); err != nil {
+		return nil, fmt.Errorf("sim: scenario %q: bad day: %w", s.Name, err)
+	}
+	if s.Users <= 0 {
+		s.Users = 100
+	}
+	if s.Workstations <= 0 {
+		s.Workstations = max(1, s.Users/8)
+	}
+	if s.Services <= 0 {
+		s.Services = max(1, s.Users/80)
+	}
+	if s.Duration <= 0 {
+		s.Duration = Duration(time.Hour)
+	}
+	if s.SLO <= 0 {
+		s.SLO = Duration(25 * time.Millisecond)
+	}
+	t := &s.Topology
+	if t.Shards <= 0 {
+		t.Shards = 1
+	}
+	if t.Instances <= 0 {
+		t.Instances = 1
+	}
+	if t.Workers <= 0 {
+		t.Workers = 4
+	}
+	if t.Name == "" {
+		t.Name = fmt.Sprintf("shard%d-x%d", t.Shards, t.Instances)
+	}
+	sm := &s.Service
+	if sm.AS <= 0 {
+		sm.AS = Duration(12 * time.Microsecond)
+	}
+	if sm.TGS <= 0 {
+		sm.TGS = Duration(20 * time.Microsecond)
+	}
+	cm := &s.Client
+	if cm.RTT <= 0 {
+		cm.RTT = Duration(500 * time.Microsecond)
+	}
+	if cm.RTO <= 0 {
+		cm.RTO = Duration(500 * time.Millisecond)
+	}
+	if cm.Timeout <= 0 {
+		cm.Timeout = Duration(4 * time.Second)
+	}
+	if cm.MaxAttempts <= 0 {
+		cm.MaxAttempts = 6
+	}
+	if cm.RetryDelay <= 0 {
+		cm.RetryDelay = Duration(2 * time.Second)
+	}
+	if cm.Think <= 0 {
+		cm.Think = Duration(100 * time.Millisecond)
+	}
+	if len(s.Cohorts) == 0 {
+		return nil, fmt.Errorf("sim: scenario %q has no cohorts", s.Name)
+	}
+	for i := range s.Cohorts {
+		c := &s.Cohorts[i]
+		if c.Name == "" {
+			c.Name = fmt.Sprintf("cohort%d", i)
+		}
+		if c.Users <= 0 {
+			return nil, fmt.Errorf("sim: cohort %q has no users", c.Name)
+		}
+		if c.FirstUser < 0 || c.FirstUser+c.Users > s.Users {
+			return nil, fmt.Errorf("sim: cohort %q spans users [%d,%d) outside population of %d",
+				c.Name, c.FirstUser, c.FirstUser+c.Users, s.Users)
+		}
+		if c.TicketsPerLogin < 0 {
+			return nil, fmt.Errorf("sim: cohort %q: negative tickets per login", c.Name)
+		}
+	}
+	for i, f := range s.Faults {
+		if f.Instance < 0 || f.Instance >= t.Instances {
+			return nil, fmt.Errorf("sim: fault %d targets instance %d of %d", i, f.Instance, t.Instances)
+		}
+	}
+	return s, nil
+}
+
+// day returns the parsed virtual start instant (valid after Normalize).
+func (s *Scenario) day() time.Time {
+	t, _ := time.Parse(time.RFC3339, s.Day)
+	return t.UTC()
+}
+
+// Parse decodes a scenario from JSON and normalizes it.
+func Parse(data []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("sim: parsing scenario: %w", err)
+	}
+	return s.Normalize()
+}
+
+// Load reads a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return Parse(data)
+}
+
+// AthenaDay is the canned §9 day at scale (0 < scale ≤ 1 shrinks the
+// population for smoke runs): a 9am login storm of students over half
+// an hour and a staff cohort ahead of them, two service tickets per
+// login, the whole population re-keying as a wave ~8h later, one of
+// three KDC instances dying for 15 minutes in the middle of the
+// morning burst, and a drifted-clock cohort (7 minutes fast — past the
+// ±5-minute window) storming in at 9:10 and retrying through its
+// rejections. Fixed seed; every run of the same scale is
+// byte-identical.
+func AthenaDay(scale float64) *Scenario {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	n := func(v int) int { return max(1, int(float64(v)*scale)) }
+	students := n(1500)
+	staff := n(300)
+	drifted := n(120)
+	sc := &Scenario{
+		Name:         "athena-day",
+		Seed:         1988,
+		Realm:        "ATHENA.MIT.EDU",
+		Users:        students + staff + drifted,
+		Workstations: n(650),
+		Services:     n(65),
+		Duration:     Duration(10 * time.Hour),
+		Topology:     Topology{Shards: 16, Instances: 3, Workers: 4},
+		Cohorts: []CohortSpec{
+			{
+				Name: "staff", FirstUser: 0, Users: staff,
+				StormAt: Duration(30 * time.Minute), StormOver: Duration(20 * time.Minute),
+				TicketsPerLogin: 2,
+				RenewAfter:      Duration(7*time.Hour + 30*time.Minute),
+				RenewJitter:     Duration(12 * time.Minute),
+			},
+			{
+				Name: "students", FirstUser: staff, Users: students,
+				StormAt: Duration(time.Hour), StormOver: Duration(30 * time.Minute),
+				TicketsPerLogin: 2,
+				RenewAfter:      Duration(7*time.Hour + 30*time.Minute),
+				RenewJitter:     Duration(15 * time.Minute),
+			},
+			{
+				Name: "drifted", FirstUser: staff + students, Users: drifted,
+				StormAt: Duration(time.Hour + 10*time.Minute), StormOver: Duration(10 * time.Minute),
+				TicketsPerLogin: 1,
+				Skew:            Duration(7 * time.Minute),
+				Retries:         2,
+			},
+		},
+		Faults: []FaultPhase{
+			// One of the three instances dies mid-storm and comes back.
+			{Instance: 1, At: Duration(time.Hour + 5*time.Minute), Dur: Duration(15 * time.Minute), Drop: 1.0},
+		},
+		Churn: []ChurnPhase{
+			// Midday kadmin traffic: 1% of the realm changes passwords.
+			{At: Duration(5 * time.Hour), Fraction: 0.01, RevertAfter: Duration(30 * time.Minute)},
+		},
+	}
+	norm, err := sc.Normalize()
+	if err != nil {
+		panic("sim: canned athena-day scenario invalid: " + err.Error())
+	}
+	return norm
+}
+
+// skewTolerance re-exports the protocol constant for scenario authors
+// reading this file: a cohort whose Skew exceeds it will be rejected.
+const skewTolerance = core.ClockSkew

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestDurationJSON(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{`"8h"`, 8 * time.Hour},
+		{`"500ms"`, 500 * time.Millisecond},
+		{`"7h30m"`, 7*time.Hour + 30*time.Minute},
+		{`1500000000`, 1500 * time.Millisecond}, // bare ns
+	}
+	for _, c := range cases {
+		var d Duration
+		if err := json.Unmarshal([]byte(c.in), &d); err != nil {
+			t.Fatalf("unmarshal %s: %v", c.in, err)
+		}
+		if d.D() != c.want {
+			t.Fatalf("unmarshal %s = %v, want %v", c.in, d.D(), c.want)
+		}
+	}
+	// Round trip through the string form.
+	out, err := json.Marshal(Duration(90 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Duration
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.D() != 90*time.Minute {
+		t.Fatalf("round trip = %v, want 90m", back.D())
+	}
+	if err := json.Unmarshal([]byte(`"eight hours"`), &back); err == nil {
+		t.Fatal("nonsense duration unmarshaled without error")
+	}
+}
+
+func TestNormalizeValidation(t *testing.T) {
+	if _, err := (&Scenario{Name: "empty"}).Normalize(); err == nil {
+		t.Fatal("scenario with no cohorts normalized")
+	}
+	bad := &Scenario{Name: "span", Users: 10,
+		Cohorts: []CohortSpec{{Name: "c", FirstUser: 5, Users: 10, StormOver: Duration(time.Minute)}}}
+	if _, err := bad.Normalize(); err == nil {
+		t.Fatal("cohort spanning past the population normalized")
+	}
+	badFault := &Scenario{Name: "fault", Users: 10,
+		Cohorts: []CohortSpec{{Name: "c", Users: 10, StormOver: Duration(time.Minute)}},
+		Faults:  []FaultPhase{{Instance: 5, Drop: 1}}}
+	if _, err := badFault.Normalize(); err == nil {
+		t.Fatal("fault targeting a nonexistent instance normalized")
+	}
+}
+
+// TestScenarioRoundTrip checks that a normalized scenario survives
+// marshal → Parse unchanged — the property the scenario files rely on.
+func TestScenarioRoundTrip(t *testing.T) {
+	sc := AthenaDay(1)
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(sc)
+	b, _ := json.Marshal(back)
+	if string(a) != string(b) {
+		t.Fatalf("round trip changed the scenario:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestCannedScenarioFileInSync pins scenarios/athena-day.json to the
+// in-code canned scenario: the file is documentation that must not
+// drift. Regenerate with: go run ./cmd/kersim -dump > scenarios/athena-day.json
+func TestCannedScenarioFileInSync(t *testing.T) {
+	file, err := Load("../../scenarios/athena-day.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(AthenaDay(1))
+	b, _ := json.Marshal(file)
+	if string(a) != string(b) {
+		t.Fatal("scenarios/athena-day.json drifted from sim.AthenaDay(1); regenerate with: go run ./cmd/kersim -dump > scenarios/athena-day.json")
+	}
+}

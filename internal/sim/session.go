@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"errors"
+	"time"
+
+	"kerberos/internal/client"
+	"kerberos/internal/core"
+	"kerberos/internal/des"
+	"kerberos/internal/workload"
+)
+
+// session animates one cohort member: login at the storm arrival, the
+// cohort's quota of service tickets, and a renewal ~8 hours later. All
+// cryptography is real — passwords derive keys, replies must open,
+// authenticators must verify — only time is simulated. A cohort with
+// nonzero Skew stamps every client-side timestamp with the drift, which
+// is precisely what a workstation with a wrong clock does: its login
+// (no timestamp check in the AS exchange) succeeds, and every
+// authenticator it presents afterwards is refused with ErrSkew.
+type session struct {
+	sim  *Sim
+	co   workload.Cohort
+	user int
+	addr core.Addr
+	pref int
+
+	loginAt time.Time
+	ticket  []byte
+	skey    des.Key
+}
+
+// skewedNow is the workstation's view of the current instant.
+func (ss *session) skewedNow() time.Time {
+	return ss.sim.eng.Now().Add(ss.co.Skew)
+}
+
+// login performs the AS exchange (§4.2) at the session's arrival
+// instant and, on success, schedules the ticket chain and the renewal.
+func (ss *session) login() {
+	s := ss.sim
+	now := s.eng.Now()
+	ss.loginAt = now
+	userP := s.spec.UserPrincipal(ss.user, s.sc.Realm)
+
+	var msg []byte
+	if !s.modeled {
+		req := &core.AuthRequest{
+			Client:  userP,
+			Service: core.TGSPrincipal(s.sc.Realm, s.sc.Realm),
+			Life:    core.DefaultTGTLife,
+			Time:    core.TimeFromGo(ss.skewedNow()),
+		}
+		msg = req.Encode()
+	}
+	reply, done, st := s.exchange(ss, exAS, msg)
+	switch st {
+	case xOK:
+		if !s.modeled {
+			key := client.PasswordKey(userP, s.spec.UserPassword(ss.user))
+			enc, err := openReply(reply, key)
+			clear(key[:])
+			if err != nil {
+				s.metrics.LoginFailures.Inc()
+				s.tracef("login badreply cohort=%s u=%05d err=%v", ss.co.Name, ss.user, err)
+				return
+			}
+			ss.ticket = enc.Ticket
+			ss.skey = enc.SessionKey
+		}
+		s.metrics.Logins.Inc()
+		s.tracef("login ok cohort=%s u=%05d inst=%d", ss.co.Name, ss.user, ss.pref)
+		if ss.co.TicketsPerLogin > 0 {
+			s.eng.At(done.Add(s.sc.Client.Think.D()), func() {
+				ss.tgs(0, false, ss.co.Retries)
+			})
+		}
+		if ss.co.RenewAfter > 0 {
+			renewAt := ss.loginAt.Add(ss.co.RenewAfter)
+			if j := ss.co.RenewJitter; j > 0 {
+				renewAt = renewAt.Add(time.Duration(s.rng.Int63n(int64(j))))
+			}
+			s.eng.At(renewAt, func() { ss.tgs(0, true, ss.co.Retries) })
+		}
+	case xErrReply:
+		s.metrics.LoginFailures.Inc()
+		s.tracef("login err cohort=%s u=%05d code=%v", ss.co.Name, ss.user, errCode(reply))
+	case xOverload:
+		s.metrics.LoginFailures.Inc()
+		s.tracef("login overload cohort=%s u=%05d", ss.co.Name, ss.user)
+	case xTimeout:
+		s.metrics.LoginFailures.Inc()
+		s.tracef("login timeout cohort=%s u=%05d", ss.co.Name, ss.user)
+	}
+}
+
+// tgs performs one ticket-granting exchange (§4.4): the t-th service
+// ticket of a login chain, or — with renewal set — the re-key wave's
+// exchange on the aging TGT. retries is how many skew rejections this
+// step may still retry through.
+func (ss *session) tgs(t int, renewal bool, retries int) {
+	s := ss.sim
+	now := s.eng.Now()
+	userP := s.spec.UserPrincipal(ss.user, s.sc.Realm)
+
+	var msg []byte
+	if !s.modeled {
+		skewed := ss.skewedNow()
+		auth := core.NewAuthenticator(userP, ss.addr, skewed, s.nextSeq())
+		svc := s.spec.ServicePrincipal((ss.user+t)%max(s.spec.Services, 1), s.sc.Realm)
+		req := &core.TGSRequest{
+			APReq: core.APRequest{
+				TicketRealm:   s.sc.Realm,
+				Ticket:        ss.ticket,
+				Authenticator: auth.Seal(ss.skey),
+			},
+			Service: svc,
+			Life:    core.MaxLife,
+			Time:    core.TimeFromGo(skewed),
+		}
+		msg = req.Encode()
+	}
+	reply, done, st := s.exchange(ss, exTGS, msg)
+	kind := "tgs"
+	if renewal {
+		kind = "renew"
+	}
+	switch st {
+	case xOK:
+		if !s.modeled {
+			if _, err := openReply(reply, ss.skey); err != nil {
+				ss.tgsFail(renewal)
+				s.tracef("%s badreply cohort=%s u=%05d err=%v", kind, ss.co.Name, ss.user, err)
+				return
+			}
+		}
+		s.metrics.TGS.Inc()
+		if renewal {
+			s.metrics.Renewals.Inc()
+			ss.renewalOffset(now)
+		}
+		s.tracef("%s ok cohort=%s u=%05d n=%d", kind, ss.co.Name, ss.user, t)
+		if !renewal && t+1 < ss.co.TicketsPerLogin {
+			s.eng.At(done.Add(s.sc.Client.Think.D()), func() {
+				ss.tgs(t+1, false, ss.co.Retries)
+			})
+		}
+	case xErrReply:
+		code := errCode(reply)
+		if code == core.ErrSkew {
+			s.metrics.SkewRejections.Inc()
+			s.tracef("%s skew-reject cohort=%s u=%05d retries=%d", kind, ss.co.Name, ss.user, retries)
+			if retries > 0 {
+				// The drifted workstation does what drifted workstations
+				// do: waits a moment and presents another bad timestamp.
+				s.eng.After(s.sc.Client.RetryDelay.D(), func() {
+					ss.tgs(t, renewal, retries-1)
+				})
+				return
+			}
+		} else {
+			s.tracef("%s err cohort=%s u=%05d code=%v", kind, ss.co.Name, ss.user, code)
+		}
+		ss.tgsFail(renewal)
+	case xOverload:
+		ss.tgsFail(renewal)
+		s.tracef("%s overload cohort=%s u=%05d", kind, ss.co.Name, ss.user)
+	case xTimeout:
+		ss.tgsFail(renewal)
+		s.tracef("%s timeout cohort=%s u=%05d", kind, ss.co.Name, ss.user)
+	}
+}
+
+func (ss *session) tgsFail(renewal bool) {
+	ss.sim.metrics.TGSFailures.Inc()
+	if renewal {
+		ss.sim.metrics.RenewalFails.Inc()
+	}
+}
+
+// renewalOffset records a successful renewal's virtual offset.
+func (ss *session) renewalOffset(now time.Time) {
+	s := ss.sim
+	s.renewalOffsets = append(s.renewalOffsets, now.Sub(s.day))
+}
+
+// openReply decodes and opens an AuthReply under key.
+func openReply(raw []byte, key des.Key) (*core.EncTicketReply, error) {
+	rep, err := core.DecodeAuthReply(raw)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Open(key)
+}
+
+// errCode extracts the protocol error code from an error reply.
+func errCode(raw []byte) core.ErrorCode {
+	err := core.IfErrorMessage(raw)
+	var pe *core.ProtocolError
+	if errors.As(err, &pe) {
+		return pe.Code
+	}
+	return core.ErrGeneric
+}

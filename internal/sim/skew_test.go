@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSkewEpidemic checks the §2/§4.6 failure mode end to end: a cohort
+// whose workstation clocks drifted past the ±5-minute window logs in
+// fine (the AS exchange carries no authenticator) but every TGS
+// presentation is answered with a KDC error — ErrSkew, not a silent
+// drop — and the counters attribute each rejection to skew, with the
+// overload and timeout counters untouched.
+func TestSkewEpidemic(t *testing.T) {
+	const users = 20
+	const retries = 1
+	sc := &Scenario{
+		Name:  "skew-epidemic",
+		Seed:  7,
+		Users: users,
+		Cohorts: []CohortSpec{{
+			Name: "drifted", Users: users,
+			StormAt: Duration(5 * time.Minute), StormOver: Duration(5 * time.Minute),
+			TicketsPerLogin: 1,
+			Skew:            Duration(7 * time.Minute), // past the ±5m window
+			Retries:         retries,
+		}},
+		Duration: Duration(time.Hour),
+	}
+	s, err := New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Execute()
+	m := res.Metrics
+
+	// Logins succeed: drift is invisible to the AS exchange.
+	if got := m.Logins.Load(); got != users {
+		t.Fatalf("logins = %d, want %d: AS exchange must not be skew-checked", got, users)
+	}
+	if got := m.LoginFailures.Load(); got != 0 {
+		t.Fatalf("login failures = %d, want 0", got)
+	}
+
+	// Every TGS presentation is refused, once per attempt: the initial
+	// try plus each retry, for every drifted user.
+	wantRejects := uint64(users * (1 + retries))
+	if got := m.SkewRejections.Load(); got != wantRejects {
+		t.Fatalf("skew rejections = %d, want %d", got, wantRejects)
+	}
+	if got := m.TGS.Load(); got != 0 {
+		t.Fatalf("tgs successes = %d, want 0 for a fully drifted cohort", got)
+	}
+	if got := m.TGSFailures.Load(); got != users {
+		t.Fatalf("tgs failures = %d, want %d (one per user after retries exhaust)", got, users)
+	}
+
+	// The client saw a reply each time — these are rejections, not
+	// drops: nothing may show up as overload or timeout.
+	if got := m.OverloadRejections.Load(); got != 0 {
+		t.Fatalf("overload rejections = %d, want 0: skew must not be misattributed", got)
+	}
+	if got := m.Timeouts.Load(); got != 0 {
+		t.Fatalf("timeouts = %d, want 0: rejection is a reply, not silence", got)
+	}
+
+	// The KDC-side counter agrees exactly: every ErrSkew reply was
+	// counted as a skew error, distinguishable from generic errors.
+	if got := res.KDC.SkewErrors; got != wantRejects {
+		t.Fatalf("kdc_skew_errors = %d, want %d", got, wantRejects)
+	}
+	if res.KDC.Errors < res.KDC.SkewErrors {
+		t.Fatalf("kdc errors %d < skew errors %d", res.KDC.Errors, res.KDC.SkewErrors)
+	}
+}
+
+// TestOverloadIsNotSkew is the converse: a realm drowning in queue wait
+// rejects requests too, but those must land in OverloadRejections with
+// the skew counters at zero — the operator's cure (add capacity) is
+// different from the skew cure (fix the clocks).
+func TestOverloadIsNotSkew(t *testing.T) {
+	const users = 80
+	sc := &Scenario{
+		Name:  "overload",
+		Seed:  11,
+		Users: users,
+		Cohorts: []CohortSpec{{
+			Name: "burst", Users: users,
+			StormOver:       Duration(time.Second), // everyone at once
+			TicketsPerLogin: 0,                     // logins alone saturate it
+		}},
+		Topology: Topology{Shards: 1, Instances: 1, Workers: 1},
+		Service:  ServiceModel{AS: Duration(40 * time.Millisecond), TGS: Duration(40 * time.Millisecond)},
+		Client: ClientModel{
+			Timeout:     Duration(200 * time.Millisecond),
+			MaxAttempts: 1,
+		},
+		Duration: Duration(time.Hour),
+	}
+	s, err := New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Execute()
+	m := res.Metrics
+
+	if got := m.OverloadRejections.Load(); got == 0 {
+		t.Fatalf("overload rejections = 0, want >0 (p99 %v, max %v over %d samples)",
+			res.P99, res.MaxLatency, res.Samples)
+	}
+	if got := m.SkewRejections.Load(); got != 0 {
+		t.Fatalf("skew rejections = %d, want 0 under pure overload", got)
+	}
+	if got := res.KDC.SkewErrors; got != 0 {
+		t.Fatalf("kdc_skew_errors = %d, want 0 under pure overload", got)
+	}
+	if got := m.Logins.Load() + m.LoginFailures.Load(); got != users {
+		t.Fatalf("logins+failures = %d, want %d", got, users)
+	}
+	if res.P99 <= sc.SLO.D() {
+		t.Fatalf("p99 %v within SLO %v; scenario failed to saturate", res.P99, sc.SLO.D())
+	}
+}

@@ -1,16 +1,35 @@
 // Package testclock provides a race-free adjustable clock for tests and
 // simulations: tests advance it while server goroutines read it through
 // their injected clock functions.
+//
+// Beyond the adjustable instant, the clock carries deterministic timers
+// for discrete-event simulation (internal/sim). Timers fire when the
+// clock is moved across their deadline by Set or Advance, in a fully
+// deterministic order: earlier deadlines first, and timers sharing a
+// deadline in FIFO order of scheduling. That tie-break is load-bearing —
+// an event engine that schedules "login" then "renewal" at the same
+// instant must observe them in that order on every run, or simulated
+// traces stop being reproducible.
 package testclock
 
 import (
+	"container/heap"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Clock is an adjustable time source safe for concurrent use.
+// Clock is an adjustable time source safe for concurrent use. Reading
+// (Now) is a single atomic load and may happen from any goroutine;
+// moving the clock (Set, Advance) fires due timers synchronously and is
+// meant to be driven from one goroutine — the test body or the event
+// engine — as in any discrete-event system.
 type Clock struct {
 	ns atomic.Int64
+
+	mu     sync.Mutex
+	timers timerHeap
+	seq    uint64 // scheduling order; the FIFO tie-break at equal deadlines
 }
 
 // New creates a clock set to t.
@@ -25,12 +44,161 @@ func (c *Clock) Now() time.Time {
 	return time.Unix(0, c.ns.Load()).UTC()
 }
 
-// Set jumps the clock to t.
+// Set jumps the clock to t, firing every pending timer with a deadline
+// at or before t (in deadline order, FIFO within a deadline). While a
+// timer fires the clock reads as that timer's deadline, so callbacks
+// observe the instant they were scheduled for.
 func (c *Clock) Set(t time.Time) {
-	c.ns.Store(t.UnixNano())
+	c.advanceTo(t.UnixNano())
 }
 
-// Advance moves the clock forward by d and returns the new time.
+// Advance moves the clock forward by d and returns the new time, firing
+// due timers exactly as Set does.
 func (c *Clock) Advance(d time.Duration) time.Time {
-	return time.Unix(0, c.ns.Add(int64(d))).UTC()
+	return c.advanceTo(c.ns.Load() + int64(d))
+}
+
+// Timer is a pending callback scheduled on a Clock.
+type Timer struct {
+	when    int64
+	seq     uint64
+	fn      func()
+	stopped bool
+	fired   bool
+	index   int // heap position; -1 once popped
+}
+
+// Stop cancels the timer. It reports whether the stop prevented the
+// timer from firing (false if it already fired or was stopped).
+func (t *Timer) Stop(c *Clock) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// AfterFunc schedules fn to run when the clock has advanced by d.
+// Non-positive d schedules for the current instant: the timer fires on
+// the next Set or Advance (including a Set to the same time), after any
+// earlier-scheduled timers at that instant.
+func (c *Clock) AfterFunc(d time.Duration, fn func()) *Timer {
+	return c.at(c.ns.Load()+int64(d), fn)
+}
+
+// At schedules fn to run when the clock reaches t.
+func (c *Clock) At(t time.Time, fn func()) *Timer {
+	return c.at(t.UnixNano(), fn)
+}
+
+func (c *Clock) at(when int64, fn func()) *Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &Timer{when: when, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.timers, t)
+	return t
+}
+
+// NextTimer reports the earliest pending timer deadline, if any — the
+// event engine's "what happens next" query.
+func (c *Clock) NextTimer() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.timers.Len() > 0 {
+		if c.timers[0].stopped {
+			heap.Pop(&c.timers)
+			continue
+		}
+		return time.Unix(0, c.timers[0].when).UTC(), true
+	}
+	return time.Time{}, false
+}
+
+// PendingTimers returns how many unstopped timers are scheduled.
+func (c *Clock) PendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.timers {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// advanceTo moves the clock to target, firing due timers one at a time.
+// The lock is never held across a callback, so callbacks may schedule
+// further timers; ones due at or before target fire in the same call.
+func (c *Clock) advanceTo(target int64) time.Time {
+	for {
+		t := c.popDue(target)
+		if t == nil {
+			break
+		}
+		// The callback observes its own deadline as "now". Deadlines pop
+		// in nondecreasing order, so time never runs backward here.
+		if t.when > c.ns.Load() {
+			c.ns.Store(t.when)
+		}
+		t.fn()
+	}
+	c.ns.Store(target)
+	return time.Unix(0, target).UTC()
+}
+
+// popDue removes and returns the next unstopped timer with deadline at
+// or before target, or nil.
+func (c *Clock) popDue(target int64) *Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.timers.Len() > 0 {
+		top := c.timers[0]
+		if top.stopped {
+			heap.Pop(&c.timers)
+			continue
+		}
+		if top.when > target {
+			return nil
+		}
+		heap.Pop(&c.timers)
+		top.fired = true
+		return top
+	}
+	return nil
+}
+
+// timerHeap orders timers by (deadline, scheduling sequence): the heap
+// invariant plus the seq tie-break is exactly the deterministic firing
+// order the package documents.
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
 }

@@ -1,0 +1,157 @@
+package testclock
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+var epoch = time.Unix(567993600, 0).UTC()
+
+// TestSameInstantFIFO is the regression test the sim engine depends on:
+// timers scheduled for the same instant must fire in FIFO order of
+// scheduling, regardless of how they interleave with other deadlines or
+// in what order the heap happens to shuffle them.
+func TestSameInstantFIFO(t *testing.T) {
+	c := New(epoch)
+	var got []int
+	// Schedule out of deadline order on purpose: 40 timers across four
+	// deadlines, interleaved, so same-deadline FIFO is actually tested
+	// against heap reordering rather than insertion luck.
+	deadlines := []time.Duration{time.Second, 3 * time.Second, time.Second, 2 * time.Second}
+	for i := 0; i < 40; i++ {
+		i := i
+		c.AfterFunc(deadlines[i%len(deadlines)], func() { got = append(got, i) })
+	}
+	c.Advance(5 * time.Second)
+
+	var want []int
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		for i := 0; i < 40; i++ {
+			if deadlines[i%len(deadlines)] == d {
+				want = append(want, i)
+			}
+		}
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("firing order:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCallbackObservesOwnDeadline: during a fire the clock reads as the
+// timer's deadline, and advances between deadlines.
+func TestCallbackObservesOwnDeadline(t *testing.T) {
+	c := New(epoch)
+	var seen []time.Time
+	for _, d := range []time.Duration{2 * time.Second, time.Second, 3 * time.Second} {
+		c.AfterFunc(d, func() { seen = append(seen, c.Now()) })
+	}
+	c.Advance(10 * time.Second)
+	want := []time.Time{epoch.Add(time.Second), epoch.Add(2 * time.Second), epoch.Add(3 * time.Second)}
+	for i := range want {
+		if !seen[i].Equal(want[i]) {
+			t.Errorf("callback %d saw %v, want %v", i, seen[i], want[i])
+		}
+	}
+	if now := c.Now(); !now.Equal(epoch.Add(10 * time.Second)) {
+		t.Errorf("final time %v, want %v", now, epoch.Add(10*time.Second))
+	}
+}
+
+// TestCallbackSchedulesWithinAdvance: a timer scheduled from inside a
+// callback, due before the advance target, fires in the same Advance —
+// and at the current instant it fires after already-queued timers for
+// that instant (it was scheduled later: FIFO).
+func TestCallbackSchedulesWithinAdvance(t *testing.T) {
+	c := New(epoch)
+	var got []string
+	c.AfterFunc(time.Second, func() {
+		got = append(got, "a")
+		c.AfterFunc(0, func() { got = append(got, "chained-now") })
+		c.AfterFunc(time.Second, func() { got = append(got, "chained-later") })
+	})
+	c.AfterFunc(time.Second, func() { got = append(got, "b") })
+	c.Advance(5 * time.Second)
+	want := "[a b chained-now chained-later]"
+	if fmt.Sprint(got) != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestSetFiresDueTimers: Set across deadlines fires them; Set to the
+// same instant fires zero-delay timers; stopped timers never fire.
+func TestSetFiresDueTimers(t *testing.T) {
+	c := New(epoch)
+	fired := map[string]bool{}
+	c.AfterFunc(time.Minute, func() { fired["early"] = true })
+	stop := c.AfterFunc(time.Minute, func() { fired["stopped"] = true })
+	c.At(epoch.Add(time.Hour), func() { fired["late"] = true })
+	if !stop.Stop(c) {
+		t.Fatal("Stop on pending timer = false")
+	}
+	if stop.Stop(c) {
+		t.Fatal("second Stop = true")
+	}
+	c.Set(epoch.Add(30 * time.Minute))
+	if !fired["early"] || fired["stopped"] || fired["late"] {
+		t.Fatalf("after partial Set: %v", fired)
+	}
+	if n := c.PendingTimers(); n != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", n)
+	}
+	c.Set(epoch.Add(2 * time.Hour))
+	if !fired["late"] || fired["stopped"] {
+		t.Fatalf("after full Set: %v", fired)
+	}
+}
+
+// TestNextTimer steps like the sim engine: repeatedly query the next
+// deadline and Set onto it.
+func TestNextTimer(t *testing.T) {
+	c := New(epoch)
+	if _, ok := c.NextTimer(); ok {
+		t.Fatal("NextTimer on empty clock = true")
+	}
+	var order []int
+	c.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	c.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	c.AfterFunc(2*time.Second, func() {
+		order = append(order, 2)
+		c.AfterFunc(2*time.Second, func() { order = append(order, 4) })
+	})
+	steps := 0
+	for {
+		next, ok := c.NextTimer()
+		if !ok {
+			break
+		}
+		c.Set(next)
+		if steps++; steps > 10 {
+			t.Fatal("runaway event loop")
+		}
+	}
+	if fmt.Sprint(order) != "[1 2 3 4]" {
+		t.Fatalf("order = %v", order)
+	}
+	if now := c.Now(); !now.Equal(epoch.Add(4 * time.Second)) {
+		t.Errorf("final time %v", now)
+	}
+}
+
+// TestConcurrentNowWhileFiring: goroutines reading Now while the driver
+// advances must not race (run under -race).
+func TestConcurrentNowWhileFiring(t *testing.T) {
+	c := New(epoch)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			_ = c.Now()
+		}
+		close(done)
+	}()
+	for i := 0; i < 100; i++ {
+		c.AfterFunc(time.Duration(i)*time.Millisecond, func() {})
+	}
+	c.Advance(time.Second)
+	<-done
+}

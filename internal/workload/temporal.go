@@ -1,0 +1,105 @@
+package workload
+
+// Temporal workload specs: the servegen-style vocabulary the realm
+// simulator (internal/sim) uses to turn the flat §9 population into a
+// day with a shape — 9am login storms, ticket-lifetime renewal waves,
+// a cohort whose clocks have drifted. The flat generators above answer
+// "who exists"; these answer "when they act".
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Window is a span of simulated time with an arrival process inside it:
+// N arrivals spread across [Start, Start+Dur) relative to scenario
+// start. Arrivals are evenly paced with seeded per-slot jitter — the
+// deterministic stand-in for a Poisson process that keeps traces
+// byte-reproducible while still de-synchronizing the cohort.
+type Window struct {
+	Start time.Duration // offset from scenario start
+	Dur   time.Duration // length of the arrival window
+}
+
+// Rate returns the offered arrival rate of n arrivals across the
+// window, in arrivals per second.
+func (w Window) Rate(n int) float64 {
+	if w.Dur <= 0 {
+		return 0
+	}
+	return float64(n) / w.Dur.Seconds()
+}
+
+// Arrivals returns n deterministic arrival offsets (from scenario
+// start, ascending) inside the window: slot i sits at its even-pacing
+// position plus seeded jitter of up to ±40% of a slot, so same-seed
+// runs replay the exact same storm while no two principals share an
+// instant by construction.
+func (w Window) Arrivals(seed int64, n int) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	if w.Dur <= 0 {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = w.Start
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	slot := w.Dur / time.Duration(n)
+	out := make([]time.Duration, n)
+	for i := range out {
+		center := w.Start + time.Duration(i)*slot + slot/2
+		jitter := time.Duration((rng.Float64() - 0.5) * 0.8 * float64(slot))
+		out[i] = center + jitter
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Cohort is a slice of the population with one temporal behavior: its
+// members log in during Storm, follow each login with TGS exchanges,
+// and re-key as a wave RenewAfter later. A cohort whose workstation
+// clocks have drifted carries the offset in Skew; past ±core.ClockSkew
+// the KDC rejects its authenticators, and Retries models the rejected
+// clients hammering the realm again — the epidemic, not the cure.
+type Cohort struct {
+	Name string
+
+	// FirstUser and Users select the population slice [FirstUser,
+	// FirstUser+Users) of the Spec this cohort animates.
+	FirstUser int
+	Users     int
+
+	// Storm is the login-arrival window.
+	Storm Window
+
+	// TicketsPerLogin is how many TGS exchanges follow each login.
+	TicketsPerLogin int
+
+	// RenewAfter, when positive, schedules a renewal (a TGS exchange on
+	// the by-then-aging TGT) RenewAfter after each member's login, plus
+	// per-member jitter of up to RenewJitter — the §9 "everyone's 8-hour
+	// ticket expires at once" wave.
+	RenewAfter  time.Duration
+	RenewJitter time.Duration
+
+	// Skew offsets every timestamp this cohort's workstations produce.
+	Skew time.Duration
+
+	// Retries is how many times a member whose exchange was rejected
+	// for skew retries before giving up.
+	Retries int
+}
+
+// User maps the cohort-local index j to the Spec user index.
+func (c Cohort) User(j int) int { return c.FirstUser + j }
+
+// ArrivalSeed derives the cohort's arrival-jitter seed from the
+// scenario seed and the cohort's position, so cohorts de-correlate
+// without any shared rng state.
+func ArrivalSeed(scenarioSeed int64, cohortIndex int) int64 {
+	return scenarioSeed*1_000_003 + int64(cohortIndex)*7919
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowArrivalsDeterministic(t *testing.T) {
+	w := Window{Start: 9 * time.Hour, Dur: 30 * time.Minute}
+	a := w.Arrivals(42, 500)
+	b := w.Arrivals(42, 500)
+	if len(a) != 500 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across same-seed runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := w.Arrivals(43, 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical arrivals")
+	}
+}
+
+func TestWindowArrivalsBoundsAndOrder(t *testing.T) {
+	w := Window{Start: time.Hour, Dur: 10 * time.Minute}
+	arr := w.Arrivals(7, 200)
+	lo, hi := w.Start, w.Start+w.Dur
+	for i, at := range arr {
+		if at < lo-w.Dur/200 || at > hi {
+			t.Fatalf("arrival %d = %v outside window [%v, %v]", i, at, lo, hi)
+		}
+		if i > 0 && arr[i] < arr[i-1] {
+			t.Fatalf("arrivals not ascending at %d: %v < %v", i, arr[i], arr[i-1])
+		}
+	}
+	if got := w.Rate(200); got < 0.32 || got > 0.35 {
+		t.Errorf("Rate = %v, want ~0.333", got)
+	}
+}
+
+func TestWindowArrivalsDegenerate(t *testing.T) {
+	if got := (Window{}).Arrivals(1, 0); got != nil {
+		t.Errorf("zero arrivals = %v", got)
+	}
+	point := Window{Start: time.Minute}
+	arr := point.Arrivals(1, 3)
+	for _, at := range arr {
+		if at != time.Minute {
+			t.Errorf("zero-duration window arrival = %v, want 1m", at)
+		}
+	}
+}
+
+func TestCohortUserMapping(t *testing.T) {
+	c := Cohort{FirstUser: 100, Users: 50}
+	if c.User(0) != 100 || c.User(49) != 149 {
+		t.Errorf("User mapping wrong: %d, %d", c.User(0), c.User(49))
+	}
+	if ArrivalSeed(1, 0) == ArrivalSeed(1, 1) {
+		t.Error("cohort seeds collide")
+	}
+	if ArrivalSeed(1, 0) == ArrivalSeed(2, 0) {
+		t.Error("scenario seeds collide")
+	}
+}

@@ -6,7 +6,22 @@
 #
 # count defaults to 5 runs per benchmark; the JSON records the fastest
 # run of each (least-noise estimator for a quiet machine).
+#
+# bench-realm mode instead runs the discrete-event saturation analyzer
+# (internal/sim): calibrate real per-exchange cost, binary-search the
+# max sustainable QPS per topology, and write BENCH_realm.json.
+#
+#   sh scripts/bench.sh bench-realm
 set -e
+
+if [ "${1:-}" = "bench-realm" ]; then
+    # 2s probe windows keep the sweep under ~2 minutes; the frontier
+    # moves <2% versus the 20s default on a quiet machine.
+    echo "== kersim -analyze (realm saturation analysis)"
+    go run ./cmd/kersim -analyze -window 2s -out BENCH_realm.json
+    cat BENCH_realm.json
+    exit 0
+fi
 
 COUNT="${1:-5}"
 OUT="BENCH_kdc.json"
