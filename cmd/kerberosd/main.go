@@ -42,6 +42,10 @@ func main() {
 	line, _ := bufio.NewReader(os.Stdin).ReadString('\n')
 	masterPw := strings.TrimRight(line, "\r\n")
 	masterKey := des.StringToKey(masterPw, *realm)
+	// The database holds its own copy of the master key; wipe the local
+	// when main unwinds (§4.1 keyzero discipline). Registered before the
+	// open/load error exits so every path is covered.
+	defer clear(masterKey[:])
 
 	var db *kdb.Database
 	if *dbDir != "" {
@@ -67,9 +71,6 @@ func main() {
 			log.Fatalf("kerberosd: %v", err)
 		}
 	}
-	// The database holds its own copy of the master key; wipe the local
-	// when main unwinds (§4.1 keyzero discipline).
-	defer clear(masterKey[:])
 	if *slave {
 		db.SetReadOnly(true)
 	}

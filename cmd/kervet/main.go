@@ -3,28 +3,45 @@
 // go/types, go/importer; no x/tools) and enforces the invariants the
 // compiler cannot see but the paper's security argument depends on:
 //
-//	consttime  secret keys and keyed checksums are compared in
-//	           constant time (crypto/subtle), §2.1/§4.3
-//	keyzero    key material materialized into locals is zeroized on
-//	           all return paths, §4.1
-//	clockuse   protocol code reads time only through the injected
-//	           clock abstraction, §2/§4.6
-//	hotpath    //kerb:hotpath functions (the PR 1 zero-alloc AS/TGS
-//	           path) stay free of fmt, map/closure allocation, and
-//	           map-order nondeterminism
-//	wiresym    exported wire structs with Encode have a matching
-//	           Decode and a golden vector under internal/wire/testdata
+//	consttime   secret keys and keyed checksums are compared in
+//	            constant time (crypto/subtle), §2.1/§4.3
+//	keyzero     key material materialized into locals is zeroized
+//	            (somewhere) before return, §4.1
+//	deferwipe   the wipes keyzero found cover EVERY exit path — early
+//	            returns and panic paths included (kerflow CFG)
+//	secretflow  key material never flows into fmt/log/error sinks,
+//	            telemetry, or unsealed writes (kerflow taint)
+//	lockflow    mutex discipline: per-path lock/unlock balance, no
+//	            order inversions, no snapshot-before-lock races
+//	            (kerflow lockset)
+//	clockuse    protocol code reads time only through the injected
+//	            clock abstraction, §2/§4.6
+//	hotpath     //kerb:hotpath functions (the PR 1 zero-alloc AS/TGS
+//	            path) stay free of fmt, map/closure allocation, and
+//	            map-order nondeterminism
+//	wiresym     exported wire structs with Encode have a matching
+//	            Decode and a golden vector under internal/wire/testdata
 //
 // Usage:
 //
-//	kervet [packages]     # default ./...
+//	kervet [flags] [packages]     # default ./...
+//
+//	-json                  emit findings as a JSON array on stdout
+//	-baseline FILE         suppress findings recorded in FILE; only
+//	                       new findings fail the run
+//	-write-baseline FILE   record current findings into FILE and exit 0
 //
 // Diagnostics print as file:line: analyzer: message; the exit status is
-// non-zero if any diagnostic is emitted. Suppress a finding with a
-// justified directive: //kerb:ignore <analyzer> -- <reason>.
+// non-zero if any (non-baselined) diagnostic is emitted. Suppress a
+// finding permanently with a justified directive:
+// //kerb:ignore <analyzer> -- <reason>. Baseline entries are keyed on
+// (analyzer, file, message) without line numbers, so unrelated edits
+// that shift lines do not invalidate the baseline.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,8 +51,11 @@ import (
 	"kerberos/internal/analysis"
 	"kerberos/internal/analysis/clockuse"
 	"kerberos/internal/analysis/consttime"
+	"kerberos/internal/analysis/deferwipe"
 	"kerberos/internal/analysis/hotpath"
 	"kerberos/internal/analysis/keyzero"
+	"kerberos/internal/analysis/lockflow"
+	"kerberos/internal/analysis/secretflow"
 	"kerberos/internal/analysis/wiresym"
 )
 
@@ -61,28 +81,58 @@ var wirePkgs = []string{
 	"kerberos/internal/kprop",
 }
 
+// lockPkgs hold the shard, store, and replay-cache mutexes whose
+// discipline lockflow enforces.
+var lockPkgs = []string{
+	"kerberos/internal/kdb",
+	"kerberos/internal/replay",
+	"kerberos/internal/kdc",
+	"kerberos/internal/kprop",
+}
+
+// noTaintPkgs are exempt from secretflow: the cipher implementation
+// necessarily manipulates raw key bytes below the Seal boundary.
+var noTaintPkgs = []string{
+	"kerberos/internal/des",
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	baseline := flag.String("baseline", "", "suppress findings recorded in this file")
+	writeBaseline := flag.String("write-baseline", "", "record current findings into this file and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: kervet [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kervet [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range allAnalyzers(".") {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
 		}
+		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(flag.Args(), os.Stdout))
+	os.Exit(run(flag.Args(), os.Stdout, options{
+		json: *jsonOut, baseline: *baseline, writeBaseline: *writeBaseline,
+	}))
+}
+
+type options struct {
+	json          bool
+	baseline      string
+	writeBaseline string
 }
 
 func allAnalyzers(modRoot string) []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		consttime.Analyzer,
 		keyzero.Analyzer,
+		deferwipe.Analyzer,
+		secretflow.Analyzer,
+		lockflow.Analyzer,
 		clockuse.Analyzer,
 		hotpath.Analyzer,
 		wiresym.New(filepath.Join(modRoot, "internal", "wire", "testdata")),
 	}
 }
 
-func run(patterns []string, out *os.File) int {
+func run(patterns []string, out *os.File, opt options) int {
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kervet:", err)
@@ -112,13 +162,40 @@ func run(patterns []string, out *os.File) int {
 		return 2
 	}
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		// Print module-relative paths: stable in CI logs, clickable in
-		// editors.
-		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+	for i := range diags {
+		// Module-relative paths: stable in CI logs, clickable in editors,
+		// and machine-independent in baseline files.
+		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Fprintln(out, d.String())
+	}
+
+	if opt.writeBaseline != "" {
+		if err := writeBaselineFile(opt.writeBaseline, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "kervet:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "kervet: wrote %d finding(s) to %s\n", len(diags), opt.writeBaseline)
+		return 0
+	}
+	if opt.baseline != "" {
+		known, err := readBaselineFile(opt.baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kervet:", err)
+			return 2
+		}
+		diags = filterBaselined(diags, known)
+	}
+
+	if opt.json {
+		if err := printJSON(out, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "kervet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "kervet: %d finding(s)\n", len(diags))
@@ -134,6 +211,10 @@ func scope(a *analysis.Analyzer, pkg *analysis.Package) bool {
 		return hasPrefix(pkg.Path, protocolPkgs)
 	case "wiresym":
 		return hasPrefix(pkg.Path, wirePkgs)
+	case "lockflow":
+		return hasPrefix(pkg.Path, lockPkgs)
+	case "secretflow":
+		return !hasPrefix(pkg.Path, noTaintPkgs)
 	default:
 		return true
 	}
@@ -146,4 +227,89 @@ func hasPrefix(path string, prefixes []string) bool {
 		}
 	}
 	return false
+}
+
+// ---- machine-readable output ----
+
+// jsonDiag mirrors the fields CI consumers (and the problem matcher's
+// JSON mode) need; line/col are 1-based.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(out *os.File, diags []analysis.Diagnostic) error {
+	js := make([]jsonDiag, len(diags))
+	for i, d := range diags {
+		js[i] = jsonDiag{
+			File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+// ---- baseline ----
+
+// baselineKey identifies a finding across line-number drift: the file,
+// the analyzer, and the message, but not the position within the file.
+func baselineKey(d analysis.Diagnostic) string {
+	return d.Analyzer + "\t" + filepath.ToSlash(d.Pos.Filename) + "\t" + d.Message
+}
+
+func writeBaselineFile(path string, diags []analysis.Diagnostic) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "# kervet baseline: one finding per line as analyzer<TAB>file<TAB>message.")
+	fmt.Fprintln(w, "# Findings listed here are suppressed by `kervet -baseline`; new findings still fail.")
+	for _, d := range diags {
+		fmt.Fprintln(w, baselineKey(d))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func readBaselineFile(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	known := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		known[line]++
+	}
+	return known, sc.Err()
+}
+
+// filterBaselined drops findings present in the baseline, multiset-
+// style: a baseline entry absorbs at most as many findings as it was
+// recorded times, so a duplicated regression still fails.
+func filterBaselined(diags []analysis.Diagnostic, known map[string]int) []analysis.Diagnostic {
+	var fresh []analysis.Diagnostic
+	for _, d := range diags {
+		k := baselineKey(d)
+		if known[k] > 0 {
+			known[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
 }

@@ -34,6 +34,7 @@ var allocGuards = map[string]struct{ testFile, testName string }{
 	"internal/obs.(*Gauge).Set":             {"internal/obs/metrics_test.go", "TestHotPathAllocs"},
 	"internal/obs.(*Histogram).Observe":     {"internal/obs/metrics_test.go", "TestHotPathAllocs"},
 	"internal/obs.(*SizeHistogram).Observe": {"internal/obs/metrics_test.go", "TestHotPathAllocs"},
+	"internal/sim.(*Engine).Run":            {"internal/sim/engine_test.go", "TestEngineRunAllocs"},
 }
 
 func TestHotpathAnnotationsMatchAllocGuards(t *testing.T) {

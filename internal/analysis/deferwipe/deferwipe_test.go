@@ -1,0 +1,12 @@
+package deferwipe_test
+
+import (
+	"testing"
+
+	"kerberos/internal/analysis/analysistest"
+	"kerberos/internal/analysis/deferwipe"
+)
+
+func TestDeferwipe(t *testing.T) {
+	analysistest.Run(t, deferwipe.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,433 @@
+// Package kerflow is the control-flow and dataflow layer of the kervet
+// analysis framework. PR 4's analyzers are syntactic — one statement,
+// one function, no notion of "on every path" — but the invariants that
+// actually bite are path properties: key bytes reaching a log sink three
+// calls later, a shard lock released on one error path but not another.
+// kerflow supplies the three pieces a flow-sensitive analyzer needs:
+//
+//   - an intra-procedural CFG over go/ast (cfg.go): basic blocks with
+//     edges for if/for/range/switch/select/goto and labeled
+//     break/continue, explicit panic and os.Exit/log.Fatal edges to the
+//     exit block, and defer statements kept in-line so analyzers can
+//     model "runs at every exit";
+//   - a generic worklist solver over lattice facts (solver.go), forward
+//     and backward, with a replay helper that hands analyzers the fact
+//     in force immediately before every node;
+//   - a same-package call-summary fixpoint (summary.go), so taint and
+//     lock effects track through one level of local helpers without an
+//     inter-procedural engine.
+//
+// Block node contract: a block's Nodes slice holds ordinary statements
+// and control-condition expressions in execution order. Ordinary
+// statements are safe to ast.Inspect (they contain no nested control
+// flow except function literals, which analyzers must skip — a FuncLit
+// body is a different function with its own CFG). Range statements are
+// the one exception: their loop variables and operand appear as a
+// *RangeHead node so an Inspect never wanders into the loop body.
+package kerflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Fn     *ast.FuncDecl
+	Blocks []*Block // in creation order; Blocks[0] == Entry, Blocks[1] == Exit
+	Entry  *Block
+	Exit   *Block // every return, explicit panic, and fall-off-the-end edge lands here
+}
+
+// Block is one basic block: straight-line nodes, then a branch.
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "if.then", "for.body", ... (debugging aid)
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// RangeHead stands in for the header of a range statement: the
+// evaluation of the operand and the per-iteration assignment of the
+// key/value variables, without the loop body.
+type RangeHead struct {
+	Range *ast.RangeStmt
+}
+
+func (r *RangeHead) Pos() token.Pos { return r.Range.Pos() }
+func (r *RangeHead) End() token.Pos { return r.Range.X.End() }
+
+// Parts returns the header's real AST constituents (operand, then key
+// and value when present). ast.Inspect does not understand the
+// synthetic RangeHead node itself; transfer functions unwrap it with
+// Parts (or the Unwrap helper) before walking.
+func (r *RangeHead) Parts() []ast.Node {
+	parts := []ast.Node{r.Range.X}
+	if r.Range.Key != nil {
+		parts = append(parts, r.Range.Key)
+	}
+	if r.Range.Value != nil {
+		parts = append(parts, r.Range.Value)
+	}
+	return parts
+}
+
+// Unwrap expands a block node into the real AST nodes it stands for:
+// the identity for ordinary nodes, the header constituents for a
+// RangeHead. Inspect-based transfer functions iterate over Unwrap(n).
+func Unwrap(n ast.Node) []ast.Node {
+	if rh, ok := n.(*RangeHead); ok {
+		return rh.Parts()
+	}
+	return []ast.Node{n}
+}
+
+// New builds the CFG of fn. info is used to recognize the panic builtin
+// and no-return callees (os.Exit, log.Fatal*, runtime.Goexit); it may be
+// nil, in which case those constructs fall through like ordinary calls.
+func New(fn *ast.FuncDecl, info *types.Info) *CFG {
+	cfg := &CFG{Fn: fn}
+	cfg.Entry = cfg.newBlock("entry")
+	cfg.Exit = cfg.newBlock("exit")
+	b := &builder{cfg: cfg, info: info, labels: map[string]*Block{}}
+	b.cur = cfg.Entry
+	if fn.Body != nil {
+		b.stmtList(fn.Body.List)
+	}
+	b.jump(cfg.Exit) // falling off the end returns
+	return cfg
+}
+
+func (c *CFG) newBlock(kind string) *Block {
+	blk := &Block{Index: len(c.Blocks), Kind: kind}
+	c.Blocks = append(c.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// builder threads the "current block" through a recursive statement
+// walk. cur == nil means the walker is in dead code (after a return or
+// jump); the next reachable statement starts a fresh, predecessor-less
+// block so goto labels inside dead regions still resolve.
+type builder struct {
+	cfg    *CFG
+	info   *types.Info
+	cur    *Block
+	frames []frame // enclosing break/continue targets, innermost last
+	labels map[string]*Block
+}
+
+// frame is one enclosing breakable construct.
+type frame struct {
+	label      string // enclosing statement label, "" if none
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+// add appends a node to the current block, reviving a dead walker into
+// an unreachable block.
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.cfg.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump ends the current block with an edge to target.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil {
+		edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// start makes blk current, with a fall-through edge from the previous
+// current block.
+func (b *builder) start(blk *Block) {
+	if b.cur != nil {
+		edge(b.cur, blk)
+	}
+	b.cur = blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// label resolves (or forward-declares) a goto/label target block.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.cfg.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		blk := b.labelBlock(s.Label.Name)
+		b.start(blk)
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			b.jump(b.labelBlock(s.Label.Name))
+		case token.BREAK:
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				f := b.frames[i]
+				if s.Label == nil || f.label == s.Label.Name {
+					b.jump(f.breakTo)
+					return
+				}
+			}
+			b.cur = nil // break outside any frame: malformed, treat as dead
+		case token.CONTINUE:
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				f := b.frames[i]
+				if f.continueTo != nil && (s.Label == nil || f.label == s.Label.Name) {
+					b.jump(f.continueTo)
+					return
+				}
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by the switch builder, which links the clause to
+			// its successor; the statement itself is a no-op here.
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		done := b.cfg.newBlock("if.done")
+		then := b.cfg.newBlock("if.then")
+		edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body, "")
+		b.jump(done)
+		if s.Else != nil {
+			els := b.cfg.newBlock("if.else")
+			edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.jump(done)
+		} else {
+			edge(cond, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.cfg.newBlock("for.head")
+		body := b.cfg.newBlock("for.body")
+		done := b.cfg.newBlock("for.done")
+		b.start(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			edge(b.cur, done)
+		}
+		edge(b.cur, body)
+		continueTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.cfg.newBlock("for.post")
+			continueTo = post
+		}
+		b.frames = append(b.frames, frame{label: label, breakTo: done, continueTo: continueTo})
+		b.cur = body
+		b.stmt(s.Body, "")
+		if post != nil {
+			b.start(post)
+			b.add(s.Post)
+		}
+		b.jump(head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = done
+
+	case *ast.RangeStmt:
+		head := b.cfg.newBlock("range.head")
+		body := b.cfg.newBlock("range.body")
+		done := b.cfg.newBlock("range.done")
+		b.start(head)
+		b.add(&RangeHead{Range: s})
+		edge(head, body)
+		edge(head, done)
+		b.frames = append(b.frames, frame{label: label, breakTo: done, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body, "")
+		b.jump(head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, func(cc *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, len(cc.List))
+			for i, e := range cc.List {
+				nodes[i] = e
+			}
+			return nodes
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, label, func(*ast.CaseClause) []ast.Node { return nil })
+
+	case *ast.SelectStmt:
+		head := b.cur
+		if head == nil {
+			head = b.cfg.newBlock("unreachable")
+			b.cur = head
+		}
+		done := b.cfg.newBlock("select.done")
+		b.frames = append(b.frames, frame{label: label, breakTo: done})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.cfg.newBlock("select.case")
+			edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			}
+			b.stmtList(cc.Body)
+			b.jump(done)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// A select with no default blocks until a case is ready; every
+		// path still leaves through a case, so head has no edge to done.
+		b.cur = done
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if b.isNoReturn(s.X) {
+			b.jump(b.cfg.Exit)
+		}
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		b.add(s)
+	}
+}
+
+// switchClauses builds the shared clause topology of value and type
+// switches, including fallthrough edges.
+func (b *builder) switchClauses(clauses []ast.Stmt, label string, guards func(*ast.CaseClause) []ast.Node) {
+	head := b.cur
+	if head == nil {
+		head = b.cfg.newBlock("unreachable")
+		b.cur = head
+	}
+	done := b.cfg.newBlock("switch.done")
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		blocks[i] = b.cfg.newBlock("switch.case")
+		edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		edge(head, done)
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: done})
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		b.cur = blocks[i]
+		for _, g := range guards(cc) {
+			b.add(g)
+		}
+		body := cc.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		b.stmtList(body)
+		if fallsThrough && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(done)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// isNoReturn reports whether the expression statement is a call that
+// never returns: the panic builtin, os.Exit, runtime.Goexit, or a
+// log.Fatal*/log.Panic* variant. Ordinary calls that merely may panic
+// are treated as returning — modeling "anything can panic" would erase
+// every path distinction the CFG exists to draw.
+func (b *builder) isNoReturn(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || b.info == nil {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := b.info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, _ := b.info.Uses[id].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,330 @@
+package kerflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseFunc type-checks src (a file body) and returns the named
+// function's declaration and type info.
+func parseFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package t\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	cfg := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := cfg.Check("t", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd, info
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil, nil
+}
+
+// markFlow is a toy forward analysis: the fact is the set of marker
+// strings passed to calls of mark("..."); merge is set union. Exit facts
+// therefore name every marker that MAY have executed on some path —
+// exactly the may-reach semantics the real analyzers build on.
+type markFlow struct{}
+
+type markFact map[string]bool
+
+func (markFlow) Boundary() markFact { return markFact{} }
+func (markFlow) Clone(f markFact) markFact {
+	c := make(markFact, len(f))
+	for k := range f {
+		c[k] = true
+	}
+	return c
+}
+func (markFlow) Merge(dst, src markFact) (markFact, bool) {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+func (markFlow) Transfer(n ast.Node, f markFact) markFact {
+	for _, n := range Unwrap(n) {
+		markInspect(n, f)
+	}
+	return f
+}
+
+func markInspect(n ast.Node, f markFact) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" && len(call.Args) == 1 {
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+				f[strings.Trim(lit.Value, `"`)] = true
+			}
+		}
+		return true
+	})
+}
+
+func exitMarks(t *testing.T, src string) string {
+	t.Helper()
+	fd, info := parseFunc(t, "func mark(s string) {}\n"+src, "f")
+	cfg := New(fd, info)
+	res := Forward[markFact](cfg, markFlow{})
+	fact, ok := res.ExitFact()
+	if !ok {
+		return "<exit unreachable>"
+	}
+	var keys []string
+	for k := range fact {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " ")
+}
+
+func TestForwardPaths(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"straightline", `func f() { mark("a"); mark("b") }`, "a b"},
+		{"if-merge", `func f(c bool) {
+			if c { mark("then") } else { mark("else") }
+			mark("after")
+		}`, "after else then"},
+		{"early-return", `func f(c bool) {
+			if c { mark("early"); return }
+			mark("late")
+		}`, "early late"},
+		{"for-loop", `func f(n int) {
+			for i := 0; i < n; i++ { mark("body") }
+			mark("done")
+		}`, "body done"},
+		{"range-body-not-inlined", `func f(xs []int) {
+			for range xs { mark("body") }
+		}`, "body"},
+		{"switch-fallthrough", `func f(n int) {
+			switch n {
+			case 0:
+				mark("zero")
+				fallthrough
+			case 1:
+				mark("one")
+			default:
+				mark("other")
+			}
+		}`, "one other zero"},
+		{"goto", `func f(c bool) {
+			if c { goto out }
+			mark("mid")
+		out:
+			mark("out")
+		}`, "mid out"},
+		{"labeled-break", `func f(xs []int) {
+		outer:
+			for range xs {
+				for {
+					mark("inner")
+					break outer
+				}
+			}
+			mark("done")
+		}`, "done inner"},
+		{"panic-exits", `func f(c bool) {
+			if c { mark("pre"); panic("boom") }
+			mark("normal")
+		}`, "normal pre"},
+		{"select", `func f(ch chan int) {
+			select {
+			case <-ch:
+				mark("recv")
+			default:
+				mark("default")
+			}
+			mark("after")
+		}`, "after default recv"},
+		{"dead-after-return", `func f() {
+			mark("live")
+			return
+			mark("dead") //nolint
+		}`, "live"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := exitMarks(t, tc.src); got != tc.want {
+				t.Errorf("exit marks = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPanicEdgeSeparatesPaths pins the property the deferwipe analyzer
+// depends on: a fact set only on the panic path must not contaminate
+// the straight-line exit fact of a block AFTER the panicking branch.
+func TestPanicEdgeSeparatesPaths(t *testing.T) {
+	src := `func f(c bool) {
+		if c {
+			mark("pre-panic")
+			panic("boom")
+		}
+		mark("tail")
+	}`
+	fd, info := parseFunc(t, "func mark(s string) {}\n"+src, "f")
+	cfg := New(fd, info)
+	res := Forward[markFact](cfg, markFlow{})
+	// The block holding mark("tail") must not carry "pre-panic" on
+	// entry: the panic path bypassed it.
+	found := false
+	res.Walk(func(n ast.Node, fact markFact) {
+		call, ok := nodeCallNamed(n, "mark")
+		if !ok {
+			return
+		}
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Value == `"tail"` {
+			found = true
+			if fact["pre-panic"] {
+				t.Error(`fact "pre-panic" leaked past the panic edge into the tail block`)
+			}
+		}
+	})
+	if !found {
+		t.Fatal("tail mark not visited")
+	}
+}
+
+func nodeCallNamed(n ast.Node, name string) (*ast.CallExpr, bool) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return nil, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return nil, false
+	}
+	return call, true
+}
+
+// TestBackwardLiveness exercises the backward direction with a tiny
+// liveness analysis: a variable is live-in at entry iff some path reads
+// it before writing it.
+type liveFlow struct{ info *types.Info }
+
+func (liveFlow) Boundary() markFact { return markFact{} }
+func (l liveFlow) Clone(f markFact) markFact {
+	return markFlow{}.Clone(f)
+}
+func (liveFlow) Merge(dst, src markFact) (markFact, bool) {
+	return markFlow{}.Merge(dst, src)
+}
+func (l liveFlow) Transfer(n ast.Node, f markFact) markFact {
+	// Backward: kill writes, then gen reads.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				delete(f, id.Name)
+			}
+		}
+		for _, rhs := range as.Rhs {
+			ast.Inspect(rhs, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if _, isVar := l.info.Uses[id].(*types.Var); isVar {
+						f[id.Name] = true
+					}
+				}
+				return true
+			})
+		}
+		return f
+	}
+	for _, n := range Unwrap(n) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if _, isVar := l.info.Uses[id].(*types.Var); isVar {
+					f[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return f
+}
+
+func TestBackwardLiveness(t *testing.T) {
+	src := `func f(a, b, c int) int {
+		x := a
+		if x > 0 {
+			x = b // a's value dead here, b read
+		}
+		return x + c
+	}`
+	fd, info := parseFunc(t, src, "f")
+	cfg := New(fd, info)
+	lf := liveFlow{info: info}
+	res := Backward[markFact](cfg, lf)
+	fact, ok := res.In[cfg.Entry]
+	if !ok {
+		t.Fatal("entry unreachable backward")
+	}
+	// res.In holds the fact at the entry block's end; push it back
+	// through the block's own nodes to reach the function entry.
+	fact = lf.Clone(fact)
+	for i := len(cfg.Entry.Nodes) - 1; i >= 0; i-- {
+		fact = lf.Transfer(cfg.Entry.Nodes[i], fact)
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if !fact[want] {
+			t.Errorf("param %s should be live-in at entry", want)
+		}
+	}
+}
+
+func TestDeterministicBlockOrder(t *testing.T) {
+	src := `func f(c bool) {
+		if c { mark("a") } else { mark("b") }
+		for i := 0; i < 3; i++ { mark("c") }
+	}`
+	var orders []string
+	for i := 0; i < 5; i++ {
+		fd, info := parseFunc(t, "func mark(s string) {}\n"+src, "f")
+		cfg := New(fd, info)
+		res := Forward[markFact](cfg, markFlow{})
+		var visit []string
+		res.Walk(func(n ast.Node, fact markFact) {
+			visit = append(visit, fmt.Sprintf("%T", n))
+		})
+		orders = append(orders, strings.Join(visit, ","))
+	}
+	for _, o := range orders[1:] {
+		if o != orders[0] {
+			t.Fatalf("Walk order varies between runs:\n%s\n%s", orders[0], o)
+		}
+	}
+}

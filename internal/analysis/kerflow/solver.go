@@ -1,0 +1,128 @@
+package kerflow
+
+import "go/ast"
+
+// Dataflow is one analysis over a CFG: a lattice of facts F plus a
+// transfer function over nodes. The solver owns iteration order and
+// convergence; the analysis owns meaning.
+//
+// The lattice contract: Merge must be monotone and the fact space of
+// finite height (every chain of Merge-growth stabilizes), or the
+// worklist will not terminate. Merge returns the joined fact and
+// whether it differs from dst; the solver re-queues a block only when
+// its input actually changed. Transfer may mutate and return its
+// argument — the solver clones at block boundaries.
+type Dataflow[F any] interface {
+	// Boundary is the fact at the entry block (forward) or exit block
+	// (backward).
+	Boundary() F
+	// Transfer applies one node's effect to the fact.
+	Transfer(n ast.Node, fact F) F
+	// Merge joins src into dst, reporting whether dst changed.
+	Merge(dst, src F) (F, bool)
+	// Clone returns an independent copy of fact.
+	Clone(fact F) F
+}
+
+// Result holds the per-block input facts of a converged analysis.
+// Blocks unreachable from the boundary are absent.
+type Result[F any] struct {
+	CFG      *CFG
+	In       map[*Block]F
+	analysis Dataflow[F]
+	forward  bool
+}
+
+// Forward runs d to fixpoint over cfg, facts flowing entry → exit.
+func Forward[F any](cfg *CFG, d Dataflow[F]) *Result[F] {
+	return solve(cfg, d, true)
+}
+
+// Backward runs d to fixpoint over cfg, facts flowing exit → entry and
+// each block's nodes visited in reverse order.
+func Backward[F any](cfg *CFG, d Dataflow[F]) *Result[F] {
+	return solve(cfg, d, false)
+}
+
+func solve[F any](cfg *CFG, d Dataflow[F], forward bool) *Result[F] {
+	boundary := cfg.Entry
+	if !forward {
+		boundary = cfg.Exit
+	}
+	in := map[*Block]F{boundary: d.Boundary()}
+	work := []*Block{boundary}
+	queued := map[*Block]bool{boundary: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := flowBlock(d, blk, d.Clone(in[blk]), forward)
+		next := blk.Succs
+		if !forward {
+			next = blk.Preds
+		}
+		for _, s := range next {
+			cur, ok := in[s]
+			if !ok {
+				in[s] = d.Clone(out)
+			} else {
+				merged, changed := d.Merge(cur, out)
+				if !changed {
+					continue
+				}
+				in[s] = merged
+			}
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return &Result[F]{CFG: cfg, In: in, analysis: d, forward: forward}
+}
+
+// flowBlock pushes a fact through one block's nodes.
+func flowBlock[F any](d Dataflow[F], blk *Block, fact F, forward bool) F {
+	if forward {
+		for _, n := range blk.Nodes {
+			fact = d.Transfer(n, fact)
+		}
+	} else {
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			fact = d.Transfer(blk.Nodes[i], fact)
+		}
+	}
+	return fact
+}
+
+// Walk replays the converged analysis in deterministic block order,
+// calling visit with the fact in force immediately before each node
+// (immediately after, for a backward analysis). This is how analyzers
+// turn fixpoint facts into positioned diagnostics.
+func (r *Result[F]) Walk(visit func(n ast.Node, fact F)) {
+	for _, blk := range r.CFG.Blocks {
+		fact, ok := r.In[blk]
+		if !ok {
+			continue // unreachable
+		}
+		fact = r.analysis.Clone(fact)
+		if r.forward {
+			for _, n := range blk.Nodes {
+				visit(n, fact)
+				fact = r.analysis.Transfer(n, fact)
+			}
+		} else {
+			for i := len(blk.Nodes) - 1; i >= 0; i-- {
+				visit(blk.Nodes[i], fact)
+				fact = r.analysis.Transfer(blk.Nodes[i], fact)
+			}
+		}
+	}
+}
+
+// ExitFact returns the converged fact entering the exit block (forward
+// analyses) and whether the exit is reachable at all.
+func (r *Result[F]) ExitFact() (F, bool) {
+	f, ok := r.In[r.CFG.Exit]
+	return f, ok
+}

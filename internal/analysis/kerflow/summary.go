@@ -1,0 +1,77 @@
+package kerflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kerberos/internal/analysis"
+)
+
+// The call-summary layer. A full inter-procedural analysis is out of
+// scope for a lint suite that must stay fast and stdlib-only, but the
+// repository's idiom leans on small same-package helpers — a wipe(b)
+// here, a release() there — and a purely intra-procedural analyzer
+// would either miss real bugs through them or flag their callers
+// falsely. Summaries close that gap: each analyzer computes one small,
+// comparable fact per function (bottom-up, to fixpoint, so helpers that
+// call helpers resolve), then consults those facts at call sites.
+
+// Decls indexes a package's function and method declarations by their
+// types.Func object, the key a call site's Callee resolves to.
+func Decls(pkg *analysis.Package) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// Fixpoint computes a summary for every function in decls, re-running
+// compute until no summary changes. compute receives a lookup for the
+// current summaries of same-package callees (zero value for functions
+// with no declaration — externals, interface methods); because S is
+// comparable and summaries only grow toward a finite fact, iteration
+// terminates.
+func Fixpoint[S comparable](decls map[*types.Func]*ast.FuncDecl,
+	compute func(fn *types.Func, decl *ast.FuncDecl, get func(*types.Func) S) S) map[*types.Func]S {
+
+	sums := make(map[*types.Func]S, len(decls))
+	get := func(fn *types.Func) S { return sums[fn] }
+	// Deterministic order keeps diagnostics stable run to run.
+	order := make([]*types.Func, 0, len(decls))
+	for fn := range decls {
+		order = append(order, fn)
+	}
+	sortFuncs(order, decls)
+	for {
+		changed := false
+		for _, fn := range order {
+			s := compute(fn, decls[fn], get)
+			if s != sums[fn] {
+				sums[fn] = s
+				changed = true
+			}
+		}
+		if !changed {
+			return sums
+		}
+	}
+}
+
+// sortFuncs orders functions by source position.
+func sortFuncs(fns []*types.Func, decls map[*types.Func]*ast.FuncDecl) {
+	for i := 1; i < len(fns); i++ {
+		for j := i; j > 0 && decls[fns[j]].Pos() < decls[fns[j-1]].Pos(); j-- {
+			fns[j], fns[j-1] = fns[j-1], fns[j]
+		}
+	}
+}

@@ -6,17 +6,20 @@
 // unless the value's whole point is to outlive the call (it is
 // returned, or stored into a longer-lived structure).
 //
-// Accepted zeroization proofs, checkable without a CFG:
+// keyzero is the syntactic half of the rule: it decides WHICH locals
+// are key material (name- and type-based, plus copy-contamination) and
+// whether any zeroization exists at all — a deferred wipe (defer
+// clear(k[:]), defer wipe(k)), an inline wipe (clear, a zero-composite
+// assignment, a zeroing loop, or a call to a zero*/wipe*/erase*/scrub*
+// helper) — or whether the value escapes (returned, or stored into a
+// longer-lived structure) and is therefore someone else's to wipe.
 //
-//   - a deferred wipe (defer clear(k[:]), defer wipe(k)) — covers every
-//     return path by construction, or
-//   - an inline wipe (clear, a zero-composite assignment, a zeroing
-//     loop, or a call to a zero*/wipe*/erase*/scrub* helper) in a
-//     function with at most one return statement, where "before the
-//     single exit" is trivially "on all paths".
-//
-// A function with multiple return statements must use defer: an inline
-// wipe cannot be shown (syntactically) to dominate every exit.
+// Whether the wipes that do exist cover EVERY exit path is a
+// flow-sensitive question, answered by the deferwipe analyzer over the
+// kerflow CFG; keyzero exports Candidates so deferwipe scrutinizes
+// exactly the same locals. (Historically keyzero demanded defer for any
+// function with more than one return statement; deferwipe replaced
+// that heuristic with real path coverage.)
 package keyzero
 
 import (
@@ -58,18 +61,37 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// candidate is one key-material local under scrutiny.
-type candidate struct {
-	obj          types.Object
-	decl         *ast.Ident
-	escapes      bool
-	wiped        bool // any zeroizer mentions it
-	deferredWipe bool // a deferred zeroizer mentions it
+// A Candidate is one key-material local under scrutiny.
+type Candidate struct {
+	Obj          types.Object
+	Decl         *ast.Ident
+	Escapes      bool // returned or stored into something longer-lived
+	Wiped        bool // any zeroizer mentions it
+	DeferredWipe bool // a deferred zeroizer mentions it
 }
 
 func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
-	info := pass.Pkg.Info
-	cands := map[types.Object]*candidate{}
+	for _, c := range Candidates(pass.Pkg.Info, fn) {
+		switch {
+		case c.Escapes:
+			// Returned or stored into something longer-lived: the value
+			// is meant to outlive the call; its owner wipes it.
+		case c.Wiped:
+			// Some zeroizer exists; whether it covers every exit path is
+			// deferwipe's flow-sensitive question, not keyzero's.
+		default:
+			pass.Reportf(c.Decl.Pos(),
+				"key material %q is not zeroized before return (clear it, or defer a wipe)",
+				c.Decl.Name)
+		}
+	}
+}
+
+// Candidates finds fn's key-material locals and classifies every use:
+// escapes, wipes, deferred wipes, and copy-contamination. deferwipe
+// builds on the same classification.
+func Candidates(info *types.Info, fn *ast.FuncDecl) map[types.Object]*Candidate {
+	cands := map[types.Object]*Candidate{}
 
 	// Pass 1: find key-material locals declared in the body.
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -81,8 +103,8 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		if !ok || obj.IsField() {
 			return true
 		}
-		if isKeyMaterial(obj) {
-			cands[obj] = &candidate{obj: obj, decl: id}
+		if IsKeyMaterial(obj) {
+			cands[obj] = &Candidate{Obj: obj, Decl: id}
 		}
 		return true
 	})
@@ -99,14 +121,14 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 			if !ok || len(call.Args) != 2 || !analysis.IsBuiltin(info, call, "copy") {
 				return true
 			}
-			dst := exprObj(info, call.Args[0])
+			dst := ResolveObj(info, call.Args[0])
 			if dst == nil {
 				return true
 			}
-			if _, isCand := cands[dst]; !isCand && !isKeyMaterial(dst) {
+			if _, isCand := cands[dst]; !isCand && !IsKeyMaterial(dst) {
 				return true
 			}
-			srcVar, ok := exprObj(info, call.Args[1]).(*types.Var)
+			srcVar, ok := ResolveObj(info, call.Args[1]).(*types.Var)
 			if !ok || srcVar.IsField() || cands[srcVar] != nil {
 				return true
 			}
@@ -123,7 +145,7 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 				decl = exprIdent(call.Args[1])
 			}
 			if decl != nil {
-				cands[srcVar] = &candidate{obj: srcVar, decl: decl}
+				cands[srcVar] = &Candidate{Obj: srcVar, Decl: decl}
 				grew = true
 			}
 			return true
@@ -132,45 +154,14 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 			break
 		}
 	}
-	if len(cands) == 0 {
-		return
-	}
-
-	returns := 0
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.ReturnStmt); ok {
-			returns++
-		}
-		return true
-	})
-
 	// Pass 2: classify every use.
 	classify(info, fn.Body, cands, false)
-
-	for _, c := range cands {
-		switch {
-		case c.escapes:
-			// Returned or stored into something longer-lived: the value
-			// is meant to outlive the call; its owner wipes it.
-		case c.deferredWipe:
-			// Deferred wipe covers all paths.
-		case c.wiped && returns <= 1:
-			// Inline wipe with a single exit.
-		case c.wiped:
-			pass.Reportf(c.decl.Pos(),
-				"key material %q is wiped inline but the function has %d return statements; zeroize via defer so every return path is covered",
-				c.decl.Name, returns)
-		default:
-			pass.Reportf(c.decl.Pos(),
-				"key material %q is not zeroized before return (clear it, or defer a wipe)",
-				c.decl.Name)
-		}
-	}
+	return cands
 }
 
 // classify walks stmts recording escapes and wipes of candidates.
 // inDefer marks that the traversal is inside a defer statement.
-func classify(info *types.Info, n ast.Node, cands map[types.Object]*candidate, inDefer bool) {
+func classify(info *types.Info, n ast.Node, cands map[types.Object]*Candidate, inDefer bool) {
 	ast.Inspect(n, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.DeferStmt:
@@ -192,20 +183,20 @@ func classify(info *types.Info, n ast.Node, cands map[types.Object]*candidate, i
 					lhs = n.Lhs[i]
 				}
 				// A zero-composite store (k = Key{}) is a wipe, not use.
-				if c := candOf(info, n.Lhs[min(i, len(n.Lhs)-1)], cands); c != nil && isZeroComposite(rhs) {
-					c.wiped = true
+				if c := candOf(info, n.Lhs[min(i, len(n.Lhs)-1)], cands); c != nil && IsZeroComposite(rhs) {
+					c.Wiped = true
 					if inDefer {
-						c.deferredWipe = true
+						c.DeferredWipe = true
 					}
 					continue
 				}
 				// Zeroing element stores (k[i] = 0, the explicit wipe
 				// loop) count as a wipe of k.
-				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isZeroLiteral(rhs) {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && IsZeroLiteral(rhs) {
 					if c := candOf(info, idx.X, cands); c != nil {
-						c.wiped = true
+						c.Wiped = true
 						if inDefer {
-							c.deferredWipe = true
+							c.DeferredWipe = true
 						}
 						continue
 					}
@@ -234,30 +225,54 @@ func classify(info *types.Info, n ast.Node, cands map[types.Object]*candidate, i
 }
 
 // markEscapes marks any candidate identifier inside e as escaping.
-func markEscapes(info *types.Info, e ast.Expr, cands map[types.Object]*candidate) {
+func markEscapes(info *types.Info, e ast.Expr, cands map[types.Object]*Candidate) {
 	if e == nil {
 		return
 	}
 	ast.Inspect(e, func(n ast.Node) bool {
 		if id, ok := n.(*ast.Ident); ok {
 			if c, ok := cands[info.Uses[id]]; ok {
-				c.escapes = true
+				c.Escapes = true
 			}
 		}
 		return true
 	})
 }
 
-// markWipe records call-based zeroizers: clear(k), clear(k[:]),
-// wipe(&k), zeroKey(k[:]), ...
-func markWipe(info *types.Info, call *ast.CallExpr, cands map[types.Object]*candidate, deferred bool) {
-	isWiper := analysis.IsBuiltin(info, call, "clear")
-	if !isWiper {
-		if fn := analysis.Callee(info, call); fn != nil {
-			isWiper = analysis.HasWord(fn.Name(), wipeWords)
+// IsWiper reports whether call is a recognized zeroizer: the clear
+// builtin, or a callee whose name carries a wipe word
+// (zero*/wipe*/erase*/scrub*/clear*/destroy*/forget*).
+func IsWiper(info *types.Info, call *ast.CallExpr) bool {
+	if analysis.IsBuiltin(info, call, "clear") {
+		return true
+	}
+	fn := analysis.Callee(info, call)
+	return fn != nil && analysis.HasWord(fn.Name(), wipeWords)
+}
+
+// WipeTargets resolves the objects a zeroizer call wipes: clear(k),
+// clear(k[:]), wipe(&k), zeroKey(k[:]) all resolve to k. Returns nil
+// for non-wiper calls.
+func WipeTargets(info *types.Info, call *ast.CallExpr) []types.Object {
+	if !IsWiper(info, call) {
+		return nil
+	}
+	var objs []types.Object
+	for _, arg := range call.Args {
+		if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			arg = u.X
+		}
+		if obj := ResolveObj(info, arg); obj != nil {
+			objs = append(objs, obj)
 		}
 	}
-	if !isWiper {
+	return objs
+}
+
+// markWipe records call-based zeroizers: clear(k), clear(k[:]),
+// wipe(&k), zeroKey(k[:]), ...
+func markWipe(info *types.Info, call *ast.CallExpr, cands map[types.Object]*Candidate, deferred bool) {
+	if !IsWiper(info, call) {
 		return
 	}
 	for _, arg := range call.Args {
@@ -265,21 +280,21 @@ func markWipe(info *types.Info, call *ast.CallExpr, cands map[types.Object]*cand
 			arg = u.X
 		}
 		if c := candOf(info, arg, cands); c != nil {
-			c.wiped = true
+			c.Wiped = true
 			if deferred {
-				c.deferredWipe = true
+				c.DeferredWipe = true
 			}
 		}
 	}
 }
 
-// exprObj resolves an expression (k, k[:], (k)) to its object.
-func exprObj(info *types.Info, e ast.Expr) types.Object {
+// ResolveObj resolves an expression (k, k[:], (k)) to its object.
+func ResolveObj(info *types.Info, e ast.Expr) types.Object {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.Ident:
 		return info.ObjectOf(e)
 	case *ast.SliceExpr:
-		return exprObj(info, e.X)
+		return ResolveObj(info, e.X)
 	}
 	return nil
 }
@@ -311,7 +326,7 @@ func exprIdent(e ast.Expr) *ast.Ident {
 }
 
 // candOf resolves an expression (k, k[:], (k)) to a candidate.
-func candOf(info *types.Info, e ast.Expr, cands map[types.Object]*candidate) *candidate {
+func candOf(info *types.Info, e ast.Expr, cands map[types.Object]*Candidate) *Candidate {
 	if e == nil {
 		return nil
 	}
@@ -324,23 +339,23 @@ func candOf(info *types.Info, e ast.Expr, cands map[types.Object]*candidate) *ca
 	return nil
 }
 
-// isZeroComposite reports whether e is an empty composite literal
+// IsZeroComposite reports whether e is an empty composite literal
 // (Key{}, [8]byte{}).
-func isZeroComposite(e ast.Expr) bool {
+func IsZeroComposite(e ast.Expr) bool {
 	cl, ok := ast.Unparen(e).(*ast.CompositeLit)
 	return ok && len(cl.Elts) == 0
 }
 
-// isZeroLiteral reports whether e is the literal 0.
-func isZeroLiteral(e ast.Expr) bool {
+// IsZeroLiteral reports whether e is the literal 0.
+func IsZeroLiteral(e ast.Expr) bool {
 	lit, ok := ast.Unparen(e).(*ast.BasicLit)
 	return ok && lit.Value == "0"
 }
 
-// isKeyMaterial reports whether a local holds key material: a value of
-// a Key-worded named byte-array/slice type, or a byte buffer whose own
-// name says key/schedule/password.
-func isKeyMaterial(obj types.Object) bool {
+// IsKeyMaterial reports whether an object holds key material: a value
+// of a Key-worded named byte-array/slice type, or a byte buffer whose
+// own name says key/schedule/password.
+func IsKeyMaterial(obj types.Object) bool {
 	t := obj.Type()
 	if !analysis.IsByteMaterial(t) {
 		return false

@@ -1,0 +1,790 @@
+// Package lockflow checks mutex discipline along paths: every Lock has
+// an Unlock (inline or deferred) on every exit path, no lock is
+// re-acquired while held, no two lock classes are acquired in opposite
+// orders in different functions, fields guarded by a mutex inside one
+// function are not also written outside its window, and — the shape
+// that actually bit this codebase — state snapshotted *before* a lock
+// is acquired is not consumed *inside* the critical section. That last
+// rule is the FileStore.persist lost-update race from before the
+// segment-log rewrite: the in-memory table was ranged into a slice,
+// THEN the file mutex was taken, so two concurrent writers could both
+// snapshot, then serialize their windows, and the second file write
+// silently dropped the first writer's mutation.
+//
+// The analysis is a forward dataflow over the kerflow CFG. The fact is
+// a lockset (per lock: read/write held, and whether a deferred unlock
+// covers it) plus a cold-read set (locals derived from receiver state
+// while its lock was free). A same-package summary layer models helper
+// methods that release (or acquire) their receiver's locks, so the
+// idiom "mu.Lock(); defer s.closeLocked()" — where the helper unlocks —
+// is not flagged as a leaked lock.
+//
+// Conventions honored: methods whose name ends in "Locked" assume the
+// caller holds the lock and are not themselves checked for unguarded
+// writes; functions with lock/acquire in their name may return holding
+// a lock (lock-transfer helpers).
+package lockflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"kerberos/internal/analysis"
+	"kerberos/internal/analysis/kerflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockflow",
+	Doc:  "path-sensitive mutex discipline: balance, ordering, and snapshot-before-lock races",
+	Run:  run,
+}
+
+// Lock-state bits per lock key.
+const (
+	bW  uint8 = 1 << iota // write-held
+	bR                    // read-held
+	bNW                   // write-held with no deferred unlock registered
+	bNR                   // read-held with no deferred unlock registered
+)
+
+// acquireWords name functions allowed to return holding a lock.
+var acquireWords = map[string]bool{"lock": true, "acquire": true}
+
+func run(pass *analysis.Pass) error {
+	st := &state{
+		info:  pass.Pkg.Info,
+		decls: kerflow.Decls(pass.Pkg),
+	}
+	st.summarize()
+	var inv []invSite
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			inv = append(inv, st.checkFunc(pass, fn)...)
+		}
+	}
+	reportInversions(pass, inv)
+	return nil
+}
+
+type state struct {
+	info  *types.Info
+	decls map[*types.Func]*ast.FuncDecl
+	sums  map[*types.Func]lockSummary
+}
+
+// ---- lock identification ----
+
+// lockMeta is the per-function identity of one lock expression.
+type lockMeta struct {
+	key     string       // display + map key: "fs.mu", "s.shards[].mu"
+	root    types.Object // the leftmost identifier
+	class   string       // cross-function class: "FileStore.mu"
+	pos     token.Pos    // first acquire site seen
+	loopVar bool         // root is declared inside a loop (gang-lock idiom)
+}
+
+// lockOp classifies a call as a sync.Mutex/RWMutex operation.
+type lockOp struct {
+	recv    ast.Expr // the lock expression ("fs.mu")
+	name    string   // Lock, Unlock, RLock, RUnlock
+	textPos token.Pos
+}
+
+func (s *state) lockOpOf(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, _ := s.info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return lockOp{recv: sel.X, name: fn.Name(), textPos: call.Pos()}, true
+	}
+	return lockOp{}, false
+}
+
+// resolveLock turns a lock expression into (key, root, class). ok is
+// false for lock values reached through pointers-in-locals or other
+// shapes the analysis cannot name.
+func (s *state) resolveLock(e ast.Expr) (key string, root types.Object, class string, ok bool) {
+	var parts []string
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := s.info.ObjectOf(x)
+			if obj == nil {
+				return "", nil, "", false
+			}
+			path := strings.Join(parts, "")
+			cls := analysis.NamedName(obj.Type())
+			if cls == "" {
+				cls = x.Name
+			}
+			return x.Name + path, obj, cls + path, true
+		case *ast.SelectorExpr:
+			parts = append([]string{"." + x.Sel.Name}, parts...)
+			e = x.X
+		case *ast.IndexExpr:
+			parts = append([]string{"[]"}, parts...)
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return "", nil, "", false
+		}
+	}
+}
+
+// ---- helper summaries ----
+
+// lockSummary records a method's net effect on its receiver's locks:
+// relative keys (".mu", ".shards[].mu", read mode suffixed "#r") it
+// acquires and still holds at return, and ones it releases without
+// having acquired.
+type lockSummary struct {
+	acquires string // ";"-joined sorted relative keys
+	releases string
+}
+
+func (s *state) summarize() {
+	s.sums = kerflow.Fixpoint[lockSummary](s.decls, func(fn *types.Func, decl *ast.FuncDecl, get func(*types.Func) lockSummary) lockSummary {
+		if decl.Body == nil || decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+			return lockSummary{}
+		}
+		recv := s.info.Defs[decl.Recv.List[0].Names[0]]
+		if recv == nil {
+			return lockSummary{}
+		}
+		held := map[string]bool{}
+		releases := map[string]bool{}
+		var deferred []string
+		apply := func(rel string, acquire bool) {
+			if acquire {
+				held[rel] = true
+			} else if held[rel] {
+				delete(held, rel)
+			} else {
+				releases[rel] = true
+			}
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			inDefer := false
+			if d, ok := n.(*ast.DeferStmt); ok {
+				n = d.Call
+				inDefer = true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, ok := s.lockOpOf(call); ok {
+				rel, ok := s.relKey(op.recv, recv)
+				if !ok {
+					return true
+				}
+				rel = relWithMode(rel, op.name)
+				if op.name == "Lock" || op.name == "RLock" {
+					apply(rel, true)
+				} else if inDefer {
+					deferred = append(deferred, rel)
+				} else {
+					apply(rel, false)
+				}
+				return !inDefer
+			}
+			// Compose through same-receiver helper calls.
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && s.info.ObjectOf(id) == recv {
+					if callee := analysis.Callee(s.info, call); callee != nil {
+						if _, local := s.decls[callee]; local {
+							sub := get(callee)
+							for _, rel := range splitKeys(sub.acquires) {
+								apply(rel, true)
+							}
+							for _, rel := range splitKeys(sub.releases) {
+								if inDefer {
+									deferred = append(deferred, rel)
+								} else {
+									apply(rel, false)
+								}
+							}
+						}
+					}
+				}
+			}
+			return !inDefer
+		})
+		for _, rel := range deferred {
+			apply(rel, false)
+		}
+		return lockSummary{acquires: joinKeys(held), releases: joinKeys(releases)}
+	})
+}
+
+// relKey resolves a lock expression to a path relative to recv ("~"),
+// e.g. fs.mu with receiver fs -> ".mu".
+func (s *state) relKey(e ast.Expr, recv types.Object) (string, bool) {
+	key, root, _, ok := s.resolveLock(e)
+	if !ok || root != recv {
+		return "", false
+	}
+	return strings.TrimPrefix(key, root.Name()), true
+}
+
+func relWithMode(rel, opName string) string {
+	if opName == "RLock" || opName == "RUnlock" {
+		return rel + "#r"
+	}
+	return rel
+}
+
+func splitKeys(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ";")
+}
+
+func joinKeys(m map[string]bool) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// ---- the per-function dataflow ----
+
+type lockFact struct {
+	locks map[string]uint8              // key -> state bits
+	cold  map[types.Object]types.Object // stale local -> lock root it snapshotted
+}
+
+type flow struct{ fc *funcCheck }
+
+func (f flow) Boundary() lockFact {
+	return lockFact{locks: map[string]uint8{}, cold: map[types.Object]types.Object{}}
+}
+
+func (f flow) Clone(fact lockFact) lockFact {
+	c := lockFact{
+		locks: make(map[string]uint8, len(fact.locks)),
+		cold:  make(map[types.Object]types.Object, len(fact.cold)),
+	}
+	for k, v := range fact.locks {
+		c.locks[k] = v
+	}
+	for k, v := range fact.cold {
+		c.cold[k] = v
+	}
+	return c
+}
+
+func (f flow) Merge(dst, src lockFact) (lockFact, bool) {
+	changed := false
+	for k, v := range src.locks {
+		if dst.locks[k]|v != dst.locks[k] {
+			dst.locks[k] |= v
+			changed = true
+		}
+	}
+	for k, v := range src.cold {
+		if _, ok := dst.cold[k]; !ok {
+			dst.cold[k] = v
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func (f flow) Transfer(n ast.Node, fact lockFact) lockFact {
+	fc := f.fc
+	for _, n := range kerflow.Unwrap(n) {
+		fc.applyOps(n, fact, false)
+		fc.trackCold(n, fact)
+	}
+	return fact
+}
+
+// applyOps applies every lock operation inside n (direct sync calls and
+// summarized helper calls) to the fact. Defer bodies flip to deferred
+// semantics: the unlock is guaranteed at exit, so the "held with no
+// deferred unlock" bit clears while the held bit survives.
+func (fc *funcCheck) applyOps(n ast.Node, fact lockFact, inDefer bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			fc.applyOps(d.Call, fact, true)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := fc.s.lockOpOf(call); ok {
+			key, _, _, resolved := fc.s.resolveLock(op.recv)
+			if !resolved {
+				return true
+			}
+			fc.apply(fact, relWithMode(key, op.name), op.name == "Lock" || op.name == "RLock", inDefer, call.Pos())
+			return true
+		}
+		for key, sum := range fc.helperEffect(call) {
+			for _, rel := range splitKeys(sum.acquires) {
+				fc.apply(fact, key+rel, true, inDefer, call.Pos())
+			}
+			for _, rel := range splitKeys(sum.releases) {
+				fc.apply(fact, key+rel, false, inDefer, call.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// helperEffect maps a call to {receiver key prefix -> summary} when the
+// callee is a same-package method with lock effects.
+func (fc *funcCheck) helperEffect(call *ast.CallExpr) map[string]lockSummary {
+	callee := analysis.Callee(fc.s.info, call)
+	if callee == nil {
+		return nil
+	}
+	if _, ok := fc.s.decls[callee]; !ok {
+		return nil
+	}
+	sum := fc.s.sums[callee]
+	if sum.acquires == "" && sum.releases == "" {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	key, root, class, resolved := fc.s.resolveLock(sel.X)
+	if !resolved {
+		return nil
+	}
+	// Register the affected keys' metadata.
+	for _, rel := range append(splitKeys(sum.acquires), splitKeys(sum.releases)...) {
+		bare := strings.TrimSuffix(rel, "#r")
+		fc.meta[key+bare] = fc.metaOr(key+bare, root, class+bare, call.Pos())
+	}
+	return map[string]lockSummary{key: sum}
+}
+
+// apply mutates one lock's state bits. key carries the "#r" mode
+// suffix; the bare key indexes the fact.
+func (fc *funcCheck) apply(fact lockFact, key string, acquire, inDefer bool, pos token.Pos) {
+	read := strings.HasSuffix(key, "#r")
+	bare := strings.TrimSuffix(key, "#r")
+	bits := fact.locks[bare]
+	switch {
+	case acquire && read:
+		bits |= bR | bNR
+	case acquire:
+		bits |= bW | bNW
+	case inDefer && read:
+		bits &^= bNR
+	case inDefer:
+		bits &^= bNW
+	case read:
+		bits &^= bR | bNR
+	default:
+		bits &^= bW | bNW
+	}
+	fact.locks[bare] = bits
+	if acquire {
+		if m, ok := fc.meta[bare]; ok && m.pos == token.NoPos {
+			m.pos = pos
+		}
+	}
+}
+
+// trackCold maintains the stale-snapshot set: a local whose value was
+// derived from lock-root state while that root's lock was free.
+func (fc *funcCheck) trackCold(n ast.Node, fact lockFact) {
+	roots := fc.freeRootsReadBy(n, fact)
+	assigned := assignedObjs(fc.s.info, n)
+	if len(roots) > 0 {
+		for _, obj := range assigned {
+			fact.cold[obj] = roots[0]
+		}
+		return
+	}
+	// Clean reassignment warms the local again.
+	for _, obj := range assigned {
+		delete(fact.cold, obj)
+	}
+}
+
+// freeRootsReadBy returns lock roots whose state n reads while no lock
+// of that root is held.
+func (fc *funcCheck) freeRootsReadBy(n ast.Node, fact lockFact) []types.Object {
+	var roots []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := fc.s.info.ObjectOf(id)
+		if obj == nil || !fc.roots[obj] || seen[obj] {
+			return true
+		}
+		// Only FIELD reads snapshot state. A method call on the root
+		// ("err := s.Compact()") synchronizes internally; its result is
+		// not a stale copy of guarded state.
+		if sln, ok := fc.s.info.Selections[sel]; ok && sln.Kind() != types.FieldVal {
+			return true
+		}
+		if fc.rootHeld(obj, fact) {
+			return true
+		}
+		seen[obj] = true
+		roots = append(roots, obj)
+		return true
+	})
+	return roots
+}
+
+// rootHeld reports whether any lock rooted at obj is held in fact.
+func (fc *funcCheck) rootHeld(obj types.Object, fact lockFact) bool {
+	for key, m := range fc.meta {
+		if m.root == obj && fact.locks[key]&(bW|bR) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// assignedObjs collects the local variables assigned anywhere inside n,
+// including inside function literals (a range callback appending to an
+// outer slice is the snapshot shape).
+func assignedObjs(info *types.Info, n ast.Node) []types.Object {
+	var objs []types.Object
+	add := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj, ok := info.ObjectOf(id).(*types.Var); ok && !obj.IsField() {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	if rh, ok := n.(*kerflow.RangeHead); ok {
+		add(rh.Range.Key)
+		add(rh.Range.Value)
+		return objs
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				add(lhs)
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// ---- per-function check ----
+
+type funcCheck struct {
+	s     *state
+	fn    *ast.FuncDecl
+	meta  map[string]*lockMeta
+	roots map[types.Object]bool
+}
+
+type invSite struct {
+	held, acquired string // class keys
+	pos            token.Pos
+}
+
+func (fc *funcCheck) metaOr(key string, root types.Object, class string, pos token.Pos) *lockMeta {
+	if m, ok := fc.meta[key]; ok {
+		return m
+	}
+	m := &lockMeta{key: key, root: root, class: class}
+	fc.meta[key] = m
+	return m
+}
+
+func (s *state) checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) []invSite {
+	fc := &funcCheck{s: s, fn: fn, meta: map[string]*lockMeta{}, roots: map[types.Object]bool{}}
+	// Pre-pass: name every lock this function touches.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := s.lockOpOf(call); ok {
+			if key, root, class, resolved := s.resolveLock(op.recv); resolved {
+				fc.metaOr(key, root, class, token.NoPos)
+			}
+		}
+		fc.helperEffect(call)
+		return true
+	})
+	if len(fc.meta) == 0 {
+		return nil
+	}
+	// A lock whose root is declared inside a loop names a DIFFERENT
+	// instance each iteration ("for _, sh := range db.shards {
+	// sh.wmu.Lock() }" — the gang-lock idiom). The string key cannot
+	// tell the instances apart, so balance and re-acquire rules (R1/R2)
+	// would misfire; only ordering against other classes still holds.
+	var loops []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	for _, m := range fc.meta {
+		for _, l := range loops {
+			if l.Pos() <= m.root.Pos() && m.root.Pos() < l.End() {
+				m.loopVar = true
+				break
+			}
+		}
+	}
+	for _, m := range fc.meta {
+		fc.roots[m.root] = true
+	}
+
+	cfg := kerflow.New(fn, s.info)
+	res := kerflow.Forward[lockFact](cfg, flow{fc: fc})
+
+	var inversions []invSite
+	lockedName := strings.HasSuffix(fn.Name.Name, "Locked")
+	type fieldWrite struct {
+		pos  token.Pos
+		held bool
+	}
+	writes := map[string][]fieldWrite{} // sibling field key -> writes
+	coldReported := map[types.Object]bool{}
+
+	res.Walk(func(n ast.Node, fact lockFact) {
+		for _, n := range kerflow.Unwrap(n) {
+			// R2 + R5: inspect acquisitions against the pre-node lockset.
+			// Apply ops incrementally so two ops in one statement see each
+			// other; work on a scratch copy to leave Walk's replay intact.
+			scratch := (flow{fc: fc}).Clone(fact)
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				op, ok := fc.s.lockOpOf(call)
+				if !ok {
+					return true
+				}
+				key, _, class, resolved := fc.s.resolveLock(op.recv)
+				if !resolved {
+					return true
+				}
+				acquire := op.name == "Lock" || op.name == "RLock"
+				if acquire {
+					prior := scratch.locks[key]
+					wantW := op.name == "Lock"
+					if ((wantW && prior&(bW|bR) != 0) || (!wantW && prior&bW != 0)) &&
+						!fc.meta[key].loopVar {
+						pass.Reportf(call.Pos(),
+							"%s is acquired while already held on this path (self-deadlock)", key)
+					}
+					for other, bits := range scratch.locks {
+						if other != key && bits&(bW|bR) != 0 {
+							inversions = append(inversions, invSite{
+								held: fc.meta[other].class, acquired: class, pos: call.Pos(),
+							})
+						}
+					}
+				}
+				fc.apply(scratch, relWithMode(key, op.name), acquire, false, call.Pos())
+				return true
+			})
+
+			// R4: stale snapshot consumed inside the critical section.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := fc.s.info.ObjectOf(id)
+				root, cold := fact.cold[obj]
+				if !cold || coldReported[obj] || !fc.writeHeld(root, fact) {
+					return true
+				}
+				coldReported[obj] = true
+				pass.Reportf(id.Pos(),
+					"%q snapshots %s state before the lock is acquired but is used inside the critical section; move the read under the lock (lost-update window)",
+					id.Name, root.Name())
+				return true
+			})
+
+			// R6: collect sibling-field writes with their lock status.
+			if !lockedName {
+				fc.collectGuardedWrites(n, fact, func(key string, pos token.Pos, held bool) {
+					writes[key] = append(writes[key], fieldWrite{pos: pos, held: held})
+				})
+			}
+		}
+	})
+
+	// R1: locks that may still be held at exit.
+	if exit, ok := res.ExitFact(); ok && !analysis.HasWord(fn.Name.Name, acquireWords) {
+		keys := make([]string, 0, len(exit.locks))
+		for k := range exit.locks {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bits := exit.locks[k]
+			if bits&(bNW|bNR) == 0 || fc.meta[k].loopVar {
+				continue
+			}
+			pos := fc.meta[k].pos
+			if pos == token.NoPos {
+				pos = fn.Pos()
+			}
+			pass.Reportf(pos,
+				"%s may still be held when %s returns on some path; unlock on every path or defer the unlock",
+				k, fn.Name.Name)
+		}
+	}
+
+	// R6: a field written both under the lock and outside it in the same
+	// function — the unguarded write races the guarded one.
+	fieldKeys := make([]string, 0, len(writes))
+	for k := range writes {
+		fieldKeys = append(fieldKeys, k)
+	}
+	sort.Strings(fieldKeys)
+	for _, k := range fieldKeys {
+		ws := writes[k]
+		anyHeld := false
+		for _, w := range ws {
+			if w.held {
+				anyHeld = true
+			}
+		}
+		if !anyHeld {
+			continue
+		}
+		for _, w := range ws {
+			if !w.held {
+				pass.Reportf(w.pos,
+					"%s is written here without the lock that guards its other writes in this function (racy unguarded write)", k)
+			}
+		}
+	}
+	return inversions
+}
+
+// writeHeld reports whether some write lock rooted at obj is held.
+func (fc *funcCheck) writeHeld(obj types.Object, fact lockFact) bool {
+	for key, m := range fc.meta {
+		if m.root == obj && fact.locks[key]&bW != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectGuardedWrites finds writes to siblings of a tracked lock:
+// assignments, IncDec, and delete() on root.path... expressions sharing
+// a lock's parent path.
+func (fc *funcCheck) collectGuardedWrites(n ast.Node, fact lockFact, emit func(key string, pos token.Pos, held bool)) {
+	record := func(target ast.Expr, pos token.Pos) {
+		switch ast.Unparen(target).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+		default:
+			return
+		}
+		key, root, _, resolved := fc.s.resolveLock(target)
+		if !resolved || !fc.roots[root] {
+			return
+		}
+		// The written path must share a parent with a tracked lock key.
+		parent := key[:strings.LastIndexAny(key, ".")+1]
+		if parent == "" {
+			return
+		}
+		for lk := range fc.meta {
+			if fc.meta[lk].root == root && strings.HasPrefix(lk, parent) && lk != key {
+				emit(key, pos, fact.locks[lk]&bW != 0)
+				return
+			}
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				record(lhs, m.Pos())
+			}
+		case *ast.IncDecStmt:
+			record(m.X, m.Pos())
+		case *ast.CallExpr:
+			if analysis.IsBuiltin(fc.s.info, m, "delete") && len(m.Args) == 2 {
+				record(m.Args[0], m.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// reportInversions flags pairs of lock classes acquired in opposite
+// orders in different parts of the package.
+func reportInversions(pass *analysis.Pass, sites []invSite) {
+	byPair := map[string][]invSite{}
+	for _, s := range sites {
+		byPair[s.held+"->"+s.acquired] = append(byPair[s.held+"->"+s.acquired], s)
+	}
+	reported := map[token.Pos]bool{}
+	pairs := make([]string, 0, len(byPair))
+	for p := range byPair {
+		pairs = append(pairs, p)
+	}
+	sort.Strings(pairs)
+	for _, p := range pairs {
+		for _, s := range byPair[p] {
+			rev := s.acquired + "->" + s.held
+			if len(byPair[rev]) == 0 || reported[s.pos] {
+				continue
+			}
+			reported[s.pos] = true
+			pass.Reportf(s.pos,
+				"%s is acquired while %s is held, but elsewhere in this package the order is reversed (deadlock risk: %s)",
+				s.acquired, s.held, fmt.Sprintf("see %s", pass.Pkg.Fset.Position(byPair[rev][0].pos)))
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockflow_test
+
+import (
+	"testing"
+
+	"kerberos/internal/analysis/analysistest"
+	"kerberos/internal/analysis/lockflow"
+)
+
+func TestLockflow(t *testing.T) {
+	analysistest.Run(t, lockflow.Analyzer, "testdata/src/a")
+}

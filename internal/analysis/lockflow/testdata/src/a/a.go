@@ -1,0 +1,223 @@
+// Package a is the lockflow fixture. persist reproduces, shape for
+// shape, the pre-segment-log FileStore.persist ordering whose lost
+// update motivated the analyzer; the silent cases pin the false-
+// positive shapes (deferred release through a helper, re-read under
+// RLock, lock-transfer helpers) that must not be flagged.
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBad = errors.New("bad")
+
+// table mimics MemStore: an inner structure with its own callback
+// iterator.
+type table struct{ m map[string]int }
+
+func (t *table) Range(fn func(string, int) bool) {
+	for k, v := range t.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+type fileStore struct {
+	mem  *table
+	mu   sync.Mutex
+	meta int
+}
+
+func encode(entries []string, meta int) []byte { return nil }
+func writeFile(b []byte) error                 { return nil }
+
+// persist is the pre-PR-7 FileStore.persist ordering: the in-memory
+// table is snapshotted BEFORE the file mutex is taken, so two
+// concurrent writers can both snapshot, then serialize their windows —
+// the second file write drops the first writer's mutation.
+func (fs *fileStore) persist() error {
+	var entries []string
+	fs.mem.Range(func(k string, v int) bool {
+		entries = append(entries, k)
+		return true
+	})
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return writeFile(encode(entries, fs.meta)) // want `"entries" snapshots fs state before the lock is acquired`
+}
+
+// leaky forgets the unlock on the error path. (Its name must not
+// contain "lock": lock-worded functions are lock-transfer helpers by
+// convention and may return held.)
+func (fs *fileStore) leaky(cond bool) error {
+	fs.mu.Lock() // want `fs\.mu may still be held when leaky returns`
+	if cond {
+		return errBad
+	}
+	fs.mu.Unlock()
+	return nil
+}
+
+// doubleLock re-acquires a lock it already holds.
+func (fs *fileStore) doubleLock(cond bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if cond {
+		fs.mu.Lock() // want `fs\.mu is acquired while already held`
+		fs.mu.Unlock()
+	}
+}
+
+// regA/regB: two lock classes acquired in opposite orders in different
+// functions — each site is one half of a deadlock.
+type regA struct{ mu sync.Mutex }
+type regB struct{ mu sync.Mutex }
+
+func orderAB(a *regA, b *regB) {
+	a.mu.Lock()
+	b.mu.Lock() // want `regB\.mu is acquired while regA\.mu is held`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func orderBA(a *regA, b *regB) {
+	b.mu.Lock()
+	a.mu.Lock() // want `regA\.mu is acquired while regB\.mu is held`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// counter: the same field written with and without its guard.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) bump(fast bool) {
+	if fast {
+		c.n++ // want `c\.n is written here without the lock`
+		return
+	}
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// --- shapes that must stay silent ---
+
+// persistFixed is the post-PR-7 ordering: snapshot inside the window.
+func (fs *fileStore) persistFixed() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var entries []string
+	fs.mem.Range(func(k string, v int) bool {
+		entries = append(entries, k)
+		return true
+	})
+	return writeFile(encode(entries, fs.meta))
+}
+
+// balancedInline: every path unlocks before returning.
+func (fs *fileStore) balancedInline(cond bool) error {
+	fs.mu.Lock()
+	if cond {
+		fs.mu.Unlock()
+		return errBad
+	}
+	fs.meta++
+	fs.mu.Unlock()
+	return nil
+}
+
+// release is an unlocking helper: callers transfer the unlock duty to
+// it, often via defer. It must not itself be flagged, and callers
+// deferring it are covered on every path.
+func (fs *fileStore) release() { fs.mu.Unlock() }
+
+func (fs *fileStore) viaDeferredHelper(cond bool) error {
+	fs.mu.Lock()
+	defer fs.release()
+	if cond {
+		return errBad
+	}
+	fs.meta++
+	return nil
+}
+
+// lockAll is a lock-transfer helper: returning with the lock held is
+// its contract, announced by its name.
+func (fs *fileStore) lockAll() { fs.mu.Lock() }
+
+// gauge: a value re-read under the read lock before the write window is
+// not a cold snapshot.
+type gauge struct {
+	mu  sync.RWMutex
+	cur int
+}
+
+func (g *gauge) refresh() {
+	g.mu.RLock()
+	snap := g.cur
+	g.mu.RUnlock()
+	g.mu.Lock()
+	g.cur = snap + 1
+	g.mu.Unlock()
+}
+
+// paramSnapshot: locals built from parameters (not receiver state) are
+// fine to carry into the window — MemStore.ReplaceAll's shape.
+func (fs *fileStore) replaceAll(entries []string) error {
+	buf := encode(entries, 0)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return writeFile(buf)
+}
+
+// gangLock: the lock root is the range variable — a DIFFERENT mutex
+// each iteration. Neither the second acquire (not a self-deadlock) nor
+// the held-at-loop-exit state (the matching unlock loop follows) may
+// be flagged.
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+func gangLock(shards []*shard) int {
+	total := 0
+	for _, sh := range shards {
+		sh.mu.Lock()
+	}
+	for _, sh := range shards {
+		total += sh.n
+	}
+	for _, sh := range shards {
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// coldMethodResult: a method CALL on the lock root before the window
+// synchronizes internally; its result carried into the critical
+// section (the compactor's error-recording shape) is not a stale
+// field snapshot.
+func (fs *fileStore) work() error { return nil }
+
+func (fs *fileStore) coldMethodResult() {
+	if err := fs.work(); err != nil {
+		fs.mu.Lock()
+		fs.meta = len(err.Error())
+		fs.mu.Unlock()
+	}
+}
+
+// ignored: a justified suppression silences the finding.
+func (fs *fileStore) ignored(cond bool) error {
+	fs.mu.Lock() //kerb:ignore lockflow -- fixture: exercising the suppression path
+	if cond {
+		return errBad
+	}
+	fs.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,12 @@
+package secretflow_test
+
+import (
+	"testing"
+
+	"kerberos/internal/analysis/analysistest"
+	"kerberos/internal/analysis/secretflow"
+)
+
+func TestSecretflow(t *testing.T) {
+	analysistest.Run(t, secretflow.Analyzer, "testdata/src/a")
+}

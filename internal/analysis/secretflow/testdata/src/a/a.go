@@ -1,0 +1,171 @@
+// Package a is the secretflow fixture: taint from key material to
+// exposure sinks, including propagation through a branch merge and
+// through same-package helper calls, plus the known-false-positive
+// shapes (key handed to the Seal boundary, wiped-then-logged) that must
+// stay silent.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+	"log"
+)
+
+// Key mimics des.Key.
+type Key [8]byte
+
+type entry struct{ Key Key }
+
+type conn struct{}
+
+func (conn) Write(p []byte) (int, error) { return len(p), nil }
+
+func use(...any)  {}
+func derive() Key { var k Key; k[0] = 1; return k }
+
+// seal mimics the des.Seal boundary: key in, ciphertext out.
+func seal(k Key, msg []byte) []byte { return append([]byte(nil), msg...) }
+
+// --- direct sinks ---
+
+func leakPrintf() {
+	k := derive()
+	fmt.Printf("kdc: issued with %x\n", k) // want `key material reaches fmt\.Printf`
+}
+
+func leakError(k Key) error {
+	return errors.New("kdc: bad key " + string(k[:])) // want `key material reaches errors\.New`
+}
+
+func leakWrite(c conn) {
+	k := derive()
+	c.Write(k[:]) // want `key material reaches a\.Write \(unsealed write\)`
+}
+
+func leakField(e entry) {
+	log.Printf("entry key=%x", e.Key) // want `key material reaches log\.Printf`
+}
+
+// --- propagation ---
+
+// leakViaBranch: tainted on one arm only; the merge keeps the may-taint.
+func leakViaBranch(debug bool, pub []byte) {
+	k := derive()
+	var probe []byte
+	if debug {
+		probe = k[:]
+	} else {
+		probe = pub
+	}
+	log.Printf("probe=%x", probe) // want `key material reaches log\.Printf`
+}
+
+// describe forwards its parameter to a sink; callers handing it key
+// material leak at the call site.
+func describe(b []byte) string { return fmt.Sprintf("%x", b) }
+
+func leakViaCall() {
+	k := derive()
+	msg := describe(k[:]) // want `key material reaches a logging/serialization sink via describe`
+	use(msg)
+}
+
+// stretch derives its result from its parameter; taint rides through.
+func stretch(b []byte) []byte { return append([]byte(nil), b...) }
+
+func leakViaReturn() {
+	k := derive()
+	kk := stretch(k[:])
+	fmt.Printf("stretched=%x\n", kk) // want `key material reaches fmt\.Printf`
+}
+
+// leakViaString: a string conversion still spells the key bytes.
+func leakViaString() {
+	k := derive()
+	s := string(k[:])
+	log.Print(s) // want `key material reaches log\.Print`
+}
+
+// --- shapes that must stay silent ---
+
+// sealedOut: the key goes into the Seal boundary and only ciphertext
+// comes out — the canonical false-positive shape.
+func sealedOut(c conn, msg []byte) {
+	k := derive()
+	sealed := seal(k, msg)
+	c.Write(sealed)
+	fmt.Printf("sent %d sealed bytes\n", len(sealed))
+}
+
+// wipedThenLogged: after the wipe the buffer holds zeros, not a secret.
+// Only a flow-sensitive analysis can keep this silent.
+func wipedThenLogged() {
+	k := derive()
+	use(k)
+	clear(k[:])
+	fmt.Printf("cleared buffer: %x\n", k[:])
+}
+
+// lenOnly: lengths and capacities carry no key bytes.
+func lenOnly() {
+	k := derive()
+	use(k)
+	log.Printf("key length %d", len(k))
+}
+
+// reassigned: the carrier was overwritten with public bytes before the
+// sink on every path.
+func reassigned(pub []byte) {
+	k := derive()
+	probe := k[:]
+	use(probe)
+	probe = pub
+	log.Printf("probe=%x", probe)
+}
+
+// cleanHelper: a helper that formats only clean data is not a sink for
+// its other arguments.
+func cleanHelper(n int) string { return fmt.Sprintf("count=%d", n) }
+
+func viaCleanHelper() {
+	k := derive()
+	use(k)
+	log.Print(cleanHelper(len(k)))
+}
+
+// sealedField: a field whose name says it is ciphertext (EncKey —
+// the key encrypted under the master key) is exactly what may be
+// written out; "key" alone must not taint it.
+type dbRecord struct{ EncKey []byte }
+
+func sealedFieldOut(c conn, r dbRecord) {
+	c.Write(r.EncKey)
+	log.Printf("stored %x", r.EncKey)
+}
+
+// digestWrite: feeding key bytes into a hash state is the MAC/checksum
+// boundary, not an unsealed write.
+func digestWrite(h hash.Hash) {
+	k := derive()
+	h.Write(k[:])
+	use(h.Sum(nil))
+}
+
+// chainDigest mimics the journal's checksum helper: a boundary-named
+// same-package helper absorbing bytes must not become a sink summary.
+func chainDigest(h hash.Hash, b []byte) []byte {
+	h.Write(b)
+	return h.Sum(nil)
+}
+
+func viaChainDigest(h hash.Hash) {
+	k := derive()
+	use(chainDigest(h, k[:]))
+}
+
+// ignored: a justified suppression silences the finding.
+func ignored() {
+	k := derive()
+	fmt.Printf("debug: %x\n", k) //kerb:ignore secretflow -- fixture: exercising the suppression path
+}

@@ -177,10 +177,10 @@ func (s *Service) readRequest(msg []byte, from core.Addr) (*ServerSession, error
 		return nil, err
 	}
 	key, kvno, err := s.Keytab.Key(s.Principal)
+	defer clear(key[:]) // before the error check: cover every exit path
 	if err != nil {
 		return nil, core.NewError(core.ErrDatabase, "%v", err)
 	}
-	defer clear(key[:])
 	if req.KVNO != 0 && req.KVNO != kvno {
 		return nil, core.NewError(core.ErrIntegrityFailed,
 			"ticket sealed with key version %d, server holds %d", req.KVNO, kvno)

@@ -289,7 +289,11 @@ func (cc *CredCache) Save(path string) error {
 		tmp.Close()
 		return fmt.Errorf("client: writing ticket file: %w", err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	// The ticket file IS session keys at rest: §4.1's per-login cache,
+	// protected by file mode 0600 and the workstation boundary, not by
+	// sealing (the user agent must read the keys back without a KDC
+	// round trip).
+	if _, err := tmp.Write(data); err != nil { //kerb:ignore secretflow -- ticket cache is deliberately plaintext local state, mode 0600 (§4.1)
 		tmp.Close()
 		return fmt.Errorf("client: writing ticket file: %w", err)
 	}

@@ -105,10 +105,10 @@ func (s *Server) service() (*client.Service, error) {
 		return nil, core.NewError(core.ErrDatabase, "KDBM service key missing: %v", err)
 	}
 	key, err := s.db.Key(entry)
+	defer clear(key[:]) // before the error check: cover every exit path
 	if err != nil {
 		return nil, core.NewError(core.ErrDatabase, "KDBM service key undecryptable")
 	}
-	defer clear(key[:])
 	s.svcMu.Lock()
 	defer s.svcMu.Unlock()
 	if s.svc == nil || s.kvno != entry.KVNO {

@@ -322,10 +322,10 @@ func (s *Server) doAS(msg []byte, from core.Addr, ev *obs.Event) []byte {
 	life := core.MinLife(req.Life,
 		core.MinLife(effMaxLife(clientEntry), effMaxLife(serviceEntry)))
 	clientKey, err := s.db.Key(clientEntry)
+	defer clear(clientKey[:]) // before the error check: cover every exit path
 	if err != nil {
 		return s.fail(ev, core.NewError(core.ErrDatabase, "cannot decrypt key for %v", client))
 	}
-	defer clear(clientKey[:])
 	reply, err := s.issue(client, from, serviceEntry, service, life,
 		req.Time, clientKey, clientEntry.KVNO, now)
 	if err != nil {
@@ -374,10 +374,10 @@ func (s *Server) doTGS(msg []byte, from core.Addr, ev *obs.Event) []byte {
 			"no key shared with realm %s", issuingRealm))
 	}
 	tgsKey, err := s.db.Key(tgsEntry)
+	defer clear(tgsKey[:]) // before the error check: cover every exit path
 	if err != nil {
 		return s.fail(ev, core.NewError(core.ErrDatabase, "cannot decrypt TGS key"))
 	}
-	defer clear(tgsKey[:])
 
 	tgt, err := core.OpenTicket(tgsKey, req.APReq.Ticket)
 	if err != nil {

@@ -84,6 +84,13 @@ func (e *Engine) After(d time.Duration, fn func()) {
 // Run executes events in order until the queue is empty or the next
 // event lies beyond until, then parks the clock at until. It returns
 // the number of events executed during this call.
+//
+// This is the simulator's inner loop — a saturation search steps it
+// millions of times — so the loop itself must not allocate (the guard
+// is TestEngineRunAllocs; scheduled event closures own their
+// allocations).
+//
+//kerb:hotpath
 func (e *Engine) Run(until time.Time) int {
 	before := e.steps
 	for {

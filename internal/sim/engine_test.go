@@ -77,3 +77,22 @@ func TestEngineElapsed(t *testing.T) {
 		t.Fatalf("Elapsed = %v, want 2h", eng.Elapsed())
 	}
 }
+
+// TestEngineRunAllocs is the AllocsPerRun guard behind Run's
+// //kerb:hotpath annotation (see hotpath_guard_test.go): stepping the
+// event loop — draining due timers and parking the clock — must not
+// itself allocate. Event closures own their allocations, so the guard
+// measures steps over an already-drained queue.
+func TestEngineRunAllocs(t *testing.T) {
+	eng := NewEngine(t0)
+	eng.After(time.Millisecond, func() {})
+	until := t0.Add(time.Second)
+	eng.Run(until)
+	allocs := testing.AllocsPerRun(1000, func() {
+		until = until.Add(time.Millisecond)
+		eng.Run(until)
+	})
+	if allocs > 0 {
+		t.Fatalf("Engine.Run allocates %.1f objects per step; the simulator inner loop must stay allocation-free", allocs)
+	}
+}

@@ -357,10 +357,10 @@ func NewRealmServer(spec Spec, realm string) (*kdc.Server, *kdb.Database, error)
 	db := kdb.New(client.PasswordKey(core.Principal{Name: "K", Instance: "M", Realm: realm}, "master"))
 	now := time.Now()
 	tgsKey, err := des.NewRandomKey()
+	defer clear(tgsKey[:]) // before the error check: cover every exit path
 	if err != nil {
 		return nil, nil, err
 	}
-	defer clear(tgsKey[:])
 	if err := db.Add(core.TGSName, realm, tgsKey, 0, "kdb_init", now); err != nil {
 		return nil, nil, err
 	}

@@ -159,18 +159,18 @@ func NewRealm(cfg RealmConfig) (*Realm, error) {
 	}
 	now := clock()
 	tgsKey, err := des.NewRandomKey()
+	defer clear(tgsKey[:]) // before the error check: cover every exit path
 	if err != nil {
 		return nil, err
 	}
-	defer clear(tgsKey[:])
 	if err := r.DB.Add(core.TGSName, cfg.Name, tgsKey, 0, "kdb_init", now); err != nil {
 		return nil, err
 	}
 	cpKey, err := des.NewRandomKey()
+	defer clear(cpKey[:]) // before the error check: cover every exit path
 	if err != nil {
 		return nil, err
 	}
-	defer clear(cpKey[:])
 	if err := r.DB.Add(core.ChangePwName, core.ChangePwInstance, cpKey, 12, "kdb_init", now); err != nil {
 		return nil, err
 	}
@@ -300,10 +300,10 @@ func (r *Realm) AddAdmin(username, password string) error {
 // server's machine.
 func (r *Realm) AddService(name, instance string) (*Srvtab, error) {
 	key, err := des.NewRandomKey()
+	defer clear(key[:]) // before the error check: cover every exit path
 	if err != nil {
 		return nil, err
 	}
-	defer clear(key[:])
 	if err := r.DB.Add(name, instance, key, 0, "kadmin", r.clockFunc()); err != nil {
 		return nil, err
 	}
