@@ -1,7 +1,7 @@
 # Development targets. The repo is pure Go with no dependencies; every
 # target is a thin wrapper so CI and humans run the same commands.
 
-.PHONY: build test race race-regress vet lint bench bench-realm sim verify ci fuzz cover
+.PHONY: build test race race-regress vet lint bench bench-realm bench-coldstart coldstart-smoke sim verify ci fuzz cover
 
 build:
 	go build ./...
@@ -18,8 +18,13 @@ race:
 # interleavings these tests exist for even on single-CPU boxes.
 race-regress:
 	GOMAXPROCS=4 go test -race -count=1 \
-		-run 'TestFileStorePersistRace|TestSegment|TestSharded|TestShardCount|TestCluster' \
+		-run 'TestFileStorePersistRace|TestSegment|TestSharded|TestShardCount|TestCluster|TestEpochChurnRace|TestSnapshotBaseStore|TestFlatKDB4Equivalence' \
 		./internal/kdb/ ./internal/kprop/ ./internal/kdc/
+
+# Cold-start budget gate: a 100k-principal, 8-shard realm must come up
+# well under a second (the 1M realm benchmarks ~10x that headroom).
+coldstart-smoke:
+	KERB_COLDSTART_SMOKE=1 go test -count=1 -run TestColdStartSmoke -v ./internal/kdb/
 
 vet:
 	go vet ./...
@@ -57,6 +62,11 @@ bench:
 # the max sustainable QPS per topology, write BENCH_realm.json.
 bench-realm:
 	sh scripts/bench.sh bench-realm
+
+# Cold-start benchmark (1M principals, mmapped KDB4 vs flat decode),
+# merged into BENCH_kdc.json. KERB_COLDSTART_SCALE shrinks the realm.
+bench-coldstart:
+	sh scripts/bench.sh coldstart
 
 # Simulator smoke (<30s): a scaled Athena day run twice, byte-identical
 # runs required. CI runs this on every push.

@@ -48,6 +48,7 @@ func main() {
 	defer clear(masterKey[:])
 
 	var db *kdb.Database
+	var segs []*kdb.SegmentStore
 	if *dbDir != "" {
 		n := *shards
 		if n <= 0 {
@@ -60,7 +61,7 @@ func main() {
 			}
 		}
 		var err error
-		db, _, err = kdb.OpenSegmentDB(masterKey, *dbDir, n, kdb.SegmentOptions{})
+		db, segs, err = kdb.OpenSegmentDB(masterKey, *dbDir, n, kdb.SegmentOptions{})
 		if err != nil {
 			log.Fatalf("kerberosd: %v", err)
 		}
@@ -86,6 +87,35 @@ func main() {
 			reg.GaugeFunc(fmt.Sprintf("kdb_shard_serial{shard=%q}", fmt.Sprint(i)),
 				func() int64 { return int64(db.ShardSerial(i)) })
 		}
+	}
+	// Startup/memory gauges (segment databases only): how long the cold
+	// start took, how much of it was segment-tail replay, and the bytes
+	// the loaded base keeps resident (mapped snapshot + entry slab).
+	// Realm-level startup is the slowest shard; the rest sum.
+	if len(segs) > 0 {
+		stats := make([]kdb.StartupStats, len(segs))
+		for i, s := range segs {
+			stats[i] = s.StartupStats()
+		}
+		var startupNS, resident int64
+		var replayed int64
+		mapped := true
+		for _, st := range stats {
+			if st.StartupNS > startupNS {
+				startupNS = st.StartupNS
+			}
+			replayed += int64(st.ReplayRecords)
+			resident += st.ResidentBytes
+			mapped = mapped && st.MappedBase
+		}
+		reg.GaugeFunc("kdb_startup_ms", func() int64 { return startupNS / 1e6 })
+		reg.GaugeFunc("kdb_replay_records", func() int64 { return replayed })
+		reg.GaugeFunc("kdb_resident_bytes", func() int64 { return resident })
+		mappedVal := int64(0)
+		if mapped {
+			mappedVal = 1
+		}
+		reg.GaugeFunc("kdb_base_mapped", func() int64 { return mappedVal })
 	}
 	server := kdc.New(*realm, db, kdc.WithLogger(logger), kdc.WithRegistry(reg))
 	l, err := kdc.Serve(server, *addr)

@@ -183,6 +183,9 @@ func render(w io.Writer, addr string, cur, prev *sample) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if startupPanelMetrics[name] {
+			continue // rendered in the startup/memory panel below
+		}
 		v := cur.scalars[name]
 		rate := ""
 		if prev != nil {
@@ -195,6 +198,7 @@ func render(w io.Writer, addr string, cur, prev *sample) {
 		fmt.Fprintf(w, "  %-28s %12d%s\n", name, v, rate)
 	}
 
+	renderStartup(w, cur)
 	renderShards(w, cur, prev)
 	renderPropagation(w, cur, prev)
 
@@ -247,6 +251,49 @@ func rate(cur, prev *sample, name string) string {
 		return ""
 	}
 	return fmt.Sprintf(" (%.1f/s)", float64(cur.scalars[name]-pv)/dt)
+}
+
+// startupPanelMetrics are the cold-start gauges a segment-log
+// kerberosd exports; they render as one panel instead of scattered
+// rows in the scalar table.
+var startupPanelMetrics = map[string]bool{
+	"kdb_startup_ms":     true,
+	"kdb_replay_records": true,
+	"kdb_resident_bytes": true,
+	"kdb_base_mapped":    true,
+}
+
+// renderStartup draws the startup/memory panel when the scraped
+// registry belongs to a segment-log kerberosd: how long the realm took
+// to come up (slowest shard), how much of that was segment-tail
+// replay, and what the loaded base keeps resident.
+func renderStartup(w io.Writer, cur *sample) {
+	ms, ok := cur.scalars["kdb_startup_ms"]
+	if !ok {
+		return
+	}
+	base := "decoded (flat or unmapped base)"
+	if cur.scalars["kdb_base_mapped"] == 1 {
+		base = "mmapped KDB4 snapshot"
+	}
+	fmt.Fprintf(w, "\n  startup / memory\n")
+	fmt.Fprintf(w, "    cold start %-8s replayed %d tail records\n",
+		fmt.Sprintf("%dms", ms), cur.scalars["kdb_replay_records"])
+	fmt.Fprintf(w, "    resident %s  base: %s\n",
+		fmtBytes(cur.scalars["kdb_resident_bytes"]), base)
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // renderShards draws the per-shard panel when the scraped registry

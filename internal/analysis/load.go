@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -147,7 +148,12 @@ func (l *Loader) Match(patterns []string) ([]string, error) {
 	return paths, nil
 }
 
-// goFilesIn lists the non-test .go files of a directory, sorted.
+// goFilesIn lists the non-test .go files of a directory that build on
+// the host platform, sorted. Build constraints (//go:build lines and
+// GOOS/GOARCH filename suffixes) are honored via go/build so the
+// analyzed file set is exactly what `go build` would compile — a
+// package with per-platform variants of one function (kdb's mapFile)
+// would otherwise redeclare it.
 func goFilesIn(dir string) []string {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -158,6 +164,9 @@ func goFilesIn(dir string) []string {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		files = append(files, filepath.Join(dir, name))

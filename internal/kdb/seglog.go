@@ -9,37 +9,66 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+	"unsafe"
 
 	"kerberos/internal/des"
 )
 
+// entryStructBytes approximates one slab entry's in-memory index cost
+// (the string/key bytes themselves are counted with the mapping).
+const entryStructBytes = int64(unsafe.Sizeof(Entry{}))
+
+// flatResidentEstimate approximates the heap cost of entries decoded
+// from a legacy flat base: struct plus owned variable-length data.
+func flatResidentEstimate(entries []*Entry) int64 {
+	n := int64(0)
+	for _, e := range entries {
+		n += entryStructBytes +
+			int64(len(e.Name)+len(e.Instance)+len(e.EncKey)+len(e.ModBy))
+	}
+	return n
+}
+
 // SegmentStore is the append-only disk backend that replaces the
 // rewrite-the-world FileStore on the master's mutation path. The on-disk
-// form is a base dump plus a sequence of segment logs:
+// form is a base snapshot plus a sequence of segment logs:
 //
-//	base.kdb          full dump (v2 format) at some (serial, digest)
+//	base.kdb4         page-aligned KDB4 snapshot at some (serial, digest)
 //	seg-00000001.log  framed change records after the base
 //	seg-00000002.log  ...
+//
+// (Pre-KDB4 databases carry a base.kdb v2 dump instead; both load, and
+// the first compaction upgrades the base to KDB4 unless the LegacyBase
+// option pins the old format.)
 //
 // A mutation appends one framed record — the same canonical appendChange
 // encoding the journal digest and the kprop delta plane already use — to
 // the active (highest-numbered) segment: O(change) bytes written, never a
 // full-file rewrite. When the active segment passes SegmentBytes it is
 // sealed by opening the next segment; sealed segments are immutable. A
-// background compactor folds sealed segments into a fresh base dump and
-// deletes them, bounding startup replay to O(live data + one segment).
+// background compactor folds sealed segments into a fresh base snapshot
+// and deletes them, bounding startup replay to O(one segment) on top of
+// mapping the base: a KDB4 base is mmapped and materialized with O(1)
+// allocations, so cold start is page faults, not parsing.
 //
 // Crash safety is by construction: records carry a CRC and are applied
 // only when complete, so a torn tail (the process died mid-append) is
-// detected and truncated back to the last whole record; the base dump is
-// replaced via temp+fsync+rename; and a crash between installing a new
+// detected and truncated back to the last whole record; the base is
+// replaced via temp+fsync+rename with the directory fsynced before any
+// folded segment is unlinked; and a crash between installing a new
 // base and deleting the segments it folded is harmless because replay
 // skips records at or below the base serial.
 type SegmentStore struct {
 	dir string
 	opt SegmentOptions
 
-	mem *MemStore
+	mem  *EpochStore
+	snap *Snapshot // mmapped base the mem slab aliases; nil for flat bases
+
+	startupNS     int64 // wall-clock open-to-serving time
+	replayRecords int   // segment records replayed at open
+	residentBytes int64 // mapping + index estimate at open
 
 	// fileMu serializes everything that touches the files: appends,
 	// sealing, compaction install, ReplaceAll. The in-memory apply
@@ -77,6 +106,10 @@ type SegmentOptions struct {
 	// NoFsync skips the fsync after each append (benchmarks; a crash may
 	// lose the tail but never corrupts — torn records truncate away).
 	NoFsync bool
+	// LegacyBase writes v2 dump bases (base.kdb) instead of KDB4
+	// snapshots — the pre-KDB4 on-disk form, kept selectable for the
+	// cold-start baseline benchmark and format-compat tests.
+	LegacyBase bool
 }
 
 func (o *SegmentOptions) defaults() {
@@ -111,7 +144,8 @@ type ChangeLogStore interface {
 var ErrBadSegment = errors.New("kdb: corrupt segment log")
 
 const (
-	segBaseName  = "base.kdb"
+	segBaseName  = "base.kdb"  // legacy v2 dump base
+	segBase4Name = "base.kdb4" // KDB4 snapshot base (preferred)
 	segPrefix    = "seg-"
 	segSuffix    = ".log"
 	recHeader    = 4 + 4 + 8 + 8 // len + crc + serial + digest
@@ -165,7 +199,10 @@ func decodeOneChange(data []byte) (Change, error) {
 }
 
 // OpenSegmentStore opens (or creates) a segment-log store in dir.
+//
+//kerb:clockadapter -- measures wall-clock startup cost for the kdb_startup_ms gauge; no protocol time derives from it
 func OpenSegmentStore(dir string, opt SegmentOptions) (*SegmentStore, error) {
+	start := time.Now()
 	opt.defaults()
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("kdb: opening segment store: %w", err)
@@ -173,13 +210,17 @@ func OpenSegmentStore(dir string, opt SegmentOptions) (*SegmentStore, error) {
 	s := &SegmentStore{
 		dir:       dir,
 		opt:       opt,
-		mem:       NewMemStore(),
+		mem:       NewEpochStore(),
 		compactCh: make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
 	if err := s.load(); err != nil {
+		if s.snap != nil {
+			s.snap.Close()
+		}
 		return nil, err
 	}
+	s.startupNS = time.Since(start).Nanoseconds()
 	s.wg.Add(1)
 	go s.compactor()
 	if len(s.sealed) >= s.opt.CompactAfter {
@@ -189,8 +230,29 @@ func OpenSegmentStore(dir string, opt SegmentOptions) (*SegmentStore, error) {
 }
 
 // load replays base + segments into memory and opens the active segment.
+// A KDB4 base is preferred over a legacy flat one: whenever both exist
+// the KDB4 file is the newer (bases are only written by compaction and
+// ReplaceAll, both of which remove the other format after installing).
 func (s *SegmentStore) load() error {
-	if data, err := os.ReadFile(filepath.Join(s.dir, segBaseName)); err == nil {
+	if sn, err := OpenKDB4(filepath.Join(s.dir, segBase4Name)); err == nil {
+		table, terr := sn.Index()
+		if terr != nil {
+			sn.Close()
+			return fmt.Errorf("kdb: loading %s: %w", segBase4Name, terr)
+		}
+		// The records serve reads in place: install the mapping and its
+		// precomputed probe table, and entries materialize lazily on
+		// first fetch. Startup cost is validation, not decoding.
+		s.mem.installSnapshot(sn, table)
+		s.snap = sn
+		s.baseMeta = sn.Meta()
+		s.lastMeta = sn.Meta()
+		// Mapping plus the lazy-materialization pointer array; decoded
+		// entries accrete on top as principals are first touched.
+		s.residentBytes = sn.Bytes() + int64(sn.Count())*8
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("kdb: loading %s: %w", segBase4Name, err)
+	} else if data, err := os.ReadFile(filepath.Join(s.dir, segBaseName)); err == nil {
 		entries, meta, perr := ParseDumpFull(data)
 		if perr != nil {
 			return fmt.Errorf("kdb: parsing %s: %w", segBaseName, perr)
@@ -198,6 +260,7 @@ func (s *SegmentStore) load() error {
 		s.mem.ReplaceAll(entries)
 		s.baseMeta = meta
 		s.lastMeta = meta
+		s.residentBytes = flatResidentEstimate(entries)
 	} else if !os.IsNotExist(err) {
 		return fmt.Errorf("kdb: reading %s: %w", segBaseName, err)
 	}
@@ -223,6 +286,7 @@ func (s *SegmentStore) load() error {
 	if err != nil {
 		return fmt.Errorf("kdb: opening active segment: %w", err)
 	}
+	s.syncDir() // the active segment's directory entry must be durable
 	size, err := f.Seek(0, 2)
 	if err != nil {
 		f.Close()
@@ -294,6 +358,7 @@ func (s *SegmentStore) replaySegment(seq uint64, last bool) error {
 			} else {
 				s.mem.Put(c.Entry)
 			}
+			s.replayRecords++
 			s.lastMeta = DumpMeta{Serial: rec.Serial, Digest: rec.Digest}
 		}
 		off += n
@@ -331,6 +396,82 @@ func (s *SegmentStore) LoadedMeta() DumpMeta {
 	s.fileMu.Lock()
 	defer s.fileMu.Unlock()
 	return s.loadedMeta
+}
+
+// StartupStats is the cold-start cost observed when the store opened.
+type StartupStats struct {
+	StartupNS     int64 // open-to-serving wall time
+	ReplayRecords int   // segment records replayed on top of the base
+	ResidentBytes int64 // base mapping/heap + slab index estimate
+	MappedBase    bool  // base came in via mmap (vs read or flat decode)
+}
+
+// StartupStats reports how this store came up (the kdb_startup_ms /
+// kdb_replay_records / kdb_resident_bytes gauges).
+func (s *SegmentStore) StartupStats() StartupStats {
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	return StartupStats{
+		StartupNS:     s.startupNS,
+		ReplayRecords: s.replayRecords,
+		ResidentBytes: s.residentBytes,
+		MappedBase:    s.snap != nil && s.snap.Mapped(),
+	}
+}
+
+// syncDir fsyncs the store directory, making renames, creations, and
+// unlinks durable in order. Skipped under NoFsync.
+func (s *SegmentStore) syncDir() error {
+	if s.opt.NoFsync {
+		return nil
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// baseFileName returns the base filename the store writes, and the one
+// it must remove after installing (the other format).
+func (s *SegmentStore) baseFileName() (write, stale string) {
+	if s.opt.LegacyBase {
+		return segBaseName, segBase4Name
+	}
+	return segBase4Name, segBaseName
+}
+
+// encodeBase renders entries in the store's base format. Entries must
+// be ID-sorted (every fold and Range already is).
+func (s *SegmentStore) encodeBase(entries []*Entry, meta DumpMeta) ([]byte, error) {
+	if s.opt.LegacyBase {
+		return EncodeEntriesAt(entries, meta), nil
+	}
+	return EncodeKDB4(entries, meta)
+}
+
+// installBase atomically writes the base file and makes the swap
+// durable: rename, directory fsync, stale-format removal, directory
+// fsync again. Only after installBase returns may the records the base
+// covers be deleted — the ordering is what keeps a power cut from
+// resurrecting folded segments.
+func (s *SegmentStore) installBase(data []byte) error {
+	write, stale := s.baseFileName()
+	if err := WriteFileAtomic(filepath.Join(s.dir, write), data, 0o600); err != nil {
+		return err
+	}
+	if err := s.syncDir(); err != nil {
+		return fmt.Errorf("kdb: syncing %s after base install: %w", s.dir, err)
+	}
+	if err := os.Remove(filepath.Join(s.dir, stale)); err == nil {
+		if err := s.syncDir(); err != nil {
+			return fmt.Errorf("kdb: syncing %s after stale base removal: %w", s.dir, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("kdb: removing stale base: %w", err)
+	}
+	return nil
 }
 
 // SetMetaSource installs the callback ReplaceAll uses to stamp the base
@@ -388,6 +529,10 @@ func (s *SegmentStore) maybeSealLocked() {
 		// next append.
 		return
 	}
+	// Make the new segment's directory entry durable before records
+	// land in it; otherwise a power cut could keep the records' blocks
+	// while losing the file that names them.
+	s.syncDir()
 	s.active.Close()
 	s.sealed = append(s.sealed, s.activeSeq)
 	s.active, s.activeSeq, s.activeSize = f, next, 0
@@ -419,7 +564,36 @@ func (s *SegmentStore) compactor() {
 	}
 }
 
-// Compact folds the sealed segments into a fresh base dump and deletes
+// readBaseForFold loads the current base (either format) as heap
+// entries for a compaction fold. KDB4 bytes are read (not mmapped) so
+// the folded entries' backing buffer is garbage-collected normally.
+func (s *SegmentStore) readBaseForFold() ([]*Entry, DumpMeta, error) {
+	if data, err := os.ReadFile(filepath.Join(s.dir, segBase4Name)); err == nil {
+		sn, perr := ParseKDB4(data)
+		if perr != nil {
+			return nil, DumpMeta{}, fmt.Errorf("kdb: compacting: parsing %s: %w", segBase4Name, perr)
+		}
+		entries, merr := sn.MaterializePtrs()
+		if merr != nil {
+			return nil, DumpMeta{}, fmt.Errorf("kdb: compacting: %w", merr)
+		}
+		return entries, sn.Meta(), nil
+	} else if !os.IsNotExist(err) {
+		return nil, DumpMeta{}, fmt.Errorf("kdb: compacting: %w", err)
+	}
+	if data, err := os.ReadFile(filepath.Join(s.dir, segBaseName)); err == nil {
+		entries, m, perr := ParseDumpFull(data)
+		if perr != nil {
+			return nil, DumpMeta{}, fmt.Errorf("kdb: compacting: parsing base: %w", perr)
+		}
+		return entries, m, nil
+	} else if !os.IsNotExist(err) {
+		return nil, DumpMeta{}, fmt.Errorf("kdb: compacting: %w", err)
+	}
+	return nil, DumpMeta{}, nil
+}
+
+// Compact folds the sealed segments into a fresh base snapshot and deletes
 // them. Sealed segments and the current base are immutable, so the fold
 // runs without blocking appends; only the final install (rename + segment
 // deletion) takes the file lock. Safe to call concurrently with
@@ -438,18 +612,14 @@ func (s *SegmentStore) Compact() error {
 	// Fold base + sealed segments outside the lock.
 	byID := make(map[string]*Entry)
 	meta := DumpMeta{}
-	if data, err := os.ReadFile(filepath.Join(s.dir, segBaseName)); err == nil {
-		entries, m, perr := ParseDumpFull(data)
-		if perr != nil {
-			return fmt.Errorf("kdb: compacting: parsing base: %w", perr)
-		}
-		for _, e := range entries {
-			byID[e.ID()] = e
-		}
-		meta = m
-	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("kdb: compacting: %w", err)
+	entries, m, err := s.readBaseForFold()
+	if err != nil {
+		return err
 	}
+	for _, e := range entries {
+		byID[e.ID()] = e
+	}
+	meta = m
 	for _, seq := range seqs {
 		data, err := os.ReadFile(filepath.Join(s.dir, segName(seq)))
 		if err != nil {
@@ -481,17 +651,22 @@ func (s *SegmentStore) Compact() error {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	entries := make([]*Entry, len(ids))
+	baseEntries := make([]*Entry, len(ids))
 	for i, id := range ids {
-		entries[i] = byID[id]
+		baseEntries[i] = byID[id]
 	}
-	if err := WriteFileAtomic(filepath.Join(s.dir, segBaseName), EncodeEntriesAt(entries, meta), 0o600); err != nil {
+	data, err := s.encodeBase(baseEntries, meta)
+	if err != nil {
+		return fmt.Errorf("kdb: compacting: encoding base: %w", err)
+	}
+	if err := s.installBase(data); err != nil {
 		return fmt.Errorf("kdb: compacting: installing base: %w", err)
 	}
 
-	// Install: the new base covers everything in the folded segments, so
-	// deleting them is safe — and a crash before the deletions is also
-	// safe, because replay skips records at or below the base serial.
+	// Install: the new base is durable (file and directory entry both
+	// fsynced) and covers everything in the folded segments, so deleting
+	// them is safe — and a crash before the deletions is also safe,
+	// because replay skips records at or below the base serial.
 	s.fileMu.Lock()
 	s.baseMeta = meta
 	remaining := s.sealed[:0]
@@ -527,22 +702,31 @@ func (s *SegmentStore) CompactErr() error {
 	return s.compactErr
 }
 
-// Close stops the compactor and closes the active segment. Closing an
-// already-closed store is a no-op.
+// Close stops the compactor, closes the active segment, and releases
+// the base mapping. Entries served from the store (shared fetches over
+// the mmapped slab) must not be used after Close — the same discipline
+// file handles already imposed. Closing an already-closed store is a
+// no-op.
 func (s *SegmentStore) Close() error {
 	s.closeOnce.Do(func() { close(s.done) })
 	s.wg.Wait()
 	s.fileMu.Lock()
 	defer s.fileMu.Unlock()
+	var err error
 	if s.active != nil {
 		if !s.opt.NoFsync {
 			s.active.Sync()
 		}
-		err := s.active.Close()
+		err = s.active.Close()
 		s.active = nil
-		return err
 	}
-	return nil
+	if s.snap != nil {
+		if cerr := s.snap.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.snap = nil
+	}
+	return err
 }
 
 // Fetch implements Store.
@@ -550,6 +734,12 @@ func (s *SegmentStore) Fetch(id string) (*Entry, bool) { return s.mem.Fetch(id) 
 
 // FetchShared implements Store.
 func (s *SegmentStore) FetchShared(id string) (*Entry, bool) { return s.mem.FetchShared(id) }
+
+// FetchSharedPair implements PairFetcher: the KDC's lock-free,
+// zero-allocation read path over the epoch index.
+func (s *SegmentStore) FetchSharedPair(name, instance string) (*Entry, bool) {
+	return s.mem.FetchSharedPair(name, instance)
+}
 
 // Put implements Store. Used standalone (outside a Database, which logs
 // through ApplyLogged), the store synthesizes its own lineage record.
@@ -606,8 +796,9 @@ func (s *SegmentStore) Range(fn func(*Entry) bool) { s.mem.Range(fn) }
 func (s *SegmentStore) Len() int { return s.mem.Len() }
 
 // ReplaceAll implements Store: bulk replacement (propagation install,
-// LoadDump) writes a fresh base dump and starts an empty segment — the
-// one legitimately whole-file write left, and it is O(new contents).
+// LoadDump) writes a fresh base snapshot and starts an empty segment —
+// the one legitimately whole-file write left, and it is O(new
+// contents).
 func (s *SegmentStore) ReplaceAll(entries []*Entry) {
 	s.fileMu.Lock()
 	defer s.fileMu.Unlock()
@@ -615,7 +806,11 @@ func (s *SegmentStore) ReplaceAll(entries []*Entry) {
 	if s.metaSource != nil {
 		meta = s.metaSource()
 	}
-	if err := WriteFileAtomic(filepath.Join(s.dir, segBaseName), EncodeEntriesAt(entries, meta), 0o600); err != nil {
+	data, err := s.encodeBase(sortedEntriesByID(entries), meta)
+	if err != nil {
+		panic(fmt.Errorf("kdb: encoding base: %w", err))
+	}
+	if err := s.installBase(data); err != nil {
 		panic(fmt.Errorf("kdb: replacing base: %w", err))
 	}
 	// Drop every segment: the new base supersedes them all.
@@ -624,6 +819,7 @@ func (s *SegmentStore) ReplaceAll(entries []*Entry) {
 	if err != nil {
 		panic(fmt.Errorf("kdb: rolling segment: %w", err))
 	}
+	s.syncDir()
 	old := append(append([]uint64(nil), s.sealed...), s.activeSeq)
 	s.active.Close()
 	s.active, s.activeSeq, s.activeSize = f, next, 0
@@ -678,17 +874,38 @@ func OpenSegmentDB(masterKey des.Key, dir string, shards int, opt SegmentOptions
 	} else if existing > 0 && existing != shards {
 		return nil, nil, fmt.Errorf("kdb: %s holds %d shards, asked for %d (re-shard via dump/reload)", dir, existing, shards)
 	}
+	// Open every shard concurrently: each shard maps its own base and
+	// replays its own segment tail, so an N-shard cold start is the
+	// slowest shard, not the sum. Torn-tail handling and ErrBadSegment
+	// semantics are per shard and unchanged; shard directories are
+	// disjoint, so the loads share nothing.
 	stores := make([]Store, shards)
 	segs := make([]*SegmentStore, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
 	for i := 0; i < shards; i++ {
-		s, err := OpenSegmentStore(filepath.Join(dir, shardDirName(i)), opt)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := OpenSegmentStore(filepath.Join(dir, shardDirName(i)), opt)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			stores[i], segs[i] = s, s
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			for _, prev := range segs[:i] {
-				prev.Close()
+			// Deterministic error (lowest shard wins) and no leaked stores.
+			for _, s := range segs {
+				if s != nil {
+					s.Close()
+				}
 			}
 			return nil, nil, err
 		}
-		stores[i], segs[i] = s, s
 	}
 	return NewSharded(masterKey, stores), segs, nil
 }

@@ -91,8 +91,10 @@ func TestSegmentStoreAppendsNotRewrites(t *testing.T) {
 	if perChange > 256 {
 		t.Fatalf("%.0f bytes appended per mutation — that is a rewrite, not an append", perChange)
 	}
-	if _, err := os.Stat(filepath.Join(dir, shardDirName(0), segBaseName)); !os.IsNotExist(err) {
-		t.Fatal("base dump written on the mutation path")
+	for _, base := range []string{segBaseName, segBase4Name} {
+		if _, err := os.Stat(filepath.Join(dir, shardDirName(0), base)); !os.IsNotExist(err) {
+			t.Fatalf("base %s written on the mutation path", base)
+		}
 	}
 }
 
@@ -111,8 +113,8 @@ func TestSegmentStoreSealAndCompact(t *testing.T) {
 		t.Fatal(err)
 	}
 	sub := filepath.Join(dir, shardDirName(0))
-	if _, err := os.Stat(filepath.Join(sub, segBaseName)); err != nil {
-		t.Fatalf("no base after compaction: %v", err)
+	if _, err := os.Stat(filepath.Join(sub, segBase4Name)); err != nil {
+		t.Fatalf("no KDB4 base after compaction: %v", err)
 	}
 	ents, _ := os.ReadDir(sub)
 	segFiles := 0
